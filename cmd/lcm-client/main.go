@@ -1,0 +1,159 @@
+// Command lcm-client is a CLI client for an LCM-protected key-value
+// store. Each invocation performs one operation and prints the result
+// together with the protocol's consistency metadata: the operation's
+// sequence number t and the latest majority-stable sequence number q.
+//
+// Usage:
+//
+//	lcm-client -addr 127.0.0.1:7000 -id 1 -key <hex kC> get <key>
+//	lcm-client ... put <key> <value>
+//	lcm-client ... del <key>
+//	lcm-client ... status
+//
+// Client state (tc, ts, hc) persists in -state so consecutive invocations
+// form one continuous protocol session; deleting the file would make the
+// enclave (correctly!) flag the stale context as a potential attack.
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/client"
+	"lcm/internal/core"
+	"lcm/internal/kvs"
+	"lcm/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lcm-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "server address")
+		id        = flag.Uint("id", 1, "client identifier within the group")
+		keyHex    = flag.String("key", "", "communication key kC (hex, from the admin)")
+		statePath = flag.String("state", "", "client state file (default lcm-client-<id>.state)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "reply timeout before retry")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return errors.New("usage: lcm-client [flags] get|put|del|status ...")
+	}
+
+	raw, err := hex.DecodeString(*keyHex)
+	if err != nil {
+		return fmt.Errorf("decode -key: %w", err)
+	}
+	kc, err := aead.KeyFromBytes(raw)
+	if err != nil {
+		return fmt.Errorf("-key: %w", err)
+	}
+
+	conn, err := transport.DialTCP(*addr)
+	if err != nil {
+		return err
+	}
+
+	if *statePath == "" {
+		*statePath = fmt.Sprintf("lcm-client-%d.state", *id)
+	}
+	cfg := client.Config{Timeout: *timeout, Retries: 2}
+	var session *client.Session
+	if blob, err := os.ReadFile(*statePath); err == nil {
+		state, err := core.DecodeClientState(blob)
+		if err != nil {
+			return fmt.Errorf("corrupt state file %s: %w", *statePath, err)
+		}
+		session = client.Resume(conn, state, kc, cfg)
+		// Complete any operation interrupted by a crash before issuing
+		// the new one (Sec. 4.6.1).
+		if state.Pending != nil {
+			if res, err := session.Recover(); err == nil {
+				fmt.Printf("recovered pending operation: seq=%d stable=%d\n", res.Seq, res.Stable)
+			} else {
+				return fmt.Errorf("recover pending operation: %w", err)
+			}
+		}
+	} else {
+		session = client.New(conn, uint32(*id), kc, cfg)
+	}
+	defer session.Close()
+
+	if args[0] == "status" {
+		status, err := core.QueryStatus(session.ECall)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("provisioned=%v migrated=%v epoch=%d t=%d stable=%d clients=%d\n",
+			status.Provisioned, status.Migrated, status.Epoch,
+			status.Seq, status.Stable, status.NumClients)
+		return nil
+	}
+
+	var op []byte
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return errors.New("usage: get <key>")
+		}
+		op = kvs.Get(args[1])
+	case "put":
+		if len(args) != 3 {
+			return errors.New("usage: put <key> <value>")
+		}
+		op = kvs.Put(args[1], args[2])
+	case "del":
+		if len(args) != 2 {
+			return errors.New("usage: del <key>")
+		}
+		op = kvs.Del(args[1])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+
+	res, err := session.Do(op)
+	if err != nil {
+		if errors.Is(err, core.ErrViolationDetected) {
+			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+		}
+		return err
+	}
+	kv, err := kvs.DecodeResult(res.Value)
+	if err != nil {
+		return err
+	}
+	switch {
+	case args[0] == "get" && kv.Found:
+		fmt.Printf("%s\n", kv.Value)
+	case args[0] == "get":
+		fmt.Println("(not found)")
+	default:
+		fmt.Println("ok")
+	}
+	fmt.Printf("seq=%d stable=%d (this op is %smajority-stable yet)\n",
+		res.Seq, res.Stable, stableWord(res))
+
+	blob := session.State().Encode()
+	if err := os.WriteFile(*statePath, blob, 0o600); err != nil {
+		return fmt.Errorf("persist client state: %w", err)
+	}
+	return nil
+}
+
+func stableWord(res *core.Result) string {
+	if res.Seq <= res.Stable {
+		return ""
+	}
+	return "not "
+}

@@ -1,0 +1,98 @@
+// Command lcm-server runs an LCM-protected key-value store: a simulated
+// TEE platform hosting the trusted LCM context, the untrusted server
+// application with request batching, and file-backed stable storage.
+//
+// On startup it prints the bootstrap material (platform registration and
+// the communication key) that lcm-client needs; in a real deployment the
+// admin distributes kC over secure channels (Sec. 4.3).
+//
+// Usage:
+//
+//	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
+//	           -clients 8 [-sync]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"lcm/internal/core"
+	"lcm/internal/host"
+	"lcm/internal/kvs"
+	"lcm/internal/latency"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lcm-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
+		dir     = flag.String("dir", "lcm-data", "stable storage directory")
+		batch   = flag.Int("batch", 16, "request batch size (1 disables batching)")
+		clients = flag.Int("clients", 8, "client group size (ids 1..n)")
+		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
+		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
+	)
+	flag.Parse()
+
+	model := latency.Scaled(*scale)
+	platform, err := tee.NewPlatform("lcm-server-platform", tee.WithLatencyModel(model))
+	if err != nil {
+		return err
+	}
+	attestation := tee.NewAttestationService()
+	attestation.Register(platform)
+
+	store, err := stablestore.NewFileStore(*dir, *sync, model)
+	if err != nil {
+		return err
+	}
+
+	server, err := host.New(host.Config{
+		Platform: platform,
+		Factory: core.NewTrustedFactory(core.TrustedConfig{
+			ServiceName: "kvs",
+			NewService:  kvs.Factory(),
+			Attestation: attestation,
+		}),
+		Store:     store,
+		BatchSize: *batch,
+	})
+	if err != nil {
+		return err
+	}
+
+	admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+	ids := make([]uint32, *clients)
+	for i := range ids {
+		ids[i] = uint32(i + 1)
+	}
+	if err := admin.Bootstrap(server.ECall, ids); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+
+	listener, err := transport.ListenTCP(*addr)
+	if err != nil {
+		return err
+	}
+	defer listener.Close()
+
+	fmt.Printf("lcm-server listening on %s\n", listener.Addr())
+	fmt.Printf("  service:   kvs (LCM-protected, batch=%d, sync=%v)\n", *batch, *sync)
+	fmt.Printf("  clients:   ids 1..%d\n", *clients)
+	fmt.Printf("  kC:        %s\n", hex.EncodeToString(admin.CommunicationKey().Bytes()))
+	fmt.Println("pass -key to lcm-client; the admin would distribute it over a secure channel")
+
+	defer server.Shutdown()
+	return server.Serve(listener)
+}

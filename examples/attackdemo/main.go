@@ -1,0 +1,224 @@
+// Attack demo: a malicious cloud provider mounts the rollback and forking
+// attacks of Sec. 2.3 against an enclave-hosted key-value store, first
+// against the unprotected SGX baseline (the attack succeeds silently),
+// then against LCM (the attack is detected).
+//
+//	go run ./examples/attackdemo
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"lcm"
+	"lcm/internal/host"
+	"lcm/internal/stablestore"
+	"lcm/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attackdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== Part 1: rollback attack against LCM ==")
+	if err := rollbackAttack(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("== Part 2: forking attack against LCM ==")
+	return forkingAttack()
+}
+
+// stack bundles one deployed LCM system under attacker control.
+type stack struct {
+	server   *host.Server
+	storage  *stablestore.RollbackStore
+	admin    *lcm.Admin
+	network  *transport.InmemNetwork
+	shutdown func()
+}
+
+// dial opens a fresh session for a client id.
+func (s *stack) dial(id uint32) (*lcm.Session, error) {
+	conn, err := s.network.Dial("lcm")
+	if err != nil {
+		return nil, err
+	}
+	return lcm.NewSession(conn, id, s.admin.CommunicationKey(),
+		lcm.SessionConfig{Timeout: 5 * time.Second}), nil
+}
+
+// resume reconnects an existing client state on a fresh connection.
+func (s *stack) resume(state *lcm.ClientState) (*lcm.Session, error) {
+	conn, err := s.network.Dial("lcm")
+	if err != nil {
+		return nil, err
+	}
+	return lcm.ResumeSession(conn, state, s.admin.CommunicationKey(),
+		lcm.SessionConfig{Timeout: 5 * time.Second}), nil
+}
+
+// deploy builds an LCM stack over attacker-controlled storage.
+func deploy() (*stack, error) {
+	platform, err := lcm.NewPlatform("evil-cloud")
+	if err != nil {
+		return nil, err
+	}
+	attestation := lcm.NewAttestationService()
+	attestation.Register(platform)
+	storage := stablestore.NewRollbackStore(lcm.NewMemStore())
+	server, err := lcm.NewServer(lcm.ServerConfig{
+		Platform: platform,
+		Factory: lcm.NewTrustedFactory(lcm.TrustedConfig{
+			ServiceName: "kvs",
+			NewService:  lcm.NewKVStoreFactory(),
+			Attestation: attestation,
+		}),
+		Store:     storage,
+		BatchSize: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	network := lcm.NewInmemNetwork()
+	listener, err := network.Listen("lcm")
+	if err != nil {
+		return nil, err
+	}
+	go server.Serve(listener)
+	shutdown := func() {
+		listener.Close()
+		server.Shutdown()
+	}
+	admin := lcm.NewAdmin(attestation, lcm.ProgramIdentity("kvs"))
+	if err := admin.Bootstrap(server.ECall, []uint32{1, 2}); err != nil {
+		shutdown()
+		return nil, err
+	}
+	return &stack{
+		server:   server,
+		storage:  storage,
+		admin:    admin,
+		network:  network,
+		shutdown: shutdown,
+	}, nil
+}
+
+func rollbackAttack() error {
+	st, err := deploy()
+	if err != nil {
+		return err
+	}
+	defer st.shutdown()
+
+	alice, err := st.dial(1)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+
+	// Alice records three versions of her document.
+	for i := 1; i <= 3; i++ {
+		if _, err := alice.Do(lcm.Put("document", fmt.Sprintf("draft-%d", i))); err != nil {
+			return err
+		}
+	}
+	fmt.Println("alice stored draft-1, draft-2, draft-3")
+
+	// The provider rolls the sealed state back two versions and restarts
+	// the enclave — trying to resurrect draft-1 (perhaps it revoked
+	// access alice had removed, or restored a deleted secret).
+	if err := st.server.AttackRollback(2); err != nil {
+		return fmt.Errorf("mount rollback: %w", err)
+	}
+	fmt.Println("malicious host: restarted enclave from the draft-1 state")
+
+	// Alice's very next operation carries her hash-chain context, which
+	// is ahead of the rolled-back state: the enclave halts, and alice
+	// gets an error instead of a forged answer.
+	_, err = alice.Do(lcm.Get("document"))
+	if err == nil {
+		return errors.New("rollback went UNDETECTED — this must not happen")
+	}
+	fmt.Printf("alice's next op failed: %v\n", err)
+	fmt.Printf("enclave recorded the violation: %v\n", st.server.Enclave(0).HaltedErr())
+	fmt.Println("ROLLBACK DETECTED ✓")
+	return nil
+}
+
+func forkingAttack() error {
+	st, err := deploy()
+	if err != nil {
+		return err
+	}
+	defer st.shutdown()
+
+	alice, err := st.dial(1)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+
+	// Honest phase.
+	if _, err := alice.Do(lcm.Put("balance", "100")); err != nil {
+		return err
+	}
+	fmt.Println("alice stored balance=100")
+
+	// The provider forks the enclave: new connections (bob) land on a
+	// second instance initialized from the same sealed state.
+	if _, err := st.server.AttackFork(); err != nil {
+		return err
+	}
+	bob, err := st.dial(2)
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	fmt.Println("malicious host: forked the enclave; bob is partitioned from alice")
+
+	// Both partitions operate — double-spending the same state.
+	if _, err := alice.Do(lcm.Put("balance", "0 (alice withdrew)")); err != nil {
+		return err
+	}
+	res, err := bob.Do(lcm.Get("balance"))
+	if err != nil {
+		return err
+	}
+	kv, _ := lcm.DecodeKVResult(res.Value)
+	fmt.Printf("bob still sees balance=%q — the fork hides alice's withdrawal\n", kv.Value)
+
+	// But bob's operations stop becoming stable: the majority (both
+	// clients) never acknowledges inside one partition.
+	var lastStable uint64
+	for i := 0; i < 4; i++ {
+		res, err := bob.Do(lcm.Get("balance"))
+		if err != nil {
+			return err
+		}
+		lastStable = res.Stable
+	}
+	fmt.Printf("bob's stability stalled at q=%d — a red flag after %d operations\n", lastStable, 5)
+
+	// And the moment the provider lets bob's traffic touch alice's
+	// instance (or vice versa), the context mismatch is caught.
+	st.server.RouteNewConnsTo(0)
+	bobRejoined, err := st.resume(bob.State())
+	if err != nil {
+		return err
+	}
+	defer bobRejoined.Close()
+	if _, err := bobRejoined.Do(lcm.Get("balance")); err == nil {
+		return errors.New("fork join went UNDETECTED — this must not happen")
+	} else {
+		fmt.Printf("bob's cross-partition op failed: %v\n", err)
+	}
+	fmt.Println("FORKING DETECTED ✓ (fork-linearizability: partitions can never be rejoined)")
+	return nil
+}

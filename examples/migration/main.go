@@ -1,0 +1,157 @@
+// Migration demo (Sec. 4.6.2): a live LCM-protected service moves from
+// one TEE platform to another — no trusted third party, no interruption
+// of the clients' protocol sessions, and rollback/forking detection
+// preserved across the move.
+//
+// The origin enclave takes the admin's role: it challenges the target,
+// verifies its attestation quote (same program, genuine platform), hands
+// over the state-encryption key kP and its full state through a secure
+// channel, and stops processing. The target re-seals everything under its
+// own platform's sealing key.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lcm"
+	"lcm/internal/counter"
+	"lcm/internal/host"
+	"lcm/internal/service"
+	"lcm/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "migration:", err)
+		os.Exit(1)
+	}
+}
+
+// startServer deploys the LCM-protected bank service on a platform.
+func startServer(platformID string, attestation *lcm.AttestationService,
+	network *transport.InmemNetwork, endpoint string) (*host.Server, func(), error) {
+	platform, err := lcm.NewPlatform(platformID)
+	if err != nil {
+		return nil, nil, err
+	}
+	attestation.Register(platform)
+	server, err := lcm.NewServer(lcm.ServerConfig{
+		Platform: platform,
+		Factory: lcm.NewTrustedFactory(lcm.TrustedConfig{
+			ServiceName: "bank",
+			NewService:  func() service.Service { return counter.New() },
+			Attestation: attestation,
+		}),
+		Store:     lcm.NewMemStore(),
+		BatchSize: 4,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	listener, err := network.Listen(endpoint)
+	if err != nil {
+		return nil, nil, err
+	}
+	go server.Serve(listener)
+	stop := func() {
+		listener.Close()
+		server.Shutdown()
+	}
+	return server, stop, nil
+}
+
+func run() error {
+	attestation := lcm.NewAttestationService()
+	network := lcm.NewInmemNetwork()
+
+	// --- Origin deployment on platform A, bootstrapped for two clients.
+	origin, stopOrigin, err := startServer("datacenter-A", attestation, network, "origin")
+	if err != nil {
+		return err
+	}
+	defer stopOrigin()
+	admin := lcm.NewAdmin(attestation, lcm.ProgramIdentity("bank"))
+	if err := admin.Bootstrap(origin.ECall, []uint32{1, 2}); err != nil {
+		return err
+	}
+
+	dial := func(endpoint string, id uint32, state *lcm.ClientState) (*lcm.Session, error) {
+		conn, err := network.Dial(endpoint)
+		if err != nil {
+			return nil, err
+		}
+		cfg := lcm.SessionConfig{Timeout: 5 * time.Second}
+		if state != nil {
+			return lcm.ResumeSession(conn, state, admin.CommunicationKey(), cfg), nil
+		}
+		return lcm.NewSession(conn, id, admin.CommunicationKey(), cfg), nil
+	}
+
+	alice, err := dial("origin", 1, nil)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+
+	// Build up state on the origin.
+	if _, err := alice.Do(counter.Inc("alice", 100)); err != nil {
+		return err
+	}
+	res, err := alice.Do(counter.Transfer("alice", "bob", 40))
+	if err != nil {
+		return err
+	}
+	bal, _ := counter.DecodeResult(res.Value)
+	fmt.Printf("on %s: alice=60 after transfer (balance=%d, seq=%d)\n",
+		"datacenter-A", bal.Balance, res.Seq)
+
+	// --- Target deployment on platform B (fresh storage, same program).
+	target, stopTarget, err := startServer("datacenter-B", attestation, network, "target")
+	if err != nil {
+		return err
+	}
+	defer stopTarget()
+
+	// --- The migration handshake: challenge → attest → export → import.
+	if err := lcm.Migrate(origin.ECall, target.ECall); err != nil {
+		return fmt.Errorf("migrate: %w", err)
+	}
+	fmt.Println("migrated: datacenter-A attested datacenter-B and handed over kP + state")
+
+	// The origin now refuses work...
+	if _, err := alice.Do(counter.Read("alice")); err == nil {
+		return fmt.Errorf("origin still serving after migration")
+	}
+	fmt.Println("origin refuses further operations (ErrMigratedAway)")
+
+	// ...and the same client session — same tc, same hash-chain value —
+	// continues against the target. Alice's pending operation (the read
+	// that just failed) is retried there.
+	alice2, err := dial("target", 1, alice.State())
+	if err != nil {
+		return err
+	}
+	defer alice2.Close()
+	res, err = alice2.Recover()
+	if err != nil {
+		return fmt.Errorf("resume on target: %w", err)
+	}
+	bal, _ = counter.DecodeResult(res.Value)
+	fmt.Printf("on datacenter-B: alice=%d, seq=%d — session and history continuous\n",
+		bal.Balance, res.Seq)
+
+	// Detection still works on the new platform: the hash chain moved
+	// with the state, so a rolled-back target would be caught exactly as
+	// before (see examples/attackdemo).
+	status, err := lcm.QueryStatus(target.ECall)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("target status: t=%d clients=%d provisioned=%v\n",
+		status.Seq, status.NumClients, status.Provisioned)
+	return nil
+}

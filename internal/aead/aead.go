@@ -1,0 +1,126 @@
+// Package aead provides the authenticated encryption used throughout LCM.
+//
+// The paper (Sec. 4.1) requires authenticated encryption with a symmetric
+// key k and two functions auth-encrypt(m, k) and auth-decrypt(c, k). We
+// implement them with AES-GCM and 128-bit keys, matching the prototype in
+// Sec. 5.2 ("AES-GCM with 128-bit keys" for protocol messages and state).
+//
+// Every ciphertext carries a fresh random nonce; associated data binds a
+// ciphertext to its context (for example a client identifier or a blob
+// label) so that a malicious server cannot transplant ciphertexts between
+// contexts.
+package aead
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the AES-128 key size in bytes used by the whole system.
+const KeySize = 16
+
+// NonceSize is the standard GCM nonce size in bytes.
+const NonceSize = 12
+
+// Overhead is the total ciphertext expansion: nonce plus the GCM tag.
+const Overhead = NonceSize + 16
+
+var (
+	// ErrAuth reports that a ciphertext failed authentication. In the
+	// protocol this is equivalent to an "assert FALSE" (Sec. 4.2.5): the
+	// receiver must treat the peer (or the storage) as misbehaving.
+	ErrAuth = errors.New("aead: message authentication failed")
+
+	// ErrKeySize reports a key of the wrong length.
+	ErrKeySize = fmt.Errorf("aead: key must be %d bytes", KeySize)
+
+	// ErrCiphertextShort reports a ciphertext too short to contain a nonce
+	// and tag.
+	ErrCiphertextShort = errors.New("aead: ciphertext too short")
+)
+
+// Key is a symmetric AES-128 key.
+type Key [KeySize]byte
+
+// NewKey generates a fresh random key using the system entropy source.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("aead: generate key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies b into a Key. It returns ErrKeySize unless
+// len(b) == KeySize.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return Key{}, ErrKeySize
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// IsZero reports whether the key is the all-zero value. The protocol uses
+// the zero key as the "⊥" (unset) marker from Alg. 2.
+func (k Key) IsZero() bool {
+	var zero Key
+	return k == zero
+}
+
+// Bytes returns a copy of the key material.
+func (k Key) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, k[:])
+	return out
+}
+
+func newGCM(k Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("aead: new cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("aead: new gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// Seal implements auth-encrypt(m, k): it encrypts and authenticates
+// plaintext under k, binding the optional associated data. The result is
+// nonce ‖ ciphertext ‖ tag.
+func Seal(k Key, plaintext, associated []byte) ([]byte, error) {
+	gcm, err := newGCM(k)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, NonceSize, NonceSize+len(plaintext)+gcm.Overhead())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("aead: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, associated), nil
+}
+
+// Open implements auth-decrypt(c, k): it verifies and decrypts a ciphertext
+// produced by Seal with the same key and associated data. A failed
+// authentication returns ErrAuth.
+func Open(k Key, ciphertext, associated []byte) ([]byte, error) {
+	gcm, err := newGCM(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < NonceSize+gcm.Overhead() {
+		return nil, ErrCiphertextShort
+	}
+	nonce, body := ciphertext[:NonceSize], ciphertext[NonceSize:]
+	plaintext, err := gcm.Open(nil, nonce, body, associated)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return plaintext, nil
+}

@@ -1,0 +1,169 @@
+package aead
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	tests := []struct {
+		name       string
+		plaintext  []byte
+		associated []byte
+	}{
+		{name: "empty", plaintext: nil, associated: nil},
+		{name: "short", plaintext: []byte("hi"), associated: nil},
+		{name: "with associated data", plaintext: []byte("payload"), associated: []byte("ctx")},
+		{name: "binary", plaintext: []byte{0, 1, 2, 255, 254}, associated: []byte{9}},
+		{name: "large", plaintext: bytes.Repeat([]byte{0xAB}, 1<<16), associated: []byte("blob")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct, err := Seal(k, tt.plaintext, tt.associated)
+			if err != nil {
+				t.Fatalf("Seal: %v", err)
+			}
+			got, err := Open(k, ct, tt.associated)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if !bytes.Equal(got, tt.plaintext) {
+				t.Fatalf("round trip mismatch: got %x want %x", got, tt.plaintext)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsTamperedCiphertext(t *testing.T) {
+	k, _ := NewKey()
+	ct, err := Seal(k, []byte("state blob"), []byte("ad"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	for i := range ct {
+		mutated := bytes.Clone(ct)
+		mutated[i] ^= 0x01
+		if _, err := Open(k, mutated, []byte("ad")); err == nil {
+			t.Fatalf("Open accepted ciphertext with byte %d flipped", i)
+		}
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k1, _ := NewKey()
+	k2, _ := NewKey()
+	ct, _ := Seal(k1, []byte("secret"), nil)
+	if _, err := Open(k2, ct, nil); err != ErrAuth {
+		t.Fatalf("Open with wrong key: got %v, want ErrAuth", err)
+	}
+}
+
+func TestOpenRejectsWrongAssociatedData(t *testing.T) {
+	k, _ := NewKey()
+	ct, _ := Seal(k, []byte("secret"), []byte("client-1"))
+	if _, err := Open(k, ct, []byte("client-2")); err != ErrAuth {
+		t.Fatalf("Open with wrong associated data: got %v, want ErrAuth", err)
+	}
+}
+
+func TestOpenRejectsShortCiphertext(t *testing.T) {
+	k, _ := NewKey()
+	for _, n := range []int{0, 1, NonceSize, Overhead - 1} {
+		if _, err := Open(k, make([]byte, n), nil); err == nil {
+			t.Fatalf("Open accepted %d-byte ciphertext", n)
+		}
+	}
+}
+
+func TestSealProducesFreshNonces(t *testing.T) {
+	k, _ := NewKey()
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		ct, err := Seal(k, []byte("same message"), nil)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		nonce := string(ct[:NonceSize])
+		if seen[nonce] {
+			t.Fatal("nonce reused across Seal calls")
+		}
+		seen[nonce] = true
+	}
+}
+
+func TestCiphertextExpansionIsConstant(t *testing.T) {
+	k, _ := NewKey()
+	for _, n := range []int{0, 1, 100, 2500} {
+		ct, err := Seal(k, make([]byte, n), nil)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if got := len(ct) - n; got != Overhead {
+			t.Fatalf("expansion for %d-byte plaintext = %d, want %d", n, got, Overhead)
+		}
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, KeySize-1)); err != ErrKeySize {
+		t.Fatalf("short key: got %v, want ErrKeySize", err)
+	}
+	if _, err := KeyFromBytes(make([]byte, KeySize+1)); err != ErrKeySize {
+		t.Fatalf("long key: got %v, want ErrKeySize", err)
+	}
+	raw := make([]byte, KeySize)
+	raw[0] = 7
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatalf("KeyFromBytes: %v", err)
+	}
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Fatal("Bytes does not round-trip key material")
+	}
+	// Bytes must return a copy, not an alias.
+	k.Bytes()[0] = 99
+	if k[0] != 7 {
+		t.Fatal("Bytes returned aliased memory")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Key
+	if !zero.IsZero() {
+		t.Fatal("zero key not reported as zero")
+	}
+	k, _ := NewKey()
+	if k.IsZero() {
+		t.Fatal("random key reported as zero")
+	}
+}
+
+// Property: Seal/Open round-trips for arbitrary plaintext and associated
+// data, and tampering with the associated data always fails.
+func TestQuickRoundTrip(t *testing.T) {
+	k, _ := NewKey()
+	roundTrip := func(plaintext, associated []byte) bool {
+		ct, err := Seal(k, plaintext, associated)
+		if err != nil {
+			return false
+		}
+		got, err := Open(k, ct, associated)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, plaintext) {
+			return false
+		}
+		// A different associated-data value must be rejected.
+		_, err = Open(k, ct, append(bytes.Clone(associated), 0x01))
+		return err == ErrAuth
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

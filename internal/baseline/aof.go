@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"lcm/internal/latency"
+)
+
+// AOF is an append-only operation log — the persistence strategy of the
+// Redis baseline ("we configured Redis to use an append log strategy",
+// Sec. 6.4) and, per-operation, of the native KVS.
+//
+// Two commit modes match the two evaluation configurations:
+//
+//   - async (Figs. 4-5): appends are buffered; no fsync on the write path.
+//   - sync (Fig. 6): every Append is fsync'd. AppendGroup instead
+//     participates in group commit — concurrent writers share one fsync,
+//     which is how Redis scales under appendfsync while the unbatched
+//     native store stays flat.
+type AOF struct {
+	mu    sync.Mutex
+	file  *os.File
+	sync  bool
+	model *latency.Model
+
+	// group-commit state
+	commitMu   sync.Mutex
+	commitSeq  uint64 // completed commit rounds
+	commitCond *sync.Cond
+	pending    int
+}
+
+// NewAOF opens (creating if needed) the log at path.
+func NewAOF(path string, syncWrites bool, model *latency.Model) (*AOF, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: open aof: %w", err)
+	}
+	a := &AOF{file: f, sync: syncWrites, model: model}
+	a.commitCond = sync.NewCond(&a.commitMu)
+	return a, nil
+}
+
+// Append writes one record and, in sync mode, fsyncs before returning —
+// the per-operation durability of the native store.
+func (a *AOF) Append(record []byte) error {
+	a.mu.Lock()
+	if _, err := a.file.Write(record); err != nil {
+		a.mu.Unlock()
+		return fmt.Errorf("baseline: aof append: %w", err)
+	}
+	if !a.sync {
+		a.mu.Unlock()
+		return nil
+	}
+	if err := a.file.Sync(); err != nil {
+		a.mu.Unlock()
+		return fmt.Errorf("baseline: aof fsync: %w", err)
+	}
+	// The injected fsync latency is charged under the lock: per-op
+	// durability serializes on the drive, which is what flattens the
+	// unbatched systems in Fig. 6.
+	a.model.WaitSyncWrite()
+	a.mu.Unlock()
+	return nil
+}
+
+// AppendGroup writes one record and joins a group commit: all writers
+// that arrive while a commit is in flight share the next fsync. In async
+// mode it degrades to a plain buffered append.
+func (a *AOF) AppendGroup(record []byte) error {
+	a.mu.Lock()
+	_, err := a.file.Write(record)
+	a.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("baseline: aof append: %w", err)
+	}
+	if !a.sync {
+		return nil
+	}
+
+	a.commitMu.Lock()
+	myRound := a.commitSeq
+	a.pending++
+	if a.pending == 1 {
+		// This writer leads the commit round.
+		a.commitMu.Unlock()
+		a.mu.Lock()
+		err := a.file.Sync()
+		a.mu.Unlock()
+		a.model.WaitSyncWrite()
+		a.commitMu.Lock()
+		a.commitSeq++
+		a.pending = 0
+		a.commitCond.Broadcast()
+		a.commitMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("baseline: aof group fsync: %w", err)
+		}
+		return nil
+	}
+	// Followers wait for the round (or any later one) to complete.
+	for a.commitSeq == myRound {
+		a.commitCond.Wait()
+	}
+	a.commitMu.Unlock()
+	return nil
+}
+
+// Close closes the log.
+func (a *AOF) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.file.Close()
+}

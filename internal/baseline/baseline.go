@@ -1,0 +1,112 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (Sec. 6):
+//
+//   - Native: the key-value store outside any TEE, with client traffic
+//     encrypted by a stunnel-like tier that parallelizes across
+//     connections (Sec. 6.1/6.4 — this parallel crypto is why native
+//     scales while the enclave-bound variants saturate).
+//   - SGX: the same store inside a (simulated) enclave with encrypted
+//     client channels and per-batch state sealing, but no rollback or
+//     forking protection — the paper's main baseline.
+//   - SGX+TMC: the SGX store additionally protected by a trusted
+//     monotonic counter incremented on every request (Sec. 6.5).
+//   - RedisKV: a Redis-like in-memory store with an append-only file and
+//     group-commit fsync, standing in for "Redis TLS".
+//
+// All servers speak the same framed transport as the LCM host so the
+// benchmark driver treats every system identically.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/kvs"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// Session is one client's connection to a system under test.
+type Session interface {
+	// Get fetches a key; found reports whether it exists.
+	Get(key string) (value []byte, found bool, err error)
+	// Put stores a key.
+	Put(key, value string) error
+	Close() error
+}
+
+// The associated-data label for the stunnel-like channel encryption.
+const adChannel = "baseline/channel/v1"
+
+// channelSeal encrypts one message for the client-server channel.
+func channelSeal(key aead.Key, plaintext []byte) ([]byte, error) {
+	return aead.Seal(key, plaintext, []byte(adChannel))
+}
+
+// channelOpen decrypts one channel message.
+func channelOpen(key aead.Key, ciphertext []byte) ([]byte, error) {
+	return aead.Open(key, ciphertext, []byte(adChannel))
+}
+
+// kvSession adapts "encrypted kvs ops over a conn" — the client side
+// shared by the native and Redis-like baselines.
+type kvSession struct {
+	conn transport.Conn
+	key  aead.Key
+}
+
+func newKVSession(conn transport.Conn, key aead.Key) *kvSession {
+	return &kvSession{conn: conn, key: key}
+}
+
+func (s *kvSession) do(op []byte) ([]byte, error) {
+	ct, err := channelSeal(s.key, op)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, ct)); err != nil {
+		return nil, fmt.Errorf("baseline: send: %w", err)
+	}
+	frame, err := s.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: recv: %w", err)
+	}
+	respCT, err := wire.DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	return channelOpen(s.key, respCT)
+}
+
+// Get implements Session.
+func (s *kvSession) Get(key string) ([]byte, bool, error) {
+	raw, err := s.do(kvs.Get(key))
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := kvs.DecodeResult(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// Put implements Session.
+func (s *kvSession) Put(key, value string) error {
+	raw, err := s.do(kvs.Put(key, value))
+	if err != nil {
+		return err
+	}
+	res, err := kvs.DecodeResult(raw)
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		return errors.New("baseline: put not acknowledged")
+	}
+	return nil
+}
+
+// Close implements Session.
+func (s *kvSession) Close() error { return s.conn.Close() }

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"lcm/internal/aead"
+	"lcm/internal/kvs"
+	"lcm/internal/latency"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// NativeServer is the unprotected key-value store of Sec. 6.4 ("Native"):
+// the same kvs.Store, outside any TEE, fronted by a stunnel-like
+// encryption tier. Channel decryption and encryption run in the
+// per-connection handler goroutines — concurrently across clients, like
+// stunnel's worker processes — while the store itself is guarded by a
+// single mutex, modelling the single-threaded server core.
+//
+// Persistence is a per-operation append to an AOF; in sync mode each
+// update fsyncs (the configuration that flattens "Native" in Fig. 6).
+type NativeServer struct {
+	key     aead.Key
+	store   *kvs.Store
+	mu      sync.Mutex
+	aof     *AOF // nil: no persistence
+	model   *latency.Model
+	syncAll bool // sync mode: persist on every request (Sec. 5.3 prototype)
+
+	connMu    sync.Mutex
+	liveConns map[transport.Conn]struct{}
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NativeConfig assembles a NativeServer.
+type NativeConfig struct {
+	// Key is the pre-shared channel key (the paper uses predefined keys
+	// to simplify evaluation, Sec. 6.1).
+	Key aead.Key
+	// AOFPath enables persistence when non-empty.
+	AOFPath string
+	// SyncWrites fsyncs every update (Fig. 6 mode).
+	SyncWrites bool
+	// Model provides the injected fsync latency.
+	Model *latency.Model
+}
+
+// NewNativeServer creates the server.
+func NewNativeServer(cfg NativeConfig) (*NativeServer, error) {
+	s := &NativeServer{
+		key:       cfg.Key,
+		store:     kvs.New(),
+		model:     cfg.Model,
+		syncAll:   cfg.SyncWrites,
+		liveConns: make(map[transport.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}
+	if cfg.AOFPath != "" {
+		aof, err := NewAOF(cfg.AOFPath, cfg.SyncWrites, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		s.aof = aof
+	}
+	return s, nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *NativeServer) Serve(l transport.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.connMu.Lock()
+		s.liveConns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.liveConns, conn)
+				s.connMu.Unlock()
+			}()
+			s.connLoop(conn)
+		}()
+	}
+}
+
+func (s *NativeServer) connLoop(conn transport.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		kind, payload, err := wire.DecodeFrame(frame)
+		if err != nil || kind != wire.FrameInvoke {
+			_ = conn.Send(wire.ErrorFrame(fmt.Errorf("native: bad frame")))
+			continue
+		}
+		resp, err := s.handle(payload)
+		if err != nil {
+			_ = conn.Send(wire.ErrorFrame(err))
+			continue
+		}
+		_ = conn.Send(wire.OKFrame(resp))
+	}
+}
+
+// handle runs in the connection goroutine: crypto parallel, core section
+// serialized.
+func (s *NativeServer) handle(ciphertext []byte) ([]byte, error) {
+	op, err := channelOpen(s.key, ciphertext) // parallel (stunnel tier)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock() // single-threaded core
+	s.model.WaitServerOp()
+	result, err := s.store.Apply(op)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The paper's native prototype writes its state synchronously to disk
+	// on every request in the Fig. 6 configuration; in async mode only
+	// updates are logged.
+	if s.aof != nil && (isUpdate(op) || s.syncAll) {
+		if err := s.aof.Append(frameRecord(op)); err != nil {
+			return nil, err
+		}
+	}
+	return channelSeal(s.key, result) // parallel (stunnel tier)
+}
+
+// isUpdate reports whether an encoded kvs op mutates state (PUT/DEL share
+// the property of being non-GET, non-SCAN).
+func isUpdate(op []byte) bool {
+	if len(op) == 0 {
+		return false
+	}
+	return op[0] == 2 || op[0] == 3 // opPut, opDel (kvs wire tags)
+}
+
+// frameRecord length-prefixes an op for the AOF.
+func frameRecord(op []byte) []byte {
+	w := wire.NewWriter(4 + len(op))
+	w.Var(op)
+	return w.Bytes()
+}
+
+// Shutdown closes every live connection (unblocking their handlers),
+// waits for them to finish and closes the AOF. The caller closes its
+// Listener first.
+func (s *NativeServer) Shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.connMu.Lock()
+	for conn := range s.liveConns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	if s.aof != nil {
+		_ = s.aof.Close()
+	}
+}
+
+// NewNativeSession connects a client session to a native server.
+func NewNativeSession(conn transport.Conn, key aead.Key) Session {
+	return newKVSession(conn, key)
+}

@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/core"
+	"lcm/internal/kvs"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/tmc"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// SGXProgram is the "SGX" baseline of Sec. 6.4: the key-value store inside
+// an enclave, with encrypted client channels and state sealing across
+// restarts — but no hash chain, no client map V, and therefore no rollback
+// or forking detection. A stale-but-authentic sealed state restores
+// silently; that gap is exactly what LCM closes.
+//
+// It consumes the same batched ecall framing as the LCM host, so the
+// host.Server (batching queue, piggybacked state blob, storage) is reused
+// unchanged.
+type SGXProgram struct {
+	channelKey aead.Key
+	counter    *tmc.Counter // nil: plain SGX; non-nil: SGX+TMC (Sec. 6.5)
+	store      *kvs.Store
+	footprint  int64
+}
+
+var _ tee.Program = (*SGXProgram)(nil)
+
+// Stable-storage slot and associated-data labels for the baseline's
+// sealed state.
+const (
+	sgxStateSlot = "sgx-kvs-state"
+	adSGXState   = "baseline/sgx/state/v1"
+	adSGXReq     = "baseline/sgx/req/v1"
+	adSGXResp    = "baseline/sgx/resp/v1"
+)
+
+// SGXIdentity is the measured identity of the baseline program.
+const SGXIdentity = "baseline/sgx-kvs/v1"
+
+// NewSGXFactory returns the program factory. channelKey is the pre-shared
+// client key (predefined keys, Sec. 6.1). counter, when non-nil, turns the
+// program into the SGX+TMC variant: every batch increments the trusted
+// counter and recovery verifies the sealed state is current.
+func NewSGXFactory(channelKey aead.Key, counter *tmc.Counter) tee.ProgramFactory {
+	return func() tee.Program {
+		return &SGXProgram{channelKey: channelKey, counter: counter}
+	}
+}
+
+// Identity implements tee.Program.
+func (p *SGXProgram) Identity() string { return SGXIdentity }
+
+// Init implements tee.Program: restore the sealed state if present.
+func (p *SGXProgram) Init(env tee.Env) error {
+	p.store = kvs.New()
+	blob, err := env.Host().Load(sgxStateSlot)
+	if errors.Is(err, stablestore.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sgx-kvs: load state: %w", err)
+	}
+	plain, err := aead.Open(env.SealingKey(), blob, []byte(adSGXState))
+	if err != nil {
+		return tee.Halt("sealed state failed authentication", err)
+	}
+	r := wire.NewReader(plain)
+	counterValue := r.U64()
+	snapshot := r.Var()
+	if err := r.Done(); err != nil {
+		return tee.Halt("sealed state malformed", err)
+	}
+	if err := p.store.Restore(snapshot); err != nil {
+		return tee.Halt("snapshot malformed", err)
+	}
+	if p.counter != nil && counterValue != p.counter.Read() {
+		// The TMC variant detects the rollback immediately at recovery —
+		// the guarantee the 60 ms/increment buys (Sec. 3.1, 6.5).
+		return tee.Halt("sealed state is stale: trusted counter mismatch", nil)
+	}
+	p.chargeFootprint(env)
+	return nil
+}
+
+func (p *SGXProgram) chargeFootprint(env tee.Env) {
+	now := p.store.Footprint()
+	env.ChargeMemory(now - p.footprint)
+	p.footprint = now
+}
+
+// Call implements tee.Program: batched request processing with a single
+// state sealing per batch, mirroring the LCM prototype's optimization so
+// the comparison isolates the protocol cost.
+func (p *SGXProgram) Call(env tee.Env, payload []byte) ([]byte, error) {
+	if !core.IsBatchCall(payload) {
+		return nil, fmt.Errorf("sgx-kvs: unsupported call")
+	}
+	requests, err := core.DecodeBatchCall(payload)
+	if err != nil {
+		return nil, err
+	}
+	replies := make([][]byte, 0, len(requests))
+	for _, ct := range requests {
+		op, err := aead.Open(p.channelKey, ct, []byte(adSGXReq))
+		if err != nil {
+			return nil, tee.Halt("request failed authentication", err)
+		}
+		result, err := p.store.Apply(op)
+		if err != nil {
+			return nil, tee.Halt("operation rejected", err)
+		}
+		reply, err := aead.Seal(p.channelKey, result, []byte(adSGXResp))
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, reply)
+	}
+	if p.counter != nil {
+		// One increment per batch; with BatchSize 1 this is the paper's
+		// per-request TMC cost that caps throughput near 12 ops/s.
+		p.counter.Increment()
+	}
+	p.chargeFootprint(env)
+	blob, err := p.sealState(env)
+	if err != nil {
+		return nil, err
+	}
+	return (&core.BatchResult{Replies: replies, StateBlob: blob}).Encode(), nil
+}
+
+func (p *SGXProgram) sealState(env tee.Env) ([]byte, error) {
+	snapshot, err := p.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(12 + len(snapshot))
+	var counterValue uint64
+	if p.counter != nil {
+		counterValue = p.counter.Read()
+	}
+	w.U64(counterValue)
+	w.Var(snapshot)
+	return aead.Seal(env.SealingKey(), w.Bytes(), []byte(adSGXState))
+}
+
+// SGXStateSlot exposes the storage slot the host must persist batch
+// results into (the host.Server stores under core.SlotStateBlob; the
+// baseline server wrapper remaps it).
+func SGXStateSlot() string { return sgxStateSlot }
+
+// SealSGXRequest encrypts one operation for the SGX baseline's channel —
+// exported for harnesses that assemble whole batches (e.g. the benchmark
+// loader, which populates a TMC-protected store with one batch so the
+// counter increments once instead of once per record).
+func SealSGXRequest(key aead.Key, op []byte) ([]byte, error) {
+	return aead.Seal(key, op, []byte(adSGXReq))
+}
+
+// sgxSession is the client side of the SGX baseline.
+type sgxSession struct {
+	conn transport.Conn
+	key  aead.Key
+}
+
+// NewSGXSession connects a client session to an SGX-baseline server.
+func NewSGXSession(conn transport.Conn, key aead.Key) Session {
+	return &sgxSession{conn: conn, key: key}
+}
+
+func (s *sgxSession) do(op []byte) ([]byte, error) {
+	ct, err := aead.Seal(s.key, op, []byte(adSGXReq))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, ct)); err != nil {
+		return nil, fmt.Errorf("sgx-kvs: send: %w", err)
+	}
+	frame, err := s.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("sgx-kvs: recv: %w", err)
+	}
+	respCT, err := wire.DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Open(s.key, respCT, []byte(adSGXResp))
+}
+
+// Get implements Session.
+func (s *sgxSession) Get(key string) ([]byte, bool, error) {
+	raw, err := s.do(kvs.Get(key))
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := kvs.DecodeResult(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// Put implements Session.
+func (s *sgxSession) Put(key, value string) error {
+	raw, err := s.do(kvs.Put(key, value))
+	if err != nil {
+		return err
+	}
+	res, err := kvs.DecodeResult(raw)
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		return errors.New("sgx-kvs: put not acknowledged")
+	}
+	return nil
+}
+
+// Close implements Session.
+func (s *sgxSession) Close() error { return s.conn.Close() }

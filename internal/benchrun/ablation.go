@@ -1,0 +1,44 @@
+package benchrun
+
+import (
+	"fmt"
+	"time"
+)
+
+// AblationPoint is one row of the design-choice ablations (beyond the
+// paper's figures; DESIGN.md motivates each).
+type AblationPoint struct {
+	Name       string
+	X          int
+	Throughput float64
+	MeanLat    time.Duration
+}
+
+// RunBatchAblation sweeps the batching depth for LCM at a fixed client
+// count, quantifying the Sec. 5.2 design choice (the paper only reports
+// batch 1 and 16).
+func RunBatchAblation(cfg RunConfig, batches []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(batches) == 0 {
+		batches = []int{1, 2, 4, 8, 16, 32}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — LCM batching depth (8 clients, async writes)")
+	var points []AblationPoint
+	for _, b := range batches {
+		p, err := measureLCMWithBatch(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+		fmt.Fprintf(cfg.Out, "batch=%-3d thr=%9.1f ops/s mean=%v\n", p.X, p.Throughput, p.MeanLat.Round(time.Microsecond))
+	}
+	return points, nil
+}
+
+func measureLCMWithBatch(cfg RunConfig, batch int) (AblationPoint, error) {
+	p, err := measureWith(SysLCMBatch, 8, 100, false, batch, cfg)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	return AblationPoint{Name: "lcm-batch", X: batch, Throughput: p.Throughput, MeanLat: p.MeanLat}, nil
+}

@@ -1,0 +1,200 @@
+package benchrun
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"lcm/internal/latency"
+)
+
+// quickCfg runs each point for a fraction of a second with latencies
+// scaled down, keeping the full-matrix smoke tests fast while still
+// exercising every deployment path.
+func quickCfg(t *testing.T) RunConfig {
+	t.Helper()
+	return RunConfig{
+		Duration: 150 * time.Millisecond,
+		Scale:    0.05,
+		Clients:  []int{1, 4},
+		Sizes:    []int{100, 1000},
+		Records:  50,
+		Dir:      t.TempDir(),
+		Out:      io.Discard,
+	}
+}
+
+func TestDeployAllSystems(t *testing.T) {
+	for _, sys := range AllSystems() {
+		t.Run(string(sys), func(t *testing.T) {
+			dep, err := Deploy(sys, Options{
+				Model:   latency.Scaled(0.01),
+				Dir:     t.TempDir(),
+				Clients: 4,
+			})
+			if err != nil {
+				t.Fatalf("Deploy: %v", err)
+			}
+			defer dep.Close()
+			s, err := dep.NewSession()
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			defer s.Close()
+			if err := s.Put("k", "v"); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			v, found, err := s.Get("k")
+			if err != nil || !found || string(v) != "v" {
+				t.Fatalf("Get = %q %v %v", v, found, err)
+			}
+		})
+	}
+}
+
+func TestRunFig4Smoke(t *testing.T) {
+	points, err := RunFig4(quickCfg(t))
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	// 2 systems × 2 sizes.
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Errors > 0 {
+			t.Fatalf("%s size=%d reported %d errors", p.System, p.X, p.Errors)
+		}
+		if p.Throughput <= 0 {
+			t.Fatalf("%s size=%d throughput = %f", p.System, p.X, p.Throughput)
+		}
+	}
+}
+
+func TestRunFig5Smoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Clients = []int{2}
+	points, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	if len(points) != len(AllSystems()) {
+		t.Fatalf("points = %d, want %d", len(points), len(AllSystems()))
+	}
+	for _, p := range points {
+		if p.Errors > 0 {
+			t.Fatalf("%s reported %d errors", p.System, p.Errors)
+		}
+	}
+}
+
+func TestRunFig6Smoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Clients = []int{2}
+	// Keep only the systems with distinct sync-write paths to stay fast.
+	points, err := runClientSweep(cfg, true, []System{SysNative, SysRedis, SysLCM, SysLCMBatch})
+	if err != nil {
+		t.Fatalf("sync sweep: %v", err)
+	}
+	for _, p := range points {
+		if p.Errors > 0 {
+			t.Fatalf("%s reported %d errors", p.System, p.Errors)
+		}
+	}
+}
+
+func TestSeriesRatio(t *testing.T) {
+	points := []Point{
+		{System: SysLCM, X: 1, Throughput: 80},
+		{System: SysSGX, X: 1, Throughput: 100},
+		{System: SysLCM, X: 2, Throughput: 95},
+		{System: SysSGX, X: 2, Throughput: 100},
+	}
+	lo, hi := SeriesRatio(points, SysLCM, SysSGX)
+	if lo != 0.8 || hi != 0.95 {
+		t.Fatalf("SeriesRatio = %f..%f, want 0.8..0.95", lo, hi)
+	}
+}
+
+func TestRunMemorySmoke(t *testing.T) {
+	points, err := RunMemory(MemoryConfig{
+		Steps:         []int{200, 400, 800},
+		EPCLimitBytes: 100 << 10, // 100 KiB: the knee lands inside the sweep
+		ProbeOps:      50,
+		Scale:         1.0,
+	}, nil)
+	if err != nil {
+		t.Fatalf("RunMemory: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Resident size must grow monotonically...
+	for i := 1; i < len(points); i++ {
+		if points[i].ResidentMB <= points[i-1].ResidentMB {
+			t.Fatalf("resident did not grow: %+v", points)
+		}
+	}
+	// ...and the last point must be past the EPC with visibly higher
+	// latency (the Sec. 6.2 knee).
+	last := points[len(points)-1]
+	if !last.PastEPC {
+		t.Fatalf("sweep never crossed the EPC limit: %+v", last)
+	}
+	if last.LatencyGain < 1.2 {
+		t.Fatalf("latency gain past EPC = %.2fx, want visible paging penalty", last.LatencyGain)
+	}
+}
+
+func TestRunMsgSize(t *testing.T) {
+	rows := RunMsgSize(nil)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.InvokeOverhead != 45 {
+			t.Fatalf("invoke overhead = %d, want 45 (Sec. 6.3)", r.InvokeOverhead)
+		}
+		if r.ReplyOverhead != rows[0].ReplyOverhead {
+			t.Fatal("reply overhead varies with object size")
+		}
+	}
+}
+
+func TestRunBatchAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	points, err := RunBatchAblation(cfg, []int{1, 8})
+	if err != nil {
+		t.Fatalf("RunBatchAblation: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+}
+
+func TestRunTMCSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Clients = []int{1}
+	cfg.Duration = 300 * time.Millisecond
+	points, err := RunTMC(cfg)
+	if err != nil {
+		t.Fatalf("RunTMC: %v", err)
+	}
+	var tmcThr, lcmThr float64
+	for _, p := range points {
+		switch p.System {
+		case SysSGXTMC:
+			tmcThr = p.Throughput
+		case SysLCMBatch:
+			lcmThr = p.Throughput
+		}
+	}
+	// Even at 0.05 scale (3ms TMC increments) the counter-bound system
+	// must be far slower than LCM with batching.
+	if tmcThr <= 0 || lcmThr <= 0 {
+		t.Fatalf("throughputs: tmc=%f lcm=%f", tmcThr, lcmThr)
+	}
+	if lcmThr < 2*tmcThr {
+		t.Fatalf("LCM (%f) not meaningfully faster than TMC (%f)", lcmThr, tmcThr)
+	}
+}

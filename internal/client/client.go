@@ -1,0 +1,212 @@
+// Package client wraps the LCM client protocol (core.Client, Alg. 1) with
+// a network session: it sends INVOKE frames to the untrusted server,
+// matches replies, applies the retry mechanism of Sec. 4.6.1 on timeouts,
+// and persists the client state so a crashed client can resume.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/core"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// ErrTimeout reports that an operation's reply did not arrive within the
+// configured timeout even after retries. The operation may or may not have
+// executed; the session keeps it pending so a later Retry (or a resumed
+// session) can learn its outcome safely.
+var ErrTimeout = errors.New("client: reply timeout")
+
+// ErrSessionClosed reports use of a closed session.
+var ErrSessionClosed = errors.New("client: session closed")
+
+// Config tunes a Session.
+type Config struct {
+	// Timeout bounds the wait for each reply; 0 means no timeout.
+	Timeout time.Duration
+	// Retries is how many times a timed-out operation is re-sent with
+	// the retry marker before giving up.
+	Retries int
+}
+
+// Session is a connected LCM client. It is safe for use by one goroutine
+// at a time (LCM clients are sequential by design, Sec. 4.1).
+type Session struct {
+	proto *core.Client
+	conn  transport.Conn
+	cfg   Config
+
+	recvCh    chan recvResult
+	closeOnce sync.Once
+	closed    chan struct{}
+	readerWG  sync.WaitGroup
+}
+
+type recvResult struct {
+	frame []byte
+	err   error
+}
+
+// New creates a session for a fresh client.
+func New(conn transport.Conn, id uint32, kc aead.Key, cfg Config) *Session {
+	return newSession(conn, core.NewClient(id, kc), cfg)
+}
+
+// Resume creates a session from persisted client state (crash recovery).
+// If the state holds a pending operation, the first Do-equivalent step is
+// to call Recover, which retries it.
+func Resume(conn transport.Conn, state *core.ClientState, kc aead.Key, cfg Config) *Session {
+	return newSession(conn, core.ResumeClient(state, kc), cfg)
+}
+
+func newSession(conn transport.Conn, proto *core.Client, cfg Config) *Session {
+	s := &Session{
+		proto:  proto,
+		conn:   conn,
+		cfg:    cfg,
+		recvCh: make(chan recvResult, 1),
+		closed: make(chan struct{}),
+	}
+	s.readerWG.Add(1)
+	go func() {
+		defer s.readerWG.Done()
+		for {
+			frame, err := conn.Recv()
+			select {
+			case s.recvCh <- recvResult{frame: frame, err: err}:
+			case <-s.closed:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// ID returns the client identifier.
+func (s *Session) ID() uint32 { return s.proto.ID() }
+
+// LastSeq returns the sequence number of the last completed operation.
+func (s *Session) LastSeq() uint64 { return s.proto.LastSeq() }
+
+// LastStable returns the latest majority-stable sequence number known.
+func (s *Session) LastStable() uint64 { return s.proto.LastStable() }
+
+// IsStable reports whether the operation with the given sequence number is
+// known to be majority-stable.
+func (s *Session) IsStable(seq uint64) bool { return s.proto.IsStable(seq) }
+
+// State snapshots the persistent client state for stable storage.
+func (s *Session) State() *core.ClientState { return s.proto.State() }
+
+// Err returns the violation detected by this client, if any.
+func (s *Session) Err() error { return s.proto.Err() }
+
+// Do invokes one operation and waits for its verified result.
+func (s *Session) Do(op []byte) (*core.Result, error) {
+	invoke, err := s.proto.Invoke(op)
+	if err != nil {
+		return nil, err
+	}
+	return s.roundTrip(invoke)
+}
+
+// Recover completes a pending operation left over from a crash or
+// timeout by re-sending it with the retry marker. It fails with
+// core.ErrNoPendingOperation when nothing is pending.
+func (s *Session) Recover() (*core.Result, error) {
+	invoke, err := s.proto.RetryMessage()
+	if err != nil {
+		return nil, err
+	}
+	return s.roundTrip(invoke)
+}
+
+func (s *Session) roundTrip(invoke []byte) (*core.Result, error) {
+	if err := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, invoke)); err != nil {
+		return nil, fmt.Errorf("client: send invoke: %w", err)
+	}
+	attempts := 0
+	for {
+		frame, err := s.awaitFrame()
+		if errors.Is(err, ErrTimeout) {
+			if attempts >= s.cfg.Retries {
+				return nil, ErrTimeout
+			}
+			attempts++
+			retry, rerr := s.proto.RetryMessage()
+			if rerr != nil {
+				return nil, rerr
+			}
+			if serr := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, retry)); serr != nil {
+				return nil, fmt.Errorf("client: send retry: %w", serr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		reply, err := wire.DecodeResponse(frame)
+		if err != nil {
+			// The server reported an error (e.g. a halted enclave).
+			return nil, err
+		}
+		return s.proto.ProcessReply(reply)
+	}
+}
+
+func (s *Session) awaitFrame() ([]byte, error) {
+	var timeout <-chan time.Time
+	if s.cfg.Timeout > 0 {
+		timer := time.NewTimer(s.cfg.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case res := <-s.recvCh:
+		if res.err != nil {
+			return nil, fmt.Errorf("client: recv: %w", res.err)
+		}
+		return res.frame, nil
+	case <-timeout:
+		return nil, ErrTimeout
+	case <-s.closed:
+		return nil, ErrSessionClosed
+	}
+}
+
+// ECall forwards a raw enclave call through this connection — the path a
+// remote admin uses for attestation, provisioning, membership and
+// migration. The call is synchronous; do not interleave it with Do.
+func (s *Session) ECall(payload []byte) ([]byte, error) {
+	if err := s.conn.Send(wire.EncodeFrame(wire.FrameECall, payload)); err != nil {
+		return nil, fmt.Errorf("client: send ecall: %w", err)
+	}
+	frame, err := s.awaitFrame()
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResponse(frame)
+}
+
+// Close shuts the session down and releases the reader goroutine.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	err := s.conn.Close()
+	s.readerWG.Wait()
+	return err
+}
+
+// AdminConn adapts a transport connection into a core.CallFunc for admins
+// operating over the network.
+func AdminConn(conn transport.Conn) (core.CallFunc, func() error) {
+	s := newSession(conn, core.NewClient(0, aead.Key{}), Config{})
+	return s.ECall, s.Close
+}

@@ -1,0 +1,318 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/core"
+	"lcm/internal/hashchain"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// stubServer implements just enough of the host protocol to exercise the
+// session: it decrypts invokes, applies scripted behaviours (drop, delay,
+// error) and produces protocol-correct replies.
+type stubServer struct {
+	t    *testing.T
+	conn transport.Conn
+	kc   aead.Key
+
+	mu        sync.Mutex
+	seq       uint64
+	chain     hashchain.Value
+	dropNext  int  // drop the next n replies
+	errorNext bool // answer the next invoke with an error frame
+
+	wg sync.WaitGroup
+}
+
+func newStubPair(t *testing.T) (*stubServer, transport.Conn) {
+	t.Helper()
+	kc, err := aead.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := transport.Pipe()
+	s := &stubServer{t: t, conn: serverConn, kc: kc}
+	s.wg.Add(1)
+	go s.loop()
+	t.Cleanup(func() {
+		serverConn.Close()
+		clientConn.Close()
+		s.wg.Wait()
+	})
+	return s, clientConn
+}
+
+func (s *stubServer) loop() {
+	defer s.wg.Done()
+	for {
+		frame, err := s.conn.Recv()
+		if err != nil {
+			return
+		}
+		kind, payload, err := wire.DecodeFrame(frame)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case wire.FrameECall:
+			// Echo for ECall tests.
+			_ = s.conn.Send(wire.OKFrame(append([]byte("ecall:"), payload...)))
+		case wire.FrameInvoke:
+			s.handleInvoke(payload)
+		}
+	}
+}
+
+func (s *stubServer) handleInvoke(ct []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plain, err := aead.Open(s.kc, ct, []byte("lcm/msg/invoke/v1"))
+	if err != nil {
+		_ = s.conn.Send(wire.ErrorFrame(err))
+		return
+	}
+	inv, err := wire.DecodeInvoke(plain)
+	if err != nil {
+		_ = s.conn.Send(wire.ErrorFrame(err))
+		return
+	}
+	if s.errorNext {
+		s.errorNext = false
+		_ = s.conn.Send(wire.ErrorFrame(errors.New("injected server error")))
+		return
+	}
+	// A retry for an op we already executed: resend the same reply shape.
+	if !(inv.Retry && inv.TC < s.seq) {
+		s.seq++
+		s.chain = hashchain.Extend(s.chain, inv.Op, s.seq, inv.ClientID)
+	}
+	rep := wire.Reply{
+		T:      s.seq,
+		H:      s.chain,
+		Result: append([]byte("result:"), inv.Op...),
+		Q:      0,
+		HCPrev: inv.HC,
+	}
+	repCT, err := aead.Seal(s.kc, rep.Encode(), []byte("lcm/msg/reply/v1"))
+	if err != nil {
+		s.t.Errorf("seal reply: %v", err)
+		return
+	}
+	if s.dropNext > 0 {
+		s.dropNext--
+		return // reply lost
+	}
+	_ = s.conn.Send(wire.OKFrame(repCT))
+}
+
+func TestSessionDoRoundTrip(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 2 * time.Second})
+	defer sess.Close()
+
+	res, err := sess.Do([]byte("op-1"))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if string(res.Value) != "result:op-1" || res.Seq != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if sess.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d", sess.LastSeq())
+	}
+}
+
+func TestSessionRetryAfterDroppedReply(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 150 * time.Millisecond, Retries: 2})
+	defer sess.Close()
+
+	srv.mu.Lock()
+	srv.dropNext = 1
+	srv.mu.Unlock()
+
+	start := time.Now()
+	res, err := sess.Do([]byte("op"))
+	if err != nil {
+		t.Fatalf("Do with dropped reply: %v", err)
+	}
+	if res.Seq != 1 {
+		t.Fatalf("seq = %d", res.Seq)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatal("retry happened before the timeout elapsed")
+	}
+}
+
+func TestSessionTimeoutExhaustsRetries(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 80 * time.Millisecond, Retries: 1})
+	defer sess.Close()
+
+	srv.mu.Lock()
+	srv.dropNext = 10 // drop everything
+	srv.mu.Unlock()
+
+	if _, err := sess.Do([]byte("op")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Do = %v, want ErrTimeout", err)
+	}
+	// The operation is still pending; a later Recover can complete it.
+	srv.mu.Lock()
+	srv.dropNext = 0
+	srv.mu.Unlock()
+	res, err := sess.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.Seq != 1 {
+		t.Fatalf("recovered seq = %d", res.Seq)
+	}
+}
+
+func TestSessionServerErrorSurfaces(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 2 * time.Second})
+	defer sess.Close()
+
+	srv.mu.Lock()
+	srv.errorNext = true
+	srv.mu.Unlock()
+
+	if _, err := sess.Do([]byte("op")); err == nil {
+		t.Fatal("Do succeeded despite server error frame")
+	}
+}
+
+func TestSessionECall(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 2 * time.Second})
+	defer sess.Close()
+
+	resp, err := sess.ECall([]byte("status"))
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if string(resp) != "ecall:status" {
+		t.Fatalf("ECall response = %q", resp)
+	}
+}
+
+func TestSessionStateAndResume(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 7, srv.kc, Config{Timeout: 2 * time.Second})
+	if _, err := sess.Do([]byte("op-1")); err != nil {
+		t.Fatal(err)
+	}
+	state := sess.State()
+	sess.Close()
+
+	conn2, serverConn2 := transport.Pipe()
+	srv2 := &stubServer{t: t, conn: serverConn2, kc: srv.kc}
+	// Continue the history where the first stub left off.
+	srv2.seq, srv2.chain = srv.seq, srv.chain
+	srv2.wg.Add(1)
+	go srv2.loop()
+	defer func() {
+		serverConn2.Close()
+		srv2.wg.Wait()
+	}()
+
+	resumed := Resume(conn2, state, srv.kc, Config{Timeout: 2 * time.Second})
+	defer resumed.Close()
+	if resumed.ID() != 7 || resumed.LastSeq() != 1 {
+		t.Fatalf("resumed id=%d seq=%d", resumed.ID(), resumed.LastSeq())
+	}
+	res, err := resumed.Do([]byte("op-2"))
+	if err != nil {
+		t.Fatalf("resumed Do: %v", err)
+	}
+	if res.Seq != 2 {
+		t.Fatalf("resumed seq = %d", res.Seq)
+	}
+}
+
+func TestSessionCloseUnblocksPendingDo(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{}) // no timeout: would block forever
+
+	srv.mu.Lock()
+	srv.dropNext = 10
+	srv.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Do([]byte("op"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	sess.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Do returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not unblock on Close")
+	}
+}
+
+func TestSessionStabilityAccessors(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 2 * time.Second})
+	defer sess.Close()
+	if sess.LastStable() != 0 || sess.IsStable(1) {
+		t.Fatal("fresh session claims stability")
+	}
+	if sess.Err() != nil {
+		t.Fatalf("fresh session Err = %v", sess.Err())
+	}
+	if _, err := sess.Do([]byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.IsStable(0) {
+		t.Fatal("seq 0 must always be stable")
+	}
+}
+
+func TestSessionRejectsCorruptedReply(t *testing.T) {
+	// A stub that flips a byte in every reply.
+	kc, _ := aead.NewKey()
+	clientConn, serverConn := transport.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		frame, err := serverConn.Recv()
+		if err != nil {
+			return
+		}
+		_, payload, _ := wire.DecodeFrame(frame)
+		// Reflect the invoke ciphertext (tampered) as the reply.
+		payload[0] ^= 1
+		_ = serverConn.Send(wire.OKFrame(payload))
+	}()
+	defer func() {
+		serverConn.Close()
+		wg.Wait()
+	}()
+
+	sess := New(clientConn, 1, kc, Config{Timeout: 2 * time.Second})
+	defer sess.Close()
+	_, err := sess.Do([]byte("op"))
+	if !errors.Is(err, core.ErrViolationDetected) {
+		t.Fatalf("Do with corrupted reply = %v, want violation", err)
+	}
+	// The session is now poisoned.
+	if _, err := sess.Do([]byte("next")); !errors.Is(err, core.ErrViolationDetected) {
+		t.Fatalf("Do after violation = %v", err)
+	}
+	if sess.Err() == nil {
+		t.Fatal("Err() did not record the violation")
+	}
+}

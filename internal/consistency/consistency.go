@@ -1,0 +1,336 @@
+// Package consistency verifies the guarantee LCM promises its clients:
+// fork-linearizability (Sec. 3.2.1). A test harness records every
+// completed operation — its client, assigned sequence number, operation
+// bytes, result and hash-chain value — and the checker validates that the
+// collected views could have been produced by a fork-linearizable
+// execution:
+//
+//  1. Each client's view is well-formed: strictly increasing sequence
+//     numbers, non-decreasing stability, stability never ahead of the
+//     sequence.
+//  2. Views agree below joins: whenever two clients observe the same
+//     sequence number, either their chain values match (same fork) or —
+//     once they have diverged at some sequence number — they never agree
+//     on any later one ("forked forever", the no-join property).
+//  3. Each fork's combined history is consistent with the functionality F:
+//     replaying the recorded operations in sequence order through a fresh
+//     service reproduces every recorded result, and the recorded chain
+//     values match a recomputation of the hash chain.
+//  4. Majority-stability is honoured: an operation a client reports stable
+//     must lie on the common prefix of a majority of clients' views.
+package consistency
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lcm/internal/hashchain"
+	"lcm/internal/service"
+)
+
+// Event is one completed operation as observed by a client.
+type Event struct {
+	Client uint32
+	Seq    uint64
+	Stable uint64
+	Op     []byte
+	Result []byte
+	Chain  hashchain.Value
+}
+
+// Log collects events from concurrent clients.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{}
+}
+
+// Record appends one event. Safe for concurrent use.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Op = append([]byte(nil), e.Op...)
+	e.Result = append([]byte(nil), e.Result...)
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of all recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// ViolationError describes a consistency violation found by Check.
+type ViolationError struct {
+	Rule   string
+	Detail string
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("consistency: %s: %s", e.Rule, e.Detail)
+}
+
+func violation(rule, format string, args ...any) error {
+	return &ViolationError{Rule: rule, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Check validates the recorded events against fork-linearizability for the
+// functionality produced by newService. A nil return means the history is
+// fork-linearizable; tests combine it with detection assertions (either
+// every client is consistent, or someone detected the attack).
+func (l *Log) Check(newService service.Factory) error {
+	events := l.Events()
+
+	byClient := make(map[uint32][]Event)
+	for _, e := range events {
+		byClient[e.Client] = append(byClient[e.Client], e)
+	}
+
+	// Rule 1: per-client well-formedness. Events were recorded in
+	// completion order per client.
+	for id, evs := range byClient {
+		var lastSeq, lastStable uint64
+		for i, e := range evs {
+			if e.Seq <= lastSeq {
+				return violation("sequence-monotonicity",
+					"client %d: op %d returned seq %d after seq %d", id, i, e.Seq, lastSeq)
+			}
+			if e.Stable < lastStable {
+				return violation("stability-monotonicity",
+					"client %d: stable regressed from %d to %d", id, lastStable, e.Stable)
+			}
+			if e.Stable > e.Seq {
+				return violation("stability-bound",
+					"client %d: stable %d ahead of seq %d", id, e.Stable, e.Seq)
+			}
+			lastSeq, lastStable = e.Seq, e.Stable
+		}
+	}
+
+	// Index chain values by (client, seq) for the cross-view rules.
+	views := make(map[uint32]map[uint64]obs, len(byClient))
+	for id, evs := range byClient {
+		view := make(map[uint64]obs, len(evs))
+		for _, e := range evs {
+			view[e.Seq] = obs{chain: e.Chain, event: e}
+		}
+		views[id] = view
+	}
+
+	// Rule 2: no join after fork, for every client pair.
+	ids := make([]uint32, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if err := checkNoJoin(ids[i], views[ids[i]], ids[j], views[ids[j]]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Partition clients into forks: two clients share a fork iff their
+	// views agree on every common sequence number. (After rule 2, "ever
+	// disagree" is equivalent to "disagree from some point on".)
+	forks := partitionForks(ids, views)
+
+	// Rule 3: each fork's combined history replays correctly.
+	for _, fork := range forks {
+		if err := replayFork(fork, byClient, newService); err != nil {
+			return err
+		}
+	}
+
+	// Rule 4: majority stability. For each client event, operations with
+	// seq ≤ Stable must be observed identically by a majority of the
+	// whole group (clients that never completed an op count toward n but
+	// cannot be witnesses).
+	n := len(byClient)
+	for id, evs := range byClient {
+		for _, e := range evs {
+			if e.Stable == 0 {
+				continue
+			}
+			// A witness is a client whose view includes an event at or
+			// beyond Stable on the same fork as id.
+			witnesses := 0
+			for _, other := range ids {
+				if sameFork(forks, id, other) && maxSeq(byClient[other]) >= e.Stable {
+					witnesses++
+				}
+			}
+			if 2*witnesses <= n {
+				return violation("majority-stability",
+					"client %d reported seq %d stable with only %d/%d witnesses",
+					id, e.Stable, witnesses, n)
+			}
+		}
+	}
+	return nil
+}
+
+func maxSeq(evs []Event) uint64 {
+	var m uint64
+	for _, e := range evs {
+		if e.Seq > m {
+			m = e.Seq
+		}
+	}
+	return m
+}
+
+// checkNoJoin enforces: once two views disagree at some sequence number,
+// they never agree at any later one.
+func checkNoJoin(idA uint32, a map[uint64]obs, idB uint32, b map[uint64]obs) error {
+	common := make([]uint64, 0)
+	for seq := range a {
+		if _, ok := b[seq]; ok {
+			common = append(common, seq)
+		}
+	}
+	sort.Slice(common, func(i, j int) bool { return common[i] < common[j] })
+	diverged := false
+	var divergedAt uint64
+	for _, seq := range common {
+		agree := a[seq].chain == b[seq].chain
+		if diverged && agree {
+			return violation("no-join-after-fork",
+				"clients %d and %d diverged at seq %d but agree again at seq %d",
+				idA, idB, divergedAt, seq)
+		}
+		if !diverged && !agree {
+			diverged = true
+			divergedAt = seq
+		}
+	}
+	return nil
+}
+
+type obs struct {
+	chain hashchain.Value
+	event Event
+}
+
+// partitionForks groups clients whose views are mutually consistent.
+func partitionForks(ids []uint32, views map[uint32]map[uint64]obs) [][]uint32 {
+	parent := make(map[uint32]uint32, len(ids))
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, id := range ids {
+		parent[id] = id
+	}
+	consistent := func(a, b map[uint64]obs) bool {
+		for seq, oa := range a {
+			if ob, ok := b[seq]; ok && ob.chain != oa.chain {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if consistent(views[ids[i]], views[ids[j]]) {
+				parent[find(ids[i])] = find(ids[j])
+			}
+		}
+	}
+	groups := make(map[uint32][]uint32)
+	for _, id := range ids {
+		root := find(id)
+		groups[root] = append(groups[root], id)
+	}
+	out := make([][]uint32, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func sameFork(forks [][]uint32, a, b uint32) bool {
+	for _, fork := range forks {
+		inA, inB := false, false
+		for _, id := range fork {
+			if id == a {
+				inA = true
+			}
+			if id == b {
+				inB = true
+			}
+		}
+		if inA {
+			return inB
+		}
+	}
+	return false
+}
+
+// replayFork replays one fork's combined operations in sequence order
+// through a fresh service and validates results and chain values.
+func replayFork(fork []uint32, byClient map[uint32][]Event, newService service.Factory) error {
+	var all []Event
+	for _, id := range fork {
+		all = append(all, byClient[id]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+
+	// Duplicate sequence numbers within one fork would mean two distinct
+	// operations share a slot.
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq == all[i-1].Seq {
+			return violation("unique-sequence",
+				"fork %v: clients %d and %d both hold seq %d",
+				fork, all[i-1].Client, all[i].Client, all[i].Seq)
+		}
+	}
+
+	// Replay. Views may have gaps (operations by clients whose records we
+	// lack); replay is only sound on a gap-free prefix, so validate up to
+	// the first gap.
+	svc := newService()
+	chain := hashchain.Initial()
+	expected := uint64(1)
+	for _, e := range all {
+		if e.Seq != expected {
+			break // gap: a client outside the recorded set owns this slot
+		}
+		result, err := svc.Apply(e.Op)
+		if err != nil {
+			return violation("replay", "fork %v: op at seq %d rejected: %v", fork, e.Seq, err)
+		}
+		if !bytes.Equal(result, e.Result) {
+			return violation("replay",
+				"fork %v: result at seq %d diverges from a linearizable execution", fork, e.Seq)
+		}
+		chain = hashchain.Extend(chain, e.Op, e.Seq, e.Client)
+		if chain != e.Chain {
+			return violation("hash-chain",
+				"fork %v: chain at seq %d does not match recomputation", fork, e.Seq)
+		}
+		expected++
+	}
+	return nil
+}

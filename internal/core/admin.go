@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/securechannel"
+	"lcm/internal/tee"
+)
+
+// CallFunc performs one ecall into a trusted execution context. Hosts
+// provide it to admins; in a distributed deployment it travels over the
+// network through the (untrusted) server.
+type CallFunc func(payload []byte) ([]byte, error)
+
+// Admin is the special client of Sec. 4.3 that bootstraps a trusted
+// execution context: it verifies remote attestation, generates the
+// protocol keys, injects them over a secure channel, and distributes the
+// communication key to the clients. It also performs the group-membership
+// changes of Sec. 4.6.3.
+type Admin struct {
+	attestation *tee.AttestationService
+	measurement tee.Measurement
+
+	kp       aead.Key
+	kc       aead.Key
+	adminSeq uint64
+	clients  []uint32
+}
+
+// NewAdmin creates an admin that will only trust enclaves running the
+// program with the given identity, verified against the attestation
+// service.
+func NewAdmin(attestation *tee.AttestationService, programIdentity string) *Admin {
+	return &Admin{
+		attestation: attestation,
+		measurement: tee.Measure(programIdentity),
+	}
+}
+
+// CommunicationKey returns kC for distribution to the clients (over
+// secure channels, outside this package's scope).
+func (a *Admin) CommunicationKey() aead.Key { return a.kc }
+
+// StateKey returns kP; the admin retains it for administrative messages
+// and for disaster recovery (migrating T when the origin is lost).
+func (a *Admin) StateKey() aead.Key { return a.kp }
+
+// Clients returns the current group membership as known to the admin.
+func (a *Admin) Clients() []uint32 {
+	return append([]uint32(nil), a.clients...)
+}
+
+// attest runs the remote-attestation handshake against call and returns
+// the enclave's verified secure-channel public key.
+func (a *Admin) attest(call CallFunc) ([]byte, error) {
+	nonce, err := randNonce()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := call(EncodeAttestCall(nonce))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: attest call: %w", err)
+	}
+	quote, err := DecodeQuote(resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.attestation.Verify(*quote, a.measurement, nonce); err != nil {
+		return nil, fmt.Errorf("lcm: attestation: %w", err)
+	}
+	return quote.UserData, nil
+}
+
+// Bootstrap performs phases 2 and 3 of Sec. 4.3 against a freshly created
+// trusted execution context: remote attestation, key generation, and key
+// injection together with the initial client group.
+func (a *Admin) Bootstrap(call CallFunc, clients []uint32) error {
+	if len(clients) == 0 {
+		return errors.New("lcm: bootstrap requires at least one client")
+	}
+	channelPub, err := a.attest(call)
+	if err != nil {
+		return err
+	}
+	kp, err := aead.NewKey()
+	if err != nil {
+		return err
+	}
+	kc, err := aead.NewKey()
+	if err != nil {
+		return err
+	}
+	payload := provisionPayload{KP: kp.Bytes(), KC: kc.Bytes(), Clients: clients}
+	senderPub, ct, err := securechannel.Seal(channelPub, payload.encode())
+	if err != nil {
+		return fmt.Errorf("lcm: seal provision: %w", err)
+	}
+	if _, err := call(EncodeProvisionCall(senderPub, ct)); err != nil {
+		return fmt.Errorf("lcm: provision call: %w", err)
+	}
+	a.kp, a.kc = kp, kc
+	a.adminSeq = 0
+	a.clients = append([]uint32(nil), clients...)
+	return nil
+}
+
+// sendAdminOp seals and delivers one membership change.
+func (a *Admin) sendAdminOp(call CallFunc, op *AdminOp) error {
+	if a.kp.IsZero() {
+		return errors.New("lcm: admin has not bootstrapped")
+	}
+	op.Seq = a.adminSeq + 1
+	ct, err := aead.Seal(a.kp, op.encode(), []byte(adAdminMsg))
+	if err != nil {
+		return fmt.Errorf("lcm: seal admin op: %w", err)
+	}
+	if _, err := call(EncodeAdminCall(ct)); err != nil {
+		return fmt.Errorf("lcm: admin call: %w", err)
+	}
+	a.adminSeq = op.Seq
+	return nil
+}
+
+// AddClient admits a new client to the group (Sec. 4.6.3). The admin then
+// shares kC with the new client out of band.
+func (a *Admin) AddClient(call CallFunc, id uint32) error {
+	for _, existing := range a.clients {
+		if existing == id {
+			return fmt.Errorf("lcm: client %d already in group", id)
+		}
+	}
+	if err := a.sendAdminOp(call, &AdminOp{Kind: adminAddClient, ClientID: id}); err != nil {
+		return err
+	}
+	a.clients = append(a.clients, id)
+	return nil
+}
+
+// RemoveClient evicts a client: a fresh communication key k'C is generated,
+// installed in T, and returned for distribution to the remaining clients
+// (Sec. 4.6.3). The removed client, not knowing k'C, is cut off.
+func (a *Admin) RemoveClient(call CallFunc, id uint32) (aead.Key, error) {
+	newKC, err := aead.NewKey()
+	if err != nil {
+		return aead.Key{}, err
+	}
+	op := &AdminOp{Kind: adminRemoveClient, ClientID: id, NewKC: newKC.Bytes()}
+	if err := a.sendAdminOp(call, op); err != nil {
+		return aead.Key{}, err
+	}
+	kept := a.clients[:0]
+	for _, existing := range a.clients {
+		if existing != id {
+			kept = append(kept, existing)
+		}
+	}
+	a.clients = kept
+	a.kc = newKC
+	return newKC, nil
+}
+
+// Migrate orchestrates Sec. 4.6.2 from the host's perspective: the origin
+// enclave challenges and attests the target, then hands over kP and its
+// state through a secure channel; the target installs and re-seals it. The
+// two CallFuncs reach the origin and target enclaves respectively. No
+// trusted third party participates — the origin enclave itself acts as the
+// admin for the target.
+func Migrate(origin, target CallFunc) error {
+	nonce, err := origin(EncodeMigrateChallengeCall())
+	if err != nil {
+		return fmt.Errorf("lcm: migration challenge: %w", err)
+	}
+	quoteBytes, err := target(EncodeAttestCall(nonce))
+	if err != nil {
+		return fmt.Errorf("lcm: target attest: %w", err)
+	}
+	exportBytes, err := origin(EncodeMigrateExportCall(quoteBytes))
+	if err != nil {
+		return fmt.Errorf("lcm: migration export: %w", err)
+	}
+	export, err := DecodeMigrationExport(exportBytes)
+	if err != nil {
+		return err
+	}
+	if _, err := target(EncodeMigrateImportCall(export)); err != nil {
+		return fmt.Errorf("lcm: migration import: %w", err)
+	}
+	return nil
+}
+
+// QueryStatus fetches a trusted context's status.
+func QueryStatus(call CallFunc) (*Status, error) {
+	resp, err := call(EncodeStatusCall())
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStatus(resp)
+}

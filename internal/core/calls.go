@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/tee"
+	"lcm/internal/wire"
+)
+
+// Enclave-call kinds. These payloads cross the host/enclave boundary (the
+// ecall interface of Sec. 5.1); their sensitive contents are protected by
+// inner encryption layers, never by the framing itself.
+const (
+	callBatch byte = iota + 1
+	callAttest
+	callProvision
+	callAdmin
+	callMigrateChallenge
+	callMigrateExport
+	callMigrateImport
+	callStatus
+)
+
+// EncodeBatchCall frames a batch of encrypted INVOKE messages for a single
+// ecall — the request-batching optimization of Sec. 5.2, which amortizes
+// the enclave transition and the per-batch state sealing.
+func EncodeBatchCall(invokes [][]byte) []byte {
+	size := 5
+	for _, in := range invokes {
+		size += 4 + len(in)
+	}
+	w := wire.NewWriter(size)
+	w.U8(callBatch)
+	w.U32(uint32(len(invokes)))
+	for _, in := range invokes {
+		w.Var(in)
+	}
+	return w.Bytes()
+}
+
+func decodeBatchCall(r *wire.Reader) ([][]byte, error) {
+	n := r.U32()
+	invokes := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		invokes = append(invokes, r.Var())
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode batch call: %w", err)
+	}
+	return invokes, nil
+}
+
+// DecodeBatchCall parses a full batch-call payload (as produced by
+// EncodeBatchCall). It is exported for enclave programs that share the
+// host's batching framing, such as the SGX baseline of Sec. 6.
+func DecodeBatchCall(payload []byte) ([][]byte, error) {
+	if len(payload) == 0 || payload[0] != callBatch {
+		return nil, errors.New("lcm: not a batch call")
+	}
+	return decodeBatchCall(wire.NewReader(payload[1:]))
+}
+
+// IsBatchCall reports whether an ecall payload is a batch call.
+func IsBatchCall(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == callBatch
+}
+
+// BatchResult is the enclave's response to a batch call: one encrypted
+// REPLY per invoke, in order, plus the sealed state blob the host must
+// persist (piggybacked on the reply instead of an ocall, Sec. 5.2).
+type BatchResult struct {
+	Replies   [][]byte
+	StateBlob []byte
+}
+
+// Encode serializes a batch result; the inverse of DecodeBatchResult.
+func (res *BatchResult) Encode() []byte { return encodeBatchResult(res) }
+
+func encodeBatchResult(res *BatchResult) []byte {
+	size := 9 + len(res.StateBlob)
+	for _, rep := range res.Replies {
+		size += 4 + len(rep)
+	}
+	w := wire.NewWriter(size)
+	w.U32(uint32(len(res.Replies)))
+	for _, rep := range res.Replies {
+		w.Var(rep)
+	}
+	w.Var(res.StateBlob)
+	return w.Bytes()
+}
+
+// DecodeBatchResult parses the enclave's batch response (host side).
+func DecodeBatchResult(b []byte) (*BatchResult, error) {
+	r := wire.NewReader(b)
+	n := r.U32()
+	res := &BatchResult{Replies: make([][]byte, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		res.Replies = append(res.Replies, r.Var())
+	}
+	res.StateBlob = r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode batch result: %w", err)
+	}
+	return res, nil
+}
+
+// EncodeAttestCall requests a quote for the verifier's nonce. The enclave
+// answers with a quote whose user data is its secure-channel public key.
+func EncodeAttestCall(nonce []byte) []byte {
+	w := wire.NewWriter(5 + len(nonce))
+	w.U8(callAttest)
+	w.Var(nonce)
+	return w.Bytes()
+}
+
+func encodeQuote(q *tee.Quote) []byte {
+	w := wire.NewWriter(64 + len(q.Nonce) + len(q.UserData) + len(q.MAC))
+	w.Var([]byte(q.PlatformID))
+	w.Bytes32(q.Measurement)
+	w.Var(q.Nonce)
+	w.Var(q.UserData)
+	w.Var(q.MAC)
+	return w.Bytes()
+}
+
+// DecodeQuote parses an encoded quote (verifier side).
+func DecodeQuote(b []byte) (*tee.Quote, error) {
+	r := wire.NewReader(b)
+	q := &tee.Quote{}
+	q.PlatformID = string(r.Var())
+	q.Measurement = tee.Measurement(r.Bytes32())
+	q.Nonce = r.Var()
+	q.UserData = r.Var()
+	q.MAC = r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode quote: %w", err)
+	}
+	return q, nil
+}
+
+// EncodeProvisionCall carries the admin's key injection: the admin's
+// ephemeral public key and a secure-channel ciphertext containing kP, kC
+// and the client group (Sec. 4.3, phase 3).
+func EncodeProvisionCall(senderPub, ciphertext []byte) []byte {
+	w := wire.NewWriter(9 + len(senderPub) + len(ciphertext))
+	w.U8(callProvision)
+	w.Var(senderPub)
+	w.Var(ciphertext)
+	return w.Bytes()
+}
+
+// provisionPayload is the plaintext inside the provisioning ciphertext.
+type provisionPayload struct {
+	KP      []byte
+	KC      []byte
+	Clients []uint32
+}
+
+func (p *provisionPayload) encode() []byte {
+	w := wire.NewWriter(16 + len(p.KP) + len(p.KC) + 4*len(p.Clients))
+	w.Var(p.KP)
+	w.Var(p.KC)
+	w.U32(uint32(len(p.Clients)))
+	for _, id := range p.Clients {
+		w.U32(id)
+	}
+	return w.Bytes()
+}
+
+func decodeProvisionPayload(b []byte) (*provisionPayload, error) {
+	r := wire.NewReader(b)
+	p := &provisionPayload{KP: r.Var(), KC: r.Var()}
+	n := r.U32()
+	for i := uint32(0); i < n; i++ {
+		p.Clients = append(p.Clients, r.U32())
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode provision payload: %w", err)
+	}
+	return p, nil
+}
+
+// Admin operation kinds (Sec. 4.6.3).
+const (
+	adminAddClient byte = iota + 1
+	adminRemoveClient
+)
+
+// AdminOp is a group-membership change. Remove carries the fresh
+// communication key k'C that replaces kC for the remaining clients.
+type AdminOp struct {
+	Seq      uint64 // strictly increasing; replay protection
+	Kind     byte
+	ClientID uint32
+	NewKC    []byte // remove only
+}
+
+func (op *AdminOp) encode() []byte {
+	w := wire.NewWriter(32 + len(op.NewKC))
+	w.U64(op.Seq)
+	w.U8(op.Kind)
+	w.U32(op.ClientID)
+	w.Var(op.NewKC)
+	return w.Bytes()
+}
+
+func decodeAdminOp(b []byte) (*AdminOp, error) {
+	r := wire.NewReader(b)
+	op := &AdminOp{
+		Seq:      r.U64(),
+		Kind:     r.U8(),
+		ClientID: r.U32(),
+	}
+	op.NewKC = r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode admin op: %w", err)
+	}
+	return op, nil
+}
+
+// EncodeAdminCall frames an encrypted admin operation (sealed under kP).
+func EncodeAdminCall(ciphertext []byte) []byte {
+	w := wire.NewWriter(5 + len(ciphertext))
+	w.U8(callAdmin)
+	w.Var(ciphertext)
+	return w.Bytes()
+}
+
+// EncodeMigrateChallengeCall asks the origin enclave for a fresh nonce to
+// challenge the migration target with (Sec. 4.6.2).
+func EncodeMigrateChallengeCall() []byte {
+	return []byte{callMigrateChallenge}
+}
+
+// EncodeMigrateExportCall hands the target's quote to the origin enclave.
+// On success the origin returns its ephemeral public key and the state
+// ciphertext sealed to the target's channel key, and stops processing.
+func EncodeMigrateExportCall(quote []byte) []byte {
+	w := wire.NewWriter(5 + len(quote))
+	w.U8(callMigrateExport)
+	w.Var(quote)
+	return w.Bytes()
+}
+
+// MigrationExport is the origin's output: a secure-channel message only
+// the attested target enclave can open.
+type MigrationExport struct {
+	SenderPub  []byte
+	Ciphertext []byte
+}
+
+func encodeMigrationExport(m *MigrationExport) []byte {
+	w := wire.NewWriter(8 + len(m.SenderPub) + len(m.Ciphertext))
+	w.Var(m.SenderPub)
+	w.Var(m.Ciphertext)
+	return w.Bytes()
+}
+
+// DecodeMigrationExport parses the origin's migration export.
+func DecodeMigrationExport(b []byte) (*MigrationExport, error) {
+	r := wire.NewReader(b)
+	m := &MigrationExport{SenderPub: r.Var(), Ciphertext: r.Var()}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode migration export: %w", err)
+	}
+	return m, nil
+}
+
+// EncodeMigrateImportCall delivers the origin's export to the target.
+func EncodeMigrateImportCall(m *MigrationExport) []byte {
+	inner := encodeMigrationExport(m)
+	w := wire.NewWriter(5 + len(inner))
+	w.U8(callMigrateImport)
+	w.Var(inner)
+	return w.Bytes()
+}
+
+// EncodeStatusCall requests the trusted context's public status.
+func EncodeStatusCall() []byte {
+	return []byte{callStatus}
+}
+
+// Status describes a trusted context's externally visible state. It leaks
+// nothing beyond what the (untrusted) host can infer anyway from message
+// counts.
+type Status struct {
+	Provisioned bool
+	Migrated    bool
+	Epoch       uint64
+	Seq         uint64 // t: last assigned sequence number
+	Stable      uint64 // q: latest majority-stable sequence number
+	AdminSeq    uint64
+	NumClients  int
+}
+
+func encodeStatus(s *Status) []byte {
+	w := wire.NewWriter(40)
+	w.Bool(s.Provisioned)
+	w.Bool(s.Migrated)
+	w.U64(s.Epoch)
+	w.U64(s.Seq)
+	w.U64(s.Stable)
+	w.U64(s.AdminSeq)
+	w.U32(uint32(s.NumClients))
+	return w.Bytes()
+}
+
+// DecodeStatus parses a status response.
+func DecodeStatus(b []byte) (*Status, error) {
+	r := wire.NewReader(b)
+	s := &Status{
+		Provisioned: r.Bool(),
+		Migrated:    r.Bool(),
+		Epoch:       r.U64(),
+		Seq:         r.U64(),
+		Stable:      r.U64(),
+		AdminSeq:    r.U64(),
+	}
+	s.NumClients = int(r.U32())
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode status: %w", err)
+	}
+	return s, nil
+}

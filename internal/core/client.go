@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/hashchain"
+	"lcm/internal/wire"
+)
+
+// Associated-data labels binding ciphertexts to their protocol role, so a
+// malicious server cannot reflect an INVOKE back as a REPLY or transplant
+// a sealed blob into a message.
+const (
+	adInvoke = "lcm/msg/invoke/v1"
+	adReply  = "lcm/msg/reply/v1"
+)
+
+// Result is the response event of a completed operation: the operation
+// result r, the sequence number t assigned by the trusted context, and the
+// latest majority-stable sequence number q (Sec. 4.2.3).
+type Result struct {
+	Value  []byte
+	Seq    uint64
+	Stable uint64
+}
+
+// Client implements Alg. 1, the LCM protocol for client Ci. It holds only
+// small, constant state: the last sequence number tc, the last
+// majority-stable sequence number ts, the last hash-chain value hc and the
+// communication key kC.
+//
+// A Client is not safe for concurrent use; the protocol requires each
+// client to invoke operations sequentially (Sec. 4.1).
+type Client struct {
+	id uint32
+	kc aead.Key
+
+	tc uint64
+	ts uint64
+	hc hashchain.Value
+
+	pending  []byte // the buffered operation u, nil if none outstanding
+	poisoned error  // first detected violation; sticky
+}
+
+// NewClient creates a fresh client with identifier id and the group's
+// communication key.
+func NewClient(id uint32, kc aead.Key) *Client {
+	return &Client{id: id, kc: kc}
+}
+
+// ClientState is the crash-recoverable persistent state of a client
+// (Sec. 4.2.3 requires client state to be recoverable from stable
+// storage). It intentionally excludes kC, which an admin re-distributes
+// through a secure channel rather than laying it on disk unprotected.
+type ClientState struct {
+	ID      uint32
+	TC      uint64
+	TS      uint64
+	HC      hashchain.Value
+	Pending []byte // operation awaiting a reply, if any
+}
+
+// Encode serializes the state for stable storage.
+func (s *ClientState) Encode() []byte {
+	w := wire.NewWriter(64 + len(s.Pending))
+	w.U32(s.ID)
+	w.U64(s.TC)
+	w.U64(s.TS)
+	w.Bytes32(s.HC)
+	w.Bool(s.Pending != nil)
+	w.Var(s.Pending)
+	return w.Bytes()
+}
+
+// DecodeClientState parses a state blob produced by Encode.
+func DecodeClientState(b []byte) (*ClientState, error) {
+	r := wire.NewReader(b)
+	s := &ClientState{
+		ID: r.U32(),
+		TC: r.U64(),
+		TS: r.U64(),
+		HC: r.Bytes32(),
+	}
+	hasPending := r.Bool()
+	pending := r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode client state: %w", err)
+	}
+	if hasPending {
+		s.Pending = pending
+	}
+	return s, nil
+}
+
+// State snapshots the client's persistent state.
+func (c *Client) State() *ClientState {
+	s := &ClientState{ID: c.id, TC: c.tc, TS: c.ts, HC: c.hc}
+	if c.pending != nil {
+		s.Pending = append([]byte(nil), c.pending...)
+	}
+	return s
+}
+
+// ResumeClient reconstructs a client from persisted state after a crash.
+// If an operation was pending, the caller should send RetryMessage to
+// learn its outcome.
+func ResumeClient(s *ClientState, kc aead.Key) *Client {
+	c := &Client{id: s.ID, kc: kc, tc: s.TC, ts: s.TS, hc: s.HC}
+	if s.Pending != nil {
+		c.pending = append([]byte(nil), s.Pending...)
+	}
+	return c
+}
+
+// ID returns the client identifier i.
+func (c *Client) ID() uint32 { return c.id }
+
+// LastSeq returns tc, the sequence number of the last completed operation.
+func (c *Client) LastSeq() uint64 { return c.tc }
+
+// LastStable returns ts, the latest majority-stable sequence number known
+// to this client.
+func (c *Client) LastStable() uint64 { return c.ts }
+
+// IsStable reports whether the operation that returned sequence number seq
+// is known to be stable among a majority (Definition 2).
+func (c *Client) IsStable(seq uint64) bool { return seq <= c.ts }
+
+// HasPending reports whether an operation awaits its reply.
+func (c *Client) HasPending() bool { return c.pending != nil }
+
+// Err returns the violation this client detected, or nil.
+func (c *Client) Err() error { return c.poisoned }
+
+func (c *Client) poison(err error) error {
+	wrapped := fmt.Errorf("%w: %w", ErrViolationDetected, err)
+	if c.poisoned == nil {
+		c.poisoned = wrapped
+	}
+	return wrapped
+}
+
+// encodeInvoke builds and encrypts the INVOKE message for the pending op.
+func (c *Client) encodeInvoke(retry bool) ([]byte, error) {
+	msg := wire.Invoke{
+		ClientID: c.id,
+		TC:       c.tc,
+		HC:       c.hc,
+		Op:       c.pending,
+		Retry:    retry,
+	}
+	ct, err := aead.Seal(c.kc, msg.Encode(), []byte(adInvoke))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal invoke: %w", err)
+	}
+	return ct, nil
+}
+
+// Invoke buffers operation op and returns the encrypted INVOKE message to
+// send to the server. It fails if a previous operation is still pending.
+func (c *Client) Invoke(op []byte) ([]byte, error) {
+	if c.poisoned != nil {
+		return nil, c.poisoned
+	}
+	if c.pending != nil {
+		return nil, ErrPendingOperation
+	}
+	c.pending = append([]byte(nil), op...)
+	return c.encodeInvoke(false)
+}
+
+// RetryMessage re-encodes the pending operation with the retry marker set
+// (Sec. 4.6.1), for use after a reply timeout or a client restart.
+func (c *Client) RetryMessage() ([]byte, error) {
+	if c.poisoned != nil {
+		return nil, c.poisoned
+	}
+	if c.pending == nil {
+		return nil, ErrNoPendingOperation
+	}
+	return c.encodeInvoke(true)
+}
+
+// ProcessReply verifies and consumes the REPLY message for the pending
+// operation, returning the operation result together with its sequence
+// number and the latest majority-stable sequence number.
+//
+// Any verification failure means the server misbehaved; the client records
+// the violation and refuses all further use.
+func (c *Client) ProcessReply(ciphertext []byte) (*Result, error) {
+	if c.poisoned != nil {
+		return nil, c.poisoned
+	}
+	if c.pending == nil {
+		return nil, ErrNoPendingOperation
+	}
+	plain, err := aead.Open(c.kc, ciphertext, []byte(adReply))
+	if err != nil {
+		return nil, c.poison(ErrReplyAuth)
+	}
+	rep, err := wire.DecodeReply(plain)
+	if err != nil {
+		return nil, c.poison(fmt.Errorf("%w: %w", ErrReplyAuth, err))
+	}
+	// assert h'c = hc (Alg. 1).
+	if rep.HCPrev != c.hc {
+		return nil, c.poison(ErrReplyMismatch)
+	}
+	// Defensive monotonicity checks (Sec. 3.2.2).
+	if rep.T <= c.tc {
+		return nil, c.poison(ErrNonMonotonicSeq)
+	}
+	if rep.Q < c.ts || rep.Q > rep.T {
+		return nil, c.poison(ErrNonMonotonicStable)
+	}
+	// (tc, ts, hc) ← (t, q, h).
+	c.tc, c.ts, c.hc = rep.T, rep.Q, rep.H
+	c.pending = nil
+	return &Result{Value: rep.Result, Seq: rep.T, Stable: rep.Q}, nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lcm/internal/aead"
+	"lcm/internal/hashchain"
+	"lcm/internal/wire"
+)
+
+// fakeEnclave produces well-formed REPLYs for client tests without a full
+// trusted context.
+type fakeEnclave struct {
+	kc aead.Key
+	t  uint64
+	h  hashchain.Value
+	q  uint64
+}
+
+func (f *fakeEnclave) reply(t *testing.T, invokeCT []byte, result []byte) []byte {
+	t.Helper()
+	plain, err := aead.Open(f.kc, invokeCT, []byte(adInvoke))
+	if err != nil {
+		t.Fatalf("fake enclave: open invoke: %v", err)
+	}
+	inv, err := wire.DecodeInvoke(plain)
+	if err != nil {
+		t.Fatalf("fake enclave: decode invoke: %v", err)
+	}
+	f.t++
+	f.h = hashchain.Extend(f.h, inv.Op, f.t, inv.ClientID)
+	rep := wire.Reply{T: f.t, H: f.h, Result: result, Q: f.q, HCPrev: inv.HC}
+	ct, err := aead.Seal(f.kc, rep.Encode(), []byte(adReply))
+	if err != nil {
+		t.Fatalf("fake enclave: seal reply: %v", err)
+	}
+	return ct
+}
+
+func newClientPair(t *testing.T) (*Client, *fakeEnclave) {
+	t.Helper()
+	kc, err := aead.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(1, kc), &fakeEnclave{kc: kc}
+}
+
+func TestClientInvokeReplyCycle(t *testing.T) {
+	c, enc := newClientPair(t)
+	ct, err := c.Invoke([]byte("op-1"))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if !c.HasPending() {
+		t.Fatal("no pending op after Invoke")
+	}
+	res, err := c.ProcessReply(enc.reply(t, ct, []byte("result-1")))
+	if err != nil {
+		t.Fatalf("ProcessReply: %v", err)
+	}
+	if string(res.Value) != "result-1" || res.Seq != 1 || res.Stable != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if c.HasPending() || c.LastSeq() != 1 {
+		t.Fatalf("client state after reply: pending=%v tc=%d", c.HasPending(), c.LastSeq())
+	}
+
+	// Second operation advances the chain.
+	ct, err = c.Invoke([]byte("op-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.q = 1
+	res, err = c.ProcessReply(enc.reply(t, ct, []byte("result-2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 2 || res.Stable != 1 {
+		t.Fatalf("second result = %+v", res)
+	}
+	if !c.IsStable(1) || c.IsStable(2) {
+		t.Fatalf("stability view: ts=%d", c.LastStable())
+	}
+}
+
+func TestClientSequentialInvocationEnforced(t *testing.T) {
+	c, _ := newClientPair(t)
+	if _, err := c.Invoke([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke([]byte("b")); !errors.Is(err, ErrPendingOperation) {
+		t.Fatalf("second Invoke = %v, want ErrPendingOperation", err)
+	}
+}
+
+func TestClientProcessReplyWithoutPending(t *testing.T) {
+	c, _ := newClientPair(t)
+	if _, err := c.ProcessReply([]byte("x")); !errors.Is(err, ErrNoPendingOperation) {
+		t.Fatalf("ProcessReply = %v, want ErrNoPendingOperation", err)
+	}
+	if _, err := c.RetryMessage(); !errors.Is(err, ErrNoPendingOperation) {
+		t.Fatalf("RetryMessage = %v, want ErrNoPendingOperation", err)
+	}
+}
+
+func TestClientRejectsTamperedReply(t *testing.T) {
+	c, enc := newClientPair(t)
+	ct, _ := c.Invoke([]byte("op"))
+	rep := enc.reply(t, ct, []byte("r"))
+	rep[len(rep)-1] ^= 1
+	_, err := c.ProcessReply(rep)
+	if !errors.Is(err, ErrReplyAuth) || !errors.Is(err, ErrViolationDetected) {
+		t.Fatalf("tampered reply = %v", err)
+	}
+	// The client is now poisoned: fail-aware behaviour.
+	if _, err := c.Invoke([]byte("next")); !errors.Is(err, ErrViolationDetected) {
+		t.Fatalf("Invoke after violation = %v", err)
+	}
+}
+
+// A REPLY whose echoed h'c does not match hc must be rejected: it answers
+// a different invocation — the signature of a rollback/forking attack.
+func TestClientRejectsMismatchedReply(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c1 := NewClient(1, kc)
+	enc := &fakeEnclave{kc: kc}
+
+	// Build a history of two ops so c1.hc is non-initial.
+	ct, _ := c1.Invoke([]byte("op-1"))
+	if _, err := c1.ProcessReply(enc.reply(t, ct, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server replays the reply to op-1 as the answer to op-2.
+	ct2, _ := c1.Invoke([]byte("op-2"))
+	_ = ct2
+	stale := wire.Reply{T: 1, H: enc.h, Result: nil, Q: 0, HCPrev: hashchain.Initial()}
+	staleCT, _ := aead.Seal(kc, stale.Encode(), []byte(adReply))
+	if _, err := c1.ProcessReply(staleCT); !errors.Is(err, ErrReplyMismatch) {
+		t.Fatalf("mismatched reply = %v, want ErrReplyMismatch", err)
+	}
+}
+
+func TestClientRejectsNonMonotonicSeq(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(1, kc)
+	enc := &fakeEnclave{kc: kc}
+	ct, _ := c.Invoke([]byte("op-1"))
+	if _, err := c.ProcessReply(enc.reply(t, ct, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft a reply with the correct h'c but a stale sequence number.
+	_, _ = c.Invoke([]byte("op-2"))
+	bad := wire.Reply{T: 1, H: enc.h, Q: 0, HCPrev: enc.h} // T not > tc
+	badCT, _ := aead.Seal(kc, bad.Encode(), []byte(adReply))
+	if _, err := c.ProcessReply(badCT); !errors.Is(err, ErrNonMonotonicSeq) {
+		t.Fatalf("stale seq = %v, want ErrNonMonotonicSeq", err)
+	}
+}
+
+func TestClientRejectsRegressingStable(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(1, kc)
+	enc := &fakeEnclave{kc: kc, q: 0}
+
+	ct, _ := c.Invoke([]byte("op-1"))
+	enc.q = 1 // the reply to op-1 carries q=1 (t will be 1)
+	if _, err := c.ProcessReply(enc.reply(t, ct, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Next reply claims q regressed to 0.
+	_, _ = c.Invoke([]byte("op-2"))
+	h2 := hashchain.Extend(enc.h, []byte("op-2"), 2, 1)
+	bad := wire.Reply{T: 2, H: h2, Q: 0, HCPrev: enc.h}
+	badCT, _ := aead.Seal(kc, bad.Encode(), []byte(adReply))
+	if _, err := c.ProcessReply(badCT); !errors.Is(err, ErrNonMonotonicStable) {
+		t.Fatalf("regressed stable = %v, want ErrNonMonotonicStable", err)
+	}
+}
+
+func TestClientRejectsStableAboveSeq(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(1, kc)
+	_, _ = c.Invoke([]byte("op-1"))
+	h1 := hashchain.Extend(hashchain.Initial(), []byte("op-1"), 1, 1)
+	bad := wire.Reply{T: 1, H: h1, Q: 5, HCPrev: hashchain.Initial()}
+	badCT, _ := aead.Seal(kc, bad.Encode(), []byte(adReply))
+	if _, err := c.ProcessReply(badCT); !errors.Is(err, ErrNonMonotonicStable) {
+		t.Fatalf("q > t = %v, want ErrNonMonotonicStable", err)
+	}
+}
+
+// An INVOKE reflected back at the client must not be accepted as a REPLY
+// (the associated-data labels separate the two directions).
+func TestClientRejectsReflectedInvoke(t *testing.T) {
+	c, _ := newClientPair(t)
+	ct, _ := c.Invoke([]byte("op"))
+	if _, err := c.ProcessReply(ct); !errors.Is(err, ErrReplyAuth) {
+		t.Fatalf("reflected invoke = %v, want ErrReplyAuth", err)
+	}
+}
+
+func TestRetryMessageCarriesSameContext(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(3, kc)
+	first, err := c.Invoke([]byte("op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := c.RetryMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(ct []byte) *wire.Invoke {
+		plain, err := aead.Open(kc, ct, []byte(adInvoke))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := wire.DecodeInvoke(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inv
+	}
+	a, b := decode(first), decode(retry)
+	if a.Retry {
+		t.Fatal("first send already marked retry")
+	}
+	if !b.Retry {
+		t.Fatal("retry not marked")
+	}
+	if a.TC != b.TC || a.HC != b.HC || !bytes.Equal(a.Op, b.Op) {
+		t.Fatal("retry changed the invocation context")
+	}
+}
+
+func TestClientStatePersistenceRoundTrip(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(9, kc)
+	enc := &fakeEnclave{kc: kc}
+	ct, _ := c.Invoke([]byte("op-1"))
+	if _, err := c.ProcessReply(enc.reply(t, ct, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with a pending op.
+	if _, err := c.Invoke([]byte("op-2")); err != nil {
+		t.Fatal(err)
+	}
+
+	blob := c.State().Encode()
+	state, err := DecodeClientState(blob)
+	if err != nil {
+		t.Fatalf("DecodeClientState: %v", err)
+	}
+	resumed := ResumeClient(state, kc)
+	if resumed.ID() != 9 || resumed.LastSeq() != 1 || !resumed.HasPending() {
+		t.Fatalf("resumed client: id=%d tc=%d pending=%v",
+			resumed.ID(), resumed.LastSeq(), resumed.HasPending())
+	}
+	// The resumed client can retry and complete the pending op.
+	retry, err := resumed.RetryMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.ProcessReply(enc.reply(t, retry, []byte("late")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 2 || string(res.Value) != "late" {
+		t.Fatalf("resumed result = %+v", res)
+	}
+}
+
+func TestClientStateWithoutPending(t *testing.T) {
+	kc, _ := aead.NewKey()
+	c := NewClient(1, kc)
+	state, err := DecodeClientState(c.State().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Pending != nil {
+		t.Fatal("fresh client state has pending op")
+	}
+	if ResumeClient(state, kc).HasPending() {
+		t.Fatal("resumed fresh client has pending op")
+	}
+}
+
+func TestDecodeClientStateRejectsGarbage(t *testing.T) {
+	if _, err := DecodeClientState([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeClientState accepted garbage")
+	}
+}

@@ -1,0 +1,80 @@
+// Package core implements the LCM protocol of Sec. 4: the client side
+// (Alg. 1), the trusted-execution-context side (Alg. 2) packaged as a
+// tee.Program, operation stability (Sec. 4.5), and the extensions of
+// Sec. 4.6 — crash-tolerant retries, enclave migration and dynamic group
+// membership.
+package core
+
+import "errors"
+
+// Client-side detection errors. Each corresponds to a failed assert in
+// Alg. 1 or one of the defensive monotonicity checks; once any of them is
+// returned the client refuses further operations (fail-aware behaviour).
+var (
+	// ErrReplyAuth reports a REPLY that failed authenticated decryption:
+	// the server tampered with, or fabricated, a message.
+	ErrReplyAuth = errors.New("lcm: reply failed authentication")
+
+	// ErrReplyMismatch reports a REPLY whose echoed hash-chain value h'c
+	// does not match the client's hc — the assert of Alg. 1. It means
+	// the reply does not answer the client's most recent INVOKE.
+	ErrReplyMismatch = errors.New("lcm: reply does not match pending invocation (possible rollback or forking attack)")
+
+	// ErrNonMonotonicSeq reports a REPLY carrying a sequence number not
+	// greater than the client's last one; sequence numbers returned at
+	// one client are strictly increasing (Sec. 3.2.2).
+	ErrNonMonotonicSeq = errors.New("lcm: sequence number not strictly increasing")
+
+	// ErrNonMonotonicStable reports a stable sequence number that
+	// decreased or overtook the operation sequence number; stable
+	// sequence numbers never decrease (Sec. 3.2.2).
+	ErrNonMonotonicStable = errors.New("lcm: stable sequence number regressed")
+
+	// ErrViolationDetected is wrapped by every error above; callers can
+	// match it to learn "the server misbehaved" without distinguishing
+	// the symptom.
+	ErrViolationDetected = errors.New("lcm: server misbehaviour detected")
+
+	// ErrPendingOperation reports an Invoke while a previous operation
+	// is still outstanding; LCM clients invoke sequentially (Sec. 4.1).
+	ErrPendingOperation = errors.New("lcm: an operation is already pending")
+
+	// ErrNoPendingOperation reports a Retry or ProcessReply with no
+	// operation outstanding.
+	ErrNoPendingOperation = errors.New("lcm: no operation pending")
+
+	// ErrClientPoisoned reports any use of a client that has already
+	// detected a violation.
+	ErrClientPoisoned = errors.New("lcm: client halted after detecting server misbehaviour")
+)
+
+// Trusted-side errors (returned from enclave calls without halting).
+var (
+	// ErrNotProvisioned reports an operation on a trusted context that
+	// has not completed bootstrapping (Sec. 4.3).
+	ErrNotProvisioned = errors.New("lcm: trusted context not provisioned")
+
+	// ErrAlreadyProvisioned reports a second provisioning attempt.
+	ErrAlreadyProvisioned = errors.New("lcm: trusted context already provisioned")
+
+	// ErrMigratedAway reports an operation on a trusted context that has
+	// exported its state to a migration target and stopped processing
+	// (Sec. 4.6.2).
+	ErrMigratedAway = errors.New("lcm: trusted context migrated to another platform")
+
+	// ErrAdminAuth reports an administrative message that failed
+	// authentication.
+	ErrAdminAuth = errors.New("lcm: admin message failed authentication")
+
+	// ErrAdminReplay reports an administrative message with a stale
+	// sequence number.
+	ErrAdminReplay = errors.New("lcm: admin message replayed or out of order")
+
+	// ErrUnknownClient reports an operation or admin action naming a
+	// client outside the current group.
+	ErrUnknownClient = errors.New("lcm: unknown client")
+
+	// ErrMigrationAttestation reports a migration target whose quote did
+	// not verify.
+	ErrMigrationAttestation = errors.New("lcm: migration target attestation failed")
+)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcm/internal/consistency"
+	"lcm/internal/kvs"
+)
+
+// TestQuickProtocolInvariants drives random operation schedules from a
+// random-sized client group through a real enclave and checks the
+// protocol's externally visible invariants:
+//
+//   - sequence numbers are assigned strictly increasing, one per op;
+//   - every client's view of q (majority-stable) is non-decreasing and
+//     never ahead of the global sequence;
+//   - q matches Definition 2 recomputed from the acknowledgement state;
+//   - the trusted status agrees with the clients' counts.
+func TestQuickProtocolInvariants(t *testing.T) {
+	check := func(seed int64, schedule []uint8) bool {
+		if len(schedule) == 0 {
+			return true
+		}
+		if len(schedule) > 60 {
+			schedule = schedule[:60]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i + 1)
+		}
+		r := newRig(t, ids)
+
+		// acks[i] = highest sequence number client i has acknowledged to
+		// T (i.e. the tc of its most recent invocation). We mirror the
+		// protocol's own bookkeeping to validate majority-stable.
+		acks := make(map[uint32]uint64, n)
+		lastSeq := make(map[uint32]uint64, n)
+		var globalSeq uint64
+
+		for _, step := range schedule {
+			id := ids[int(step)%n]
+			// The INVOKE carries tc = the client's last completed op; T
+			// will record it as the acknowledgement.
+			acks[id] = lastSeq[id]
+			res, err := r.do(id, kvs.Put("k", string(rune('a'+step%26))))
+			if err != nil {
+				t.Logf("op failed: %v", err)
+				return false
+			}
+			globalSeq++
+			if res.Seq != globalSeq {
+				t.Logf("seq %d, want %d", res.Seq, globalSeq)
+				return false
+			}
+			lastSeq[id] = res.Seq
+
+			// Recompute Definition 2 from the mirrored acks: q is the
+			// (⌊n/2⌋+1)-th largest acknowledged number.
+			all := make([]uint64, 0, n)
+			for _, cid := range ids {
+				all = append(all, acks[cid])
+			}
+			for i := 0; i < len(all); i++ {
+				for j := i + 1; j < len(all); j++ {
+					if all[j] > all[i] {
+						all[i], all[j] = all[j], all[i]
+					}
+				}
+			}
+			wantQ := all[n/2]
+			if res.Stable != wantQ {
+				t.Logf("q = %d, want %d (acks %v)", res.Stable, wantQ, acks)
+				return false
+			}
+			if res.Stable > res.Seq {
+				return false
+			}
+		}
+
+		status, err := QueryStatus(r.enclave.Call)
+		if err != nil {
+			return false
+		}
+		return status.Seq == globalSeq && status.NumClients == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHonestRunsAreForkLinearizable replays random honest schedules
+// and validates the full histories with the consistency checker — tying
+// the implementation to the paper's correctness claim rather than to unit
+// expectations.
+func TestQuickHonestRunsAreForkLinearizable(t *testing.T) {
+	check := func(seed int64, schedule []uint8) bool {
+		if len(schedule) == 0 {
+			return true
+		}
+		if len(schedule) > 40 {
+			schedule = schedule[:40]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i + 1)
+		}
+		r := newRig(t, ids)
+		log := consistency.NewLog()
+
+		for _, step := range schedule {
+			id := ids[int(step)%n]
+			var op []byte
+			if step%3 == 0 {
+				op = kvs.Get("key")
+			} else {
+				op = kvs.Put("key", string(rune('a'+step%26)))
+			}
+			res, err := r.do(id, op)
+			if err != nil {
+				return false
+			}
+			log.Record(consistency.Event{
+				Client: id,
+				Seq:    res.Seq,
+				Stable: res.Stable,
+				Op:     op,
+				Result: res.Value,
+				Chain:  r.clients[id].State().HC,
+			})
+		}
+		return log.Check(kvs.Factory()) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRecoveryPreservesState interleaves honest enclave restarts with
+// operations at random points: the recovered state must always continue
+// the same history (no lost or duplicated sequence numbers).
+func TestQuickRecoveryPreservesState(t *testing.T) {
+	check := func(schedule []uint8) bool {
+		if len(schedule) == 0 {
+			return true
+		}
+		if len(schedule) > 30 {
+			schedule = schedule[:30]
+		}
+		r := newRig(t, []uint32{1, 2})
+		var globalSeq uint64
+		for _, step := range schedule {
+			if step%5 == 0 {
+				if err := r.enclave.Restart(); err != nil {
+					return false
+				}
+				continue
+			}
+			id := uint32(step%2 + 1)
+			res, err := r.do(id, kvs.Put("k", "v"))
+			if err != nil {
+				return false
+			}
+			globalSeq++
+			if res.Seq != globalSeq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

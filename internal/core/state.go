@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"lcm/internal/hashchain"
+	"lcm/internal/wire"
+)
+
+// Stable-storage slot names and associated-data labels for the two sealed
+// blobs of Sec. 4.3/4.4: blobkey holds kP sealed under the TEE sealing key
+// kS; blobstate holds (s, V, kC) sealed under kP.
+const (
+	SlotKeyBlob   = "lcm-keyblob"
+	SlotStateBlob = "lcm-stateblob"
+
+	adKeyBlob   = "lcm/blob/key/v1"
+	adStateBlob = "lcm/blob/state/v1"
+	adAdminMsg  = "lcm/msg/admin/v1"
+	adMigration = "lcm/migration/v1"
+)
+
+// trustedState is the plaintext of the sealed state blob: the protocol
+// state V, the communication key kC, the admin sequence number and the
+// service snapshot. The global (t, h) pair is deliberately not serialized:
+// Alg. 2's init recovers it as V[argmax(V)], and we follow the pseudocode.
+type trustedState struct {
+	AdminSeq uint64
+	KC       []byte
+	V        vmap
+	Snapshot []byte
+}
+
+func (s *trustedState) encode() []byte {
+	size := 32 + len(s.KC) + len(s.Snapshot)
+	for _, e := range s.V {
+		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
+	}
+	w := wire.NewWriter(size)
+	w.U64(s.AdminSeq)
+	w.Var(s.KC)
+	w.U32(uint32(len(s.V)))
+	for _, id := range s.V.clientIDs() {
+		e := s.V[id]
+		w.U32(id)
+		w.U64(e.TA)
+		w.Bytes32(e.HA)
+		w.U64(e.T)
+		w.Bytes32(e.H)
+		w.Var(e.LastReply)
+	}
+	w.Var(s.Snapshot)
+	return w.Bytes()
+}
+
+func decodeTrustedState(b []byte) (*trustedState, error) {
+	r := wire.NewReader(b)
+	s := &trustedState{AdminSeq: r.U64(), KC: r.Var()}
+	n := r.U32()
+	s.V = make(vmap, n)
+	for i := uint32(0); i < n; i++ {
+		id := r.U32()
+		e := &ventry{
+			TA: r.U64(),
+			HA: r.Bytes32(),
+			T:  r.U64(),
+			H:  r.Bytes32(),
+		}
+		e.LastReply = r.Var()
+		if len(e.LastReply) == 0 {
+			e.LastReply = nil
+		}
+		s.V[id] = e
+	}
+	s.Snapshot = r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode trusted state: %w", err)
+	}
+	return s, nil
+}
+
+// migrationPayload is the plaintext the origin enclave seals to the
+// migration target's channel key: the state-encryption key kP plus the
+// full current state (Sec. 4.6.2).
+type migrationPayload struct {
+	KP    []byte
+	State []byte // trustedState encoding
+}
+
+func (m *migrationPayload) encode() []byte {
+	w := wire.NewWriter(8 + len(m.KP) + len(m.State))
+	w.Var(m.KP)
+	w.Var(m.State)
+	return w.Bytes()
+}
+
+func decodeMigrationPayload(b []byte) (*migrationPayload, error) {
+	r := wire.NewReader(b)
+	m := &migrationPayload{KP: r.Var(), State: r.Var()}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode migration payload: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/hashchain"
+	"lcm/internal/securechannel"
+	"lcm/internal/service"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/wire"
+)
+
+// ProgramIdentity is the identity string measured into LCM enclaves. All
+// LCM enclaves for the same service share a measurement, which is what
+// lets a client (or a migration origin) recognize a genuine LCM target.
+func ProgramIdentity(serviceName string) string {
+	return "lcm/trusted/v1/" + serviceName
+}
+
+// Trusted implements Alg. 2 — the LCM protocol for the trusted execution
+// context T — as a tee.Program. A fresh instance is created for every
+// enclave epoch; persistent state crosses epochs only through the two
+// sealed blobs on the host's (untrusted) stable storage.
+type Trusted struct {
+	serviceName string
+	newService  service.Factory
+	attestation *tee.AttestationService // verification root for migration targets
+
+	// Volatile state, rebuilt by init from the sealed blobs.
+	svc       service.Service
+	t         uint64          // sequence number of the last executed operation
+	h         hashchain.Value // hash-chain value after it
+	v         vmap            // protocol state V
+	adminSeq  uint64
+	ks        aead.Key // sealing key (from the TEE, each epoch)
+	kp        aead.Key // protocol-state encryption key
+	kc        aead.Key // communication key
+	channel   *securechannel.Responder
+	migNonce  []byte // outstanding migration challenge, if any
+	migrated  bool
+	footprint int64 // last footprint reported to the EPC model
+}
+
+var _ tee.Program = (*Trusted)(nil)
+
+// TrustedConfig assembles a Trusted program factory.
+type TrustedConfig struct {
+	// ServiceName names the functionality F; it becomes part of the
+	// enclave measurement.
+	ServiceName string
+	// NewService creates an empty service instance (per epoch).
+	NewService service.Factory
+	// Attestation is the quote-verification root compiled into the
+	// program, used when this enclave attests a migration target. May be
+	// nil if migration is not used.
+	Attestation *tee.AttestationService
+}
+
+// NewTrustedFactory returns a tee.ProgramFactory for the LCM protocol over
+// the configured service.
+func NewTrustedFactory(cfg TrustedConfig) tee.ProgramFactory {
+	return func() tee.Program {
+		return &Trusted{
+			serviceName: cfg.ServiceName,
+			newService:  cfg.NewService,
+			attestation: cfg.Attestation,
+		}
+	}
+}
+
+// Identity implements tee.Program.
+func (p *Trusted) Identity() string { return ProgramIdentity(p.serviceName) }
+
+// Init implements tee.Program: Alg. 2's init. It obtains the sealing key,
+// loads the sealed blobs from the (untrusted) host, and either resumes
+// from the recovered state or awaits bootstrapping.
+func (p *Trusted) Init(env tee.Env) error {
+	p.ks = env.SealingKey()
+	p.svc = p.newService()
+	p.v = vmap{}
+
+	// Each epoch gets a fresh secure-channel key pair; its public key is
+	// published through attestation quotes.
+	ch, err := securechannel.NewResponder()
+	if err != nil {
+		return fmt.Errorf("lcm: init channel: %w", err)
+	}
+	p.channel = ch
+
+	blobkey, err := env.Host().Load(SlotKeyBlob)
+	if errors.Is(err, stablestore.ErrNotFound) {
+		// First start: await provisioning (Sec. 4.3).
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lcm: load key blob: %w", err)
+	}
+	kpRaw, err := aead.Open(p.ks, blobkey, []byte(adKeyBlob))
+	if err != nil {
+		// A key blob we cannot open is expected in exactly one benign
+		// scenario: this enclave runs on a different platform than the
+		// one that sealed it (shared storage during migration,
+		// Sec. 4.6.2). Await provisioning or migration import; serving
+		// requests is impossible without kP, so this is safe.
+		return nil
+	}
+	kp, err := aead.KeyFromBytes(kpRaw)
+	if err != nil {
+		return tee.Halt("key blob malformed", err)
+	}
+	blobstate, err := env.Host().Load(SlotStateBlob)
+	if errors.Is(err, stablestore.ErrNotFound) {
+		// kP exists but the state vanished: the host lost or withheld
+		// the state blob. Without it we cannot know the history; treat
+		// as violation rather than silently restarting from empty.
+		return tee.Halt("state blob missing", err)
+	}
+	if err != nil {
+		return fmt.Errorf("lcm: load state blob: %w", err)
+	}
+	statePlain, err := aead.Open(kp, blobstate, []byte(adStateBlob))
+	if err != nil {
+		return tee.Halt("state blob failed authentication", err)
+	}
+	state, err := decodeTrustedState(statePlain)
+	if err != nil {
+		return tee.Halt("state blob malformed", err)
+	}
+	return p.install(env, kp, state)
+}
+
+// install adopts a recovered (or migrated) state. Note that a stale but
+// authentic state is accepted here — that is the rollback attack, which is
+// detected at the first client invocation whose context is ahead of V.
+func (p *Trusted) install(env tee.Env, kp aead.Key, state *trustedState) error {
+	kc, err := aead.KeyFromBytes(state.KC)
+	if err != nil {
+		return tee.Halt("state kC malformed", err)
+	}
+	if err := p.svc.Restore(state.Snapshot); err != nil {
+		return tee.Halt("service snapshot malformed", err)
+	}
+	p.kp = kp
+	p.kc = kc
+	p.v = state.V
+	p.adminSeq = state.AdminSeq
+	p.t, p.h = p.v.argmax() // (·, t, h) ← V[argmax(V)]
+	p.chargeFootprint(env)
+	return nil
+}
+
+// chargeFootprint synchronizes the service's memory estimate with the
+// enclave's EPC accounting.
+func (p *Trusted) chargeFootprint(env tee.Env) {
+	now := p.svc.Footprint()
+	env.ChargeMemory(now - p.footprint)
+	p.footprint = now
+}
+
+func (p *Trusted) provisioned() bool { return !p.kp.IsZero() }
+
+// Call implements tee.Program: the ecall dispatcher.
+func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("lcm: empty call payload")
+	}
+	r := wire.NewReader(payload[1:])
+	switch payload[0] {
+	case callBatch:
+		invokes, err := decodeBatchCall(r)
+		if err != nil {
+			return nil, err
+		}
+		return p.handleBatch(env, invokes)
+	case callAttest:
+		nonce := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		quote := env.Quote(nonce, p.channel.PublicKey())
+		return encodeQuote(&quote), nil
+	case callProvision:
+		senderPub := r.Var()
+		ct := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleProvision(env, senderPub, ct)
+	case callAdmin:
+		ct := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleAdmin(env, ct)
+	case callMigrateChallenge:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleMigrateChallenge(env)
+	case callMigrateExport:
+		quote := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleMigrateExport(env, quote)
+	case callMigrateImport:
+		inner := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleMigrateImport(env, inner)
+	case callStatus:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return encodeStatus(&Status{
+			Provisioned: p.provisioned(),
+			Migrated:    p.migrated,
+			Epoch:       env.Epoch(),
+			Seq:         p.t,
+			Stable:      p.v.majorityStable(),
+			AdminSeq:    p.adminSeq,
+			NumClients:  len(p.v),
+		}), nil
+	default:
+		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
+	}
+}
+
+// handleBatch processes a batch of INVOKE messages sequentially (the main
+// loop of Alg. 2) and seals the state once per batch (Sec. 5.2).
+func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if p.migrated {
+		return nil, ErrMigratedAway
+	}
+	replies := make([][]byte, 0, len(invokes))
+	for _, ct := range invokes {
+		reply, err := p.handleInvoke(ct)
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, reply)
+	}
+	p.chargeFootprint(env)
+	blob, err := p.sealState()
+	if err != nil {
+		return nil, err
+	}
+	return encodeBatchResult(&BatchResult{Replies: replies, StateBlob: blob}), nil
+}
+
+// handleInvoke is the per-operation body of Alg. 2.
+func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, error) {
+	plain, err := aead.Open(p.kc, ciphertext, []byte(adInvoke))
+	if err != nil {
+		// Signal a violation if the message does not have valid
+		// authentication.
+		return nil, tee.Halt("invoke failed authentication", err)
+	}
+	inv, err := wire.DecodeInvoke(plain)
+	if err != nil {
+		return nil, tee.Halt("invoke malformed", err)
+	}
+	ent, ok := p.v[inv.ClientID]
+	if !ok {
+		return nil, tee.Halt("invoke from unknown client", ErrUnknownClient)
+	}
+
+	// assert V[i] = (∗, tc, hc): the client's context must match the last
+	// reply T returned to it.
+	if ent.T != inv.TC || ent.H != inv.HC {
+		// Sec. 4.6.1: a retry whose context matches the *acknowledged*
+		// entry means T processed the operation but the reply was lost;
+		// resend the cached reply instead of treating it as an attack.
+		if inv.Retry && ent.TA == inv.TC && ent.HA == inv.HC && ent.LastReply != nil {
+			return ent.LastReply, nil
+		}
+		return nil, tee.Halt("client context mismatch: rollback or forking attack", nil)
+	}
+
+	// t ← t + 1; (r, s) ← execF(s, o); h ← hash(h ‖ o ‖ t ‖ i).
+	p.t++
+	result, err := p.svc.Apply(inv.Op)
+	if err != nil {
+		// Clients are correct and mutually trusting (Sec. 2.1); an
+		// authenticated-but-malformed operation cannot happen in a
+		// conforming deployment, so treat it as a violation.
+		return nil, tee.Halt("operation rejected by service", err)
+	}
+	p.h = hashchain.Extend(p.h, inv.Op, p.t, inv.ClientID)
+
+	// V[i] ← (tc, t, h); q ← majority-stable(V).
+	ent.TA, ent.HA = inv.TC, inv.HC
+	ent.T, ent.H = p.t, p.h
+	q := p.v.majorityStable()
+
+	reply := wire.Reply{T: p.t, H: p.h, Result: result, Q: q, HCPrev: inv.HC}
+	replyCT, err := aead.Seal(p.kc, reply.Encode(), []byte(adReply))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal reply: %w", err)
+	}
+	ent.LastReply = replyCT
+	return replyCT, nil
+}
+
+// sealState produces the blob ← auth-encrypt((s, V, kC), kP) of Alg. 2.
+func (p *Trusted) sealState() ([]byte, error) {
+	snapshot, err := p.svc.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("lcm: snapshot service: %w", err)
+	}
+	state := trustedState{
+		AdminSeq: p.adminSeq,
+		KC:       p.kc.Bytes(),
+		V:        p.v,
+		Snapshot: snapshot,
+	}
+	blob, err := aead.Seal(p.kp, state.encode(), []byte(adStateBlob))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal state: %w", err)
+	}
+	return blob, nil
+}
+
+// sealKeyBlob produces blobkey ← auth-encrypt(kP, kS).
+func (p *Trusted) sealKeyBlob() ([]byte, error) {
+	blob, err := aead.Seal(p.ks, p.kp.Bytes(), []byte(adKeyBlob))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal key blob: %w", err)
+	}
+	return blob, nil
+}
+
+// persist stores both sealed blobs through the host. Used on the
+// bootstrap/admin/migration paths; the batch path piggybacks the state
+// blob on its response instead.
+func (p *Trusted) persist(env tee.Env) error {
+	keyBlob, err := p.sealKeyBlob()
+	if err != nil {
+		return err
+	}
+	stateBlob, err := p.sealState()
+	if err != nil {
+		return err
+	}
+	if err := env.Host().Store(SlotKeyBlob, keyBlob); err != nil {
+		return fmt.Errorf("lcm: store key blob: %w", err)
+	}
+	if err := env.Host().Store(SlotStateBlob, stateBlob); err != nil {
+		return fmt.Errorf("lcm: store state blob: %w", err)
+	}
+	return nil
+}
+
+// handleProvision installs the admin's keys and client group (Sec. 4.3).
+func (p *Trusted) handleProvision(env tee.Env, senderPub, ct []byte) ([]byte, error) {
+	if p.provisioned() {
+		return nil, ErrAlreadyProvisioned
+	}
+	plain, err := p.channel.Open(senderPub, ct)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: provision channel: %w", err)
+	}
+	payload, err := decodeProvisionPayload(plain)
+	if err != nil {
+		return nil, err
+	}
+	kp, err := aead.KeyFromBytes(payload.KP)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: provision kP: %w", err)
+	}
+	kc, err := aead.KeyFromBytes(payload.KC)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: provision kC: %w", err)
+	}
+	if len(payload.Clients) == 0 {
+		return nil, errors.New("lcm: provision with empty client group")
+	}
+	seen := make(map[uint32]bool, len(payload.Clients))
+	for _, id := range payload.Clients {
+		if seen[id] {
+			return nil, fmt.Errorf("lcm: provision with duplicate client %d", id)
+		}
+		seen[id] = true
+	}
+	p.kp, p.kc = kp, kc
+	p.v = newVMap(payload.Clients)
+	p.t, p.h = 0, hashchain.Initial()
+	if err := p.persist(env); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// handleAdmin applies a group-membership change (Sec. 4.6.3).
+func (p *Trusted) handleAdmin(env tee.Env, ct []byte) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if p.migrated {
+		return nil, ErrMigratedAway
+	}
+	plain, err := aead.Open(p.kp, ct, []byte(adAdminMsg))
+	if err != nil {
+		return nil, ErrAdminAuth
+	}
+	op, err := decodeAdminOp(plain)
+	if err != nil {
+		return nil, err
+	}
+	if op.Seq != p.adminSeq+1 {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrAdminReplay, op.Seq, p.adminSeq+1)
+	}
+	switch op.Kind {
+	case adminAddClient:
+		if _, exists := p.v[op.ClientID]; exists {
+			return nil, fmt.Errorf("lcm: client %d already in group", op.ClientID)
+		}
+		p.v[op.ClientID] = &ventry{}
+	case adminRemoveClient:
+		if _, exists := p.v[op.ClientID]; !exists {
+			return nil, ErrUnknownClient
+		}
+		if len(p.v) == 1 {
+			return nil, errors.New("lcm: cannot remove the last client")
+		}
+		newKC, err := aead.KeyFromBytes(op.NewKC)
+		if err != nil {
+			return nil, fmt.Errorf("lcm: remove: new kC: %w", err)
+		}
+		delete(p.v, op.ClientID)
+		p.kc = newKC
+	default:
+		return nil, fmt.Errorf("lcm: unknown admin op %d", op.Kind)
+	}
+	p.adminSeq = op.Seq
+	if err := p.persist(env); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// handleMigrateChallenge begins a migration: the origin enclave issues a
+// fresh nonce with which the host must obtain the target's quote.
+func (p *Trusted) handleMigrateChallenge(env tee.Env) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if p.migrated {
+		return nil, ErrMigratedAway
+	}
+	if p.attestation == nil {
+		return nil, errors.New("lcm: migration requires an attestation root")
+	}
+	nonce := make([]byte, 32)
+	if err := env.Rand(nonce); err != nil {
+		return nil, fmt.Errorf("lcm: migration nonce: %w", err)
+	}
+	p.migNonce = nonce
+	return append([]byte(nil), nonce...), nil
+}
+
+// handleMigrateExport verifies the target's quote (the origin takes the
+// admin's role, Sec. 4.6.2), seals kP and the full state to the target's
+// channel key, and stops processing requests.
+func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if p.migrated {
+		return nil, ErrMigratedAway
+	}
+	if p.migNonce == nil {
+		return nil, errors.New("lcm: no outstanding migration challenge")
+	}
+	quote, err := DecodeQuote(quoteBytes)
+	if err != nil {
+		return nil, err
+	}
+	// The target must run exactly this program (same measurement) on a
+	// genuine platform, and answer our fresh challenge.
+	if err := p.attestation.Verify(*quote, tee.Measure(p.Identity()), p.migNonce); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMigrationAttestation, err)
+	}
+	p.migNonce = nil
+
+	snapshot, err := p.svc.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("lcm: snapshot for migration: %w", err)
+	}
+	payload := migrationPayload{
+		KP: p.kp.Bytes(),
+		State: (&trustedState{
+			AdminSeq: p.adminSeq,
+			KC:       p.kc.Bytes(),
+			V:        p.v.clone(),
+			Snapshot: snapshot,
+		}).encode(),
+	}
+	senderPub, ct, err := securechannel.Seal(quote.UserData, payload.encode())
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal migration payload: %w", err)
+	}
+	// At this point T stops processing requests (Sec. 4.6.2).
+	p.migrated = true
+	return encodeMigrationExport(&MigrationExport{SenderPub: senderPub, Ciphertext: ct}), nil
+}
+
+// handleMigrateImport installs state received from a migration origin and
+// re-seals it under this platform's sealing key.
+func (p *Trusted) handleMigrateImport(env tee.Env, inner []byte) ([]byte, error) {
+	if p.provisioned() {
+		return nil, ErrAlreadyProvisioned
+	}
+	export, err := DecodeMigrationExport(inner)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := p.channel.Open(export.SenderPub, export.Ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: migration channel: %w", err)
+	}
+	payload, err := decodeMigrationPayload(plain)
+	if err != nil {
+		return nil, err
+	}
+	kp, err := aead.KeyFromBytes(payload.KP)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: migration kP: %w", err)
+	}
+	state, err := decodeTrustedState(payload.State)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.install(env, kp, state); err != nil {
+		return nil, err
+	}
+	if err := p.persist(env); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// randNonce is a package-level helper for admins.
+func randNonce() ([]byte, error) {
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("lcm: nonce: %w", err)
+	}
+	return nonce, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+
+	"lcm/internal/hashchain"
+)
+
+// ventry is one client's entry in the protocol state V of Alg. 2. The
+// paper stores the triple (ta, t, h):
+//
+//   - TA: the sequence number of the client's last acknowledged operation
+//     (the tc the client presented with its most recent invocation, which
+//     proves it received the reply for that operation);
+//   - T: the sequence number of the client's last operation;
+//   - H: the hash-chain value after that operation.
+//
+// The Sec. 4.6.1 crash-tolerance extension additionally caches the last
+// REPLY ciphertext so a retry after a lost reply can be answered without
+// re-executing the operation, plus HA (the chain value the client
+// presented) so a retry's context can be verified exactly.
+type ventry struct {
+	TA        uint64
+	HA        hashchain.Value
+	T         uint64
+	H         hashchain.Value
+	LastReply []byte
+}
+
+// vmap is the protocol state V: one entry per group member.
+type vmap map[uint32]*ventry
+
+// newVMap initializes V to [0]^N for the given client identifiers.
+func newVMap(clients []uint32) vmap {
+	v := make(vmap, len(clients))
+	for _, id := range clients {
+		v[id] = &ventry{}
+	}
+	return v
+}
+
+// argmax returns the entry with the highest operation sequence number,
+// implementing Alg. 2's (·, t, h) ← V[argmax(V)] used during recovery.
+// For an empty history it returns (0, h0).
+func (v vmap) argmax() (uint64, hashchain.Value) {
+	var (
+		bestT uint64
+		bestH = hashchain.Initial()
+	)
+	for _, e := range v {
+		if e.T > bestT {
+			bestT, bestH = e.T, e.H
+		}
+	}
+	return bestT, bestH
+}
+
+// majorityStable implements majority-stable(V) from Sec. 4.5: the largest
+// acknowledged sequence number a such that more than n/2 clients have
+// acknowledged operations with sequence numbers ≥ a. Every operation with
+// a sequence number ≤ the returned value is stable among a majority
+// (Definition 2): each client Cj in the witnessing set has completed an
+// operation with sequence number ≥ a — either a later operation (stable by
+// Definition 1) or its own operation with that exact number (always stable
+// w.r.t. its owner).
+//
+// Equivalently, it is the (⌊n/2⌋+1)-th largest acknowledged sequence
+// number.
+func (v vmap) majorityStable() uint64 {
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	acks := make([]uint64, 0, n)
+	for _, e := range v {
+		acks = append(acks, e.TA)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	return acks[n/2]
+}
+
+// clientIDs returns the group membership in ascending order.
+func (v vmap) clientIDs() []uint32 {
+	ids := make([]uint32, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// clone deep-copies V (used by migration export).
+func (v vmap) clone() vmap {
+	out := make(vmap, len(v))
+	for id, e := range v {
+		cp := *e
+		cp.LastReply = append([]byte(nil), e.LastReply...)
+		out[id] = &cp
+	}
+	return out
+}

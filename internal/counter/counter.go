@@ -1,0 +1,197 @@
+// Package counter implements a second functionality F: a set of named
+// integer accounts with increment, read and transfer operations. It exists
+// to demonstrate that the LCM framework is generic over the enclave
+// application (the paper's framework accepts any operation processor plus
+// serialization interface, Sec. 5.2) and serves as the workload for the
+// membership and migration examples.
+//
+// Transfers make the service's consistency guarantees observable: under a
+// forking attack, two partitions can both spend the same balance — exactly
+// the class of violation fork-linearizability lets clients detect.
+package counter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lcm/internal/service"
+	"lcm/internal/wire"
+)
+
+// Operation tags.
+const (
+	opInc byte = iota + 1
+	opRead
+	opTransfer
+)
+
+// Result status codes.
+const (
+	statusOK byte = iota + 1
+	statusInsufficient
+)
+
+// ErrMalformedOp reports an operation that does not decode.
+var ErrMalformedOp = errors.New("counter: malformed operation")
+
+// Bank is the counter service. It implements service.Service.
+type Bank struct {
+	accounts map[string]int64
+}
+
+var _ service.Service = (*Bank)(nil)
+
+// New returns an empty bank.
+func New() *Bank {
+	return &Bank{accounts: make(map[string]int64)}
+}
+
+// Factory returns a service.Factory producing empty banks.
+func Factory() service.Factory {
+	return func() service.Service { return New() }
+}
+
+// Apply implements service.Service.
+func (b *Bank) Apply(op []byte) ([]byte, error) {
+	if len(op) == 0 {
+		return nil, ErrMalformedOp
+	}
+	r := wire.NewReader(op[1:])
+	switch op[0] {
+	case opInc:
+		name := string(r.Var())
+		delta := int64(r.U64())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: inc: %v", ErrMalformedOp, err)
+		}
+		b.accounts[name] += delta
+		return encodeBalance(statusOK, b.accounts[name]), nil
+
+	case opRead:
+		name := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: read: %v", ErrMalformedOp, err)
+		}
+		return encodeBalance(statusOK, b.accounts[name]), nil
+
+	case opTransfer:
+		from := string(r.Var())
+		to := string(r.Var())
+		amount := int64(r.U64())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: transfer: %v", ErrMalformedOp, err)
+		}
+		if amount < 0 || b.accounts[from] < amount {
+			return encodeBalance(statusInsufficient, b.accounts[from]), nil
+		}
+		b.accounts[from] -= amount
+		b.accounts[to] += amount
+		return encodeBalance(statusOK, b.accounts[from]), nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrMalformedOp, op[0])
+	}
+}
+
+func encodeBalance(status byte, balance int64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(status)
+	w.U64(uint64(balance))
+	return w.Bytes()
+}
+
+// Snapshot implements service.Service with a deterministic encoding.
+func (b *Bank) Snapshot() ([]byte, error) {
+	names := make([]string, 0, len(b.accounts))
+	for n := range b.accounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := wire.NewWriter(8 + len(names)*24)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		w.Var([]byte(n))
+		w.U64(uint64(b.accounts[n]))
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements service.Service.
+func (b *Bank) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	n := r.U32()
+	accounts := make(map[string]int64, n)
+	for i := uint32(0); i < n; i++ {
+		name := string(r.Var())
+		accounts[name] = int64(r.U64())
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("counter: restore: %w", err)
+	}
+	b.accounts = accounts
+	return nil
+}
+
+// Footprint implements service.Service.
+func (b *Bank) Footprint() int64 {
+	var total int64
+	for n := range b.accounts {
+		total += int64(len(n)) + 8 + 48
+	}
+	return total
+}
+
+// ---- Operation and result codecs ----
+
+// Inc encodes an increment of delta on the named account.
+func Inc(name string, delta int64) []byte {
+	w := wire.NewWriter(13 + len(name))
+	w.U8(opInc)
+	w.Var([]byte(name))
+	w.U64(uint64(delta))
+	return w.Bytes()
+}
+
+// Read encodes a balance read.
+func Read(name string) []byte {
+	w := wire.NewWriter(5 + len(name))
+	w.U8(opRead)
+	w.Var([]byte(name))
+	return w.Bytes()
+}
+
+// Transfer encodes a transfer of amount between accounts. It fails (with
+// OK=false in the result) if the source balance is insufficient.
+func Transfer(from, to string, amount int64) []byte {
+	w := wire.NewWriter(17 + len(from) + len(to))
+	w.U8(opTransfer)
+	w.Var([]byte(from))
+	w.Var([]byte(to))
+	w.U64(uint64(amount))
+	return w.Bytes()
+}
+
+// Result is a decoded counter result.
+type Result struct {
+	OK      bool  // false: transfer rejected for insufficient funds
+	Balance int64 // resulting (or current) balance of the primary account
+}
+
+// DecodeResult parses an operation result.
+func DecodeResult(b []byte) (Result, error) {
+	r := wire.NewReader(b)
+	status := r.U8()
+	balance := int64(r.U64())
+	if err := r.Done(); err != nil {
+		return Result{}, fmt.Errorf("counter: decode result: %w", err)
+	}
+	switch status {
+	case statusOK:
+		return Result{OK: true, Balance: balance}, nil
+	case statusInsufficient:
+		return Result{OK: false, Balance: balance}, nil
+	default:
+		return Result{}, fmt.Errorf("counter: unknown status %d", status)
+	}
+}

@@ -1,0 +1,180 @@
+package counter
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mustApply(t *testing.T, b *Bank, op []byte) Result {
+	t.Helper()
+	raw, err := b.Apply(op)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	res, err := DecodeResult(raw)
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	return res
+}
+
+func TestIncAndRead(t *testing.T) {
+	b := New()
+	if res := mustApply(t, b, Read("alice")); res.Balance != 0 {
+		t.Fatalf("fresh account balance = %d", res.Balance)
+	}
+	if res := mustApply(t, b, Inc("alice", 100)); res.Balance != 100 {
+		t.Fatalf("balance after +100 = %d", res.Balance)
+	}
+	if res := mustApply(t, b, Inc("alice", -30)); res.Balance != 70 {
+		t.Fatalf("balance after -30 = %d", res.Balance)
+	}
+	if res := mustApply(t, b, Read("alice")); res.Balance != 70 {
+		t.Fatalf("read = %d, want 70", res.Balance)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	b := New()
+	mustApply(t, b, Inc("alice", 100))
+
+	res := mustApply(t, b, Transfer("alice", "bob", 60))
+	if !res.OK || res.Balance != 40 {
+		t.Fatalf("transfer = %+v", res)
+	}
+	if res := mustApply(t, b, Read("bob")); res.Balance != 60 {
+		t.Fatalf("bob = %d, want 60", res.Balance)
+	}
+
+	// Insufficient funds rejected without a state change.
+	res = mustApply(t, b, Transfer("alice", "bob", 50))
+	if res.OK {
+		t.Fatal("overdraft transfer accepted")
+	}
+	if res := mustApply(t, b, Read("alice")); res.Balance != 40 {
+		t.Fatalf("alice after rejected transfer = %d, want 40", res.Balance)
+	}
+
+	// Negative amounts rejected.
+	if res := mustApply(t, b, Transfer("bob", "alice", -5)); res.OK {
+		t.Fatal("negative transfer accepted")
+	}
+}
+
+func TestMalformedOps(t *testing.T) {
+	b := New()
+	for i, op := range [][]byte{nil, {}, {0xEE}, Read("x")[:2], append(Inc("x", 1), 7)} {
+		if _, err := b.Apply(op); !errors.Is(err, ErrMalformedOp) {
+			t.Fatalf("case %d: Apply = %v, want ErrMalformedOp", i, err)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	b := New()
+	mustApply(t, b, Inc("alice", 10))
+	mustApply(t, b, Inc("bob", 20))
+	mustApply(t, b, Transfer("bob", "carol", 5))
+
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alice", "bob", "carol"} {
+		want := mustApply(t, b, Read(name)).Balance
+		got := mustApply(t, r, Read(name)).Balance
+		if got != want {
+			t.Fatalf("%s = %d after restore, want %d", name, got, want)
+		}
+	}
+	snap2, _ := r.Snapshot()
+	if !bytes.Equal(snap, snap2) {
+		t.Fatal("snapshot not stable across restore")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if err := New().Restore([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+func TestFootprintGrowsWithAccounts(t *testing.T) {
+	b := New()
+	if b.Footprint() != 0 {
+		t.Fatal("empty footprint nonzero")
+	}
+	mustApply(t, b, Inc("alice", 1))
+	one := b.Footprint()
+	if one <= 0 {
+		t.Fatal("footprint not positive after insert")
+	}
+	mustApply(t, b, Inc("bob", 1))
+	if b.Footprint() <= one {
+		t.Fatal("footprint did not grow with second account")
+	}
+}
+
+// Property: total money is conserved by any sequence of transfers.
+func TestQuickTransfersConserveTotal(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	check := func(seed []uint8) bool {
+		b := New()
+		for _, n := range names {
+			if _, err := b.Apply(Inc(n, 1000)); err != nil {
+				return false
+			}
+		}
+		for i := 0; i+2 < len(seed); i += 3 {
+			from := names[int(seed[i])%len(names)]
+			to := names[int(seed[i+1])%len(names)]
+			if _, err := b.Apply(Transfer(from, to, int64(seed[i+2]))); err != nil {
+				return false
+			}
+		}
+		var total int64
+		for _, n := range names {
+			raw, err := b.Apply(Read(n))
+			if err != nil {
+				return false
+			}
+			res, err := DecodeResult(raw)
+			if err != nil {
+				return false
+			}
+			if res.Balance < 0 {
+				return false // no overdrafts ever
+			}
+			total += res.Balance
+		}
+		return total == int64(len(names))*1000
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyAccounts(t *testing.T) {
+	b := New()
+	for i := 0; i < 500; i++ {
+		mustApply(t, b, Inc(fmt.Sprintf("acct-%d", i), int64(i)))
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustApply(t, r, Read("acct-499")).Balance; got != 499 {
+		t.Fatalf("acct-499 = %d", got)
+	}
+}

@@ -1,0 +1,151 @@
+package hashchain
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialIsZero(t *testing.T) {
+	if !Initial().IsInitial() {
+		t.Fatal("Initial() not recognised as initial")
+	}
+	if Extend(Initial(), []byte("op"), 1, 1).IsInitial() {
+		t.Fatal("extended chain value claims to be initial")
+	}
+}
+
+func TestExtendDeterministic(t *testing.T) {
+	a := Extend(Initial(), []byte("put k v"), 1, 3)
+	b := Extend(Initial(), []byte("put k v"), 1, 3)
+	if a != b {
+		t.Fatal("Extend is not deterministic")
+	}
+}
+
+func TestExtendSensitiveToEveryInput(t *testing.T) {
+	base := Extend(Initial(), []byte("op"), 7, 2)
+	if Extend(Initial(), []byte("op!"), 7, 2) == base {
+		t.Fatal("chain insensitive to operation bytes")
+	}
+	if Extend(Initial(), []byte("op"), 8, 2) == base {
+		t.Fatal("chain insensitive to sequence number")
+	}
+	if Extend(Initial(), []byte("op"), 7, 3) == base {
+		t.Fatal("chain insensitive to client id")
+	}
+	other := Extend(Initial(), []byte("x"), 1, 1)
+	if Extend(other, []byte("op"), 7, 2) == base {
+		t.Fatal("chain insensitive to previous value")
+	}
+}
+
+// The length-prefixed encoding must prevent boundary ambiguity: moving
+// bytes between the end of one field and the start of the next must change
+// the digest.
+func TestExtendNoBoundaryAmbiguity(t *testing.T) {
+	a := Extend(Initial(), []byte{0x01, 0x02}, 0x03, 4)
+	b := Extend(Initial(), []byte{0x01, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03}, 0, 4)
+	if a == b {
+		t.Fatal("operation/sequence boundary is ambiguous")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	v := Extend(Initial(), []byte("op"), 1, 1)
+	got, ok := FromBytes(v.Bytes())
+	if !ok || got != v {
+		t.Fatal("FromBytes(Bytes()) does not round-trip")
+	}
+	if _, ok := FromBytes(make([]byte, Size-1)); ok {
+		t.Fatal("FromBytes accepted short input")
+	}
+	if _, ok := FromBytes(make([]byte, Size+1)); ok {
+		t.Fatal("FromBytes accepted long input")
+	}
+	// Bytes must return a copy.
+	b := v.Bytes()
+	b[0] ^= 0xFF
+	if got, _ := FromBytes(v.Bytes()); got != v {
+		t.Fatal("Bytes returned aliased memory")
+	}
+}
+
+func TestReplayMatchesIterativeExtend(t *testing.T) {
+	ops := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	clients := []uint32{1, 2, 1}
+	h := Initial()
+	for k := range ops {
+		h = Extend(h, ops[k], uint64(k+1), clients[k])
+	}
+	replayed, ok := Replay(Initial(), 1, ops, clients)
+	if !ok {
+		t.Fatal("Replay rejected matched slices")
+	}
+	if replayed != h {
+		t.Fatal("Replay disagrees with iterative Extend")
+	}
+	if _, ok := Replay(Initial(), 1, ops, clients[:2]); ok {
+		t.Fatal("Replay accepted mismatched slice lengths")
+	}
+}
+
+// Two clients that diverge (a fork) can never reach the same chain value
+// again, even if they subsequently execute identical operations: this is
+// the "fork forever" property LCM relies on.
+func TestForkedChainsNeverRejoin(t *testing.T) {
+	fork1 := Extend(Initial(), []byte("x"), 1, 1)
+	fork2 := Extend(Initial(), []byte("y"), 1, 1)
+	if fork1 == fork2 {
+		t.Fatal("distinct operations produced identical chains")
+	}
+	// Apply the same suffix to both forks.
+	suffix := [][]byte{[]byte("p"), []byte("q"), []byte("r")}
+	h1, h2 := fork1, fork2
+	for k, op := range suffix {
+		h1 = Extend(h1, op, uint64(k+2), 2)
+		h2 = Extend(h2, op, uint64(k+2), 2)
+		if h1 == h2 {
+			t.Fatalf("forked chains rejoined after %d identical operations", k+1)
+		}
+	}
+}
+
+// Property: Extend behaves like an injective-enough function — across a few
+// hundred random inputs, no collisions are observed, and the result never
+// equals its own input chain value.
+func TestQuickExtendCollisionFree(t *testing.T) {
+	type link struct {
+		prev Value
+		op   string
+		t    uint64
+		id   uint32
+	}
+	seen := make(map[Value]link)
+	check := func(op []byte, seq uint64, id uint32) bool {
+		prev := Extend(Initial(), op, seq, id) // arbitrary-ish previous value
+		v := Extend(prev, op, seq, id)
+		if v == prev {
+			return false
+		}
+		if got, ok := seen[v]; ok {
+			return got.prev == prev && got.op == string(op) && got.t == seq && got.id == id
+		}
+		seen[v] = link{prev: prev, op: string(op), t: seq, id: id}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringIsAbbreviatedHex(t *testing.T) {
+	v := Extend(Initial(), []byte("op"), 1, 1)
+	s := v.String()
+	if len(s) != 16 {
+		t.Fatalf("String() = %q, want 16 hex chars", s)
+	}
+	if bytes.ContainsAny([]byte(s), "ghijklmnopqrstuvwxyz") {
+		t.Fatalf("String() = %q contains non-hex characters", s)
+	}
+}

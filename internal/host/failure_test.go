@@ -1,0 +1,176 @@
+package host
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lcm/internal/client"
+	"lcm/internal/core"
+	"lcm/internal/kvs"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/transport"
+)
+
+// crashStack builds an LCM deployment over crash-injectable storage.
+func crashStack(t *testing.T) (*Server, *stablestore.CrashStore, *core.Admin, *transport.InmemNetwork) {
+	t.Helper()
+	attestation := tee.NewAttestationService()
+	platform, err := tee.NewPlatform("plat-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attestation.Register(platform)
+	storage := stablestore.NewCrashStore(stablestore.NewMemStore())
+	server, err := New(Config{
+		Platform: platform,
+		Factory: core.NewTrustedFactory(core.TrustedConfig{
+			ServiceName: "kvs",
+			NewService:  kvs.Factory(),
+			Attestation: attestation,
+		}),
+		Store:     storage,
+		BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInmemNetwork()
+	listener, err := net.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(listener)
+	t.Cleanup(func() {
+		listener.Close()
+		server.Shutdown()
+	})
+	admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+	if err := admin.Bootstrap(server.ECall, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	return server, storage, admin, net
+}
+
+// A storage failure while persisting the sealed state is reported to the
+// client; once storage recovers, a retry completes the operation exactly
+// once (the enclave already executed it — retry case B of Sec. 4.6.1).
+func TestStorageCrashDuringStateStore(t *testing.T) {
+	server, storage, admin, net := crashStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	if _, err := c.Do(kvs.Put("k", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk dies for the next write.
+	storage.FailAfter(0)
+	if _, err := c.Do(kvs.Put("k", "v2")); err == nil {
+		t.Fatal("operation succeeded despite storage failure")
+	}
+
+	// Disk comes back; the pending operation is retried and must not
+	// execute twice.
+	storage.Reset()
+	res, err := c.Recover()
+	if err != nil {
+		t.Fatalf("Recover after storage crash: %v", err)
+	}
+	if res.Seq != 2 {
+		t.Fatalf("recovered seq = %d, want 2", res.Seq)
+	}
+	status, err := core.QueryStatus(server.ECall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Seq != 2 {
+		t.Fatalf("t = %d after recovery, want 2 (no duplicate execution)", status.Seq)
+	}
+	// The client continues normally.
+	res, err = c.Do(kvs.Get("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := kvs.DecodeResult(res.Value)
+	if string(kv.Value) != "v2" {
+		t.Fatalf("value = %q, want v2", kv.Value)
+	}
+}
+
+// A full crash cycle: storage fails, host restarts the enclave from the
+// last persisted state, and the client's retry converges — covering both
+// retry cases across one run.
+func TestCrashRestartRetryCycle(t *testing.T) {
+	server, storage, admin, net := crashStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	for i := 1; i <= 3; i++ {
+		if _, err := c.Do(kvs.Put("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash: the next store fails AND the enclave restarts — as if the
+	// whole server machine rebooted after losing a write.
+	storage.FailAfter(0)
+	if _, err := c.Do(kvs.Put("k", "lost")); err == nil {
+		t.Fatal("write during crash succeeded")
+	}
+	storage.Reset()
+	if err := server.Enclave(0).Restart(); err != nil {
+		t.Fatalf("restart after crash: %v", err)
+	}
+
+	// The enclave recovered from the state of seq 3; the client's pending
+	// op (seq 4) was executed in the lost epoch but never persisted — the
+	// recovered V says the client's last op is seq 3 and the retry
+	// matches it (case A: not yet processed in this epoch) → re-execute.
+	res, err := c.Recover()
+	if err != nil {
+		t.Fatalf("Recover after restart: %v", err)
+	}
+	if res.Seq != 4 {
+		t.Fatalf("recovered seq = %d, want 4", res.Seq)
+	}
+	kv, _ := kvs.DecodeResult(res.Value)
+	_ = kv
+	status, _ := core.QueryStatus(server.ECall)
+	if status.Seq != 4 {
+		t.Fatalf("t = %d, want 4", status.Seq)
+	}
+}
+
+// The host reports malformed enclave responses as errors rather than
+// crashing or hanging clients.
+func TestHostSurvivesEnclaveErrors(t *testing.T) {
+	server, _, admin, net := crashStack(t)
+	_ = admin
+
+	// An ecall with an unknown kind produces a clean error frame.
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, closeFn := client.AdminConn(conn)
+	defer closeFn()
+	if _, err := call([]byte{0xEE}); err == nil {
+		t.Fatal("unknown ecall kind accepted")
+	}
+	// The server keeps serving afterwards.
+	if _, err := core.QueryStatus(server.ECall); err != nil {
+		t.Fatalf("status after bad ecall: %v", err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package host implements the untrusted server application of Sec. 5.3: it
+// handles socket communication, batches incoming client requests into
+// bounded queues, performs the ecall into the enclave, persists the sealed
+// state the enclave piggybacks on its reply, and forwards the REPLY
+// messages to the clients.
+//
+// The host is exactly the component the threat model distrusts. Besides
+// the correct behaviour it therefore also implements the attacks of
+// Sec. 2.3 — restarting the enclave from a stale state (rollback), running
+// multiple enclave instances and partitioning clients between them
+// (forking), and replaying client messages — so that tests, examples and
+// the evaluation can exercise LCM's detection guarantees against a real
+// adversary rather than a mock.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lcm/internal/core"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/transport"
+	"lcm/internal/wire"
+)
+
+// Frame kinds and response codecs live in internal/wire (shared with the
+// client library); the host only routes them.
+
+// Config assembles a Server.
+type Config struct {
+	// Platform hosts the enclaves.
+	Platform *tee.Platform
+	// Factory builds the trusted program (one fresh instance per epoch).
+	Factory tee.ProgramFactory
+	// Store is the stable storage for the sealed blobs. Whether writes
+	// fsync (Fig. 6) or not (Figs. 4-5) is the Store's configuration.
+	Store stablestore.Store
+	// BatchSize limits how many invokes one ecall carries; 1 disables
+	// batching (the paper evaluates both, Sec. 6.4).
+	BatchSize int
+	// StateSlot names the storage slot for piggybacked state blobs;
+	// empty means the LCM default (core.SlotStateBlob). Baseline enclave
+	// programs that share this host use their own slot.
+	StateSlot string
+}
+
+// request is one queued invoke awaiting its batch.
+type request struct {
+	conn   *connState
+	invoke []byte
+}
+
+type connState struct {
+	conn    transport.Conn
+	writeMu sync.Mutex
+	enclave int // index into Server.enclaves; forks route clients here
+}
+
+func (c *connState) send(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.conn.Send(frame)
+}
+
+// Server is the untrusted server application.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	enclaves  []*tee.Enclave
+	queues    []chan request
+	nextConn  int
+	route     func(connID int) int // enclave index for new connections
+	liveConns map[*connState]struct{}
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates a server with one enclave instance (started) and the default
+// routing (all clients to enclave 0).
+func New(cfg Config) (*Server, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.StateSlot == "" {
+		cfg.StateSlot = core.SlotStateBlob
+	}
+	s := &Server{
+		cfg:       cfg,
+		route:     func(int) int { return 0 },
+		liveConns: make(map[*connState]struct{}),
+		stop:      make(chan struct{}),
+	}
+	if _, err := s.addEnclave(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// addEnclave creates, starts and registers a new enclave instance over the
+// same program and storage, returning its index.
+func (s *Server) addEnclave() (int, error) {
+	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, s.cfg.Store)
+	if err := enclave.Start(); err != nil {
+		return 0, fmt.Errorf("host: start enclave: %w", err)
+	}
+	s.mu.Lock()
+	s.enclaves = append(s.enclaves, enclave)
+	queue := make(chan request, 1024)
+	s.queues = append(s.queues, queue)
+	idx := len(s.enclaves) - 1
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.batchLoop(enclave, queue)
+	}()
+	return idx, nil
+}
+
+// Enclave returns enclave instance idx (0 is the primary).
+func (s *Server) Enclave(idx int) *tee.Enclave {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enclaves[idx]
+}
+
+// ECall performs a raw enclave call against the primary instance — the
+// path an in-process admin uses.
+func (s *Server) ECall(payload []byte) ([]byte, error) {
+	return s.Enclave(0).Call(payload)
+}
+
+// Serve accepts connections until the listener is closed or Shutdown is
+// called. It always returns a non-nil error (ErrClosed after Shutdown).
+func (s *Server) Serve(l transport.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		select {
+		case <-s.stop:
+			conn.Close()
+			return transport.ErrClosed
+		default:
+		}
+		s.mu.Lock()
+		id := s.nextConn
+		s.nextConn++
+		idx := s.route(id)
+		if idx < 0 || idx >= len(s.enclaves) {
+			idx = 0
+		}
+		s.mu.Unlock()
+		cs := &connState{conn: conn, enclave: idx}
+		s.mu.Lock()
+		s.liveConns[cs] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.liveConns, cs)
+				s.mu.Unlock()
+			}()
+			s.connLoop(cs)
+		}()
+	}
+}
+
+// connLoop reads frames from one client connection.
+func (s *Server) connLoop(cs *connState) {
+	defer cs.conn.Close()
+	for {
+		frame, err := cs.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(frame) == 0 {
+			continue
+		}
+		kind, payload := frame[0], frame[1:]
+		switch kind {
+		case wire.FrameInvoke:
+			s.mu.Lock()
+			queue := s.queues[cs.enclave]
+			s.mu.Unlock()
+			select {
+			case queue <- request{conn: cs, invoke: payload}:
+			case <-s.stop:
+				return
+			}
+		case wire.FrameECall:
+			resp, err := s.Enclave(cs.enclave).Call(payload)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			_ = cs.send(wire.OKFrame(resp))
+		default:
+			_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: unknown frame kind %d", kind)))
+		}
+	}
+}
+
+// batchLoop collects requests into batches (up to BatchSize, or fewer when
+// the queue momentarily empties — the Sec. 5.3 policy), performs the
+// ecall, persists the sealed state and distributes replies.
+func (s *Server) batchLoop(enclave *tee.Enclave, queue chan request) {
+	for {
+		var batch []request
+		select {
+		case first := <-queue:
+			batch = append(batch, first)
+		case <-s.stop:
+			return
+		}
+	fill:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case next := <-queue:
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		s.processBatch(enclave, batch)
+	}
+}
+
+func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
+	invokes := make([][]byte, len(batch))
+	for i, req := range batch {
+		invokes[i] = req.invoke
+	}
+	resp, err := enclave.Call(core.EncodeBatchCall(invokes))
+	if err != nil {
+		for _, req := range batch {
+			_ = req.conn.send(wire.ErrorFrame(err))
+		}
+		return
+	}
+	result, err := core.DecodeBatchResult(resp)
+	if err != nil || len(result.Replies) != len(batch) {
+		for _, req := range batch {
+			_ = req.conn.send(wire.ErrorFrame(errors.New("host: malformed enclave response")))
+		}
+		return
+	}
+	// Persist the piggybacked sealed state before releasing replies, so a
+	// crash after a client saw its reply cannot lose the corresponding
+	// state (crash tolerance, Sec. 4.6.1 / Sec. 5.3).
+	if err := s.cfg.Store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
+		for _, req := range batch {
+			_ = req.conn.send(wire.ErrorFrame(fmt.Errorf("host: persist state: %w", err)))
+		}
+		return
+	}
+	for i, req := range batch {
+		_ = req.conn.send(wire.OKFrame(result.Replies[i]))
+	}
+}
+
+// Shutdown stops the batchers, closes every live connection (unblocking
+// their handlers) and waits for all goroutines to drain. The caller closes
+// its Listener (which unblocks Serve) before calling.
+func (s *Server) Shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	for cs := range s.liveConns {
+		_ = cs.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ---- Malicious behaviours (Sec. 2.3) ----
+
+// AttackRollback restarts the primary enclave after instructing the
+// rollback store to serve the state from n writes ago. It requires the
+// configured Store to be a *stablestore.RollbackStore.
+func (s *Server) AttackRollback(n int) error {
+	rs, ok := s.cfg.Store.(*stablestore.RollbackStore)
+	if !ok {
+		return errors.New("host: rollback attack needs a RollbackStore")
+	}
+	if !rs.RollbackBy(core.SlotStateBlob, n) {
+		return fmt.Errorf("host: no state version %d writes back", n)
+	}
+	if err := s.Enclave(0).Restart(); err != nil {
+		return fmt.Errorf("host: restart with stale state: %w", err)
+	}
+	return nil
+}
+
+// AttackFork starts a second enclave instance over the same stable storage
+// and routes every subsequently accepted connection to it, partitioning
+// the client group. Existing connections stay on their instance. It
+// returns the fork's enclave index.
+func (s *Server) AttackFork() (int, error) {
+	idx, err := s.addEnclave()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.route = func(int) int { return idx }
+	s.mu.Unlock()
+	return idx, nil
+}
+
+// RouteNewConnsTo directs subsequently accepted connections to the given
+// enclave index (0 restores honest behaviour for new connections).
+func (s *Server) RouteNewConnsTo(idx int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.route = func(int) int { return idx }
+}
+
+// AttackReplay re-submits a previously captured invoke to the primary
+// enclave, bypassing any client. It returns the enclave's error, which —
+// per the protocol — should be a halt.
+func (s *Server) AttackReplay(invoke []byte) error {
+	_, err := s.Enclave(0).Call(core.EncodeBatchCall([][]byte{invoke}))
+	return err
+}

@@ -1,0 +1,90 @@
+// Package keyderiv implements HKDF-SHA256 (RFC 5869) and the LCM key
+// hierarchy helpers.
+//
+// The TEE simulator derives program-specific sealing keys from a platform
+// root secret (the get-key function of Sec. 2.2): two enclaves running the
+// same protocol P on the same platform obtain the same key, while a
+// different program or a different platform obtains an unrelated key.
+package keyderiv
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"lcm/internal/aead"
+)
+
+// hkdfExtract computes the HKDF extract step: PRK = HMAC(salt, ikm).
+func hkdfExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand computes the HKDF expand step producing length bytes of output
+// keyed by PRK and bound to info.
+func hkdfExpand(prk, info []byte, length int) ([]byte, error) {
+	if length <= 0 || length > 255*sha256.Size {
+		return nil, fmt.Errorf("keyderiv: invalid output length %d", length)
+	}
+	var (
+		out  = make([]byte, 0, length)
+		prev []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}
+
+// Derive produces length bytes of key material from the input keying
+// material ikm, a salt, and a context string. It is deterministic: the same
+// inputs always yield the same output.
+func Derive(ikm, salt []byte, context string, length int) ([]byte, error) {
+	prk := hkdfExtract(salt, ikm)
+	okm, err := hkdfExpand(prk, []byte(context), length)
+	if err != nil {
+		return nil, fmt.Errorf("keyderiv: expand %q: %w", context, err)
+	}
+	return okm, nil
+}
+
+// DeriveKey derives an AES key bound to the given context.
+func DeriveKey(ikm []byte, context string) (aead.Key, error) {
+	raw, err := Derive(ikm, nil, context, aead.KeySize)
+	if err != nil {
+		return aead.Key{}, err
+	}
+	return aead.KeyFromBytes(raw)
+}
+
+// SealingKey implements the get-key(T, P) function of Sec. 2.2: it derives
+// the sealing key for a program with the given measurement on a platform
+// identified by its root secret. The derivation is deterministic so that a
+// restarted enclave recovers the same key (Sec. 4.4), and it separates both
+// platform and program: changing either yields an unrelated key.
+func SealingKey(platformSecret, measurement []byte) (aead.Key, error) {
+	prk := hkdfExtract([]byte("lcm/tee/sealing/v1"), platformSecret)
+	info := append([]byte("measurement:"), measurement...)
+	raw, err := hkdfExpand(prk, info, aead.KeySize)
+	if err != nil {
+		return aead.Key{}, fmt.Errorf("keyderiv: sealing key: %w", err)
+	}
+	return aead.KeyFromBytes(raw)
+}
+
+// AttestationKey derives a platform's quote MAC key from its root secret.
+// The simulated attestation service (standing in for the EPID
+// infrastructure) holds the same derivation to verify quotes.
+func AttestationKey(platformSecret []byte) (aead.Key, error) {
+	return DeriveKey(platformSecret, "lcm/tee/attestation/v1")
+}

@@ -1,0 +1,126 @@
+package keyderiv
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a, err := Derive([]byte("ikm"), []byte("salt"), "ctx", 32)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	b, err := Derive([]byte("ikm"), []byte("salt"), "ctx", 32)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Derive is not deterministic")
+	}
+}
+
+func TestDeriveSeparatesInputs(t *testing.T) {
+	base, _ := Derive([]byte("ikm"), []byte("salt"), "ctx", 32)
+	variants := [][]byte{}
+	v1, _ := Derive([]byte("ikm2"), []byte("salt"), "ctx", 32)
+	v2, _ := Derive([]byte("ikm"), []byte("salt2"), "ctx", 32)
+	v3, _ := Derive([]byte("ikm"), []byte("salt"), "ctx2", 32)
+	variants = append(variants, v1, v2, v3)
+	for i, v := range variants {
+		if bytes.Equal(base, v) {
+			t.Fatalf("variant %d collides with base derivation", i)
+		}
+	}
+}
+
+func TestDeriveLengths(t *testing.T) {
+	for _, n := range []int{1, 16, 32, 33, 64, 100, 255 * sha256.Size} {
+		out, err := Derive([]byte("ikm"), nil, "len", n)
+		if err != nil {
+			t.Fatalf("Derive(%d): %v", n, err)
+		}
+		if len(out) != n {
+			t.Fatalf("Derive(%d) returned %d bytes", n, len(out))
+		}
+	}
+	for _, n := range []int{0, -1, 255*sha256.Size + 1} {
+		if _, err := Derive([]byte("ikm"), nil, "len", n); err == nil {
+			t.Fatalf("Derive(%d) accepted invalid length", n)
+		}
+	}
+}
+
+// Longer outputs must extend shorter ones (HKDF stream property), so a key
+// hierarchy can be extended without rotating existing keys.
+func TestDerivePrefixProperty(t *testing.T) {
+	long, _ := Derive([]byte("ikm"), []byte("s"), "ctx", 96)
+	short, _ := Derive([]byte("ikm"), []byte("s"), "ctx", 32)
+	if !bytes.Equal(long[:32], short) {
+		t.Fatal("short derivation is not a prefix of the long one")
+	}
+}
+
+func TestSealingKeyProgramAndPlatformSeparation(t *testing.T) {
+	platformA := []byte("platform-secret-A")
+	platformB := []byte("platform-secret-B")
+	measLCM := []byte("measurement-of-LCM")
+	measOther := []byte("measurement-of-P-prime")
+
+	kAL1, err := SealingKey(platformA, measLCM)
+	if err != nil {
+		t.Fatalf("SealingKey: %v", err)
+	}
+	kAL2, _ := SealingKey(platformA, measLCM)
+	if kAL1 != kAL2 {
+		t.Fatal("sealing key is not stable across epochs (get-key must be deterministic)")
+	}
+
+	kAO, _ := SealingKey(platformA, measOther)
+	if kAL1 == kAO {
+		t.Fatal("different program obtained the same sealing key")
+	}
+	kBL, _ := SealingKey(platformB, measLCM)
+	if kAL1 == kBL {
+		t.Fatal("different platform obtained the same sealing key")
+	}
+}
+
+func TestAttestationKeyDiffersFromSealingKey(t *testing.T) {
+	secret := []byte("platform-secret")
+	ak, err := AttestationKey(secret)
+	if err != nil {
+		t.Fatalf("AttestationKey: %v", err)
+	}
+	sk, _ := SealingKey(secret, []byte("m"))
+	if ak == sk {
+		t.Fatal("attestation key collides with sealing key")
+	}
+}
+
+// Property: distinct (ikm, context) pairs never collide in 16-byte keys for
+// the generator's sample space, and derivation never errors.
+func TestQuickDeriveKeyNoCollisions(t *testing.T) {
+	type input struct {
+		IKM []byte
+		Ctx string
+	}
+	seen := make(map[[16]byte]input)
+	check := func(ikm []byte, ctx string) bool {
+		k, err := DeriveKey(ikm, ctx)
+		if err != nil {
+			return false
+		}
+		var id [16]byte
+		copy(id[:], k.Bytes())
+		if prev, ok := seen[id]; ok {
+			return bytes.Equal(prev.IKM, ikm) && prev.Ctx == ctx
+		}
+		seen[id] = input{IKM: bytes.Clone(ikm), Ctx: ctx}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package kvs implements the key-value store application of Sec. 5.3: a
+// flat namespace of uniquely named objects with GET, PUT and DEL
+// operations, running as the functionality F inside a trusted execution
+// context (or unprotected, for the native baseline).
+//
+// The package also models the enclave memory footprint the paper measured
+// in Sec. 6.2: the C++ prototype's std::map<std::string, std::string>
+// consumed ≈134 % more memory than the raw payload plus 48 bytes of search
+// structure per object. Footprint applies the same accounting so the EPC
+// paging experiment reproduces the paper's knee.
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lcm/internal/service"
+	"lcm/internal/wire"
+)
+
+// Operation tags. They start at one so a zero byte is never a valid op.
+const (
+	opGet byte = iota + 1
+	opPut
+	opDel
+	opScan
+)
+
+// Result status codes.
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+)
+
+// Memory model constants from Sec. 6.2.
+const (
+	// overheadNum/overheadDen encode the measured ≈134 % allocator and
+	// std::string overhead on the stored bytes.
+	overheadNum = 234
+	overheadDen = 100
+	// perEntryOverhead is the map's internal search-structure cost per
+	// object.
+	perEntryOverhead = 48
+)
+
+// ErrMalformedOp reports an operation that does not decode.
+var ErrMalformedOp = errors.New("kvs: malformed operation")
+
+// Store is the key-value service. It implements service.Service.
+type Store struct {
+	data      map[string]string
+	footprint int64
+}
+
+var _ service.Service = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]string)}
+}
+
+// Factory returns a service.Factory producing empty stores.
+func Factory() service.Factory {
+	return func() service.Service { return New() }
+}
+
+func entryFootprint(key, value string) int64 {
+	raw := int64(len(key) + len(value))
+	return raw*overheadNum/overheadDen + perEntryOverhead
+}
+
+// Apply implements service.Service.
+func (s *Store) Apply(op []byte) ([]byte, error) {
+	if len(op) == 0 {
+		return nil, ErrMalformedOp
+	}
+	r := wire.NewReader(op[1:])
+	switch op[0] {
+	case opGet:
+		key := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: get: %v", ErrMalformedOp, err)
+		}
+		value, ok := s.data[key]
+		if !ok {
+			return encodeStatus(statusNotFound, nil), nil
+		}
+		return encodeStatus(statusOK, []byte(value)), nil
+
+	case opPut:
+		key := string(r.Var())
+		value := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: put: %v", ErrMalformedOp, err)
+		}
+		if old, ok := s.data[key]; ok {
+			s.footprint -= entryFootprint(key, old)
+		}
+		s.data[key] = value
+		s.footprint += entryFootprint(key, value)
+		return encodeStatus(statusOK, nil), nil
+
+	case opDel:
+		key := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: del: %v", ErrMalformedOp, err)
+		}
+		old, ok := s.data[key]
+		if !ok {
+			return encodeStatus(statusNotFound, nil), nil
+		}
+		s.footprint -= entryFootprint(key, old)
+		delete(s.data, key)
+		return encodeStatus(statusOK, nil), nil
+
+	case opScan:
+		prefix := string(r.Var())
+		limit := r.U32()
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: scan: %v", ErrMalformedOp, err)
+		}
+		return s.scan(prefix, int(limit)), nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrMalformedOp, op[0])
+	}
+}
+
+func (s *Store) scan(prefix string, limit int) []byte {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	w := wire.NewWriter(64)
+	w.U8(statusOK)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Var([]byte(k))
+		w.Var([]byte(s.data[k]))
+	}
+	return w.Bytes()
+}
+
+func encodeStatus(status byte, value []byte) []byte {
+	w := wire.NewWriter(1 + 4 + len(value))
+	w.U8(status)
+	w.Var(value)
+	return w.Bytes()
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.data) }
+
+// Footprint implements service.Service with the Sec. 6.2 memory model.
+func (s *Store) Footprint() int64 { return s.footprint }
+
+// Snapshot implements service.Service. The encoding is deterministic
+// (sorted keys) so identical states serialize identically.
+func (s *Store) Snapshot() ([]byte, error) {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(16 + len(s.data)*32)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Var([]byte(k))
+		w.Var([]byte(s.data[k]))
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements service.Service.
+func (s *Store) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	n := r.U32()
+	data := make(map[string]string, n)
+	var footprint int64
+	for i := uint32(0); i < n; i++ {
+		k := string(r.Var())
+		v := string(r.Var())
+		data[k] = v
+		footprint += entryFootprint(k, v)
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("kvs: restore: %w", err)
+	}
+	s.data = data
+	s.footprint = footprint
+	return nil
+}
+
+// ---- Operation and result codecs (used by clients) ----
+
+// Get encodes a GET operation.
+func Get(key string) []byte {
+	w := wire.NewWriter(5 + len(key))
+	w.U8(opGet)
+	w.Var([]byte(key))
+	return w.Bytes()
+}
+
+// Put encodes a PUT operation.
+func Put(key, value string) []byte {
+	w := wire.NewWriter(9 + len(key) + len(value))
+	w.U8(opPut)
+	w.Var([]byte(key))
+	w.Var([]byte(value))
+	return w.Bytes()
+}
+
+// Del encodes a DEL operation.
+func Del(key string) []byte {
+	w := wire.NewWriter(5 + len(key))
+	w.U8(opDel)
+	w.Var([]byte(key))
+	return w.Bytes()
+}
+
+// Scan encodes a prefix SCAN operation; limit 0 means unlimited.
+func Scan(prefix string, limit uint32) []byte {
+	w := wire.NewWriter(9 + len(prefix))
+	w.U8(opScan)
+	w.Var([]byte(prefix))
+	w.U32(limit)
+	return w.Bytes()
+}
+
+// Result is a decoded operation result.
+type Result struct {
+	Found bool
+	Value []byte
+}
+
+// DecodeResult parses a GET/PUT/DEL result.
+func DecodeResult(b []byte) (Result, error) {
+	r := wire.NewReader(b)
+	status := r.U8()
+	value := r.Var()
+	if err := r.Done(); err != nil {
+		return Result{}, fmt.Errorf("kvs: decode result: %w", err)
+	}
+	switch status {
+	case statusOK:
+		return Result{Found: true, Value: value}, nil
+	case statusNotFound:
+		return Result{}, nil
+	default:
+		return Result{}, fmt.Errorf("kvs: unknown status %d", status)
+	}
+}
+
+// ScanEntry is one key-value pair from a SCAN result.
+type ScanEntry struct {
+	Key   string
+	Value string
+}
+
+// DecodeScanResult parses a SCAN result.
+func DecodeScanResult(b []byte) ([]ScanEntry, error) {
+	r := wire.NewReader(b)
+	if status := r.U8(); r.Err() == nil && status != statusOK {
+		return nil, fmt.Errorf("kvs: scan status %d", status)
+	}
+	n := r.U32()
+	out := make([]ScanEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		k := r.Var()
+		v := r.Var()
+		out = append(out, ScanEntry{Key: string(k), Value: string(v)})
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("kvs: decode scan: %w", err)
+	}
+	return out, nil
+}

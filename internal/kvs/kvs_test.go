@@ -1,0 +1,282 @@
+package kvs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mustApply(t *testing.T, s *Store, op []byte) Result {
+	t.Helper()
+	raw, err := s.Apply(op)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	res, err := DecodeResult(raw)
+	if err != nil {
+		t.Fatalf("DecodeResult: %v", err)
+	}
+	return res
+}
+
+func TestPutGetDel(t *testing.T) {
+	s := New()
+
+	if res := mustApply(t, s, Get("missing")); res.Found {
+		t.Fatal("GET of missing key reported found")
+	}
+
+	if res := mustApply(t, s, Put("k", "v1")); !res.Found {
+		t.Fatal("PUT not acknowledged")
+	}
+	if res := mustApply(t, s, Get("k")); !res.Found || string(res.Value) != "v1" {
+		t.Fatalf("GET = %+v, want v1", res)
+	}
+
+	// Overwrite.
+	mustApply(t, s, Put("k", "v2"))
+	if res := mustApply(t, s, Get("k")); string(res.Value) != "v2" {
+		t.Fatalf("GET after overwrite = %q", res.Value)
+	}
+
+	if res := mustApply(t, s, Del("k")); !res.Found {
+		t.Fatal("DEL of existing key reported not found")
+	}
+	if res := mustApply(t, s, Get("k")); res.Found {
+		t.Fatal("GET after DEL reported found")
+	}
+	if res := mustApply(t, s, Del("k")); res.Found {
+		t.Fatal("DEL of missing key reported found")
+	}
+}
+
+func TestEmptyValueIsDistinctFromMissing(t *testing.T) {
+	s := New()
+	mustApply(t, s, Put("k", ""))
+	res := mustApply(t, s, Get("k"))
+	if !res.Found || len(res.Value) != 0 {
+		t.Fatalf("GET of empty value = %+v", res)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		mustApply(t, s, Put(fmt.Sprintf("user%d", i), fmt.Sprintf("v%d", i)))
+	}
+	mustApply(t, s, Put("other", "x"))
+
+	raw, err := s.Apply(Scan("user", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := DecodeScanResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("scan returned %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Key != fmt.Sprintf("user%d", i) {
+			t.Fatalf("scan order wrong: %v", entries)
+		}
+	}
+
+	raw, _ = s.Apply(Scan("user", 2))
+	entries, _ = DecodeScanResult(raw)
+	if len(entries) != 2 {
+		t.Fatalf("limited scan returned %d entries, want 2", len(entries))
+	}
+}
+
+func TestMalformedOps(t *testing.T) {
+	s := New()
+	cases := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xFF, 0x01},
+		Get("k")[:2],           // truncated
+		append(Get("k"), 0x00), // trailing bytes
+	}
+	for i, op := range cases {
+		if _, err := s.Apply(op); !errors.Is(err, ErrMalformedOp) {
+			t.Fatalf("case %d: Apply = %v, want ErrMalformedOp", i, err)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		mustApply(t, s, Put(fmt.Sprintf("key-%03d", i), fmt.Sprintf("value-%d", i)))
+	}
+	mustApply(t, s, Del("key-050"))
+
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != s.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), s.Len())
+	}
+	if restored.Footprint() != s.Footprint() {
+		t.Fatalf("restored Footprint = %d, want %d", restored.Footprint(), s.Footprint())
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		want := mustApply(t, s, Get(key))
+		got := mustApply(t, restored, Get(key))
+		if want.Found != got.Found || !bytes.Equal(want.Value, got.Value) {
+			t.Fatalf("key %s differs after restore", key)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []int) *Store {
+		s := New()
+		for _, i := range order {
+			mustApply(t, s, Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)))
+		}
+		return s
+	}
+	a, _ := build([]int{1, 2, 3}).Snapshot()
+	b, _ := build([]int{3, 1, 2}).Snapshot()
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot depends on insertion order")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Restore([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("Restore accepted garbage")
+	}
+}
+
+// Footprint must follow the Sec. 6.2 model: ~134 % overhead on payload
+// bytes plus 48 bytes per object, growing and shrinking with the data.
+func TestFootprintModel(t *testing.T) {
+	s := New()
+	if s.Footprint() != 0 {
+		t.Fatalf("empty footprint = %d", s.Footprint())
+	}
+	key := string(make([]byte, 40))
+	val := string(make([]byte, 100))
+	mustApply(t, s, Put(key, val))
+	want := int64(140*234/100 + 48)
+	if got := s.Footprint(); got != want {
+		t.Fatalf("footprint of one 40B/100B object = %d, want %d", got, want)
+	}
+	// The paper: 300 000 such objects ≈ 93 MB. Our model should land in
+	// the same range (>80 MB).
+	perObject := s.Footprint()
+	if total := perObject * 300_000; total < 80<<20 || total > 120<<20 {
+		t.Fatalf("300k objects model %d bytes, want ≈93MB", total)
+	}
+	// Overwrite with a larger value grows the footprint.
+	mustApply(t, s, Put(key, string(make([]byte, 200))))
+	if s.Footprint() <= perObject {
+		t.Fatal("footprint did not grow on larger overwrite")
+	}
+	// Delete returns to zero.
+	mustApply(t, s, Del(key))
+	if s.Footprint() != 0 {
+		t.Fatalf("footprint after delete = %d, want 0", s.Footprint())
+	}
+}
+
+// Property: a store is exactly equivalent to a model map under random
+// PUT/GET/DEL sequences.
+func TestQuickStoreMatchesModelMap(t *testing.T) {
+	type step struct {
+		Op    uint8
+		Key   uint8 // small key space to force collisions
+		Value string
+	}
+	check := func(steps []step) bool {
+		s := New()
+		model := make(map[string]string)
+		for _, st := range steps {
+			key := fmt.Sprintf("k%d", st.Key%8)
+			switch st.Op % 3 {
+			case 0: // PUT
+				raw, err := s.Apply(Put(key, st.Value))
+				if err != nil {
+					return false
+				}
+				if res, err := DecodeResult(raw); err != nil || !res.Found {
+					return false
+				}
+				model[key] = st.Value
+			case 1: // GET
+				raw, err := s.Apply(Get(key))
+				if err != nil {
+					return false
+				}
+				res, err := DecodeResult(raw)
+				if err != nil {
+					return false
+				}
+				want, ok := model[key]
+				if res.Found != ok || (ok && string(res.Value) != want) {
+					return false
+				}
+			case 2: // DEL
+				raw, err := s.Apply(Del(key))
+				if err != nil {
+					return false
+				}
+				res, err := DecodeResult(raw)
+				if err != nil {
+					return false
+				}
+				_, ok := model[key]
+				if res.Found != ok {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot/restore is the identity on state for random contents.
+func TestQuickSnapshotRestoreIdentity(t *testing.T) {
+	check := func(pairs map[string]string) bool {
+		s := New()
+		for k, v := range pairs {
+			if _, err := s.Apply(Put(k, v)); err != nil {
+				return false
+			}
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			return false
+		}
+		r := New()
+		if err := r.Restore(snap); err != nil {
+			return false
+		}
+		snap2, err := r.Snapshot()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(snap, snap2) && r.Footprint() == s.Footprint()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

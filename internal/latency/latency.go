@@ -1,0 +1,200 @@
+// Package latency centralizes every injected hardware latency in the
+// simulation.
+//
+// The paper's evaluation ran on real SGX hardware; our TEE is simulated, so
+// the costs that shape Figs. 4-6 — enclave transitions, trusted-counter
+// increments, synchronous disk writes, EPC paging — are charged explicitly
+// here. Keeping them in one Model with a single Scale knob makes every
+// experiment's assumptions auditable and lets tests run the same code paths
+// at a fraction of the wall-clock cost.
+package latency
+
+import (
+	"time"
+)
+
+// Default cost constants. Values are chosen to match published
+// measurements for the paper's platform (see DESIGN.md, Sec. 1):
+//
+//   - ECall/OCall: ~8 µs per enclave transition (SGX SDK literature reports
+//     2-8 µs for a warm transition; batching amortizes it, which is why the
+//     paper's batching variant wins).
+//   - TMCIncrement: 60 ms, the paper's own measured value for the SGX
+//     monotonic counter on Windows (Sec. 6.5).
+//   - SyncWrite: 4 ms, approximating the 2017-era SATA-SSD fsync the
+//     evaluation machine used; modern NVMe/tmpfs fsync is far cheaper, so
+//     Fig. 6's shape needs this injected.
+//   - PageIn: per-ecall penalty factor once the enclave's resident set
+//     exceeds the EPC limit (Sec. 6.2 reports up to +240 % op latency).
+const (
+	DefaultECall        = 8 * time.Microsecond
+	DefaultOCall        = 8 * time.Microsecond
+	DefaultECallPerByte = 250 * time.Nanosecond
+	DefaultTMCIncrement = 60 * time.Millisecond
+	DefaultSyncWrite    = 4 * time.Millisecond
+	DefaultPageIn       = 30 * time.Microsecond
+	DefaultNetRTT       = 400 * time.Microsecond
+	DefaultServerOp     = 300 * time.Microsecond
+)
+
+// Model holds every injected latency. The zero value injects nothing,
+// which is useful for pure correctness tests.
+type Model struct {
+	// Scale multiplies every duration; 1.0 is full fidelity. Benchmarks
+	// may run at a smaller scale; the harness records the scale used.
+	Scale float64
+
+	ECall        time.Duration // per enclave entry
+	OCall        time.Duration // per enclave exit that re-enters the host
+	ECallPerByte time.Duration // in-enclave request-processing time per payload byte
+	TMCIncrement time.Duration // per trusted-monotonic-counter increment
+	SyncWrite    time.Duration // added to every fsync'd stable-storage write
+	PageIn       time.Duration // EPC paging unit cost (see tee.EPCModel)
+	NetRTT       time.Duration // client↔server round trip (network + TLS tier)
+	ServerOp     time.Duration // per-request cost in a non-enclave server's single-threaded core
+}
+
+// Default returns the full-fidelity model.
+func Default() *Model {
+	return &Model{
+		Scale:        1.0,
+		ECall:        DefaultECall,
+		OCall:        DefaultOCall,
+		ECallPerByte: DefaultECallPerByte,
+		TMCIncrement: DefaultTMCIncrement,
+		SyncWrite:    DefaultSyncWrite,
+		PageIn:       DefaultPageIn,
+		NetRTT:       DefaultNetRTT,
+		ServerOp:     DefaultServerOp,
+	}
+}
+
+// Scaled returns the default model with all durations multiplied by s.
+func Scaled(s float64) *Model {
+	m := Default()
+	m.Scale = s
+	return m
+}
+
+// None returns a model that injects no latency at all.
+func None() *Model { return &Model{} }
+
+// scaled applies the scale factor to d.
+func (m *Model) scaled(d time.Duration) time.Duration {
+	if m == nil || d <= 0 {
+		return 0
+	}
+	s := m.Scale
+	if s == 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * s)
+}
+
+// spin busy-waits for exactly d — used for costs that must be charged
+// precisely (timer sleeps overshoot by up to a millisecond at this
+// granularity) and that represent real CPU consumption anyway.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// Wait blocks for the scaled duration d. Durations under ~100 µs are
+// busy-waited because timer sleeps on Linux have tens-of-microseconds
+// granularity, which would distort the enclave-transition costs the model
+// exists to inject.
+func (m *Model) Wait(d time.Duration) {
+	d = m.scaled(d)
+	if d <= 0 {
+		return
+	}
+	if d < 100*time.Microsecond {
+		spin(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// WaitECall charges one enclave-entry transition.
+func (m *Model) WaitECall() {
+	if m != nil {
+		m.Wait(m.ECall)
+	}
+}
+
+// WaitOCall charges one enclave-exit transition.
+func (m *Model) WaitOCall() {
+	if m != nil {
+		m.Wait(m.OCall)
+	}
+}
+
+// WaitTMC charges one trusted-monotonic-counter increment.
+func (m *Model) WaitTMC() {
+	if m != nil {
+		m.Wait(m.TMCIncrement)
+	}
+}
+
+// WaitSyncWrite charges one synchronous stable-storage write.
+func (m *Model) WaitSyncWrite() {
+	if m != nil {
+		m.Wait(m.SyncWrite)
+	}
+}
+
+// WaitPaging charges an EPC paging penalty of factor×PageIn, where factor
+// expresses how far the resident set exceeds the EPC limit.
+func (m *Model) WaitPaging(factor float64) {
+	if m == nil || factor <= 0 {
+		return
+	}
+	m.Wait(time.Duration(float64(m.PageIn) * factor))
+}
+
+// WaitECallBytes charges the in-enclave processing time for an ecall
+// payload of n bytes. This models the single-threaded request handling
+// (decryption, execution, encryption) inside the enclave that makes the
+// SGX-bound systems saturate around 8 clients in Fig. 5; batching carries
+// more bytes per call but amortizes the fixed transition cost.
+func (m *Model) WaitECallBytes(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Wait(time.Duration(n) * m.ECallPerByte)
+}
+
+// WaitServerOp charges the per-request processing of a non-enclave server
+// (stunnel handoff, kernel TCP work, the single-threaded event loop).
+// Callers hold their core lock while waiting, which is what eventually
+// saturates the native and Redis baselines in Fig. 5 — the paper observes
+// that "secure communication becomes a bottleneck" for them too, only at a
+// higher absolute rate than the enclave-bound systems.
+//
+// The wait is a spin, never a sleep: it stands for real CPU work, and it
+// must be charged precisely because it sits inside a serialized section
+// where a timer sleep's overshoot would multiply into the saturation
+// throughput.
+func (m *Model) WaitServerOp() {
+	if m == nil {
+		return
+	}
+	if d := m.scaled(m.ServerOp); d > 0 {
+		spin(d)
+	}
+}
+
+// WaitRTT charges one client-observed network round trip. It sleeps (never
+// busy-waits) because concurrent clients overlap their in-flight requests
+// — the property that lets the non-enclave systems scale with the client
+// count.
+func (m *Model) WaitRTT() {
+	if m == nil {
+		return
+	}
+	d := m.scaled(m.NetRTT)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

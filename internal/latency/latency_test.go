@@ -1,0 +1,83 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilAndZeroModelsInjectNothing(t *testing.T) {
+	var nilModel *Model
+	start := time.Now()
+	nilModel.WaitECall()
+	nilModel.WaitTMC()
+	nilModel.WaitSyncWrite()
+	nilModel.WaitPaging(10)
+	None().WaitECall()
+	None().WaitTMC()
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("no-op waits took %v", elapsed)
+	}
+}
+
+func TestScaleMultipliesDurations(t *testing.T) {
+	m := &Model{Scale: 0.5, SyncWrite: 10 * time.Millisecond}
+	start := time.Now()
+	m.WaitSyncWrite()
+	elapsed := time.Since(start)
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("scaled wait of 5ms finished in %v", elapsed)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("scaled wait of 5ms took %v", elapsed)
+	}
+}
+
+func TestBusyWaitShortDurations(t *testing.T) {
+	m := &Model{Scale: 1.0, ECall: 20 * time.Microsecond}
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		m.WaitECall()
+	}
+	elapsed := time.Since(start)
+	if elapsed < 800*time.Microsecond {
+		t.Fatalf("50×20µs busy waits finished in %v (not waiting)", elapsed)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("50×20µs busy waits took %v (sleep granularity leaked in)", elapsed)
+	}
+}
+
+func TestDefaultValues(t *testing.T) {
+	m := Default()
+	if m.Scale != 1.0 {
+		t.Fatalf("default scale = %v, want 1.0", m.Scale)
+	}
+	if m.TMCIncrement != 60*time.Millisecond {
+		t.Fatalf("TMCIncrement = %v, want 60ms (paper Sec. 6.5)", m.TMCIncrement)
+	}
+}
+
+func TestScaledConstructor(t *testing.T) {
+	m := Scaled(0.1)
+	if m.Scale != 0.1 {
+		t.Fatalf("Scaled(0.1).Scale = %v", m.Scale)
+	}
+	if m.TMCIncrement != DefaultTMCIncrement {
+		t.Fatal("Scaled must keep base durations and only change Scale")
+	}
+}
+
+func TestWaitPagingProportionalToFactor(t *testing.T) {
+	m := &Model{Scale: 1.0, PageIn: 1 * time.Millisecond}
+	start := time.Now()
+	m.WaitPaging(3)
+	elapsed := time.Since(start)
+	if elapsed < 2*time.Millisecond {
+		t.Fatalf("WaitPaging(3) with 1ms unit finished in %v", elapsed)
+	}
+	start = time.Now()
+	m.WaitPaging(0)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("WaitPaging(0) waited")
+	}
+}

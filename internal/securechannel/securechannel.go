@@ -1,0 +1,109 @@
+// Package securechannel implements the attested secure channel used during
+// bootstrapping (Sec. 4.3) and migration (Sec. 4.6.2): after verifying a
+// remote-attestation quote, the admin (or the origin enclave) injects
+// secret keys into a trusted execution context through a channel that the
+// untrusted server relaying the messages cannot read or tamper with.
+//
+// The channel is a single-round X25519 key agreement: the responder (the
+// enclave) generates an ephemeral key pair and publishes its public key as
+// attestation user data, which binds the key to the attested enclave. The
+// initiator (the admin) generates its own ephemeral pair, derives a shared
+// AEAD key with HKDF, and sends its public key alongside each sealed
+// payload.
+package securechannel
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"lcm/internal/aead"
+	"lcm/internal/keyderiv"
+)
+
+// ErrBadPeerKey reports a malformed peer public key.
+var ErrBadPeerKey = errors.New("securechannel: invalid peer public key")
+
+const channelContext = "lcm/securechannel/v1"
+
+// Responder is the enclave side of the channel. Its public key is meant to
+// be embedded in an attestation quote's user data.
+type Responder struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewResponder generates the responder's ephemeral key pair.
+func NewResponder() (*Responder, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: generate key: %w", err)
+	}
+	return &Responder{priv: priv}, nil
+}
+
+// PublicKey returns the responder's public key bytes for embedding in a
+// quote.
+func (r *Responder) PublicKey() []byte {
+	return r.priv.PublicKey().Bytes()
+}
+
+// Open decrypts a sealed payload produced by Seal for this responder.
+// senderPub is the initiator's ephemeral public key that accompanied the
+// ciphertext.
+func (r *Responder) Open(senderPub, ciphertext []byte) ([]byte, error) {
+	peer, err := ecdh.X25519().NewPublicKey(senderPub)
+	if err != nil {
+		return nil, ErrBadPeerKey
+	}
+	shared, err := r.priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: ecdh: %w", err)
+	}
+	key, err := channelKey(shared, senderPub, r.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	return aead.Open(key, ciphertext, []byte(channelContext))
+}
+
+// Seal encrypts payload to a responder identified by its public key
+// (typically taken from a verified attestation quote). It returns the
+// initiator's ephemeral public key and the ciphertext.
+func Seal(responderPub, payload []byte) (senderPub, ciphertext []byte, err error) {
+	peer, err := ecdh.X25519().NewPublicKey(responderPub)
+	if err != nil {
+		return nil, nil, ErrBadPeerKey
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: generate key: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: ecdh: %w", err)
+	}
+	senderPub = priv.PublicKey().Bytes()
+	key, err := channelKey(shared, senderPub, responderPub)
+	if err != nil {
+		return nil, nil, err
+	}
+	ciphertext, err = aead.Seal(key, payload, []byte(channelContext))
+	if err != nil {
+		return nil, nil, err
+	}
+	return senderPub, ciphertext, nil
+}
+
+// channelKey derives the channel AEAD key from the ECDH shared secret and
+// both public keys (so that a key-share swap changes the key).
+func channelKey(shared, initiatorPub, responderPub []byte) (aead.Key, error) {
+	salt := make([]byte, 0, len(initiatorPub)+len(responderPub))
+	salt = append(salt, initiatorPub...)
+	salt = append(salt, responderPub...)
+	raw, err := keyderiv.Derive(shared, salt, channelContext, aead.KeySize)
+	if err != nil {
+		return aead.Key{}, err
+	}
+	return aead.KeyFromBytes(raw)
+}

@@ -1,0 +1,97 @@
+package securechannel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lcm/internal/aead"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	resp, err := NewResponder()
+	if err != nil {
+		t.Fatalf("NewResponder: %v", err)
+	}
+	payload := []byte("kP || kC key material")
+	senderPub, ct, err := Seal(resp.PublicKey(), payload)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := resp.Open(senderPub, ct)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	resp, _ := NewResponder()
+	senderPub, ct, err := Seal(resp.PublicKey(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Clone(ct)
+	mutated[len(mutated)-1] ^= 1
+	if _, err := resp.Open(senderPub, mutated); !errors.Is(err, aead.ErrAuth) {
+		t.Fatalf("tampered ciphertext: got %v, want ErrAuth", err)
+	}
+}
+
+// A man-in-the-middle server that substitutes its own responder key cannot
+// decrypt... but more importantly, a ciphertext sealed to one responder
+// must not open at another (the attested key binds the channel).
+func TestCiphertextBoundToResponder(t *testing.T) {
+	honest, _ := NewResponder()
+	attacker, _ := NewResponder()
+	senderPub, ct, err := Seal(honest.PublicKey(), []byte("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := attacker.Open(senderPub, ct); err == nil {
+		t.Fatal("ciphertext sealed to honest responder opened by attacker")
+	}
+}
+
+func TestOpenRejectsSubstitutedSenderKey(t *testing.T) {
+	resp, _ := NewResponder()
+	_, ct, err := Seal(resp.PublicKey(), []byte("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewResponder()
+	if _, err := resp.Open(other.PublicKey(), ct); err == nil {
+		t.Fatal("ciphertext opened with substituted sender key")
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	resp, _ := NewResponder()
+	if _, _, err := Seal([]byte("short"), []byte("p")); !errors.Is(err, ErrBadPeerKey) {
+		t.Fatalf("Seal with bad key = %v, want ErrBadPeerKey", err)
+	}
+	if _, err := resp.Open([]byte("short"), []byte("ct")); !errors.Is(err, ErrBadPeerKey) {
+		t.Fatalf("Open with bad key = %v, want ErrBadPeerKey", err)
+	}
+}
+
+func TestEphemeralKeysAreFresh(t *testing.T) {
+	resp, _ := NewResponder()
+	p1, _, err := Seal(resp.PublicKey(), []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := Seal(resp.PublicKey(), []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(p1, p2) {
+		t.Fatal("initiator reused an ephemeral key")
+	}
+	r2, _ := NewResponder()
+	if bytes.Equal(resp.PublicKey(), r2.PublicKey()) {
+		t.Fatal("responders share a key pair")
+	}
+}

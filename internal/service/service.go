@@ -1,0 +1,37 @@
+// Package service defines the stateful application functionality F of the
+// system model (Sec. 2.1): a set of operations, each with a response and a
+// state change, executed by the trusted execution context via execF.
+//
+// The same interface is implemented by the key-value store the paper
+// evaluates (internal/kvs) and by other applications, and it is consumed
+// by the LCM protocol (internal/core) as well as by the SGX and native
+// baselines — mirroring the paper's framework design (Sec. 5.2), which
+// requires "an operation processor ... and a serialization interface".
+package service
+
+// Service is the functionality F. Implementations need not be
+// deterministic (LCM, unlike trusted-counter schemes with replay-based
+// recovery, does not require it; see Sec. 3.1) and need not be safe for
+// concurrent use: the enclave executes operations sequentially.
+type Service interface {
+	// Apply executes one operation (execF). The returned result is
+	// delivered to the invoking client verbatim. An error reports a
+	// malformed operation — a protocol-level failure, not an
+	// application-level "not found", which services encode in the result.
+	Apply(op []byte) ([]byte, error)
+
+	// Snapshot serializes the full service state.
+	Snapshot() ([]byte, error)
+
+	// Restore replaces the service state from a snapshot produced by
+	// Snapshot.
+	Restore(snapshot []byte) error
+
+	// Footprint estimates the resident memory of the service state in
+	// bytes, used for EPC accounting (Sec. 6.2).
+	Footprint() int64
+}
+
+// Factory creates a fresh, empty Service instance. The enclave calls it
+// once per epoch, before restoring any sealed snapshot.
+type Factory func() Service

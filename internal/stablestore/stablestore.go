@@ -1,0 +1,335 @@
+// Package stablestore provides the untrusted persistent storage of the
+// system model (Sec. 2.1): clients, the server and the trusted execution
+// context persist state through load and store operations on stable
+// storage that survives crashes.
+//
+// The storage is under the server's control and therefore untrusted by the
+// enclave: a malicious server may return a correctly protected but outdated
+// blob — the rollback attack of Sec. 2.3. The RollbackStore wrapper models
+// exactly that adversary: it retains every version ever stored and can be
+// instructed to serve a stale one.
+package stablestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"lcm/internal/latency"
+)
+
+// ErrNotFound reports that a slot has never been stored.
+var ErrNotFound = errors.New("stablestore: slot not found")
+
+// Store is the load/store interface of the system model. Implementations
+// must be safe for concurrent use.
+type Store interface {
+	// Store durably records blob under slot, replacing any previous value.
+	Store(slot string, blob []byte) error
+	// Load returns the blob most recently stored under slot, or
+	// ErrNotFound if the slot was never written.
+	Load(slot string) ([]byte, error)
+}
+
+// Lister is implemented by stores that can enumerate their slots.
+type Lister interface {
+	Slots() []string
+}
+
+// MemStore is an in-memory Store for tests and benchmarks.
+type MemStore struct {
+	mu    sync.RWMutex
+	slots map[string][]byte
+}
+
+var (
+	_ Store  = (*MemStore)(nil)
+	_ Lister = (*MemStore)(nil)
+)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{slots: make(map[string][]byte)}
+}
+
+// Store implements Store.
+func (s *MemStore) Store(slot string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.slots[slot] = cp
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(slot string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	blob, ok := s.slots[slot]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	return cp, nil
+}
+
+// Slots implements Lister.
+func (s *MemStore) Slots() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.slots))
+	for k := range s.slots {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileStore persists slots as files in a directory. Writes go through a
+// temporary file plus rename so that a crash never leaves a torn blob. In
+// Sync mode every write is fsync'd (and charged the model's SyncWrite
+// latency), which is the configuration of Fig. 6; otherwise writes are
+// asynchronous as in Figs. 4-5.
+type FileStore struct {
+	dir   string
+	sync  bool
+	model *latency.Model
+	mu    sync.Mutex
+}
+
+var (
+	_ Store  = (*FileStore)(nil)
+	_ Lister = (*FileStore)(nil)
+)
+
+// NewFileStore creates (if necessary) dir and returns a FileStore over it.
+// model may be nil; it is only consulted in sync mode.
+func NewFileStore(dir string, syncWrites bool, model *latency.Model) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stablestore: create dir: %w", err)
+	}
+	return &FileStore{dir: dir, sync: syncWrites, model: model}, nil
+}
+
+func (s *FileStore) path(slot string) string {
+	// Slot names are protocol-chosen constants, but guard against path
+	// separators anyway.
+	safe := strings.NewReplacer("/", "_", "\\", "_", "..", "_").Replace(slot)
+	return filepath.Join(s.dir, safe+".blob")
+}
+
+// Store implements Store.
+func (s *FileStore) Store(slot string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	final := s.path(slot)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("stablestore: open temp: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return fmt.Errorf("stablestore: write: %w", err)
+	}
+	if s.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("stablestore: fsync: %w", err)
+		}
+		s.model.WaitSyncWrite()
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stablestore: close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("stablestore: rename: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *FileStore) Load(slot string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, err := os.ReadFile(s.path(slot))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stablestore: read: %w", err)
+	}
+	return blob, nil
+}
+
+// Slots implements Lister.
+func (s *FileStore) Slots() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".blob"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollbackStore wraps a Store and retains the full version history of every
+// slot, modelling a malicious server's stable storage. While inactive it
+// behaves exactly like the wrapped store. After RollbackTo or Pin the
+// attacker serves stale versions on Load — a rollback attack (Sec. 2.3).
+type RollbackStore struct {
+	mu       sync.Mutex
+	inner    Store
+	history  map[string][][]byte
+	pinned   map[string][]byte // attack: stale blob served on Load
+	dropping bool              // attack: silently discard new Stores
+}
+
+var _ Store = (*RollbackStore)(nil)
+
+// NewRollbackStore wraps inner.
+func NewRollbackStore(inner Store) *RollbackStore {
+	return &RollbackStore{
+		inner:   inner,
+		history: make(map[string][][]byte),
+		pinned:  make(map[string][]byte),
+	}
+}
+
+// Store implements Store, recording the version. When DropWrites is active
+// the write is acknowledged but discarded — a server pretending to persist.
+func (s *RollbackStore) Store(slot string, blob []byte) error {
+	s.mu.Lock()
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.history[slot] = append(s.history[slot], cp)
+	dropping := s.dropping
+	s.mu.Unlock()
+	if dropping {
+		return nil
+	}
+	return s.inner.Store(slot, blob)
+}
+
+// Load implements Store, serving the pinned stale version when the attack
+// is active.
+func (s *RollbackStore) Load(slot string) ([]byte, error) {
+	s.mu.Lock()
+	stale, ok := s.pinned[slot]
+	s.mu.Unlock()
+	if ok {
+		cp := make([]byte, len(stale))
+		copy(cp, stale)
+		return cp, nil
+	}
+	return s.inner.Load(slot)
+}
+
+// Versions returns how many versions of slot have been stored.
+func (s *RollbackStore) Versions(slot string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history[slot])
+}
+
+// RollbackTo pins version index (0-based, oldest first) of slot so that
+// subsequent Loads return it. It reports whether the version exists.
+func (s *RollbackStore) RollbackTo(slot string, index int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.history[slot]
+	if index < 0 || index >= len(h) {
+		return false
+	}
+	s.pinned[slot] = h[index]
+	return true
+}
+
+// RollbackBy pins the version n writes before the latest one.
+func (s *RollbackStore) RollbackBy(slot string, n int) bool {
+	s.mu.Lock()
+	h := s.history[slot]
+	s.mu.Unlock()
+	return s.RollbackTo(slot, len(h)-1-n)
+}
+
+// ClearAttack stops serving stale versions and stops dropping writes.
+func (s *RollbackStore) ClearAttack() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinned = make(map[string][]byte)
+	s.dropping = false
+}
+
+// DropWrites makes subsequent Stores be acknowledged but not persisted.
+func (s *RollbackStore) DropWrites(drop bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropping = drop
+}
+
+// CrashStore wraps a Store and fails writes on command, simulating a host
+// crash between the enclave producing a sealed state and the host
+// persisting it (the §4.6.1 crash-tolerance scenarios).
+type CrashStore struct {
+	mu        sync.Mutex
+	inner     Store
+	failAfter int // number of successful Stores remaining; -1 = never fail
+}
+
+var _ Store = (*CrashStore)(nil)
+
+// ErrCrashed reports an injected storage crash.
+var ErrCrashed = errors.New("stablestore: injected crash")
+
+// NewCrashStore wraps inner with crash injection disabled.
+func NewCrashStore(inner Store) *CrashStore {
+	return &CrashStore{inner: inner, failAfter: -1}
+}
+
+// FailAfter arranges for the next n Stores to succeed and every one after
+// that to fail with ErrCrashed, until Reset.
+func (s *CrashStore) FailAfter(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAfter = n
+}
+
+// Reset disables crash injection.
+func (s *CrashStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAfter = -1
+}
+
+// Store implements Store.
+func (s *CrashStore) Store(slot string, blob []byte) error {
+	s.mu.Lock()
+	if s.failAfter == 0 {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	if s.failAfter > 0 {
+		s.failAfter--
+	}
+	s.mu.Unlock()
+	return s.inner.Store(slot, blob)
+}
+
+// Load implements Store.
+func (s *CrashStore) Load(slot string) ([]byte, error) {
+	return s.inner.Load(slot)
+}

@@ -1,0 +1,275 @@
+package stablestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// storeFactories enumerates the real Store implementations so the contract
+// tests run against each.
+func storeFactories(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"file": func() Store {
+			fs, err := NewFileStore(t.TempDir(), false, nil)
+			if err != nil {
+				t.Fatalf("NewFileStore: %v", err)
+			}
+			return fs
+		},
+		"file-sync": func() Store {
+			fs, err := NewFileStore(t.TempDir(), true, nil)
+			if err != nil {
+				t.Fatalf("NewFileStore: %v", err)
+			}
+			return fs
+		},
+		"rollback-idle": func() Store { return NewRollbackStore(NewMemStore()) },
+		"crash-idle":    func() Store { return NewCrashStore(NewMemStore()) },
+	}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+
+			if _, err := s.Load("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load(missing) = %v, want ErrNotFound", err)
+			}
+
+			if err := s.Store("state", []byte("v1")); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+			got, err := s.Load("state")
+			if err != nil || !bytes.Equal(got, []byte("v1")) {
+				t.Fatalf("Load = %q, %v", got, err)
+			}
+
+			// Most recent write wins.
+			if err := s.Store("state", []byte("v2")); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+			got, _ = s.Load("state")
+			if !bytes.Equal(got, []byte("v2")) {
+				t.Fatalf("Load after overwrite = %q, want v2", got)
+			}
+
+			// Slots are independent.
+			if err := s.Store("key", []byte("k")); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+			got, _ = s.Load("state")
+			if !bytes.Equal(got, []byte("v2")) {
+				t.Fatal("writing one slot disturbed another")
+			}
+
+			// Empty blob round-trips.
+			if err := s.Store("empty", nil); err != nil {
+				t.Fatalf("Store(nil): %v", err)
+			}
+			got, err = s.Load("empty")
+			if err != nil || len(got) != 0 {
+				t.Fatalf("Load(empty) = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestStoreIsolationFromCallerBuffers(t *testing.T) {
+	s := NewMemStore()
+	blob := []byte("original")
+	if err := s.Store("slot", blob); err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 'X' // mutate after store
+	got, _ := s.Load("slot")
+	if !bytes.Equal(got, []byte("original")) {
+		t.Fatal("MemStore aliased the caller's buffer")
+	}
+	got[0] = 'Y' // mutate the loaded copy
+	got2, _ := s.Load("slot")
+	if !bytes.Equal(got2, []byte("original")) {
+		t.Fatal("MemStore returned aliased memory from Load")
+	}
+}
+
+func TestMemStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slot := fmt.Sprintf("slot-%d", g%2)
+			for i := 0; i < 200; i++ {
+				if err := s.Store(slot, []byte{byte(i)}); err != nil {
+					t.Errorf("Store: %v", err)
+					return
+				}
+				if _, err := s.Load(slot); err != nil {
+					t.Errorf("Load: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFileStore(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Store("state", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Load("state")
+	if err != nil || !bytes.Equal(got, []byte("survives")) {
+		t.Fatalf("reopened Load = %q, %v", got, err)
+	}
+}
+
+func TestFileStoreSanitizesSlotNames(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Store("../escape/attempt", []byte("x")); err != nil {
+		t.Fatalf("Store with hostile slot name: %v", err)
+	}
+	got, err := fs.Load("../escape/attempt")
+	if err != nil || !bytes.Equal(got, []byte("x")) {
+		t.Fatalf("Load with hostile slot name = %q, %v", got, err)
+	}
+}
+
+func TestFileStoreSlots(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []string{"b", "a", "c"} {
+		if err := fs.Store(slot, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.Slots()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Slots = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slots = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRollbackStoreServesStaleVersion(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	for i := 1; i <= 3; i++ {
+		if err := rs.Store("state", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.Versions("state") != 3 {
+		t.Fatalf("Versions = %d, want 3", rs.Versions("state"))
+	}
+
+	// Idle: latest version.
+	got, _ := rs.Load("state")
+	if !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("idle Load = %v, want [3]", got)
+	}
+
+	// Attack: serve version 0 (the oldest).
+	if !rs.RollbackTo("state", 0) {
+		t.Fatal("RollbackTo rejected valid index")
+	}
+	got, _ = rs.Load("state")
+	if !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("rolled-back Load = %v, want [1]", got)
+	}
+
+	// RollbackBy counts from the end.
+	if !rs.RollbackBy("state", 1) {
+		t.Fatal("RollbackBy rejected valid offset")
+	}
+	got, _ = rs.Load("state")
+	if !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("RollbackBy(1) Load = %v, want [2]", got)
+	}
+
+	// Clearing the attack restores honest behaviour.
+	rs.ClearAttack()
+	got, _ = rs.Load("state")
+	if !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("post-attack Load = %v, want [3]", got)
+	}
+}
+
+func TestRollbackStoreRejectsInvalidIndices(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	if rs.RollbackTo("state", 0) {
+		t.Fatal("RollbackTo succeeded with no history")
+	}
+	rs.Store("state", []byte("v"))
+	if rs.RollbackTo("state", 1) || rs.RollbackTo("state", -1) {
+		t.Fatal("RollbackTo accepted out-of-range index")
+	}
+	if rs.RollbackBy("state", 5) {
+		t.Fatal("RollbackBy accepted offset beyond history")
+	}
+}
+
+func TestRollbackStoreDropWrites(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	rs.Store("state", []byte("v1"))
+	rs.DropWrites(true)
+	if err := rs.Store("state", []byte("v2")); err != nil {
+		t.Fatalf("dropped Store must still acknowledge: %v", err)
+	}
+	got, _ := rs.Load("state")
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Load after dropped write = %q, want v1", got)
+	}
+	// History still records the attempted write so the attacker can
+	// replay it later if useful.
+	if rs.Versions("state") != 2 {
+		t.Fatalf("Versions = %d, want 2", rs.Versions("state"))
+	}
+}
+
+func TestCrashStoreFailsOnSchedule(t *testing.T) {
+	cs := NewCrashStore(NewMemStore())
+	cs.FailAfter(2)
+	if err := cs.Store("s", []byte("1")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := cs.Store("s", []byte("2")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if err := cs.Store("s", []byte("3")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 3 = %v, want ErrCrashed", err)
+	}
+	// Loads keep working (the disk did not vanish; the process crashed).
+	got, err := cs.Load("s")
+	if err != nil || !bytes.Equal(got, []byte("2")) {
+		t.Fatalf("Load = %q, %v; want last persisted value", got, err)
+	}
+	cs.Reset()
+	if err := cs.Store("s", []byte("4")); err != nil {
+		t.Fatalf("write after Reset: %v", err)
+	}
+}

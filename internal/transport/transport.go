@@ -1,0 +1,348 @@
+// Package transport provides the message channels between clients and the
+// server: an in-memory network for tests and benchmarks, a TCP transport
+// with length-prefixed framing for real deployments (the prototype of
+// Sec. 5.3 uses TCP sockets), and a tampering wrapper modelling a
+// malicious server's network-level powers (drop, duplicate, reorder).
+//
+// With a correct server, both transports deliver messages reliably in FIFO
+// order per connection, as the system model requires (Sec. 2.1).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrClosed reports use of a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// MaxFrame bounds a single message (16 MiB); larger frames indicate
+// corruption or abuse.
+const MaxFrame = 16 << 20
+
+// Conn is a reliable, FIFO, message-oriented duplex connection.
+// Send and Recv may be used concurrently with each other, but at most one
+// goroutine may call Send and one may call Recv at a time.
+type Conn interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// ---- In-memory transport ----
+
+type pipeConn struct {
+	send chan<- []byte
+	recv <-chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}   // this side closed
+	peer      <-chan struct{} // other side closed
+	closePeer func()          // signals our closed channel is shared state
+}
+
+// Pipe returns two connected in-memory connections. Messages are copied
+// at the boundary so callers may reuse buffers.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	ca := make(chan struct{})
+	cb := make(chan struct{})
+	a := &pipeConn{send: ab, recv: ba, closed: ca, peer: cb}
+	b := &pipeConn{send: ba, recv: ab, closed: cb, peer: ca}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *pipeConn) Send(msg []byte) error {
+	// Check for closure first: a ready buffer slot must not mask it.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer:
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer:
+		return ErrClosed
+	case c.send <- cp:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-c.peer:
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// InmemNetwork is a named in-memory network: servers Listen, clients Dial.
+type InmemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*inmemListener
+}
+
+// NewInmemNetwork returns an empty network.
+func NewInmemNetwork() *InmemNetwork {
+	return &InmemNetwork{listeners: make(map[string]*inmemListener)}
+}
+
+type inmemListener struct {
+	net     *InmemNetwork
+	name    string
+	backlog chan Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Listen registers a named endpoint.
+func (n *InmemNetwork) Listen(name string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("transport: endpoint %q already listening", name)
+	}
+	l := &inmemListener{
+		net:     n,
+		name:    name,
+		backlog: make(chan Conn, 64),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a named endpoint.
+func (n *InmemNetwork) Dial(name string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", name)
+	}
+	client, server := Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Accept implements Listener.
+func (l *inmemListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *inmemListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.name)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements Listener.
+func (l *inmemListener) Addr() string { return l.name }
+
+// ---- TCP transport ----
+
+type tcpConn struct {
+	nc      net.Conn
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// DialTCP connects to a TCP frame endpoint.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpConn{nc: nc}, nil
+}
+
+// Send implements Conn with u32 length-prefixed framing.
+func (c *tcpConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(msg))
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.nc.Write(msg); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+// ListenTCP opens a TCP frame endpoint; addr may use port 0.
+func ListenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// Accept implements Listener.
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{nc: nc}, nil
+}
+
+// Close implements Listener.
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+// ---- Adversarial wrapper ----
+
+// TamperPolicy decides the fate of each message through a TamperConn.
+type TamperPolicy struct {
+	// DropEvery drops every n-th sent message (0 disables).
+	DropEvery int
+	// DuplicateEvery re-delivers every n-th sent message twice
+	// (0 disables) — a network-level replay.
+	DuplicateEvery int
+	// SwapPairs delivers messages in pairs with their order swapped,
+	// violating FIFO.
+	SwapPairs bool
+}
+
+// TamperConn wraps a Conn and applies a malicious server's message games
+// on the Send path.
+type TamperConn struct {
+	inner   Conn
+	policy  TamperPolicy
+	mu      sync.Mutex
+	count   int
+	heldMsg []byte
+	holding bool
+}
+
+var _ Conn = (*TamperConn)(nil)
+
+// NewTamperConn wraps inner with the policy.
+func NewTamperConn(inner Conn, policy TamperPolicy) *TamperConn {
+	return &TamperConn{inner: inner, policy: policy}
+}
+
+// Send implements Conn, applying the tampering policy.
+func (c *TamperConn) Send(msg []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	if d := c.policy.DropEvery; d > 0 && c.count%d == 0 {
+		return nil // silently discarded
+	}
+	if c.policy.SwapPairs {
+		if !c.holding {
+			c.heldMsg = append([]byte(nil), msg...)
+			c.holding = true
+			return nil
+		}
+		c.holding = false
+		if err := c.inner.Send(msg); err != nil {
+			return err
+		}
+		return c.inner.Send(c.heldMsg)
+	}
+	if err := c.inner.Send(msg); err != nil {
+		return err
+	}
+	if d := c.policy.DuplicateEvery; d > 0 && c.count%d == 0 {
+		return c.inner.Send(msg)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *TamperConn) Recv() ([]byte, error) { return c.inner.Recv() }
+
+// Close implements Conn.
+func (c *TamperConn) Close() error { return c.inner.Close() }

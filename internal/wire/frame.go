@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Client-server frame kinds (the outermost layer on the wire, visible to
+// and routed by the untrusted server).
+const (
+	// FrameInvoke carries an encrypted INVOKE; the response frame carries
+	// the encrypted REPLY.
+	FrameInvoke byte = iota + 1
+	// FrameECall carries a raw enclave call (attestation, provisioning,
+	// admin, migration, status); the response carries the enclave's
+	// response. The honest host forwards these verbatim; their security
+	// rests on the inner protocol layers, never on the host.
+	FrameECall
+)
+
+// Response status codes.
+const (
+	StatusOK byte = iota
+	StatusError
+)
+
+// EncodeFrame builds a request frame.
+func EncodeFrame(kind byte, payload []byte) []byte {
+	out := make([]byte, 1+len(payload))
+	out[0] = kind
+	copy(out[1:], payload)
+	return out
+}
+
+// DecodeFrame splits a request frame.
+func DecodeFrame(frame []byte) (kind byte, payload []byte, err error) {
+	if len(frame) == 0 {
+		return 0, nil, errors.New("wire: empty frame")
+	}
+	return frame[0], frame[1:], nil
+}
+
+// OKFrame builds a success response frame.
+func OKFrame(payload []byte) []byte {
+	out := make([]byte, 1+len(payload))
+	out[0] = StatusOK
+	copy(out[1:], payload)
+	return out
+}
+
+// ErrorFrame builds an error response frame carrying the error text.
+func ErrorFrame(err error) []byte {
+	msg := err.Error()
+	out := make([]byte, 1+len(msg))
+	out[0] = StatusError
+	copy(out[1:], msg)
+	return out
+}
+
+// DecodeResponse splits a response frame into payload or error.
+func DecodeResponse(frame []byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, errors.New("wire: empty response frame")
+	}
+	switch frame[0] {
+	case StatusOK:
+		return frame[1:], nil
+	case StatusError:
+		return nil, fmt.Errorf("wire: server error: %s", frame[1:])
+	default:
+		return nil, fmt.Errorf("wire: bad response status %d", frame[0])
+	}
+}

@@ -1,0 +1,135 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DB is the interface a system under test exposes to the driver — one
+// instance per simulated client.
+type DB interface {
+	Read(key string) error
+	Update(key, value string) error
+}
+
+// DBFactory produces one connected DB session per client.
+type DBFactory func(clientIndex int) (DB, error)
+
+// Report aggregates one measurement run.
+type Report struct {
+	Ops        int
+	Errors     int
+	Duration   time.Duration
+	Throughput float64 // ops/sec
+	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P95Lat     time.Duration
+	P99Lat     time.Duration
+}
+
+// String renders the report like a YCSB summary line.
+func (r Report) String() string {
+	return fmt.Sprintf("ops=%d errs=%d dur=%v thr=%.1f ops/s mean=%v p50=%v p95=%v p99=%v",
+		r.Ops, r.Errors, r.Duration, r.Throughput, r.MeanLat, r.P50Lat, r.P95Lat, r.P99Lat)
+}
+
+// Load populates the store with every record through a single client.
+func Load(db DB, w *Workload, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	for _, key := range w.LoadKeys() {
+		if err := db.Update(key, w.Value(r)); err != nil {
+			return fmt.Errorf("ycsb: load %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// Run drives clients closed-loop for the given duration and aggregates a
+// report. Every reported data point in the paper is taken over a fixed
+// window (30 s there; configurable here so tests stay fast).
+func Run(factory DBFactory, w *Workload, clients int, duration time.Duration, seed int64) (Report, error) {
+	type clientStats struct {
+		ops       int
+		errors    int
+		latencies []time.Duration
+	}
+	stats := make([]clientStats, clients)
+	dbs := make([]DB, clients)
+	for i := range dbs {
+		db, err := factory(i)
+		if err != nil {
+			return Report{}, fmt.Errorf("ycsb: client %d: %w", i, err)
+		}
+		dbs[i] = db
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(i)*7919))
+			st := &stats[i]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := w.Next(r)
+				opStart := time.Now()
+				var err error
+				if op.Kind == OpRead {
+					err = dbs[i].Read(op.Key)
+				} else {
+					err = dbs[i].Update(op.Key, op.Value)
+				}
+				st.latencies = append(st.latencies, time.Since(opStart))
+				if err != nil {
+					st.errors++
+					// A failing backend would otherwise spin; back off
+					// by stopping this client.
+					return
+				}
+				st.ops++
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	report := Report{Duration: elapsed}
+	for i := range stats {
+		report.Ops += stats[i].ops
+		report.Errors += stats[i].errors
+		all = append(all, stats[i].latencies...)
+	}
+	report.Throughput = float64(report.Ops) / elapsed.Seconds()
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, l := range all {
+			sum += l
+		}
+		report.MeanLat = sum / time.Duration(len(all))
+		report.P50Lat = all[len(all)*50/100]
+		report.P95Lat = all[len(all)*95/100]
+		report.P99Lat = all[min(len(all)*99/100, len(all)-1)]
+	}
+	return report, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+// Package ycsb reimplements the part of the Yahoo! Cloud Serving
+// Benchmark (Cooper et al., SoCC 2010) that the paper's evaluation uses
+// (Sec. 6.1): core workloads over a keyspace of fixed-size records with
+// zipfian, uniform or latest request distributions, driven by closed-loop
+// clients for a fixed measurement window.
+//
+// Workload A (50/50 read/update) over 1 000 objects of 100 bytes with
+// 40-byte keys is the configuration behind Figs. 4-6.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind distinguishes reads from updates.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpdate
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string // updates only
+}
+
+// Chooser selects record indices according to a request distribution.
+type Chooser interface {
+	// Next returns a record index in [0, n) where n was fixed at
+	// construction.
+	Next(r *rand.Rand) int
+}
+
+// Uniform chooses uniformly at random.
+type Uniform struct {
+	n int
+}
+
+// NewUniform returns a uniform chooser over n records.
+func NewUniform(n int) *Uniform { return &Uniform{n: n} }
+
+// Next implements Chooser.
+func (u *Uniform) Next(r *rand.Rand) int { return r.Intn(u.n) }
+
+// Zipfian implements the bounded zipfian generator used by YCSB
+// (after Gray et al., "Quickly Generating Billion-Record Synthetic
+// Databases", SIGMOD 1994), with the standard exponent 0.99 and the
+// scrambling step omitted (the paper's keyspace of 1 000 records does not
+// need the hash spreading; hot keys are hot keys).
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// ZipfianConstant is YCSB's default skew exponent.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a zipfian chooser over n records.
+func NewZipfian(n int) *Zipfian {
+	theta := ZipfianConstant
+	z := &Zipfian{
+		n:     n,
+		theta: theta,
+		zeta2: zeta(2, theta),
+		zetan: zeta(n, theta),
+	}
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Chooser.
+func (z *Zipfian) Next(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// Latest skews towards recently inserted records: it draws a zipfian
+// offset from the most recent index (YCSB's "latest" distribution).
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a latest-skewed chooser over n records.
+func NewLatest(n int) *Latest { return &Latest{z: NewZipfian(n)} }
+
+// Next implements Chooser.
+func (l *Latest) Next(r *rand.Rand) int {
+	return l.z.n - 1 - l.z.Next(r)
+}
+
+// Workload generates operations in YCSB style.
+type Workload struct {
+	// ReadProportion in [0,1]; the rest are updates.
+	ReadProportion float64
+	// RecordCount is the number of objects (paper: 1 000).
+	RecordCount int
+	// KeySize pads keys to this length (paper: 40 bytes).
+	KeySize int
+	// ValueSize is the object size in bytes (paper: 100-2 500).
+	ValueSize int
+	// Chooser picks the record for each op; nil means zipfian.
+	Chooser Chooser
+}
+
+// WorkloadA returns the paper's configuration: 50/50 read/update mix over
+// recordCount records of valueSize bytes with 40-byte keys and zipfian
+// skew (YCSB core workload A, Sec. 6.1).
+func WorkloadA(recordCount, valueSize int) *Workload {
+	return &Workload{
+		ReadProportion: 0.5,
+		RecordCount:    recordCount,
+		KeySize:        40,
+		ValueSize:      valueSize,
+		Chooser:        NewZipfian(recordCount),
+	}
+}
+
+// WorkloadB is YCSB core workload B: 95 % reads.
+func WorkloadB(recordCount, valueSize int) *Workload {
+	w := WorkloadA(recordCount, valueSize)
+	w.ReadProportion = 0.95
+	return w
+}
+
+// WorkloadC is YCSB core workload C: read-only.
+func WorkloadC(recordCount, valueSize int) *Workload {
+	w := WorkloadA(recordCount, valueSize)
+	w.ReadProportion = 1.0
+	return w
+}
+
+// Key renders the padded key for a record index (YCSB's "user<hash>"
+// style, padded to KeySize).
+func (w *Workload) Key(idx int) string {
+	base := fmt.Sprintf("user%d", idx)
+	if len(base) >= w.KeySize {
+		return base[:w.KeySize]
+	}
+	pad := make([]byte, w.KeySize-len(base))
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	return base + string(pad)
+}
+
+// Value renders a value of ValueSize bytes, varied by a nonce so
+// consecutive updates differ.
+func (w *Workload) Value(r *rand.Rand) string {
+	buf := make([]byte, w.ValueSize)
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	// Only the prefix is randomized; the tail is constant padding. This
+	// matches YCSB's cheap field generation and keeps the generator off
+	// the benchmark's critical path.
+	for i := 0; i < 8 && i < len(buf); i++ {
+		buf[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	for i := 8; i < len(buf); i++ {
+		buf[i] = 'v'
+	}
+	return string(buf)
+}
+
+// Next generates one operation.
+func (w *Workload) Next(r *rand.Rand) Op {
+	chooser := w.Chooser
+	if chooser == nil {
+		chooser = NewZipfian(w.RecordCount)
+	}
+	key := w.Key(chooser.Next(r))
+	if r.Float64() < w.ReadProportion {
+		return Op{Kind: OpRead, Key: key}
+	}
+	return Op{Kind: OpUpdate, Key: key, Value: w.Value(r)}
+}
+
+// LoadKeys enumerates every key for the load phase.
+func (w *Workload) LoadKeys() []string {
+	keys := make([]string, w.RecordCount)
+	for i := range keys {
+		keys[i] = w.Key(i)
+	}
+	return keys
+}

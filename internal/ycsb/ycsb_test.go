@@ -1,0 +1,225 @@
+package ycsb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZipfianBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 1000} {
+		z := NewZipfian(n)
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			idx := z.Next(r)
+			if idx < 0 || idx >= n {
+				t.Fatalf("zipfian(%d) produced %d", n, idx)
+			}
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n)
+	r := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	// With theta=0.99 over 1000 records, the most popular record draws
+	// several percent of requests and the head dominates the tail.
+	if counts[0] < draws/100 {
+		t.Fatalf("hottest record drew %d/%d; zipfian should be skewed", counts[0], draws)
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if head < draws/2 {
+		t.Fatalf("top 10%% of records drew %d/%d; want a majority", head, draws)
+	}
+	// ...but the tail is still reachable.
+	tail := 0
+	for i := n / 2; i < n; i++ {
+		tail += counts[i]
+	}
+	if tail == 0 {
+		t.Fatal("tail never drawn")
+	}
+}
+
+func TestUniformIsFlat(t *testing.T) {
+	const n = 100
+	u := NewUniform(n)
+	r := rand.New(rand.NewSource(7))
+	counts := make([]int, n)
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		counts[u.Next(r)]++
+	}
+	for i, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("record %d drawn %d times; uniform expected ~%d", i, c, draws/n)
+		}
+	}
+}
+
+func TestLatestSkewsToEnd(t *testing.T) {
+	const n = 1000
+	l := NewLatest(n)
+	r := rand.New(rand.NewSource(3))
+	counts := make([]int, n)
+	for i := 0; i < 100_000; i++ {
+		idx := l.Next(r)
+		if idx < 0 || idx >= n {
+			t.Fatalf("latest produced %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[n-1] < counts[0] {
+		t.Fatal("latest distribution does not favour recent records")
+	}
+}
+
+func TestWorkloadKeyPadding(t *testing.T) {
+	w := WorkloadA(1000, 100)
+	for _, idx := range []int{0, 5, 999} {
+		key := w.Key(idx)
+		if len(key) != 40 {
+			t.Fatalf("key %q has length %d, want 40 (paper Sec. 6.4)", key, len(key))
+		}
+	}
+	if w.Key(1) == w.Key(2) {
+		t.Fatal("distinct records share a key")
+	}
+}
+
+func TestWorkloadValueSize(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, size := range []int{100, 500, 2500} {
+		w := WorkloadA(10, size)
+		if got := len(w.Value(r)); got != size {
+			t.Fatalf("value size = %d, want %d", got, size)
+		}
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	w := WorkloadA(1000, 100)
+	r := rand.New(rand.NewSource(9))
+	reads := 0
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		op := w.Next(r)
+		if op.Kind == OpRead {
+			reads++
+			if op.Value != "" {
+				t.Fatal("read op carries a value")
+			}
+		} else if len(op.Value) != 100 {
+			t.Fatalf("update value size = %d", len(op.Value))
+		}
+	}
+	if reads < draws*45/100 || reads > draws*55/100 {
+		t.Fatalf("workload A read ratio = %d/%d, want ≈50%%", reads, draws)
+	}
+
+	c := WorkloadC(1000, 100)
+	for i := 0; i < 1000; i++ {
+		if c.Next(r).Kind != OpRead {
+			t.Fatal("workload C generated an update")
+		}
+	}
+}
+
+func TestLoadKeysCoverKeyspace(t *testing.T) {
+	w := WorkloadA(50, 100)
+	keys := w.LoadKeys()
+	if len(keys) != 50 {
+		t.Fatalf("LoadKeys returned %d keys", len(keys))
+	}
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+// memDB is an in-memory DB for driver tests.
+type memDB struct {
+	mu   sync.Mutex
+	data map[string]string
+	ops  int
+}
+
+func (m *memDB) Read(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_ = m.data[key]
+	m.ops++
+	return nil
+}
+
+func (m *memDB) Update(key, value string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[key] = value
+	m.ops++
+	return nil
+}
+
+func TestDriverLoadAndRun(t *testing.T) {
+	w := WorkloadA(100, 100)
+	shared := &memDB{data: make(map[string]string)}
+	if err := Load(shared, w, 1); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(shared.data) != 100 {
+		t.Fatalf("loaded %d records, want 100", len(shared.data))
+	}
+
+	report, err := Run(func(int) (DB, error) { return shared, nil }, w, 4, 200*time.Millisecond, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Ops == 0 {
+		t.Fatal("driver performed no operations")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("driver reported %d errors", report.Errors)
+	}
+	if report.Throughput <= 0 {
+		t.Fatalf("throughput = %f", report.Throughput)
+	}
+	if report.P50Lat > report.P99Lat {
+		t.Fatalf("latency percentiles out of order: %+v", report)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestDriverIsDeterministicPerSeedInOps(t *testing.T) {
+	// The op *stream* per client must be reproducible for a given seed
+	// (timing varies, but the first k ops are fixed).
+	w := WorkloadA(100, 100)
+	gen := func(seed int64) []Op {
+		r := rand.New(rand.NewSource(seed))
+		out := make([]Op, 50)
+		for i := range out {
+			out[i] = w.Next(r)
+		}
+		return out
+	}
+	a, b := gen(5), gen(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op stream not deterministic at %d", i)
+		}
+	}
+}
