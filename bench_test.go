@@ -220,6 +220,50 @@ func BenchmarkAblationStateSeal(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationStateSealDelta measures the per-batch cost of the
+// incremental persistence path on the same 1000 × 100 B store: apply a
+// 16-op batch, serialize its delta, and AEAD-seal the record. Unlike
+// BenchmarkAblationStateSeal the sealed bytes are O(batch), not O(state),
+// so ns/op and sealed bytes stay flat as the store grows.
+func BenchmarkAblationStateSealDelta(b *testing.B) {
+	key, err := aead.NewKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := kvs.New()
+	w := ycsb.WorkloadA(1000, 100)
+	keys := w.LoadKeys()
+	for i, k := range keys {
+		if _, err := store.Apply(kvs.Put(k, fmt.Sprintf("value-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := store.Snapshot(); err != nil { // clear the load-phase dirty set
+		b.Fatal(err)
+	}
+	const batch = 16
+	value := string(make([]byte, 100))
+	var sealedBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if _, err := store.Apply(kvs.Put(keys[(i*batch+j)%len(keys)], value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		delta, err := store.Delta()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sealed, err := aead.Seal(key, delta, []byte("lcm/blob/delta/v1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sealedBytes += int64(len(sealed))
+	}
+	b.ReportMetric(float64(sealedBytes)/float64(b.N), "sealedB/batch")
+}
+
 // BenchmarkAblationZipfian measures the workload generator itself, to
 // confirm it stays off the critical path.
 func BenchmarkAblationZipfian(b *testing.B) {

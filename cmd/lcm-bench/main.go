@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|all \
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|all \
 //	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42]
 //
 // The paper measures each data point over 30 s; the default window here is
@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
@@ -103,6 +103,12 @@ func run() error {
 				return err
 			}
 			fmt.Println()
+		case "sealablation":
+			if _, err := benchrun.RunSealAblation(cfg, nil); err != nil {
+				return err
+			}
+			fmt.Println("delta-log persistence seals O(batch) bytes per ecall; full-seal grows with the store")
+			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -110,7 +116,7 @@ func run() error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation"} {
+		for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -1,0 +1,3 @@
+module lcm
+
+go 1.24

@@ -42,3 +42,37 @@ func measureLCMWithBatch(cfg RunConfig, batch int) (AblationPoint, error) {
 	}
 	return AblationPoint{Name: "lcm-batch", X: batch, Throughput: p.Throughput, MeanLat: p.MeanLat}, nil
 }
+
+// RunSealAblation sweeps the store size and compares LCM's two
+// persistence modes: per-batch full-state sealing (the paper's Sec. 5.2
+// prototype, O(state) sealed bytes per batch) against the incremental
+// sealed delta log (O(batch)). The gap widens with the record count —
+// exactly the scaling argument for the delta log.
+func RunSealAblation(cfg RunConfig, records []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(records) == 0 {
+		records = []int{1000, 4000, 16000}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — sealed persistence: full-state seal vs delta log (8 clients, batching, async writes)")
+	var points []AblationPoint
+	for _, n := range records {
+		c := cfg
+		c.Records = n
+		for _, fullSeal := range []bool{true, false} {
+			name := "lcm-seal-delta"
+			if fullSeal {
+				name = "lcm-seal-full"
+			}
+			p, err := measureOptions(SysLCMBatch, 8, 100, false, 0, c, func(o *Options) {
+				o.FullSeal = fullSeal
+			})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, AblationPoint{Name: name, X: n, Throughput: p.Throughput, MeanLat: p.MeanLat})
+			fmt.Fprintf(cfg.Out, "%-15s records=%-6d thr=%9.1f ops/s mean=%v\n",
+				name, n, p.Throughput, p.MeanLat.Round(time.Microsecond))
+		}
+	}
+	return points, nil
+}

@@ -198,3 +198,19 @@ func TestRunTMCSmoke(t *testing.T) {
 		t.Fatalf("LCM (%f) not meaningfully faster than TMC (%f)", lcmThr, tmcThr)
 	}
 }
+
+func TestRunSealAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	points, err := RunSealAblation(cfg, []int{200})
+	if err != nil {
+		t.Fatalf("RunSealAblation: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (full + delta)", len(points))
+	}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s produced no throughput", p.Name)
+		}
+	}
+}

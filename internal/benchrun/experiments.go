@@ -79,14 +79,24 @@ func measure(sys System, clients int, valueSize int, syncWrites bool, cfg RunCon
 }
 
 func measureWith(sys System, clients, valueSize int, syncWrites bool, batch int, cfg RunConfig) (Point, error) {
-	dep, err := Deploy(sys, Options{
+	return measureOptions(sys, clients, valueSize, syncWrites, batch, cfg, nil)
+}
+
+// measureOptions is measureWith with a deployment-options hook, used by
+// ablations that tune fields beyond the standard sweep parameters.
+func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch int, cfg RunConfig, tune func(*Options)) (Point, error) {
+	opts := Options{
 		Model:      cfg.model(),
 		SyncWrites: syncWrites,
 		Dir:        cfg.Dir,
 		// One extra group slot for the load-phase session.
 		Clients: clients + 1,
 		Batch:   batch,
-	})
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	dep, err := Deploy(sys, opts)
 	if err != nil {
 		return Point{}, fmt.Errorf("deploy %s: %w", sys, err)
 	}

@@ -62,6 +62,13 @@ type Options struct {
 	// Batch overrides the system's default batching depth when > 0
 	// (used by the batching ablation).
 	Batch int
+	// FullSeal makes LCM re-seal the full state every batch instead of
+	// appending sealed delta records — the paper's original persistence,
+	// kept as the comparison arm of the sealing ablation.
+	FullSeal bool
+	// CompactEvery overrides the delta log's compaction threshold when
+	// > 0 (records between full re-seals).
+	CompactEvery int
 }
 
 // Deployment is a running system under test.
@@ -319,9 +326,11 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 		srv, err := host.New(host.Config{
 			Platform: platform,
 			Factory: core.NewTrustedFactory(core.TrustedConfig{
-				ServiceName: "kvs",
-				NewService:  kvs.Factory(),
-				Attestation: attestation,
+				ServiceName:  "kvs",
+				NewService:   kvs.Factory(),
+				Attestation:  attestation,
+				FullSeal:     opt.FullSeal,
+				CompactEvery: opt.CompactEvery,
 			}),
 			Store:     store,
 			BatchSize: batch,

@@ -22,20 +22,32 @@ const (
 	callStatus
 )
 
-// EncodeBatchCall frames a batch of encrypted INVOKE messages for a single
-// ecall — the request-batching optimization of Sec. 5.2, which amortizes
-// the enclave transition and the per-batch state sealing.
-func EncodeBatchCall(invokes [][]byte) []byte {
+// BatchCallSize returns the encoded size of a batch call, for writer
+// preallocation.
+func BatchCallSize(invokes [][]byte) int {
 	size := 5
 	for _, in := range invokes {
 		size += 4 + len(in)
 	}
-	w := wire.NewWriter(size)
+	return size
+}
+
+// AppendBatchCall encodes a batch call into w, allowing hot paths (the
+// host's batch loop) to reuse one buffer across batches.
+func AppendBatchCall(w *wire.Writer, invokes [][]byte) {
 	w.U8(callBatch)
 	w.U32(uint32(len(invokes)))
 	for _, in := range invokes {
 		w.Var(in)
 	}
+}
+
+// EncodeBatchCall frames a batch of encrypted INVOKE messages for a single
+// ecall — the request-batching optimization of Sec. 5.2, which amortizes
+// the enclave transition and the per-batch state sealing.
+func EncodeBatchCall(invokes [][]byte) []byte {
+	w := wire.NewWriter(BatchCallSize(invokes))
+	AppendBatchCall(w, invokes)
 	return w.Bytes()
 }
 
@@ -67,18 +79,28 @@ func IsBatchCall(payload []byte) bool {
 }
 
 // BatchResult is the enclave's response to a batch call: one encrypted
-// REPLY per invoke, in order, plus the sealed state blob the host must
-// persist (piggybacked on the reply instead of an ocall, Sec. 5.2).
+// REPLY per invoke, in order, plus the persistence work the host must
+// perform before releasing the replies (piggybacked on the response
+// instead of an ocall, Sec. 5.2). Exactly one of StateBlob / DeltaRecord
+// is set:
+//
+//   - StateBlob — a full sealed snapshot; the host stores it under the
+//     state slot, and additionally truncates the delta log when Compact is
+//     set (the record-count/bytes threshold fired).
+//   - DeltaRecord — one sealed delta-log record; the host appends it to
+//     the delta-log slot.
 type BatchResult struct {
-	Replies   [][]byte
-	StateBlob []byte
+	Replies     [][]byte
+	StateBlob   []byte
+	DeltaRecord []byte
+	Compact     bool
 }
 
 // Encode serializes a batch result; the inverse of DecodeBatchResult.
 func (res *BatchResult) Encode() []byte { return encodeBatchResult(res) }
 
 func encodeBatchResult(res *BatchResult) []byte {
-	size := 9 + len(res.StateBlob)
+	size := 14 + len(res.StateBlob) + len(res.DeltaRecord)
 	for _, rep := range res.Replies {
 		size += 4 + len(rep)
 	}
@@ -87,7 +109,9 @@ func encodeBatchResult(res *BatchResult) []byte {
 	for _, rep := range res.Replies {
 		w.Var(rep)
 	}
+	w.Bool(res.Compact)
 	w.Var(res.StateBlob)
+	w.Var(res.DeltaRecord)
 	return w.Bytes()
 }
 
@@ -99,7 +123,9 @@ func DecodeBatchResult(b []byte) (*BatchResult, error) {
 	for i := uint32(0); i < n; i++ {
 		res.Replies = append(res.Replies, r.Var())
 	}
+	res.Compact = r.Bool()
 	res.StateBlob = r.Var()
+	res.DeltaRecord = r.Var()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode batch result: %w", err)
 	}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcm/internal/kvs"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+)
+
+// newRigWith builds a rig like newRig but lets the test tune the trusted
+// configuration (compaction thresholds, full-seal mode).
+func newRigWith(t *testing.T, clientIDs []uint32, tune func(*TrustedConfig)) *rig {
+	t.Helper()
+	attestation := tee.NewAttestationService()
+	platform, err := tee.NewPlatform("plat-delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attestation.Register(platform)
+	storage := stablestore.NewRollbackStore(stablestore.NewMemStore())
+	cfg := TrustedConfig{
+		ServiceName: "kvs",
+		NewService:  kvs.Factory(),
+		Attestation: attestation,
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	enclave := platform.NewEnclave(NewTrustedFactory(cfg), storage)
+	if err := enclave.Start(); err != nil {
+		t.Fatal(err)
+	}
+	admin := NewAdmin(attestation, ProgramIdentity("kvs"))
+	if err := admin.Bootstrap(enclave.Call, clientIDs); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	clients := make(map[uint32]*Client, len(clientIDs))
+	for _, id := range clientIDs {
+		clients[id] = NewClient(id, admin.CommunicationKey())
+	}
+	return &rig{
+		t:           t,
+		platform:    platform,
+		attestation: attestation,
+		storage:     storage,
+		enclave:     enclave,
+		admin:       admin,
+		clients:     clients,
+	}
+}
+
+func TestDeltaRecordRoundtrip(t *testing.T) {
+	rec := deltaRecord{
+		FromT:    7,
+		ToT:      9,
+		AdminSeq: 3,
+		Prev:     blobHash([]byte("previous")),
+		Entries: map[uint32]*ventry{
+			2: {TA: 5, T: 8, LastReply: []byte("reply-2")},
+			1: {TA: 7, T: 9, LastReply: []byte("reply-1")},
+		},
+		Delta: []byte("service-delta"),
+	}
+	enc := rec.encode()
+	got, err := decodeDeltaRecord(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.FromT != rec.FromT || got.ToT != rec.ToT || got.AdminSeq != rec.AdminSeq || got.Prev != rec.Prev {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 2 || got.Entries[1].T != 9 || string(got.Entries[2].LastReply) != "reply-2" {
+		t.Fatalf("entries mismatch: %+v", got.Entries)
+	}
+	if !bytes.Equal(got.Delta, rec.Delta) {
+		t.Fatalf("delta mismatch")
+	}
+	if _, err := decodeDeltaRecord(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+}
+
+// Batches persist as chained log appends: the state-blob slot stays at its
+// bootstrap version while the log grows one record per batch, and an
+// honest restart folds the chain back exactly.
+func TestDeltaBatchesAppendAndRecover(t *testing.T) {
+	r := newRig(t, []uint32{1, 2})
+	for i := 0; i < 4; i++ {
+		r.mustPut(1, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	r.mustPut(2, "k0", "overwritten")
+
+	if got := r.storage.Versions(SlotStateBlob); got != 1 {
+		t.Fatalf("state blob written %d times, want 1 (bootstrap only)", got)
+	}
+	if got := r.storage.LogLen(SlotDeltaLog); got != 5 {
+		t.Fatalf("delta log has %d records, want 5", got)
+	}
+
+	// Restart mid-log: recovery folds base + 5 records.
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	status, err := QueryStatus(r.enclave.Call)
+	if err != nil || status.Seq != 5 {
+		t.Fatalf("recovered seq = %v, %v; want 5", status, err)
+	}
+	kv, _ := r.mustGet(1, "k0")
+	if !kv.Found || string(kv.Value) != "overwritten" {
+		t.Fatalf("folded state read = %+v", kv)
+	}
+	kv, _ = r.mustGet(2, "k3")
+	if !kv.Found || string(kv.Value) != "v3" {
+		t.Fatalf("folded state read = %+v", kv)
+	}
+}
+
+// Crossing the CompactEvery threshold re-seals a full blob and truncates
+// the log; the chain restarts there and recovery keeps working.
+func TestDeltaCompactionTruncatesAndRechains(t *testing.T) {
+	r := newRigWith(t, []uint32{1}, func(cfg *TrustedConfig) { cfg.CompactEvery = 3 })
+	for i := 1; i <= 8; i++ {
+		r.mustPut(1, "k", fmt.Sprintf("v%d", i))
+	}
+	// Batches 1-3 append (chainLen 0,1,2), batch 4 compacts, 5-7 append,
+	// batch 8 compacts again.
+	if got := r.storage.Versions(SlotStateBlob); got != 3 {
+		t.Fatalf("state blob versions = %d, want 3 (bootstrap + 2 compactions)", got)
+	}
+	if got := r.storage.LogLen(SlotDeltaLog); got != 0 {
+		t.Fatalf("log after compaction = %d records, want 0", got)
+	}
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatalf("Restart after compaction: %v", err)
+	}
+	r.mustPut(1, "k", "v9")
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := r.mustGet(1, "k")
+	if string(kv.Value) != "v9" {
+		t.Fatalf("state after compaction cycle = %q", kv.Value)
+	}
+	status, _ := QueryStatus(r.enclave.Call)
+	if status.Seq != 10 {
+		t.Fatalf("seq = %d, want 10", status.Seq)
+	}
+}
+
+// The CompactBytes threshold fires on sealed volume even when the record
+// count stays low.
+func TestDeltaCompactionByBytes(t *testing.T) {
+	r := newRigWith(t, []uint32{1}, func(cfg *TrustedConfig) { cfg.CompactBytes = 1024 })
+	big := string(make([]byte, 2048))
+	r.mustPut(1, "big", big) // record 1: ~2 KiB sealed > threshold
+	r.mustPut(1, "k", "v")   // crosses the threshold → compaction
+	if got := r.storage.Versions(SlotStateBlob); got != 2 {
+		t.Fatalf("state blob versions = %d, want 2", got)
+	}
+	if got := r.storage.LogLen(SlotDeltaLog); got != 0 {
+		t.Fatalf("log = %d records, want 0 after byte-threshold compaction", got)
+	}
+}
+
+// Dropping an interior record (or reordering) breaks the hash chain and
+// halts recovery — the host cannot splice the log.
+func TestDeltaLogSpliceHaltsRecovery(t *testing.T) {
+	r := newRig(t, []uint32{1})
+	for i := 0; i < 3; i++ {
+		r.mustPut(1, "k", fmt.Sprintf("v%d", i))
+	}
+	log, err := r.storage.LoadLog(SlotDeltaLog)
+	if err != nil || len(log) != 3 {
+		t.Fatalf("log = %d records, %v", len(log), err)
+	}
+	// Malicious host: rebuild the log without the middle record.
+	if err := r.storage.TruncateLog(SlotDeltaLog); err != nil {
+		t.Fatal(err)
+	}
+	r.storage.Append(SlotDeltaLog, log[0])
+	r.storage.Append(SlotDeltaLog, log[2])
+	if err := r.enclave.Restart(); !errors.Is(err, tee.ErrEnclaveHalted) {
+		t.Fatalf("restart over spliced log = %v, want halt", err)
+	}
+}
+
+// A tampered record fails AEAD authentication and halts recovery.
+func TestDeltaLogTamperHaltsRecovery(t *testing.T) {
+	r := newRig(t, []uint32{1})
+	r.mustPut(1, "k", "v")
+	log, _ := r.storage.LoadLog(SlotDeltaLog)
+	if err := r.storage.TruncateLog(SlotDeltaLog); err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), log[0]...)
+	tampered[len(tampered)/2] ^= 0x01
+	r.storage.Append(SlotDeltaLog, tampered)
+	if err := r.enclave.Restart(); !errors.Is(err, tee.ErrEnclaveHalted) {
+		t.Fatalf("restart over tampered log = %v, want halt", err)
+	}
+}
+
+// A crash between compaction's blob store and log truncate leaves a log
+// that no longer chains to the base. Recovery must discard it (the blob
+// already contains everything) and resume seamlessly — a benign crash
+// must never halt the enclave.
+func TestDeltaStaleLogAfterCompactionCrashDiscarded(t *testing.T) {
+	r := newRigWith(t, []uint32{1}, func(cfg *TrustedConfig) { cfg.CompactEvery = 2 })
+	c := r.clients[1]
+	r.mustPut(1, "k", "v1") // record 1
+	r.mustPut(1, "k", "v2") // record 2
+
+	// Batch 3 compacts. Play a host that crashed after storing the blob
+	// but before truncating the log.
+	inv, err := c.Invoke(kvs.Put("k", "v3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.enclave.Call(EncodeBatchCall([][]byte{inv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := DecodeBatchResult(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Compact || len(batch.StateBlob) == 0 {
+		t.Fatalf("third batch did not compact: %+v", batch)
+	}
+	if err := r.storage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+		t.Fatal(err)
+	}
+	// ... crash: no TruncateLog, reply lost, enclave restarts.
+	if _, err := c.ProcessReply(batch.Replies[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatalf("restart with stale log = %v, want clean recovery", err)
+	}
+	status, err := QueryStatus(r.enclave.Call)
+	if err != nil || status.Seq != 3 {
+		t.Fatalf("recovered seq = %v, %v; want 3 (the compacted blob)", status, err)
+	}
+	kv, _ := r.mustGet(1, "k")
+	if string(kv.Value) != "v3" {
+		t.Fatalf("value = %q, want v3", kv.Value)
+	}
+
+	// Regression: the get above ran after a stale-log discard, so it must
+	// have compacted (clearing the stale records from disk) rather than
+	// appended behind the stale prefix — otherwise this second restart
+	// would discard the live suffix and the next op would halt as a
+	// phantom rollback.
+	if got := r.storage.LogLen(SlotDeltaLog); got != 0 {
+		t.Fatalf("stale log still holds %d records after the first post-recovery batch", got)
+	}
+	r.mustPut(1, "k", "v4")
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	r.mustPut(1, "k", "v5")
+	status, err = QueryStatus(r.enclave.Call)
+	if err != nil || status.Seq != 6 {
+		t.Fatalf("seq after crash-recovery cycle = %v, %v; want 6", status, err)
+	}
+}
+
+// Property: a delta-persisted deployment with random restarts at batch
+// boundaries stays state-identical to a full-seal deployment driven by
+// the same schedule — sequence numbers, stability, and every key.
+func TestQuickDeltaMatchesFullSeal(t *testing.T) {
+	check := func(seed int64, schedule []uint8) bool {
+		if len(schedule) == 0 {
+			return true
+		}
+		if len(schedule) > 50 {
+			schedule = schedule[:50]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i + 1)
+		}
+		delta := newRigWith(t, ids, func(cfg *TrustedConfig) {
+			cfg.CompactEvery = 1 + rng.Intn(6)
+		})
+		full := newRigWith(t, ids, func(cfg *TrustedConfig) { cfg.FullSeal = true })
+
+		keys := []string{"a", "b", "c"}
+		for _, step := range schedule {
+			id := ids[int(step)%n]
+			key := keys[int(step/3)%len(keys)]
+			var op []byte
+			switch step % 3 {
+			case 0, 1:
+				op = kvs.Put(key, fmt.Sprintf("v%d", step))
+			default:
+				op = kvs.Del(key)
+			}
+			resD, errD := delta.do(id, op)
+			resF, errF := full.do(id, op)
+			if errD != nil || errF != nil {
+				t.Logf("op failed: delta=%v full=%v", errD, errF)
+				return false
+			}
+			if resD.Seq != resF.Seq || resD.Stable != resF.Stable {
+				t.Logf("divergence: delta=(%d,%d) full=(%d,%d)", resD.Seq, resD.Stable, resF.Seq, resF.Stable)
+				return false
+			}
+			if rng.Intn(4) == 0 {
+				if err := delta.enclave.Restart(); err != nil {
+					t.Logf("delta restart: %v", err)
+					return false
+				}
+			}
+		}
+		if err := delta.enclave.Restart(); err != nil {
+			return false
+		}
+		for _, key := range keys {
+			kvD, _ := delta.mustGet(ids[0], key)
+			kvF, _ := full.mustGet(ids[0], key)
+			if kvD.Found != kvF.Found || !bytes.Equal(kvD.Value, kvF.Value) {
+				t.Logf("key %q: delta=%+v full=%+v", key, kvD, kvF)
+				return false
+			}
+		}
+		sD, errD := QueryStatus(delta.enclave.Call)
+		sF, errF := QueryStatus(full.enclave.Call)
+		return errD == nil && errF == nil && sD.Seq == sF.Seq && sD.Stable == sF.Stable
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

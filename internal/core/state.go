@@ -1,24 +1,85 @@
 package core
 
+// Persistent state format
+//
+// LCM's trusted context persists three objects on the host's untrusted
+// stable storage (Sec. 4.3/4.4, extended with incremental persistence):
+//
+//	blobkey   (SlotKeyBlob)   — kP sealed under the TEE sealing key kS.
+//	blobstate (SlotStateBlob) — a full snapshot (s, V, kC, adminSeq)
+//	                            sealed under kP. Written at bootstrap, on
+//	                            admin/migration changes, and at every
+//	                            compaction; in full-seal mode also after
+//	                            every batch.
+//	delta log (SlotDeltaLog)  — an append-only sequence of sealed delta
+//	                            records, one per batch, emitted when the
+//	                            service supports service.DeltaService and
+//	                            delta persistence is enabled.
+//
+// # Delta record layout
+//
+// Each record's plaintext is:
+//
+//	U64      FromT        t before the batch (chain continuity check)
+//	U64      ToT          t after the batch
+//	U64      AdminSeq     must equal the base blob's (admin ops compact)
+//	Bytes32  Prev         SHA-256 of the predecessor ciphertext
+//	U32      n            number of touched V entries
+//	n ×      U32 id, U64 TA, Bytes32 HA, U64 T, Bytes32 H, Var LastReply
+//	Var      ServiceDelta service.DeltaService.Delta() output
+//
+// and is sealed with AEAD under kP with associated data adDeltaLog.
+//
+// # Chaining
+//
+// Prev binds every record to the exact ciphertext that precedes it: the
+// sealed base state blob for the first record, the previous sealed record
+// otherwise. The host therefore cannot reorder, splice, or drop interior
+// records without breaking the chain, which recovery treats as a
+// violation (halt). Two suffix manipulations remain and are handled
+// exactly like the classic single-blob rollback:
+//
+//   - A log whose first record does not chain to the current base blob is
+//     discarded wholesale. This is the benign residue of a crash between
+//     compaction's Store and TruncateLog (the old log outlived its base);
+//     maliciously it is equivalent to serving an empty log — a rollback,
+//     detected at the first client invocation whose context is ahead of V.
+//   - A truncated suffix (including a torn final record after a crash) is
+//     indistinguishable from the host never having persisted those
+//     batches. Replies for them were withheld from clients if the host is
+//     honest; if it released them, the clients' contexts are ahead of the
+//     folded V and detection follows.
+//
+// # Compaction
+//
+// After CompactEvery records or CompactBytes sealed bytes (whichever
+// comes first), the enclave re-seals a full snapshot instead of a delta;
+// the host stores it and truncates the log, bounding recovery time and
+// reclaiming space. The chain restarts at the fresh blob's hash.
+
 import (
+	"crypto/sha256"
 	"fmt"
 
 	"lcm/internal/hashchain"
 	"lcm/internal/wire"
 )
 
-// Stable-storage slot names and associated-data labels for the two sealed
-// blobs of Sec. 4.3/4.4: blobkey holds kP sealed under the TEE sealing key
-// kS; blobstate holds (s, V, kC) sealed under kP.
+// Stable-storage slot names and associated-data labels.
 const (
 	SlotKeyBlob   = "lcm-keyblob"
 	SlotStateBlob = "lcm-stateblob"
+	SlotDeltaLog  = "lcm-deltalog"
 
 	adKeyBlob   = "lcm/blob/key/v1"
 	adStateBlob = "lcm/blob/state/v1"
+	adDeltaLog  = "lcm/blob/delta/v1"
 	adAdminMsg  = "lcm/msg/admin/v1"
 	adMigration = "lcm/migration/v1"
 )
+
+// blobHash condenses a sealed blob (ciphertext) for chain binding.
+func blobHash(blob []byte) [32]byte { return sha256.Sum256(blob) }
 
 // trustedState is the plaintext of the sealed state blob: the protocol
 // state V, the communication key kC, the admin sequence number and the
@@ -31,25 +92,51 @@ type trustedState struct {
 	Snapshot []byte
 }
 
-func (s *trustedState) encode() []byte {
+func (s *trustedState) encodedSize() int {
 	size := 32 + len(s.KC) + len(s.Snapshot)
 	for _, e := range s.V {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
-	w := wire.NewWriter(size)
+	return size
+}
+
+func encodeVEntry(w *wire.Writer, id uint32, e *ventry) {
+	w.U32(id)
+	w.U64(e.TA)
+	w.Bytes32(e.HA)
+	w.U64(e.T)
+	w.Bytes32(e.H)
+	w.Var(e.LastReply)
+}
+
+func decodeVEntry(r *wire.Reader) (uint32, *ventry) {
+	id := r.U32()
+	e := &ventry{
+		TA: r.U64(),
+		HA: r.Bytes32(),
+		T:  r.U64(),
+		H:  r.Bytes32(),
+	}
+	e.LastReply = r.Var()
+	if len(e.LastReply) == 0 {
+		e.LastReply = nil
+	}
+	return id, e
+}
+
+func (s *trustedState) encodeTo(w *wire.Writer) {
 	w.U64(s.AdminSeq)
 	w.Var(s.KC)
 	w.U32(uint32(len(s.V)))
 	for _, id := range s.V.clientIDs() {
-		e := s.V[id]
-		w.U32(id)
-		w.U64(e.TA)
-		w.Bytes32(e.HA)
-		w.U64(e.T)
-		w.Bytes32(e.H)
-		w.Var(e.LastReply)
+		encodeVEntry(w, id, s.V[id])
 	}
 	w.Var(s.Snapshot)
+}
+
+func (s *trustedState) encode() []byte {
+	w := wire.NewWriter(s.encodedSize())
+	s.encodeTo(w)
 	return w.Bytes()
 }
 
@@ -59,17 +146,7 @@ func decodeTrustedState(b []byte) (*trustedState, error) {
 	n := r.U32()
 	s.V = make(vmap, n)
 	for i := uint32(0); i < n; i++ {
-		id := r.U32()
-		e := &ventry{
-			TA: r.U64(),
-			HA: r.Bytes32(),
-			T:  r.U64(),
-			H:  r.Bytes32(),
-		}
-		e.LastReply = r.Var()
-		if len(e.LastReply) == 0 {
-			e.LastReply = nil
-		}
+		id, e := decodeVEntry(r)
 		s.V[id] = e
 	}
 	s.Snapshot = r.Var()
@@ -77,6 +154,66 @@ func decodeTrustedState(b []byte) (*trustedState, error) {
 		return nil, fmt.Errorf("lcm: decode trusted state: %w", err)
 	}
 	return s, nil
+}
+
+// deltaRecord is the plaintext of one sealed delta-log record: the batch's
+// sequence range, the V entries it touched, and the service delta, chained
+// to the predecessor ciphertext via Prev (see the package docs above).
+type deltaRecord struct {
+	FromT    uint64
+	ToT      uint64
+	AdminSeq uint64
+	Prev     [32]byte
+	Entries  vmap
+	Delta    []byte
+}
+
+func (d *deltaRecord) encodedSize() int {
+	size := 8 + 8 + 8 + 32 + 4 + 4 + len(d.Delta)
+	for _, e := range d.Entries {
+		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
+	}
+	return size
+}
+
+func (d *deltaRecord) encodeTo(w *wire.Writer) {
+	w.U64(d.FromT)
+	w.U64(d.ToT)
+	w.U64(d.AdminSeq)
+	w.Bytes32(d.Prev)
+	w.U32(uint32(len(d.Entries)))
+	// Deterministic order, like every other LCM encoding.
+	for _, id := range d.Entries.clientIDs() {
+		encodeVEntry(w, id, d.Entries[id])
+	}
+	w.Var(d.Delta)
+}
+
+func (d *deltaRecord) encode() []byte {
+	w := wire.NewWriter(d.encodedSize())
+	d.encodeTo(w)
+	return w.Bytes()
+}
+
+func decodeDeltaRecord(b []byte) (*deltaRecord, error) {
+	r := wire.NewReader(b)
+	d := &deltaRecord{
+		FromT:    r.U64(),
+		ToT:      r.U64(),
+		AdminSeq: r.U64(),
+		Prev:     r.Bytes32(),
+	}
+	n := r.U32()
+	d.Entries = make(vmap, n)
+	for i := uint32(0); i < n; i++ {
+		id, e := decodeVEntry(r)
+		d.Entries[id] = e
+	}
+	d.Delta = r.Var()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode delta record: %w", err)
+	}
+	return d, nil
 }
 
 // migrationPayload is the plaintext the origin enclave seals to the

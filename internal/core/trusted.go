@@ -26,15 +26,19 @@ func ProgramIdentity(serviceName string) string {
 // enclave epoch; persistent state crosses epochs only through the two
 // sealed blobs on the host's (untrusted) stable storage.
 type Trusted struct {
-	serviceName string
-	newService  service.Factory
-	attestation *tee.AttestationService // verification root for migration targets
+	serviceName  string
+	newService   service.Factory
+	attestation  *tee.AttestationService // verification root for migration targets
+	fullSeal     bool
+	compactEvery int
+	compactBytes int
 
 	// Volatile state, rebuilt by init from the sealed blobs.
 	svc       service.Service
-	t         uint64          // sequence number of the last executed operation
-	h         hashchain.Value // hash-chain value after it
-	v         vmap            // protocol state V
+	deltaSvc  service.DeltaService // non-nil iff svc supports deltas
+	t         uint64               // sequence number of the last executed operation
+	h         hashchain.Value      // hash-chain value after it
+	v         vmap                 // protocol state V
 	adminSeq  uint64
 	ks        aead.Key // sealing key (from the TEE, each epoch)
 	kp        aead.Key // protocol-state encryption key
@@ -43,9 +47,30 @@ type Trusted struct {
 	migNonce  []byte // outstanding migration challenge, if any
 	migrated  bool
 	footprint int64 // last footprint reported to the EPC model
+
+	// Delta-chain state (see the format docs in state.go): the hash of the
+	// last sealed blob/record, and the log's current size for the
+	// compaction policy. forceCompact makes the next batch re-seal a full
+	// snapshot regardless of the thresholds — set when recovery discarded
+	// a stale log, so the host truncates it (through the normal
+	// compaction directive) before any new record could land behind the
+	// stale prefix.
+	chainPrev    [32]byte
+	chainLen     int
+	chainBytes   int
+	forceCompact bool
 }
 
 var _ tee.Program = (*Trusted)(nil)
+
+// Default compaction thresholds: a full snapshot is re-sealed (and the
+// delta log truncated) after this many records or sealed bytes, whichever
+// comes first. They bound recovery time without giving up the O(batch)
+// steady-state sealing cost.
+const (
+	DefaultCompactEvery = 64
+	DefaultCompactBytes = 1 << 20
+)
 
 // TrustedConfig assembles a Trusted program factory.
 type TrustedConfig struct {
@@ -58,16 +83,37 @@ type TrustedConfig struct {
 	// program, used when this enclave attests a migration target. May be
 	// nil if migration is not used.
 	Attestation *tee.AttestationService
+	// FullSeal disables incremental delta-log persistence even when the
+	// service implements service.DeltaService, re-sealing the full state
+	// on every batch (the paper's original Sec. 5.2 behaviour). Recovery
+	// still folds any existing delta log, so the toggle is safe across
+	// restarts.
+	FullSeal bool
+	// CompactEvery overrides DefaultCompactEvery when > 0.
+	CompactEvery int
+	// CompactBytes overrides DefaultCompactBytes when > 0.
+	CompactBytes int
 }
 
 // NewTrustedFactory returns a tee.ProgramFactory for the LCM protocol over
 // the configured service.
 func NewTrustedFactory(cfg TrustedConfig) tee.ProgramFactory {
+	compactEvery := cfg.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	compactBytes := cfg.CompactBytes
+	if compactBytes <= 0 {
+		compactBytes = DefaultCompactBytes
+	}
 	return func() tee.Program {
 		return &Trusted{
-			serviceName: cfg.ServiceName,
-			newService:  cfg.NewService,
-			attestation: cfg.Attestation,
+			serviceName:  cfg.ServiceName,
+			newService:   cfg.NewService,
+			attestation:  cfg.Attestation,
+			fullSeal:     cfg.FullSeal,
+			compactEvery: compactEvery,
+			compactBytes: compactBytes,
 		}
 	}
 }
@@ -81,6 +127,7 @@ func (p *Trusted) Identity() string { return ProgramIdentity(p.serviceName) }
 func (p *Trusted) Init(env tee.Env) error {
 	p.ks = env.SealingKey()
 	p.svc = p.newService()
+	p.deltaSvc, _ = p.svc.(service.DeltaService)
 	p.v = vmap{}
 
 	// Each epoch gets a fresh secure-channel key pair; its public key is
@@ -130,7 +177,75 @@ func (p *Trusted) Init(env tee.Env) error {
 	if err != nil {
 		return tee.Halt("state blob malformed", err)
 	}
-	return p.install(env, kp, state)
+	if err := p.install(env, kp, state); err != nil {
+		return err
+	}
+	return p.foldDeltaLog(env, blobstate)
+}
+
+// foldDeltaLog replays the sealed delta log onto the freshly installed
+// base snapshot, verifying per-record authentication and the predecessor
+// hash chain. See state.go for the exact acceptance policy: an unchained
+// first record means a stale log (discarded — at worst a rollback, which
+// clients detect), while a chain break after that is proof of tampering.
+func (p *Trusted) foldDeltaLog(env tee.Env, baseBlob []byte) error {
+	p.chainPrev = blobHash(baseBlob)
+	p.chainLen, p.chainBytes = 0, 0
+	records, err := env.Host().LoadLog(SlotDeltaLog)
+	if err != nil {
+		return fmt.Errorf("lcm: load delta log: %w", err)
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	if p.deltaSvc == nil {
+		return tee.Halt("delta log present but service cannot apply deltas", nil)
+	}
+	for i, sealed := range records {
+		plain, err := aead.Open(p.kp, sealed, []byte(adDeltaLog))
+		if err != nil {
+			return tee.Halt("delta record failed authentication", err)
+		}
+		rec, err := decodeDeltaRecord(plain)
+		if err != nil {
+			return tee.Halt("delta record malformed", err)
+		}
+		if rec.Prev != p.chainPrev {
+			if i == 0 {
+				// A log that does not chain to the current base is the
+				// benign residue of a crash between compaction's store
+				// and truncate; discard it wholesale. The stale records
+				// are still on disk, so the next batch must compact
+				// (full seal + host truncation) rather than append a
+				// live record behind the stale prefix — a later restart
+				// would otherwise discard the live suffix too.
+				p.forceCompact = true
+				return nil
+			}
+			return tee.Halt("delta log chain broken", nil)
+		}
+		if rec.FromT != p.t || rec.ToT < rec.FromT {
+			return tee.Halt("delta record sequence discontinuity", nil)
+		}
+		if rec.AdminSeq != p.adminSeq {
+			return tee.Halt("delta record admin sequence mismatch", nil)
+		}
+		for id, e := range rec.Entries {
+			p.v[id] = e
+		}
+		if err := p.deltaSvc.ApplyDelta(rec.Delta); err != nil {
+			return tee.Halt("service delta malformed", err)
+		}
+		p.t, p.h = p.v.argmax()
+		if p.t != rec.ToT {
+			return tee.Halt("delta record does not reach its declared sequence", nil)
+		}
+		p.chainPrev = blobHash(sealed)
+		p.chainLen++
+		p.chainBytes += len(sealed)
+	}
+	p.chargeFootprint(env)
+	return nil
 }
 
 // install adopts a recovered (or migrated) state. Note that a stale but
@@ -231,8 +346,14 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 	}
 }
 
+// deltaActive reports whether batches persist through the sealed delta
+// log instead of full-state seals.
+func (p *Trusted) deltaActive() bool { return p.deltaSvc != nil && !p.fullSeal }
+
 // handleBatch processes a batch of INVOKE messages sequentially (the main
-// loop of Alg. 2) and seals the state once per batch (Sec. 5.2).
+// loop of Alg. 2) and seals the persistence record once per batch: a
+// delta record covering exactly this batch's changes in the common case,
+// or a full state blob in full-seal mode and at compaction points.
 func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 	if !p.provisioned() {
 		return nil, ErrNotProvisioned
@@ -240,37 +361,97 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 	if p.migrated {
 		return nil, ErrMigratedAway
 	}
+	fromT := p.t
 	replies := make([][]byte, 0, len(invokes))
+	var touched map[uint32]*ventry
+	if p.deltaActive() {
+		touched = make(map[uint32]*ventry, len(invokes))
+	}
 	for _, ct := range invokes {
-		reply, err := p.handleInvoke(ct)
+		reply, id, err := p.handleInvoke(ct)
 		if err != nil {
 			return nil, err
 		}
 		replies = append(replies, reply)
+		if touched != nil {
+			touched[id] = p.v[id]
+		}
 	}
 	p.chargeFootprint(env)
-	blob, err := p.sealState()
-	if err != nil {
-		return nil, err
+	res := BatchResult{Replies: replies}
+	switch {
+	case touched == nil:
+		// Full-seal mode (or a service without delta support): the
+		// original per-batch O(state) seal.
+		blob, err := p.sealState()
+		if err != nil {
+			return nil, err
+		}
+		res.StateBlob = blob
+	case p.forceCompact || p.chainLen >= p.compactEvery || p.chainBytes >= p.compactBytes:
+		// Compaction: re-seal a full snapshot and direct the host to
+		// truncate the log. Snapshot subsumes this batch's pending
+		// delta (the DeltaService contract), so nothing is lost.
+		blob, err := p.sealState()
+		if err != nil {
+			return nil, err
+		}
+		res.StateBlob = blob
+		res.Compact = true
+	default:
+		rec, err := p.sealDeltaRecord(fromT, touched)
+		if err != nil {
+			return nil, err
+		}
+		res.DeltaRecord = rec
 	}
-	return encodeBatchResult(&BatchResult{Replies: replies, StateBlob: blob}), nil
+	return encodeBatchResult(&res), nil
 }
 
-// handleInvoke is the per-operation body of Alg. 2.
-func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, error) {
+// sealDeltaRecord seals this batch's delta record and advances the chain.
+func (p *Trusted) sealDeltaRecord(fromT uint64, touched map[uint32]*ventry) ([]byte, error) {
+	delta, err := p.deltaSvc.Delta()
+	if err != nil {
+		return nil, fmt.Errorf("lcm: service delta: %w", err)
+	}
+	rec := deltaRecord{
+		FromT:    fromT,
+		ToT:      p.t,
+		AdminSeq: p.adminSeq,
+		Prev:     p.chainPrev,
+		Entries:  touched,
+		Delta:    delta,
+	}
+	w := wire.GetWriter(rec.encodedSize())
+	rec.encodeTo(w)
+	sealed, err := aead.Seal(p.kp, w.Bytes(), []byte(adDeltaLog))
+	wire.PutWriter(w)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal delta record: %w", err)
+	}
+	p.chainPrev = blobHash(sealed)
+	p.chainLen++
+	p.chainBytes += len(sealed)
+	return sealed, nil
+}
+
+// handleInvoke is the per-operation body of Alg. 2. It returns the reply
+// ciphertext and the invoking client's identifier (for delta-record V
+// tracking).
+func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, uint32, error) {
 	plain, err := aead.Open(p.kc, ciphertext, []byte(adInvoke))
 	if err != nil {
 		// Signal a violation if the message does not have valid
 		// authentication.
-		return nil, tee.Halt("invoke failed authentication", err)
+		return nil, 0, tee.Halt("invoke failed authentication", err)
 	}
 	inv, err := wire.DecodeInvoke(plain)
 	if err != nil {
-		return nil, tee.Halt("invoke malformed", err)
+		return nil, 0, tee.Halt("invoke malformed", err)
 	}
 	ent, ok := p.v[inv.ClientID]
 	if !ok {
-		return nil, tee.Halt("invoke from unknown client", ErrUnknownClient)
+		return nil, 0, tee.Halt("invoke from unknown client", ErrUnknownClient)
 	}
 
 	// assert V[i] = (∗, tc, hc): the client's context must match the last
@@ -280,9 +461,9 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, error) {
 		// entry means T processed the operation but the reply was lost;
 		// resend the cached reply instead of treating it as an attack.
 		if inv.Retry && ent.TA == inv.TC && ent.HA == inv.HC && ent.LastReply != nil {
-			return ent.LastReply, nil
+			return ent.LastReply, inv.ClientID, nil
 		}
-		return nil, tee.Halt("client context mismatch: rollback or forking attack", nil)
+		return nil, 0, tee.Halt("client context mismatch: rollback or forking attack", nil)
 	}
 
 	// t ← t + 1; (r, s) ← execF(s, o); h ← hash(h ‖ o ‖ t ‖ i).
@@ -292,7 +473,7 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, error) {
 		// Clients are correct and mutually trusting (Sec. 2.1); an
 		// authenticated-but-malformed operation cannot happen in a
 		// conforming deployment, so treat it as a violation.
-		return nil, tee.Halt("operation rejected by service", err)
+		return nil, 0, tee.Halt("operation rejected by service", err)
 	}
 	p.h = hashchain.Extend(p.h, inv.Op, p.t, inv.ClientID)
 
@@ -304,13 +485,15 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, error) {
 	reply := wire.Reply{T: p.t, H: p.h, Result: result, Q: q, HCPrev: inv.HC}
 	replyCT, err := aead.Seal(p.kc, reply.Encode(), []byte(adReply))
 	if err != nil {
-		return nil, fmt.Errorf("lcm: seal reply: %w", err)
+		return nil, 0, fmt.Errorf("lcm: seal reply: %w", err)
 	}
 	ent.LastReply = replyCT
-	return replyCT, nil
+	return replyCT, inv.ClientID, nil
 }
 
-// sealState produces the blob ← auth-encrypt((s, V, kC), kP) of Alg. 2.
+// sealState produces the blob ← auth-encrypt((s, V, kC), kP) of Alg. 2
+// and restarts the delta chain at it (a full snapshot subsumes any
+// pending deltas; kvs-style services clear their dirty set on Snapshot).
 func (p *Trusted) sealState() ([]byte, error) {
 	snapshot, err := p.svc.Snapshot()
 	if err != nil {
@@ -322,10 +505,16 @@ func (p *Trusted) sealState() ([]byte, error) {
 		V:        p.v,
 		Snapshot: snapshot,
 	}
-	blob, err := aead.Seal(p.kp, state.encode(), []byte(adStateBlob))
+	w := wire.GetWriter(state.encodedSize())
+	state.encodeTo(w)
+	blob, err := aead.Seal(p.kp, w.Bytes(), []byte(adStateBlob))
+	wire.PutWriter(w)
 	if err != nil {
 		return nil, fmt.Errorf("lcm: seal state: %w", err)
 	}
+	p.chainPrev = blobHash(blob)
+	p.chainLen, p.chainBytes = 0, 0
+	p.forceCompact = false
 	return blob, nil
 }
 
@@ -355,6 +544,12 @@ func (p *Trusted) persist(env tee.Env) error {
 	}
 	if err := env.Host().Store(SlotStateBlob, stateBlob); err != nil {
 		return fmt.Errorf("lcm: store state blob: %w", err)
+	}
+	// A fresh full snapshot obsoletes the delta log. Truncating after the
+	// store keeps a crash in between benign: an unchained leftover log is
+	// discarded at recovery (see state.go).
+	if err := env.Host().TruncateLog(SlotDeltaLog); err != nil {
+		return fmt.Errorf("lcm: truncate delta log: %w", err)
 	}
 	return nil
 }

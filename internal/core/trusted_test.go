@@ -72,6 +72,22 @@ func (r *rig) do(clientID uint32, op []byte) (*Result, error) {
 	return r.deliver(c, invokeCT)
 }
 
+// persistBatch performs the honest host's persistence protocol for one
+// batch response: append the delta record, or store the full blob and
+// truncate the log at compaction points.
+func (r *rig) persistBatch(batch *BatchResult) error {
+	if len(batch.DeltaRecord) > 0 {
+		return r.storage.Append(SlotDeltaLog, batch.DeltaRecord)
+	}
+	if err := r.storage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+		return err
+	}
+	if batch.Compact {
+		return r.storage.TruncateLog(SlotDeltaLog)
+	}
+	return nil
+}
+
 // deliver sends one already-encoded invoke and completes the reply.
 func (r *rig) deliver(c *Client, invokeCT []byte) (*Result, error) {
 	resp, err := r.enclave.Call(EncodeBatchCall([][]byte{invokeCT}))
@@ -82,7 +98,7 @@ func (r *rig) deliver(c *Client, invokeCT []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.storage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+	if err := r.persistBatch(batch); err != nil {
 		return nil, err
 	}
 	return c.ProcessReply(batch.Replies[0])
@@ -241,8 +257,10 @@ func TestRollbackAttackDetected(t *testing.T) {
 	r.mustPut(1, "k", "v2") // after seq 2
 	r.mustPut(1, "k", "v3") // after seq 3
 
-	// Attack: serve the state as of seq 1 and restart T.
-	if !r.storage.RollbackBy(SlotStateBlob, 2) {
+	// Attack: serve the state as of seq 1 and restart T. Under delta
+	// persistence the per-batch writes are log appends, so the rollback
+	// truncates the last two delta records.
+	if !r.storage.RollbackLogBy(SlotDeltaLog, 2) {
 		t.Fatal("rollback injection failed")
 	}
 	if err := r.enclave.Restart(); err != nil {
@@ -344,7 +362,7 @@ func TestRetryAfterProcessingReturnsCachedReply(t *testing.T) {
 		t.Fatal(err)
 	}
 	batch, _ := DecodeBatchResult(resp)
-	if err := r.storage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+	if err := r.persistBatch(batch); err != nil {
 		t.Fatal(err)
 	}
 	// Host crashes; T restarts from the stored state.
@@ -519,7 +537,13 @@ func TestMigrationPreservesSessionsAndState(t *testing.T) {
 		t.Fatalf("target call: %v", err)
 	}
 	batch, _ := DecodeBatchResult(resp)
-	if err := targetStorage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+	// Honest target host: append the delta record (the import persisted
+	// the full blob; batches continue the chain from it).
+	if len(batch.DeltaRecord) > 0 {
+		if err := targetStorage.Append(SlotDeltaLog, batch.DeltaRecord); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := targetStorage.Store(SlotStateBlob, batch.StateBlob); err != nil {
 		t.Fatal(err)
 	}
 	res, err := c1.ProcessReply(batch.Replies[0])

@@ -174,3 +174,225 @@ func TestHostSurvivesEnclaveErrors(t *testing.T) {
 		t.Fatalf("status after bad ecall: %v", err)
 	}
 }
+
+// deltaCrashStack builds an LCM deployment whose storage is both
+// crash-injectable and rollback-capable, so one test can exercise a crash
+// and a subsequent adversarial recovery on the delta log.
+func deltaStack(t *testing.T) (*Server, *stablestore.RollbackStore, *core.Admin, *transport.InmemNetwork) {
+	t.Helper()
+	attestation := tee.NewAttestationService()
+	platform, err := tee.NewPlatform("plat-delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attestation.Register(platform)
+	storage := stablestore.NewRollbackStore(stablestore.NewMemStore())
+	server, err := New(Config{
+		Platform: platform,
+		Factory: core.NewTrustedFactory(core.TrustedConfig{
+			ServiceName: "kvs",
+			NewService:  kvs.Factory(),
+			Attestation: attestation,
+		}),
+		Store:     storage,
+		BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInmemNetwork()
+	listener, err := net.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(listener)
+	t.Cleanup(func() {
+		listener.Close()
+		server.Shutdown()
+	})
+	admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+	if err := admin.Bootstrap(server.ECall, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	return server, storage, admin, net
+}
+
+// A host crash in the middle of the delta log: the enclave restarts from
+// the base snapshot plus the persisted records, and the client's pending
+// operation converges via the retry protocol — the delta path preserves
+// Sec. 4.6.1 crash tolerance. (crashStack's CrashStore injects the failed
+// append.)
+func TestCrashMidDeltaLogRestartResumes(t *testing.T) {
+	server, storage, admin, net := crashStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	// Three batches append three delta records.
+	for i := 1; i <= 3; i++ {
+		if _, err := c.Do(kvs.Put("k", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The disk dies for the fourth append; the whole server then reboots.
+	storage.FailAfter(0)
+	if _, err := c.Do(kvs.Put("k", "lost")); err == nil {
+		t.Fatal("write during crash succeeded")
+	}
+	storage.Reset()
+	if err := server.Enclave(0).Restart(); err != nil {
+		t.Fatalf("restart mid-log: %v", err)
+	}
+
+	// Recovery folded records 1-3; the pending op replays as case A.
+	res, err := c.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.Seq != 4 {
+		t.Fatalf("recovered seq = %d, want 4", res.Seq)
+	}
+	res, err = c.Do(kvs.Get("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := kvs.DecodeResult(res.Value)
+	if string(kv.Value) != "lost" {
+		t.Fatalf("value = %q, want the recovered pending write", kv.Value)
+	}
+}
+
+// A host serving a truncated delta-log suffix (rollback against the log)
+// is detected exactly like the classic stale-blob rollback: the first
+// client context ahead of the folded V halts the enclave.
+func TestDeltaLogTruncatedSuffixDetected(t *testing.T) {
+	server, storage, admin, net := deltaStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	for i := 1; i <= 4; i++ {
+		if _, err := c.Do(kvs.Put("doc", fmt.Sprintf("draft-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if storage.LogLen(core.SlotDeltaLog) != 4 {
+		t.Fatalf("log = %d records, want 4", storage.LogLen(core.SlotDeltaLog))
+	}
+
+	// Attack: drop the last two delta records and restart.
+	if !storage.RollbackLogBy(core.SlotDeltaLog, 2) {
+		t.Fatal("log rollback injection failed")
+	}
+	if err := server.Enclave(0).Restart(); err != nil {
+		t.Fatalf("restart must accept the stale-but-authentic log: %v", err)
+	}
+	status, err := core.QueryStatus(server.ECall)
+	if err != nil || status.Seq != 2 {
+		t.Fatalf("rolled-back seq = %v, %v; want 2", status, err)
+	}
+
+	// The client's next op carries (tc=4, hc₄) — ahead of the folded V.
+	if _, err := c.Do(kvs.Get("doc")); err == nil {
+		t.Fatal("operation succeeded after delta-log rollback")
+	}
+	if server.Enclave(0).HaltedErr() == nil {
+		t.Fatal("enclave did not record the violation")
+	}
+}
+
+// A host that acknowledges delta appends without persisting them
+// (DropWrites) is detected at the restart following the lie.
+func TestDeltaLogDroppedWritesDetected(t *testing.T) {
+	server, storage, admin, net := deltaStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	if _, err := c.Do(kvs.Put("k", "persisted")); err != nil {
+		t.Fatal(err)
+	}
+	storage.DropWrites(true)
+	// The lying host acknowledges; the client legitimately sees success.
+	if _, err := c.Do(kvs.Put("k", "swallowed")); err != nil {
+		t.Fatal(err)
+	}
+	storage.DropWrites(false)
+	if err := server.Enclave(0).Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	// The folded state misses the swallowed op; the client's context is
+	// ahead → detection.
+	if _, err := c.Do(kvs.Get("k")); err == nil {
+		t.Fatal("dropped delta append went undetected")
+	}
+	if server.Enclave(0).HaltedErr() == nil {
+		t.Fatal("enclave did not record the violation")
+	}
+}
+
+// A transient append failure must not poison the delta chain: the host
+// treats the lost write as a crash and restarts the enclave, so the chain
+// re-synchronizes with the on-disk log and later restarts recover instead
+// of halting on a phantom gap.
+func TestTransientAppendFailureKeepsChainConsistent(t *testing.T) {
+	server, storage, admin, net := crashStack(t)
+
+	conn, err := net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(conn, 1, admin.CommunicationKey(), client.Config{Timeout: 2 * time.Second})
+	defer c.Close()
+
+	if _, err := c.Do(kvs.Put("k", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	// One append fails; the disk then recovers.
+	storage.FailAfter(0)
+	if _, err := c.Do(kvs.Put("k", "v2")); err == nil {
+		t.Fatal("write during append failure succeeded")
+	}
+	storage.Reset()
+
+	res, err := c.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.Seq != 2 {
+		t.Fatalf("recovered seq = %d, want 2", res.Seq)
+	}
+	// More batches append on the re-synchronized chain...
+	if _, err := c.Do(kvs.Put("k", "v3")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a later restart folds the whole log without a gap.
+	if err := server.Enclave(0).Restart(); err != nil {
+		t.Fatalf("restart after recovered append failure: %v", err)
+	}
+	res, err = c.Do(kvs.Get("k"))
+	if err != nil {
+		t.Fatalf("op after restart: %v", err)
+	}
+	kv, _ := kvs.DecodeResult(res.Value)
+	if string(kv.Value) != "v3" {
+		t.Fatalf("value = %q, want v3", kv.Value)
+	}
+	status, _ := core.QueryStatus(server.ECall)
+	if status.Seq != 4 {
+		t.Fatalf("t = %d, want 4", status.Seq)
+	}
+}

@@ -240,7 +240,13 @@ func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
 	for i, req := range batch {
 		invokes[i] = req.invoke
 	}
-	resp, err := enclave.Call(core.EncodeBatchCall(invokes))
+	// The call payload is consumed (copied) by the enclave during Call, so
+	// the encode buffer can be pooled: steady-state batches allocate no
+	// framing buffers.
+	w := wire.GetWriter(core.BatchCallSize(invokes))
+	core.AppendBatchCall(w, invokes)
+	resp, err := enclave.Call(w.Bytes())
+	wire.PutWriter(w)
 	if err != nil {
 		for _, req := range batch {
 			_ = req.conn.send(wire.ErrorFrame(err))
@@ -256,8 +262,11 @@ func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
 	}
 	// Persist the piggybacked sealed state before releasing replies, so a
 	// crash after a client saw its reply cannot lose the corresponding
-	// state (crash tolerance, Sec. 4.6.1 / Sec. 5.3).
-	if err := s.cfg.Store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
+	// state (crash tolerance, Sec. 4.6.1 / Sec. 5.3). In delta mode the
+	// enclave hands us a log record to append instead of a full blob; at
+	// compaction points it hands a fresh blob plus the instruction to
+	// truncate the now-subsumed log.
+	if err := s.persistBatchResult(enclave, result); err != nil {
 		for _, req := range batch {
 			_ = req.conn.send(wire.ErrorFrame(fmt.Errorf("host: persist state: %w", err)))
 		}
@@ -266,6 +275,34 @@ func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
 	for i, req := range batch {
 		_ = req.conn.send(wire.OKFrame(result.Replies[i]))
 	}
+}
+
+// persistBatchResult performs the persistence work a batch response
+// piggybacks (the honest-host protocol).
+func (s *Server) persistBatchResult(enclave *tee.Enclave, result *core.BatchResult) error {
+	if len(result.DeltaRecord) > 0 {
+		if err := s.cfg.Store.Append(core.SlotDeltaLog, result.DeltaRecord); err != nil {
+			// The enclave's chain already advanced past the record we
+			// failed to persist; appending later records would leave a
+			// permanent gap on disk. Treat the lost write exactly like a
+			// crash: restart the enclave so it re-folds the consistent
+			// on-disk log, and let the affected clients converge through
+			// the Sec. 4.6.1 retry protocol. (The full-seal path below
+			// self-heals instead: the next batch rewrites the whole blob.)
+			if rerr := enclave.Restart(); rerr != nil {
+				return fmt.Errorf("%w (enclave restart: %v)", err, rerr)
+			}
+			return err
+		}
+		return nil
+	}
+	if err := s.cfg.Store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
+		return err
+	}
+	if result.Compact {
+		return s.cfg.Store.TruncateLog(core.SlotDeltaLog)
+	}
+	return nil
 }
 
 // Shutdown stops the batchers, closes every live connection (unblocking
@@ -284,14 +321,18 @@ func (s *Server) Shutdown() {
 // ---- Malicious behaviours (Sec. 2.3) ----
 
 // AttackRollback restarts the primary enclave after instructing the
-// rollback store to serve the state from n writes ago. It requires the
-// configured Store to be a *stablestore.RollbackStore.
+// rollback store to serve the state from n persisted writes ago. Under
+// delta-log persistence the per-batch writes are log appends, so the
+// attack truncates the last n delta records; with full-state sealing (or
+// when the log is too short) it falls back to pinning a stale state-blob
+// version. It requires the configured Store to be a
+// *stablestore.RollbackStore.
 func (s *Server) AttackRollback(n int) error {
 	rs, ok := s.cfg.Store.(*stablestore.RollbackStore)
 	if !ok {
 		return errors.New("host: rollback attack needs a RollbackStore")
 	}
-	if !rs.RollbackBy(core.SlotStateBlob, n) {
+	if !rs.RollbackLogBy(core.SlotDeltaLog, n) && !rs.RollbackBy(core.SlotStateBlob, n) {
 		return fmt.Errorf("host: no state version %d writes back", n)
 	}
 	if err := s.Enclave(0).Restart(); err != nil {

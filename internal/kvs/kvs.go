@@ -47,17 +47,30 @@ const (
 // ErrMalformedOp reports an operation that does not decode.
 var ErrMalformedOp = errors.New("kvs: malformed operation")
 
-// Store is the key-value service. It implements service.Service.
+// Delta change kinds (see Delta below).
+const (
+	deltaSet byte = iota + 1
+	deltaDel
+)
+
+// Store is the key-value service. It implements service.Service and
+// service.DeltaService: every Put/Del marks its key dirty, and Delta
+// serializes just the dirty entries — so the enclave's per-batch sealed
+// record grows with the batch, not with the store.
 type Store struct {
 	data      map[string]string
+	dirty     map[string]struct{}
 	footprint int64
 }
 
-var _ service.Service = (*Store)(nil)
+var (
+	_ service.Service      = (*Store)(nil)
+	_ service.DeltaService = (*Store)(nil)
+)
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{data: make(map[string]string)}
+	return &Store{data: make(map[string]string), dirty: make(map[string]struct{})}
 }
 
 // Factory returns a service.Factory producing empty stores.
@@ -99,6 +112,7 @@ func (s *Store) Apply(op []byte) ([]byte, error) {
 		}
 		s.data[key] = value
 		s.footprint += entryFootprint(key, value)
+		s.dirty[key] = struct{}{}
 		return encodeStatus(statusOK, nil), nil
 
 	case opDel:
@@ -112,6 +126,7 @@ func (s *Store) Apply(op []byte) ([]byte, error) {
 		}
 		s.footprint -= entryFootprint(key, old)
 		delete(s.data, key)
+		s.dirty[key] = struct{}{}
 		return encodeStatus(statusOK, nil), nil
 
 	case opScan:
@@ -175,6 +190,9 @@ func (s *Store) Snapshot() ([]byte, error) {
 		w.Var([]byte(k))
 		w.Var([]byte(s.data[k]))
 	}
+	// A snapshot captures every pending change, so the dirty set restarts
+	// empty (the DeltaService contract).
+	clear(s.dirty)
 	return w.Bytes(), nil
 }
 
@@ -195,6 +213,69 @@ func (s *Store) Restore(snapshot []byte) error {
 	}
 	s.data = data
 	s.footprint = footprint
+	s.dirty = make(map[string]struct{})
+	return nil
+}
+
+// Delta implements service.DeltaService: it serializes the entries touched
+// since the last Delta or Snapshot (sorted, so identical change sets encode
+// identically) and resets the dirty set. A key that was written and then
+// deleted within the window encodes as a delete.
+func (s *Store) Delta() ([]byte, error) {
+	keys := make([]string, 0, len(s.dirty))
+	for k := range s.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(16 + len(keys)*32)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		if v, ok := s.data[k]; ok {
+			w.U8(deltaSet)
+			w.Var([]byte(k))
+			w.Var([]byte(v))
+		} else {
+			w.U8(deltaDel)
+			w.Var([]byte(k))
+		}
+	}
+	clear(s.dirty)
+	return w.Bytes(), nil
+}
+
+// ApplyDelta implements service.DeltaService.
+func (s *Store) ApplyDelta(delta []byte) error {
+	r := wire.NewReader(delta)
+	n := r.U32()
+	for i := uint32(0); i < n; i++ {
+		kind := r.U8()
+		k := string(r.Var())
+		switch kind {
+		case deltaSet:
+			v := string(r.Var())
+			if r.Err() != nil {
+				break
+			}
+			if old, ok := s.data[k]; ok {
+				s.footprint -= entryFootprint(k, old)
+			}
+			s.data[k] = v
+			s.footprint += entryFootprint(k, v)
+		case deltaDel:
+			if r.Err() != nil {
+				break
+			}
+			if old, ok := s.data[k]; ok {
+				s.footprint -= entryFootprint(k, old)
+				delete(s.data, k)
+			}
+		default:
+			return fmt.Errorf("kvs: apply delta: unknown change kind %d", kind)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("kvs: apply delta: %w", err)
+	}
 	return nil
 }
 

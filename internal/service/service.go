@@ -32,6 +32,28 @@ type Service interface {
 	Footprint() int64
 }
 
+// DeltaService is an optional extension for services that can serialize
+// incremental state changes. The trusted context uses it to seal only what
+// changed in a batch (a delta record) instead of re-sealing the full state,
+// turning the per-batch persistence cost from O(state) into O(batch).
+//
+// Deltas carry state changes, not operations, so LCM's
+// no-determinism-required property (Sec. 3.1) is preserved: replaying a
+// delta never re-executes application code.
+type DeltaService interface {
+	Service
+
+	// Delta serializes every state change since the last call to Delta or
+	// Snapshot (whichever was later) and resets the change tracking. A
+	// service with no changes returns an empty (or nil) delta.
+	Delta() ([]byte, error)
+
+	// ApplyDelta folds a delta produced by Delta into the current state.
+	// Applying, in order, every delta taken since a snapshot onto that
+	// snapshot must yield a state identical to the live one.
+	ApplyDelta(delta []byte) error
+}
+
 // Factory creates a fresh, empty Service instance. The enclave calls it
 // once per epoch, before restoring any sealed snapshot.
 type Factory func() Service

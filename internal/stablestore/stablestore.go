@@ -27,12 +27,28 @@ var ErrNotFound = errors.New("stablestore: slot not found")
 
 // Store is the load/store interface of the system model. Implementations
 // must be safe for concurrent use.
+//
+// Beyond the original whole-blob slots, stores expose append-only log
+// slots: ordered sequences of records that the enclave's incremental
+// persistence appends sealed delta records to (one per batch) and
+// truncates at compaction. Log slots and blob slots share a namespace but
+// are distinct objects: storing a blob under a name does not disturb the
+// log of the same name. Whether appends fsync follows the store's
+// SyncWrites configuration, exactly like blob writes.
 type Store interface {
 	// Store durably records blob under slot, replacing any previous value.
 	Store(slot string, blob []byte) error
 	// Load returns the blob most recently stored under slot, or
 	// ErrNotFound if the slot was never written.
 	Load(slot string) ([]byte, error)
+	// Append adds one record to the log slot, creating it if necessary.
+	Append(slot string, record []byte) error
+	// LoadLog returns every record of the log slot in append order. A slot
+	// that was never appended to (or was truncated) yields an empty log,
+	// not an error.
+	LoadLog(slot string) ([][]byte, error)
+	// TruncateLog discards every record of the log slot.
+	TruncateLog(slot string) error
 }
 
 // Lister is implemented by stores that can enumerate their slots.
@@ -44,6 +60,7 @@ type Lister interface {
 type MemStore struct {
 	mu    sync.RWMutex
 	slots map[string][]byte
+	logs  map[string][][]byte
 }
 
 var (
@@ -53,7 +70,7 @@ var (
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{slots: make(map[string][]byte)}
+	return &MemStore{slots: make(map[string][]byte), logs: make(map[string][][]byte)}
 }
 
 // Store implements Store.
@@ -79,6 +96,38 @@ func (s *MemStore) Load(slot string) ([]byte, error) {
 	return cp, nil
 }
 
+// Append implements Store.
+func (s *MemStore) Append(slot string, record []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	s.logs[slot] = append(s.logs[slot], cp)
+	return nil
+}
+
+// LoadLog implements Store.
+func (s *MemStore) LoadLog(slot string) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log := s.logs[slot]
+	out := make([][]byte, len(log))
+	for i, rec := range log {
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// TruncateLog implements Store.
+func (s *MemStore) TruncateLog(slot string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.logs, slot)
+	return nil
+}
+
 // Slots implements Lister.
 func (s *MemStore) Slots() []string {
 	s.mu.RLock()
@@ -101,6 +150,7 @@ type FileStore struct {
 	sync  bool
 	model *latency.Model
 	mu    sync.Mutex
+	logs  map[string]*os.File // open append handles, one per log slot
 }
 
 var (
@@ -114,7 +164,7 @@ func NewFileStore(dir string, syncWrites bool, model *latency.Model) (*FileStore
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("stablestore: create dir: %w", err)
 	}
-	return &FileStore{dir: dir, sync: syncWrites, model: model}, nil
+	return &FileStore{dir: dir, sync: syncWrites, model: model, logs: make(map[string]*os.File)}, nil
 }
 
 func (s *FileStore) path(slot string) string {
@@ -168,6 +218,96 @@ func (s *FileStore) Load(slot string) ([]byte, error) {
 	return blob, nil
 }
 
+func (s *FileStore) logPath(slot string) string {
+	safe := strings.NewReplacer("/", "_", "\\", "_", "..", "_").Replace(slot)
+	return filepath.Join(s.dir, safe+".log")
+}
+
+// logFile returns (opening and caching if needed) the append handle for a
+// log slot. Caller holds s.mu.
+func (s *FileStore) logFile(slot string) (*os.File, error) {
+	if f, ok := s.logs[slot]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.logPath(slot), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stablestore: open log: %w", err)
+	}
+	s.logs[slot] = f
+	return f, nil
+}
+
+// Append implements Store. Records are framed as a 4-byte big-endian
+// length followed by the payload, written in a single Write so a crash
+// leaves at most one torn record at the tail — which LoadLog drops, the
+// same recovery contract as a lost final Store.
+func (s *FileStore) Append(slot string, record []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.logFile(slot)
+	if err != nil {
+		return err
+	}
+	framed := make([]byte, 4+len(record))
+	framed[0] = byte(len(record) >> 24)
+	framed[1] = byte(len(record) >> 16)
+	framed[2] = byte(len(record) >> 8)
+	framed[3] = byte(len(record))
+	copy(framed[4:], record)
+	if _, err := f.Write(framed); err != nil {
+		return fmt.Errorf("stablestore: append: %w", err)
+	}
+	if s.sync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("stablestore: append fsync: %w", err)
+		}
+		s.model.WaitSyncWrite()
+	}
+	return nil
+}
+
+// LoadLog implements Store. A torn trailing record (host crash mid-append)
+// is silently dropped: the enclave only releases replies after the host
+// acknowledges the append, so a torn tail is by construction unacked work.
+func (s *FileStore) LoadLog(slot string) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(s.logPath(slot))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stablestore: read log: %w", err)
+	}
+	var out [][]byte
+	for off := 0; off+4 <= len(raw); {
+		n := int(raw[off])<<24 | int(raw[off+1])<<16 | int(raw[off+2])<<8 | int(raw[off+3])
+		off += 4
+		if n < 0 || off+n > len(raw) {
+			break // torn tail
+		}
+		rec := make([]byte, n)
+		copy(rec, raw[off:off+n])
+		out = append(out, rec)
+		off += n
+	}
+	return out, nil
+}
+
+// TruncateLog implements Store.
+func (s *FileStore) TruncateLog(slot string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.logs[slot]; ok {
+		f.Close()
+		delete(s.logs, slot)
+	}
+	if err := os.Remove(s.logPath(slot)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("stablestore: truncate log: %w", err)
+	}
+	return nil
+}
+
 // Slots implements Lister.
 func (s *FileStore) Slots() []string {
 	s.mu.Lock()
@@ -195,7 +335,9 @@ type RollbackStore struct {
 	inner    Store
 	history  map[string][][]byte
 	pinned   map[string][]byte // attack: stale blob served on Load
-	dropping bool              // attack: silently discard new Stores
+	logs     map[string][][]byte
+	logPin   map[string]int // attack: serve only the first n log records
+	dropping bool           // attack: silently discard new Stores
 }
 
 var _ Store = (*RollbackStore)(nil)
@@ -206,6 +348,8 @@ func NewRollbackStore(inner Store) *RollbackStore {
 		inner:   inner,
 		history: make(map[string][][]byte),
 		pinned:  make(map[string][]byte),
+		logs:    make(map[string][][]byte),
+		logPin:  make(map[string]int),
 	}
 }
 
@@ -236,6 +380,87 @@ func (s *RollbackStore) Load(slot string) ([]byte, error) {
 		return cp, nil
 	}
 	return s.inner.Load(slot)
+}
+
+// Append implements Store, mirroring the log so the attacker can later
+// serve a truncated suffix. When DropWrites is active the append is
+// acknowledged but discarded.
+func (s *RollbackStore) Append(slot string, record []byte) error {
+	s.mu.Lock()
+	dropping := s.dropping
+	if !dropping {
+		cp := make([]byte, len(record))
+		copy(cp, record)
+		s.logs[slot] = append(s.logs[slot], cp)
+	}
+	s.mu.Unlock()
+	if dropping {
+		return nil
+	}
+	return s.inner.Append(slot, record)
+}
+
+// LoadLog implements Store, serving only the pinned prefix when the
+// log-truncation attack is active — the rollback attack against the
+// delta-log persistence path.
+func (s *RollbackStore) LoadLog(slot string) ([][]byte, error) {
+	s.mu.Lock()
+	pin, pinned := s.logPin[slot]
+	var prefix [][]byte
+	if pinned {
+		log := s.logs[slot]
+		if pin > len(log) {
+			pin = len(log)
+		}
+		prefix = make([][]byte, pin)
+		for i := 0; i < pin; i++ {
+			cp := make([]byte, len(log[i]))
+			copy(cp, log[i])
+			prefix[i] = cp
+		}
+	}
+	s.mu.Unlock()
+	if pinned {
+		return prefix, nil
+	}
+	return s.inner.LoadLog(slot)
+}
+
+// TruncateLog implements Store (the honest compaction path). When
+// DropWrites is active the truncation is swallowed like any other write,
+// leaving mirror and inner store consistent.
+func (s *RollbackStore) TruncateLog(slot string) error {
+	s.mu.Lock()
+	dropping := s.dropping
+	if !dropping {
+		delete(s.logs, slot)
+	}
+	s.mu.Unlock()
+	if dropping {
+		return nil
+	}
+	return s.inner.TruncateLog(slot)
+}
+
+// LogLen returns the number of records currently in the log slot.
+func (s *RollbackStore) LogLen(slot string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.logs[slot])
+}
+
+// RollbackLogBy pins the log slot to drop its last n records on LoadLog —
+// a malicious host serving a stale delta-log suffix. It reports whether
+// the log holds at least n records.
+func (s *RollbackStore) RollbackLogBy(slot string, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log := s.logs[slot]
+	if n < 0 || n > len(log) {
+		return false
+	}
+	s.logPin[slot] = len(log) - n
+	return true
 }
 
 // Versions returns how many versions of slot have been stored.
@@ -271,6 +496,7 @@ func (s *RollbackStore) ClearAttack() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pinned = make(map[string][]byte)
+	s.logPin = make(map[string]int)
 	s.dropping = false
 }
 
@@ -315,21 +541,49 @@ func (s *CrashStore) Reset() {
 	s.failAfter = -1
 }
 
-// Store implements Store.
-func (s *CrashStore) Store(slot string, blob []byte) error {
+// write charges one write against the crash budget.
+func (s *CrashStore) write() error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.failAfter == 0 {
-		s.mu.Unlock()
 		return ErrCrashed
 	}
 	if s.failAfter > 0 {
 		s.failAfter--
 	}
-	s.mu.Unlock()
+	return nil
+}
+
+// Store implements Store.
+func (s *CrashStore) Store(slot string, blob []byte) error {
+	if err := s.write(); err != nil {
+		return err
+	}
 	return s.inner.Store(slot, blob)
 }
 
 // Load implements Store.
 func (s *CrashStore) Load(slot string) ([]byte, error) {
 	return s.inner.Load(slot)
+}
+
+// Append implements Store; appends count as writes for crash injection.
+func (s *CrashStore) Append(slot string, record []byte) error {
+	if err := s.write(); err != nil {
+		return err
+	}
+	return s.inner.Append(slot, record)
+}
+
+// LoadLog implements Store.
+func (s *CrashStore) LoadLog(slot string) ([][]byte, error) {
+	return s.inner.LoadLog(slot)
+}
+
+// TruncateLog implements Store; truncations count as writes.
+func (s *CrashStore) TruncateLog(slot string) error {
+	if err := s.write(); err != nil {
+		return err
+	}
+	return s.inner.TruncateLog(slot)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 )
@@ -271,5 +272,188 @@ func TestCrashStoreFailsOnSchedule(t *testing.T) {
 	cs.Reset()
 	if err := cs.Store("s", []byte("4")); err != nil {
 		t.Fatalf("write after Reset: %v", err)
+	}
+}
+
+// ---- Log-slot API (the delta-log substrate) ----
+
+func TestLogContract(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+
+			// A never-written log is empty, not an error.
+			log, err := s.LoadLog("deltas")
+			if err != nil {
+				t.Fatalf("LoadLog empty: %v", err)
+			}
+			if len(log) != 0 {
+				t.Fatalf("empty log has %d records", len(log))
+			}
+
+			// Appends come back in order, with contents intact.
+			for i := 0; i < 5; i++ {
+				if err := s.Append("deltas", []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatalf("Append %d: %v", i, err)
+				}
+			}
+			log, err = s.LoadLog("deltas")
+			if err != nil {
+				t.Fatalf("LoadLog: %v", err)
+			}
+			if len(log) != 5 {
+				t.Fatalf("log length = %d, want 5", len(log))
+			}
+			for i, rec := range log {
+				if want := fmt.Sprintf("rec-%d", i); string(rec) != want {
+					t.Fatalf("record %d = %q, want %q", i, rec, want)
+				}
+			}
+
+			// Log and blob slots of the same name are distinct objects.
+			if err := s.Store("deltas", []byte("blob")); err != nil {
+				t.Fatalf("Store same-name blob: %v", err)
+			}
+			log, _ = s.LoadLog("deltas")
+			if len(log) != 5 {
+				t.Fatalf("blob store disturbed the log: %d records", len(log))
+			}
+
+			// Truncation empties the log and appending restarts cleanly.
+			if err := s.TruncateLog("deltas"); err != nil {
+				t.Fatalf("TruncateLog: %v", err)
+			}
+			log, _ = s.LoadLog("deltas")
+			if len(log) != 0 {
+				t.Fatalf("log after truncate has %d records", len(log))
+			}
+			if err := s.Append("deltas", []byte("fresh")); err != nil {
+				t.Fatalf("Append after truncate: %v", err)
+			}
+			log, _ = s.LoadLog("deltas")
+			if len(log) != 1 || string(log[0]) != "fresh" {
+				t.Fatalf("log after truncate+append = %q", log)
+			}
+			blob, err := s.Load("deltas")
+			if err != nil || !bytes.Equal(blob, []byte("blob")) {
+				t.Fatalf("blob slot disturbed by log ops: %q, %v", blob, err)
+			}
+		})
+	}
+}
+
+// A FileStore log survives reopening the store (a host restart), and a
+// torn trailing record — a crash mid-append — is dropped rather than
+// corrupting the log.
+func TestFileStoreLogReopenAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fs.Append("lcm-deltalog", []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Crash": a second FileStore over the same directory must see the
+	// same log.
+	fs2, err := NewFileStore(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := fs2.LoadLog("lcm-deltalog")
+	if err != nil || len(log) != 3 {
+		t.Fatalf("reopened log = %d records, %v; want 3", len(log), err)
+	}
+
+	// Tear the tail: append a record, then chop bytes off the file as a
+	// crash mid-write would.
+	if err := fs2.Append("lcm-deltalog", []byte("torn-record")); err != nil {
+		t.Fatal(err)
+	}
+	path := fs2.logPath("lcm-deltalog")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	log, err = fs2.LoadLog("lcm-deltalog")
+	if err != nil {
+		t.Fatalf("LoadLog with torn tail: %v", err)
+	}
+	if len(log) != 3 {
+		t.Fatalf("torn tail not dropped: %d records", len(log))
+	}
+	for i, rec := range log {
+		if want := fmt.Sprintf("record-%d", i); string(rec) != want {
+			t.Fatalf("record %d = %q after torn tail", i, rec)
+		}
+	}
+}
+
+// The rollback adversary can serve a truncated delta-log suffix and stops
+// doing so after ClearAttack.
+func TestRollbackStoreLogTruncationAttack(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	for i := 0; i < 4; i++ {
+		if err := rs.Append("log", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.LogLen("log") != 4 {
+		t.Fatalf("LogLen = %d", rs.LogLen("log"))
+	}
+	if rs.RollbackLogBy("log", 5) {
+		t.Fatal("RollbackLogBy accepted more records than exist")
+	}
+	if !rs.RollbackLogBy("log", 2) {
+		t.Fatal("RollbackLogBy rejected valid truncation")
+	}
+	log, err := rs.LoadLog("log")
+	if err != nil || len(log) != 2 {
+		t.Fatalf("attacked log = %d records, %v; want 2", len(log), err)
+	}
+	rs.ClearAttack()
+	log, _ = rs.LoadLog("log")
+	if len(log) != 4 {
+		t.Fatalf("log after ClearAttack = %d records, want 4", len(log))
+	}
+}
+
+// DropWrites also swallows appends — the "pretend to persist" server.
+func TestRollbackStoreDropsAppends(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	rs.Append("log", []byte("kept"))
+	rs.DropWrites(true)
+	if err := rs.Append("log", []byte("dropped")); err != nil {
+		t.Fatalf("dropped Append must still acknowledge: %v", err)
+	}
+	log, _ := rs.LoadLog("log")
+	if len(log) != 1 || string(log[0]) != "kept" {
+		t.Fatalf("log after dropped append = %q", log)
+	}
+}
+
+// Crash injection covers appends and truncations like any other write.
+func TestCrashStoreFailsAppends(t *testing.T) {
+	cs := NewCrashStore(NewMemStore())
+	cs.FailAfter(1)
+	if err := cs.Append("log", []byte("a")); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := cs.Append("log", []byte("b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append 2 = %v, want ErrCrashed", err)
+	}
+	if err := cs.TruncateLog("log"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("truncate = %v, want ErrCrashed", err)
+	}
+	cs.Reset()
+	log, err := cs.LoadLog("log")
+	if err != nil || len(log) != 1 {
+		t.Fatalf("log = %d records, %v; want the one persisted append", len(log), err)
 	}
 }

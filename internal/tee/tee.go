@@ -64,6 +64,18 @@ type HostServices interface {
 	Load(slot string) ([]byte, error)
 	// Store persists a blob under slot — if the host is honest.
 	Store(slot string, blob []byte) error
+	// Append adds a record to an append-only log slot — if the host is
+	// honest. The enclave's incremental persistence chains each record to
+	// its predecessor, so a dishonest append (drop, reorder, splice) is
+	// either detected at recovery or reduces to a rollback, which clients
+	// detect.
+	Append(slot string, record []byte) error
+	// LoadLog returns the records of a log slot in append order — if the
+	// host is honest. A never-written slot yields an empty log.
+	LoadLog(slot string) ([][]byte, error)
+	// TruncateLog discards a log slot (used after compaction re-seals a
+	// full snapshot).
+	TruncateLog(slot string) error
 }
 
 // Env is the trusted environment handed to a Program. It exposes the TEE

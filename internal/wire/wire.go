@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lcm/internal/hashchain"
 )
@@ -69,6 +70,47 @@ func NewWriter(n int) *Writer {
 
 // Bytes returns the encoded message.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset discards the accumulated message but keeps the underlying buffer,
+// so a long-lived Writer on a hot path reaches a steady state with zero
+// allocations per message.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) < n {
+		next := make([]byte, len(w.buf), len(w.buf)+n)
+		copy(next, w.buf)
+		w.buf = next
+	}
+}
+
+// maxPooledCap bounds the buffers the writer pool retains, so one huge
+// message (e.g. a full-state seal of a large store) does not pin memory
+// forever.
+const maxPooledCap = 1 << 20
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns a pooled Writer with capacity for at least n bytes.
+// Callers must not retain the returned Bytes() after PutWriter: copy them
+// (AEAD sealing and frame sending both do) before releasing.
+func GetWriter(n int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	w.Grow(n)
+	return w
+}
+
+// PutWriter returns a Writer obtained from GetWriter to the pool.
+func PutWriter(w *Writer) {
+	if cap(w.buf) <= maxPooledCap {
+		writerPool.Put(w)
+	}
+}
 
 // U8 appends one byte.
 func (w *Writer) U8(v byte) { w.buf = append(w.buf, v) }

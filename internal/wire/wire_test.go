@@ -171,3 +171,50 @@ func TestQuickReplyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriterResetKeepsCapacity(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(42)
+	w.Var([]byte("payload"))
+	if w.Len() != 19 {
+		t.Fatalf("Len = %d, want 19", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.U32(7)
+	if got := NewReader(w.Bytes()).U32(); got != 7 {
+		t.Fatalf("reuse after Reset = %d, want 7", got)
+	}
+}
+
+func TestWriterPoolRoundtrip(t *testing.T) {
+	w := GetWriter(64)
+	w.U64(1)
+	w.Var([]byte("x"))
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	PutWriter(w)
+	w2 := GetWriter(16)
+	if w2.Len() != 0 {
+		t.Fatalf("pooled writer not reset: Len = %d", w2.Len())
+	}
+	PutWriter(w2)
+}
+
+func TestWriterSteadyStateAllocs(t *testing.T) {
+	payload := make([]byte, 512)
+	allocs := testing.AllocsPerRun(1000, func() {
+		w := GetWriter(1024)
+		w.U8(1)
+		w.U32(2)
+		w.Var(payload)
+		_ = w.Bytes()
+		PutWriter(w)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state encode allocates %.1f times per op, want 0", allocs)
+	}
+}
