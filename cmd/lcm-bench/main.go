@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|all \
-//	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42]
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|ci|all \
+//	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] [-jsonOut path]
+//
+// The "ci" experiment runs the sealing and sync-writes ablation smokes and
+// — together with -jsonOut — emits the measured points as a JSON artifact,
+// so the per-PR perf trajectory is tracked by the CI pipeline.
 //
 // The paper measures each data point over 30 s; the default window here is
 // 2 s so a full figure regenerates in minutes. Use -duration 30s for a
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,11 +36,12 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		jsonOut    = flag.String("jsonOut", "", "write measured ablation points as JSON to this path")
 	)
 	flag.Parse()
 
@@ -53,6 +59,9 @@ func run() error {
 		Dir:      dir,
 		Out:      os.Stdout,
 	}
+
+	// measured collects ablation series for the optional JSON artifact.
+	measured := map[string][]benchrun.AblationPoint{}
 
 	runOne := func(name string) error {
 		switch name {
@@ -99,15 +108,44 @@ func run() error {
 			fmt.Println("paper: TMC ≈ 12 ops/s constant; LCM with batching 96x - 2063x faster")
 			fmt.Println()
 		case "ablation":
-			if _, err := benchrun.RunBatchAblation(cfg, nil); err != nil {
+			points, err := benchrun.RunBatchAblation(cfg, nil)
+			if err != nil {
 				return err
 			}
+			measured["batchAblation"] = points
 			fmt.Println()
 		case "sealablation":
-			if _, err := benchrun.RunSealAblation(cfg, nil); err != nil {
+			points, err := benchrun.RunSealAblation(cfg, nil)
+			if err != nil {
 				return err
 			}
+			measured["sealAblation"] = points
 			fmt.Println("delta-log persistence seals O(batch) bytes per ecall; full-seal grows with the store")
+			fmt.Println()
+		case "syncablation":
+			points, err := benchrun.RunSyncWritesAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			measured["syncWritesAblation"] = points
+			fmt.Println("group commit shares one fsync across concurrent batches; per-batch fsync stays flat")
+			fmt.Println()
+		case "ci":
+			// The CI gate: both persistence ablations at smoke size (a
+			// fixed small keyspace; -duration and -scale still apply),
+			// with the points recorded for the BENCH_ci.json artifact.
+			ciCfg := cfg
+			ciCfg.Records = 200
+			seal, err := benchrun.RunSealAblation(ciCfg, []int{200})
+			if err != nil {
+				return err
+			}
+			measured["sealAblation"] = seal
+			sync, err := benchrun.RunSyncWritesAblation(ciCfg, []int{8})
+			if err != nil {
+				return err
+			}
+			measured["syncWritesAblation"] = sync
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -115,15 +153,38 @@ func run() error {
 		return nil
 	}
 
-	if *experiment == "all" {
-		for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation"} {
-			if err := runOne(name); err != nil {
-				return err
+	runAll := func() error {
+		if *experiment == "all" {
+			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation"} {
+				if err := runOne(name); err != nil {
+					return err
+				}
 			}
+			return nil
 		}
-		return nil
+		return runOne(*experiment)
 	}
-	return runOne(*experiment)
+	if err := runAll(); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		report := struct {
+			Experiment string
+			Duration   string
+			Scale      float64
+			Records    int
+			Series     map[string][]benchrun.AblationPoint
+		}{*experiment, duration.String(), *scale, *records, measured}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonOut, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
 }
 
 func ratioBySize(points []benchrun.Point) (lo, hi float64) {

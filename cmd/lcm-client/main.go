@@ -98,6 +98,9 @@ func run() error {
 		fmt.Printf("provisioned=%v migrated=%v epoch=%d t=%d stable=%d clients=%d\n",
 			status.Provisioned, status.Migrated, status.Epoch,
 			status.Seq, status.Stable, status.NumClients)
+		fmt.Printf("delta=%v chain=%d records/%dB snapshot=%dB compactions=%d lastCompactT=%d\n",
+			status.DeltaActive, status.ChainLen, status.ChainBytes,
+			status.SnapshotBytes, status.Compactions, status.LastCompactSeq)
 		return nil
 	}
 

@@ -41,6 +41,7 @@ func run() error {
 		batch   = flag.Int("batch", 16, "request batch size (1 disables batching)")
 		clients = flag.Int("clients", 8, "client group size (ids 1..n)")
 		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
+		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
 	)
 	flag.Parse()
@@ -65,8 +66,9 @@ func run() error {
 			NewService:  kvs.Factory(),
 			Attestation: attestation,
 		}),
-		Store:     store,
-		BatchSize: *batch,
+		Store:       store,
+		BatchSize:   *batch,
+		GroupCommit: *group,
 	})
 	if err != nil {
 		return err
@@ -88,7 +90,7 @@ func run() error {
 	defer listener.Close()
 
 	fmt.Printf("lcm-server listening on %s\n", listener.Addr())
-	fmt.Printf("  service:   kvs (LCM-protected, batch=%d, sync=%v)\n", *batch, *sync)
+	fmt.Printf("  service:   kvs (LCM-protected, batch=%d, sync=%v, groupcommit=%v)\n", *batch, *sync, *group)
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
 	fmt.Printf("  kC:        %s\n", hex.EncodeToString(admin.CommunicationKey().Bytes()))
 	fmt.Println("pass -key to lcm-client; the admin would distribute it over a secure channel")

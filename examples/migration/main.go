@@ -5,9 +5,12 @@
 //
 // The origin enclave takes the admin's role: it challenges the target,
 // verifies its attestation quote (same program, genuine platform), hands
-// over the state-encryption key kP and its full state through a secure
-// channel, and stops processing. The target re-seals everything under its
-// own platform's sealing key.
+// over the state-encryption key kP through a secure channel, and stops
+// processing. The service state itself stays on the shared (untrusted)
+// stable storage as the sealed base blob + delta chain: the target folds
+// that chain, verifies it ends at exactly the head the origin pinned in
+// the handover, and re-seals only the key blob under its own platform's
+// sealing key — the secure-channel payload is O(V), not O(state).
 //
 //	go run ./examples/migration
 package main
@@ -21,6 +24,7 @@ import (
 	"lcm/internal/counter"
 	"lcm/internal/host"
 	"lcm/internal/service"
+	"lcm/internal/stablestore"
 	"lcm/internal/transport"
 )
 
@@ -31,9 +35,11 @@ func main() {
 	}
 }
 
-// startServer deploys the LCM-protected bank service on a platform.
+// startServer deploys the LCM-protected bank service on a platform over
+// the given stable storage (shared between origin and target, modelling
+// the Sec. 4.6.2 shared remote storage the delta chain migrates through).
 func startServer(platformID string, attestation *lcm.AttestationService,
-	network *transport.InmemNetwork, endpoint string) (*host.Server, func(), error) {
+	network *transport.InmemNetwork, endpoint string, store *stablestore.MemStore) (*host.Server, func(), error) {
 	platform, err := lcm.NewPlatform(platformID)
 	if err != nil {
 		return nil, nil, err
@@ -46,7 +52,7 @@ func startServer(platformID string, attestation *lcm.AttestationService,
 			NewService:  func() service.Service { return counter.New() },
 			Attestation: attestation,
 		}),
-		Store:     lcm.NewMemStore(),
+		Store:     store,
 		BatchSize: 4,
 	})
 	if err != nil {
@@ -68,8 +74,12 @@ func run() error {
 	attestation := lcm.NewAttestationService()
 	network := lcm.NewInmemNetwork()
 
+	// Shared remote storage: both datacenters see the same sealed blobs
+	// and delta chain, which is what lets the handover skip the state.
+	storage := lcm.NewMemStore()
+
 	// --- Origin deployment on platform A, bootstrapped for two clients.
-	origin, stopOrigin, err := startServer("datacenter-A", attestation, network, "origin")
+	origin, stopOrigin, err := startServer("datacenter-A", attestation, network, "origin", storage)
 	if err != nil {
 		return err
 	}
@@ -109,18 +119,21 @@ func run() error {
 	fmt.Printf("on %s: alice=60 after transfer (balance=%d, seq=%d)\n",
 		"datacenter-A", bal.Balance, res.Seq)
 
-	// --- Target deployment on platform B (fresh storage, same program).
-	target, stopTarget, err := startServer("datacenter-B", attestation, network, "target")
+	// --- Target deployment on platform B (same program, shared storage;
+	// its enclave finds a key blob it cannot unseal and awaits import).
+	target, stopTarget, err := startServer("datacenter-B", attestation, network, "target", storage)
 	if err != nil {
 		return err
 	}
 	defer stopTarget()
 
 	// --- The migration handshake: challenge → attest → export → import.
+	// The export carries kP, V and the delta-chain head; the target folds
+	// the shared chain and refuses anything that falls short of that head.
 	if err := lcm.Migrate(origin.ECall, target.ECall); err != nil {
 		return fmt.Errorf("migrate: %w", err)
 	}
-	fmt.Println("migrated: datacenter-A attested datacenter-B and handed over kP + state")
+	fmt.Println("migrated: datacenter-A attested datacenter-B and handed over kP + the chain head")
 
 	// The origin now refuses work...
 	if _, err := alice.Do(counter.Read("alice")); err == nil {

@@ -12,6 +12,11 @@ type AblationPoint struct {
 	X          int
 	Throughput float64
 	MeanLat    time.Duration
+
+	// Group-commit observations (sync-writes ablation only): mean and
+	// largest number of delta records covered by one fsync.
+	AvgGroup float64 `json:",omitempty"`
+	MaxGroup int     `json:",omitempty"`
 }
 
 // RunBatchAblation sweeps the batching depth for LCM at a fixed client
@@ -43,6 +48,78 @@ func measureLCMWithBatch(cfg RunConfig, batch int) (AblationPoint, error) {
 	return AblationPoint{Name: "lcm-batch", X: batch, Throughput: p.Throughput, MeanLat: p.MeanLat}, nil
 }
 
+// RunSyncWritesAblation sweeps the client count in the synchronous-write
+// regime of Fig. 6 and compares three LCM durability designs at batch
+// size 1 — so any fsync amortization comes from concurrency, not from
+// request batching:
+//
+//   - full:        per-batch full-state seal, per-batch fsync (the paper's
+//     original persistence under SyncWrites);
+//   - delta-fsync: sealed delta records, one fsync per batch (PR 1's
+//     pipeline) — O(batch) sealed bytes, but still one drive round trip
+//     per batch, so throughput stays flat as clients are added;
+//   - delta-group: sealed delta records handed to the host's group
+//     committer, where concurrent batches share one fsync (the Redis AOF
+//     pattern) — the durable configuration finally scales with the client
+//     count.
+func RunSyncWritesAblation(cfg RunConfig, clients []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(clients) == 0 {
+		clients = []int{8, 16}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — sync writes: full seal vs per-batch-fsync delta vs group-commit delta (batch 1)")
+	arms := []struct {
+		name string
+		tune func(*Options)
+	}{
+		{"lcm-sync-full", func(o *Options) { o.FullSeal = true }},
+		{"lcm-sync-delta-fsync", nil},
+		{"lcm-sync-delta-group", func(o *Options) { o.GroupCommit = true }},
+	}
+	var points []AblationPoint
+	byClients := map[int]map[string]float64{}
+	for _, n := range clients {
+		byClients[n] = map[string]float64{}
+		for _, arm := range arms {
+			p, err := measureSyncArm(arm.name, n, cfg, arm.tune)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+			byClients[n][arm.name] = p.Throughput
+			line := fmt.Sprintf("%-22s clients=%-3d thr=%9.1f ops/s mean=%v",
+				p.Name, p.X, p.Throughput, p.MeanLat.Round(time.Microsecond))
+			if p.AvgGroup > 0 {
+				line += fmt.Sprintf(" group avg=%.1f max=%d", p.AvgGroup, p.MaxGroup)
+			}
+			fmt.Fprintln(cfg.Out, line)
+		}
+		if perBatch := byClients[n]["lcm-sync-delta-fsync"]; perBatch > 0 {
+			fmt.Fprintf(cfg.Out, "clients=%-3d group-commit/per-batch-fsync speedup = %.1fx\n",
+				n, byClients[n]["lcm-sync-delta-group"]/perBatch)
+		}
+	}
+	return points, nil
+}
+
+// measureSyncArm measures one sync-writes arm at batch 1, capturing the
+// group-commit statistics before teardown via the inspect hook.
+func measureSyncArm(name string, clients int, cfg RunConfig, tune func(*Options)) (AblationPoint, error) {
+	var groups, records, maxGroup int
+	point, err := measureOptions(SysLCM, clients, 100, true, 1, cfg, tune, func(dep *Deployment) {
+		groups, records, maxGroup = dep.GroupCommitStats()
+	})
+	if err != nil {
+		return AblationPoint{}, fmt.Errorf("%s: %w", name, err)
+	}
+	p := AblationPoint{Name: name, X: clients, Throughput: point.Throughput, MeanLat: point.MeanLat}
+	if groups > 0 {
+		p.AvgGroup = float64(records) / float64(groups)
+		p.MaxGroup = maxGroup
+	}
+	return p, nil
+}
+
 // RunSealAblation sweeps the store size and compares LCM's two
 // persistence modes: per-batch full-state sealing (the paper's Sec. 5.2
 // prototype, O(state) sealed bytes per batch) against the incremental
@@ -65,7 +142,7 @@ func RunSealAblation(cfg RunConfig, records []int) ([]AblationPoint, error) {
 			}
 			p, err := measureOptions(SysLCMBatch, 8, 100, false, 0, c, func(o *Options) {
 				o.FullSeal = fullSeal
-			})
+			}, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -199,6 +199,36 @@ func TestRunTMCSmoke(t *testing.T) {
 	}
 }
 
+func TestRunSyncWritesAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Scale = 0.2 // keep the fsync latency visible so grouping matters
+	cfg.Duration = 400 * time.Millisecond
+	points, err := RunSyncWritesAblation(cfg, []int{8})
+	if err != nil {
+		t.Fatalf("RunSyncWritesAblation: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3 arms", len(points))
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s produced no throughput", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	group, perBatch := byName["lcm-sync-delta-group"], byName["lcm-sync-delta-fsync"]
+	if group.AvgGroup <= 1 {
+		t.Fatalf("committer never coalesced: avg group = %.2f", group.AvgGroup)
+	}
+	// The full-fidelity run shows ≥3x; at smoke scale the real fsync cost
+	// narrows the gap, so assert a conservative margin.
+	if group.Throughput < 1.5*perBatch.Throughput {
+		t.Fatalf("group commit %f ops/s not meaningfully faster than per-batch fsync %f ops/s",
+			group.Throughput, perBatch.Throughput)
+	}
+}
+
 func TestRunSealAblationSmoke(t *testing.T) {
 	cfg := quickCfg(t)
 	points, err := RunSealAblation(cfg, []int{200})

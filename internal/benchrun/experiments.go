@@ -79,12 +79,14 @@ func measure(sys System, clients int, valueSize int, syncWrites bool, cfg RunCon
 }
 
 func measureWith(sys System, clients, valueSize int, syncWrites bool, batch int, cfg RunConfig) (Point, error) {
-	return measureOptions(sys, clients, valueSize, syncWrites, batch, cfg, nil)
+	return measureOptions(sys, clients, valueSize, syncWrites, batch, cfg, nil, nil)
 }
 
-// measureOptions is measureWith with a deployment-options hook, used by
-// ablations that tune fields beyond the standard sweep parameters.
-func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch int, cfg RunConfig, tune func(*Options)) (Point, error) {
+// measureOptions is measureWith with two hooks for the ablations: tune
+// adjusts the deployment options before Deploy, and inspect (if non-nil)
+// observes the still-running deployment after the measurement window —
+// e.g. to read group-commit statistics before teardown.
+func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch int, cfg RunConfig, tune func(*Options), inspect func(*Deployment)) (Point, error) {
 	opts := Options{
 		Model:      cfg.model(),
 		SyncWrites: syncWrites,
@@ -113,6 +115,9 @@ func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch i
 	report, err := ycsb.Run(dep.NewDB, w, clients, cfg.Duration, cfg.Seed)
 	if err != nil {
 		return Point{}, fmt.Errorf("run %s: %w", sys, err)
+	}
+	if inspect != nil {
+		inspect(dep)
 	}
 	return Point{
 		System:     sys,

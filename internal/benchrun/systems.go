@@ -67,8 +67,13 @@ type Options struct {
 	// kept as the comparison arm of the sealing ablation.
 	FullSeal bool
 	// CompactEvery overrides the delta log's compaction threshold when
-	// > 0 (records between full re-seals).
+	// > 0 (records between full re-seals; 0 keeps the adaptive
+	// snapshot/delta-ratio policy).
 	CompactEvery int
+	// GroupCommit enables the host's pipelined group-commit committer for
+	// LCM deployments: concurrent batches' delta records share one fsync.
+	// The sync-writes ablation compares this against per-batch fsync.
+	GroupCommit bool
 }
 
 // Deployment is a running system under test.
@@ -78,6 +83,7 @@ type Deployment struct {
 	model   *latency.Model
 	key     aead.Key // channel key (baselines) or kC (LCM)
 	lcm     bool
+	host    *host.Server // LCM deployments: for group-commit stats
 	nextID  atomic.Uint32
 	cleanup []func()
 
@@ -106,6 +112,15 @@ func (d *Deployment) Close() {
 
 // System returns the deployed series.
 func (d *Deployment) System() System { return d.system }
+
+// GroupCommitStats reports the host's group-commit activity (zeros for
+// non-LCM deployments or when group commit is disabled).
+func (d *Deployment) GroupCommitStats() (groups, records, maxGroup int) {
+	if d.host == nil {
+		return 0, 0, 0
+	}
+	return d.host.GroupCommitStats()
+}
 
 // rttDB wraps a session as a ycsb.DB, charging the client-observed
 // network round trip per operation. The RTT is a sleep, so concurrent
@@ -332,14 +347,16 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 				FullSeal:     opt.FullSeal,
 				CompactEvery: opt.CompactEvery,
 			}),
-			Store:     store,
-			BatchSize: batch,
+			Store:       store,
+			BatchSize:   batch,
+			GroupCommit: opt.GroupCommit,
 		})
 		if err != nil {
 			return nil, err
 		}
 		go srv.Serve(listener)
 		d.cleanup = append(d.cleanup, srv.Shutdown)
+		d.host = srv
 
 		admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
 		ids := make([]uint32, opt.Clients)

@@ -319,10 +319,20 @@ type Status struct {
 	Stable      uint64 // q: latest majority-stable sequence number
 	AdminSeq    uint64
 	NumClients  int
+
+	// Persistence observability: the delta chain the host currently holds
+	// and the enclave's compaction history (operators size storage and
+	// recovery time from these; see state.go).
+	DeltaActive    bool   // batches persist as delta records, not full seals
+	ChainLen       int    // records in the live delta chain
+	ChainBytes     int    // sealed bytes in the live delta chain
+	SnapshotBytes  int    // size of the last sealed full snapshot
+	Compactions    uint64 // full re-seals that truncated a non-empty chain
+	LastCompactSeq uint64 // t at the most recent compaction
 }
 
 func encodeStatus(s *Status) []byte {
-	w := wire.NewWriter(40)
+	w := wire.NewWriter(80)
 	w.Bool(s.Provisioned)
 	w.Bool(s.Migrated)
 	w.U64(s.Epoch)
@@ -330,6 +340,12 @@ func encodeStatus(s *Status) []byte {
 	w.U64(s.Stable)
 	w.U64(s.AdminSeq)
 	w.U32(uint32(s.NumClients))
+	w.Bool(s.DeltaActive)
+	w.U32(uint32(s.ChainLen))
+	w.U64(uint64(s.ChainBytes))
+	w.U64(uint64(s.SnapshotBytes))
+	w.U64(s.Compactions)
+	w.U64(s.LastCompactSeq)
 	return w.Bytes()
 }
 
@@ -345,6 +361,12 @@ func DecodeStatus(b []byte) (*Status, error) {
 		AdminSeq:    r.U64(),
 	}
 	s.NumClients = int(r.U32())
+	s.DeltaActive = r.Bool()
+	s.ChainLen = int(r.U32())
+	s.ChainBytes = int(r.U64())
+	s.SnapshotBytes = int(r.U64())
+	s.Compactions = r.U64()
+	s.LastCompactSeq = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode status: %w", err)
 	}

@@ -168,6 +168,207 @@ func TestDeltaCompactionByBytes(t *testing.T) {
 	}
 }
 
+// The default adaptive policy compacts once the chain's sealed bytes
+// exceed CompactRatio × the observed snapshot size (after the record
+// floor), and then leaves a proportionally larger chain alone once the
+// snapshot itself has grown.
+func TestAdaptiveCompactionTracksSnapshotRatio(t *testing.T) {
+	r := newRig(t, []uint32{1}) // no explicit thresholds → adaptive
+	// Small state, small snapshot: delta records (each carrying a reply
+	// ciphertext) outweigh the snapshot quickly, so the chain compacts
+	// soon after the CompactMinRecords floor.
+	for i := 0; i < CompactMinRecords+4; i++ {
+		r.mustPut(1, "k", fmt.Sprintf("v%d", i))
+	}
+	status, err := QueryStatus(r.enclave.Call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Compactions == 0 {
+		t.Fatalf("tiny-state chain never compacted: %+v", status)
+	}
+	if got := r.storage.LogLen(SlotDeltaLog); got >= CompactMinRecords+4 {
+		t.Fatalf("log holds %d records; compaction never truncated", got)
+	}
+
+	// Grow the state so the snapshot dwarfs per-batch deltas: the same
+	// record count must no longer trigger a compaction.
+	big := string(make([]byte, 32<<10))
+	r.mustPut(1, "big", big)
+	// Ensure the chain restarts at a fresh large snapshot.
+	for r.storage.LogLen(SlotDeltaLog) != 1 {
+		r.mustPut(1, "warm", "x")
+	}
+	before, _ := QueryStatus(r.enclave.Call)
+	for i := 0; i < CompactMinRecords+4; i++ {
+		r.mustPut(1, "k", fmt.Sprintf("w%d", i))
+	}
+	after, _ := QueryStatus(r.enclave.Call)
+	if after.Compactions != before.Compactions {
+		t.Fatalf("large-state chain compacted after %d small batches (snapshot=%dB chain=%dB)",
+			CompactMinRecords+4, after.SnapshotBytes, after.ChainBytes)
+	}
+	if after.ChainLen <= before.ChainLen {
+		t.Fatalf("chain did not grow: before=%d after=%d", before.ChainLen, after.ChainLen)
+	}
+	// And recovery still folds the longer chain exactly.
+	if err := r.enclave.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := r.mustGet(1, "k")
+	if string(kv.Value) != fmt.Sprintf("w%d", CompactMinRecords+3) {
+		t.Fatalf("recovered value = %q", kv.Value)
+	}
+}
+
+// Status surfaces the persistence pipeline's observables: chain length and
+// bytes track appended records and reset at compaction, and the snapshot
+// size and compaction history are reported.
+func TestStatusReportsChainAndCompaction(t *testing.T) {
+	r := newRigWith(t, []uint32{1}, func(cfg *TrustedConfig) { cfg.CompactEvery = 4 })
+	status, err := QueryStatus(r.enclave.Call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.DeltaActive || status.ChainLen != 0 || status.ChainBytes != 0 || status.SnapshotBytes == 0 {
+		t.Fatalf("bootstrap status = %+v", status)
+	}
+	for i := 1; i <= 3; i++ {
+		r.mustPut(1, "k", fmt.Sprintf("v%d", i))
+		status, _ = QueryStatus(r.enclave.Call)
+		if status.ChainLen != i {
+			t.Fatalf("after %d batches ChainLen = %d", i, status.ChainLen)
+		}
+		if status.ChainBytes <= 0 {
+			t.Fatalf("ChainBytes = %d after %d batches", status.ChainBytes, i)
+		}
+	}
+	r.mustPut(1, "k", "v4")       // chain reaches the CompactEvery threshold
+	r.mustPut(1, "k", "compacts") // the next batch re-seals and truncates
+	status, _ = QueryStatus(r.enclave.Call)
+	if status.ChainLen != 0 || status.ChainBytes != 0 {
+		t.Fatalf("chain not reset at compaction: %+v", status)
+	}
+	if status.Compactions != 1 || status.LastCompactSeq != 5 {
+		t.Fatalf("compaction stats = %+v", status)
+	}
+}
+
+// Chain-mode migration: the payload carries V and the chain head, the host
+// ships the sealed blob + log, and the target folds them, continues the
+// chain, and resumes compaction bookkeeping where the origin left off.
+func TestMigrationCarriesDeltaChainAndResumesCompaction(t *testing.T) {
+	tune := func(cfg *TrustedConfig) { cfg.CompactEvery = 4 }
+	r := newRigWith(t, []uint32{1}, tune)
+	r.mustPut(1, "k", "v1")
+	r.mustPut(1, "k", "v2")
+
+	target, err := tee.NewPlatform("plat-migrate-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.attestation.Register(target)
+	targetStorage := stablestore.NewRollbackStore(stablestore.NewMemStore())
+	cfg := TrustedConfig{
+		ServiceName: "kvs",
+		NewService:  kvs.Factory(),
+		Attestation: r.attestation,
+	}
+	tune(&cfg)
+	targetEnclave := target.NewEnclave(NewTrustedFactory(cfg), targetStorage)
+	if err := targetEnclave.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	copySealedState(t, targetStorage, r.storage)
+	if err := Migrate(r.enclave.Call, targetEnclave.Call); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+
+	// The import folded the copied chain in place: no fresh state blob was
+	// sealed on the target, and the chain reports the origin's two records.
+	if got := targetStorage.Versions(SlotStateBlob); got != 1 {
+		t.Fatalf("target state blob written %d times, want 1 (the host's copy)", got)
+	}
+	status, err := QueryStatus(targetEnclave.Call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Seq != 2 || status.ChainLen != 2 {
+		t.Fatalf("imported status = %+v, want seq=2 chainLen=2", status)
+	}
+
+	// The client continues against the target; the 4th record (2 migrated
+	// + 2 fresh) crosses CompactEvery and compacts on the target.
+	tr := &rig{t: t, storage: targetStorage, enclave: targetEnclave, clients: r.clients}
+	tr.mustPut(1, "k", "v3")
+	tr.mustPut(1, "k", "v4")
+	tr.mustPut(1, "k", "v5")
+	status, _ = QueryStatus(targetEnclave.Call)
+	if status.Compactions != 1 {
+		t.Fatalf("migrated-in enclave did not resume compaction: %+v", status)
+	}
+	if got := targetStorage.LogLen(SlotDeltaLog); got > 1 {
+		t.Fatalf("target log holds %d records after compaction", got)
+	}
+
+	// And the target can restart from its own storage (re-sealed key blob
+	// + continued chain).
+	if err := targetEnclave.Restart(); err != nil {
+		t.Fatalf("target restart: %v", err)
+	}
+	kv, _ := tr.mustGet(1, "k")
+	if string(kv.Value) != "v5" {
+		t.Fatalf("migrated+compacted value = %q", kv.Value)
+	}
+}
+
+// A host that serves the target a truncated copy of the chain is refused
+// at import: the fold does not reach the head the origin pinned in the
+// payload.
+func TestMigrationChainTruncatedCopyRefused(t *testing.T) {
+	r := newRig(t, []uint32{1})
+	r.mustPut(1, "k", "v1")
+	r.mustPut(1, "k", "v2")
+	r.mustPut(1, "k", "v3")
+
+	target, err := tee.NewPlatform("plat-migrate-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.attestation.Register(target)
+	targetStorage := stablestore.NewMemStore()
+	targetEnclave := target.NewEnclave(NewTrustedFactory(TrustedConfig{
+		ServiceName: "kvs",
+		NewService:  kvs.Factory(),
+		Attestation: r.attestation,
+	}), targetStorage)
+	if err := targetEnclave.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The host copies the blob but withholds the last delta record.
+	copySealedState(t, targetStorage, r.storage)
+	log, _ := targetStorage.LoadLog(SlotDeltaLog)
+	if err := targetStorage.TruncateLog(SlotDeltaLog); err != nil {
+		t.Fatal(err)
+	}
+	if err := targetStorage.AppendGroup(SlotDeltaLog, log[:len(log)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Migrate(r.enclave.Call, targetEnclave.Call); err == nil {
+		t.Fatal("import accepted a truncated chain copy")
+	}
+	status, err := QueryStatus(targetEnclave.Call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Provisioned {
+		t.Fatal("target claims provisioned after refused import")
+	}
+}
+
 // Dropping an interior record (or reordering) breaks the hash chain and
 // halts recovery — the host cannot splice the log.
 func TestDeltaLogSpliceHaltsRecovery(t *testing.T) {

@@ -102,8 +102,9 @@ func TestBankRollbackDoubleSpendDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The malicious host restores the pre-spend state.
-	if !r.storage.RollbackBy(SlotStateBlob, 1) {
+	// The malicious host restores the pre-spend state. The bank persists
+	// through the delta log, so the attack truncates the spend's record.
+	if !r.storage.RollbackLogBy(SlotDeltaLog, 1) {
 		t.Fatal("rollback injection failed")
 	}
 	if err := r.enclave.Restart(); err != nil {
@@ -140,6 +141,9 @@ func TestBankMigration(t *testing.T) {
 	if err := targetEnclave.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// The bank is delta-persisted, so the migration payload carries the
+	// chain head and the host ships the sealed blob + log to the target.
+	copySealedState(t, targetStorage, r.storage)
 	if err := Migrate(r.enclave.Call, targetEnclave.Call); err != nil {
 		t.Fatalf("Migrate: %v", err)
 	}
@@ -154,7 +158,11 @@ func TestBankMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	batch, _ := DecodeBatchResult(resp)
-	if err := targetStorage.Store(SlotStateBlob, batch.StateBlob); err != nil {
+	if len(batch.DeltaRecord) > 0 {
+		if err := targetStorage.Append(SlotDeltaLog, batch.DeltaRecord); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := targetStorage.Store(SlotStateBlob, batch.StateBlob); err != nil {
 		t.Fatal(err)
 	}
 	res, err := c.ProcessReply(batch.Replies[0])

@@ -52,10 +52,40 @@ package core
 //
 // # Compaction
 //
-// After CompactEvery records or CompactBytes sealed bytes (whichever
-// comes first), the enclave re-seals a full snapshot instead of a delta;
-// the host stores it and truncates the log, bounding recovery time and
-// reclaiming space. The chain restarts at the fresh blob's hash.
+// Compaction re-seals a full snapshot instead of a delta; the host stores
+// it and truncates the log, bounding recovery time and reclaiming space.
+// The chain restarts at the fresh blob's hash.
+//
+// The default policy is adaptive: the enclave tracks the sealed size of
+// the last full snapshot (what one compaction costs) and the cumulative
+// sealed bytes of the live chain (what replaying it at recovery costs),
+// and compacts once the chain exceeds CompactRatio times the snapshot —
+// bounded below by CompactMinRecords (tiny services must not thrash) and
+// above by CompactMaxRecords (recovery authenticates a bounded record
+// count no matter how small the records are). Configuring CompactEvery
+// or CompactBytes replaces the adaptive policy with those fixed
+// thresholds. Chain length/bytes, the observed snapshot size and the
+// compaction history are surfaced through Status.
+//
+// # Group commit (host side)
+//
+// The enclave's per-batch output is one sealed delta record; making it
+// durable is the host's job, and under fsync-per-write storage that cost
+// dominates. The host's group-commit pipeline (internal/host) therefore
+// decouples the ecall loop from persistence: batch results queue at a
+// committer which appends every queued record in one Store.AppendGroup
+// call — a single write and a single fsync for the whole group — while
+// the next ecall already runs. Replies are still released only after the
+// group's fsync returns, so the crash-tolerance contract (a reply seen by
+// a client implies its record is durable) is unchanged; the enclave may
+// merely run ahead of the disk by the in-flight window, which a crash
+// converts into ordinary unacknowledged work. A failed group is handled
+// like a crash: the host restarts the enclave so the chain re-folds from
+// the on-disk log, and the affected clients converge through the
+// Sec. 4.6.1 retry protocol. Non-batch ecalls (status, admin, migration)
+// act as barriers — the host flushes the committer first — so every
+// administrative view of the storage is consistent with acknowledged
+// batches.
 
 import (
 	"crypto/sha256"
@@ -217,23 +247,46 @@ func decodeDeltaRecord(b []byte) (*deltaRecord, error) {
 }
 
 // migrationPayload is the plaintext the origin enclave seals to the
-// migration target's channel key: the state-encryption key kP plus the
-// full current state (Sec. 4.6.2).
+// migration target's channel key (Sec. 4.6.2). It carries kP and one of
+// two state representations:
+//
+//   - Snapshot mode (ChainMode false): State is a full trustedState
+//     including the service snapshot — self-contained, used when delta
+//     persistence is inactive.
+//   - Chain mode (ChainMode true): State carries V, kC and adminSeq but an
+//     empty service snapshot. The service state travels outside the secure
+//     channel, as the sealed base blob + delta log, which the (untrusted)
+//     host copies to — or shares with — the target's stable storage; the
+//     sealing under kP keeps that path safe. The target rebuilds the state
+//     by folding its copy of the chain and accepts only if the fold ends
+//     exactly at ChainPrev, so a host serving a stale or truncated copy is
+//     refused rather than silently imported. Pending carries any service
+//     delta not yet covered by a persisted record. The secure-channel
+//     payload is thus O(V + pending) instead of O(state).
 type migrationPayload struct {
-	KP    []byte
-	State []byte // trustedState encoding
+	KP        []byte
+	State     []byte // trustedState encoding (empty Snapshot in chain mode)
+	ChainMode bool
+	ChainPrev [32]byte
+	Pending   []byte
 }
 
 func (m *migrationPayload) encode() []byte {
-	w := wire.NewWriter(8 + len(m.KP) + len(m.State))
+	w := wire.NewWriter(49 + len(m.KP) + len(m.State) + len(m.Pending))
 	w.Var(m.KP)
 	w.Var(m.State)
+	w.Bool(m.ChainMode)
+	w.Bytes32(m.ChainPrev)
+	w.Var(m.Pending)
 	return w.Bytes()
 }
 
 func decodeMigrationPayload(b []byte) (*migrationPayload, error) {
 	r := wire.NewReader(b)
 	m := &migrationPayload{KP: r.Var(), State: r.Var()}
+	m.ChainMode = r.Bool()
+	m.ChainPrev = r.Bytes32()
+	m.Pending = r.Var()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode migration payload: %w", err)
 	}

@@ -32,6 +32,7 @@ type Trusted struct {
 	fullSeal     bool
 	compactEvery int
 	compactBytes int
+	compactRatio float64
 
 	// Volatile state, rebuilt by init from the sealed blobs.
 	svc       service.Service
@@ -59,17 +60,29 @@ type Trusted struct {
 	chainLen     int
 	chainBytes   int
 	forceCompact bool
+
+	// Adaptive-compaction observations: the size of the last sealed full
+	// snapshot (what one compaction costs) and the running compaction
+	// stats surfaced through Status.
+	snapBytes    int
+	compactions  uint64
+	lastCompactT uint64
 }
 
 var _ tee.Program = (*Trusted)(nil)
 
-// Default compaction thresholds: a full snapshot is re-sealed (and the
-// delta log truncated) after this many records or sealed bytes, whichever
-// comes first. They bound recovery time without giving up the O(batch)
-// steady-state sealing cost.
+// Adaptive-compaction policy constants. By default the enclave re-seals a
+// full snapshot (and directs the host to truncate the delta log) when the
+// accumulated sealed delta bytes exceed DefaultCompactRatio times the
+// observed size of the last full snapshot — i.e. when replaying the chain
+// at recovery would cost a configurable multiple of simply re-sealing.
+// The record-count floor keeps a tiny service from compacting on every
+// other batch, and the cap bounds the number of records recovery must
+// authenticate regardless of their size.
 const (
-	DefaultCompactEvery = 64
-	DefaultCompactBytes = 1 << 20
+	DefaultCompactRatio = 4.0
+	CompactMinRecords   = 16
+	CompactMaxRecords   = 4096
 )
 
 // TrustedConfig assembles a Trusted program factory.
@@ -89,22 +102,25 @@ type TrustedConfig struct {
 	// still folds any existing delta log, so the toggle is safe across
 	// restarts.
 	FullSeal bool
-	// CompactEvery overrides DefaultCompactEvery when > 0.
+	// CompactEvery, when > 0, switches compaction to a fixed policy that
+	// re-seals after this many delta records (tests and ablations; the
+	// default is the adaptive snapshot/delta-ratio policy).
 	CompactEvery int
-	// CompactBytes overrides DefaultCompactBytes when > 0.
+	// CompactBytes, when > 0, switches compaction to a fixed policy that
+	// re-seals after this many sealed delta bytes.
 	CompactBytes int
+	// CompactRatio tunes the adaptive policy: compact once the chain's
+	// sealed bytes exceed this multiple of the last full snapshot's size.
+	// 0 means DefaultCompactRatio. Ignored when a fixed policy is set.
+	CompactRatio float64
 }
 
 // NewTrustedFactory returns a tee.ProgramFactory for the LCM protocol over
 // the configured service.
 func NewTrustedFactory(cfg TrustedConfig) tee.ProgramFactory {
-	compactEvery := cfg.CompactEvery
-	if compactEvery <= 0 {
-		compactEvery = DefaultCompactEvery
-	}
-	compactBytes := cfg.CompactBytes
-	if compactBytes <= 0 {
-		compactBytes = DefaultCompactBytes
+	compactRatio := cfg.CompactRatio
+	if compactRatio <= 0 {
+		compactRatio = DefaultCompactRatio
 	}
 	return func() tee.Program {
 		return &Trusted{
@@ -112,8 +128,9 @@ func NewTrustedFactory(cfg TrustedConfig) tee.ProgramFactory {
 			newService:   cfg.NewService,
 			attestation:  cfg.Attestation,
 			fullSeal:     cfg.FullSeal,
-			compactEvery: compactEvery,
-			compactBytes: compactBytes,
+			compactEvery: cfg.CompactEvery,
+			compactBytes: cfg.CompactBytes,
+			compactRatio: compactRatio,
 		}
 	}
 }
@@ -191,6 +208,7 @@ func (p *Trusted) Init(env tee.Env) error {
 func (p *Trusted) foldDeltaLog(env tee.Env, baseBlob []byte) error {
 	p.chainPrev = blobHash(baseBlob)
 	p.chainLen, p.chainBytes = 0, 0
+	p.snapBytes = len(baseBlob)
 	records, err := env.Host().LoadLog(SlotDeltaLog)
 	if err != nil {
 		return fmt.Errorf("lcm: load delta log: %w", err)
@@ -333,13 +351,19 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return encodeStatus(&Status{
-			Provisioned: p.provisioned(),
-			Migrated:    p.migrated,
-			Epoch:       env.Epoch(),
-			Seq:         p.t,
-			Stable:      p.v.majorityStable(),
-			AdminSeq:    p.adminSeq,
-			NumClients:  len(p.v),
+			Provisioned:    p.provisioned(),
+			Migrated:       p.migrated,
+			Epoch:          env.Epoch(),
+			Seq:            p.t,
+			Stable:         p.v.majorityStable(),
+			AdminSeq:       p.adminSeq,
+			NumClients:     len(p.v),
+			DeltaActive:    p.deltaActive(),
+			ChainLen:       p.chainLen,
+			ChainBytes:     p.chainBytes,
+			SnapshotBytes:  p.snapBytes,
+			Compactions:    p.compactions,
+			LastCompactSeq: p.lastCompactT,
 		}), nil
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
@@ -388,7 +412,7 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 			return nil, err
 		}
 		res.StateBlob = blob
-	case p.forceCompact || p.chainLen >= p.compactEvery || p.chainBytes >= p.compactBytes:
+	case p.shouldCompact():
 		// Compaction: re-seal a full snapshot and direct the host to
 		// truncate the log. Snapshot subsumes this batch's pending
 		// delta (the DeltaService contract), so nothing is lost.
@@ -406,6 +430,33 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 		res.DeltaRecord = rec
 	}
 	return encodeBatchResult(&res), nil
+}
+
+// shouldCompact decides whether the next batch re-seals a full snapshot
+// instead of appending a delta record. With an explicit CompactEvery or
+// CompactBytes configured the fixed thresholds apply verbatim; otherwise
+// the adaptive policy compacts once the chain's replay cost (its sealed
+// bytes) exceeds compactRatio times the observed full-snapshot size,
+// bounded below by CompactMinRecords and above by CompactMaxRecords.
+func (p *Trusted) shouldCompact() bool {
+	if p.forceCompact {
+		return true
+	}
+	if p.compactEvery > 0 || p.compactBytes > 0 {
+		return (p.compactEvery > 0 && p.chainLen >= p.compactEvery) ||
+			(p.compactBytes > 0 && p.chainBytes >= p.compactBytes)
+	}
+	if p.chainLen < CompactMinRecords {
+		return false
+	}
+	if p.chainLen >= CompactMaxRecords {
+		return true
+	}
+	snap := p.snapBytes
+	if snap < 1 {
+		snap = 1
+	}
+	return float64(p.chainBytes) >= p.compactRatio*float64(snap)
 }
 
 // sealDeltaRecord seals this batch's delta record and advances the chain.
@@ -512,8 +563,13 @@ func (p *Trusted) sealState() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lcm: seal state: %w", err)
 	}
+	if p.chainLen > 0 || p.forceCompact {
+		p.compactions++
+		p.lastCompactT = p.t
+	}
 	p.chainPrev = blobHash(blob)
 	p.chainLen, p.chainBytes = 0, 0
+	p.snapBytes = len(blob)
 	p.forceCompact = false
 	return blob, nil
 }
@@ -686,19 +742,33 @@ func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, e
 	}
 	p.migNonce = nil
 
-	snapshot, err := p.svc.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("lcm: snapshot for migration: %w", err)
+	state := trustedState{
+		AdminSeq: p.adminSeq,
+		KC:       p.kc.Bytes(),
+		V:        p.v.clone(),
 	}
-	payload := migrationPayload{
-		KP: p.kp.Bytes(),
-		State: (&trustedState{
-			AdminSeq: p.adminSeq,
-			KC:       p.kc.Bytes(),
-			V:        p.v.clone(),
-			Snapshot: snapshot,
-		}).encode(),
+	payload := migrationPayload{KP: p.kp.Bytes()}
+	if p.deltaActive() {
+		// Chain mode: carry the delta chain instead of forcing an
+		// O(state) snapshot. The service state reaches the target as the
+		// host-side sealed base blob + delta log; the payload pins the
+		// chain head the target's fold must reach, plus any service
+		// changes not yet covered by a persisted record.
+		pending, err := p.deltaSvc.Delta()
+		if err != nil {
+			return nil, fmt.Errorf("lcm: pending delta for migration: %w", err)
+		}
+		payload.ChainMode = true
+		payload.ChainPrev = p.chainPrev
+		payload.Pending = pending
+	} else {
+		snapshot, err := p.svc.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("lcm: snapshot for migration: %w", err)
+		}
+		state.Snapshot = snapshot
 	}
+	payload.State = state.encode()
 	senderPub, ct, err := securechannel.Seal(quote.UserData, payload.encode())
 	if err != nil {
 		return nil, fmt.Errorf("lcm: seal migration payload: %w", err)
@@ -734,11 +804,85 @@ func (p *Trusted) handleMigrateImport(env tee.Env, inner []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	if payload.ChainMode {
+		return p.importChain(env, kp, state, payload)
+	}
 	if err := p.install(env, kp, state); err != nil {
 		return nil, err
 	}
 	if err := p.persist(env); err != nil {
 		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// importChain completes a chain-mode migration import: the service state
+// is rebuilt from this host's copy of the origin's sealed base blob and
+// delta log, verified to end exactly at the chain head the origin pinned
+// in the payload, while V, kC and the admin sequence come from the
+// payload itself. Only the key blob is re-sealed (under this platform's
+// sealing key); the state blob and log continue unchanged, so the target
+// resumes the chain — and its compaction bookkeeping — where the origin
+// left off.
+func (p *Trusted) importChain(env tee.Env, kp aead.Key, state *trustedState, payload *migrationPayload) ([]byte, error) {
+	if p.deltaSvc == nil {
+		return nil, errors.New("lcm: chain-mode migration requires a delta-capable service")
+	}
+	baseBlob, err := env.Host().Load(SlotStateBlob)
+	if errors.Is(err, stablestore.ErrNotFound) {
+		return nil, errors.New("lcm: chain-mode migration: origin's sealed state not present on this host")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lcm: chain-mode migration: load state blob: %w", err)
+	}
+	basePlain, err := aead.Open(kp, baseBlob, []byte(adStateBlob))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: chain-mode migration: state blob failed authentication: %w", err)
+	}
+	base, err := decodeTrustedState(basePlain)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: chain-mode migration: %w", err)
+	}
+	if err := p.install(env, kp, base); err != nil {
+		return nil, err
+	}
+	if err := p.foldDeltaLog(env, baseBlob); err != nil {
+		return nil, err
+	}
+	if p.chainPrev != payload.ChainPrev {
+		// The host's copy of the chain is stale, truncated or ahead of
+		// what the origin exported; refuse (the host can retry with the
+		// correct files) instead of importing a rolled-back state.
+		p.kp = aead.Key{}
+		return nil, errors.New("lcm: chain-mode migration: delta chain does not reach the origin's head")
+	}
+	// The payload's V/kC/adminSeq are the origin's authoritative values
+	// (they subsume what the fold reconstructed).
+	kc, err := aead.KeyFromBytes(state.KC)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: migration kC: %w", err)
+	}
+	if state.AdminSeq != p.adminSeq {
+		p.kp = aead.Key{}
+		return nil, errors.New("lcm: chain-mode migration: admin sequence mismatch against folded state")
+	}
+	p.kc = kc
+	p.v = state.V
+	p.t, p.h = p.v.argmax()
+	if len(payload.Pending) > 0 {
+		if err := p.deltaSvc.ApplyDelta(payload.Pending); err != nil {
+			return nil, tee.Halt("migration pending delta malformed", err)
+		}
+	}
+	p.chargeFootprint(env)
+	// Re-seal only kP under this platform's sealing key; the sealed state
+	// and delta log stay as-is and the chain continues from them.
+	keyBlob, err := p.sealKeyBlob()
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Host().Store(SlotKeyBlob, keyBlob); err != nil {
+		return nil, fmt.Errorf("lcm: store key blob: %w", err)
 	}
 	return []byte("ok"), nil
 }

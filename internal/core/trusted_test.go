@@ -128,6 +128,31 @@ func (r *rig) mustGet(clientID uint32, key string) (kvs.Result, *Result) {
 	return kv, res
 }
 
+// copySealedState plays the honest host's part of a chain-mode migration:
+// the sealed state blob and delta log are ordinary untrusted files, and
+// the host ships them to the target's storage outside the secure channel
+// (the payload carries only kP, V and the chain head).
+func copySealedState(t *testing.T, dst, src stablestore.Store) {
+	t.Helper()
+	blob, err := src.Load(SlotStateBlob)
+	if err != nil {
+		t.Fatalf("copy state blob: %v", err)
+	}
+	if err := dst.Store(SlotStateBlob, blob); err != nil {
+		t.Fatalf("store state blob: %v", err)
+	}
+	log, err := src.LoadLog(SlotDeltaLog)
+	if err != nil {
+		t.Fatalf("copy delta log: %v", err)
+	}
+	if err := dst.TruncateLog(SlotDeltaLog); err != nil {
+		t.Fatalf("clear target log: %v", err)
+	}
+	if err := dst.AppendGroup(SlotDeltaLog, log); err != nil {
+		t.Fatalf("store delta log: %v", err)
+	}
+}
+
 func TestBootstrapAndBasicOperation(t *testing.T) {
 	r := newRig(t, []uint32{1, 2})
 
@@ -498,7 +523,9 @@ func TestMigrationPreservesSessionsAndState(t *testing.T) {
 	r.mustPut(2, "k", "v2")
 
 	// Target platform with its own storage (shared-storage migration is
-	// exercised in TestMigrationInitOnForeignPlatformAwaitsImport).
+	// exercised in TestMigrationInitOnForeignPlatformAwaitsImport). With
+	// delta persistence active the migration payload carries the chain
+	// head, not the state, so the host copies the sealed files over.
 	target, err := tee.NewPlatform("plat-2")
 	if err != nil {
 		t.Fatal(err)
@@ -515,6 +542,7 @@ func TestMigrationPreservesSessionsAndState(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	copySealedState(t, targetStorage, r.storage)
 	if err := Migrate(r.enclave.Call, targetEnclave.Call); err != nil {
 		t.Fatalf("Migrate: %v", err)
 	}

@@ -35,16 +35,24 @@ const (
 // ErrMalformedOp reports an operation that does not decode.
 var ErrMalformedOp = errors.New("counter: malformed operation")
 
-// Bank is the counter service. It implements service.Service.
+// Bank is the counter service. It implements service.Service and
+// service.DeltaService: every mutation marks the touched accounts dirty,
+// and Delta serializes just those balances — so under LCM the bank's
+// per-batch sealed record grows with the batch, not with the number of
+// accounts (the same O(batch) persistence the kvs workload enjoys).
 type Bank struct {
 	accounts map[string]int64
+	dirty    map[string]struct{}
 }
 
-var _ service.Service = (*Bank)(nil)
+var (
+	_ service.Service      = (*Bank)(nil)
+	_ service.DeltaService = (*Bank)(nil)
+)
 
 // New returns an empty bank.
 func New() *Bank {
-	return &Bank{accounts: make(map[string]int64)}
+	return &Bank{accounts: make(map[string]int64), dirty: make(map[string]struct{})}
 }
 
 // Factory returns a service.Factory producing empty banks.
@@ -66,6 +74,7 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 			return nil, fmt.Errorf("%w: inc: %v", ErrMalformedOp, err)
 		}
 		b.accounts[name] += delta
+		b.dirty[name] = struct{}{}
 		return encodeBalance(statusOK, b.accounts[name]), nil
 
 	case opRead:
@@ -87,6 +96,8 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 		}
 		b.accounts[from] -= amount
 		b.accounts[to] += amount
+		b.dirty[from] = struct{}{}
+		b.dirty[to] = struct{}{}
 		return encodeBalance(statusOK, b.accounts[from]), nil
 
 	default:
@@ -114,6 +125,9 @@ func (b *Bank) Snapshot() ([]byte, error) {
 		w.Var([]byte(n))
 		w.U64(uint64(b.accounts[n]))
 	}
+	// A snapshot captures every pending change, so the dirty set restarts
+	// empty (the DeltaService contract).
+	clear(b.dirty)
 	return w.Bytes(), nil
 }
 
@@ -130,6 +144,46 @@ func (b *Bank) Restore(snapshot []byte) error {
 		return fmt.Errorf("counter: restore: %w", err)
 	}
 	b.accounts = accounts
+	b.dirty = make(map[string]struct{})
+	return nil
+}
+
+// Delta implements service.DeltaService: it serializes the balances of
+// every account touched since the last Delta or Snapshot (sorted, so
+// identical change sets encode identically) and resets the tracking.
+// Accounts are never deleted, so a delta is a plain set of (name, balance)
+// assignments.
+func (b *Bank) Delta() ([]byte, error) {
+	names := make([]string, 0, len(b.dirty))
+	for n := range b.dirty {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := wire.NewWriter(8 + len(names)*24)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		w.Var([]byte(n))
+		w.U64(uint64(b.accounts[n]))
+	}
+	clear(b.dirty)
+	return w.Bytes(), nil
+}
+
+// ApplyDelta implements service.DeltaService.
+func (b *Bank) ApplyDelta(delta []byte) error {
+	r := wire.NewReader(delta)
+	n := r.U32()
+	for i := uint32(0); i < n; i++ {
+		name := string(r.Var())
+		balance := int64(r.U64())
+		if r.Err() != nil {
+			break
+		}
+		b.accounts[name] = balance
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("counter: apply delta: %w", err)
+	}
 	return nil
 }
 

@@ -161,6 +161,125 @@ func TestQuickTransfersConserveTotal(t *testing.T) {
 	}
 }
 
+// Delta serializes only the touched accounts, folds back exactly, and
+// resets the tracking — the DeltaService contract.
+func TestDeltaTracksTouchedAccounts(t *testing.T) {
+	b := New()
+	mustApply(t, b, Inc("alice", 100))
+	mustApply(t, b, Inc("bob", 50))
+	if _, err := b.Snapshot(); err != nil { // baseline: clears the dirty set
+		t.Fatal(err)
+	}
+
+	d, err := b.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 4 { // empty delta: just the count header
+		t.Fatalf("delta after snapshot = %d bytes, want empty", len(d))
+	}
+
+	mustApply(t, b, Transfer("alice", "bob", 25))
+	mustApply(t, b, Inc("carol", 7))
+	// A rejected transfer must not dirty anything.
+	if res := mustApply(t, b, Transfer("carol", "alice", 1000)); res.OK {
+		t.Fatal("overdraft accepted")
+	}
+	d, err = b.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold the delta onto an old snapshot: the three touched balances move,
+	// nothing else.
+	old := New()
+	mustApply(t, old, Inc("alice", 100))
+	mustApply(t, old, Inc("bob", 50))
+	if err := old.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{"alice": 75, "bob": 75, "carol": 7} {
+		if got := mustApply(t, old, Read(name)).Balance; got != want {
+			t.Fatalf("%s after delta fold = %d, want %d", name, got, want)
+		}
+	}
+
+	// Delta cleared its tracking: the next one is empty again.
+	d2, _ := b.Delta()
+	if len(d2) != 4 {
+		t.Fatalf("second delta = %d bytes, want empty", len(d2))
+	}
+}
+
+func TestApplyDeltaRejectsGarbage(t *testing.T) {
+	if err := New().ApplyDelta([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ApplyDelta accepted garbage")
+	}
+}
+
+// Property: folding every delta taken since a snapshot onto that snapshot
+// yields the live state — under random inc/transfer schedules with deltas
+// cut at random points.
+func TestQuickDeltaFoldMatchesLive(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	check := func(seed []uint8) bool {
+		live := New()
+		base := New()
+		for _, n := range names {
+			if _, err := live.Apply(Inc(n, 500)); err != nil {
+				return false
+			}
+			if _, err := base.Apply(Inc(n, 500)); err != nil {
+				return false
+			}
+		}
+		if _, err := live.Snapshot(); err != nil {
+			return false
+		}
+		for i := 0; i+2 < len(seed); i += 3 {
+			from := names[int(seed[i])%len(names)]
+			to := names[int(seed[i+1])%len(names)]
+			var op []byte
+			if seed[i]%2 == 0 {
+				op = Inc(from, int64(seed[i+2])-128)
+			} else {
+				op = Transfer(from, to, int64(seed[i+2]))
+			}
+			if _, err := live.Apply(op); err != nil {
+				return false
+			}
+			if seed[i+2]%4 == 0 {
+				d, err := live.Delta()
+				if err != nil {
+					return false
+				}
+				if err := base.ApplyDelta(d); err != nil {
+					return false
+				}
+			}
+		}
+		d, err := live.Delta()
+		if err != nil {
+			return false
+		}
+		if err := base.ApplyDelta(d); err != nil {
+			return false
+		}
+		liveSnap, err := live.Snapshot()
+		if err != nil {
+			return false
+		}
+		baseSnap, err := base.Snapshot()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(liveSnap, baseSnap)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestManyAccounts(t *testing.T) {
 	b := New()
 	for i := 0; i < 500; i++ {

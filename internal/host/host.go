@@ -44,7 +44,20 @@ type Config struct {
 	// empty means the LCM default (core.SlotStateBlob). Baseline enclave
 	// programs that share this host use their own slot.
 	StateSlot string
+	// GroupCommit enables the pipelined group-commit committer for delta
+	// records: the batch loop hands each batch's persistence work to a
+	// per-enclave committer and immediately starts the next ecall; the
+	// committer coalesces every record that queued up during one fsync
+	// into a single AppendGroup call (the baseline.AOF.AppendGroup
+	// pattern, Sec. 6.4's Redis configuration). Replies are released only
+	// after the group's fsync, so crash tolerance is unchanged. Non-batch
+	// ecalls flush the committer first.
+	GroupCommit bool
 }
+
+// maxCommitGroup caps how many batch results one commit group covers, so
+// a burst cannot defer durability (and replies) indefinitely.
+const maxCommitGroup = 64
 
 // request is one queued invoke awaiting its batch.
 type request struct {
@@ -68,12 +81,14 @@ func (c *connState) send(frame []byte) error {
 type Server struct {
 	cfg Config
 
-	mu        sync.Mutex
-	enclaves  []*tee.Enclave
-	queues    []chan request
-	nextConn  int
-	route     func(connID int) int // enclave index for new connections
-	liveConns map[*connState]struct{}
+	mu         sync.Mutex
+	enclaves   []*tee.Enclave
+	queues     []chan request
+	committers []*committer  // nil entries when GroupCommit is off
+	persistMus []*sync.Mutex // serialize batch (ecall+persist) vs barrier ecalls
+	nextConn   int
+	route      func(connID int) int // enclave index for new connections
+	liveConns  map[*connState]struct{}
 
 	wg       sync.WaitGroup
 	stop     chan struct{}
@@ -108,19 +123,70 @@ func (s *Server) addEnclave() (int, error) {
 	if err := enclave.Start(); err != nil {
 		return 0, fmt.Errorf("host: start enclave: %w", err)
 	}
+	var cm *committer
+	if s.cfg.GroupCommit {
+		cm = &committer{srv: s, enclave: enclave, ch: make(chan commitReq, maxCommitGroup)}
+	}
+	pm := &sync.Mutex{}
 	s.mu.Lock()
 	s.enclaves = append(s.enclaves, enclave)
 	queue := make(chan request, 1024)
 	s.queues = append(s.queues, queue)
+	s.committers = append(s.committers, cm)
+	s.persistMus = append(s.persistMus, pm)
 	idx := len(s.enclaves) - 1
 	s.mu.Unlock()
 
+	if cm != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			cm.run()
+		}()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.batchLoop(enclave, queue)
+		s.batchLoop(enclave, cm, pm, queue)
 	}()
 	return idx, nil
+}
+
+// committer returns the group committer for enclave idx, or nil.
+func (s *Server) committerFor(idx int) *committer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.committers) {
+		return nil
+	}
+	return s.committers[idx]
+}
+
+// barrierECall performs a non-batch ecall against enclave idx behind the
+// persistence barrier: it holds the enclave's persist lock — so no batch
+// can seal a new record between the flush and the call — flushes any
+// queued batch results, then calls. Without the lock, an admin/migration
+// persist (fresh blob + log truncation) inside the call could race a
+// just-sealed delta record still queued at the committer, landing an
+// unchained record at the head of the truncated log; a later restart
+// would then discard acknowledged work and halt on a phantom rollback.
+// The same lock serializes the legacy inline (ecall, persist) pair for
+// the identical reason.
+func (s *Server) barrierECall(idx int, payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	var pm *sync.Mutex
+	if idx >= 0 && idx < len(s.persistMus) {
+		pm = s.persistMus[idx]
+	}
+	s.mu.Unlock()
+	if pm != nil {
+		pm.Lock()
+		defer pm.Unlock()
+	}
+	if cm := s.committerFor(idx); cm != nil {
+		cm.flush(s.stop)
+	}
+	return s.Enclave(idx).Call(payload)
 }
 
 // Enclave returns enclave instance idx (0 is the primary).
@@ -131,9 +197,11 @@ func (s *Server) Enclave(idx int) *tee.Enclave {
 }
 
 // ECall performs a raw enclave call against the primary instance — the
-// path an in-process admin uses.
+// path an in-process admin uses. Like the networked ecall path it runs
+// behind the persistence barrier, so status, admin and migration calls
+// see storage consistent with every acknowledged batch.
 func (s *Server) ECall(payload []byte) ([]byte, error) {
-	return s.Enclave(0).Call(payload)
+	return s.barrierECall(0, payload)
 }
 
 // Serve accepts connections until the listener is closed or Shutdown is
@@ -198,7 +266,9 @@ func (s *Server) connLoop(cs *connState) {
 				return
 			}
 		case wire.FrameECall:
-			resp, err := s.Enclave(cs.enclave).Call(payload)
+			// Ecalls (status, admin, migration) act as persistence
+			// barriers: queued batch results become durable first.
+			resp, err := s.barrierECall(cs.enclave, payload)
 			if err != nil {
 				_ = cs.send(wire.ErrorFrame(err))
 				continue
@@ -212,8 +282,10 @@ func (s *Server) connLoop(cs *connState) {
 
 // batchLoop collects requests into batches (up to BatchSize, or fewer when
 // the queue momentarily empties — the Sec. 5.3 policy), performs the
-// ecall, persists the sealed state and distributes replies.
-func (s *Server) batchLoop(enclave *tee.Enclave, queue chan request) {
+// ecall, persists the sealed state and distributes replies. With a group
+// committer attached, persistence and reply release are handed off so the
+// next ecall overlaps the previous batch's fsync.
+func (s *Server) batchLoop(enclave *tee.Enclave, cm *committer, pm *sync.Mutex, queue chan request) {
 	for {
 		var batch []request
 		select {
@@ -231,11 +303,17 @@ func (s *Server) batchLoop(enclave *tee.Enclave, queue chan request) {
 				break fill
 			}
 		}
-		s.processBatch(enclave, batch)
+		s.processBatch(enclave, cm, pm, batch)
 	}
 }
 
-func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
+func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mutex, batch []request) {
+	// The persist lock pairs this ecall atomically with handing its
+	// sealed output to the persistence path (committer queue or inline
+	// store), so a barrier ecall can never slip in between and persist a
+	// chain-restarting blob ahead of an already-sealed record.
+	pm.Lock()
+	defer pm.Unlock()
 	invokes := make([][]byte, len(batch))
 	for i, req := range batch {
 		invokes[i] = req.invoke
@@ -243,6 +321,7 @@ func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
 	// The call payload is consumed (copied) by the enclave during Call, so
 	// the encode buffer can be pooled: steady-state batches allocate no
 	// framing buffers.
+	epoch := enclave.Epoch()
 	w := wire.GetWriter(core.BatchCallSize(invokes))
 	core.AppendBatchCall(w, invokes)
 	resp, err := enclave.Call(w.Bytes())
@@ -257,6 +336,24 @@ func (s *Server) processBatch(enclave *tee.Enclave, batch []request) {
 	if err != nil || len(result.Replies) != len(batch) {
 		for _, req := range batch {
 			_ = req.conn.send(wire.ErrorFrame(errors.New("host: malformed enclave response")))
+		}
+		return
+	}
+	if cm != nil {
+		if enclave.Epoch() != epoch {
+			// A committer-initiated restart raced this ecall, so the
+			// epoch tag may not match the epoch that sealed the record.
+			// Fail the batch and restart once more: the chain re-folds
+			// from disk and the clients converge via retries.
+			_ = enclave.Restart()
+			for _, req := range batch {
+				_ = req.conn.send(wire.ErrorFrame(errors.New("host: enclave restarted during batch; retry")))
+			}
+			return
+		}
+		select {
+		case cm.ch <- commitReq{batch: batch, result: result, epoch: epoch}:
+		case <-s.stop:
 		}
 		return
 	}
@@ -287,8 +384,9 @@ func (s *Server) persistBatchResult(enclave *tee.Enclave, result *core.BatchResu
 			// permanent gap on disk. Treat the lost write exactly like a
 			// crash: restart the enclave so it re-folds the consistent
 			// on-disk log, and let the affected clients converge through
-			// the Sec. 4.6.1 retry protocol. (The full-seal path below
-			// self-heals instead: the next batch rewrites the whole blob.)
+			// the Sec. 4.6.1 retry protocol. (The plain full-seal path
+			// below self-heals instead: the next batch rewrites the
+			// whole blob.)
 			if rerr := enclave.Restart(); rerr != nil {
 				return fmt.Errorf("%w (enclave restart: %v)", err, rerr)
 			}
@@ -297,12 +395,204 @@ func (s *Server) persistBatchResult(enclave *tee.Enclave, result *core.BatchResu
 		return nil
 	}
 	if err := s.cfg.Store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
+		if result.Compact {
+			// A lost compaction blob desynchronizes the chain the same
+			// way a lost append does (the enclave already rechained at
+			// the new blob): restart so the chain re-folds from disk.
+			if rerr := enclave.Restart(); rerr != nil {
+				return fmt.Errorf("%w (enclave restart: %v)", err, rerr)
+			}
+		}
 		return err
 	}
 	if result.Compact {
 		return s.cfg.Store.TruncateLog(core.SlotDeltaLog)
 	}
 	return nil
+}
+
+// ---- Group commit ----
+
+// commitReq is one batch's persistence work queued at a committer, or —
+// when done is non-nil — a flush barrier.
+type commitReq struct {
+	batch  []request
+	result *core.BatchResult
+	epoch  uint64 // enclave epoch that sealed the result
+	done   chan struct{}
+}
+
+// committer drains batch results from one enclave's batch loop and makes
+// them durable: consecutive delta records are appended as one group under
+// a single fsync (Store.AppendGroup), consecutive full-seal blobs
+// collapse to one store of the last (subsuming) blob, and compaction
+// blobs act as barriers. Replies are released only after the covering
+// write returns, and any persistence failure is treated as a crash — the
+// enclave restarts, queued results from the failed epoch are discarded,
+// and clients converge via retries.
+type committer struct {
+	srv     *Server
+	enclave *tee.Enclave
+	ch      chan commitReq
+
+	failEpoch uint64 // results sealed in epochs <= failEpoch are dropped
+
+	statMu   sync.Mutex
+	groups   int
+	records  int
+	maxGroup int
+}
+
+func (c *committer) run() {
+	for {
+		var first commitReq
+		select {
+		case first = <-c.ch:
+		case <-c.srv.stop:
+			return
+		}
+		pending := []commitReq{first}
+	drain:
+		for len(pending) < maxCommitGroup {
+			select {
+			case r := <-c.ch:
+				pending = append(pending, r)
+			default:
+				break drain
+			}
+		}
+		c.process(pending)
+	}
+}
+
+// flush blocks until every result queued before it is durable (or the
+// server stops).
+func (c *committer) flush(stop <-chan struct{}) {
+	done := make(chan struct{})
+	select {
+	case c.ch <- commitReq{done: done}:
+	case <-stop:
+		return
+	}
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+func (c *committer) process(pending []commitReq) {
+	i := 0
+	for i < len(pending) {
+		req := pending[i]
+		switch {
+		case req.done != nil:
+			close(req.done)
+			i++
+		case req.epoch <= c.failEpoch:
+			// Sealed before the restart that followed a failed write; the
+			// record is no longer part of the live chain.
+			c.reject(req, errStaleEpoch)
+			i++
+		case len(req.result.DeltaRecord) > 0:
+			// Group every consecutive delta record under one fsync.
+			j := i
+			var records [][]byte
+			for j < len(pending) && pending[j].done == nil &&
+				pending[j].epoch > c.failEpoch && len(pending[j].result.DeltaRecord) > 0 {
+				records = append(records, pending[j].result.DeltaRecord)
+				j++
+			}
+			if err := c.srv.cfg.Store.AppendGroup(core.SlotDeltaLog, records); err != nil {
+				c.fail(pending[i:j], err)
+			} else {
+				c.recordGroup(len(records))
+				for _, r := range pending[i:j] {
+					c.release(r)
+				}
+			}
+			i = j
+		case !req.result.Compact:
+			// Full-seal blobs: each later blob subsumes every earlier
+			// one's effects, so a consecutive run commits as a single
+			// store of the last blob — full-seal services group-commit
+			// too, just through overwrite instead of append.
+			j := i
+			for j < len(pending) && pending[j].done == nil && pending[j].epoch > c.failEpoch &&
+				len(pending[j].result.DeltaRecord) == 0 && !pending[j].result.Compact {
+				j++
+			}
+			if err := c.srv.cfg.Store.Store(c.srv.cfg.StateSlot, pending[j-1].result.StateBlob); err != nil {
+				c.fail(pending[i:j], err)
+			} else {
+				c.recordGroup(j - i)
+				for _, r := range pending[i:j] {
+					c.release(r)
+				}
+			}
+			i = j
+		default:
+			// A compaction blob: a barrier write plus log truncation.
+			err := c.srv.cfg.Store.Store(c.srv.cfg.StateSlot, req.result.StateBlob)
+			if err == nil {
+				err = c.srv.cfg.Store.TruncateLog(core.SlotDeltaLog)
+			}
+			if err != nil {
+				c.fail(pending[i:i+1], err)
+			} else {
+				c.release(req)
+			}
+			i++
+		}
+	}
+}
+
+var errStaleEpoch = errors.New("host: batch result discarded after enclave restart; retry")
+
+// fail handles a lost write: every batch in the failed group gets an
+// error, the enclave restarts so its chain re-folds from the on-disk log,
+// and results sealed before the restart are poisoned so a later append
+// cannot leave a gap behind the lost record.
+func (c *committer) fail(group []commitReq, err error) {
+	c.failEpoch = c.enclave.Epoch()
+	for _, r := range group {
+		c.reject(r, fmt.Errorf("host: persist state: %w", err))
+	}
+	_ = c.enclave.Restart()
+}
+
+func (c *committer) release(req commitReq) {
+	for i, r := range req.batch {
+		_ = r.conn.send(wire.OKFrame(req.result.Replies[i]))
+	}
+}
+
+func (c *committer) reject(req commitReq, err error) {
+	for _, r := range req.batch {
+		_ = r.conn.send(wire.ErrorFrame(err))
+	}
+}
+
+func (c *committer) recordGroup(n int) {
+	c.statMu.Lock()
+	c.groups++
+	c.records += n
+	if n > c.maxGroup {
+		c.maxGroup = n
+	}
+	c.statMu.Unlock()
+}
+
+// GroupCommitStats reports the primary enclave's group-commit activity:
+// commit groups written, batch results they covered, and the largest
+// group. Zeros when group commit is disabled.
+func (s *Server) GroupCommitStats() (groups, records, maxGroup int) {
+	cm := s.committerFor(0)
+	if cm == nil {
+		return 0, 0, 0
+	}
+	cm.statMu.Lock()
+	defer cm.statMu.Unlock()
+	return cm.groups, cm.records, cm.maxGroup
 }
 
 // Shutdown stops the batchers, closes every live connection (unblocking

@@ -36,10 +36,17 @@ type Service interface {
 // incremental state changes. The trusted context uses it to seal only what
 // changed in a batch (a delta record) instead of re-sealing the full state,
 // turning the per-batch persistence cost from O(state) into O(batch).
+// Both bundled services implement it (internal/kvs and internal/counter).
 //
 // Deltas carry state changes, not operations, so LCM's
 // no-determinism-required property (Sec. 3.1) is preserved: replaying a
 // delta never re-executes application code.
+//
+// Downstream, delta support is what the rest of the persistence pipeline
+// keys on: the host group-commits delta records under shared fsyncs, the
+// enclave sizes compaction from the observed snapshot/delta ratio, and
+// migration exports carry the delta chain instead of a snapshot (see
+// internal/core/state.go for the full protocol).
 type DeltaService interface {
 	Service
 

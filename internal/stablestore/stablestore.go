@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"lcm/internal/latency"
+	"lcm/internal/wire"
 )
 
 // ErrNotFound reports that a slot has never been stored.
@@ -43,6 +44,13 @@ type Store interface {
 	Load(slot string) ([]byte, error)
 	// Append adds one record to the log slot, creating it if necessary.
 	Append(slot string, record []byte) error
+	// AppendGroup adds records to the log slot in order as one commit
+	// group: in sync mode the whole group shares a single fsync — the
+	// host's group-commit entry point (the Redis AOF pattern that lets
+	// the durable configuration scale with concurrency). A crash during
+	// the group may persist any prefix of it, which recovery treats like
+	// records the host never acknowledged. An empty group is a no-op.
+	AppendGroup(slot string, records [][]byte) error
 	// LoadLog returns every record of the log slot in append order. A slot
 	// that was never appended to (or was truncated) yields an empty log,
 	// not an error.
@@ -103,6 +111,18 @@ func (s *MemStore) Append(slot string, record []byte) error {
 	cp := make([]byte, len(record))
 	copy(cp, record)
 	s.logs[slot] = append(s.logs[slot], cp)
+	return nil
+}
+
+// AppendGroup implements Store.
+func (s *MemStore) AppendGroup(slot string, records [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, record := range records {
+		cp := make([]byte, len(record))
+		copy(cp, record)
+		s.logs[slot] = append(s.logs[slot], cp)
+	}
 	return nil
 }
 
@@ -238,22 +258,43 @@ func (s *FileStore) logFile(slot string) (*os.File, error) {
 }
 
 // Append implements Store. Records are framed as a 4-byte big-endian
-// length followed by the payload, written in a single Write so a crash
-// leaves at most one torn record at the tail — which LoadLog drops, the
-// same recovery contract as a lost final Store.
+// length followed by the payload (wire.AppendLogFrame), written in a
+// single Write so a crash leaves at most one torn record at the tail —
+// which LoadLog drops, the same recovery contract as a lost final Store.
 func (s *FileStore) Append(slot string, record []byte) error {
+	return s.appendFramed(slot, wire.AppendLogFrame(nil, record))
+}
+
+// AppendGroup implements Store: the whole group is framed into one buffer,
+// written in a single Write and covered by a single fsync (and a single
+// charged SyncWrite latency) — concurrent batches amortize the commit
+// cost, which is what lets the sync-writes configuration scale. A crash
+// mid-write persists a prefix of complete records plus at most one torn
+// frame, both handled by LoadLog.
+func (s *FileStore) AppendGroup(slot string, records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	size := 0
+	for _, record := range records {
+		size += 4 + len(record)
+	}
+	framed := make([]byte, 0, size)
+	for _, record := range records {
+		framed = wire.AppendLogFrame(framed, record)
+	}
+	return s.appendFramed(slot, framed)
+}
+
+// appendFramed writes pre-framed bytes to a log slot, fsyncing once in
+// sync mode.
+func (s *FileStore) appendFramed(slot string, framed []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, err := s.logFile(slot)
 	if err != nil {
 		return err
 	}
-	framed := make([]byte, 4+len(record))
-	framed[0] = byte(len(record) >> 24)
-	framed[1] = byte(len(record) >> 16)
-	framed[2] = byte(len(record) >> 8)
-	framed[3] = byte(len(record))
-	copy(framed[4:], record)
 	if _, err := f.Write(framed); err != nil {
 		return fmt.Errorf("stablestore: append: %w", err)
 	}
@@ -279,19 +320,7 @@ func (s *FileStore) LoadLog(slot string) ([][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stablestore: read log: %w", err)
 	}
-	var out [][]byte
-	for off := 0; off+4 <= len(raw); {
-		n := int(raw[off])<<24 | int(raw[off+1])<<16 | int(raw[off+2])<<8 | int(raw[off+3])
-		off += 4
-		if n < 0 || off+n > len(raw) {
-			break // torn tail
-		}
-		rec := make([]byte, n)
-		copy(rec, raw[off:off+n])
-		out = append(out, rec)
-		off += n
-	}
-	return out, nil
+	return wire.SplitLogFrames(raw), nil
 }
 
 // TruncateLog implements Store.
@@ -398,6 +427,25 @@ func (s *RollbackStore) Append(slot string, record []byte) error {
 		return nil
 	}
 	return s.inner.Append(slot, record)
+}
+
+// AppendGroup implements Store, mirroring the whole group (or swallowing
+// it under DropWrites, the host that lies about a group commit).
+func (s *RollbackStore) AppendGroup(slot string, records [][]byte) error {
+	s.mu.Lock()
+	dropping := s.dropping
+	if !dropping {
+		for _, record := range records {
+			cp := make([]byte, len(record))
+			copy(cp, record)
+			s.logs[slot] = append(s.logs[slot], cp)
+		}
+	}
+	s.mu.Unlock()
+	if dropping {
+		return nil
+	}
+	return s.inner.AppendGroup(slot, records)
 }
 
 // LoadLog implements Store, serving only the pinned prefix when the
@@ -573,6 +621,20 @@ func (s *CrashStore) Append(slot string, record []byte) error {
 		return err
 	}
 	return s.inner.Append(slot, record)
+}
+
+// AppendGroup implements Store; the group is one durability event, so it
+// charges a single write against the crash budget — a crash fails the
+// whole group's fsync, exactly what the group-commit recovery tests need
+// to inject.
+func (s *CrashStore) AppendGroup(slot string, records [][]byte) error {
+	if len(records) == 0 {
+		return nil
+	}
+	if err := s.write(); err != nil {
+		return err
+	}
+	return s.inner.AppendGroup(slot, records)
 }
 
 // LoadLog implements Store.

@@ -457,3 +457,128 @@ func TestCrashStoreFailsAppends(t *testing.T) {
 		t.Fatalf("log = %d records, %v; want the one persisted append", len(log), err)
 	}
 }
+
+// AppendGroup behaves like the equivalent sequence of Appends on every
+// implementation: records land in order, interleave with single appends,
+// and an empty group is a no-op.
+func TestAppendGroupContract(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if err := s.AppendGroup("deltas", nil); err != nil {
+				t.Fatalf("empty group: %v", err)
+			}
+			if err := s.Append("deltas", []byte("solo-0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendGroup("deltas", [][]byte{[]byte("grp-1"), []byte("grp-2"), []byte("grp-3")}); err != nil {
+				t.Fatalf("AppendGroup: %v", err)
+			}
+			if err := s.Append("deltas", []byte("solo-4")); err != nil {
+				t.Fatal(err)
+			}
+			log, err := s.LoadLog("deltas")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"solo-0", "grp-1", "grp-2", "grp-3", "solo-4"}
+			if len(log) != len(want) {
+				t.Fatalf("log = %d records, want %d", len(log), len(want))
+			}
+			for i, rec := range log {
+				if string(rec) != want[i] {
+					t.Fatalf("record %d = %q, want %q", i, rec, want[i])
+				}
+			}
+		})
+	}
+}
+
+// A grouped append survives reopening the FileStore, and a crash that
+// tears the group mid-write leaves a clean prefix — the same recovery
+// contract as a torn single append.
+func TestFileStoreAppendGroupReopenAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := [][]byte{[]byte("g-0"), []byte("g-1"), []byte("g-2")}
+	if err := fs.AppendGroup("lcm-deltalog", group); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(dir, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := fs2.LoadLog("lcm-deltalog")
+	if err != nil || len(log) != 3 {
+		t.Fatalf("reopened grouped log = %d records, %v; want 3", len(log), err)
+	}
+
+	// Tear the group's tail: the last record's frame loses bytes; the
+	// prefix records must survive.
+	if err := fs2.AppendGroup("lcm-deltalog", [][]byte{[]byte("h-0"), []byte("h-1")}); err != nil {
+		t.Fatal(err)
+	}
+	path := fs2.logPath("lcm-deltalog")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	log, err = fs2.LoadLog("lcm-deltalog")
+	if err != nil {
+		t.Fatalf("LoadLog with torn group tail: %v", err)
+	}
+	if len(log) != 4 || string(log[3]) != "h-0" {
+		t.Fatalf("torn group = %d records (last %q), want clean 4-record prefix", len(log), log[len(log)-1])
+	}
+}
+
+// The whole group is one durability event for crash injection: a group
+// never splits across the crash boundary.
+func TestCrashStoreChargesGroupOnce(t *testing.T) {
+	cs := NewCrashStore(NewMemStore())
+	cs.FailAfter(1)
+	if err := cs.AppendGroup("log", [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatalf("first group: %v", err)
+	}
+	if err := cs.AppendGroup("log", [][]byte{[]byte("d")}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second group = %v, want ErrCrashed", err)
+	}
+	log, err := cs.LoadLog("log")
+	if err != nil || len(log) != 3 {
+		t.Fatalf("log = %d records, %v; want the 3 from the surviving group", len(log), err)
+	}
+}
+
+// The rollback adversary's log mirror covers grouped appends, so the
+// truncation attack can cut inside a committed group.
+func TestRollbackStoreGroupAppendMirrorsAndTruncates(t *testing.T) {
+	rs := NewRollbackStore(NewMemStore())
+	if err := rs.AppendGroup("log", [][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if rs.LogLen("log") != 3 {
+		t.Fatalf("mirror = %d records", rs.LogLen("log"))
+	}
+	if !rs.RollbackLogBy("log", 2) {
+		t.Fatal("log rollback failed")
+	}
+	log, err := rs.LoadLog("log")
+	if err != nil || len(log) != 1 || string(log[0]) != "a" {
+		t.Fatalf("attacked log = %q, %v", log, err)
+	}
+	rs.ClearAttack()
+	rs.DropWrites(true)
+	if err := rs.AppendGroup("log", [][]byte{[]byte("swallowed")}); err != nil {
+		t.Fatal(err)
+	}
+	rs.DropWrites(false)
+	if rs.LogLen("log") != 3 {
+		t.Fatalf("dropped group reached the mirror: %d records", rs.LogLen("log"))
+	}
+}

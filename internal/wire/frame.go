@@ -57,6 +57,40 @@ func ErrorFrame(err error) []byte {
 	return out
 }
 
+// Log-record framing: stable storage persists append-only log slots as a
+// byte stream of [4-byte big-endian length | payload] frames. The framing
+// is untrusted (the host writes it); its only job is to let an honest
+// host cut the stream back into records, with a torn trailing frame
+// (crash mid-append) recoverable by dropping it.
+
+// AppendLogFrame appends one length-prefixed record frame to dst and
+// returns the extended slice.
+func AppendLogFrame(dst, record []byte) []byte {
+	n := len(record)
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(dst, record...)
+}
+
+// SplitLogFrames parses a frame stream into records, copying each payload.
+// A torn trailing frame is silently dropped: the enclave only releases
+// replies after the host acknowledges the append, so a torn tail is by
+// construction unacknowledged work.
+func SplitLogFrames(raw []byte) [][]byte {
+	var out [][]byte
+	for off := 0; off+4 <= len(raw); {
+		n := int(raw[off])<<24 | int(raw[off+1])<<16 | int(raw[off+2])<<8 | int(raw[off+3])
+		off += 4
+		if n < 0 || off+n > len(raw) {
+			break // torn tail
+		}
+		rec := make([]byte, n)
+		copy(rec, raw[off:off+n])
+		out = append(out, rec)
+		off += n
+	}
+	return out
+}
+
 // DecodeResponse splits a response frame into payload or error.
 func DecodeResponse(frame []byte) ([]byte, error) {
 	if len(frame) == 0 {
