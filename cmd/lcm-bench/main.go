@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|ci|all \
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|batchgroup|ci|all \
 //	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] [-jsonOut path]
 //
 // The "ci" experiment runs the sealing and sync-writes ablation smokes and
@@ -36,7 +36,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|ci|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|batchgroup|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
@@ -130,10 +130,27 @@ func run() error {
 			measured["syncWritesAblation"] = points
 			fmt.Println("group commit shares one fsync across concurrent batches; per-batch fsync stays flat")
 			fmt.Println()
+		case "shardablation":
+			points, err := benchrun.RunShardAblation(cfg, nil, nil)
+			if err != nil {
+				return err
+			}
+			measured["shardAblation"] = points
+			fmt.Println("sharding multiplies the single-threaded enclave: N instances ≈ N× aggregate throughput")
+			fmt.Println()
+		case "batchgroup":
+			points, err := benchrun.RunBatchGroupSweep(cfg, nil)
+			if err != nil {
+				return err
+			}
+			measured["batchGroupSweep"] = points
+			fmt.Println("batching and group commit amortize the same fsync; deep batches subsume the committer")
+			fmt.Println()
 		case "ci":
-			// The CI gate: both persistence ablations at smoke size (a
-			// fixed small keyspace; -duration and -scale still apply),
-			// with the points recorded for the BENCH_ci.json artifact.
+			// The CI gate: the persistence ablations plus a small shard
+			// point, at smoke size (a fixed small keyspace; -duration and
+			// -scale still apply), with the points recorded for the
+			// BENCH_ci.json artifact.
 			ciCfg := cfg
 			ciCfg.Records = 200
 			seal, err := benchrun.RunSealAblation(ciCfg, []int{200})
@@ -146,6 +163,11 @@ func run() error {
 				return err
 			}
 			measured["syncWritesAblation"] = sync
+			shard, err := benchrun.RunShardAblation(ciCfg, []int{1, 2}, []int{8})
+			if err != nil {
+				return err
+			}
+			measured["shardAblation"] = shard
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -155,7 +177,7 @@ func run() error {
 
 	runAll := func() error {
 		if *experiment == "all" {
-			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation"} {
+			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup"} {
 				if err := runOne(name); err != nil {
 					return err
 				}

@@ -10,9 +10,19 @@
 //	lcm-client ... del <key>
 //	lcm-client ... status
 //
-// Client state (tc, ts, hc) persists in -state so consecutive invocations
-// form one continuous protocol session; deleting the file would make the
-// enclave (correctly!) flag the stale context as a potential attack.
+// Against a sharded server (lcm-server -shards N), pass all N
+// communication keys comma-separated — the client then holds one
+// protocol context per shard and routes each operation by its key hash,
+// exactly like the library's ShardedSession.
+//
+// Client state (tc, ts, hc — per shard) persists in -state so
+// consecutive invocations form one continuous protocol session; deleting
+// the file would make the enclave (correctly!) flag the stale context as
+// a potential attack.
+//
+// The status command prints the host's aggregated operational view: one
+// line per shard (sequence, stability, delta-chain and compaction state,
+// group-commit counters) plus deployment totals.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lcm/internal/aead"
@@ -41,7 +52,7 @@ func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7000", "server address")
 		id        = flag.Uint("id", 1, "client identifier within the group")
-		keyHex    = flag.String("key", "", "communication key kC (hex, from the admin)")
+		keyHex    = flag.String("key", "", "communication key(s) kC (hex; comma-separated, one per shard)")
 		statePath = flag.String("state", "", "client state file (default lcm-client-<id>.state)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "reply timeout before retry")
 	)
@@ -51,13 +62,23 @@ func run() error {
 		return errors.New("usage: lcm-client [flags] get|put|del|status ...")
 	}
 
-	raw, err := hex.DecodeString(*keyHex)
-	if err != nil {
-		return fmt.Errorf("decode -key: %w", err)
+	cfg := client.Config{Timeout: *timeout, Retries: 2}
+
+	if args[0] == "status" {
+		// The aggregated host endpoint needs no protocol context — and
+		// therefore no -key.
+		conn, err := transport.DialTCP(*addr)
+		if err != nil {
+			return err
+		}
+		sess := client.New(conn, uint32(*id), aead.Key{}, cfg)
+		defer sess.Close()
+		return printStatus(sess)
 	}
-	kc, err := aead.KeyFromBytes(raw)
+
+	keys, err := parseKeys(*keyHex)
 	if err != nil {
-		return fmt.Errorf("-key: %w", err)
+		return err
 	}
 
 	conn, err := transport.DialTCP(*addr)
@@ -68,70 +89,79 @@ func run() error {
 	if *statePath == "" {
 		*statePath = fmt.Sprintf("lcm-client-%d.state", *id)
 	}
-	cfg := client.Config{Timeout: *timeout, Retries: 2}
-	var session *client.Session
-	if blob, err := os.ReadFile(*statePath); err == nil {
-		state, err := core.DecodeClientState(blob)
-		if err != nil {
-			return fmt.Errorf("corrupt state file %s: %w", *statePath, err)
-		}
-		session = client.Resume(conn, state, kc, cfg)
-		// Complete any operation interrupted by a crash before issuing
-		// the new one (Sec. 4.6.1).
-		if state.Pending != nil {
-			if res, err := session.Recover(); err == nil {
-				fmt.Printf("recovered pending operation: seq=%d stable=%d\n", res.Seq, res.Stable)
-			} else {
-				return fmt.Errorf("recover pending operation: %w", err)
-			}
-		}
-	} else {
-		session = client.New(conn, uint32(*id), kc, cfg)
-	}
-	defer session.Close()
 
-	if args[0] == "status" {
-		status, err := core.QueryStatus(session.ECall)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("provisioned=%v migrated=%v epoch=%d t=%d stable=%d clients=%d\n",
-			status.Provisioned, status.Migrated, status.Epoch,
-			status.Seq, status.Stable, status.NumClients)
-		fmt.Printf("delta=%v chain=%d records/%dB snapshot=%dB compactions=%d lastCompactT=%d\n",
-			status.DeltaActive, status.ChainLen, status.ChainBytes,
-			status.SnapshotBytes, status.Compactions, status.LastCompactSeq)
-		return nil
+	if len(keys) == 1 {
+		return runSingle(conn, uint32(*id), keys[0], *statePath, cfg, args)
 	}
+	return runSharded(conn, uint32(*id), keys, *statePath, cfg, args)
+}
 
-	var op []byte
+func parseKeys(keyHex string) ([]aead.Key, error) {
+	parts := strings.Split(keyHex, ",")
+	keys := make([]aead.Key, 0, len(parts))
+	for i, part := range parts {
+		raw, err := hex.DecodeString(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("decode -key[%d]: %w", i, err)
+		}
+		key, err := aead.KeyFromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("-key[%d]: %w", i, err)
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}
+
+func printStatus(sess *client.Session) error {
+	ds, err := sess.DeploymentStatus()
+	if err != nil {
+		return err
+	}
+	for _, sh := range ds.Shards {
+		st := sh.Status
+		if sh.Err != "" {
+			fmt.Printf("shard %d: UNAVAILABLE (%s) instances=%d\n", sh.Shard, sh.Err, sh.Instances)
+			continue
+		}
+		fmt.Printf("shard %d: provisioned=%v migrated=%v epoch=%d t=%d stable=%d clients=%d instances=%d\n",
+			sh.Shard, st.Provisioned, st.Migrated, st.Epoch, st.Seq, st.Stable, st.NumClients, sh.Instances)
+		fmt.Printf("         delta=%v chain=%d records/%dB snapshot=%dB compactions=%d lastCompactT=%d\n",
+			st.DeltaActive, st.ChainLen, st.ChainBytes, st.SnapshotBytes, st.Compactions, st.LastCompactSeq)
+		if sh.Groups > 0 {
+			fmt.Printf("         groupcommit groups=%d records=%d maxGroup=%d\n",
+				sh.Groups, sh.Records, sh.MaxGroup)
+		}
+	}
+	groups, records, maxGroup := ds.GroupCommitTotals()
+	fmt.Printf("total: shards=%d t=%d groupcommit groups=%d records=%d maxGroup=%d\n",
+		len(ds.Shards), ds.TotalSeq(), groups, records, maxGroup)
+	return nil
+}
+
+func parseOp(args []string) ([]byte, error) {
 	switch args[0] {
 	case "get":
 		if len(args) != 2 {
-			return errors.New("usage: get <key>")
+			return nil, errors.New("usage: get <key>")
 		}
-		op = kvs.Get(args[1])
+		return kvs.Get(args[1]), nil
 	case "put":
 		if len(args) != 3 {
-			return errors.New("usage: put <key> <value>")
+			return nil, errors.New("usage: put <key> <value>")
 		}
-		op = kvs.Put(args[1], args[2])
+		return kvs.Put(args[1], args[2]), nil
 	case "del":
 		if len(args) != 2 {
-			return errors.New("usage: del <key>")
+			return nil, errors.New("usage: del <key>")
 		}
-		op = kvs.Del(args[1])
+		return kvs.Del(args[1]), nil
 	default:
-		return fmt.Errorf("unknown command %q", args[0])
+		return nil, fmt.Errorf("unknown command %q", args[0])
 	}
+}
 
-	res, err := session.Do(op)
-	if err != nil {
-		if errors.Is(err, core.ErrViolationDetected) {
-			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
-		}
-		return err
-	}
+func printResult(args []string, res *core.Result) error {
 	kv, err := kvs.DecodeResult(res.Value)
 	if err != nil {
 		return err
@@ -146,10 +176,120 @@ func run() error {
 	}
 	fmt.Printf("seq=%d stable=%d (this op is %smajority-stable yet)\n",
 		res.Seq, res.Stable, stableWord(res))
+	return nil
+}
 
+func runSingle(conn transport.Conn, id uint32, kc aead.Key, statePath string, cfg client.Config, args []string) error {
+	var session *client.Session
+	if blob, err := os.ReadFile(statePath); err == nil {
+		state, err := core.DecodeClientState(blob)
+		if err != nil {
+			return fmt.Errorf("corrupt state file %s: %w", statePath, err)
+		}
+		session = client.Resume(conn, state, kc, cfg)
+		// Complete any operation interrupted by a crash before issuing
+		// the new one (Sec. 4.6.1).
+		if state.Pending != nil {
+			if res, err := session.Recover(); err == nil {
+				fmt.Printf("recovered pending operation: seq=%d stable=%d\n", res.Seq, res.Stable)
+			} else {
+				return fmt.Errorf("recover pending operation: %w", err)
+			}
+		}
+	} else {
+		session = client.New(conn, id, kc, cfg)
+	}
+	defer session.Close()
+
+	op, err := parseOp(args)
+	if err != nil {
+		return err
+	}
+	res, err := session.Do(op)
+	if err != nil {
+		if errors.Is(err, core.ErrViolationDetected) {
+			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+		}
+		return err
+	}
+	if err := printResult(args, res); err != nil {
+		return err
+	}
 	blob := session.State().Encode()
-	if err := os.WriteFile(*statePath, blob, 0o600); err != nil {
+	if err := os.WriteFile(statePath, blob, 0o600); err != nil {
 		return fmt.Errorf("persist client state: %w", err)
+	}
+	return nil
+}
+
+// shardStatePath names the per-shard state file of a sharded client.
+func shardStatePath(base string, shard int) string {
+	return fmt.Sprintf("%s.shard%d", base, shard)
+}
+
+func runSharded(conn transport.Conn, id uint32, keys []aead.Key, statePath string, cfg client.Config, args []string) error {
+	shards := len(keys)
+	states := make([]*core.ClientState, shards)
+	resumable := true
+	for shard := range states {
+		blob, err := os.ReadFile(shardStatePath(statePath, shard))
+		if err != nil {
+			resumable = false
+			break
+		}
+		state, err := core.DecodeClientState(blob)
+		if err != nil {
+			return fmt.Errorf("corrupt state file %s: %w", shardStatePath(statePath, shard), err)
+		}
+		states[shard] = state
+	}
+
+	var session *client.ShardedSession
+	var err error
+	if resumable {
+		session, err = client.ResumeSharded(conn, states, keys, kvs.New(), cfg)
+		if err != nil {
+			return err
+		}
+		for shard := range states {
+			if states[shard].Pending == nil {
+				continue
+			}
+			if res, rerr := session.Recover(shard); rerr == nil {
+				fmt.Printf("recovered pending operation on shard %d: seq=%d stable=%d\n",
+					shard, res.Seq, res.Stable)
+			} else {
+				return fmt.Errorf("recover pending operation on shard %d: %w", shard, rerr)
+			}
+		}
+	} else {
+		session = client.NewSharded(conn, id, keys, kvs.New(), cfg)
+	}
+	defer session.Close()
+
+	op, err := parseOp(args)
+	if err != nil {
+		return err
+	}
+	shard, err := session.ShardFor(op)
+	if err != nil {
+		return err
+	}
+	res, err := session.DoOn(shard, op)
+	if err != nil {
+		if errors.Is(err, core.ErrViolationDetected) {
+			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+		}
+		return err
+	}
+	fmt.Printf("routed to shard %d/%d\n", shard, shards)
+	if err := printResult(args, res); err != nil {
+		return err
+	}
+	for i, state := range session.States() {
+		if err := os.WriteFile(shardStatePath(statePath, i), state.Encode(), 0o600); err != nil {
+			return fmt.Errorf("persist shard %d client state: %w", i, err)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lcm/internal/core"
 	"lcm/internal/host"
@@ -40,6 +41,7 @@ func run() error {
 		dir     = flag.String("dir", "lcm-data", "stable storage directory")
 		batch   = flag.Int("batch", 16, "request batch size (1 disables batching)")
 		clients = flag.Int("clients", 8, "client group size (ids 1..n)")
+		shards  = flag.Int("shards", 1, "keyspace shards (independent enclave instances)")
 		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
 		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
@@ -67,6 +69,7 @@ func run() error {
 			Attestation: attestation,
 		}),
 		Store:       store,
+		Shards:      *shards,
 		BatchSize:   *batch,
 		GroupCommit: *group,
 	})
@@ -74,13 +77,19 @@ func run() error {
 		return err
 	}
 
-	admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+	// Each shard is an independent LCM instance: its own bootstrap, its
+	// own communication key, the same client group.
 	ids := make([]uint32, *clients)
 	for i := range ids {
 		ids[i] = uint32(i + 1)
 	}
-	if err := admin.Bootstrap(server.ECall, ids); err != nil {
-		return fmt.Errorf("bootstrap: %w", err)
+	keyParts := make([]string, 0, server.Shards())
+	for shard := 0; shard < server.Shards(); shard++ {
+		admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+		if err := admin.Bootstrap(server.ShardCall(shard), ids); err != nil {
+			return fmt.Errorf("bootstrap shard %d: %w", shard, err)
+		}
+		keyParts = append(keyParts, hex.EncodeToString(admin.CommunicationKey().Bytes()))
 	}
 
 	listener, err := transport.ListenTCP(*addr)
@@ -90,10 +99,12 @@ func run() error {
 	defer listener.Close()
 
 	fmt.Printf("lcm-server listening on %s\n", listener.Addr())
-	fmt.Printf("  service:   kvs (LCM-protected, batch=%d, sync=%v, groupcommit=%v)\n", *batch, *sync, *group)
+	fmt.Printf("  service:   kvs (LCM-protected, shards=%d, batch=%d, sync=%v, groupcommit=%v)\n",
+		server.Shards(), *batch, *sync, *group)
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
-	fmt.Printf("  kC:        %s\n", hex.EncodeToString(admin.CommunicationKey().Bytes()))
-	fmt.Println("pass -key to lcm-client; the admin would distribute it over a secure channel")
+	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
+	fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")
+	fmt.Println("the admin would distribute them over secure channels")
 
 	defer server.Shutdown()
 	return server.Serve(listener)

@@ -134,7 +134,7 @@ func rollbackAttack() error {
 	// The provider rolls the sealed state back two versions and restarts
 	// the enclave — trying to resurrect draft-1 (perhaps it revoked
 	// access alice had removed, or restored a deleted secret).
-	if err := st.server.AttackRollback(2); err != nil {
+	if err := st.server.AttackRollback(0, 2); err != nil {
 		return fmt.Errorf("mount rollback: %w", err)
 	}
 	fmt.Println("malicious host: restarted enclave from the draft-1 state")
@@ -173,7 +173,7 @@ func forkingAttack() error {
 
 	// The provider forks the enclave: new connections (bob) land on a
 	// second instance initialized from the same sealed state.
-	if _, err := st.server.AttackFork(); err != nil {
+	if _, err := st.server.AttackFork(0); err != nil {
 		return err
 	}
 	bob, err := st.dial(2)

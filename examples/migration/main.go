@@ -6,11 +6,14 @@
 // The origin enclave takes the admin's role: it challenges the target,
 // verifies its attestation quote (same program, genuine platform), hands
 // over the state-encryption key kP through a secure channel, and stops
-// processing. The service state itself stays on the shared (untrusted)
-// stable storage as the sealed base blob + delta chain: the target folds
-// that chain, verifies it ends at exactly the head the origin pinned in
-// the handover, and re-seals only the key blob under its own platform's
-// sealing key — the secure-channel payload is O(V), not O(state).
+// processing. The service state itself travels outside the channel as
+// the sealed base blob + delta chain: each datacenter has its own stable
+// storage, so the origin's host ships the files with host.CopyStorage
+// before the handshake. The target folds the copied chain, verifies it
+// ends at exactly the head the origin pinned in the handover (a
+// truncated or stale copy is refused), and re-seals only the key blob
+// under its own platform's sealing key — the secure-channel payload is
+// O(V), not O(state).
 //
 //	go run ./examples/migration
 package main
@@ -74,12 +77,13 @@ func run() error {
 	attestation := lcm.NewAttestationService()
 	network := lcm.NewInmemNetwork()
 
-	// Shared remote storage: both datacenters see the same sealed blobs
-	// and delta chain, which is what lets the handover skip the state.
-	storage := lcm.NewMemStore()
+	// Separate storage per datacenter: the sealed blobs and delta chain
+	// must be shipped by the (untrusted) hosts before the handover.
+	originStorage := lcm.NewMemStore()
+	targetStorage := lcm.NewMemStore()
 
 	// --- Origin deployment on platform A, bootstrapped for two clients.
-	origin, stopOrigin, err := startServer("datacenter-A", attestation, network, "origin", storage)
+	origin, stopOrigin, err := startServer("datacenter-A", attestation, network, "origin", originStorage)
 	if err != nil {
 		return err
 	}
@@ -119,17 +123,24 @@ func run() error {
 	fmt.Printf("on %s: alice=60 after transfer (balance=%d, seq=%d)\n",
 		"datacenter-A", bal.Balance, res.Seq)
 
-	// --- Target deployment on platform B (same program, shared storage;
-	// its enclave finds a key blob it cannot unseal and awaits import).
-	target, stopTarget, err := startServer("datacenter-B", attestation, network, "target", storage)
+	// --- Target deployment on platform B (same program, own storage; its
+	// enclave starts empty and awaits import).
+	target, stopTarget, err := startServer("datacenter-B", attestation, network, "target", targetStorage)
 	if err != nil {
 		return err
 	}
 	defer stopTarget()
 
+	// --- The host-side transfer: ship the sealed base blob + delta log.
+	// The copy is untrusted; the import below verifies it cryptographically.
+	if err := host.CopyStorage(originStorage, targetStorage); err != nil {
+		return fmt.Errorf("copy storage: %w", err)
+	}
+	fmt.Println("datacenter-A shipped the sealed blob + delta chain to datacenter-B")
+
 	// --- The migration handshake: challenge → attest → export → import.
 	// The export carries kP, V and the delta-chain head; the target folds
-	// the shared chain and refuses anything that falls short of that head.
+	// the copied chain and refuses anything that falls short of that head.
 	if err := lcm.Migrate(origin.ECall, target.ECall); err != nil {
 		return fmt.Errorf("migrate: %w", err)
 	}

@@ -120,6 +120,128 @@ func measureSyncArm(name string, clients int, cfg RunConfig, tune func(*Options)
 	return p, nil
 }
 
+// shardAblationValueSize fixes the object size of the shard ablation at
+// 1000 B. The point of sharding is the single-threaded trusted context:
+// every operation holds its enclave for the in-enclave processing time,
+// which at this object size (~275 µs of charged byte-processing, Fig. 4's
+// regime) dominates the round trip — one enclave saturates well below
+// the client-side offered load, and N independent enclaves lift the
+// ceiling N-fold. (It also keeps the charged enclave time in the latency
+// model's sleeping range, so the ablation measures the architecture
+// rather than how many host cores can spin concurrently.)
+const shardAblationValueSize = 1000
+
+// RunShardAblation sweeps the shard count of the LCM deployment at fixed
+// client loads (async writes, batch 1, 1000 B objects). One enclave
+// serializes every operation — the single-threaded context that makes
+// Fig. 5's enclave systems saturate — so partitioning the keyspace over N
+// independent enclave instances is the scale lever once batching and
+// group commit have amortized everything else: aggregate throughput
+// should approach N× at client counts that saturate one enclave. The
+// printed speedups quantify exactly that.
+func RunShardAblation(cfg RunConfig, shards, clients []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	if len(clients) == 0 {
+		clients = []int{4, 16}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — shard count (async writes, batch 1, 1000 B objects)")
+	var points []AblationPoint
+	thr := make(map[int]map[int]float64) // clients → shards → throughput
+	for _, n := range clients {
+		thr[n] = make(map[int]float64)
+		for _, sh := range shards {
+			p, err := measureOptions(SysLCM, n, shardAblationValueSize, false, 1, cfg, func(o *Options) {
+				o.Shards = sh
+			}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d clients=%d: %w", sh, n, err)
+			}
+			point := AblationPoint{
+				Name:       fmt.Sprintf("lcm-shard%d", sh),
+				X:          n,
+				Throughput: p.Throughput,
+				MeanLat:    p.MeanLat,
+			}
+			points = append(points, point)
+			thr[n][sh] = p.Throughput
+			fmt.Fprintf(cfg.Out, "%-14s clients=%-3d thr=%9.1f ops/s mean=%v\n",
+				point.Name, n, p.Throughput, p.MeanLat.Round(time.Microsecond))
+		}
+		if base := thr[n][1]; base > 0 {
+			for _, sh := range shards {
+				if sh == 1 {
+					continue
+				}
+				fmt.Fprintf(cfg.Out, "clients=%-3d %d-shard/1-shard speedup = %.1fx\n",
+					n, sh, thr[n][sh]/base)
+			}
+		}
+	}
+	return points, nil
+}
+
+// RunBatchGroupSweep crosses the two fsync-amortization mechanisms under
+// synchronous writes at a fixed client count: request batching (many
+// operations per ecall → one delta record, one fsync) against host-side
+// group commit (many records per fsync). The two attack the same cost
+// from different layers, so the sweep locates the regime where batching
+// alone subsumes group commit — at batch depths that cover the concurrent
+// client count, one record already carries everyone's operations and the
+// committer has nothing left to coalesce.
+func RunBatchGroupSweep(cfg RunConfig, batches []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(batches) == 0 {
+		batches = []int{1, 4, 16}
+	}
+	const clients = 8
+	fmt.Fprintln(cfg.Out, "# Ablation — batch × group-commit cross-product (sync writes, 8 clients)")
+	var points []AblationPoint
+	for _, b := range batches {
+		byArm := map[bool]float64{}
+		for _, group := range []bool{false, true} {
+			arm := "sync"
+			if group {
+				arm = "group"
+			}
+			name := fmt.Sprintf("lcm-batch%d-%s", b, arm)
+			var groups, records, maxGroup int
+			p, err := measureOptions(SysLCM, clients, 100, true, b, cfg, func(o *Options) {
+				o.GroupCommit = group
+			}, func(dep *Deployment) {
+				groups, records, maxGroup = dep.GroupCommitStats()
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			point := AblationPoint{Name: name, X: b, Throughput: p.Throughput, MeanLat: p.MeanLat}
+			if groups > 0 {
+				point.AvgGroup = float64(records) / float64(groups)
+				point.MaxGroup = maxGroup
+			}
+			points = append(points, point)
+			byArm[group] = p.Throughput
+			line := fmt.Sprintf("%-18s batch=%-3d thr=%9.1f ops/s mean=%v",
+				name, b, p.Throughput, p.MeanLat.Round(time.Microsecond))
+			if point.AvgGroup > 0 {
+				line += fmt.Sprintf(" group avg=%.1f max=%d", point.AvgGroup, point.MaxGroup)
+			}
+			fmt.Fprintln(cfg.Out, line)
+		}
+		if plain := byArm[false]; plain > 0 {
+			ratio := byArm[true] / plain
+			verdict := "group commit still pays"
+			if ratio < 1.1 {
+				verdict = "request batching subsumes group commit"
+			}
+			fmt.Fprintf(cfg.Out, "batch=%-3d group/plain = %.2fx (%s)\n", b, ratio, verdict)
+		}
+	}
+	return points, nil
+}
+
 // RunSealAblation sweeps the store size and compares LCM's two
 // persistence modes: per-batch full-state sealing (the paper's Sec. 5.2
 // prototype, O(state) sealed bytes per batch) against the incremental

@@ -1,6 +1,7 @@
 package benchrun
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -242,5 +243,89 @@ func TestRunSealAblationSmoke(t *testing.T) {
 		if p.Throughput <= 0 {
 			t.Fatalf("%s produced no throughput", p.Name)
 		}
+	}
+}
+
+func TestDeployShardedLCM(t *testing.T) {
+	dep, err := Deploy(SysLCM, Options{
+		Model:   latency.Scaled(0.01),
+		Dir:     t.TempDir(),
+		Clients: 4,
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Close()
+	s, err := dep.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	// Keys spread across shards; every one must round-trip.
+	for i := 0; i < 12; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if err := s.Put(k, "v"); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+		v, found, err := s.Get(k)
+		if err != nil || !found || string(v) != "v" {
+			t.Fatalf("Get %s = %q %v %v", k, v, found, err)
+		}
+	}
+	// Traffic must actually have been partitioned.
+	ds, err := dep.host.DeploymentStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for _, sh := range ds.Shards {
+		if sh.Status.Seq > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("only %d shards saw traffic; keyspace not partitioned", active)
+	}
+}
+
+func TestRunShardAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	points, err := RunShardAblation(cfg, []int{1, 2}, []int{4})
+	if err != nil {
+		t.Fatalf("RunShardAblation: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s produced no throughput", p.Name)
+		}
+	}
+}
+
+func TestRunBatchGroupSweepSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Scale = 0.2 // keep the fsync latency visible so the arms differ
+	cfg.Duration = 300 * time.Millisecond
+	points, err := RunBatchGroupSweep(cfg, []int{1, 8})
+	if err != nil {
+		t.Fatalf("RunBatchGroupSweep: %v", err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 batches x 2 arms)", len(points))
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s produced no throughput", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	// At batch 1 the committer is the only fsync amortizer, so the group
+	// arm must win clearly (the full-scale margin is >=3x; smoke scale
+	// narrows it).
+	if g, p := byName["lcm-batch1-group"], byName["lcm-batch1-sync"]; g.Throughput < 1.2*p.Throughput {
+		t.Fatalf("group commit at batch 1 (%f) not faster than plain sync (%f)", g.Throughput, p.Throughput)
 	}
 }

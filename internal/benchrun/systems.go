@@ -74,6 +74,11 @@ type Options struct {
 	// LCM deployments: concurrent batches' delta records share one fsync.
 	// The sync-writes ablation compares this against per-batch fsync.
 	GroupCommit bool
+	// Shards partitions an LCM deployment into this many independent
+	// enclave instances (keyspace-sharded; see internal/host). 0 or 1
+	// deploys the classic single enclave. Sessions become sharded
+	// clients routing by key hash. Ignored by the non-LCM systems.
+	Shards int
 }
 
 // Deployment is a running system under test.
@@ -81,7 +86,9 @@ type Deployment struct {
 	system  System
 	net     *transport.InmemNetwork
 	model   *latency.Model
-	key     aead.Key // channel key (baselines) or kC (LCM)
+	key     aead.Key   // channel key (baselines) or shard 0's kC (LCM)
+	keys    []aead.Key // per-shard kC (sharded LCM deployments)
+	shards  int
 	lcm     bool
 	host    *host.Server // LCM deployments: for group-commit stats
 	nextID  atomic.Uint32
@@ -143,9 +150,17 @@ func (db *rttDB) Update(key, value string) error {
 	return db.session.Put(key, value)
 }
 
-// lcmSession adapts an LCM client session to baseline.Session.
+// lcmDoer is the operation surface shared by the plain and sharded
+// client sessions.
+type lcmDoer interface {
+	Do(op []byte) (*core.Result, error)
+	Close() error
+}
+
+// lcmSession adapts an LCM client session (single or sharded) to
+// baseline.Session.
 type lcmSession struct {
-	inner *client.Session
+	inner lcmDoer
 }
 
 func (s *lcmSession) Get(key string) ([]byte, bool, error) {
@@ -209,6 +224,9 @@ func (d *Deployment) newSession() (baseline.Session, error) {
 		return baseline.NewSGXSession(conn, d.key), nil
 	case SysLCM, SysLCMBatch:
 		id := d.nextID.Add(1)
+		if d.shards > 1 {
+			return &lcmSession{inner: client.NewSharded(conn, id, d.keys, kvs.New(), client.Config{})}, nil
+		}
 		return &lcmSession{inner: client.New(conn, id, d.key, client.Config{})}, nil
 	default:
 		return nil, fmt.Errorf("benchrun: unknown system %q", d.system)
@@ -338,6 +356,10 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 		if opt.Batch > 0 {
 			batch = opt.Batch
 		}
+		shards := opt.Shards
+		if shards <= 0 {
+			shards = 1
+		}
 		srv, err := host.New(host.Config{
 			Platform: platform,
 			Factory: core.NewTrustedFactory(core.TrustedConfig{
@@ -348,6 +370,7 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 				CompactEvery: opt.CompactEvery,
 			}),
 			Store:       store,
+			Shards:      shards,
 			BatchSize:   batch,
 			GroupCommit: opt.GroupCommit,
 		})
@@ -357,16 +380,22 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 		go srv.Serve(listener)
 		d.cleanup = append(d.cleanup, srv.Shutdown)
 		d.host = srv
+		d.shards = shards
 
-		admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+		// Every shard is an independent LCM instance: its own admin
+		// bootstrap, its own kP/kC, the same client group.
 		ids := make([]uint32, opt.Clients)
 		for i := range ids {
 			ids[i] = uint32(i + 1)
 		}
-		if err := admin.Bootstrap(srv.ECall, ids); err != nil {
-			return nil, fmt.Errorf("benchrun: bootstrap: %w", err)
+		for shard := 0; shard < shards; shard++ {
+			admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+			if err := admin.Bootstrap(srv.ShardCall(shard), ids); err != nil {
+				return nil, fmt.Errorf("benchrun: bootstrap shard %d: %w", shard, err)
+			}
+			d.keys = append(d.keys, admin.CommunicationKey())
 		}
-		d.key = admin.CommunicationKey()
+		d.key = d.keys[0]
 		d.lcm = true
 
 	default:

@@ -2,6 +2,15 @@
 // a network session: it sends INVOKE frames to the untrusted server,
 // matches replies, applies the retry mechanism of Sec. 4.6.1 on timeouts,
 // and persists the client state so a crashed client can resume.
+//
+// Against a sharded deployment (host.Config.Shards > 1) the
+// ShardedSession holds one core.Client protocol context per shard — each
+// shard is an independent LCM instance with its own hash chain and its
+// own communication key — and routes every operation to the shard its
+// service key hashes to (service.Sharder + service.ShardIndex) before
+// sealing. The shard index travels as a one-byte routing prefix on each
+// frame; it is untrusted metadata, since a misrouted INVOKE fails
+// authentication at the receiving shard.
 package client
 
 import (
@@ -12,6 +21,7 @@ import (
 
 	"lcm/internal/aead"
 	"lcm/internal/core"
+	"lcm/internal/service"
 	"lcm/internal/transport"
 	"lcm/internal/wire"
 )
@@ -32,14 +42,16 @@ type Config struct {
 	// Retries is how many times a timed-out operation is re-sent with
 	// the retry marker before giving up.
 	Retries int
+	// Shard is the shard a single-context Session addresses (default 0).
+	// Sharded deployments normally use a ShardedSession instead; a plain
+	// Session with Shard set talks to exactly one shard — e.g. a
+	// per-shard admin connection.
+	Shard int
 }
 
-// Session is a connected LCM client. It is safe for use by one goroutine
-// at a time (LCM clients are sequential by design, Sec. 4.1).
-type Session struct {
-	proto *core.Client
-	conn  transport.Conn
-	cfg   Config
+// link owns one connection's receive loop, shared by the session types.
+type link struct {
+	conn transport.Conn
 
 	recvCh    chan recvResult
 	closeOnce sync.Once
@@ -50,6 +62,67 @@ type Session struct {
 type recvResult struct {
 	frame []byte
 	err   error
+}
+
+func newLink(conn transport.Conn) *link {
+	l := &link{
+		conn:   conn,
+		recvCh: make(chan recvResult, 1),
+		closed: make(chan struct{}),
+	}
+	l.readerWG.Add(1)
+	go func() {
+		defer l.readerWG.Done()
+		for {
+			frame, err := conn.Recv()
+			select {
+			case l.recvCh <- recvResult{frame: frame, err: err}:
+			case <-l.closed:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return l
+}
+
+// await blocks for the next frame, a timeout, or closure.
+func (l *link) await(timeout time.Duration) ([]byte, error) {
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case res := <-l.recvCh:
+		if res.err != nil {
+			return nil, fmt.Errorf("client: recv: %w", res.err)
+		}
+		return res.frame, nil
+	case <-timeoutCh:
+		return nil, ErrTimeout
+	case <-l.closed:
+		return nil, ErrSessionClosed
+	}
+}
+
+func (l *link) close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	err := l.conn.Close()
+	l.readerWG.Wait()
+	return err
+}
+
+// Session is a connected LCM client bound to one protocol context. It is
+// safe for use by one goroutine at a time (LCM clients are sequential by
+// design, Sec. 4.1).
+type Session struct {
+	proto *core.Client
+	link  *link
+	cfg   Config
 }
 
 // New creates a session for a fresh client.
@@ -65,29 +138,7 @@ func Resume(conn transport.Conn, state *core.ClientState, kc aead.Key, cfg Confi
 }
 
 func newSession(conn transport.Conn, proto *core.Client, cfg Config) *Session {
-	s := &Session{
-		proto:  proto,
-		conn:   conn,
-		cfg:    cfg,
-		recvCh: make(chan recvResult, 1),
-		closed: make(chan struct{}),
-	}
-	s.readerWG.Add(1)
-	go func() {
-		defer s.readerWG.Done()
-		for {
-			frame, err := conn.Recv()
-			select {
-			case s.recvCh <- recvResult{frame: frame, err: err}:
-			case <-s.closed:
-				return
-			}
-			if err != nil {
-				return
-			}
-		}
-	}()
-	return s
+	return &Session{proto: proto, link: newLink(conn), cfg: cfg}
 }
 
 // ID returns the client identifier.
@@ -115,7 +166,7 @@ func (s *Session) Do(op []byte) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.roundTrip(invoke)
+	return roundTrip(s.link, s.proto, s.cfg, s.cfg.Shard, invoke)
 }
 
 // Recover completes a pending operation left over from a crash or
@@ -126,26 +177,28 @@ func (s *Session) Recover() (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.roundTrip(invoke)
+	return roundTrip(s.link, s.proto, s.cfg, s.cfg.Shard, invoke)
 }
 
-func (s *Session) roundTrip(invoke []byte) (*core.Result, error) {
-	if err := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, invoke)); err != nil {
+// roundTrip sends one INVOKE to a shard and runs the timeout/retry loop
+// against its protocol context.
+func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte) (*core.Result, error) {
+	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, invoke)); err != nil {
 		return nil, fmt.Errorf("client: send invoke: %w", err)
 	}
 	attempts := 0
 	for {
-		frame, err := s.awaitFrame()
+		frame, err := l.await(cfg.Timeout)
 		if errors.Is(err, ErrTimeout) {
-			if attempts >= s.cfg.Retries {
+			if attempts >= cfg.Retries {
 				return nil, ErrTimeout
 			}
 			attempts++
-			retry, rerr := s.proto.RetryMessage()
+			retry, rerr := proto.RetryMessage()
 			if rerr != nil {
 				return nil, rerr
 			}
-			if serr := s.conn.Send(wire.EncodeFrame(wire.FrameInvoke, retry)); serr != nil {
+			if serr := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, retry)); serr != nil {
 				return nil, fmt.Errorf("client: send retry: %w", serr)
 			}
 			continue
@@ -158,27 +211,7 @@ func (s *Session) roundTrip(invoke []byte) (*core.Result, error) {
 			// The server reported an error (e.g. a halted enclave).
 			return nil, err
 		}
-		return s.proto.ProcessReply(reply)
-	}
-}
-
-func (s *Session) awaitFrame() ([]byte, error) {
-	var timeout <-chan time.Time
-	if s.cfg.Timeout > 0 {
-		timer := time.NewTimer(s.cfg.Timeout)
-		defer timer.Stop()
-		timeout = timer.C
-	}
-	select {
-	case res := <-s.recvCh:
-		if res.err != nil {
-			return nil, fmt.Errorf("client: recv: %w", res.err)
-		}
-		return res.frame, nil
-	case <-timeout:
-		return nil, ErrTimeout
-	case <-s.closed:
-		return nil, ErrSessionClosed
+		return proto.ProcessReply(reply)
 	}
 }
 
@@ -186,27 +219,188 @@ func (s *Session) awaitFrame() ([]byte, error) {
 // remote admin uses for attestation, provisioning, membership and
 // migration. The call is synchronous; do not interleave it with Do.
 func (s *Session) ECall(payload []byte) ([]byte, error) {
-	if err := s.conn.Send(wire.EncodeFrame(wire.FrameECall, payload)); err != nil {
+	return ecall(s.link, s.cfg, s.cfg.Shard, payload)
+}
+
+func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
+	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameECall, shard, payload)); err != nil {
 		return nil, fmt.Errorf("client: send ecall: %w", err)
 	}
-	frame, err := s.awaitFrame()
+	frame, err := l.await(cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
 	return wire.DecodeResponse(frame)
 }
 
-// Close shuts the session down and releases the reader goroutine.
-func (s *Session) Close() error {
-	s.closeOnce.Do(func() { close(s.closed) })
-	err := s.conn.Close()
-	s.readerWG.Wait()
-	return err
+// DeploymentStatus fetches the host's aggregated operational status: one
+// core.Status per shard plus the host-side group-commit counters.
+func (s *Session) DeploymentStatus() (*core.DeploymentStatus, error) {
+	return deploymentStatus(s.link, s.cfg)
 }
 
-// AdminConn adapts a transport connection into a core.CallFunc for admins
-// operating over the network.
-func AdminConn(conn transport.Conn) (core.CallFunc, func() error) {
-	s := newSession(conn, core.NewClient(0, aead.Key{}), Config{})
-	return s.ECall, s.Close
+func deploymentStatus(l *link, cfg Config) (*core.DeploymentStatus, error) {
+	if err := l.conn.Send(wire.EncodeFrame(wire.FrameStatus, nil)); err != nil {
+		return nil, fmt.Errorf("client: send status: %w", err)
+	}
+	frame, err := l.await(cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeDeploymentStatus(resp)
 }
+
+// Close shuts the session down and releases the reader goroutine.
+func (s *Session) Close() error { return s.link.close() }
+
+// AdminConn adapts a transport connection into a core.CallFunc for admins
+// operating over the network against the given shard.
+func AdminConn(conn transport.Conn) (core.CallFunc, func() error) {
+	return AdminConnShard(conn, 0)
+}
+
+// AdminConnShard is AdminConn addressed at one shard of a sharded
+// deployment.
+func AdminConnShard(conn transport.Conn, shard int) (core.CallFunc, func() error) {
+	l := newLink(conn)
+	cfg := Config{Shard: shard}
+	call := func(payload []byte) ([]byte, error) {
+		return ecall(l, cfg, shard, payload)
+	}
+	return call, l.close
+}
+
+// ---- Sharded session ----
+
+// ShardedSession is a connected LCM client of a sharded deployment: one
+// core.Client protocol context per shard, all multiplexed over a single
+// connection. Operations route to the shard their service key hashes to.
+// Like Session, it is sequential: one goroutine at a time.
+type ShardedSession struct {
+	protos  []*core.Client
+	sharder service.Sharder
+	link    *link
+	cfg     Config
+}
+
+// NewSharded creates a sharded session for a fresh client. kcs holds one
+// communication key per shard (each shard's admin provisions its own);
+// the shard count is len(kcs). sharder maps operations to service keys.
+func NewSharded(conn transport.Conn, id uint32, kcs []aead.Key, sharder service.Sharder, cfg Config) *ShardedSession {
+	protos := make([]*core.Client, len(kcs))
+	for i, kc := range kcs {
+		protos[i] = core.NewClient(id, kc)
+	}
+	return &ShardedSession{protos: protos, sharder: sharder, link: newLink(conn), cfg: cfg}
+}
+
+// ResumeSharded reconstructs a sharded session from persisted per-shard
+// states (crash recovery). states and kcs must be parallel, one entry per
+// shard, as produced by States.
+func ResumeSharded(conn transport.Conn, states []*core.ClientState, kcs []aead.Key, sharder service.Sharder, cfg Config) (*ShardedSession, error) {
+	if len(states) != len(kcs) {
+		return nil, fmt.Errorf("client: %d states for %d shard keys", len(states), len(kcs))
+	}
+	protos := make([]*core.Client, len(kcs))
+	for i := range kcs {
+		protos[i] = core.ResumeClient(states[i], kcs[i])
+	}
+	return &ShardedSession{protos: protos, sharder: sharder, link: newLink(conn), cfg: cfg}, nil
+}
+
+// Shards returns the number of shards this session spans.
+func (s *ShardedSession) Shards() int { return len(s.protos) }
+
+// ID returns the client identifier (the same in every shard's group).
+func (s *ShardedSession) ID() uint32 { return s.protos[0].ID() }
+
+// ShardFor resolves the shard an operation routes to.
+func (s *ShardedSession) ShardFor(op []byte) (int, error) {
+	return service.ShardOf(s.sharder, op, len(s.protos))
+}
+
+// Do invokes one operation on the shard its service key hashes to and
+// waits for the verified result.
+func (s *ShardedSession) Do(op []byte) (*core.Result, error) {
+	shard, err := s.ShardFor(op)
+	if err != nil {
+		return nil, err
+	}
+	return s.DoOn(shard, op)
+}
+
+// DoOn invokes an operation on an explicit shard — for callers that have
+// already resolved the routing (or tests steering traffic).
+func (s *ShardedSession) DoOn(shard int, op []byte) (*core.Result, error) {
+	if shard < 0 || shard >= len(s.protos) {
+		return nil, fmt.Errorf("client: shard %d out of range (%d shards)", shard, len(s.protos))
+	}
+	invoke, err := s.protos[shard].Invoke(op)
+	if err != nil {
+		return nil, err
+	}
+	return roundTrip(s.link, s.protos[shard], s.cfg, shard, invoke)
+}
+
+// HasPending reports whether an operation on the given shard awaits its
+// reply (after an error or timeout).
+func (s *ShardedSession) HasPending(shard int) bool {
+	return s.protos[shard].HasPending()
+}
+
+// Recover completes the given shard's pending operation by re-sending it
+// with the retry marker (Sec. 4.6.1).
+func (s *ShardedSession) Recover(shard int) (*core.Result, error) {
+	if shard < 0 || shard >= len(s.protos) {
+		return nil, fmt.Errorf("client: shard %d out of range (%d shards)", shard, len(s.protos))
+	}
+	invoke, err := s.protos[shard].RetryMessage()
+	if err != nil {
+		return nil, err
+	}
+	return roundTrip(s.link, s.protos[shard], s.cfg, shard, invoke)
+}
+
+// LastSeq returns the sequence number of the last completed operation on
+// the given shard.
+func (s *ShardedSession) LastSeq(shard int) uint64 { return s.protos[shard].LastSeq() }
+
+// State snapshots one shard's persistent client state.
+func (s *ShardedSession) State(shard int) *core.ClientState { return s.protos[shard].State() }
+
+// States snapshots every shard's persistent client state, in shard order
+// (the input ResumeSharded expects).
+func (s *ShardedSession) States() []*core.ClientState {
+	out := make([]*core.ClientState, len(s.protos))
+	for i, p := range s.protos {
+		out[i] = p.State()
+	}
+	return out
+}
+
+// Err returns the first violation any shard's context detected, if any.
+func (s *ShardedSession) Err() error {
+	for shard, p := range s.protos {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// ECall forwards a raw enclave call to one shard's trusted context.
+func (s *ShardedSession) ECall(shard int, payload []byte) ([]byte, error) {
+	return ecall(s.link, s.cfg, shard, payload)
+}
+
+// DeploymentStatus fetches the host's aggregated per-shard status.
+func (s *ShardedSession) DeploymentStatus() (*core.DeploymentStatus, error) {
+	return deploymentStatus(s.link, s.cfg)
+}
+
+// Close shuts the session down and releases the reader goroutine.
+func (s *ShardedSession) Close() error { return s.link.close() }

@@ -61,10 +61,18 @@ func (s *stubServer) loop() {
 		}
 		switch kind {
 		case wire.FrameECall:
-			// Echo for ECall tests.
-			_ = s.conn.Send(wire.OKFrame(append([]byte("ecall:"), payload...)))
+			// Echo for ECall tests (after stripping the shard byte).
+			_, inner, err := wire.SplitShardPayload(payload)
+			if err != nil {
+				continue
+			}
+			_ = s.conn.Send(wire.OKFrame(append([]byte("ecall:"), inner...)))
 		case wire.FrameInvoke:
-			s.handleInvoke(payload)
+			_, ct, err := wire.SplitShardPayload(payload)
+			if err != nil {
+				continue
+			}
+			s.handleInvoke(ct)
 		}
 	}
 }
@@ -293,9 +301,10 @@ func TestSessionRejectsCorruptedReply(t *testing.T) {
 			return
 		}
 		_, payload, _ := wire.DecodeFrame(frame)
+		_, ct, _ := wire.SplitShardPayload(payload)
 		// Reflect the invoke ciphertext (tampered) as the reply.
-		payload[0] ^= 1
-		_ = serverConn.Send(wire.OKFrame(payload))
+		ct[0] ^= 1
+		_ = serverConn.Send(wire.OKFrame(ct))
 	}()
 	defer func() {
 		serverConn.Close()

@@ -186,6 +186,36 @@ func (l *Log) Check(newService service.Factory) error {
 	return nil
 }
 
+// Forks partitions the recorded clients into fork groups: two clients
+// share a group iff their views agree on every sequence number both
+// observed. A clean history yields one group; a history recorded under a
+// forking attack yields one group per partition. Tests of sharded
+// deployments use it to localise an attack — the attacked shard's log
+// splits into multiple groups while every other shard's log stays whole.
+//
+// The partition is only meaningful for histories that pass Check (Check
+// also enforces the no-join property that makes "ever disagree"
+// equivalent to "forked forever").
+func (l *Log) Forks() [][]uint32 {
+	events := l.Events()
+	byClient := make(map[uint32][]Event)
+	for _, e := range events {
+		byClient[e.Client] = append(byClient[e.Client], e)
+	}
+	views := make(map[uint32]map[uint64]obs, len(byClient))
+	ids := make([]uint32, 0, len(byClient))
+	for id, evs := range byClient {
+		view := make(map[uint64]obs, len(evs))
+		for _, e := range evs {
+			view[e.Seq] = obs{chain: e.Chain, event: e}
+		}
+		views[id] = view
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return partitionForks(ids, views)
+}
+
 func maxSeq(evs []Event) uint64 {
 	var m uint64
 	for _, e := range evs {

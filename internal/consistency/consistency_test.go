@@ -259,3 +259,45 @@ func TestEventsAreCopied(t *testing.T) {
 		t.Fatal("Record aliased the caller's op buffer")
 	}
 }
+
+func TestForksPartitionsCleanAndForkedHistories(t *testing.T) {
+	// Clean history: one fork group holding both clients.
+	clean := NewLog()
+	h := newHistory()
+	clean.Record(h.step(t, 1, kvs.Put("k", "v1"), 0))
+	clean.Record(h.step(t, 2, kvs.Get("k"), 0))
+	forks := clean.Forks()
+	if len(forks) != 1 || len(forks[0]) != 2 {
+		t.Fatalf("clean history forks = %v, want one group of two", forks)
+	}
+
+	// Forked history: both branches grow from the same prefix, then
+	// diverge at the same sequence numbers.
+	forked := NewLog()
+	base := newHistory()
+	forked.Record(base.step(t, 1, kvs.Put("k", "base"), 0))
+	b1, b2 := *base, *base
+	b1.store, b2.store = kvs.New(), kvs.New()
+	if err := b1.store.Restore(mustSnapshot(t, base.store)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.store.Restore(mustSnapshot(t, base.store)); err != nil {
+		t.Fatal(err)
+	}
+	forked.Record(b1.step(t, 1, kvs.Put("k", "left"), 0))
+	forked.Record(b2.step(t, 2, kvs.Put("k", "right"), 0))
+	mustPass(t, forked)
+	forks = forked.Forks()
+	if len(forks) != 2 {
+		t.Fatalf("forked history forks = %v, want two groups", forks)
+	}
+}
+
+func mustSnapshot(t *testing.T, s *kvs.Store) []byte {
+	t.Helper()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}

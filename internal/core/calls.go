@@ -349,6 +349,99 @@ func encodeStatus(s *Status) []byte {
 	return w.Bytes()
 }
 
+// ShardStatus pairs one shard's trusted-context status with the host-side
+// counters for that shard: how many enclave instances currently serve it
+// (more than one means a fork is mounted) and the shard committer's
+// group-commit activity. A shard whose enclave cannot answer — typically
+// because it halted after detecting a violation — reports the failure in
+// Err with a zero Status, so the endpoint stays usable exactly when an
+// attack has been caught.
+type ShardStatus struct {
+	Shard     int
+	Instances int
+	Groups    int    // commit groups written for this shard
+	Records   int    // batch results those groups covered
+	MaxGroup  int    // largest single group
+	Err       string // why the shard's status ecall failed ("" = healthy)
+	Status    Status
+}
+
+// DeploymentStatus is the host's aggregated operational view: one entry
+// per shard, answered by the FrameStatus endpoint in a single round trip.
+type DeploymentStatus struct {
+	Shards []ShardStatus
+}
+
+// TotalSeq sums the shards' sequence numbers — the deployment-wide count
+// of executed operations.
+func (d *DeploymentStatus) TotalSeq() uint64 {
+	var total uint64
+	for _, s := range d.Shards {
+		total += s.Status.Seq
+	}
+	return total
+}
+
+// GroupCommitTotals aggregates the per-shard committer counters.
+func (d *DeploymentStatus) GroupCommitTotals() (groups, records, maxGroup int) {
+	for _, s := range d.Shards {
+		groups += s.Groups
+		records += s.Records
+		if s.MaxGroup > maxGroup {
+			maxGroup = s.MaxGroup
+		}
+	}
+	return groups, records, maxGroup
+}
+
+// EncodeDeploymentStatus serializes a deployment status response.
+func EncodeDeploymentStatus(d *DeploymentStatus) []byte {
+	w := wire.NewWriter(4 + len(d.Shards)*112)
+	w.U32(uint32(len(d.Shards)))
+	for i := range d.Shards {
+		s := &d.Shards[i]
+		w.U32(uint32(s.Shard))
+		w.U32(uint32(s.Instances))
+		w.U64(uint64(s.Groups))
+		w.U64(uint64(s.Records))
+		w.U64(uint64(s.MaxGroup))
+		w.Var([]byte(s.Err))
+		inner := encodeStatus(&s.Status)
+		w.Var(inner)
+	}
+	return w.Bytes()
+}
+
+// DecodeDeploymentStatus parses a deployment status response.
+func DecodeDeploymentStatus(b []byte) (*DeploymentStatus, error) {
+	r := wire.NewReader(b)
+	n := r.U32()
+	d := &DeploymentStatus{}
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		s := ShardStatus{
+			Shard:     int(r.U32()),
+			Instances: int(r.U32()),
+			Groups:    int(r.U64()),
+			Records:   int(r.U64()),
+			MaxGroup:  int(r.U64()),
+		}
+		s.Err = string(r.Var())
+		inner := r.Var()
+		if r.Err() == nil {
+			st, err := DecodeStatus(inner)
+			if err != nil {
+				return nil, fmt.Errorf("lcm: decode deployment status shard %d: %w", s.Shard, err)
+			}
+			s.Status = *st
+		}
+		d.Shards = append(d.Shards, s)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode deployment status: %w", err)
+	}
+	return d, nil
+}
+
 // DecodeStatus parses a status response.
 func DecodeStatus(b []byte) (*Status, error) {
 	r := wire.NewReader(b)

@@ -48,6 +48,7 @@ type Bank struct {
 var (
 	_ service.Service      = (*Bank)(nil)
 	_ service.DeltaService = (*Bank)(nil)
+	_ service.Sharder      = (*Bank)(nil)
 )
 
 // New returns an empty bank.
@@ -185,6 +186,33 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 		return fmt.Errorf("counter: apply delta: %w", err)
 	}
 	return nil
+}
+
+// ShardKeys implements service.Sharder: increments and reads address one
+// account; a transfer touches two, so it is only shardable when both land
+// on the same shard (service.ShardOf enforces that).
+func (b *Bank) ShardKeys(op []byte) []string {
+	if len(op) == 0 {
+		return nil
+	}
+	r := wire.NewReader(op[1:])
+	switch op[0] {
+	case opInc, opRead:
+		name := string(r.Var())
+		if r.Err() != nil {
+			return nil
+		}
+		return []string{name}
+	case opTransfer:
+		from := string(r.Var())
+		to := string(r.Var())
+		if r.Err() != nil {
+			return nil
+		}
+		return []string{from, to}
+	default:
+		return nil
+	}
 }
 
 // Footprint implements service.Service.

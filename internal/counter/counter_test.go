@@ -297,3 +297,19 @@ func TestManyAccounts(t *testing.T) {
 		t.Fatalf("acct-499 = %d", got)
 	}
 }
+
+func TestShardKeys(t *testing.T) {
+	if keys := New().ShardKeys(Inc("alice", 1)); len(keys) != 1 || keys[0] != "alice" {
+		t.Fatalf("inc keys = %v", keys)
+	}
+	if keys := New().ShardKeys(Read("bob")); len(keys) != 1 || keys[0] != "bob" {
+		t.Fatalf("read keys = %v", keys)
+	}
+	keys := New().ShardKeys(Transfer("alice", "bob", 5))
+	if len(keys) != 2 || keys[0] != "alice" || keys[1] != "bob" {
+		t.Fatalf("transfer keys = %v", keys)
+	}
+	if keys := New().ShardKeys([]byte{0xEE}); keys != nil {
+		t.Fatalf("unknown op must be unshardable, got %v", keys)
+	}
+}

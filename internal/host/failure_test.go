@@ -2,6 +2,8 @@ package host
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -264,6 +266,145 @@ func TestCrashMidDeltaLogRestartResumes(t *testing.T) {
 	kv, _ := kvs.DecodeResult(res.Value)
 	if string(kv.Value) != "lost" {
 		t.Fatalf("value = %q, want the recovered pending write", kv.Value)
+	}
+}
+
+// Randomized crash/restart fuzz across a sharded deployment: seeded
+// CrashStore budgets fail group commits at arbitrary points on every
+// shard while concurrent clients write, interleaved with honest enclave
+// restarts. Invariants, per seed:
+//
+//   - no acknowledged write is lost (a reply implies durability, so after
+//     recovery every acknowledged value must read back);
+//   - recovery yields no false rollback positives (a chain rebuilt from
+//     the surviving log must fold cleanly — no shard halts without an
+//     actual attack).
+func TestShardCrashRestartFuzz(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			shardCrashFuzz(t, seed)
+		})
+	}
+}
+
+func shardCrashFuzz(t *testing.T, seed int64) {
+	const (
+		shards  = 3
+		clients = 3
+		rounds  = 25
+	)
+	rng := rand.New(rand.NewSource(seed))
+	crash := stablestore.NewCrashStore(stablestore.NewMemStore())
+	ids := []uint32{1, 2, 3}
+	st := newShardStack(t, crash, shards, ids, true)
+
+	type fuzzClient struct {
+		sess  *client.ShardedSession
+		keys  []string          // one private key per shard (no cross-client races)
+		acked map[string]string // last acknowledged value per key
+	}
+	fcs := make([]*fuzzClient, clients)
+	for i, id := range ids {
+		fc := &fuzzClient{sess: st.session(id), acked: make(map[string]string)}
+		for shard := 0; shard < shards; shard++ {
+			fc.keys = append(fc.keys, keyOnShard(shard, shards, fmt.Sprintf("c%d", id)))
+		}
+		fcs[i] = fc
+	}
+
+	// recoverPending drains every pending operation on every shard; a
+	// successful retry means the operation executed exactly once, so it
+	// counts as acknowledged (Sec. 4.6.1 case A or B).
+	recoverPending := func(fc *fuzzClient, vals map[string]string) {
+		t.Helper()
+		for shard := 0; shard < shards; shard++ {
+			if !fc.sess.HasPending(shard) {
+				continue
+			}
+			var lastErr error
+			for attempt := 0; attempt < 10; attempt++ {
+				if _, err := fc.sess.Recover(shard); err != nil {
+					// Committer-initiated restarts surface transient
+					// "retry" errors while the chain re-folds.
+					lastErr = err
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				fc.acked[fc.keys[shard]] = vals[fc.keys[shard]]
+				lastErr = nil
+				break
+			}
+			if lastErr != nil {
+				t.Fatalf("client %d shard %d never recovered: %v", fc.sess.ID(), shard, lastErr)
+			}
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Seeded crash budget: the disk dies after 0-4 more writes,
+		// roughly every other round.
+		if rng.Intn(2) == 0 {
+			crash.FailAfter(rng.Intn(5))
+		}
+		// Concurrent writers, each on its private keys.
+		var wg sync.WaitGroup
+		attempts := make([]map[string]string, clients)
+		for i, fc := range fcs {
+			shard := rng.Intn(shards)
+			val := fmt.Sprintf("r%d-c%d", round, fc.sess.ID())
+			attempts[i] = map[string]string{fc.keys[shard]: val}
+			wg.Add(1)
+			go func(fc *fuzzClient, shard int, val string) {
+				defer wg.Done()
+				if _, err := fc.sess.Do(kvs.Put(fc.keys[shard], val)); err == nil {
+					fc.acked[fc.keys[shard]] = val
+				}
+			}(fc, shard, val)
+		}
+		wg.Wait()
+
+		// The disk comes back; every client converges via retries.
+		crash.Reset()
+		for i, fc := range fcs {
+			recoverPending(fc, attempts[i])
+		}
+
+		// Occasionally the whole server machine reboots a shard honestly.
+		if rng.Intn(3) == 0 {
+			shard := rng.Intn(shards)
+			if err := st.server.Enclave(shard).Restart(); err != nil {
+				t.Fatalf("round %d: honest restart of shard %d: %v", round, shard, err)
+			}
+		}
+	}
+
+	// Final recovery: restart every shard from disk. A halt here would be
+	// a false rollback positive — the chain must fold cleanly.
+	crash.Reset()
+	for shard := 0; shard < shards; shard++ {
+		if err := st.server.Enclave(shard).Restart(); err != nil {
+			t.Fatalf("final restart of shard %d: %v", shard, err)
+		}
+		if err := st.server.Enclave(shard).HaltedErr(); err != nil {
+			t.Fatalf("false rollback positive on shard %d: %v", shard, err)
+		}
+	}
+	// No acknowledged write may be lost.
+	for _, fc := range fcs {
+		for key, want := range fc.acked {
+			res, err := fc.sess.Do(kvs.Get(key))
+			if err != nil {
+				t.Fatalf("client %d read %q after recovery: %v", fc.sess.ID(), key, err)
+			}
+			kv, err := kvs.DecodeResult(res.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(kv.Value) != want {
+				t.Fatalf("client %d key %q = %q after recovery, want acknowledged %q",
+					fc.sess.ID(), key, kv.Value, want)
+			}
+		}
 	}
 }
 

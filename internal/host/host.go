@@ -4,18 +4,48 @@
 // state the enclave piggybacks on its reply, and forwards the REPLY
 // messages to the clients.
 //
+// # Sharding
+//
+// LCM's protection is per trusted context: the hash chain, the client
+// context map V and the sealed delta chain all belong to one enclave
+// instance. Nothing couples two contexts — which means the keyspace shards
+// naturally. A sharded Server (Config.Shards > 1) runs N enclave
+// instances, each a fully independent LCM deployment:
+//
+//   - its own trusted program instance, provisioned separately (own kP,
+//     own kC, own client group, own hash chain);
+//   - its own storage namespace on the shared Store ("shard<i>/<slot>",
+//     via stablestore.Namespaced), so sealed blobs and delta logs never
+//     collide;
+//   - its own batch queue, persistence barrier and (under GroupCommit)
+//     group committer, so shards persist and fsync independently.
+//
+// Routing is the client's job, not the host's: INVOKE ciphertexts are
+// opaque to the untrusted server, so the client computes the shard from
+// the operation's service key (service.Sharder + service.ShardIndex)
+// before sealing, and prefixes every frame with a one-byte shard index.
+// The byte is pure routing metadata — each shard's INVOKEs are sealed
+// under that shard's own communication key, so a frame the host misroutes
+// (by accident or malice) fails authentication at the receiving shard and
+// halts it, exactly like any other tampering. The host merely demultiplexes
+// frames onto per-shard queues.
+//
 // The host is exactly the component the threat model distrusts. Besides
 // the correct behaviour it therefore also implements the attacks of
-// Sec. 2.3 — restarting the enclave from a stale state (rollback), running
-// multiple enclave instances and partitioning clients between them
-// (forking), and replaying client messages — so that tests, examples and
-// the evaluation can exercise LCM's detection guarantees against a real
-// adversary rather than a mock.
+// Sec. 2.3 — restarting an enclave from a stale state (rollback), running
+// multiple enclave instances over one shard's storage and partitioning
+// clients between them (forking), and replaying client messages — so that
+// tests, examples and the evaluation can exercise LCM's detection
+// guarantees against a real adversary rather than a mock. The attacks are
+// shard-addressable: AttackRollback and AttackFork take the shard under
+// attack, and detection stays local to it — the other shards' chains are
+// untouched, which the per-shard fork-linearizability tests verify.
 package host
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"lcm/internal/core"
@@ -32,11 +62,18 @@ import (
 type Config struct {
 	// Platform hosts the enclaves.
 	Platform *tee.Platform
-	// Factory builds the trusted program (one fresh instance per epoch).
+	// Factory builds the trusted program (one fresh instance per epoch,
+	// per shard).
 	Factory tee.ProgramFactory
 	// Store is the stable storage for the sealed blobs. Whether writes
 	// fsync (Fig. 6) or not (Figs. 4-5) is the Store's configuration.
+	// With Shards > 1 each shard persists under its own namespace on
+	// this store.
 	Store stablestore.Store
+	// Shards is the number of independent enclave instances the keyspace
+	// is partitioned over; 0 or 1 means the classic single-enclave
+	// deployment (and keeps the unprefixed storage layout).
+	Shards int
 	// BatchSize limits how many invokes one ecall carries; 1 disables
 	// batching (the paper evaluates both, Sec. 6.4).
 	BatchSize int
@@ -51,7 +88,8 @@ type Config struct {
 	// into a single AppendGroup call (the baseline.AOF.AppendGroup
 	// pattern, Sec. 6.4's Redis configuration). Replies are released only
 	// after the group's fsync, so crash tolerance is unchanged. Non-batch
-	// ecalls flush the committer first.
+	// ecalls flush the committer first. Sharded deployments run one
+	// committer per enclave instance.
 	GroupCommit bool
 }
 
@@ -68,7 +106,10 @@ type request struct {
 type connState struct {
 	conn    transport.Conn
 	writeMu sync.Mutex
-	enclave int // index into Server.enclaves; forks route clients here
+	// routes maps each shard to the enclave instance serving it for this
+	// connection, fixed at accept time. The honest assignment is the
+	// identity; a forking host points some shard at a fork instance.
+	routes []int
 }
 
 func (c *connState) send(frame []byte) error {
@@ -77,26 +118,40 @@ func (c *connState) send(frame []byte) error {
 	return c.conn.Send(frame)
 }
 
+// instance is one enclave instance together with everything the host runs
+// for it: its private storage view, batch queue, persistence barrier and
+// (optional) group committer. Instances 0..shards-1 are the shard
+// primaries; later entries are fork instances mounted by AttackFork.
+type instance struct {
+	enclave *tee.Enclave
+	store   stablestore.Store
+	shard   int // keyspace shard this instance serves
+	queue   chan request
+	cm      *committer  // nil when GroupCommit is off
+	pm      *sync.Mutex // serialize batch (ecall+persist) vs barrier ecalls
+}
+
 // Server is the untrusted server application.
 type Server struct {
-	cfg Config
+	cfg    Config
+	shards int
 
-	mu         sync.Mutex
-	enclaves   []*tee.Enclave
-	queues     []chan request
-	committers []*committer  // nil entries when GroupCommit is off
-	persistMus []*sync.Mutex // serialize batch (ecall+persist) vs barrier ecalls
-	nextConn   int
-	route      func(connID int) int // enclave index for new connections
-	liveConns  map[*connState]struct{}
+	mu            sync.Mutex
+	instances     []*instance
+	shardStores   []stablestore.Store
+	routeOverride map[int]int // shard → instance for NEW connections (forks)
+	liveConns     map[*connState]struct{}
 
 	wg       sync.WaitGroup
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-// New creates a server with one enclave instance (started) and the default
-// routing (all clients to enclave 0).
+// shardPrefix names shard i's storage namespace.
+func shardPrefix(shard int) string { return "shard" + strconv.Itoa(shard) }
+
+// New creates a server with one started enclave instance per shard and
+// honest routing (each shard's traffic to its primary).
 func New(cfg Config) (*Server, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
@@ -104,66 +159,114 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StateSlot == "" {
 		cfg.StateSlot = core.SlotStateBlob
 	}
-	s := &Server{
-		cfg:       cfg,
-		route:     func(int) int { return 0 },
-		liveConns: make(map[*connState]struct{}),
-		stop:      make(chan struct{}),
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
-	if _, err := s.addEnclave(); err != nil {
-		return nil, err
+	if cfg.Shards > wire.MaxShards {
+		return nil, fmt.Errorf("host: %d shards exceed the routing limit of %d", cfg.Shards, wire.MaxShards)
+	}
+	s := &Server{
+		cfg:           cfg,
+		shards:        cfg.Shards,
+		routeOverride: make(map[int]int),
+		liveConns:     make(map[*connState]struct{}),
+		stop:          make(chan struct{}),
+	}
+	for shard := 0; shard < s.shards; shard++ {
+		s.shardStores = append(s.shardStores, s.storeForShard(shard))
+	}
+	for shard := 0; shard < s.shards; shard++ {
+		if _, err := s.addInstance(shard); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
-// addEnclave creates, starts and registers a new enclave instance over the
-// same program and storage, returning its index.
-func (s *Server) addEnclave() (int, error) {
-	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, s.cfg.Store)
-	if err := enclave.Start(); err != nil {
-		return 0, fmt.Errorf("host: start enclave: %w", err)
+// storeForShard builds shard's private view of the configured store. A
+// single-shard deployment keeps the historical unprefixed layout.
+func (s *Server) storeForShard(shard int) stablestore.Store {
+	if s.shards == 1 {
+		return s.cfg.Store
 	}
-	var cm *committer
-	if s.cfg.GroupCommit {
-		cm = &committer{srv: s, enclave: enclave, ch: make(chan commitReq, maxCommitGroup)}
+	return stablestore.NewNamespaced(s.cfg.Store, shardPrefix(shard))
+}
+
+// ShardSlot returns the slot name shard uses on the underlying store —
+// what adversarial tooling (rollback injection) and storage helpers need
+// to address one shard's blobs from outside its namespace.
+func (s *Server) ShardSlot(shard int, slot string) string {
+	if s.shards == 1 {
+		return slot
 	}
-	pm := &sync.Mutex{}
+	return stablestore.NamespacedSlot(shardPrefix(shard), slot)
+}
+
+// Shards returns the number of keyspace shards this server runs.
+func (s *Server) Shards() int { return s.shards }
+
+// addInstance creates, starts and registers a new enclave instance over
+// the given shard's storage namespace, returning its index.
+func (s *Server) addInstance(shard int) (int, error) {
+	if shard < 0 || shard >= s.shards {
+		return 0, fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	}
 	s.mu.Lock()
-	s.enclaves = append(s.enclaves, enclave)
-	queue := make(chan request, 1024)
-	s.queues = append(s.queues, queue)
-	s.committers = append(s.committers, cm)
-	s.persistMus = append(s.persistMus, pm)
-	idx := len(s.enclaves) - 1
+	store := s.shardStores[shard]
+	n := len(s.instances)
 	s.mu.Unlock()
 
-	if cm != nil {
+	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, store)
+	label := shardPrefix(shard)
+	if n >= s.shards {
+		label = fmt.Sprintf("%s/fork%d", label, n-s.shards+1)
+	}
+	enclave.SetLabel(label)
+	if err := enclave.Start(); err != nil {
+		return 0, fmt.Errorf("host: start enclave %s: %w", label, err)
+	}
+	inst := &instance{
+		enclave: enclave,
+		store:   store,
+		shard:   shard,
+		queue:   make(chan request, 1024),
+		pm:      &sync.Mutex{},
+	}
+	if s.cfg.GroupCommit {
+		inst.cm = &committer{srv: s, inst: inst, ch: make(chan commitReq, maxCommitGroup)}
+	}
+	s.mu.Lock()
+	s.instances = append(s.instances, inst)
+	idx := len(s.instances) - 1
+	s.mu.Unlock()
+
+	if inst.cm != nil {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			cm.run()
+			inst.cm.run()
 		}()
 	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.batchLoop(enclave, cm, pm, queue)
+		s.batchLoop(inst)
 	}()
 	return idx, nil
 }
 
-// committer returns the group committer for enclave idx, or nil.
-func (s *Server) committerFor(idx int) *committer {
+// instanceAt returns instance idx, or nil when out of range.
+func (s *Server) instanceAt(idx int) *instance {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if idx < 0 || idx >= len(s.committers) {
+	if idx < 0 || idx >= len(s.instances) {
 		return nil
 	}
-	return s.committers[idx]
+	return s.instances[idx]
 }
 
-// barrierECall performs a non-batch ecall against enclave idx behind the
-// persistence barrier: it holds the enclave's persist lock — so no batch
+// barrierECall performs a non-batch ecall against instance idx behind the
+// persistence barrier: it holds the instance's persist lock — so no batch
 // can seal a new record between the flush and the call — flushes any
 // queued batch results, then calls. Without the lock, an admin/migration
 // persist (fresh blob + log truncation) inside the call could race a
@@ -173,35 +276,67 @@ func (s *Server) committerFor(idx int) *committer {
 // The same lock serializes the legacy inline (ecall, persist) pair for
 // the identical reason.
 func (s *Server) barrierECall(idx int, payload []byte) ([]byte, error) {
-	s.mu.Lock()
-	var pm *sync.Mutex
-	if idx >= 0 && idx < len(s.persistMus) {
-		pm = s.persistMus[idx]
+	inst := s.instanceAt(idx)
+	if inst == nil {
+		return nil, fmt.Errorf("host: no enclave instance %d", idx)
 	}
-	s.mu.Unlock()
-	if pm != nil {
-		pm.Lock()
-		defer pm.Unlock()
+	inst.pm.Lock()
+	defer inst.pm.Unlock()
+	if inst.cm != nil {
+		inst.cm.flush(s.stop)
 	}
-	if cm := s.committerFor(idx); cm != nil {
-		cm.flush(s.stop)
-	}
-	return s.Enclave(idx).Call(payload)
+	return inst.enclave.Call(payload)
 }
 
-// Enclave returns enclave instance idx (0 is the primary).
+// Enclave returns enclave instance idx. Instances 0..Shards()-1 are the
+// shard primaries (0 is the only primary in an unsharded deployment).
 func (s *Server) Enclave(idx int) *tee.Enclave {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.enclaves[idx]
+	inst := s.instanceAt(idx)
+	if inst == nil {
+		return nil
+	}
+	return inst.enclave
 }
 
-// ECall performs a raw enclave call against the primary instance — the
-// path an in-process admin uses. Like the networked ecall path it runs
-// behind the persistence barrier, so status, admin and migration calls
-// see storage consistent with every acknowledged batch.
+// ECall performs a raw enclave call against shard 0's primary instance —
+// the path an in-process admin of an unsharded deployment uses. Like the
+// networked ecall path it runs behind the persistence barrier, so status,
+// admin and migration calls see storage consistent with every
+// acknowledged batch.
 func (s *Server) ECall(payload []byte) ([]byte, error) {
 	return s.barrierECall(0, payload)
+}
+
+// ShardECall performs a raw enclave call against the given shard's
+// primary instance, behind its persistence barrier.
+func (s *Server) ShardECall(shard int, payload []byte) ([]byte, error) {
+	if shard < 0 || shard >= s.shards {
+		return nil, fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	}
+	return s.barrierECall(shard, payload)
+}
+
+// ShardCall returns a core.CallFunc bound to one shard's primary — what a
+// per-shard admin bootstrap uses.
+func (s *Server) ShardCall(shard int) core.CallFunc {
+	return func(payload []byte) ([]byte, error) {
+		return s.ShardECall(shard, payload)
+	}
+}
+
+// routesForNewConn materializes the per-shard route table a newly accepted
+// connection gets. Caller holds s.mu.
+func (s *Server) routesForNewConn() []int {
+	routes := make([]int, s.shards)
+	for i := range routes {
+		routes[i] = i
+	}
+	for shard, idx := range s.routeOverride {
+		if shard >= 0 && shard < len(routes) && idx >= 0 && idx < len(s.instances) {
+			routes[shard] = idx
+		}
+	}
+	return routes
 }
 
 // Serve accepts connections until the listener is closed or Shutdown is
@@ -219,15 +354,7 @@ func (s *Server) Serve(l transport.Listener) error {
 		default:
 		}
 		s.mu.Lock()
-		id := s.nextConn
-		s.nextConn++
-		idx := s.route(id)
-		if idx < 0 || idx >= len(s.enclaves) {
-			idx = 0
-		}
-		s.mu.Unlock()
-		cs := &connState{conn: conn, enclave: idx}
-		s.mu.Lock()
+		cs := &connState{conn: conn, routes: s.routesForNewConn()}
 		s.liveConns[cs] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -241,6 +368,19 @@ func (s *Server) Serve(l transport.Listener) error {
 			s.connLoop(cs)
 		}()
 	}
+}
+
+// routeFrame resolves a shard-addressed frame payload to the instance
+// serving that shard for this connection.
+func (s *Server) routeFrame(cs *connState, payload []byte) (int, []byte, error) {
+	shard, inner, err := wire.SplitShardPayload(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if shard >= len(cs.routes) {
+		return 0, nil, fmt.Errorf("host: shard %d out of range (%d shards)", shard, len(cs.routes))
+	}
+	return cs.routes[shard], inner, nil
 }
 
 // connLoop reads frames from one client connection.
@@ -257,23 +397,42 @@ func (s *Server) connLoop(cs *connState) {
 		kind, payload := frame[0], frame[1:]
 		switch kind {
 		case wire.FrameInvoke:
-			s.mu.Lock()
-			queue := s.queues[cs.enclave]
-			s.mu.Unlock()
+			idx, invoke, err := s.routeFrame(cs, payload)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			inst := s.instanceAt(idx)
+			if inst == nil {
+				_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: no enclave instance %d", idx)))
+				continue
+			}
 			select {
-			case queue <- request{conn: cs, invoke: payload}:
+			case inst.queue <- request{conn: cs, invoke: invoke}:
 			case <-s.stop:
 				return
 			}
 		case wire.FrameECall:
 			// Ecalls (status, admin, migration) act as persistence
 			// barriers: queued batch results become durable first.
-			resp, err := s.barrierECall(cs.enclave, payload)
+			idx, inner, err := s.routeFrame(cs, payload)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			resp, err := s.barrierECall(idx, inner)
 			if err != nil {
 				_ = cs.send(wire.ErrorFrame(err))
 				continue
 			}
 			_ = cs.send(wire.OKFrame(resp))
+		case wire.FrameStatus:
+			ds, err := s.DeploymentStatus()
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			_ = cs.send(wire.OKFrame(core.EncodeDeploymentStatus(ds)))
 		default:
 			_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: unknown frame kind %d", kind)))
 		}
@@ -285,11 +444,11 @@ func (s *Server) connLoop(cs *connState) {
 // ecall, persists the sealed state and distributes replies. With a group
 // committer attached, persistence and reply release are handed off so the
 // next ecall overlaps the previous batch's fsync.
-func (s *Server) batchLoop(enclave *tee.Enclave, cm *committer, pm *sync.Mutex, queue chan request) {
+func (s *Server) batchLoop(inst *instance) {
 	for {
 		var batch []request
 		select {
-		case first := <-queue:
+		case first := <-inst.queue:
 			batch = append(batch, first)
 		case <-s.stop:
 			return
@@ -297,23 +456,23 @@ func (s *Server) batchLoop(enclave *tee.Enclave, cm *committer, pm *sync.Mutex, 
 	fill:
 		for len(batch) < s.cfg.BatchSize {
 			select {
-			case next := <-queue:
+			case next := <-inst.queue:
 				batch = append(batch, next)
 			default:
 				break fill
 			}
 		}
-		s.processBatch(enclave, cm, pm, batch)
+		s.processBatch(inst, batch)
 	}
 }
 
-func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mutex, batch []request) {
+func (s *Server) processBatch(inst *instance, batch []request) {
 	// The persist lock pairs this ecall atomically with handing its
 	// sealed output to the persistence path (committer queue or inline
 	// store), so a barrier ecall can never slip in between and persist a
 	// chain-restarting blob ahead of an already-sealed record.
-	pm.Lock()
-	defer pm.Unlock()
+	inst.pm.Lock()
+	defer inst.pm.Unlock()
 	invokes := make([][]byte, len(batch))
 	for i, req := range batch {
 		invokes[i] = req.invoke
@@ -321,10 +480,10 @@ func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mute
 	// The call payload is consumed (copied) by the enclave during Call, so
 	// the encode buffer can be pooled: steady-state batches allocate no
 	// framing buffers.
-	epoch := enclave.Epoch()
+	epoch := inst.enclave.Epoch()
 	w := wire.GetWriter(core.BatchCallSize(invokes))
 	core.AppendBatchCall(w, invokes)
-	resp, err := enclave.Call(w.Bytes())
+	resp, err := inst.enclave.Call(w.Bytes())
 	wire.PutWriter(w)
 	if err != nil {
 		for _, req := range batch {
@@ -339,20 +498,20 @@ func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mute
 		}
 		return
 	}
-	if cm != nil {
-		if enclave.Epoch() != epoch {
+	if inst.cm != nil {
+		if inst.enclave.Epoch() != epoch {
 			// A committer-initiated restart raced this ecall, so the
 			// epoch tag may not match the epoch that sealed the record.
 			// Fail the batch and restart once more: the chain re-folds
 			// from disk and the clients converge via retries.
-			_ = enclave.Restart()
+			_ = inst.enclave.Restart()
 			for _, req := range batch {
 				_ = req.conn.send(wire.ErrorFrame(errors.New("host: enclave restarted during batch; retry")))
 			}
 			return
 		}
 		select {
-		case cm.ch <- commitReq{batch: batch, result: result, epoch: epoch}:
+		case inst.cm.ch <- commitReq{batch: batch, result: result, epoch: epoch}:
 		case <-s.stop:
 		}
 		return
@@ -363,7 +522,7 @@ func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mute
 	// enclave hands us a log record to append instead of a full blob; at
 	// compaction points it hands a fresh blob plus the instruction to
 	// truncate the now-subsumed log.
-	if err := s.persistBatchResult(enclave, result); err != nil {
+	if err := s.persistBatchResult(inst, result); err != nil {
 		for _, req := range batch {
 			_ = req.conn.send(wire.ErrorFrame(fmt.Errorf("host: persist state: %w", err)))
 		}
@@ -375,10 +534,11 @@ func (s *Server) processBatch(enclave *tee.Enclave, cm *committer, pm *sync.Mute
 }
 
 // persistBatchResult performs the persistence work a batch response
-// piggybacks (the honest-host protocol).
-func (s *Server) persistBatchResult(enclave *tee.Enclave, result *core.BatchResult) error {
+// piggybacks (the honest-host protocol) against the instance's storage
+// namespace.
+func (s *Server) persistBatchResult(inst *instance, result *core.BatchResult) error {
 	if len(result.DeltaRecord) > 0 {
-		if err := s.cfg.Store.Append(core.SlotDeltaLog, result.DeltaRecord); err != nil {
+		if err := inst.store.Append(core.SlotDeltaLog, result.DeltaRecord); err != nil {
 			// The enclave's chain already advanced past the record we
 			// failed to persist; appending later records would leave a
 			// permanent gap on disk. Treat the lost write exactly like a
@@ -387,26 +547,26 @@ func (s *Server) persistBatchResult(enclave *tee.Enclave, result *core.BatchResu
 			// the Sec. 4.6.1 retry protocol. (The plain full-seal path
 			// below self-heals instead: the next batch rewrites the
 			// whole blob.)
-			if rerr := enclave.Restart(); rerr != nil {
+			if rerr := inst.enclave.Restart(); rerr != nil {
 				return fmt.Errorf("%w (enclave restart: %v)", err, rerr)
 			}
 			return err
 		}
 		return nil
 	}
-	if err := s.cfg.Store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
+	if err := inst.store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
 		if result.Compact {
 			// A lost compaction blob desynchronizes the chain the same
 			// way a lost append does (the enclave already rechained at
 			// the new blob): restart so the chain re-folds from disk.
-			if rerr := enclave.Restart(); rerr != nil {
+			if rerr := inst.enclave.Restart(); rerr != nil {
 				return fmt.Errorf("%w (enclave restart: %v)", err, rerr)
 			}
 		}
 		return err
 	}
 	if result.Compact {
-		return s.cfg.Store.TruncateLog(core.SlotDeltaLog)
+		return inst.store.TruncateLog(core.SlotDeltaLog)
 	}
 	return nil
 }
@@ -431,9 +591,9 @@ type commitReq struct {
 // enclave restarts, queued results from the failed epoch are discarded,
 // and clients converge via retries.
 type committer struct {
-	srv     *Server
-	enclave *tee.Enclave
-	ch      chan commitReq
+	srv  *Server
+	inst *instance
+	ch   chan commitReq
 
 	failEpoch uint64 // results sealed in epochs <= failEpoch are dropped
 
@@ -502,7 +662,7 @@ func (c *committer) process(pending []commitReq) {
 				records = append(records, pending[j].result.DeltaRecord)
 				j++
 			}
-			if err := c.srv.cfg.Store.AppendGroup(core.SlotDeltaLog, records); err != nil {
+			if err := c.inst.store.AppendGroup(core.SlotDeltaLog, records); err != nil {
 				c.fail(pending[i:j], err)
 			} else {
 				c.recordGroup(len(records))
@@ -521,7 +681,7 @@ func (c *committer) process(pending []commitReq) {
 				len(pending[j].result.DeltaRecord) == 0 && !pending[j].result.Compact {
 				j++
 			}
-			if err := c.srv.cfg.Store.Store(c.srv.cfg.StateSlot, pending[j-1].result.StateBlob); err != nil {
+			if err := c.inst.store.Store(c.srv.cfg.StateSlot, pending[j-1].result.StateBlob); err != nil {
 				c.fail(pending[i:j], err)
 			} else {
 				c.recordGroup(j - i)
@@ -532,9 +692,9 @@ func (c *committer) process(pending []commitReq) {
 			i = j
 		default:
 			// A compaction blob: a barrier write plus log truncation.
-			err := c.srv.cfg.Store.Store(c.srv.cfg.StateSlot, req.result.StateBlob)
+			err := c.inst.store.Store(c.srv.cfg.StateSlot, req.result.StateBlob)
 			if err == nil {
-				err = c.srv.cfg.Store.TruncateLog(core.SlotDeltaLog)
+				err = c.inst.store.TruncateLog(core.SlotDeltaLog)
 			}
 			if err != nil {
 				c.fail(pending[i:i+1], err)
@@ -553,11 +713,11 @@ var errStaleEpoch = errors.New("host: batch result discarded after enclave resta
 // and results sealed before the restart are poisoned so a later append
 // cannot leave a gap behind the lost record.
 func (c *committer) fail(group []commitReq, err error) {
-	c.failEpoch = c.enclave.Epoch()
+	c.failEpoch = c.inst.enclave.Epoch()
 	for _, r := range group {
 		c.reject(r, fmt.Errorf("host: persist state: %w", err))
 	}
-	_ = c.enclave.Restart()
+	_ = c.inst.enclave.Restart()
 }
 
 func (c *committer) release(req commitReq) {
@@ -582,17 +742,89 @@ func (c *committer) recordGroup(n int) {
 	c.statMu.Unlock()
 }
 
-// GroupCommitStats reports the primary enclave's group-commit activity:
-// commit groups written, batch results they covered, and the largest
-// group. Zeros when group commit is disabled.
+// stats returns the committer's counters.
+func (c *committer) stats() (groups, records, maxGroup int) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.groups, c.records, c.maxGroup
+}
+
+// GroupCommitStats reports the deployment-wide group-commit activity,
+// summed over every enclave instance's committer: commit groups written,
+// batch results they covered, and the largest single group. Zeros when
+// group commit is disabled.
 func (s *Server) GroupCommitStats() (groups, records, maxGroup int) {
-	cm := s.committerFor(0)
-	if cm == nil {
-		return 0, 0, 0
+	s.mu.Lock()
+	insts := append([]*instance(nil), s.instances...)
+	s.mu.Unlock()
+	for _, inst := range insts {
+		if inst.cm == nil {
+			continue
+		}
+		g, r, m := inst.cm.stats()
+		groups += g
+		records += r
+		if m > maxGroup {
+			maxGroup = m
+		}
 	}
-	cm.statMu.Lock()
-	defer cm.statMu.Unlock()
-	return cm.groups, cm.records, cm.maxGroup
+	return groups, records, maxGroup
+}
+
+// ShardGroupCommitStats reports the group-commit activity of every
+// instance serving one shard (the primary plus any forks).
+func (s *Server) ShardGroupCommitStats(shard int) (groups, records, maxGroup int) {
+	s.mu.Lock()
+	insts := append([]*instance(nil), s.instances...)
+	s.mu.Unlock()
+	for _, inst := range insts {
+		if inst.shard != shard || inst.cm == nil {
+			continue
+		}
+		g, r, m := inst.cm.stats()
+		groups += g
+		records += r
+		if m > maxGroup {
+			maxGroup = m
+		}
+	}
+	return groups, records, maxGroup
+}
+
+// DeploymentStatus aggregates the operational view of every shard: the
+// primary enclave's core.Status (fetched behind the persistence barrier,
+// so it is consistent with all acknowledged batches), the number of
+// instances currently serving the shard, and the shard's group-commit
+// counters. A shard whose status ecall fails — typically because its
+// enclave halted after detecting an attack — is reported with the error
+// in its entry rather than failing the whole view: the endpoint must
+// stay usable exactly when detection has fired. It answers the
+// wire.FrameStatus endpoint and serves in-process operators directly.
+func (s *Server) DeploymentStatus() (*core.DeploymentStatus, error) {
+	ds := &core.DeploymentStatus{}
+	for shard := 0; shard < s.shards; shard++ {
+		entry := core.ShardStatus{Shard: shard}
+		resp, err := s.barrierECall(shard, core.EncodeStatusCall())
+		if err == nil {
+			var status *core.Status
+			if status, err = core.DecodeStatus(resp); err == nil {
+				entry.Status = *status
+			}
+		}
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		s.mu.Lock()
+		for _, inst := range s.instances {
+			if inst.shard == shard {
+				entry.Instances++
+			}
+		}
+		s.mu.Unlock()
+		entry.Groups, entry.Records, entry.MaxGroup = s.ShardGroupCommitStats(shard)
+		ds.Shards = append(ds.Shards, entry)
+	}
+	return ds, nil
 }
 
 // Shutdown stops the batchers, closes every live connection (unblocking
@@ -610,54 +842,75 @@ func (s *Server) Shutdown() {
 
 // ---- Malicious behaviours (Sec. 2.3) ----
 
-// AttackRollback restarts the primary enclave after instructing the
-// rollback store to serve the state from n persisted writes ago. Under
-// delta-log persistence the per-batch writes are log appends, so the
-// attack truncates the last n delta records; with full-state sealing (or
-// when the log is too short) it falls back to pinning a stale state-blob
-// version. It requires the configured Store to be a
-// *stablestore.RollbackStore.
-func (s *Server) AttackRollback(n int) error {
+// AttackRollback restarts the given shard's primary enclave after
+// instructing the rollback store to serve that shard's state from n
+// persisted writes ago. Under delta-log persistence the per-batch writes
+// are log appends, so the attack truncates the last n delta records; with
+// full-state sealing (or when the log is too short) it falls back to
+// pinning a stale state-blob version. It requires the configured Store to
+// be a *stablestore.RollbackStore. Only the attacked shard is affected —
+// the other shards' chains stay live, which is exactly the locality the
+// per-shard detection tests assert.
+func (s *Server) AttackRollback(shard, n int) error {
 	rs, ok := s.cfg.Store.(*stablestore.RollbackStore)
 	if !ok {
 		return errors.New("host: rollback attack needs a RollbackStore")
 	}
-	if !rs.RollbackLogBy(core.SlotDeltaLog, n) && !rs.RollbackBy(core.SlotStateBlob, n) {
-		return fmt.Errorf("host: no state version %d writes back", n)
+	if shard < 0 || shard >= s.shards {
+		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
 	}
-	if err := s.Enclave(0).Restart(); err != nil {
-		return fmt.Errorf("host: restart with stale state: %w", err)
+	logSlot := s.ShardSlot(shard, core.SlotDeltaLog)
+	blobSlot := s.ShardSlot(shard, core.SlotStateBlob)
+	if !rs.RollbackLogBy(logSlot, n) && !rs.RollbackBy(blobSlot, n) {
+		return fmt.Errorf("host: no state version %d writes back on shard %d", n, shard)
+	}
+	enclave := s.Enclave(shard)
+	if err := enclave.Restart(); err != nil {
+		return fmt.Errorf("host: restart %s with stale state: %w", enclave.Label(), err)
 	}
 	return nil
 }
 
-// AttackFork starts a second enclave instance over the same stable storage
-// and routes every subsequently accepted connection to it, partitioning
-// the client group. Existing connections stay on their instance. It
-// returns the fork's enclave index.
-func (s *Server) AttackFork() (int, error) {
-	idx, err := s.addEnclave()
+// AttackFork starts a second enclave instance over the given shard's
+// stable storage and routes that shard's traffic on every subsequently
+// accepted connection to it, partitioning the shard's client group.
+// Existing connections stay on their instances, and the other shards'
+// routing is untouched. It returns the fork's instance index.
+func (s *Server) AttackFork(shard int) (int, error) {
+	idx, err := s.addInstance(shard)
 	if err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
-	s.route = func(int) int { return idx }
+	s.routeOverride[shard] = idx
 	s.mu.Unlock()
 	return idx, nil
 }
 
-// RouteNewConnsTo directs subsequently accepted connections to the given
-// enclave index (0 restores honest behaviour for new connections).
+// RouteNewConnsTo directs the shard served by instance idx back to that
+// instance for subsequently accepted connections. Routing a shard to its
+// primary (idx < Shards()) restores honest behaviour for new connections.
 func (s *Server) RouteNewConnsTo(idx int) {
+	inst := s.instanceAt(idx)
+	if inst == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.route = func(int) int { return idx }
+	if idx == inst.shard {
+		delete(s.routeOverride, inst.shard)
+		return
+	}
+	s.routeOverride[inst.shard] = idx
 }
 
-// AttackReplay re-submits a previously captured invoke to the primary
-// enclave, bypassing any client. It returns the enclave's error, which —
-// per the protocol — should be a halt.
-func (s *Server) AttackReplay(invoke []byte) error {
-	_, err := s.Enclave(0).Call(core.EncodeBatchCall([][]byte{invoke}))
+// AttackReplay re-submits a previously captured invoke to the given
+// shard's primary enclave, bypassing any client. It returns the enclave's
+// error, which — per the protocol — should be a halt.
+func (s *Server) AttackReplay(shard int, invoke []byte) error {
+	if shard < 0 || shard >= s.shards {
+		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	}
+	_, err := s.Enclave(shard).Call(core.EncodeBatchCall([][]byte{invoke}))
 	return err
 }

@@ -236,7 +236,7 @@ func TestRollbackAttackEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.server.AttackRollback(2); err != nil {
+	if err := s.server.AttackRollback(0, 2); err != nil {
 		t.Fatalf("AttackRollback: %v", err)
 	}
 	_, err := c.Do(kvs.Get("k"))
@@ -273,7 +273,7 @@ func TestForkingAttackEndToEnd(t *testing.T) {
 	record(c1, op, res)
 
 	// Fork: new connections land on the forked instance.
-	if _, err := s.server.AttackFork(); err != nil {
+	if _, err := s.server.AttackFork(0); err != nil {
 		t.Fatalf("AttackFork: %v", err)
 	}
 	c2 := s.session(2) // routed to the fork
@@ -344,8 +344,10 @@ func TestReplayAttackEndToEnd(t *testing.T) {
 	}
 	var captured []byte
 	tap := &tapConn{Conn: conn, onSend: func(frame []byte) {
-		if len(frame) > 1 && frame[0] == wire.FrameInvoke {
-			captured = append([]byte(nil), frame[1:]...)
+		// Invoke frames are [kind][shard][ciphertext]; capture the
+		// ciphertext the way a wiretapping host would.
+		if len(frame) > 2 && frame[0] == wire.FrameInvoke {
+			captured = append([]byte(nil), frame[2:]...)
 		}
 	}}
 	c := client.New(tap, 1, s.admin.CommunicationKey(), client.Config{Timeout: 5 * time.Second})
@@ -357,7 +359,7 @@ func TestReplayAttackEndToEnd(t *testing.T) {
 	if captured == nil {
 		t.Fatal("no invoke captured")
 	}
-	if err := s.server.AttackReplay(captured); !errors.Is(err, tee.ErrEnclaveHalted) {
+	if err := s.server.AttackReplay(0, captured); !errors.Is(err, tee.ErrEnclaveHalted) {
 		t.Fatalf("replay = %v, want enclave halt", err)
 	}
 }

@@ -1,0 +1,54 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/core"
+	"lcm/internal/stablestore"
+)
+
+// CopyStorage copies the persistence objects a chain-mode migration needs
+// — the sealed state blob and the delta log — from one host's stable
+// storage to another's. It is the host-side half of Sec. 4.6.2 when the
+// origin and target do not share storage: the origin's host ships the
+// files, the enclaves ship only kP, V and the chain head over the secure
+// channel.
+//
+// The copy is untrusted, like everything the host does: every object is
+// sealed under kP, and the target enclave folds the copied chain and
+// refuses an import whose fold does not end exactly at the head the
+// origin pinned in the handover. A truncated, stale or tampered copy is
+// therefore rejected at import, never silently adopted — CopyStorage only
+// needs to be correct for the migration to succeed, not for it to be
+// safe.
+//
+// The key blob is deliberately not copied: it is sealed under the
+// origin's platform key, useless to the target, which re-seals kP under
+// its own platform after the import.
+//
+// The destination's delta log is truncated first, so a retry after a
+// partial copy cannot splice two copies together.
+func CopyStorage(src, dst stablestore.Store) error {
+	blob, err := src.Load(core.SlotStateBlob)
+	if errors.Is(err, stablestore.ErrNotFound) {
+		return errors.New("host: copy storage: source has no sealed state")
+	}
+	if err != nil {
+		return fmt.Errorf("host: copy storage: load state blob: %w", err)
+	}
+	if err := dst.Store(core.SlotStateBlob, blob); err != nil {
+		return fmt.Errorf("host: copy storage: store state blob: %w", err)
+	}
+	records, err := src.LoadLog(core.SlotDeltaLog)
+	if err != nil {
+		return fmt.Errorf("host: copy storage: load delta log: %w", err)
+	}
+	if err := dst.TruncateLog(core.SlotDeltaLog); err != nil {
+		return fmt.Errorf("host: copy storage: truncate destination log: %w", err)
+	}
+	if err := dst.AppendGroup(core.SlotDeltaLog, records); err != nil {
+		return fmt.Errorf("host: copy storage: append delta log: %w", err)
+	}
+	return nil
+}

@@ -66,6 +66,7 @@ type Store struct {
 var (
 	_ service.Service      = (*Store)(nil)
 	_ service.DeltaService = (*Store)(nil)
+	_ service.Sharder      = (*Store)(nil)
 )
 
 // New returns an empty store.
@@ -168,6 +169,25 @@ func encodeStatus(status byte, value []byte) []byte {
 	w.U8(status)
 	w.Var(value)
 	return w.Bytes()
+}
+
+// ShardKeys implements service.Sharder: GET/PUT/DEL address exactly one
+// key; SCAN spans the namespace and is therefore not shardable.
+func (s *Store) ShardKeys(op []byte) []string {
+	if len(op) == 0 {
+		return nil
+	}
+	switch op[0] {
+	case opGet, opPut, opDel:
+		r := wire.NewReader(op[1:])
+		key := string(r.Var())
+		if r.Err() != nil {
+			return nil
+		}
+		return []string{key}
+	default:
+		return nil
+	}
 }
 
 // Len returns the number of stored objects.

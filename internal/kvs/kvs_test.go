@@ -280,3 +280,21 @@ func TestQuickSnapshotRestoreIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardKeys(t *testing.T) {
+	if keys := New().ShardKeys(Put("k1", "v")); len(keys) != 1 || keys[0] != "k1" {
+		t.Fatalf("put keys = %v", keys)
+	}
+	if keys := New().ShardKeys(Get("k2")); len(keys) != 1 || keys[0] != "k2" {
+		t.Fatalf("get keys = %v", keys)
+	}
+	if keys := New().ShardKeys(Del("k3")); len(keys) != 1 || keys[0] != "k3" {
+		t.Fatalf("del keys = %v", keys)
+	}
+	if keys := New().ShardKeys(Scan("pre", 5)); keys != nil {
+		t.Fatalf("scan must be unshardable, got %v", keys)
+	}
+	if keys := New().ShardKeys(nil); keys != nil {
+		t.Fatalf("empty op must be unshardable, got %v", keys)
+	}
+}

@@ -9,6 +9,11 @@
 // requires "an operation processor ... and a serialization interface".
 package service
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Service is the functionality F. Implementations need not be
 // deterministic (LCM, unlike trusted-counter schemes with replay-based
 // recovery, does not require it; see Sec. 3.1) and need not be safe for
@@ -59,6 +64,65 @@ type DeltaService interface {
 	// Applying, in order, every delta taken since a snapshot onto that
 	// snapshot must yield a state identical to the live one.
 	ApplyDelta(delta []byte) error
+}
+
+// Sharder is an optional extension for services whose operations address
+// named items (keys, accounts). A sharded deployment partitions the
+// functionality F into N independent LCM instances by item name; the
+// client library consults the Sharder before sealing an INVOKE to decide
+// which shard's protocol context the operation belongs to. The host never
+// needs it — INVOKE ciphertexts are opaque to the (untrusted) server, so
+// routing happens where the plaintext exists: at the client.
+//
+// Both bundled services implement it (internal/kvs and internal/counter).
+type Sharder interface {
+	// ShardKeys returns the item names op touches. An empty result marks
+	// an operation that cannot be pinned to one shard (e.g. a prefix
+	// scan); sharded clients must reject it rather than guess.
+	ShardKeys(op []byte) []string
+}
+
+// ShardIndex maps an item name onto one of n shards with a stable hash
+// (FNV-1a). Every layer — client routing, bench harnesses, tests picking
+// shard-local keys — must use this one function so they agree on the
+// partition.
+func ShardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inline FNV-1a (64-bit): stable across processes, cheap, no alloc.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// ShardOf resolves the shard an operation belongs to under an n-way
+// partition. Operations that touch no nameable item, or items on
+// different shards (a cross-shard transfer), are rejected — the protocol
+// executes an operation on exactly one trusted context, so an op must fit
+// inside one shard.
+func ShardOf(s Sharder, op []byte, n int) (int, error) {
+	if n <= 1 {
+		return 0, nil
+	}
+	keys := s.ShardKeys(op)
+	if len(keys) == 0 {
+		return 0, errors.New("service: operation has no shard key")
+	}
+	shard := ShardIndex(keys[0], n)
+	for _, k := range keys[1:] {
+		if other := ShardIndex(k, n); other != shard {
+			return 0, fmt.Errorf("service: operation spans shards %d and %d (%q, %q)", shard, other, keys[0], k)
+		}
+	}
+	return shard, nil
 }
 
 // Factory creates a fresh, empty Service instance. The enclave calls it

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// stubSharder returns fixed keys per op byte.
+type stubSharder map[byte][]string
+
+func (s stubSharder) ShardKeys(op []byte) []string {
+	if len(op) == 0 {
+		return nil
+	}
+	return s[op[0]]
+}
+
+func TestShardIndexStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 256} {
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			idx := ShardIndex(key, n)
+			if idx < 0 || idx >= n {
+				t.Fatalf("ShardIndex(%q, %d) = %d out of range", key, n, idx)
+			}
+			if again := ShardIndex(key, n); again != idx {
+				t.Fatalf("ShardIndex(%q, %d) unstable: %d then %d", key, n, idx, again)
+			}
+		}
+	}
+	if ShardIndex("anything", 1) != 0 {
+		t.Fatal("single shard must map everything to 0")
+	}
+}
+
+func TestShardIndexSpreadsKeys(t *testing.T) {
+	const n = 4
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[ShardIndex(fmt.Sprintf("key-%d", i), n)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("200 keys landed on only %d of %d shards", len(seen), n)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	// Two keys known to land on different shards under n=2.
+	a, b := "", ""
+	for i := 0; a == "" || b == ""; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if ShardIndex(k, 2) == 0 && a == "" {
+			a = k
+		}
+		if ShardIndex(k, 2) == 1 && b == "" {
+			b = k
+		}
+	}
+	s := stubSharder{
+		1: {a},
+		2: {a, a}, // same shard twice
+		3: {a, b}, // cross-shard
+		4: nil,    // unshardable
+	}
+	if shard, err := ShardOf(s, []byte{1}, 2); err != nil || shard != 0 {
+		t.Fatalf("single key: %d, %v", shard, err)
+	}
+	if _, err := ShardOf(s, []byte{2}, 2); err != nil {
+		t.Fatalf("same-shard multi-key rejected: %v", err)
+	}
+	if _, err := ShardOf(s, []byte{3}, 2); err == nil {
+		t.Fatal("cross-shard op accepted")
+	}
+	if _, err := ShardOf(s, []byte{4}, 2); err == nil {
+		t.Fatal("unshardable op accepted")
+	}
+	// Single-shard deployments accept everything without consulting keys.
+	if shard, err := ShardOf(s, []byte{4}, 1); err != nil || shard != 0 {
+		t.Fatalf("unshardable op under one shard: %d, %v", shard, err)
+	}
+}

@@ -355,6 +355,63 @@ func (s *FileStore) Slots() []string {
 	return out
 }
 
+// NamespacedSlot returns the slot name a Namespaced store with the given
+// prefix uses on its inner store. Attack wrappers (RollbackStore,
+// CrashStore) sit below the namespacing, so adversarial tooling that
+// addresses one shard's storage builds the inner name with this helper.
+func NamespacedSlot(prefix, slot string) string {
+	return prefix + "/" + slot
+}
+
+// Namespaced wraps a Store so that every slot (blob and log alike) lives
+// under a prefix on the inner store. It is how a sharded host gives each
+// enclave instance a private storage namespace over one physical store:
+// shard i's sealed blobs and delta log become "shard<i>/<slot>" without
+// the enclave or the protocol knowing about the prefix.
+type Namespaced struct {
+	inner  Store
+	prefix string
+}
+
+var _ Store = (*Namespaced)(nil)
+
+// NewNamespaced wraps inner under prefix.
+func NewNamespaced(inner Store, prefix string) *Namespaced {
+	return &Namespaced{inner: inner, prefix: prefix}
+}
+
+func (s *Namespaced) slot(name string) string { return NamespacedSlot(s.prefix, name) }
+
+// Store implements Store.
+func (s *Namespaced) Store(slot string, blob []byte) error {
+	return s.inner.Store(s.slot(slot), blob)
+}
+
+// Load implements Store.
+func (s *Namespaced) Load(slot string) ([]byte, error) {
+	return s.inner.Load(s.slot(slot))
+}
+
+// Append implements Store.
+func (s *Namespaced) Append(slot string, record []byte) error {
+	return s.inner.Append(s.slot(slot), record)
+}
+
+// AppendGroup implements Store.
+func (s *Namespaced) AppendGroup(slot string, records [][]byte) error {
+	return s.inner.AppendGroup(s.slot(slot), records)
+}
+
+// LoadLog implements Store.
+func (s *Namespaced) LoadLog(slot string) ([][]byte, error) {
+	return s.inner.LoadLog(s.slot(slot))
+}
+
+// TruncateLog implements Store.
+func (s *Namespaced) TruncateLog(slot string) error {
+	return s.inner.TruncateLog(s.slot(slot))
+}
+
 // RollbackStore wraps a Store and retains the full version history of every
 // slot, modelling a malicious server's stable storage. While inactive it
 // behaves exactly like the wrapped store. After RollbackTo or Pin the

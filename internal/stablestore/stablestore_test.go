@@ -582,3 +582,48 @@ func TestRollbackStoreGroupAppendMirrorsAndTruncates(t *testing.T) {
 		t.Fatalf("dropped group reached the mirror: %d records", rs.LogLen("log"))
 	}
 }
+
+func TestNamespacedIsolation(t *testing.T) {
+	base := NewMemStore()
+	a := NewNamespaced(base, "shard0")
+	b := NewNamespaced(base, "shard1")
+
+	if err := a.Store("blob", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store("blob", []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Load("blob")
+	if err != nil || string(got) != "A" {
+		t.Fatalf("a.Load = %q, %v", got, err)
+	}
+	if _, err := NewNamespaced(base, "shard2").Load("blob"); err != ErrNotFound {
+		t.Fatalf("unwritten namespace Load err = %v, want ErrNotFound", err)
+	}
+
+	// Logs are namespaced too, through both append entry points.
+	if err := a.Append("log", []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendGroup("log", [][]byte{[]byte("b1"), []byte("b2")}); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := a.LoadLog("log")
+	lb, _ := b.LoadLog("log")
+	if len(la) != 1 || len(lb) != 2 {
+		t.Fatalf("logs leaked between namespaces: a=%d b=%d", len(la), len(lb))
+	}
+	if err := a.TruncateLog("log"); err != nil {
+		t.Fatal(err)
+	}
+	if lb2, _ := b.LoadLog("log"); len(lb2) != 2 {
+		t.Fatal("truncating one namespace's log disturbed another's")
+	}
+
+	// The inner store sees the prefixed names — what shard-addressable
+	// attack tooling relies on.
+	if _, err := base.Load(NamespacedSlot("shard0", "blob")); err != nil {
+		t.Fatalf("inner slot name: %v", err)
+	}
+}

@@ -242,6 +242,7 @@ type Enclave struct {
 	measurement Measurement
 
 	mu       sync.Mutex
+	label    string
 	program  Program // nil when stopped
 	epoch    uint64
 	resident int64
@@ -251,6 +252,26 @@ type Enclave struct {
 
 // Measurement returns the enclave's program measurement.
 func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// SetLabel attaches an operational label ("shard3", "shard3/fork1") to
+// the instance. Purely diagnostic: a multi-enclave host uses it to
+// identify instances in errors and status output. It has no protocol
+// meaning — identity remains the measurement.
+func (e *Enclave) SetLabel(label string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.label = label
+}
+
+// Label returns the operational label, or "enclave" when none was set.
+func (e *Enclave) Label() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.label == "" {
+		return "enclave"
+	}
+	return e.label
+}
 
 // Epoch returns the current epoch count.
 func (e *Enclave) Epoch() uint64 {

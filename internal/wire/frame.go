@@ -9,14 +9,49 @@ import (
 // and routed by the untrusted server).
 const (
 	// FrameInvoke carries an encrypted INVOKE; the response frame carries
-	// the encrypted REPLY.
+	// the encrypted REPLY. The payload starts with a one-byte shard index
+	// (see EncodeShardFrame) — 0 in unsharded deployments.
 	FrameInvoke byte = iota + 1
 	// FrameECall carries a raw enclave call (attestation, provisioning,
 	// admin, migration, status); the response carries the enclave's
 	// response. The honest host forwards these verbatim; their security
-	// rests on the inner protocol layers, never on the host.
+	// rests on the inner protocol layers, never on the host. Like
+	// FrameInvoke, the payload starts with a shard index byte.
 	FrameECall
+	// FrameStatus requests the host's aggregated deployment status: every
+	// shard's enclave status plus the host-side group-commit counters,
+	// in one round trip. The payload is empty; the response carries an
+	// encoded core.DeploymentStatus. Purely operational — the data leaks
+	// nothing the (untrusted) host does not already hold.
+	FrameStatus
 )
+
+// MaxShards bounds the shard index representable in the one-byte routing
+// header.
+const MaxShards = 256
+
+// EncodeShardFrame builds a request frame addressed to one shard:
+// [kind][u8 shard][payload]. The shard byte is untrusted routing metadata
+// for the host — the protocol's integrity never rests on it, because each
+// shard's INVOKEs are sealed under that shard's own communication key, so
+// a frame misrouted (accidentally or maliciously) to another shard fails
+// authentication there.
+func EncodeShardFrame(kind byte, shard int, payload []byte) []byte {
+	out := make([]byte, 2+len(payload))
+	out[0] = kind
+	out[1] = byte(shard)
+	copy(out[2:], payload)
+	return out
+}
+
+// SplitShardPayload splits a shard-addressed frame payload (everything
+// after the kind byte) into the shard index and the inner payload.
+func SplitShardPayload(payload []byte) (shard int, inner []byte, err error) {
+	if len(payload) == 0 {
+		return 0, nil, errors.New("wire: shard frame missing routing byte")
+	}
+	return int(payload[0]), payload[1:], nil
+}
 
 // Response status codes.
 const (

@@ -100,6 +100,18 @@ type (
 	// Status is a trusted context's externally visible state.
 	Status = core.Status
 
+	// DeploymentStatus is a (possibly sharded) host's aggregated
+	// operational view: one Status per shard plus group-commit counters.
+	DeploymentStatus = core.DeploymentStatus
+
+	// ShardedSession is a client of a sharded deployment: one protocol
+	// context per shard, routed by service-key hash.
+	ShardedSession = client.ShardedSession
+
+	// Sharder maps operations to the service keys they touch; services
+	// implement it to make their keyspace partitionable.
+	Sharder = service.Sharder
+
 	// LatencyModel centralizes the simulation's injected hardware
 	// latencies.
 	LatencyModel = latency.Model
@@ -194,6 +206,26 @@ func NewSession(conn transport.Conn, id uint32, kc Key, cfg SessionConfig) *Sess
 func ResumeSession(conn transport.Conn, st *ClientState, kc Key, cfg SessionConfig) *Session {
 	return client.Resume(conn, st, kc, cfg)
 }
+
+// NewShardedSession connects a fresh client to a sharded deployment: one
+// communication key per shard, operations routed by the sharder.
+func NewShardedSession(conn transport.Conn, id uint32, kcs []Key, sharder Sharder, cfg SessionConfig) *ShardedSession {
+	return client.NewSharded(conn, id, kcs, sharder, cfg)
+}
+
+// ResumeShardedSession reconnects a sharded client from its persisted
+// per-shard states.
+func ResumeShardedSession(conn transport.Conn, states []*ClientState, kcs []Key, sharder Sharder, cfg SessionConfig) (*ShardedSession, error) {
+	return client.ResumeSharded(conn, states, kcs, sharder, cfg)
+}
+
+// ShardIndex maps a service key onto one of n shards — the stable hash
+// every layer of a sharded deployment agrees on.
+func ShardIndex(key string, n int) int { return service.ShardIndex(key, n) }
+
+// CopyStorage ships the sealed state blob and delta log from one host's
+// storage to another's for a chain-mode migration without shared storage.
+func CopyStorage(src, dst stablestore.Store) error { return host.CopyStorage(src, dst) }
 
 // QueryStatus fetches a trusted context's status through any call path.
 func QueryStatus(call core.CallFunc) (*Status, error) { return core.QueryStatus(call) }
