@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|batchgroup|ci|all \
-//	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] [-jsonOut path]
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|ci|all \
+//	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] \
+//	          [-latencymodel spin|sleep] [-jsonOut path]
 //
 // The "ci" experiment runs the sealing and sync-writes ablation smokes and
 // — together with -jsonOut — emits the measured points as a JSON artifact,
@@ -15,6 +16,12 @@
 // paper-faithful run. Absolute numbers depend on the simulation's latency
 // model (see DESIGN.md); the claimed reproduction is the *shape* of each
 // figure, recorded in EXPERIMENTS.md.
+//
+// -latencymodel sleep makes every injected charge a timer sleep instead of
+// a sub-100µs busy-wait: charged enclave time then overlaps across shard
+// instances regardless of the host's core count, so shard scaling is
+// measurable at small object sizes even on a single-core CI runner (at the
+// cost of per-charge timing precision).
 package main
 
 import (
@@ -36,14 +43,18 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|batchgroup|ci|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		latModel   = flag.String("latencymodel", "spin", "spin (precise, needs one core per enclave) | sleep (overlaps on any core count)")
 		jsonOut    = flag.String("jsonOut", "", "write measured ablation points as JSON to this path")
 	)
 	flag.Parse()
+	if *latModel != "spin" && *latModel != "sleep" {
+		return fmt.Errorf("unknown -latencymodel %q (want spin or sleep)", *latModel)
+	}
 
 	dir, err := os.MkdirTemp("", "lcm-bench-*")
 	if err != nil {
@@ -54,6 +65,7 @@ func run() error {
 	cfg := benchrun.RunConfig{
 		Duration: *duration,
 		Scale:    *scale,
+		SleepAll: *latModel == "sleep",
 		Records:  *records,
 		Seed:     *seed,
 		Dir:      dir,
@@ -138,6 +150,14 @@ func run() error {
 			measured["shardAblation"] = points
 			fmt.Println("sharding multiplies the single-threaded enclave: N instances ≈ N× aggregate throughput")
 			fmt.Println()
+		case "scanablation":
+			points, err := benchrun.RunScanAblation(cfg, nil, nil)
+			if err != nil {
+				return err
+			}
+			measured["scanAblation"] = points
+			fmt.Println("scans pay the fan-out across all shards; escrow transfers scale with the shard count")
+			fmt.Println()
 		case "batchgroup":
 			points, err := benchrun.RunBatchGroupSweep(cfg, nil)
 			if err != nil {
@@ -168,6 +188,11 @@ func run() error {
 				return err
 			}
 			measured["shardAblation"] = shard
+			scan, err := benchrun.RunScanAblation(ciCfg, []int{1, 2}, []int{4})
+			if err != nil {
+				return err
+			}
+			measured["scanAblation"] = scan
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

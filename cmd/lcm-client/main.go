@@ -1,19 +1,36 @@
-// Command lcm-client is a CLI client for an LCM-protected key-value
-// store. Each invocation performs one operation and prints the result
-// together with the protocol's consistency metadata: the operation's
-// sequence number t and the latest majority-stable sequence number q.
+// Command lcm-client is a CLI client for an LCM-protected service. Each
+// invocation performs one operation and prints the result together with
+// the protocol's consistency metadata: the operation's sequence number t
+// and the latest majority-stable sequence number q.
 //
-// Usage:
+// Usage (kvs, the default service):
 //
 //	lcm-client -addr 127.0.0.1:7000 -id 1 -key <hex kC> get <key>
 //	lcm-client ... put <key> <value>
 //	lcm-client ... del <key>
+//	lcm-client ... scan <prefix> [limit]
 //	lcm-client ... status
+//
+// Against a bank server (lcm-server -service bank):
+//
+//	lcm-client -service bank ... bal <account>
+//	lcm-client -service bank ... inc <account> <amount>
+//	lcm-client -service bank ... transfer <from> <to> <amount>
 //
 // Against a sharded server (lcm-server -shards N), pass all N
 // communication keys comma-separated — the client then holds one
 // protocol context per shard and routes each operation by its key hash,
-// exactly like the library's ShardedSession.
+// exactly like the library's ShardedSession. Two verbs become
+// scatter-gather operations there:
+//
+//   - scan fans out to every shard in one multi-shard frame, verifies
+//     each shard's reply on that shard's chain, and merges the sorted
+//     results; one forked or halted shard fails the whole scan.
+//   - transfer between accounts on different shards runs the two-phase
+//     escrow (prepare → credit → settle), journaling the coordinator
+//     state in <state>.tx after every phase. If a previous invocation
+//     crashed mid-transfer, the next one resumes the journaled transfer
+//     before doing anything else — so money is neither lost nor minted.
 //
 // Client state (tc, ts, hc — per shard) persists in -state so
 // consecutive invocations form one continuous protocol session; deleting
@@ -31,13 +48,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"lcm/internal/aead"
 	"lcm/internal/client"
 	"lcm/internal/core"
+	"lcm/internal/counter"
 	"lcm/internal/kvs"
+	"lcm/internal/service"
 	"lcm/internal/transport"
 )
 
@@ -53,13 +73,17 @@ func run() error {
 		addr      = flag.String("addr", "127.0.0.1:7000", "server address")
 		id        = flag.Uint("id", 1, "client identifier within the group")
 		keyHex    = flag.String("key", "", "communication key(s) kC (hex; comma-separated, one per shard)")
+		svcName   = flag.String("service", "kvs", "service the server hosts: kvs | bank")
 		statePath = flag.String("state", "", "client state file (default lcm-client-<id>.state)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "reply timeout before retry")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: lcm-client [flags] get|put|del|status ...")
+		return errors.New("usage: lcm-client [flags] get|put|del|scan|bal|inc|transfer|status ...")
+	}
+	if *svcName != "kvs" && *svcName != "bank" {
+		return fmt.Errorf("unknown -service %q (want kvs or bank)", *svcName)
 	}
 
 	cfg := client.Config{Timeout: *timeout, Retries: 2}
@@ -91,9 +115,9 @@ func run() error {
 	}
 
 	if len(keys) == 1 {
-		return runSingle(conn, uint32(*id), keys[0], *statePath, cfg, args)
+		return runSingle(conn, uint32(*id), keys[0], *svcName, *statePath, cfg, args)
 	}
-	return runSharded(conn, uint32(*id), keys, *statePath, cfg, args)
+	return runSharded(conn, uint32(*id), keys, *svcName, *statePath, cfg, args)
 }
 
 func parseKeys(keyHex string) ([]aead.Key, error) {
@@ -139,7 +163,36 @@ func printStatus(sess *client.Session) error {
 	return nil
 }
 
-func parseOp(args []string) ([]byte, error) {
+// parseOp encodes one service operation from CLI arguments. Transfer is
+// not handled here: against a sharded deployment it is a multi-operation
+// escrow, not one op (see runSharded).
+func parseOp(svcName string, args []string) ([]byte, error) {
+	if svcName == "bank" {
+		switch args[0] {
+		case "bal":
+			if len(args) != 2 {
+				return nil, errors.New("usage: bal <account>")
+			}
+			return counter.Read(args[1]), nil
+		case "inc":
+			if len(args) != 3 {
+				return nil, errors.New("usage: inc <account> <amount>")
+			}
+			amount, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("amount: %w", err)
+			}
+			return counter.Inc(args[1], amount), nil
+		case "transfer":
+			from, to, amount, err := parseTransferArgs(args)
+			if err != nil {
+				return nil, err
+			}
+			return counter.Transfer(from, to, amount), nil
+		default:
+			return nil, fmt.Errorf("unknown bank command %q", args[0])
+		}
+	}
 	switch args[0] {
 	case "get":
 		if len(args) != 2 {
@@ -156,30 +209,98 @@ func parseOp(args []string) ([]byte, error) {
 			return nil, errors.New("usage: del <key>")
 		}
 		return kvs.Del(args[1]), nil
+	case "scan":
+		prefix, limit, err := parseScanArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		return kvs.Scan(prefix, limit), nil
 	default:
-		return nil, fmt.Errorf("unknown command %q", args[0])
+		return nil, fmt.Errorf("unknown kvs command %q", args[0])
 	}
 }
 
-func printResult(args []string, res *core.Result) error {
-	kv, err := kvs.DecodeResult(res.Value)
-	if err != nil {
-		return err
+func parseScanArgs(args []string) (prefix string, limit uint32, err error) {
+	if len(args) != 2 && len(args) != 3 {
+		return "", 0, errors.New("usage: scan <prefix> [limit]")
 	}
+	if len(args) == 3 {
+		n, err := strconv.ParseUint(args[2], 10, 32)
+		if err != nil {
+			return "", 0, fmt.Errorf("limit: %w", err)
+		}
+		limit = uint32(n)
+	}
+	return args[1], limit, nil
+}
+
+func parseTransferArgs(args []string) (from, to string, amount int64, err error) {
+	if len(args) != 4 {
+		return "", "", 0, errors.New("usage: transfer <from> <to> <amount>")
+	}
+	amount, err = strconv.ParseInt(args[3], 10, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("amount: %w", err)
+	}
+	return args[1], args[2], amount, nil
+}
+
+// sharderFor returns the routing/merge helper for the service.
+func sharderFor(svcName string) service.Sharder {
+	if svcName == "bank" {
+		return counter.New()
+	}
+	return kvs.New()
+}
+
+func printResult(svcName string, args []string, res *core.Result) error {
 	switch {
-	case args[0] == "get" && kv.Found:
-		fmt.Printf("%s\n", kv.Value)
-	case args[0] == "get":
-		fmt.Println("(not found)")
+	case svcName == "bank":
+		cr, err := counter.DecodeResult(res.Value)
+		if err != nil {
+			return err
+		}
+		if !cr.OK {
+			fmt.Printf("rejected (code %d), balance=%d\n", cr.Code, cr.Balance)
+		} else {
+			fmt.Printf("balance=%d\n", cr.Balance)
+		}
+	case args[0] == "scan":
+		if err := printScanEntries(res.Value); err != nil {
+			return err
+		}
 	default:
-		fmt.Println("ok")
+		kv, err := kvs.DecodeResult(res.Value)
+		if err != nil {
+			return err
+		}
+		switch {
+		case args[0] == "get" && kv.Found:
+			fmt.Printf("%s\n", kv.Value)
+		case args[0] == "get":
+			fmt.Println("(not found)")
+		default:
+			fmt.Println("ok")
+		}
 	}
 	fmt.Printf("seq=%d stable=%d (this op is %smajority-stable yet)\n",
 		res.Seq, res.Stable, stableWord(res))
 	return nil
 }
 
-func runSingle(conn transport.Conn, id uint32, kc aead.Key, statePath string, cfg client.Config, args []string) error {
+func printScanEntries(result []byte) error {
+	entries, err := kvs.DecodeScanResult(result)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("%s\t%s\n", e.Key, e.Value)
+	}
+	fmt.Printf("(%d entries)\n", len(entries))
+	return nil
+}
+
+func runSingle(conn transport.Conn, id uint32, kc aead.Key, svcName, statePath string, cfg client.Config, args []string) error {
 	var session *client.Session
 	if blob, err := os.ReadFile(statePath); err == nil {
 		state, err := core.DecodeClientState(blob)
@@ -201,25 +322,32 @@ func runSingle(conn transport.Conn, id uint32, kc aead.Key, statePath string, cf
 	}
 	defer session.Close()
 
-	op, err := parseOp(args)
+	saveState := func() error {
+		if err := os.WriteFile(statePath, session.State().Encode(), 0o600); err != nil {
+			return fmt.Errorf("persist client state: %w", err)
+		}
+		return nil
+	}
+
+	op, err := parseOp(svcName, args)
 	if err != nil {
 		return err
 	}
 	res, err := session.Do(op)
 	if err != nil {
+		// Persist even on failure: a timed-out op is pending, and the
+		// state file must record it so the next invocation Recovers
+		// instead of invoking from a stale context.
+		_ = saveState()
 		if errors.Is(err, core.ErrViolationDetected) {
 			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
 		}
 		return err
 	}
-	if err := printResult(args, res); err != nil {
+	if err := printResult(svcName, args, res); err != nil {
 		return err
 	}
-	blob := session.State().Encode()
-	if err := os.WriteFile(statePath, blob, 0o600); err != nil {
-		return fmt.Errorf("persist client state: %w", err)
-	}
-	return nil
+	return saveState()
 }
 
 // shardStatePath names the per-shard state file of a sharded client.
@@ -227,7 +355,11 @@ func shardStatePath(base string, shard int) string {
 	return fmt.Sprintf("%s.shard%d", base, shard)
 }
 
-func runSharded(conn transport.Conn, id uint32, keys []aead.Key, statePath string, cfg client.Config, args []string) error {
+// txJournalPath names the transfer-coordinator journal of a sharded
+// client.
+func txJournalPath(base string) string { return base + ".tx" }
+
+func runSharded(conn transport.Conn, id uint32, keys []aead.Key, svcName, statePath string, cfg client.Config, args []string) error {
 	shards := len(keys)
 	states := make([]*core.ClientState, shards)
 	resumable := true
@@ -247,10 +379,25 @@ func runSharded(conn transport.Conn, id uint32, keys []aead.Key, statePath strin
 	var session *client.ShardedSession
 	var err error
 	if resumable {
-		session, err = client.ResumeSharded(conn, states, keys, kvs.New(), cfg)
+		session, err = client.ResumeSharded(conn, states, keys, sharderFor(svcName), cfg)
 		if err != nil {
 			return err
 		}
+	} else {
+		session = client.NewSharded(conn, id, keys, sharderFor(svcName), cfg)
+	}
+	defer session.Close()
+
+	saveStates := func() error {
+		for i, state := range session.States() {
+			if err := os.WriteFile(shardStatePath(statePath, i), state.Encode(), 0o600); err != nil {
+				return fmt.Errorf("persist shard %d client state: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	if resumable {
 		for shard := range states {
 			if states[shard].Pending == nil {
 				continue
@@ -262,36 +409,162 @@ func runSharded(conn transport.Conn, id uint32, keys []aead.Key, statePath strin
 				return fmt.Errorf("recover pending operation on shard %d: %w", shard, rerr)
 			}
 		}
-	} else {
-		session = client.NewSharded(conn, id, keys, kvs.New(), cfg)
+		// Persist the recovered contexts right away: every protocol step
+		// from here on must find the on-disk states at least as new as
+		// anything already sent, or a later invocation would invoke from
+		// a stale context and be (correctly) flagged as an attack.
+		if err := saveStates(); err != nil {
+			return err
+		}
 	}
-	defer session.Close()
 
-	op, err := parseOp(args)
-	if err != nil {
-		return err
-	}
-	shard, err := session.ShardFor(op)
-	if err != nil {
-		return err
-	}
-	res, err := session.DoOn(shard, op)
-	if err != nil {
-		if errors.Is(err, core.ErrViolationDetected) {
-			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+	// A journaled in-flight transfer from a crashed invocation is resumed
+	// before anything else: its escrow must be settled or refunded, never
+	// forgotten. The journal hook persists the shard states before each
+	// phase record for the same stale-context reason as above.
+	if svcName == "bank" {
+		if err := resumeJournaledTransfer(session, statePath, saveStates); err != nil {
+			serr := saveStates()
+			if serr != nil {
+				return fmt.Errorf("%w (and persisting client state failed: %v)", err, serr)
+			}
+			return err
 		}
-		return err
 	}
-	fmt.Printf("routed to shard %d/%d\n", shard, shards)
-	if err := printResult(args, res); err != nil {
-		return err
-	}
-	for i, state := range session.States() {
-		if err := os.WriteFile(shardStatePath(statePath, i), state.Encode(), 0o600); err != nil {
-			return fmt.Errorf("persist shard %d client state: %w", i, err)
+
+	var res *core.Result
+	switch {
+	case svcName == "kvs" && args[0] == "scan":
+		prefix, limit, perr := parseScanArgs(args)
+		if perr != nil {
+			return perr
 		}
+		scan, serr := session.Scan(kvs.Scan(prefix, limit))
+		if serr != nil {
+			_ = saveStates() // shards that answered have advanced
+			var shardErr *client.ShardError
+			if errors.As(serr, &shardErr) {
+				return fmt.Errorf("scan failed on shard %d (other shards keep serving): %w", shardErr.Shard, serr)
+			}
+			return serr
+		}
+		fmt.Printf("scatter-gather scan across %d shards\n", shards)
+		if err := printScanEntries(scan.Merged); err != nil {
+			return err
+		}
+		for shard, r := range scan.Results {
+			fmt.Printf("  shard %d: seq=%d stable=%d\n", shard, r.Seq, r.Stable)
+		}
+		return saveStates()
+
+	case svcName == "bank" && args[0] == "transfer":
+		from, to, amount, perr := parseTransferArgs(args)
+		if perr != nil {
+			return perr
+		}
+		return runShardedTransfer(session, statePath, from, to, amount, saveStates)
+
+	default:
+		op, perr := parseOp(svcName, args)
+		if perr != nil {
+			return perr
+		}
+		shard, serr := session.ShardFor(op)
+		if serr != nil {
+			return serr
+		}
+		res, err = session.DoOn(shard, op)
+		if err != nil {
+			// Persist even on failure: a timed-out op is pending in the
+			// shard's context, and only a state file that records it lets
+			// the next invocation Recover instead of invoking from a
+			// stale context (which the enclave would flag as an attack).
+			_ = saveStates()
+			if errors.Is(err, core.ErrViolationDetected) {
+				return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+			}
+			return err
+		}
+		fmt.Printf("routed to shard %d/%d\n", shard, shards)
+	}
+	if err := printResult(svcName, args, res); err != nil {
+		return err
+	}
+	return saveStates()
+}
+
+// runShardedTransfer drives a (possibly cross-shard) transfer with the
+// coordinator journaled to disk after every phase, so a crash at any
+// point is resumable by the next invocation.
+func runShardedTransfer(session *client.ShardedSession, statePath, from, to string, amount int64, saveStates func() error) error {
+	tx, err := session.NewTransfer(from, to, amount)
+	if err != nil {
+		return err
+	}
+	journal := journalTo(txJournalPath(statePath), saveStates)
+	if err := journal(tx); err != nil {
+		return err
+	}
+	out, err := session.RunTransfer(tx, journal)
+	if serr := saveStates(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("transfer %s stopped in phase %d (rerun to resume): %w", tx.ID, tx.Phase, err)
+	}
+	_ = os.Remove(txJournalPath(statePath)) // completed: journal no longer needed
+	src, dst := session.TransferShards(tx)
+	if out.OK {
+		fmt.Printf("transferred %d from %s (shard %d) to %s (shard %d)\n", amount, from, src, to, dst)
+	} else {
+		fmt.Printf("transfer rejected (code %d)\n", out.Code)
 	}
 	return nil
+}
+
+// resumeJournaledTransfer finishes a transfer a crashed invocation left
+// in flight.
+func resumeJournaledTransfer(session *client.ShardedSession, statePath string, saveStates func() error) error {
+	blob, err := os.ReadFile(txJournalPath(statePath))
+	if os.IsNotExist(err) {
+		return nil // no journal: nothing in flight
+	}
+	if err != nil {
+		// A journal that exists but cannot be read must stop everything:
+		// proceeding could strand (or re-drive) an in-flight escrow.
+		return fmt.Errorf("read transfer journal: %w", err)
+	}
+	tx, err := client.DecodeTransfer(blob)
+	if err != nil {
+		return fmt.Errorf("corrupt transfer journal: %w", err)
+	}
+	if tx.Phase == client.TxSettled || tx.Phase == client.TxAborted {
+		return os.Remove(txJournalPath(statePath))
+	}
+	fmt.Printf("resuming journaled transfer %s (phase %d)\n", tx.ID, tx.Phase)
+	out, err := session.RunTransfer(tx, journalTo(txJournalPath(statePath), saveStates))
+	if serr := saveStates(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("resume transfer %s: %w", tx.ID, err)
+	}
+	fmt.Printf("journaled transfer %s resolved: ok=%v\n", tx.ID, out.OK)
+	return os.Remove(txJournalPath(statePath))
+}
+
+// journalTo persists coordinator state to path after each phase change —
+// the per-shard protocol states first (so no later invocation can ever
+// invoke from a context older than what was already sent; a stale
+// context would be flagged by the enclave as a rollback/forking attack),
+// then the coordinator phase record.
+func journalTo(path string, saveStates func() error) func(*client.Transfer) error {
+	return func(t *client.Transfer) error {
+		if err := saveStates(); err != nil {
+			return err
+		}
+		return os.WriteFile(path, t.Encode(), 0o600)
+	}
 }
 
 func stableWord(res *core.Result) string {

@@ -1,6 +1,10 @@
-// Command lcm-server runs an LCM-protected key-value store: a simulated
-// TEE platform hosting the trusted LCM context, the untrusted server
-// application with request batching, and file-backed stable storage.
+// Command lcm-server runs an LCM-protected service: a simulated TEE
+// platform hosting the trusted LCM context, the untrusted server
+// application with request batching, and file-backed stable storage. The
+// hosted functionality is selected with -service: the key-value store
+// (kvs, default) or the bank (bank — named accounts with transfers,
+// including the cross-shard escrow phases lcm-client's transfer verb
+// drives).
 //
 // On startup it prints the bootstrap material (platform registration and
 // the communication key) that lcm-client needs; in a real deployment the
@@ -9,7 +13,7 @@
 // Usage:
 //
 //	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
-//	           -clients 8 [-sync]
+//	           -clients 8 [-service kvs|bank] [-shards N] [-sync]
 package main
 
 import (
@@ -20,9 +24,11 @@ import (
 	"strings"
 
 	"lcm/internal/core"
+	"lcm/internal/counter"
 	"lcm/internal/host"
 	"lcm/internal/kvs"
 	"lcm/internal/latency"
+	"lcm/internal/service"
 	"lcm/internal/stablestore"
 	"lcm/internal/tee"
 	"lcm/internal/transport"
@@ -42,11 +48,22 @@ func run() error {
 		batch   = flag.Int("batch", 16, "request batch size (1 disables batching)")
 		clients = flag.Int("clients", 8, "client group size (ids 1..n)")
 		shards  = flag.Int("shards", 1, "keyspace shards (independent enclave instances)")
+		svcName = flag.String("service", "kvs", "hosted functionality: kvs | bank")
 		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
 		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
 	)
 	flag.Parse()
+
+	var factory service.Factory
+	switch *svcName {
+	case "kvs":
+		factory = kvs.Factory()
+	case "bank":
+		factory = counter.Factory()
+	default:
+		return fmt.Errorf("unknown -service %q (want kvs or bank)", *svcName)
+	}
 
 	model := latency.Scaled(*scale)
 	platform, err := tee.NewPlatform("lcm-server-platform", tee.WithLatencyModel(model))
@@ -64,8 +81,8 @@ func run() error {
 	server, err := host.New(host.Config{
 		Platform: platform,
 		Factory: core.NewTrustedFactory(core.TrustedConfig{
-			ServiceName: "kvs",
-			NewService:  kvs.Factory(),
+			ServiceName: *svcName,
+			NewService:  factory,
 			Attestation: attestation,
 		}),
 		Store:       store,
@@ -85,7 +102,7 @@ func run() error {
 	}
 	keyParts := make([]string, 0, server.Shards())
 	for shard := 0; shard < server.Shards(); shard++ {
-		admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+		admin := core.NewAdmin(attestation, core.ProgramIdentity(*svcName))
 		if err := admin.Bootstrap(server.ShardCall(shard), ids); err != nil {
 			return fmt.Errorf("bootstrap shard %d: %w", shard, err)
 		}
@@ -99,8 +116,8 @@ func run() error {
 	defer listener.Close()
 
 	fmt.Printf("lcm-server listening on %s\n", listener.Addr())
-	fmt.Printf("  service:   kvs (LCM-protected, shards=%d, batch=%d, sync=%v, groupcommit=%v)\n",
-		server.Shards(), *batch, *sync, *group)
+	fmt.Printf("  service:   %s (LCM-protected, shards=%d, batch=%d, sync=%v, groupcommit=%v)\n",
+		*svcName, server.Shards(), *batch, *sync, *group)
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
 	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
 	fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")

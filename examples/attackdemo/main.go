@@ -1,7 +1,7 @@
-// Attack demo: a malicious cloud provider mounts the rollback and forking
-// attacks of Sec. 2.3 against an enclave-hosted key-value store, first
-// against the unprotected SGX baseline (the attack succeeds silently),
-// then against LCM (the attack is detected).
+// Attack demo: a malicious cloud provider mounts the rollback and
+// forking attacks of Sec. 2.3 against an LCM-protected key-value store —
+// including forking one shard of a sharded deployment in the middle of a
+// cross-shard scatter-gather scan. Every attack is detected.
 //
 //	go run ./examples/attackdemo
 package main
@@ -13,7 +13,10 @@ import (
 	"time"
 
 	"lcm"
+	"lcm/internal/client"
 	"lcm/internal/host"
+	"lcm/internal/kvs"
+	"lcm/internal/service"
 	"lcm/internal/stablestore"
 	"lcm/internal/transport"
 )
@@ -32,7 +35,12 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Println("== Part 2: forking attack against LCM ==")
-	return forkingAttack()
+	if err := forkingAttack(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("== Part 3: mid-scan fork against a sharded deployment ==")
+	return midScanForkAttack()
 }
 
 // stack bundles one deployed LCM system under attacker control.
@@ -220,5 +228,137 @@ func forkingAttack() error {
 		fmt.Printf("bob's cross-partition op failed: %v\n", err)
 	}
 	fmt.Println("FORKING DETECTED ✓ (fork-linearizability: partitions can never be rejoined)")
+	return nil
+}
+
+// midScanForkAttack forks one shard of a 4-shard deployment while a
+// client runs scatter-gather scans across all of them: the scan fails —
+// identifying the forked shard — and the untouched shards keep serving.
+func midScanForkAttack() error {
+	const shards = 4
+	const victim = 2
+	platform, err := lcm.NewPlatform("evil-cloud")
+	if err != nil {
+		return err
+	}
+	attestation := lcm.NewAttestationService()
+	attestation.Register(platform)
+	server, err := lcm.NewServer(lcm.ServerConfig{
+		Platform: platform,
+		Factory: lcm.NewTrustedFactory(lcm.TrustedConfig{
+			ServiceName: "kvs",
+			NewService:  lcm.NewKVStoreFactory(),
+			Attestation: attestation,
+		}),
+		Store:     lcm.NewMemStore(),
+		Shards:    shards,
+		BatchSize: 1,
+	})
+	if err != nil {
+		return err
+	}
+	network := lcm.NewInmemNetwork()
+	listener, err := network.Listen("lcm")
+	if err != nil {
+		return err
+	}
+	go server.Serve(listener)
+	defer func() {
+		listener.Close()
+		server.Shutdown()
+	}()
+
+	// One admin bootstrap per shard: each shard is its own LCM instance.
+	keys := make([]lcm.Key, 0, shards)
+	for shard := 0; shard < shards; shard++ {
+		admin := lcm.NewAdmin(attestation, lcm.ProgramIdentity("kvs"))
+		if err := admin.Bootstrap(server.ShardCall(shard), []uint32{1, 2}); err != nil {
+			return fmt.Errorf("bootstrap shard %d: %w", shard, err)
+		}
+		keys = append(keys, admin.CommunicationKey())
+	}
+	dial := func(id uint32) (*lcm.ShardedSession, error) {
+		conn, err := network.Dial("lcm")
+		if err != nil {
+			return nil, err
+		}
+		return lcm.NewShardedSession(conn, id, keys, kvs.New(),
+			lcm.SessionConfig{Timeout: 5 * time.Second}), nil
+	}
+
+	// Honest phase: alice spreads records over all shards and scans them
+	// back in one scatter-gather fan-out.
+	alice, err := dial(1)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	for shard := 0; shard < shards; shard++ {
+		if _, err := alice.Do(kvs.Put(service.KeyOnShard(shard, shards, "inv"), "stocked")); err != nil {
+			return err
+		}
+	}
+	scan, err := alice.Scan(kvs.Scan("inv", 0))
+	if err != nil {
+		return err
+	}
+	entries, _ := kvs.DecodeScanResult(scan.Merged)
+	fmt.Printf("alice's scan: %d records, merged from %d shards — all verified\n",
+		len(entries), shards)
+
+	// The attack: the provider forks shard 2 and lets bob's traffic land
+	// on the fork, so bob's chain for that shard diverges.
+	if _, err := server.AttackFork(victim); err != nil {
+		return err
+	}
+	bob, err := dial(2)
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	if _, err := bob.Do(kvs.Put(service.KeyOnShard(victim, shards, "inv"), "fork-write")); err != nil {
+		return err
+	}
+	if _, err := alice.Do(kvs.Put(service.KeyOnShard(victim, shards, "inv2"), "primary-write")); err != nil {
+		return err
+	}
+	fmt.Printf("malicious host: forked shard %d; bob writes to the fork, alice to the primary\n", victim)
+
+	// Honest routing resumes; bob reconnects and scans. His context for
+	// the victim shard belongs to the fork partition — the scan's fan-out
+	// catches the mismatch at exactly that shard.
+	server.RouteNewConnsTo(victim)
+	conn, err := network.Dial("lcm")
+	if err != nil {
+		return err
+	}
+	bob2, err := lcm.ResumeShardedSession(conn, bob.States(), keys, kvs.New(),
+		lcm.SessionConfig{Timeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer bob2.Close()
+	_, err = bob2.Scan(kvs.Scan("inv", 0))
+	if err == nil {
+		return errors.New("mid-scan fork went UNDETECTED — this must not happen")
+	}
+	var shardErr *client.ShardError
+	if errors.As(err, &shardErr) {
+		fmt.Printf("bob's scan failed on shard %d: %v\n", shardErr.Shard, shardErr.Err)
+	} else {
+		fmt.Printf("bob's scan failed: %v\n", err)
+	}
+
+	// The blast radius is one shard: bob keeps operating on the others.
+	for shard := 0; shard < shards; shard++ {
+		if shard == victim {
+			continue
+		}
+		if _, err := bob2.Do(kvs.Put(service.KeyOnShard(shard, shards, "after"), "ok")); err != nil {
+			return fmt.Errorf("clean shard %d refused traffic: %w", shard, err)
+		}
+	}
+	fmt.Printf("other %d shards keep serving bob's session\n", shards-1)
+	fmt.Println("MID-SCAN FORK DETECTED ✓ (one poisoned shard poisons the scan, nothing else)")
 	return nil
 }

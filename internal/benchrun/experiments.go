@@ -20,6 +20,12 @@ type RunConfig struct {
 	Duration time.Duration
 	// Scale multiplies every injected latency (1.0 = full fidelity).
 	Scale float64
+	// SleepAll switches the latency model from spinning to sleeping for
+	// every charge (lcm-bench -latencymodel sleep): charged enclave time
+	// then overlaps across instances regardless of the host's core count,
+	// so shard scaling is measurable at small object sizes even on a
+	// single-core CI machine. See latency.Model.SleepAll.
+	SleepAll bool
 	// Clients overrides the client sweep of Figs. 5-6.
 	Clients []int
 	// Sizes overrides the object-size sweep of Fig. 4.
@@ -59,7 +65,11 @@ func (c RunConfig) fill() RunConfig {
 	return c
 }
 
-func (c RunConfig) model() *latency.Model { return latency.Scaled(c.Scale) }
+func (c RunConfig) model() *latency.Model {
+	m := latency.Scaled(c.Scale)
+	m.SleepAll = c.SleepAll
+	return m
+}
 
 // Point is one measured data point of a figure.
 type Point struct {

@@ -1,0 +1,332 @@
+package benchrun
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/client"
+	"lcm/internal/core"
+	"lcm/internal/counter"
+	"lcm/internal/host"
+	"lcm/internal/kvs"
+	"lcm/internal/service"
+	"lcm/internal/stablestore"
+	"lcm/internal/tee"
+	"lcm/internal/transport"
+)
+
+// RunScanAblation sweeps the shard count for the two cross-shard
+// scatter-gather operations (async writes, batch 1):
+//
+//   - prefix scans over the kvs — every scan fans out to all shards in
+//     one multi-shard frame and merges the sorted per-shard results, so
+//     unlike single-key traffic its per-operation cost grows with the
+//     shard count. The sweep quantifies that tax: scans pay for the
+//     fan-out, but concurrent scans still overlap across shards, so
+//     aggregate scan throughput degrades far slower than 1/N.
+//   - cross-shard transfers over the bank — each transfer is three
+//     single-shard escrow phases (prepare, credit, settle), i.e. 3×
+//     the INVOKEs of a local transfer, but the phases land on
+//     independent shards, so concurrent transfers scale with the shard
+//     count like ordinary traffic.
+//
+// Both workloads report aggregate ops/s; the transfer arm additionally
+// verifies conservation (Σ balances + Σ escrow unchanged) at teardown
+// and fails the run on any violation.
+func RunScanAblation(cfg RunConfig, shards, clients []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	if len(clients) == 0 {
+		clients = []int{8}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — cross-shard scatter-gather: prefix scans + escrow transfers vs shard count (async writes, batch 1)")
+	var points []AblationPoint
+	for _, n := range clients {
+		for _, sh := range shards {
+			scanPoint, err := measureScans(cfg, sh, n)
+			if err != nil {
+				return nil, fmt.Errorf("scan shards=%d clients=%d: %w", sh, n, err)
+			}
+			points = append(points, scanPoint)
+			fmt.Fprintf(cfg.Out, "%-18s clients=%-3d thr=%9.1f ops/s mean=%v\n",
+				scanPoint.Name, n, scanPoint.Throughput, scanPoint.MeanLat.Round(time.Microsecond))
+
+			xferPoint, err := measureTransfers(cfg, sh, n)
+			if err != nil {
+				return nil, fmt.Errorf("transfer shards=%d clients=%d: %w", sh, n, err)
+			}
+			points = append(points, xferPoint)
+			fmt.Fprintf(cfg.Out, "%-18s clients=%-3d thr=%9.1f ops/s mean=%v\n",
+				xferPoint.Name, n, xferPoint.Throughput, xferPoint.MeanLat.Round(time.Microsecond))
+		}
+	}
+	return points, nil
+}
+
+// measureScans deploys a sharded kvs, loads a prefixed keyspace and
+// drives concurrent scatter-gather scans for the measurement window.
+func measureScans(cfg RunConfig, shards, clients int) (AblationPoint, error) {
+	dep, err := Deploy(SysLCM, Options{
+		Model:   cfg.model(),
+		Dir:     cfg.Dir,
+		Clients: clients + 1,
+		Batch:   1,
+		Shards:  shards,
+	})
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	defer dep.Close()
+
+	// Load: a small prefixed keyspace (scans are O(matches), so the match
+	// count — not the store size — sets the op cost; 100 keys ≈ the
+	// paper's 100 B regime per shard once split N ways).
+	loader, err := dep.NewShardedSession(kvs.New())
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	const scanKeys = 100
+	for i := 0; i < scanKeys; i++ {
+		if _, err := loader.Do(kvs.Put(fmt.Sprintf("scan/%04d", i), "v")); err != nil {
+			return AblationPoint{}, err
+		}
+	}
+
+	sessions := make([]*client.ShardedSession, clients)
+	for i := range sessions {
+		if sessions[i], err = dep.NewShardedSession(kvs.New()); err != nil {
+			return AblationPoint{}, err
+		}
+	}
+	ops, totalLat, err := driveClients(sessions, cfg.Duration, func(s *client.ShardedSession) error {
+		res, err := s.Scan(kvs.Scan("scan/", 0))
+		if err != nil {
+			return err
+		}
+		entries, err := kvs.DecodeScanResult(res.Merged)
+		if err != nil {
+			return err
+		}
+		if len(entries) != scanKeys {
+			return fmt.Errorf("scan returned %d entries, want %d", len(entries), scanKeys)
+		}
+		return nil
+	})
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	return point(fmt.Sprintf("lcm-scan-shard%d", shards), clients, ops, totalLat, cfg.Duration), nil
+}
+
+// measureTransfers deploys a sharded bank, funds per-client accounts and
+// drives concurrent cross-shard escrow transfers, asserting conservation
+// at the end.
+func measureTransfers(cfg RunConfig, shards, clients int) (AblationPoint, error) {
+	dep, teardown, err := deployBank(cfg, shards, clients+1)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	defer teardown()
+
+	const seed = 1_000_000
+	sessions := make([]*client.ShardedSession, clients)
+	accounts := make([][2]string, clients)
+	funder := dep[0]
+	for i := range sessions {
+		sessions[i] = dep[i+1]
+		// Each client ping-pongs between two private accounts pinned to
+		// different shards (when shards > 1), so every transfer crosses.
+		a := service.KeyOnShard(0, shards, fmt.Sprintf("acct-a%d", i))
+		b := service.KeyOnShard(shards-1, shards, fmt.Sprintf("acct-b%d", i))
+		accounts[i] = [2]string{a, b}
+		if _, err := funder.Do(counter.Inc(a, seed)); err != nil {
+			return AblationPoint{}, err
+		}
+	}
+
+	dir := make([]int, clients)
+	ops, totalLat, err := driveClientsIndexed(sessions, cfg.Duration, func(i int, s *client.ShardedSession) error {
+		from, to := accounts[i][dir[i]], accounts[i][1-dir[i]]
+		dir[i] = 1 - dir[i]
+		tx, err := s.NewTransfer(from, to, 1)
+		if err != nil {
+			return err
+		}
+		out, err := s.RunTransfer(tx, nil)
+		if err != nil {
+			return err
+		}
+		if !out.OK {
+			return fmt.Errorf("transfer %s rejected with code %d", tx.ID, out.Code)
+		}
+		return nil
+	})
+	if err != nil {
+		return AblationPoint{}, err
+	}
+
+	// Conservation: all transfers ran to completion, so every escrow is
+	// settled and the balances still sum to the seeded total.
+	var total int64
+	for i := range accounts {
+		for _, acct := range accounts[i] {
+			res, err := funder.Do(counter.Read(acct))
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			cr, err := counter.DecodeResult(res.Value)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			total += cr.Balance
+		}
+	}
+	var escrow int64
+	for shard := 0; shard < shards; shard++ {
+		res, err := funder.DoOn(shard, counter.EscrowTotalOp())
+		if err != nil {
+			return AblationPoint{}, err
+		}
+		cr, err := counter.DecodeResult(res.Value)
+		if err != nil {
+			return AblationPoint{}, err
+		}
+		escrow += cr.Balance
+	}
+	if want := int64(seed) * int64(clients); total+escrow != want {
+		return AblationPoint{}, fmt.Errorf("conservation violated: balances %d + escrow %d != seeded %d", total, escrow, want)
+	}
+	return point(fmt.Sprintf("lcm-xfer-shard%d", shards), clients, ops, totalLat, cfg.Duration), nil
+}
+
+// driveClients runs op in a closed loop on every session for the window.
+func driveClients(sessions []*client.ShardedSession, window time.Duration, op func(*client.ShardedSession) error) (int64, time.Duration, error) {
+	return driveClientsIndexed(sessions, window, func(_ int, s *client.ShardedSession) error { return op(s) })
+}
+
+func driveClientsIndexed(sessions []*client.ShardedSession, window time.Duration, op func(int, *client.ShardedSession) error) (int64, time.Duration, error) {
+	var (
+		ops      atomic.Int64
+		latNanos atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	deadline := time.Now().Add(window)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *client.ShardedSession) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				if err := op(i, s); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				latNanos.Add(int64(time.Since(start)))
+				ops.Add(1)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	return ops.Load(), time.Duration(latNanos.Load()), nil
+}
+
+func point(name string, clients int, ops int64, totalLat time.Duration, window time.Duration) AblationPoint {
+	p := AblationPoint{Name: name, X: clients, Throughput: float64(ops) / window.Seconds()}
+	if ops > 0 {
+		p.MeanLat = totalLat / time.Duration(ops)
+	}
+	return p
+}
+
+// deployBank stands up a sharded LCM deployment over the bank service and
+// returns one connected sharded session per requested client (the first
+// is conventionally the funder/loader), plus a teardown func.
+func deployBank(cfg RunConfig, shards, clients int) ([]*client.ShardedSession, func(), error) {
+	model := cfg.model()
+	dir, err := os.MkdirTemp(cfg.Dir, "bank-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	var cleanup []func()
+	teardown := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	fail := func(err error) ([]*client.ShardedSession, func(), error) {
+		teardown()
+		return nil, nil, err
+	}
+
+	platform, err := tee.NewPlatform("bank-platform", tee.WithLatencyModel(model))
+	if err != nil {
+		return fail(err)
+	}
+	attestation := tee.NewAttestationService()
+	attestation.Register(platform)
+	store, err := stablestore.NewFileStore(dir, false, model)
+	if err != nil {
+		return fail(err)
+	}
+	srv, err := host.New(host.Config{
+		Platform: platform,
+		Factory: core.NewTrustedFactory(core.TrustedConfig{
+			ServiceName: "bank",
+			NewService:  counter.Factory(),
+			Attestation: attestation,
+		}),
+		Store:     store,
+		Shards:    shards,
+		BatchSize: 1,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	net := transport.NewInmemNetwork()
+	listener, err := net.Listen("server")
+	if err != nil {
+		return fail(err)
+	}
+	go srv.Serve(listener)
+	cleanup = append(cleanup, func() { listener.Close(); srv.Shutdown() })
+
+	ids := make([]uint32, clients)
+	for i := range ids {
+		ids[i] = uint32(i + 1)
+	}
+	keys := make([]aead.Key, 0, shards)
+	for shard := 0; shard < shards; shard++ {
+		admin := core.NewAdmin(attestation, core.ProgramIdentity("bank"))
+		if err := admin.Bootstrap(srv.ShardCall(shard), ids); err != nil {
+			return fail(fmt.Errorf("bootstrap shard %d: %w", shard, err))
+		}
+		keys = append(keys, admin.CommunicationKey())
+	}
+
+	sessions := make([]*client.ShardedSession, clients)
+	for i := range sessions {
+		conn, err := net.Dial("server")
+		if err != nil {
+			return fail(err)
+		}
+		sessions[i] = client.NewSharded(conn, ids[i], keys, counter.New(), client.Config{})
+		s := sessions[i]
+		cleanup = append(cleanup, func() { s.Close() })
+	}
+	return sessions, teardown, nil
+}

@@ -17,6 +17,7 @@ import (
 	"lcm/internal/host"
 	"lcm/internal/kvs"
 	"lcm/internal/latency"
+	"lcm/internal/service"
 	"lcm/internal/stablestore"
 	"lcm/internal/tee"
 	"lcm/internal/tmc"
@@ -195,6 +196,23 @@ func (d *Deployment) NewDB(int) (ycsb.DB, error) {
 		return nil, err
 	}
 	return &rttDB{session: session, model: d.model}, nil
+}
+
+// NewShardedSession opens a raw sharded client session against an LCM
+// deployment — the scatter-gather surface (Scan, RunTransfer) that the
+// baseline.Session adapter does not expose. The session is closed by
+// Close like any other.
+func (d *Deployment) NewShardedSession(sharder service.Sharder) (*client.ShardedSession, error) {
+	if !d.lcm {
+		return nil, fmt.Errorf("benchrun: %s is not an LCM deployment", d.system)
+	}
+	conn, err := d.net.Dial("server")
+	if err != nil {
+		return nil, err
+	}
+	sess := client.NewSharded(conn, d.nextID.Add(1), d.keys, sharder, client.Config{})
+	d.cleanup = append(d.cleanup, func() { sess.Close() })
+	return sess, nil
 }
 
 // NewSession opens one client session against the deployment. Sessions

@@ -30,9 +30,17 @@ import (
 	"lcm/internal/service"
 )
 
-// Event is one completed operation as observed by a client.
+// Event is one completed operation as observed by a client. In a sharded
+// deployment Shard identifies the LCM instance that executed it; each
+// shard is an independent protocol context with its own sequence space
+// and hash chain, so cross-shard validation (CheckSharded) stitches the
+// global history from per-shard sub-histories rather than interleaving
+// them. A scatter-gather scan contributes one event per shard — all with
+// the same operation bytes but each with that shard's local result,
+// sequence number and chain value.
 type Event struct {
 	Client uint32
+	Shard  int
 	Seq    uint64
 	Stable uint64
 	Op     []byte
@@ -92,10 +100,42 @@ func violation(rule, format string, args ...any) error {
 // Check validates the recorded events against fork-linearizability for the
 // functionality produced by newService. A nil return means the history is
 // fork-linearizable; tests combine it with detection assertions (either
-// every client is consistent, or someone detected the attack).
+// every client is consistent, or someone detected the attack). Events
+// from every shard are validated as one history — for multi-shard logs
+// use CheckSharded, which validates each shard's sub-history against its
+// own protocol context.
 func (l *Log) Check(newService service.Factory) error {
-	events := l.Events()
+	return checkEvents(l.Events(), newService)
+}
 
+// CheckSharded validates a multi-shard history: the events are split by
+// shard and each shard's sub-history must independently be
+// fork-linearizable. This is exactly LCM's guarantee for a sharded
+// deployment — each shard is its own trusted context with its own chain,
+// and nothing orders operations across shards. The per-shard events of
+// one scatter-gather scan are validated like any other operations: each
+// shard's replay reproduces that shard's partial scan result, so a shard
+// that served a scan from a forked or rolled-back state fails its
+// sub-history's check.
+func (l *Log) CheckSharded(newService service.Factory) error {
+	for shard, events := range l.eventsByShard() {
+		if err := checkEvents(events, newService); err != nil {
+			return fmt.Errorf("shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// eventsByShard groups the recorded events by executing shard.
+func (l *Log) eventsByShard() map[int][]Event {
+	byShard := make(map[int][]Event)
+	for _, e := range l.Events() {
+		byShard[e.Shard] = append(byShard[e.Shard], e)
+	}
+	return byShard
+}
+
+func checkEvents(events []Event, newService service.Factory) error {
 	byClient := make(map[uint32][]Event)
 	for _, e := range events {
 		byClient[e.Client] = append(byClient[e.Client], e)
@@ -197,7 +237,17 @@ func (l *Log) Check(newService service.Factory) error {
 // also enforces the no-join property that makes "ever disagree"
 // equivalent to "forked forever").
 func (l *Log) Forks() [][]uint32 {
-	events := l.Events()
+	return forksOf(l.Events())
+}
+
+// ShardForks is Forks restricted to the events one shard executed — how a
+// multi-shard test localises a forking attack: the attacked shard's
+// events split into several groups while every other shard's stay whole.
+func (l *Log) ShardForks(shard int) [][]uint32 {
+	return forksOf(l.eventsByShard()[shard])
+}
+
+func forksOf(events []Event) [][]uint32 {
 	byClient := make(map[uint32][]Event)
 	for _, e := range events {
 		byClient[e.Client] = append(byClient[e.Client], e)

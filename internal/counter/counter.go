@@ -8,6 +8,46 @@
 // Transfers make the service's consistency guarantees observable: under a
 // forking attack, two partitions can both spend the same balance — exactly
 // the class of violation fork-linearizability lets clients detect.
+//
+// # Cross-shard transfers (two-phase escrow)
+//
+// A sharded deployment partitions the accounts over independent LCM
+// instances, so a transfer whose source and target hash to different
+// shards cannot execute as one operation. The bank therefore also exposes
+// the per-shard halves of a client-coordinated two-phase escrow
+// (client.Transfer drives them):
+//
+//	PREPARE (source shard)  debit the source account into an escrow
+//	                        record keyed by the transfer id
+//	CREDIT  (target shard)  credit the target account, recording the
+//	                        transfer id so a re-issued credit is rejected
+//	                        as a duplicate instead of minting money
+//	SETTLE  (source shard)  burn the escrow record after a confirmed
+//	                        credit — the funds have left this shard
+//	ABORT   (source shard)  refund the escrow record to the source
+//	                        account (timeout / target-halt path)
+//
+// Each phase is an ordinary attested INVOKE on one shard, so rollback or
+// forking of either shard during a transfer is detected by that shard's
+// LCM chain like any other operation. Phases are idempotent per transfer
+// id: a coordinator that crashed mid-transfer re-drives the remaining
+// phases and every repeated phase returns its recorded outcome. Money is
+// conserved at every instant as
+//
+//	Σ balances + Σ escrowed amounts = const
+//
+// except in the window between CREDIT and SETTLE, where the amount is
+// counted on both shards until the coordinator burns the escrow; driving
+// every in-flight transfer to completion (settle or abort) restores
+// exact conservation, which the crash/restart fuzz asserts.
+//
+// Transaction records are retained forever: a settled/aborted source
+// record fences late phases for its id, and a credited target record is
+// what rejects a re-issued credit — dropping either would reopen a
+// double-spend/mint window, so pruning needs a distributed horizon
+// ("no coordinator can still retry ids older than X"), which this
+// package does not have. State, snapshots and EscrowTotal therefore
+// grow with the lifetime cross-shard transfer count (see ROADMAP).
 package counter
 
 import (
@@ -24,13 +64,57 @@ const (
 	opInc byte = iota + 1
 	opRead
 	opTransfer
+	opPrepare
+	opCredit
+	opSettle
+	opAbort
+	opEscrowTotal
 )
 
-// Result status codes.
+// Result status codes (exported as Result.Code).
 const (
-	statusOK byte = iota + 1
-	statusInsufficient
+	// StatusOK reports a completed operation.
+	StatusOK byte = iota + 1
+	// StatusInsufficient reports a transfer or prepare rejected because
+	// the source balance does not cover the amount.
+	StatusInsufficient
+	// StatusAborted reports a phase against a transfer id that was
+	// aborted: the escrow was (or will never be) refunded, so the
+	// coordinator must not credit.
+	StatusAborted
+	// StatusSettled reports an abort against a transfer that already
+	// settled — the credit happened, so the refund is refused.
+	StatusSettled
+	// StatusDuplicate reports a credit whose transfer id was already
+	// applied on this shard; the balance is unchanged (no double mint).
+	StatusDuplicate
+	// StatusUnknown reports a settle for a transfer id this shard never
+	// escrowed.
+	StatusUnknown
 )
+
+// Escrow transaction record states.
+const (
+	txEscrowed byte = iota + 1
+	txSettled
+	txAborted
+	txCredited
+)
+
+// txRecord tracks one transfer id's lifecycle on this shard: the escrow
+// held by a source shard, or the applied credit remembered by a target
+// shard for duplicate rejection.
+type txRecord struct {
+	State   byte
+	Account string // debited (source) or credited (target) account
+	Amount  int64
+}
+
+// srcKey and dstKey namespace transfer ids by role, so a transfer whose
+// source and target accounts happen to share a shard cannot collide with
+// itself.
+func srcKey(id string) string { return "src/" + id }
+func dstKey(id string) string { return "dst/" + id }
 
 // ErrMalformedOp reports an operation that does not decode.
 var ErrMalformedOp = errors.New("counter: malformed operation")
@@ -43,6 +127,8 @@ var ErrMalformedOp = errors.New("counter: malformed operation")
 type Bank struct {
 	accounts map[string]int64
 	dirty    map[string]struct{}
+	txs      map[string]txRecord
+	dirtyTx  map[string]struct{}
 }
 
 var (
@@ -53,7 +139,12 @@ var (
 
 // New returns an empty bank.
 func New() *Bank {
-	return &Bank{accounts: make(map[string]int64), dirty: make(map[string]struct{})}
+	return &Bank{
+		accounts: make(map[string]int64),
+		dirty:    make(map[string]struct{}),
+		txs:      make(map[string]txRecord),
+		dirtyTx:  make(map[string]struct{}),
+	}
 }
 
 // Factory returns a service.Factory producing empty banks.
@@ -76,14 +167,14 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 		}
 		b.accounts[name] += delta
 		b.dirty[name] = struct{}{}
-		return encodeBalance(statusOK, b.accounts[name]), nil
+		return encodeBalance(StatusOK, b.accounts[name]), nil
 
 	case opRead:
 		name := string(r.Var())
 		if err := r.Done(); err != nil {
 			return nil, fmt.Errorf("%w: read: %v", ErrMalformedOp, err)
 		}
-		return encodeBalance(statusOK, b.accounts[name]), nil
+		return encodeBalance(StatusOK, b.accounts[name]), nil
 
 	case opTransfer:
 		from := string(r.Var())
@@ -93,17 +184,167 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 			return nil, fmt.Errorf("%w: transfer: %v", ErrMalformedOp, err)
 		}
 		if amount < 0 || b.accounts[from] < amount {
-			return encodeBalance(statusInsufficient, b.accounts[from]), nil
+			return encodeBalance(StatusInsufficient, b.accounts[from]), nil
 		}
 		b.accounts[from] -= amount
 		b.accounts[to] += amount
 		b.dirty[from] = struct{}{}
 		b.dirty[to] = struct{}{}
-		return encodeBalance(statusOK, b.accounts[from]), nil
+		return encodeBalance(StatusOK, b.accounts[from]), nil
+
+	case opPrepare:
+		id := string(r.Var())
+		from := string(r.Var())
+		amount := int64(r.U64())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: prepare: %v", ErrMalformedOp, err)
+		}
+		return b.prepare(id, from, amount), nil
+
+	case opCredit:
+		id := string(r.Var())
+		to := string(r.Var())
+		amount := int64(r.U64())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: credit: %v", ErrMalformedOp, err)
+		}
+		return b.credit(id, to, amount), nil
+
+	case opSettle:
+		id := string(r.Var())
+		r.Var() // source account, carried for client-side routing only
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: settle: %v", ErrMalformedOp, err)
+		}
+		return b.settle(id), nil
+
+	case opAbort:
+		id := string(r.Var())
+		r.Var() // source account, carried for client-side routing only
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: abort: %v", ErrMalformedOp, err)
+		}
+		return b.abort(id), nil
+
+	case opEscrowTotal:
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: escrowtotal: %v", ErrMalformedOp, err)
+		}
+		return encodeBalance(StatusOK, b.EscrowTotal()), nil
 
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrMalformedOp, op[0])
 	}
+}
+
+// prepare debits the source account into an escrow record. Repeats for a
+// known transfer id return the recorded outcome instead of debiting again.
+func (b *Bank) prepare(id, from string, amount int64) []byte {
+	key := srcKey(id)
+	if rec, ok := b.txs[key]; ok {
+		switch rec.State {
+		case txEscrowed, txSettled:
+			return encodeBalance(StatusOK, b.accounts[rec.Account])
+		default: // txAborted
+			return encodeBalance(StatusAborted, b.accounts[from])
+		}
+	}
+	if amount < 0 || b.accounts[from] < amount {
+		return encodeBalance(StatusInsufficient, b.accounts[from])
+	}
+	b.accounts[from] -= amount
+	b.dirty[from] = struct{}{}
+	b.txs[key] = txRecord{State: txEscrowed, Account: from, Amount: amount}
+	b.dirtyTx[key] = struct{}{}
+	return encodeBalance(StatusOK, b.accounts[from])
+}
+
+// credit applies the target-shard half of a transfer exactly once per
+// transfer id: a re-issued credit (a coordinator that lost its journal
+// after the first one) is answered with StatusDuplicate and mints nothing.
+func (b *Bank) credit(id, to string, amount int64) []byte {
+	key := dstKey(id)
+	if _, ok := b.txs[key]; ok {
+		return encodeBalance(StatusDuplicate, b.accounts[to])
+	}
+	if amount < 0 {
+		return encodeBalance(StatusInsufficient, b.accounts[to])
+	}
+	b.accounts[to] += amount
+	b.dirty[to] = struct{}{}
+	b.txs[key] = txRecord{State: txCredited, Account: to, Amount: amount}
+	b.dirtyTx[key] = struct{}{}
+	return encodeBalance(StatusOK, b.accounts[to])
+}
+
+// settle burns an escrow record after the coordinator confirmed the
+// credit: the funds have permanently left this shard.
+func (b *Bank) settle(id string) []byte {
+	key := srcKey(id)
+	rec, ok := b.txs[key]
+	if !ok {
+		return encodeBalance(StatusUnknown, 0)
+	}
+	switch rec.State {
+	case txEscrowed:
+		rec.State = txSettled
+		b.txs[key] = rec
+		b.dirtyTx[key] = struct{}{}
+		return encodeBalance(StatusOK, b.accounts[rec.Account])
+	case txSettled:
+		return encodeBalance(StatusOK, b.accounts[rec.Account])
+	default: // txAborted: the escrow was refunded; the credit must not stand
+		return encodeBalance(StatusAborted, b.accounts[rec.Account])
+	}
+}
+
+// abort refunds an escrow record to its source account. Aborting an
+// unknown id records a tombstone so a delayed prepare for it cannot
+// resurrect the transfer; aborting a settled transfer is refused (the
+// credit already happened — refunding too would mint money).
+func (b *Bank) abort(id string) []byte {
+	key := srcKey(id)
+	rec, ok := b.txs[key]
+	if !ok {
+		b.txs[key] = txRecord{State: txAborted}
+		b.dirtyTx[key] = struct{}{}
+		return encodeBalance(StatusOK, 0)
+	}
+	switch rec.State {
+	case txEscrowed:
+		b.accounts[rec.Account] += rec.Amount
+		b.dirty[rec.Account] = struct{}{}
+		rec.State = txAborted
+		b.txs[key] = rec
+		b.dirtyTx[key] = struct{}{}
+		return encodeBalance(StatusOK, b.accounts[rec.Account])
+	case txAborted:
+		return encodeBalance(StatusOK, b.accounts[rec.Account])
+	default: // txSettled
+		return encodeBalance(StatusSettled, b.accounts[rec.Account])
+	}
+}
+
+// EscrowTotal sums the amounts currently held in escrow (prepared but not
+// yet settled or aborted) on this shard — the in-flight funds that the
+// conservation invariant Σ balances + Σ escrow accounts for.
+func (b *Bank) EscrowTotal() int64 {
+	var total int64
+	for _, rec := range b.txs {
+		if rec.State == txEscrowed {
+			total += rec.Amount
+		}
+	}
+	return total
+}
+
+// TotalBalance sums every account balance on this shard.
+func (b *Bank) TotalBalance() int64 {
+	var total int64
+	for _, v := range b.accounts {
+		total += v
+	}
+	return total
 }
 
 func encodeBalance(status byte, balance int64) []byte {
@@ -113,22 +354,53 @@ func encodeBalance(status byte, balance int64) []byte {
 	return w.Bytes()
 }
 
-// Snapshot implements service.Service with a deterministic encoding.
-func (b *Bank) Snapshot() ([]byte, error) {
-	names := make([]string, 0, len(b.accounts))
-	for n := range b.accounts {
-		names = append(names, n)
+// encodeTxRecord appends one transaction record (keyed) to w.
+func encodeTxRecord(w *wire.Writer, key string, rec txRecord) {
+	w.Var([]byte(key))
+	w.U8(rec.State)
+	w.Var([]byte(rec.Account))
+	w.U64(uint64(rec.Amount))
+}
+
+// decodeTxRecord reads one keyed transaction record.
+func decodeTxRecord(r *wire.Reader) (string, txRecord) {
+	key := string(r.Var())
+	rec := txRecord{State: r.U8(), Account: string(r.Var())}
+	rec.Amount = int64(r.U64())
+	return key, rec
+}
+
+// sortedKeys returns the keys of a string-keyed map in sorted order, for
+// the deterministic encodings every sealed blob requires.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	sort.Strings(names)
-	w := wire.NewWriter(8 + len(names)*24)
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot implements service.Service with a deterministic encoding:
+// the sorted account balances followed by the sorted escrow/credit
+// transaction records.
+func (b *Bank) Snapshot() ([]byte, error) {
+	names := sortedKeys(b.accounts)
+	w := wire.NewWriter(16 + len(names)*24 + len(b.txs)*40)
 	w.U32(uint32(len(names)))
 	for _, n := range names {
 		w.Var([]byte(n))
 		w.U64(uint64(b.accounts[n]))
 	}
-	// A snapshot captures every pending change, so the dirty set restarts
+	txKeys := sortedKeys(b.txs)
+	w.U32(uint32(len(txKeys)))
+	for _, k := range txKeys {
+		encodeTxRecord(w, k, b.txs[k])
+	}
+	// A snapshot captures every pending change, so the dirty sets restart
 	// empty (the DeltaService contract).
 	clear(b.dirty)
+	clear(b.dirtyTx)
 	return w.Bytes(), nil
 }
 
@@ -141,32 +413,42 @@ func (b *Bank) Restore(snapshot []byte) error {
 		name := string(r.Var())
 		accounts[name] = int64(r.U64())
 	}
+	ntx := r.U32()
+	txs := make(map[string]txRecord, ntx)
+	for i := uint32(0); i < ntx; i++ {
+		key, rec := decodeTxRecord(r)
+		txs[key] = rec
+	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("counter: restore: %w", err)
 	}
 	b.accounts = accounts
+	b.txs = txs
 	b.dirty = make(map[string]struct{})
+	b.dirtyTx = make(map[string]struct{})
 	return nil
 }
 
 // Delta implements service.DeltaService: it serializes the balances of
-// every account touched since the last Delta or Snapshot (sorted, so
-// identical change sets encode identically) and resets the tracking.
-// Accounts are never deleted, so a delta is a plain set of (name, balance)
-// assignments.
+// every account and the full record of every transaction touched since
+// the last Delta or Snapshot (sorted, so identical change sets encode
+// identically) and resets the tracking. Accounts and transaction records
+// are never deleted, so a delta is a plain set of assignments.
 func (b *Bank) Delta() ([]byte, error) {
-	names := make([]string, 0, len(b.dirty))
-	for n := range b.dirty {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	w := wire.NewWriter(8 + len(names)*24)
+	names := sortedKeys(b.dirty)
+	w := wire.NewWriter(16 + len(names)*24 + len(b.dirtyTx)*40)
 	w.U32(uint32(len(names)))
 	for _, n := range names {
 		w.Var([]byte(n))
 		w.U64(uint64(b.accounts[n]))
 	}
+	txKeys := sortedKeys(b.dirtyTx)
+	w.U32(uint32(len(txKeys)))
+	for _, k := range txKeys {
+		encodeTxRecord(w, k, b.txs[k])
+	}
 	clear(b.dirty)
+	clear(b.dirtyTx)
 	return w.Bytes(), nil
 }
 
@@ -182,6 +464,14 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 		}
 		b.accounts[name] = balance
 	}
+	ntx := r.U32()
+	for i := uint32(0); i < ntx; i++ {
+		key, rec := decodeTxRecord(r)
+		if r.Err() != nil {
+			break
+		}
+		b.txs[key] = rec
+	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("counter: apply delta: %w", err)
 	}
@@ -190,7 +480,9 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 
 // ShardKeys implements service.Sharder: increments and reads address one
 // account; a transfer touches two, so it is only shardable when both land
-// on the same shard (service.ShardOf enforces that).
+// on the same shard (service.ShardOf enforces that — cross-shard pairs go
+// through the escrow phases instead). Each escrow phase addresses exactly
+// one account: prepare/settle/abort the source, credit the target.
 func (b *Bank) ShardKeys(op []byte) []string {
 	if len(op) == 0 {
 		return nil
@@ -210,6 +502,13 @@ func (b *Bank) ShardKeys(op []byte) []string {
 			return nil
 		}
 		return []string{from, to}
+	case opPrepare, opCredit, opSettle, opAbort:
+		r.Var() // transfer id
+		account := string(r.Var())
+		if r.Err() != nil {
+			return nil
+		}
+		return []string{account}
 	default:
 		return nil
 	}
@@ -220,6 +519,9 @@ func (b *Bank) Footprint() int64 {
 	var total int64
 	for n := range b.accounts {
 		total += int64(len(n)) + 8 + 48
+	}
+	for k, rec := range b.txs {
+		total += int64(len(k)+len(rec.Account)) + 9 + 48
 	}
 	return total
 }
@@ -254,9 +556,60 @@ func Transfer(from, to string, amount int64) []byte {
 	return w.Bytes()
 }
 
+// Prepare encodes the source-shard escrow phase of a cross-shard transfer:
+// debit from into an escrow record keyed by the transfer id.
+func Prepare(id, from string, amount int64) []byte {
+	w := wire.NewWriter(21 + len(id) + len(from))
+	w.U8(opPrepare)
+	w.Var([]byte(id))
+	w.Var([]byte(from))
+	w.U64(uint64(amount))
+	return w.Bytes()
+}
+
+// Credit encodes the target-shard phase: credit to, exactly once per
+// transfer id.
+func Credit(id, to string, amount int64) []byte {
+	w := wire.NewWriter(21 + len(id) + len(to))
+	w.U8(opCredit)
+	w.Var([]byte(id))
+	w.Var([]byte(to))
+	w.U64(uint64(amount))
+	return w.Bytes()
+}
+
+// Settle encodes the escrow burn after a confirmed credit. from is the
+// source account, carried so the operation routes to the source shard.
+func Settle(id, from string) []byte {
+	w := wire.NewWriter(9 + len(id) + len(from))
+	w.U8(opSettle)
+	w.Var([]byte(id))
+	w.Var([]byte(from))
+	return w.Bytes()
+}
+
+// Abort encodes the escrow refund (the timeout / target-halt path). from
+// is the source account, carried so the operation routes to the source
+// shard.
+func Abort(id, from string) []byte {
+	w := wire.NewWriter(9 + len(id) + len(from))
+	w.U8(opAbort)
+	w.Var([]byte(id))
+	w.Var([]byte(from))
+	return w.Bytes()
+}
+
+// EscrowTotalOp encodes a read of this shard's escrowed total (funds
+// prepared but not yet settled or aborted). It addresses no account, so a
+// sharded client must target it with DoOn.
+func EscrowTotalOp() []byte {
+	return []byte{opEscrowTotal}
+}
+
 // Result is a decoded counter result.
 type Result struct {
-	OK      bool  // false: transfer rejected for insufficient funds
+	OK      bool  // Code == StatusOK
+	Code    byte  // one of the Status* codes
 	Balance int64 // resulting (or current) balance of the primary account
 }
 
@@ -269,10 +622,8 @@ func DecodeResult(b []byte) (Result, error) {
 		return Result{}, fmt.Errorf("counter: decode result: %w", err)
 	}
 	switch status {
-	case statusOK:
-		return Result{OK: true, Balance: balance}, nil
-	case statusInsufficient:
-		return Result{OK: false, Balance: balance}, nil
+	case StatusOK, StatusInsufficient, StatusAborted, StatusSettled, StatusDuplicate, StatusUnknown:
+		return Result{OK: status == StatusOK, Code: status, Balance: balance}, nil
 	default:
 		return Result{}, fmt.Errorf("counter: unknown status %d", status)
 	}

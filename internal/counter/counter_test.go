@@ -175,7 +175,7 @@ func TestDeltaTracksTouchedAccounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d) != 4 { // empty delta: just the count header
+	if len(d) != 8 { // empty delta: just the account + tx count headers
 		t.Fatalf("delta after snapshot = %d bytes, want empty", len(d))
 	}
 
@@ -206,7 +206,7 @@ func TestDeltaTracksTouchedAccounts(t *testing.T) {
 
 	// Delta cleared its tracking: the next one is empty again.
 	d2, _ := b.Delta()
-	if len(d2) != 4 {
+	if len(d2) != 8 {
 		t.Fatalf("second delta = %d bytes, want empty", len(d2))
 	}
 }

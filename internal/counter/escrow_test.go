@@ -1,0 +1,223 @@
+package counter
+
+import (
+	"testing"
+)
+
+func apply(t *testing.T, b *Bank, op []byte) Result {
+	t.Helper()
+	raw, err := b.Apply(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// conserved returns Σ balances + Σ escrowed for one bank.
+func conserved(b *Bank) int64 { return b.TotalBalance() + b.EscrowTotal() }
+
+// The happy path: prepare moves funds to escrow, credit mints on the
+// target, settle burns the escrow — and the two shards together conserve
+// the total outside the credit→settle window.
+func TestEscrowTransferLifecycle(t *testing.T) {
+	src, dst := New(), New()
+	apply(t, src, Inc("a", 100))
+
+	if res := apply(t, src, Prepare("t1", "a", 30)); !res.OK || res.Balance != 70 {
+		t.Fatalf("prepare = %+v", res)
+	}
+	if got := src.EscrowTotal(); got != 30 {
+		t.Fatalf("escrow after prepare = %d, want 30", got)
+	}
+	if got := conserved(src); got != 100 {
+		t.Fatalf("source conservation after prepare = %d, want 100", got)
+	}
+
+	if res := apply(t, dst, Credit("t1", "b", 30)); !res.OK || res.Balance != 30 {
+		t.Fatalf("credit = %+v", res)
+	}
+	if res := apply(t, src, Settle("t1", "a")); !res.OK {
+		t.Fatalf("settle = %+v", res)
+	}
+	if got := src.EscrowTotal(); got != 0 {
+		t.Fatalf("escrow after settle = %d, want 0", got)
+	}
+	if total := conserved(src) + conserved(dst); total != 100 {
+		t.Fatalf("global total = %d, want 100", total)
+	}
+}
+
+// Every phase is idempotent per transfer id — the retried phases of a
+// resumed coordinator must not move money twice.
+func TestEscrowPhasesIdempotent(t *testing.T) {
+	src, dst := New(), New()
+	apply(t, src, Inc("a", 100))
+
+	apply(t, src, Prepare("t1", "a", 30))
+	if res := apply(t, src, Prepare("t1", "a", 30)); !res.OK || res.Balance != 70 {
+		t.Fatalf("repeated prepare = %+v", res)
+	}
+	if got := src.EscrowTotal(); got != 30 {
+		t.Fatalf("escrow after double prepare = %d, want 30", got)
+	}
+
+	apply(t, dst, Credit("t1", "b", 30))
+	if res := apply(t, dst, Credit("t1", "b", 30)); res.Code != StatusDuplicate {
+		t.Fatalf("duplicate credit code = %d, want StatusDuplicate", res.Code)
+	}
+	if got := dst.TotalBalance(); got != 30 {
+		t.Fatalf("target after duplicate credit = %d, want 30 (no double mint)", got)
+	}
+
+	apply(t, src, Settle("t1", "a"))
+	if res := apply(t, src, Settle("t1", "a")); !res.OK {
+		t.Fatalf("repeated settle = %+v", res)
+	}
+	if got := conserved(src) + conserved(dst); got != 100 {
+		t.Fatalf("total = %d, want 100", got)
+	}
+}
+
+// Abort refunds the escrow exactly once, and the ordering conflicts are
+// refused: abort-after-settle (money already left) and
+// settle-after-abort (money already refunded).
+func TestEscrowAbortRefundsOnce(t *testing.T) {
+	b := New()
+	apply(t, b, Inc("a", 100))
+	apply(t, b, Prepare("t1", "a", 30))
+
+	if res := apply(t, b, Abort("t1", "a")); !res.OK || res.Balance != 100 {
+		t.Fatalf("abort = %+v", res)
+	}
+	if res := apply(t, b, Abort("t1", "a")); !res.OK {
+		t.Fatalf("repeated abort = %+v", res)
+	}
+	if got := b.TotalBalance(); got != 100 {
+		t.Fatalf("balance after double abort = %d, want 100", got)
+	}
+	if got := b.EscrowTotal(); got != 0 {
+		t.Fatalf("escrow after abort = %d", got)
+	}
+	// A late prepare for the aborted id must not re-debit.
+	if res := apply(t, b, Prepare("t1", "a", 30)); res.Code != StatusAborted {
+		t.Fatalf("late prepare code = %d, want StatusAborted", res.Code)
+	}
+	// And settle of the aborted id is refused.
+	if res := apply(t, b, Settle("t1", "a")); res.Code != StatusAborted {
+		t.Fatalf("settle after abort code = %d, want StatusAborted", res.Code)
+	}
+
+	// Conversely: abort after settle is refused.
+	apply(t, b, Prepare("t2", "a", 10))
+	apply(t, b, Settle("t2", "a"))
+	if res := apply(t, b, Abort("t2", "a")); res.Code != StatusSettled {
+		t.Fatalf("abort after settle code = %d, want StatusSettled", res.Code)
+	}
+	if got := b.TotalBalance(); got != 90 {
+		t.Fatalf("balance = %d, want 90 (t2's 10 left the shard)", got)
+	}
+}
+
+// Aborting an id that never prepared tombstones it.
+func TestEscrowAbortTombstonesUnknownID(t *testing.T) {
+	b := New()
+	apply(t, b, Inc("a", 50))
+	if res := apply(t, b, Abort("ghost", "a")); !res.OK {
+		t.Fatalf("abort unknown = %+v", res)
+	}
+	if res := apply(t, b, Prepare("ghost", "a", 10)); res.Code != StatusAborted {
+		t.Fatalf("prepare after tombstone code = %d, want StatusAborted", res.Code)
+	}
+	if got := b.TotalBalance(); got != 50 {
+		t.Fatalf("balance = %d, want 50", got)
+	}
+}
+
+// An underfunded prepare is rejected without touching state.
+func TestEscrowPrepareInsufficient(t *testing.T) {
+	b := New()
+	apply(t, b, Inc("a", 10))
+	if res := apply(t, b, Prepare("t1", "a", 11)); res.Code != StatusInsufficient {
+		t.Fatalf("prepare = %+v", res)
+	}
+	if got, esc := b.TotalBalance(), b.EscrowTotal(); got != 10 || esc != 0 {
+		t.Fatalf("after rejected prepare: balance %d escrow %d", got, esc)
+	}
+	// The id was not consumed: a properly funded prepare may reuse it.
+	if res := apply(t, b, Prepare("t1", "a", 5)); !res.OK {
+		t.Fatalf("refunded prepare = %+v", res)
+	}
+}
+
+// Escrow state survives the snapshot/restore and delta cycles like any
+// other service state — a restart must not forget an escrow (lost money)
+// or an applied credit (double mint on re-credit).
+func TestEscrowStateSurvivesPersistence(t *testing.T) {
+	b := New()
+	apply(t, b, Inc("a", 100))
+	apply(t, b, Prepare("t1", "a", 30))
+	apply(t, b, Credit("in9", "a", 5))
+
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.EscrowTotal(); got != 30 {
+		t.Fatalf("escrow after restore = %d, want 30", got)
+	}
+	if res := apply(t, restored, Credit("in9", "a", 5)); res.Code != StatusDuplicate {
+		t.Fatalf("re-credit after restore code = %d, want StatusDuplicate", res.Code)
+	}
+
+	// Delta path: escrow mutations ride the delta like balances do.
+	base := New()
+	if err := base.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	apply(t, b, Abort("t1", "a"))
+	delta, err := b.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.EscrowTotal(); got != 0 {
+		t.Fatalf("escrow after delta fold = %d, want 0", got)
+	}
+	if res := apply(t, base, Read("a")); res.Balance != 105 {
+		t.Fatalf("balance after delta fold = %d, want 105", res.Balance)
+	}
+}
+
+// The escrow ops route by their embedded account: prepare/settle/abort to
+// the source's shard, credit to the target's.
+func TestEscrowShardKeys(t *testing.T) {
+	b := New()
+	cases := []struct {
+		op   []byte
+		want string
+	}{
+		{Prepare("t1", "src", 5), "src"},
+		{Credit("t1", "dst", 5), "dst"},
+		{Settle("t1", "src"), "src"},
+		{Abort("t1", "src"), "src"},
+	}
+	for i, c := range cases {
+		keys := b.ShardKeys(c.op)
+		if len(keys) != 1 || keys[0] != c.want {
+			t.Fatalf("case %d: ShardKeys = %v, want [%s]", i, keys, c.want)
+		}
+	}
+	if keys := b.ShardKeys(EscrowTotalOp()); keys != nil {
+		t.Fatalf("EscrowTotalOp shard keys = %v, want none", keys)
+	}
+}

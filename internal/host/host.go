@@ -97,10 +97,55 @@ type Config struct {
 // a burst cannot defer durability (and replies) indefinitely.
 const maxCommitGroup = 64
 
-// request is one queued invoke awaiting its batch.
+// request is one queued invoke awaiting its batch. Its response goes
+// directly to the connection, or — for one part of a multi-shard
+// scatter-gather request — into the request's gather, which sends the
+// combined response once every part has answered.
 type request struct {
 	conn   *connState
+	gather *gather // nil for plain invokes
+	part   int     // index within the gather
 	invoke []byte
+}
+
+// respond delivers one response frame (OKFrame or ErrorFrame) for this
+// request through whichever path it arrived on.
+func (r request) respond(frame []byte) {
+	if r.gather != nil {
+		r.gather.set(r.part, frame)
+		return
+	}
+	_ = r.conn.send(frame)
+}
+
+// gather accumulates the per-part response frames of one FrameMultiInvoke
+// request. Parts complete independently on their shards' batch loops (and
+// committers); the combined response is sent exactly once, when the last
+// part lands. A slow or halted shard therefore delays only its own
+// requests' gathers, never another connection's traffic.
+type gather struct {
+	conn      *connState
+	mu        sync.Mutex
+	parts     [][]byte
+	remaining int
+}
+
+func newGather(conn *connState, n int) *gather {
+	return &gather{conn: conn, parts: make([][]byte, n), remaining: n}
+}
+
+func (g *gather) set(i int, frame []byte) {
+	g.mu.Lock()
+	done := false
+	if i >= 0 && i < len(g.parts) && g.parts[i] == nil {
+		g.parts[i] = frame
+		g.remaining--
+		done = g.remaining == 0
+	}
+	g.mu.Unlock()
+	if done {
+		_ = g.conn.send(wire.OKFrame(wire.EncodeMultiResponse(g.parts)))
+	}
 }
 
 type connState struct {
@@ -412,6 +457,36 @@ func (s *Server) connLoop(cs *connState) {
 			case <-s.stop:
 				return
 			}
+		case wire.FrameMultiInvoke:
+			// Scatter: each part joins its shard's batch queue like a
+			// plain invoke; the gather sends one combined response when
+			// every shard has answered. Routing (including fork
+			// overrides) is per part, exactly as for single invokes.
+			parts, err := wire.DecodeMultiShardParts(payload)
+			if err == nil && len(parts) == 0 {
+				err = errors.New("host: empty multi-shard frame")
+			}
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			g := newGather(cs, len(parts))
+			for i, p := range parts {
+				if p.Shard >= len(cs.routes) {
+					g.set(i, wire.ErrorFrame(fmt.Errorf("host: shard %d out of range (%d shards)", p.Shard, len(cs.routes))))
+					continue
+				}
+				inst := s.instanceAt(cs.routes[p.Shard])
+				if inst == nil {
+					g.set(i, wire.ErrorFrame(fmt.Errorf("host: no enclave instance for shard %d", p.Shard)))
+					continue
+				}
+				select {
+				case inst.queue <- request{conn: cs, gather: g, part: i, invoke: p.Payload}:
+				case <-s.stop:
+					return
+				}
+			}
 		case wire.FrameECall:
 			// Ecalls (status, admin, migration) act as persistence
 			// barriers: queued batch results become durable first.
@@ -487,14 +562,14 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 	wire.PutWriter(w)
 	if err != nil {
 		for _, req := range batch {
-			_ = req.conn.send(wire.ErrorFrame(err))
+			req.respond(wire.ErrorFrame(err))
 		}
 		return
 	}
 	result, err := core.DecodeBatchResult(resp)
 	if err != nil || len(result.Replies) != len(batch) {
 		for _, req := range batch {
-			_ = req.conn.send(wire.ErrorFrame(errors.New("host: malformed enclave response")))
+			req.respond(wire.ErrorFrame(errors.New("host: malformed enclave response")))
 		}
 		return
 	}
@@ -506,7 +581,7 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 			// from disk and the clients converge via retries.
 			_ = inst.enclave.Restart()
 			for _, req := range batch {
-				_ = req.conn.send(wire.ErrorFrame(errors.New("host: enclave restarted during batch; retry")))
+				req.respond(wire.ErrorFrame(errors.New("host: enclave restarted during batch; retry")))
 			}
 			return
 		}
@@ -524,12 +599,12 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 	// truncate the now-subsumed log.
 	if err := s.persistBatchResult(inst, result); err != nil {
 		for _, req := range batch {
-			_ = req.conn.send(wire.ErrorFrame(fmt.Errorf("host: persist state: %w", err)))
+			req.respond(wire.ErrorFrame(fmt.Errorf("host: persist state: %w", err)))
 		}
 		return
 	}
 	for i, req := range batch {
-		_ = req.conn.send(wire.OKFrame(result.Replies[i]))
+		req.respond(wire.OKFrame(result.Replies[i]))
 	}
 }
 
@@ -722,13 +797,13 @@ func (c *committer) fail(group []commitReq, err error) {
 
 func (c *committer) release(req commitReq) {
 	for i, r := range req.batch {
-		_ = r.conn.send(wire.OKFrame(req.result.Replies[i]))
+		r.respond(wire.OKFrame(req.result.Replies[i]))
 	}
 }
 
 func (c *committer) reject(req commitReq, err error) {
 	for _, r := range req.batch {
-		_ = r.conn.send(wire.ErrorFrame(err))
+		r.respond(wire.ErrorFrame(err))
 	}
 }
 

@@ -31,6 +31,12 @@ type shardStack struct {
 }
 
 func newShardStack(t *testing.T, store stablestore.Store, shards int, clientIDs []uint32, groupCommit bool) *shardStack {
+	return newServiceShardStack(t, store, shards, clientIDs, groupCommit, "kvs", kvs.Factory())
+}
+
+// newServiceShardStack is newShardStack generalized over the hosted
+// functionality — the escrow tests deploy the bank instead of the kvs.
+func newServiceShardStack(t *testing.T, store stablestore.Store, shards int, clientIDs []uint32, groupCommit bool, svcName string, factory service.Factory) *shardStack {
 	t.Helper()
 	attestation := tee.NewAttestationService()
 	platform, err := tee.NewPlatform("plat-shard")
@@ -41,8 +47,8 @@ func newShardStack(t *testing.T, store stablestore.Store, shards int, clientIDs 
 	server, err := New(Config{
 		Platform: platform,
 		Factory: core.NewTrustedFactory(core.TrustedConfig{
-			ServiceName: "kvs",
-			NewService:  kvs.Factory(),
+			ServiceName: svcName,
+			NewService:  factory,
 			Attestation: attestation,
 		}),
 		Store:       store,
@@ -65,7 +71,7 @@ func newShardStack(t *testing.T, store stablestore.Store, shards int, clientIDs 
 	})
 	s := &shardStack{t: t, server: server, net: net}
 	for shard := 0; shard < shards; shard++ {
-		admin := core.NewAdmin(attestation, core.ProgramIdentity("kvs"))
+		admin := core.NewAdmin(attestation, core.ProgramIdentity(svcName))
 		if err := admin.Bootstrap(server.ShardCall(shard), clientIDs); err != nil {
 			t.Fatalf("bootstrap shard %d: %v", shard, err)
 		}
@@ -76,12 +82,18 @@ func newShardStack(t *testing.T, store stablestore.Store, shards int, clientIDs 
 }
 
 func (s *shardStack) session(id uint32) *client.ShardedSession {
+	return s.sessionWith(id, kvs.New())
+}
+
+// sessionWith opens a sharded session routed/merged by the given sharder
+// (kvs.New() for kvs stacks, counter.New() for bank stacks).
+func (s *shardStack) sessionWith(id uint32, sharder service.Sharder) *client.ShardedSession {
 	s.t.Helper()
 	conn, err := s.net.Dial("srv")
 	if err != nil {
 		s.t.Fatal(err)
 	}
-	sess := client.NewSharded(conn, id, s.keys, kvs.New(), client.Config{
+	sess := client.NewSharded(conn, id, s.keys, sharder, client.Config{
 		Timeout: 5 * time.Second,
 		Retries: 1,
 	})
@@ -89,15 +101,10 @@ func (s *shardStack) session(id uint32) *client.ShardedSession {
 	return sess
 }
 
-// keyOnShard deterministically finds a key that service.ShardIndex maps
-// to the wanted shard — how tests steer traffic at specific shards.
+// keyOnShard finds a key that hashes to the wanted shard — how tests
+// steer traffic at specific shards (service.KeyOnShard).
 func keyOnShard(shard, shards int, tag string) string {
-	for i := 0; ; i++ {
-		k := fmt.Sprintf("%s-%d", tag, i)
-		if service.ShardIndex(k, shards) == shard {
-			return k
-		}
-	}
+	return service.KeyOnShard(shard, shards, tag)
 }
 
 // A sharded deployment serves concurrent clients across all shards, and

@@ -67,6 +67,7 @@ var (
 	_ service.Service      = (*Store)(nil)
 	_ service.DeltaService = (*Store)(nil)
 	_ service.Sharder      = (*Store)(nil)
+	_ service.Scanner      = (*Store)(nil)
 )
 
 // New returns an empty store.
@@ -188,6 +189,75 @@ func (s *Store) ShardKeys(op []byte) []string {
 	default:
 		return nil
 	}
+}
+
+// IsScan implements service.Scanner: SCAN is the store's only
+// scatter-gatherable operation.
+func (s *Store) IsScan(op []byte) bool {
+	return len(op) > 0 && op[0] == opScan
+}
+
+// MergeScans implements service.Scanner: it merges per-shard SCAN results
+// into the result the scan would have produced against the unsharded
+// store. Each shard's result is sorted and the hash partition assigns
+// every key to exactly one shard, so a k-way sorted merge of the parts is
+// the globally sorted result; the scan's limit is re-applied after the
+// merge (each shard applied it locally, so parts are prefixes of their
+// shard's match set and the merged prefix is exact).
+func (s *Store) MergeScans(op []byte, parts [][]byte) ([]byte, error) {
+	if !s.IsScan(op) {
+		return nil, fmt.Errorf("%w: merge of non-scan op", ErrMalformedOp)
+	}
+	r := wire.NewReader(op[1:])
+	r.Var() // prefix (already applied per shard)
+	limit := int(r.U32())
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: scan: %v", ErrMalformedOp, err)
+	}
+
+	decoded := make([][]ScanEntry, 0, len(parts))
+	total := 0
+	for i, part := range parts {
+		entries, err := DecodeScanResult(part)
+		if err != nil {
+			return nil, fmt.Errorf("kvs: merge scans: shard %d: %w", i, err)
+		}
+		decoded = append(decoded, entries)
+		total += len(entries)
+	}
+
+	// K-way merge by smallest head key. Shard counts are small (≤256), so
+	// a linear head scan beats a heap in practice.
+	heads := make([]int, len(decoded))
+	merged := make([]ScanEntry, 0, total)
+	for {
+		best := -1
+		for i, entries := range decoded {
+			if heads[i] >= len(entries) {
+				continue
+			}
+			if best < 0 || entries[heads[i]].Key < decoded[best][heads[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, decoded[best][heads[best]])
+		heads[best]++
+		if limit > 0 && len(merged) == limit {
+			break
+		}
+	}
+
+	w := wire.NewWriter(64)
+	w.U8(statusOK)
+	w.U32(uint32(len(merged)))
+	for _, e := range merged {
+		w.Var([]byte(e.Key))
+		w.Var([]byte(e.Value))
+	}
+	return w.Bytes(), nil
 }
 
 // Len returns the number of stored objects.

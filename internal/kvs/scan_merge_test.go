@@ -1,0 +1,138 @@
+package kvs
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lcm/internal/service"
+)
+
+// MergeScans must reproduce exactly what the scan would have returned
+// against the unsharded store: partition a store N ways by the real shard
+// hash, scan each partition, merge — and compare with the direct scan.
+func TestMergeScansEqualsUnshardedScan(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		whole := New()
+		partitions := make([]*Store, shards)
+		for i := range partitions {
+			partitions[i] = New()
+		}
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("scan/%03d", i)
+			val := fmt.Sprintf("v%d", i)
+			mustOK(t, whole, Put(key, val))
+			mustOK(t, partitions[service.ShardIndex(key, shards)], Put(key, val))
+		}
+		// Keys outside the prefix must not leak into the merge.
+		mustOK(t, whole, Put("other", "x"))
+		mustOK(t, partitions[service.ShardIndex("other", shards)], Put("other", "x"))
+
+		for _, limit := range []uint32{0, 1, 10, 64, 100} {
+			op := Scan("scan/", limit)
+			want, err := whole.Apply(op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := make([][]byte, shards)
+			for i, p := range partitions {
+				if parts[i], err = p.Apply(op); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := whole.MergeScans(op, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("shards=%d limit=%d: merged scan diverges from unsharded scan", shards, limit)
+			}
+		}
+	}
+}
+
+func mustOK(t *testing.T, s *Store, op []byte) {
+	t.Helper()
+	if _, err := s.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeScansResultsSorted(t *testing.T) {
+	// Adversarial part order: even if shards return disjoint ranges in
+	// arbitrary shard order, the merge is globally sorted.
+	a, b := New(), New()
+	mustOK(t, a, Put("k3", "3"))
+	mustOK(t, a, Put("k1", "1"))
+	mustOK(t, b, Put("k2", "2"))
+	mustOK(t, b, Put("k0", "0"))
+	op := Scan("k", 0)
+	pa, _ := a.Apply(op)
+	pb, _ := b.Apply(op)
+	merged, err := New().MergeScans(op, [][]byte{pa, pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := DecodeScanResult(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("merged %d entries, want 4", len(entries))
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key }) {
+		t.Fatalf("merged entries not sorted: %v", entries)
+	}
+}
+
+func TestMergeScansRejectsBadInput(t *testing.T) {
+	s := New()
+	if _, err := s.MergeScans(Get("k"), nil); err == nil {
+		t.Fatal("merge of a non-scan op accepted")
+	}
+	if _, err := s.MergeScans(Scan("p", 0), [][]byte{{0xFF, 0xFF}}); err == nil {
+		t.Fatal("garbage part accepted")
+	}
+}
+
+func TestIsScan(t *testing.T) {
+	s := New()
+	if !s.IsScan(Scan("p", 1)) {
+		t.Fatal("Scan not recognized")
+	}
+	for _, op := range [][]byte{Get("k"), Put("k", "v"), Del("k"), nil} {
+		if s.IsScan(op) {
+			t.Fatalf("op %v recognized as scan", op)
+		}
+	}
+}
+
+// Quick property: for random key sets and shard counts, merging per-shard
+// scans equals the unsharded scan.
+func TestQuickMergeScansPartitionInvariant(t *testing.T) {
+	f := func(keys []string, shardSeed uint8) bool {
+		shards := int(shardSeed%7) + 2
+		whole := New()
+		partitions := make([]*Store, shards)
+		for i := range partitions {
+			partitions[i] = New()
+		}
+		for _, k := range keys {
+			key := "p/" + k
+			whole.Apply(Put(key, k))
+			partitions[service.ShardIndex(key, shards)].Apply(Put(key, k))
+		}
+		op := Scan("p/", 0)
+		want, _ := whole.Apply(op)
+		parts := make([][]byte, shards)
+		for i, p := range partitions {
+			parts[i], _ = p.Apply(op)
+		}
+		got, err := whole.MergeScans(op, parts)
+		return err == nil && string(got) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

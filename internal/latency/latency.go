@@ -44,6 +44,19 @@ type Model struct {
 	// may run at a smaller scale; the harness records the scale used.
 	Scale float64
 
+	// SleepAll makes every charge a timer sleep instead of a busy-wait.
+	// By default, sub-100µs charges (enclave transitions, per-byte
+	// processing of small payloads) spin because they model real CPU
+	// consumption — which is faithful, but means N concurrent enclave
+	// instances need N host cores to show a speedup. On a single-core CI
+	// host the spin serializes and e.g. the 100 B shard ablation shows no
+	// sharding benefit. SleepAll trades per-charge precision (timer
+	// granularity is tens of microseconds) for concurrency fidelity:
+	// sleeping charges overlap regardless of the host's core count, so
+	// the measured shape reflects the architecture instead of the CI
+	// machine.
+	SleepAll bool
+
 	ECall        time.Duration // per enclave entry
 	OCall        time.Duration // per enclave exit that re-enters the host
 	ECallPerByte time.Duration // in-enclave request-processing time per payload byte
@@ -103,13 +116,14 @@ func spin(d time.Duration) {
 // Wait blocks for the scaled duration d. Durations under ~100 µs are
 // busy-waited because timer sleeps on Linux have tens-of-microseconds
 // granularity, which would distort the enclave-transition costs the model
-// exists to inject.
+// exists to inject; under SleepAll every duration sleeps instead (see the
+// field's doc for the trade-off).
 func (m *Model) Wait(d time.Duration) {
 	d = m.scaled(d)
 	if d <= 0 {
 		return
 	}
-	if d < 100*time.Microsecond {
+	if d < 100*time.Microsecond && !m.SleepAll {
 		spin(d)
 		return
 	}
@@ -175,12 +189,18 @@ func (m *Model) WaitECallBytes(n int) {
 // The wait is a spin, never a sleep: it stands for real CPU work, and it
 // must be charged precisely because it sits inside a serialized section
 // where a timer sleep's overshoot would multiply into the saturation
-// throughput.
+// throughput. (SleepAll overrides even this — a sleeping model gives up
+// single-charge precision everywhere in exchange for not needing one
+// host core per simulated core.)
 func (m *Model) WaitServerOp() {
 	if m == nil {
 		return
 	}
 	if d := m.scaled(m.ServerOp); d > 0 {
+		if m.SleepAll {
+			time.Sleep(d)
+			return
+		}
 		spin(d)
 	}
 }

@@ -82,6 +82,31 @@ type Sharder interface {
 	ShardKeys(op []byte) []string
 }
 
+// Scanner is an optional extension for services with read operations that
+// scatter-gather across a sharded deployment: an operation that addresses
+// the whole namespace (a prefix or range scan) cannot be pinned to one
+// shard, but — because a hash partition makes every shard hold an
+// arbitrary subset of the items — it can be executed on every shard
+// independently and the per-shard results merged. The client library's
+// scatter layer consults the Scanner to recognize such operations and to
+// perform the application-specific merge.
+//
+// The contract for MergeScans is that executing op against the union of
+// the shards' states must equal merging the results of executing op
+// against each shard's state separately. Prefix scans satisfy it because
+// key ownership is a partition: every matching key lives on exactly one
+// shard, so the union of the per-shard result sets is the global result
+// set (re-sorted, re-limited).
+type Scanner interface {
+	// IsScan reports whether op is a scatter-gatherable read.
+	IsScan(op []byte) bool
+
+	// MergeScans combines the per-shard results of executing op on every
+	// shard into the result op would have produced against the unsharded
+	// state. parts holds one result per shard, in shard order.
+	MergeScans(op []byte, parts [][]byte) ([]byte, error)
+}
+
 // ShardIndex maps an item name onto one of n shards with a stable hash
 // (FNV-1a). Every layer — client routing, bench harnesses, tests picking
 // shard-local keys — must use this one function so they agree on the
@@ -101,6 +126,22 @@ func ShardIndex(key string, n int) int {
 		h *= prime64
 	}
 	return int(h % uint64(n))
+}
+
+// KeyOnShard deterministically finds an item name that ShardIndex maps
+// onto the wanted shard, by probing "<tag>-0", "<tag>-1", … — how tests,
+// benches and demos steer traffic at a specific shard. It panics on an
+// unreachable shard index (the probe loop would otherwise spin forever).
+func KeyOnShard(shard, n int, tag string) string {
+	if n < 1 || shard < 0 || shard >= n {
+		panic(fmt.Sprintf("service: KeyOnShard: shard %d out of range for %d shards", shard, n))
+	}
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("%s-%d", tag, i)
+		if ShardIndex(k, n) == shard {
+			return k
+		}
+	}
 }
 
 // ShardOf resolves the shard an operation belongs to under an n-way

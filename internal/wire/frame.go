@@ -24,6 +24,15 @@ const (
 	// encoded core.DeploymentStatus. Purely operational — the data leaks
 	// nothing the (untrusted) host does not already hold.
 	FrameStatus
+	// FrameMultiInvoke carries several shard-addressed INVOKEs in one
+	// request — the scatter half of a cross-shard scatter-gather operation
+	// (a prefix scan fanned out to every shard). The response is a single
+	// frame bundling one per-part response frame per request part, in
+	// request order, so the client can match replies to shards without any
+	// per-frame demultiplexing on the shared connection. Each part is an
+	// ordinary sealed INVOKE for its shard's context; the bundling is pure
+	// untrusted transport, with no protocol meaning.
+	FrameMultiInvoke
 )
 
 // MaxShards bounds the shard index representable in the one-byte routing
@@ -51,6 +60,84 @@ func SplitShardPayload(payload []byte) (shard int, inner []byte, err error) {
 		return 0, nil, errors.New("wire: shard frame missing routing byte")
 	}
 	return int(payload[0]), payload[1:], nil
+}
+
+// ShardPart is one shard-addressed payload of a multi-shard frame.
+type ShardPart struct {
+	Shard   int
+	Payload []byte
+}
+
+// EncodeMultiShardFrame builds a FrameMultiInvoke request carrying one
+// sealed INVOKE per part: [kind][u16 count]([u8 shard][var payload])*.
+// The count is two bytes so a fan-out over the full MaxShards (256)
+// shard space still encodes. Like the single-shard routing byte, the
+// shard indices are untrusted metadata — a misrouted part fails
+// authentication at the receiving shard's context.
+func EncodeMultiShardFrame(parts []ShardPart) []byte {
+	size := 3
+	for _, p := range parts {
+		size += 1 + 4 + len(p.Payload)
+	}
+	w := NewWriter(size)
+	w.U8(FrameMultiInvoke)
+	w.U16(uint16(len(parts)))
+	for _, p := range parts {
+		w.U8(byte(p.Shard))
+		w.Var(p.Payload)
+	}
+	return w.Bytes()
+}
+
+// DecodeMultiShardParts parses a FrameMultiInvoke payload (everything
+// after the kind byte) into its shard-addressed parts.
+func DecodeMultiShardParts(payload []byte) ([]ShardPart, error) {
+	r := NewReader(payload)
+	n := int(r.U16())
+	parts := make([]ShardPart, 0, n)
+	for i := 0; i < n; i++ {
+		shard := int(r.U8())
+		inner := r.Var()
+		parts = append(parts, ShardPart{Shard: shard, Payload: inner})
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: decode multi-shard frame: %w", err)
+	}
+	return parts, nil
+}
+
+// EncodeMultiResponse bundles per-part response frames (each an OKFrame or
+// ErrorFrame) into the payload of the single response to a multi-shard
+// request: [u16 count](var responseFrame)*. Part order matches the
+// request.
+func EncodeMultiResponse(parts [][]byte) []byte {
+	size := 2
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	w := NewWriter(size)
+	w.U16(uint16(len(parts)))
+	for _, p := range parts {
+		w.Var(p)
+	}
+	return w.Bytes()
+}
+
+// DecodeMultiResponse splits a multi-response payload back into the
+// per-part response frames, to be decoded individually with
+// DecodeResponse — so one halted shard yields an error part while the
+// other parts still carry verifiable replies.
+func DecodeMultiResponse(payload []byte) ([][]byte, error) {
+	r := NewReader(payload)
+	n := int(r.U16())
+	parts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, r.Var())
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: decode multi-shard response: %w", err)
+	}
+	return parts, nil
 }
 
 // Response status codes.

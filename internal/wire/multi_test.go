@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMultiShardFrameRoundTrip(t *testing.T) {
+	parts := []ShardPart{
+		{Shard: 0, Payload: []byte("alpha")},
+		{Shard: 7, Payload: nil},
+		{Shard: 255, Payload: []byte("z")},
+	}
+	frame := EncodeMultiShardFrame(parts)
+	kind, payload, err := DecodeFrame(frame)
+	if err != nil || kind != FrameMultiInvoke {
+		t.Fatalf("frame kind = %d, err %v", kind, err)
+	}
+	got, err := DecodeMultiShardParts(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("decoded %d parts, want %d", len(got), len(parts))
+	}
+	for i, p := range got {
+		if p.Shard != parts[i].Shard || !bytes.Equal(p.Payload, parts[i].Payload) {
+			t.Fatalf("part %d = %+v, want %+v", i, p, parts[i])
+		}
+	}
+}
+
+func TestMultiShardFrameRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMultiShardParts([]byte{3, 0}); err == nil {
+		t.Fatal("truncated multi-shard frame accepted")
+	}
+	// Trailing bytes after the declared parts are an error too.
+	frame := EncodeMultiShardFrame([]ShardPart{{Shard: 1, Payload: []byte("x")}})
+	if _, err := DecodeMultiShardParts(append(frame[1:], 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestMultiResponseRoundTrip(t *testing.T) {
+	parts := [][]byte{
+		OKFrame([]byte("reply-0")),
+		ErrorFrame(errors.New("shard 1 halted")),
+		OKFrame(nil),
+	}
+	got, err := DecodeMultiResponse(EncodeMultiResponse(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("decoded %d parts, want %d", len(got), len(parts))
+	}
+	// Each part decodes independently: an error part fails its own
+	// DecodeResponse without touching its siblings.
+	if payload, err := DecodeResponse(got[0]); err != nil || string(payload) != "reply-0" {
+		t.Fatalf("part 0 = %q, %v", payload, err)
+	}
+	if _, err := DecodeResponse(got[1]); err == nil {
+		t.Fatal("error part decoded as success")
+	}
+	if _, err := DecodeResponse(got[2]); err != nil {
+		t.Fatalf("empty OK part: %v", err)
+	}
+}

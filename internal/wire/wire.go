@@ -124,6 +124,11 @@ func (w *Writer) Bool(v bool) {
 	}
 }
 
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
 // U32 appends a big-endian uint32.
 func (w *Writer) U32(v uint32) {
 	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
@@ -195,6 +200,15 @@ func (r *Reader) U8() byte {
 
 // Bool reads a boolean.
 func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
 
 // U32 reads a big-endian uint32.
 func (r *Reader) U32() uint32 {

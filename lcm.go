@@ -112,6 +112,26 @@ type (
 	// implement it to make their keyspace partitionable.
 	Sharder = service.Sharder
 
+	// Scanner is the optional service extension for scatter-gatherable
+	// reads (prefix scans): recognizing them and merging per-shard
+	// results.
+	Scanner = service.Scanner
+
+	// ScanResult is the outcome of a scatter-gather scan: the merged
+	// service-level result plus every shard's verified protocol result.
+	ScanResult = client.ScanResult
+
+	// ShardError identifies which shard of a scatter-gather operation
+	// failed.
+	ShardError = client.ShardError
+
+	// Transfer is the client-side coordinator state of a cross-shard
+	// two-phase escrow transfer; journal it for crash recovery.
+	Transfer = client.Transfer
+
+	// TransferOutcome reports how a transfer ended.
+	TransferOutcome = client.TransferOutcome
+
 	// LatencyModel centralizes the simulation's injected hardware
 	// latencies.
 	LatencyModel = latency.Model
@@ -230,7 +250,8 @@ func CopyStorage(src, dst stablestore.Store) error { return host.CopyStorage(src
 // QueryStatus fetches a trusted context's status through any call path.
 func QueryStatus(call core.CallFunc) (*Status, error) { return core.QueryStatus(call) }
 
-// KVS operation codecs for use with Session.Do.
+// KVS operation codecs for use with Session.Do and
+// ShardedSession.Do/Scan.
 var (
 	// Get encodes a read of key.
 	Get = kvs.Get
@@ -238,6 +259,12 @@ var (
 	Put = kvs.Put
 	// Del encodes a delete.
 	Del = kvs.Del
+	// Scan encodes a prefix scan (limit 0 = unlimited). Against a
+	// sharded deployment, execute it with ShardedSession.Scan — the
+	// scatter-gather fan-out — rather than Do.
+	Scan = kvs.Scan
 	// DecodeKVResult parses a kvs operation result.
 	DecodeKVResult = kvs.DecodeResult
+	// DecodeKVScanResult parses a (merged or single-shard) scan result.
+	DecodeKVScanResult = kvs.DecodeScanResult
 )

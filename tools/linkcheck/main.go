@@ -1,0 +1,137 @@
+// Command linkcheck validates the repository's markdown cross-references
+// offline: every relative link target must exist, and every fragment
+// (#anchor) into a markdown file must match a heading there (GitHub's
+// slug rules, approximately). External http(s)/mailto links are skipped —
+// the check must stay deterministic in CI.
+//
+//	go run ./tools/linkcheck [root]
+//
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, checked, err := run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, "broken link:", b)
+	}
+	fmt.Printf("linkcheck: %d links checked, %d broken\n", checked, len(broken))
+	if len(broken) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(root string) (broken []string, checked int, err error) {
+	var files []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			checked++
+			if reason := check(file, target); reason != "" {
+				broken = append(broken, fmt.Sprintf("%s -> %s (%s)", file, target, reason))
+			}
+		}
+	}
+	return broken, checked, nil
+}
+
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// check validates one relative target from the linking file's directory.
+func check(from, target string) string {
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Dir(from)
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(from), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return "missing file"
+		}
+	} else {
+		resolved = from // pure fragment: anchor within the same file
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(resolved), ".md") {
+		return "" // fragments into non-markdown files are not checkable
+	}
+	raw, err := os.ReadFile(resolved)
+	if err != nil {
+		return "unreadable target"
+	}
+	for _, h := range headingRe.FindAllStringSubmatch(string(raw), -1) {
+		if slugify(h[1]) == strings.ToLower(frag) {
+			return ""
+		}
+	}
+	return "missing anchor #" + frag
+}
+
+// slugify approximates GitHub's heading→anchor rule: lowercase, drop
+// everything but letters/digits/spaces/hyphens, spaces become hyphens.
+func slugify(heading string) string {
+	// Strip inline markdown emphasis/code markers first.
+	heading = strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
