@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|ci|all \
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|ci|all \
 //	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] \
 //	          [-latencymodel spin|sleep] [-jsonOut path]
 //
@@ -43,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|ci|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
@@ -166,6 +166,14 @@ func run() error {
 			measured["batchGroupSweep"] = points
 			fmt.Println("batching and group commit amortize the same fsync; deep batches subsume the committer")
 			fmt.Println()
+		case "reshardablation":
+			points, err := benchrun.RunReshardAblation(cfg, 2, 4, 8)
+			if err != nil {
+				return err
+			}
+			measured["reshardAblation"] = points
+			fmt.Println("a live reshard pauses for the freeze window; throughput recovers on the wider deployment")
+			fmt.Println()
 		case "ci":
 			// The CI gate: the persistence ablations plus a small shard
 			// point, at smoke size (a fixed small keyspace; -duration and
@@ -193,6 +201,11 @@ func run() error {
 				return err
 			}
 			measured["scanAblation"] = scan
+			reshard, err := benchrun.RunReshardAblation(ciCfg, 2, 4, 4)
+			if err != nil {
+				return err
+			}
+			measured["reshardAblation"] = reshard
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -202,7 +215,7 @@ func run() error {
 
 	runAll := func() error {
 		if *experiment == "all" {
-			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup"} {
+			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup", "reshardablation"} {
 				if err := runOne(name); err != nil {
 					return err
 				}

@@ -10,6 +10,7 @@
 //	lcm-client ... del <key>
 //	lcm-client ... scan <prefix> [limit]
 //	lcm-client ... status
+//	lcm-client ... refresh
 //
 // Against a bank server (lcm-server -service bank):
 //
@@ -31,6 +32,15 @@
 //     state in <state>.tx after every phase. If a previous invocation
 //     crashed mid-transfer, the next one resumes the journaled transfer
 //     before doing anything else — so money is neither lost nor minted.
+//
+// When the server live-reshards (lcm-server -reshardto), operations
+// start failing with a "resharded" error. The refresh verb then fetches
+// the reshard handoffs, verifies each old shard's sealed handoff against
+// this client's stored contexts — a rollback or fork slipped in during
+// the move is DETECTED here, and the new generation refused — and on
+// success writes fresh per-shard state files, records the adopted
+// generation in <state>.gen, and prints the new communication keys to
+// pass as -key from then on.
 //
 // Client state (tc, ts, hc — per shard) persists in -state so
 // consecutive invocations form one continuous protocol session; deleting
@@ -80,7 +90,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: lcm-client [flags] get|put|del|scan|bal|inc|transfer|status ...")
+		return errors.New("usage: lcm-client [flags] get|put|del|scan|bal|inc|transfer|status|refresh ...")
 	}
 	if *svcName != "kvs" && *svcName != "bank" {
 		return fmt.Errorf("unknown -service %q (want kvs or bank)", *svcName)
@@ -114,10 +124,123 @@ func run() error {
 		*statePath = fmt.Sprintf("lcm-client-%d.state", *id)
 	}
 
-	if len(keys) == 1 {
+	gen, err := readGen(*statePath)
+	if err != nil {
+		return err
+	}
+	cfg.Gen = gen
+
+	if args[0] == "refresh" {
+		return runRefresh(conn, uint32(*id), keys, *svcName, *statePath, cfg)
+	}
+	// A single key normally means the classic unsharded deployment — but
+	// a client that adopted a reshard down to one shard (<state>.gen
+	// exists) must keep using the sharded machinery: its state lives in
+	// <state>.shard0 and its frames must carry the adopted generation.
+	if len(keys) == 1 && gen == 0 {
 		return runSingle(conn, uint32(*id), keys[0], *svcName, *statePath, cfg, args)
 	}
 	return runSharded(conn, uint32(*id), keys, *svcName, *statePath, cfg, args)
+}
+
+// genPath names the file recording the reshard generation this client
+// has adopted.
+func genPath(base string) string { return base + ".gen" }
+
+// readGen loads the adopted generation. An absent file means generation
+// 0; an unreadable or unparseable one is an error — silently treating it
+// as 0 would stamp frames with the wrong generation and end in a false
+// "server misbehaviour" report at the next refresh.
+func readGen(base string) (uint64, error) {
+	raw, err := os.ReadFile(genPath(base))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("read generation file %s: %w", genPath(base), err)
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("corrupt generation file %s (re-run refresh after restoring it; deleting it mislabels this client's generation): %w", genPath(base), err)
+	}
+	return gen, nil
+}
+
+// writeGen records the adopted generation atomically (write + rename),
+// so a crash mid-write cannot corrupt it.
+func writeGen(base string, gen uint64) error {
+	tmp := genPath(base) + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)), 0o600); err != nil {
+		return fmt.Errorf("persist generation: %w", err)
+	}
+	if err := os.Rename(tmp, genPath(base)); err != nil {
+		return fmt.Errorf("persist generation: %w", err)
+	}
+	return nil
+}
+
+// runRefresh adopts a completed live reshard: it verifies every old
+// shard's handoff against this client's stored contexts, then writes
+// fresh per-shard state files and prints the new generation's keys.
+func runRefresh(conn transport.Conn, id uint32, keys []aead.Key, svcName, statePath string, cfg client.Config) error {
+	states := make([]*core.ClientState, len(keys))
+	for shard := range states {
+		blob, err := os.ReadFile(shardStatePath(statePath, shard))
+		if err != nil && shard == 0 && len(keys) == 1 {
+			// A single-context client persists its state unsuffixed.
+			blob, err = os.ReadFile(statePath)
+		}
+		if err != nil {
+			return fmt.Errorf("refresh needs this client's state files: %w", err)
+		}
+		if states[shard], err = core.DecodeClientState(blob); err != nil {
+			return fmt.Errorf("corrupt state file for shard %d: %w", shard, err)
+		}
+	}
+	session, err := client.ResumeSharded(conn, states, keys, sharderFor(svcName), cfg)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	info, err := session.FetchReshardInfo()
+	if err != nil {
+		return fmt.Errorf("fetch reshard info: %w", err)
+	}
+	newKeys, pending, err := session.VerifyReshard(info)
+	if err != nil {
+		if errors.Is(err, core.ErrViolationDetected) {
+			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED — refusing the new generation: %w", err)
+		}
+		return err
+	}
+	for _, p := range pending {
+		if p.Executed {
+			fmt.Printf("pending operation on old shard %d WAS executed before the move (result lost with the old generation; do not re-issue blindly)\n", p.OldShard)
+		} else {
+			fmt.Printf("pending operation on old shard %d never executed; re-issue it against the new deployment\n", p.OldShard)
+		}
+	}
+	// Fresh contexts for the new generation.
+	for j := range newKeys {
+		st := &core.ClientState{ID: id}
+		if err := os.WriteFile(shardStatePath(statePath, j), st.Encode(), 0o600); err != nil {
+			return fmt.Errorf("persist shard %d client state: %w", j, err)
+		}
+	}
+	for j := len(newKeys); j < len(keys); j++ {
+		_ = os.Remove(shardStatePath(statePath, j))
+	}
+	if err := writeGen(statePath, info.Gen); err != nil {
+		return err
+	}
+	parts := make([]string, len(newKeys))
+	for j, k := range newKeys {
+		parts[j] = hex.EncodeToString(k.Bytes())
+	}
+	fmt.Printf("adopted reshard generation %d: %d -> %d shards\n", info.Gen, info.OldShards, info.NewShards)
+	fmt.Printf("pass from now on: -key %s\n", strings.Join(parts, ","))
+	return nil
 }
 
 func parseKeys(keyHex string) ([]aead.Key, error) {
@@ -158,8 +281,8 @@ func printStatus(sess *client.Session) error {
 		}
 	}
 	groups, records, maxGroup := ds.GroupCommitTotals()
-	fmt.Printf("total: shards=%d t=%d groupcommit groups=%d records=%d maxGroup=%d\n",
-		len(ds.Shards), ds.TotalSeq(), groups, records, maxGroup)
+	fmt.Printf("total: generation=%d shards=%d t=%d groupcommit groups=%d records=%d maxGroup=%d\n",
+		ds.Gen, len(ds.Shards), ds.TotalSeq(), groups, records, maxGroup)
 	return nil
 }
 
@@ -342,6 +465,9 @@ func runSingle(conn transport.Conn, id uint32, kc aead.Key, svcName, statePath s
 		if errors.Is(err, core.ErrViolationDetected) {
 			return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
 		}
+		if client.NeedsReshardRefresh(err) {
+			return fmt.Errorf("deployment resharded; run `lcm-client ... refresh` with the current key to adopt the new generation: %w", err)
+		}
 		return err
 	}
 	if err := printResult(svcName, args, res); err != nil {
@@ -482,6 +608,9 @@ func runSharded(conn transport.Conn, id uint32, keys []aead.Key, svcName, stateP
 			_ = saveStates()
 			if errors.Is(err, core.ErrViolationDetected) {
 				return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+			}
+			if client.NeedsReshardRefresh(err) {
+				return fmt.Errorf("deployment resharded; run `lcm-client ... refresh` with the current keys to adopt the new generation: %w", err)
 			}
 			return err
 		}

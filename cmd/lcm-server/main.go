@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"lcm/internal/core"
 	"lcm/internal/counter"
@@ -52,6 +53,9 @@ func run() error {
 		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
 		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
+
+		reshardTo    = flag.Int("reshardto", 0, "live-reshard the deployment to this many shards (with -reshardafter)")
+		reshardAfter = flag.Duration("reshardafter", 30*time.Second, "delay before the -reshardto live reshard")
 	)
 	flag.Parse()
 
@@ -122,6 +126,21 @@ func run() error {
 	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
 	fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")
 	fmt.Println("the admin would distribute them over secure channels")
+
+	if *reshardTo > 0 {
+		go func() {
+			time.Sleep(*reshardAfter)
+			fmt.Printf("live reshard %d -> %d shards...\n", server.Shards(), *reshardTo)
+			stats, err := server.Reshard(*reshardTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lcm-server: reshard:", err)
+				return
+			}
+			fmt.Printf("resharded to %d shards (generation %d, pause %v)\n",
+				stats.NewShards, stats.Gen, stats.Pause)
+			fmt.Println("clients: run `lcm-client ... refresh` to verify the handoffs and adopt the new keys")
+		}()
+	}
 
 	defer server.Shutdown()
 	return server.Serve(listener)

@@ -181,7 +181,7 @@ func (s *sgxSession) do(op []byte) ([]byte, error) {
 	}
 	// The SGX baseline rides on the LCM host, whose invoke frames carry a
 	// shard routing byte (always 0 here: baselines are unsharded).
-	if err := s.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, 0, ct)); err != nil {
+	if err := s.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, 0, 0, ct)); err != nil {
 		return nil, fmt.Errorf("sgx-kvs: send: %w", err)
 	}
 	frame, err := s.conn.Recv()

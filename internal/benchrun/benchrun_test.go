@@ -329,3 +329,28 @@ func TestRunBatchGroupSweepSmoke(t *testing.T) {
 		t.Fatalf("group commit at batch 1 (%f) not faster than plain sync (%f)", g.Throughput, p.Throughput)
 	}
 }
+
+func TestRunReshardAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.Duration = 300 * time.Millisecond
+	points, err := RunReshardAblation(cfg, 2, 4, 4)
+	if err != nil {
+		t.Fatalf("RunReshardAblation: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3 (pre, post, pause)", len(points))
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range points {
+		byName[p.Name] = p
+	}
+	if byName["lcm-reshard2to4-pre"].Throughput <= 0 {
+		t.Fatal("no pre-reshard throughput")
+	}
+	if byName["lcm-reshard2to4-post"].Throughput <= 0 {
+		t.Fatal("no post-reshard throughput — clients never recovered")
+	}
+	if byName["lcm-reshard2to4-pause"].MeanLat <= 0 {
+		t.Fatal("no pause recorded")
+	}
+}

@@ -130,6 +130,22 @@ func (d *Deployment) GroupCommitStats() (groups, records, maxGroup int) {
 	return d.host.GroupCommitStats()
 }
 
+// Reshard live-reshards an LCM deployment to newShards keyspace shards.
+// Connected sharded sessions observe refresh errors and must adopt the
+// new generation (client.ShardedSession.Refresh).
+func (d *Deployment) Reshard(newShards int) (*host.ReshardStats, error) {
+	if d.host == nil {
+		return nil, fmt.Errorf("benchrun: %s is not an LCM deployment", d.system)
+	}
+	return d.host.Reshard(newShards)
+}
+
+// Dial opens a raw connection to the deployment's server — what a
+// refreshed session needs after a reshard.
+func (d *Deployment) Dial() (transport.Conn, error) {
+	return d.net.Dial("server")
+}
+
 // rttDB wraps a session as a ycsb.DB, charging the client-observed
 // network round trip per operation. The RTT is a sleep, so concurrent
 // clients overlap — the non-enclave systems scale with the client count

@@ -47,6 +47,11 @@ type Config struct {
 	// Session with Shard set talks to exactly one shard — e.g. a
 	// per-shard admin connection.
 	Shard int
+	// Gen is the reshard generation the session's communication keys
+	// belong to (0 = as deployed). Sessions produced by AdoptReshard set
+	// it automatically; a resumed session whose deployment has resharded
+	// since must pass the generation it had adopted.
+	Gen uint64
 }
 
 // link owns one connection's receive loop, shared by the session types.
@@ -183,7 +188,7 @@ func (s *Session) Recover() (*core.Result, error) {
 // roundTrip sends one INVOKE to a shard and runs the timeout/retry loop
 // against its protocol context.
 func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte) (*core.Result, error) {
-	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, invoke)); err != nil {
+	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(cfg.Gen), invoke)); err != nil {
 		return nil, fmt.Errorf("client: send invoke: %w", err)
 	}
 	attempts := 0
@@ -198,7 +203,7 @@ func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte
 			if rerr != nil {
 				return nil, rerr
 			}
-			if serr := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, retry)); serr != nil {
+			if serr := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(cfg.Gen), retry)); serr != nil {
 				return nil, fmt.Errorf("client: send retry: %w", serr)
 			}
 			continue
@@ -223,7 +228,7 @@ func (s *Session) ECall(payload []byte) ([]byte, error) {
 }
 
 func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
-	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameECall, shard, payload)); err != nil {
+	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameECall, shard, uint32(cfg.Gen), payload)); err != nil {
 		return nil, fmt.Errorf("client: send ecall: %w", err)
 	}
 	frame, err := l.await(cfg.Timeout)
@@ -282,6 +287,7 @@ func AdminConnShard(conn transport.Conn, shard int) (core.CallFunc, func() error
 // Like Session, it is sequential: one goroutine at a time.
 type ShardedSession struct {
 	protos  []*core.Client
+	kcs     []aead.Key // per-shard communication keys (for handoff checks)
 	sharder service.Sharder
 	link    *link
 	cfg     Config
@@ -295,7 +301,13 @@ func NewSharded(conn transport.Conn, id uint32, kcs []aead.Key, sharder service.
 	for i, kc := range kcs {
 		protos[i] = core.NewClient(id, kc)
 	}
-	return &ShardedSession{protos: protos, sharder: sharder, link: newLink(conn), cfg: cfg}
+	return &ShardedSession{
+		protos:  protos,
+		kcs:     append([]aead.Key(nil), kcs...),
+		sharder: sharder,
+		link:    newLink(conn),
+		cfg:     cfg,
+	}
 }
 
 // ResumeSharded reconstructs a sharded session from persisted per-shard
@@ -309,11 +321,20 @@ func ResumeSharded(conn transport.Conn, states []*core.ClientState, kcs []aead.K
 	for i := range kcs {
 		protos[i] = core.ResumeClient(states[i], kcs[i])
 	}
-	return &ShardedSession{protos: protos, sharder: sharder, link: newLink(conn), cfg: cfg}, nil
+	return &ShardedSession{
+		protos:  protos,
+		kcs:     append([]aead.Key(nil), kcs...),
+		sharder: sharder,
+		link:    newLink(conn),
+		cfg:     cfg,
+	}, nil
 }
 
 // Shards returns the number of shards this session spans.
 func (s *ShardedSession) Shards() int { return len(s.protos) }
+
+// Gen returns the reshard generation this session's keys belong to.
+func (s *ShardedSession) Gen() uint64 { return s.cfg.Gen }
 
 // ID returns the client identifier (the same in every shard's group).
 func (s *ShardedSession) ID() uint32 { return s.protos[0].ID() }

@@ -62,13 +62,13 @@ func (s *stubServer) loop() {
 		switch kind {
 		case wire.FrameECall:
 			// Echo for ECall tests (after stripping the shard byte).
-			_, inner, err := wire.SplitShardPayload(payload)
+			_, _, inner, err := wire.SplitShardPayload(payload)
 			if err != nil {
 				continue
 			}
 			_ = s.conn.Send(wire.OKFrame(append([]byte("ecall:"), inner...)))
 		case wire.FrameInvoke:
-			_, ct, err := wire.SplitShardPayload(payload)
+			_, _, ct, err := wire.SplitShardPayload(payload)
 			if err != nil {
 				continue
 			}
@@ -301,7 +301,7 @@ func TestSessionRejectsCorruptedReply(t *testing.T) {
 			return
 		}
 		_, payload, _ := wire.DecodeFrame(frame)
-		_, ct, _ := wire.SplitShardPayload(payload)
+		_, _, ct, _ := wire.SplitShardPayload(payload)
 		// Reflect the invoke ciphertext (tampered) as the reply.
 		ct[0] ^= 1
 		_ = serverConn.Send(wire.OKFrame(ct))

@@ -145,7 +145,7 @@ func (s *ShardedSession) multiRoundTrip(invokes [][]byte) ([][]byte, error) {
 		for shard, inv := range payloads {
 			parts[shard] = wire.ShardPart{Shard: shard, Payload: inv}
 		}
-		return s.link.conn.Send(wire.EncodeMultiShardFrame(parts))
+		return s.link.conn.Send(wire.EncodeMultiShardFrame(uint32(s.cfg.Gen), parts))
 	}
 	if err := send(invokes); err != nil {
 		return nil, fmt.Errorf("client: send multi-invoke: %w", err)

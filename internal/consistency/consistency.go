@@ -38,8 +38,16 @@ import (
 // them. A scatter-gather scan contributes one event per shard — all with
 // the same operation bytes but each with that shard's local result,
 // sequence number and chain value.
+//
+// Gen is the reshard generation the executing shard belonged to (0 until
+// the first live reshard). A reshard retires every old shard's chain and
+// starts fresh ones, so shard index i before and after a reshard names
+// two unrelated protocol contexts; (Gen, Shard) is the true sub-history
+// key, and CheckSharded stitches across the boundary with the rules
+// documented there.
 type Event struct {
 	Client uint32
+	Gen    int
 	Shard  int
 	Seq    uint64
 	Stable uint64
@@ -109,7 +117,7 @@ func (l *Log) Check(newService service.Factory) error {
 }
 
 // CheckSharded validates a multi-shard history: the events are split by
-// shard and each shard's sub-history must independently be
+// (generation, shard) and each sub-history must independently be
 // fork-linearizable. This is exactly LCM's guarantee for a sharded
 // deployment — each shard is its own trusted context with its own chain,
 // and nothing orders operations across shards. The per-shard events of
@@ -117,16 +125,59 @@ func (l *Log) Check(newService service.Factory) error {
 // shard's replay reproduces that shard's partial scan result, so a shard
 // that served a scan from a forked or rolled-back state fails its
 // sub-history's check.
+//
+// Across a reshard boundary the stitching rule is per client: a client's
+// generation never regresses in its completion order. Adopting
+// generation g+1 requires verifying every source shard's sealed handoff
+// against the client's own contexts (client.VerifyReshard), so an event
+// recorded at g+1 certifies the client's entire g history was accepted
+// by the move; observing g again afterwards would mean the client was
+// fed two worlds — exactly the fork the handoff exists to prevent.
 func (l *Log) CheckSharded(newService service.Factory) error {
-	for shard, events := range l.eventsByShard() {
-		if err := checkEvents(events, newService); err != nil {
-			return fmt.Errorf("shard %d: %w", shard, err)
+	events := l.Events()
+
+	// Cross-boundary rule: per-client generation monotonicity. Events
+	// were recorded in completion order per client (clients are
+	// sequential), so a regression means the client observed an old
+	// generation after adopting a newer one.
+	lastGen := make(map[uint32]int)
+	for _, e := range events {
+		if last, ok := lastGen[e.Client]; ok && e.Gen < last {
+			return violation("generation-monotonicity",
+				"client %d completed an operation in generation %d after adopting generation %d",
+				e.Client, e.Gen, last)
+		}
+		lastGen[e.Client] = e.Gen
+	}
+
+	for key, sub := range eventsByGenShard(events) {
+		if err := checkEvents(sub, newService); err != nil {
+			return fmt.Errorf("gen %d shard %d: %w", key.gen, key.shard, err)
 		}
 	}
 	return nil
 }
 
-// eventsByShard groups the recorded events by executing shard.
+// genShard keys one protocol context's sub-history.
+type genShard struct {
+	gen   int
+	shard int
+}
+
+// eventsByGenShard groups events by the protocol context that executed
+// them.
+func eventsByGenShard(events []Event) map[genShard][]Event {
+	byCtx := make(map[genShard][]Event)
+	for _, e := range events {
+		key := genShard{gen: e.Gen, shard: e.Shard}
+		byCtx[key] = append(byCtx[key], e)
+	}
+	return byCtx
+}
+
+// eventsByShard groups the recorded events by executing shard (all
+// generations together — callers that predate resharding record only
+// generation 0).
 func (l *Log) eventsByShard() map[int][]Event {
 	byShard := make(map[int][]Event)
 	for _, e := range l.Events() {
@@ -245,6 +296,19 @@ func (l *Log) Forks() [][]uint32 {
 // events split into several groups while every other shard's stay whole.
 func (l *Log) ShardForks(shard int) [][]uint32 {
 	return forksOf(l.eventsByShard()[shard])
+}
+
+// GenShardForks is ShardForks restricted to one generation — the form a
+// history that crosses a reshard boundary needs, since shard index i
+// before and after the reshard names two unrelated contexts.
+func (l *Log) GenShardForks(gen, shard int) [][]uint32 {
+	var events []Event
+	for _, e := range l.Events() {
+		if e.Gen == gen && e.Shard == shard {
+			events = append(events, e)
+		}
+	}
+	return forksOf(events)
 }
 
 func forksOf(events []Event) [][]uint32 {

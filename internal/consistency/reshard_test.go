@@ -1,0 +1,95 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+
+	"lcm/internal/hashchain"
+	"lcm/internal/kvs"
+)
+
+// record appends a put event for one client on one (gen, shard) context,
+// maintaining that context's chain so replay validation passes.
+type genChain struct {
+	seq   uint64
+	chain hashchain.Value
+}
+
+func putEvent(l *Log, ctx *genChain, client uint32, gen, shard int, key, val string) {
+	op := kvs.Put(key, val)
+	ctx.seq++
+	ctx.chain = hashchain.Extend(ctx.chain, op, ctx.seq, client)
+	res, _ := kvs.New().Apply(op) // put result is state-independent
+	l.Record(Event{
+		Client: client,
+		Gen:    gen,
+		Shard:  shard,
+		Seq:    ctx.seq,
+		Op:     op,
+		Result: res,
+		Chain:  ctx.chain,
+	})
+}
+
+// A history that crosses a reshard boundary validates per (gen, shard):
+// generation 1's shard 0 is a fresh context whose sequence numbers start
+// over, which must not collide with generation 0's shard 0.
+func TestCheckShardedStitchesAcrossReshard(t *testing.T) {
+	l := NewLog()
+	g0s0 := &genChain{}
+	putEvent(l, g0s0, 1, 0, 0, "a", "1")
+	putEvent(l, g0s0, 1, 0, 0, "a", "2")
+	// After the reshard: same shard index, fresh chain, seq restarts.
+	g1s0 := &genChain{}
+	putEvent(l, g1s0, 1, 1, 0, "b", "1")
+	g1s1 := &genChain{}
+	putEvent(l, g1s1, 1, 1, 1, "c", "1")
+
+	if err := l.CheckSharded(kvs.Factory()); err != nil {
+		t.Fatalf("stitched cross-reshard history rejected: %v", err)
+	}
+}
+
+// A client observing the old generation after adopting the new one is a
+// fork across the boundary and must be flagged.
+func TestCheckShardedRejectsGenerationRegression(t *testing.T) {
+	l := NewLog()
+	g1 := &genChain{}
+	putEvent(l, g1, 1, 1, 0, "a", "1")
+	g0 := &genChain{}
+	putEvent(l, g0, 1, 0, 0, "b", "1") // back to the old world
+
+	err := l.CheckSharded(kvs.Factory())
+	if err == nil {
+		t.Fatal("generation regression accepted")
+	}
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Rule != "generation-monotonicity" {
+		t.Fatalf("violation = %v, want generation-monotonicity", err)
+	}
+}
+
+// Without the (gen, shard) split, the same events would collide on
+// sequence numbers; make sure a colliding same-gen history still fails
+// (the split must not mask true violations).
+func TestCheckShardedStillCatchesSameGenCollision(t *testing.T) {
+	l := NewLog()
+	c1 := &genChain{}
+	putEvent(l, c1, 1, 0, 0, "a", "1")
+	// A second client claims the same seq on the same context with a
+	// different chain — a fork that later joins (both at seq 2).
+	c2 := &genChain{}
+	putEvent(l, c2, 2, 0, 0, "x", "9")
+	putEvent(l, c1, 1, 0, 0, "a", "2")
+	l.Record(Event{Client: 2, Gen: 0, Shard: 0, Seq: 2, Op: kvs.Put("a", "2"),
+		Result: mustApply(kvs.Put("a", "2")), Chain: c1.chain})
+
+	if err := l.CheckSharded(kvs.Factory()); err == nil {
+		t.Fatal("joined fork within one generation accepted")
+	}
+}
+
+func mustApply(op []byte) []byte {
+	res, _ := kvs.New().Apply(op)
+	return res
+}

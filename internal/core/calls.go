@@ -20,6 +20,14 @@ const (
 	callMigrateExport
 	callMigrateImport
 	callStatus
+	// Reshard calls (appended in order — the values are part of the ecall
+	// ABI). See reshard.go for the protocol.
+	callReshardChallenge
+	callReshardBegin
+	callReshardPrepare
+	callReshardExport
+	callReshardImport
+	callReshardAbort
 )
 
 // BatchCallSize returns the encoded size of a batch call, for writer
@@ -319,6 +327,8 @@ type Status struct {
 	Stable      uint64 // q: latest majority-stable sequence number
 	AdminSeq    uint64
 	NumClients  int
+	Gen         uint64 // reshard generation this context belongs to
+	Resharding  bool   // frozen mid-reshard (between prepare and export)
 
 	// Persistence observability: the delta chain the host currently holds
 	// and the enclave's compaction history (operators size storage and
@@ -340,6 +350,8 @@ func encodeStatus(s *Status) []byte {
 	w.U64(s.Stable)
 	w.U64(s.AdminSeq)
 	w.U32(uint32(s.NumClients))
+	w.U64(s.Gen)
+	w.Bool(s.Resharding)
 	w.Bool(s.DeltaActive)
 	w.U32(uint32(s.ChainLen))
 	w.U64(uint64(s.ChainBytes))
@@ -368,7 +380,10 @@ type ShardStatus struct {
 
 // DeploymentStatus is the host's aggregated operational view: one entry
 // per shard, answered by the FrameStatus endpoint in a single round trip.
+// Gen is the deployment's reshard generation (0 until the first live
+// reshard); the entries describe the current generation's shards.
 type DeploymentStatus struct {
+	Gen    uint64
 	Shards []ShardStatus
 }
 
@@ -396,7 +411,8 @@ func (d *DeploymentStatus) GroupCommitTotals() (groups, records, maxGroup int) {
 
 // EncodeDeploymentStatus serializes a deployment status response.
 func EncodeDeploymentStatus(d *DeploymentStatus) []byte {
-	w := wire.NewWriter(4 + len(d.Shards)*112)
+	w := wire.NewWriter(12 + len(d.Shards)*112)
+	w.U64(d.Gen)
 	w.U32(uint32(len(d.Shards)))
 	for i := range d.Shards {
 		s := &d.Shards[i]
@@ -415,8 +431,8 @@ func EncodeDeploymentStatus(d *DeploymentStatus) []byte {
 // DecodeDeploymentStatus parses a deployment status response.
 func DecodeDeploymentStatus(b []byte) (*DeploymentStatus, error) {
 	r := wire.NewReader(b)
+	d := &DeploymentStatus{Gen: r.U64()}
 	n := r.U32()
-	d := &DeploymentStatus{}
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		s := ShardStatus{
 			Shard:     int(r.U32()),
@@ -454,6 +470,8 @@ func DecodeStatus(b []byte) (*Status, error) {
 		AdminSeq:    r.U64(),
 	}
 	s.NumClients = int(r.U32())
+	s.Gen = r.U64()
+	s.Resharding = r.Bool()
 	s.DeltaActive = r.Bool()
 	s.ChainLen = int(r.U32())
 	s.ChainBytes = int(r.U64())

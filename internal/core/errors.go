@@ -77,4 +77,18 @@ var (
 	// ErrMigrationAttestation reports a migration target whose quote did
 	// not verify.
 	ErrMigrationAttestation = errors.New("lcm: migration target attestation failed")
+
+	// ErrResharding reports an operation on a trusted context that is
+	// frozen mid-reshard: it has joined a reshard generation (prepare)
+	// but has not yet exported its state. Clients receiving it should
+	// refresh their routing once the reshard completes.
+	ErrResharding = errors.New("lcm: trusted context resharding; refresh routing after the reshard completes")
+
+	// ErrReshardedAway reports an operation on a source shard that has
+	// exported its state to a new reshard generation and stopped.
+	ErrReshardedAway = errors.New("lcm: trusted context resharded away; refresh routing")
+
+	// ErrReshardAttestation reports a reshard target or peer whose quote
+	// did not verify.
+	ErrReshardAttestation = errors.New("lcm: reshard attestation failed")
 )

@@ -106,6 +106,11 @@ const (
 	adDeltaLog  = "lcm/blob/delta/v1"
 	adAdminMsg  = "lcm/msg/admin/v1"
 	adMigration = "lcm/migration/v1"
+
+	// Reshard labels (see reshard.go): pieces are sealed under the
+	// generation key kR, handoffs under the source shard's kC.
+	adReshardPiece   = "lcm/reshard/piece/v1"
+	adReshardHandoff = "lcm/reshard/handoff/v1"
 )
 
 // blobHash condenses a sealed blob (ciphertext) for chain binding.
@@ -117,13 +122,14 @@ func blobHash(blob []byte) [32]byte { return sha256.Sum256(blob) }
 // Alg. 2's init recovers it as V[argmax(V)], and we follow the pseudocode.
 type trustedState struct {
 	AdminSeq uint64
+	Gen      uint64 // reshard generation this context belongs to
 	KC       []byte
 	V        vmap
 	Snapshot []byte
 }
 
 func (s *trustedState) encodedSize() int {
-	size := 32 + len(s.KC) + len(s.Snapshot)
+	size := 40 + len(s.KC) + len(s.Snapshot)
 	for _, e := range s.V {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
@@ -156,6 +162,7 @@ func decodeVEntry(r *wire.Reader) (uint32, *ventry) {
 
 func (s *trustedState) encodeTo(w *wire.Writer) {
 	w.U64(s.AdminSeq)
+	w.U64(s.Gen)
 	w.Var(s.KC)
 	w.U32(uint32(len(s.V)))
 	for _, id := range s.V.clientIDs() {
@@ -172,7 +179,7 @@ func (s *trustedState) encode() []byte {
 
 func decodeTrustedState(b []byte) (*trustedState, error) {
 	r := wire.NewReader(b)
-	s := &trustedState{AdminSeq: r.U64(), KC: r.Var()}
+	s := &trustedState{AdminSeq: r.U64(), Gen: r.U64(), KC: r.Var()}
 	n := r.U32()
 	s.V = make(vmap, n)
 	for i := uint32(0); i < n; i++ {

@@ -49,6 +49,14 @@ type Trusted struct {
 	migrated  bool
 	footprint int64 // last footprint reported to the EPC model
 
+	// Reshard state (see reshard.go): the generation this context
+	// belongs to (persisted in the state blob), the volatile mid-reshard
+	// freeze state, and the resharded-away terminal flag.
+	gen       uint64
+	reshNonce []byte // outstanding reshard challenge, if any
+	resh      *reshardState
+	resharded bool
+
 	// Delta-chain state (see the format docs in state.go): the hash of the
 	// last sealed blob/record, and the log's current size for the
 	// compaction policy. forceCompact makes the next batch re-seal a full
@@ -281,6 +289,7 @@ func (p *Trusted) install(env tee.Env, kp aead.Key, state *trustedState) error {
 	p.kc = kc
 	p.v = state.V
 	p.adminSeq = state.AdminSeq
+	p.gen = state.Gen
 	p.t, p.h = p.v.argmax() // (·, t, h) ← V[argmax(V)]
 	p.chargeFootprint(env)
 	return nil
@@ -352,12 +361,14 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 		}
 		return encodeStatus(&Status{
 			Provisioned:    p.provisioned(),
-			Migrated:       p.migrated,
+			Migrated:       p.migrated || p.resharded,
 			Epoch:          env.Epoch(),
 			Seq:            p.t,
 			Stable:         p.v.majorityStable(),
 			AdminSeq:       p.adminSeq,
 			NumClients:     len(p.v),
+			Gen:            p.gen,
+			Resharding:     p.resh != nil,
 			DeltaActive:    p.deltaActive(),
 			ChainLen:       p.chainLen,
 			ChainBytes:     p.chainBytes,
@@ -365,6 +376,56 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 			Compactions:    p.compactions,
 			LastCompactSeq: p.lastCompactT,
 		}), nil
+	case callReshardChallenge:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardChallenge(env)
+	case callReshardBegin:
+		newShards := int(r.U32())
+		n := r.U32()
+		targetQuotes := make([][]byte, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			targetQuotes = append(targetQuotes, r.Var())
+		}
+		n = r.U32()
+		var peerQuotes [][]byte
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			peerQuotes = append(peerQuotes, r.Var())
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardBegin(env, newShards, targetQuotes, peerQuotes)
+	case callReshardPrepare:
+		senderPub := r.Var()
+		ct := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardPrepare(env, senderPub, ct)
+	case callReshardExport:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardExport(env)
+	case callReshardImport:
+		senderPub := r.Var()
+		leadCT := r.Var()
+		n := r.U32()
+		pieces := make([][]byte, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			pieces = append(pieces, r.Var())
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardImport(env, senderPub, leadCT, pieces)
+	case callReshardAbort:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleReshardAbort(env)
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
 	}
@@ -384,6 +445,15 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 	}
 	if p.migrated {
 		return nil, ErrMigratedAway
+	}
+	if p.resharded {
+		return nil, ErrReshardedAway
+	}
+	if p.resh != nil {
+		// Frozen between prepare and export: refusing (rather than
+		// halting) lets the affected clients keep their ops pending and
+		// resolve them against the handoff after the move.
+		return nil, ErrResharding
 	}
 	fromT := p.t
 	replies := make([][]byte, 0, len(invokes))
@@ -552,6 +622,7 @@ func (p *Trusted) sealState() ([]byte, error) {
 	}
 	state := trustedState{
 		AdminSeq: p.adminSeq,
+		Gen:      p.gen,
 		KC:       p.kc.Bytes(),
 		V:        p.v,
 		Snapshot: snapshot,
@@ -658,6 +729,12 @@ func (p *Trusted) handleAdmin(env tee.Env, ct []byte) ([]byte, error) {
 	if p.migrated {
 		return nil, ErrMigratedAway
 	}
+	if p.resharded {
+		return nil, ErrReshardedAway
+	}
+	if p.resh != nil {
+		return nil, ErrResharding
+	}
 	plain, err := aead.Open(p.kp, ct, []byte(adAdminMsg))
 	if err != nil {
 		return nil, ErrAdminAuth
@@ -707,6 +784,12 @@ func (p *Trusted) handleMigrateChallenge(env tee.Env) ([]byte, error) {
 	if p.migrated {
 		return nil, ErrMigratedAway
 	}
+	if p.resharded {
+		return nil, ErrReshardedAway
+	}
+	if p.resh != nil {
+		return nil, ErrResharding
+	}
 	if p.attestation == nil {
 		return nil, errors.New("lcm: migration requires an attestation root")
 	}
@@ -728,6 +811,12 @@ func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, e
 	if p.migrated {
 		return nil, ErrMigratedAway
 	}
+	if p.resharded {
+		return nil, ErrReshardedAway
+	}
+	if p.resh != nil {
+		return nil, ErrResharding
+	}
 	if p.migNonce == nil {
 		return nil, errors.New("lcm: no outstanding migration challenge")
 	}
@@ -744,6 +833,7 @@ func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, e
 
 	state := trustedState{
 		AdminSeq: p.adminSeq,
+		Gen:      p.gen,
 		KC:       p.kc.Bytes(),
 		V:        p.v.clone(),
 	}
@@ -865,6 +955,10 @@ func (p *Trusted) importChain(env tee.Env, kp aead.Key, state *trustedState, pay
 	if state.AdminSeq != p.adminSeq {
 		p.kp = aead.Key{}
 		return nil, errors.New("lcm: chain-mode migration: admin sequence mismatch against folded state")
+	}
+	if state.Gen != p.gen {
+		p.kp = aead.Key{}
+		return nil, errors.New("lcm: chain-mode migration: reshard generation mismatch against folded state")
 	}
 	p.kc = kc
 	p.v = state.V

@@ -135,6 +135,7 @@ var (
 	_ service.Service      = (*Bank)(nil)
 	_ service.DeltaService = (*Bank)(nil)
 	_ service.Sharder      = (*Bank)(nil)
+	_ service.Resharder    = (*Bank)(nil)
 )
 
 // New returns an empty bank.
@@ -220,11 +221,11 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 
 	case opAbort:
 		id := string(r.Var())
-		r.Var() // source account, carried for client-side routing only
+		from := string(r.Var()) // source account: routing, and tombstone ownership
 		if err := r.Done(); err != nil {
 			return nil, fmt.Errorf("%w: abort: %v", ErrMalformedOp, err)
 		}
-		return b.abort(id), nil
+		return b.abort(id, from), nil
 
 	case opEscrowTotal:
 		if err := r.Done(); err != nil {
@@ -301,12 +302,15 @@ func (b *Bank) settle(id string) []byte {
 // abort refunds an escrow record to its source account. Aborting an
 // unknown id records a tombstone so a delayed prepare for it cannot
 // resurrect the transfer; aborting a settled transfer is refused (the
-// credit already happened — refunding too would mint money).
-func (b *Bank) abort(id string) []byte {
+// credit already happened — refunding too would mint money). The
+// tombstone remembers the source account the coordinator routes this id
+// by, so a reshard keeps the tombstone on the shard where a late phase
+// for the id would land.
+func (b *Bank) abort(id, from string) []byte {
 	key := srcKey(id)
 	rec, ok := b.txs[key]
 	if !ok {
-		b.txs[key] = txRecord{State: txAborted}
+		b.txs[key] = txRecord{State: txAborted, Account: from}
 		b.dirtyTx[key] = struct{}{}
 		return encodeBalance(StatusOK, 0)
 	}
@@ -524,6 +528,83 @@ func (b *Bank) Footprint() int64 {
 		total += int64(len(k)+len(rec.Account)) + 9 + 48
 	}
 	return total
+}
+
+// PartitionState implements service.Resharder. Accounts partition by
+// their own name; escrow/credit transaction records partition by the
+// account they belong to (the source account for src/ records, the
+// credited account for dst/ records) — exactly the account the
+// coordinator routes that transfer id's remaining phases by, so a late
+// settle, abort or duplicate credit still finds its record after the
+// move. Fragments use the snapshot encoding; dirty tracking is untouched.
+func (b *Bank) PartitionState(n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("counter: partition into %d shards", n)
+	}
+	acctBuckets := make([][]string, n)
+	for name := range b.accounts {
+		j := service.ShardIndex(name, n)
+		acctBuckets[j] = append(acctBuckets[j], name)
+	}
+	txBuckets := make([][]string, n)
+	for key, rec := range b.txs {
+		j := service.ShardIndex(rec.Account, n)
+		txBuckets[j] = append(txBuckets[j], key)
+	}
+	fragments := make([][]byte, n)
+	for j := range fragments {
+		names, txKeys := acctBuckets[j], txBuckets[j]
+		sort.Strings(names)
+		sort.Strings(txKeys)
+		w := wire.NewWriter(16 + len(names)*24 + len(txKeys)*40)
+		w.U32(uint32(len(names)))
+		for _, name := range names {
+			w.Var([]byte(name))
+			w.U64(uint64(b.accounts[name]))
+		}
+		w.U32(uint32(len(txKeys)))
+		for _, k := range txKeys {
+			encodeTxRecord(w, k, b.txs[k])
+		}
+		fragments[j] = w.Bytes()
+	}
+	return fragments, nil
+}
+
+// MergeState implements service.Resharder: the union of the fragments
+// becomes the bank's state. Accounts and transaction records are disjoint
+// across source shards; a duplicate means inconsistent fragments.
+func (b *Bank) MergeState(fragments [][]byte) error {
+	for i, frag := range fragments {
+		r := wire.NewReader(frag)
+		n := r.U32()
+		for j := uint32(0); j < n; j++ {
+			name := string(r.Var())
+			balance := int64(r.U64())
+			if r.Err() != nil {
+				break
+			}
+			if _, ok := b.accounts[name]; ok {
+				return fmt.Errorf("counter: merge state: account %q in more than one fragment", name)
+			}
+			b.accounts[name] = balance
+		}
+		ntx := r.U32()
+		for j := uint32(0); j < ntx; j++ {
+			key, rec := decodeTxRecord(r)
+			if r.Err() != nil {
+				break
+			}
+			if _, ok := b.txs[key]; ok {
+				return fmt.Errorf("counter: merge state: transaction %q in more than one fragment", key)
+			}
+			b.txs[key] = rec
+		}
+		if err := r.Done(); err != nil {
+			return fmt.Errorf("counter: merge state: fragment %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // ---- Operation and result codecs ----

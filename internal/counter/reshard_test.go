@@ -1,0 +1,113 @@
+package counter
+
+import (
+	"testing"
+
+	"lcm/internal/service"
+)
+
+// Partitioning a bank keeps every transaction record on the shard its
+// account routes to — including abort tombstones — and merging fragments
+// from disjoint sources conserves balances and escrow.
+func TestBankPartitionStateFollowsAccounts(t *testing.T) {
+	const n = 4
+	b := New()
+	mustApply := func(op []byte) Result {
+		t.Helper()
+		res, err := b.Apply(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := DecodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	mustApply(Inc("alice", 100))
+	mustApply(Inc("bob", 50))
+	// An escrow held by alice, a credit remembered for bob, and an abort
+	// tombstone for an id that never prepared (routed by carol).
+	if cr := mustApply(Prepare("tx1", "alice", 30)); cr.Code != StatusOK {
+		t.Fatalf("prepare: %+v", cr)
+	}
+	if cr := mustApply(Credit("tx2", "bob", 10)); cr.Code != StatusOK {
+		t.Fatalf("credit: %+v", cr)
+	}
+	if cr := mustApply(Abort("tx3", "carol")); cr.Code != StatusOK {
+		t.Fatalf("abort: %+v", cr)
+	}
+
+	wantTotal := b.TotalBalance()
+	wantEscrow := b.EscrowTotal()
+	parts, err := b.PartitionState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	targets := make([]*Bank, n)
+	var gotTotal, gotEscrow int64
+	for j := range targets {
+		targets[j] = New()
+		if err := targets[j].MergeState([][]byte{parts[j]}); err != nil {
+			t.Fatal(err)
+		}
+		gotTotal += targets[j].TotalBalance()
+		gotEscrow += targets[j].EscrowTotal()
+	}
+	if gotTotal != wantTotal || gotEscrow != wantEscrow {
+		t.Fatalf("after split: balances %d escrow %d, want %d / %d", gotTotal, gotEscrow, wantTotal, wantEscrow)
+	}
+
+	// The escrow record lives where alice lives: a settle routed by alice
+	// finds it; every other shard reports the id unknown.
+	aliceShard := service.ShardIndex("alice", n)
+	for j, tgt := range targets {
+		res, err := tgt.Apply(Settle("tx1", "alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, _ := DecodeResult(res)
+		if j == aliceShard && cr.Code != StatusOK {
+			t.Fatalf("settle on alice's shard refused: %+v", cr)
+		}
+		if j != aliceShard && cr.Code != StatusUnknown {
+			t.Fatalf("shard %d unexpectedly held tx1: %+v", j, cr)
+		}
+	}
+	// The duplicate-credit fence moved with bob.
+	bobShard := service.ShardIndex("bob", n)
+	res, err := targets[bobShard].Apply(Credit("tx2", "bob", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr, _ := DecodeResult(res); cr.Code != StatusDuplicate {
+		t.Fatalf("re-issued credit after split = %+v, want duplicate rejection", cr)
+	}
+	// The abort tombstone moved with carol: a late prepare cannot
+	// resurrect the transfer.
+	carolShard := service.ShardIndex("carol", n)
+	res, err = targets[carolShard].Apply(Prepare("tx3", "carol", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr, _ := DecodeResult(res); cr.Code != StatusAborted {
+		t.Fatalf("late prepare after aborted tombstone = %+v, want aborted", cr)
+	}
+}
+
+// Overlapping fragments are rejected.
+func TestBankMergeStateRejectsOverlap(t *testing.T) {
+	b := New()
+	if _, err := b.Apply(Inc("alice", 1)); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := b.PartitionState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := New()
+	if err := tgt.MergeState([][]byte{parts[0], parts[0]}); err == nil {
+		t.Fatal("merge of overlapping fragments succeeded")
+	}
+}

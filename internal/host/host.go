@@ -155,6 +155,12 @@ type connState struct {
 	// connection, fixed at accept time. The honest assignment is the
 	// identity; a forking host points some shard at a fork instance.
 	routes []int
+	// gen is the reshard generation the routes were materialized for. A
+	// connection from an older generation is stale after a reshard: its
+	// frames are answered with a refresh error instead of being routed,
+	// so an old-generation INVOKE can never reach (and halt) a
+	// new-generation enclave whose kC it was not sealed under.
+	gen uint64
 }
 
 func (c *connState) send(frame []byte) error {
@@ -178,10 +184,13 @@ type instance struct {
 
 // Server is the untrusted server application.
 type Server struct {
-	cfg    Config
-	shards int
+	cfg Config
 
 	mu            sync.Mutex
+	shards        int
+	gen           uint64            // reshard generation (0 = as deployed)
+	resharding    bool              // a Reshard call is in flight
+	reshardInfos  map[uint64][]byte // encoded core.ReshardInfo per generation
 	instances     []*instance
 	shardStores   []stablestore.Store
 	routeOverride map[int]int // shard → instance for NEW connections (forks)
@@ -192,8 +201,21 @@ type Server struct {
 	stopOnce sync.Once
 }
 
-// shardPrefix names shard i's storage namespace.
+// shardPrefix names shard i's storage namespace in generation 0.
 func shardPrefix(shard int) string { return "shard" + strconv.Itoa(shard) }
+
+// genShardPrefix names shard j's storage namespace in the given reshard
+// generation. Generation 0 keeps the historical "shard<i>" layout; each
+// later generation gets a fresh sub-tree, so a reshard never overwrites
+// the previous generation's sealed state — the old chain remains
+// available as evidence (and for post-mortems) until the operator
+// reclaims it.
+func genShardPrefix(gen uint64, shard int) string {
+	if gen == 0 {
+		return shardPrefix(shard)
+	}
+	return fmt.Sprintf("gen%d/shard%d", gen, shard)
+}
 
 // New creates a server with one started enclave instance per shard and
 // honest routing (each shard's traffic to its primary).
@@ -213,12 +235,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		shards:        cfg.Shards,
+		reshardInfos:  make(map[uint64][]byte),
 		routeOverride: make(map[int]int),
 		liveConns:     make(map[*connState]struct{}),
 		stop:          make(chan struct{}),
 	}
 	for shard := 0; shard < s.shards; shard++ {
-		s.shardStores = append(s.shardStores, s.storeForShard(shard))
+		s.shardStores = append(s.shardStores, s.storeForShard(0, cfg.Shards, shard))
 	}
 	for shard := 0; shard < s.shards; shard++ {
 		if _, err := s.addInstance(shard); err != nil {
@@ -228,48 +251,81 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// storeForShard builds shard's private view of the configured store. A
-// single-shard deployment keeps the historical unprefixed layout.
-func (s *Server) storeForShard(shard int) stablestore.Store {
-	if s.shards == 1 {
+// storeForShard builds shard's private view of the configured store in
+// the given generation. A generation-0 single-shard deployment keeps the
+// historical unprefixed layout.
+func (s *Server) storeForShard(gen uint64, shards, shard int) stablestore.Store {
+	if gen == 0 && shards == 1 {
 		return s.cfg.Store
 	}
-	return stablestore.NewNamespaced(s.cfg.Store, shardPrefix(shard))
+	return stablestore.NewNamespaced(s.cfg.Store, genShardPrefix(gen, shard))
 }
 
 // ShardSlot returns the slot name shard uses on the underlying store —
 // what adversarial tooling (rollback injection) and storage helpers need
 // to address one shard's blobs from outside its namespace.
 func (s *Server) ShardSlot(shard int, slot string) string {
-	if s.shards == 1 {
+	s.mu.Lock()
+	gen, shards := s.gen, s.shards
+	s.mu.Unlock()
+	if gen == 0 && shards == 1 {
 		return slot
 	}
-	return stablestore.NamespacedSlot(shardPrefix(shard), slot)
+	return stablestore.NamespacedSlot(genShardPrefix(gen, shard), slot)
 }
 
-// Shards returns the number of keyspace shards this server runs.
-func (s *Server) Shards() int { return s.shards }
+// Shards returns the number of keyspace shards this server currently
+// runs (it changes across Reshard calls).
+func (s *Server) Shards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards
+}
+
+// Gen returns the deployment's reshard generation (0 until the first
+// live reshard).
+func (s *Server) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
 
 // addInstance creates, starts and registers a new enclave instance over
 // the given shard's storage namespace, returning its index.
 func (s *Server) addInstance(shard int) (int, error) {
-	if shard < 0 || shard >= s.shards {
-		return 0, fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
-	}
 	s.mu.Lock()
+	if shard < 0 || shard >= s.shards {
+		shards := s.shards
+		s.mu.Unlock()
+		return 0, fmt.Errorf("host: shard %d out of range (%d shards)", shard, shards)
+	}
 	store := s.shardStores[shard]
 	n := len(s.instances)
-	s.mu.Unlock()
-
-	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, store)
-	label := shardPrefix(shard)
+	label := genShardPrefix(s.gen, shard)
 	if n >= s.shards {
 		label = fmt.Sprintf("%s/fork%d", label, n-s.shards+1)
 	}
+	s.mu.Unlock()
+
+	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, store)
 	enclave.SetLabel(label)
 	if err := enclave.Start(); err != nil {
 		return 0, fmt.Errorf("host: start enclave %s: %w", label, err)
 	}
+	inst := s.newInstance(enclave, store, shard)
+	s.mu.Lock()
+	s.instances = append(s.instances, inst)
+	idx := len(s.instances) - 1
+	s.mu.Unlock()
+
+	s.startInstance(inst)
+	return idx, nil
+}
+
+// newInstance assembles the host-side runtime state of one enclave
+// instance (queue, persistence barrier, optional committer) without
+// registering or starting it.
+func (s *Server) newInstance(enclave *tee.Enclave, store stablestore.Store, shard int) *instance {
 	inst := &instance{
 		enclave: enclave,
 		store:   store,
@@ -280,11 +336,11 @@ func (s *Server) addInstance(shard int) (int, error) {
 	if s.cfg.GroupCommit {
 		inst.cm = &committer{srv: s, inst: inst, ch: make(chan commitReq, maxCommitGroup)}
 	}
-	s.mu.Lock()
-	s.instances = append(s.instances, inst)
-	idx := len(s.instances) - 1
-	s.mu.Unlock()
+	return inst
+}
 
+// startInstance launches an instance's committer and batch loop.
+func (s *Server) startInstance(inst *instance) {
 	if inst.cm != nil {
 		s.wg.Add(1)
 		go func() {
@@ -297,7 +353,6 @@ func (s *Server) addInstance(shard int) (int, error) {
 		defer s.wg.Done()
 		s.batchLoop(inst)
 	}()
-	return idx, nil
 }
 
 // instanceAt returns instance idx, or nil when out of range.
@@ -325,6 +380,14 @@ func (s *Server) barrierECall(idx int, payload []byte) ([]byte, error) {
 	if inst == nil {
 		return nil, fmt.Errorf("host: no enclave instance %d", idx)
 	}
+	return s.instanceBarrierECall(inst, payload)
+}
+
+// instanceBarrierECall is barrierECall addressed at an instance the
+// caller already holds — what the reshard coordinator uses to keep
+// talking to the old generation's sources while the instance table is
+// being replaced underneath the indices.
+func (s *Server) instanceBarrierECall(inst *instance, payload []byte) ([]byte, error) {
 	inst.pm.Lock()
 	defer inst.pm.Unlock()
 	if inst.cm != nil {
@@ -355,8 +418,8 @@ func (s *Server) ECall(payload []byte) ([]byte, error) {
 // ShardECall performs a raw enclave call against the given shard's
 // primary instance, behind its persistence barrier.
 func (s *Server) ShardECall(shard int, payload []byte) ([]byte, error) {
-	if shard < 0 || shard >= s.shards {
-		return nil, fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	if shards := s.Shards(); shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("host: shard %d out of range (%d shards)", shard, shards)
 	}
 	return s.barrierECall(shard, payload)
 }
@@ -399,7 +462,7 @@ func (s *Server) Serve(l transport.Listener) error {
 		default:
 		}
 		s.mu.Lock()
-		cs := &connState{conn: conn, routes: s.routesForNewConn()}
+		cs := &connState{conn: conn, routes: s.routesForNewConn(), gen: s.gen}
 		s.liveConns[cs] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -415,18 +478,62 @@ func (s *Server) Serve(l transport.Listener) error {
 	}
 }
 
-// routeFrame resolves a shard-addressed frame payload to the instance
-// serving that shard for this connection.
-func (s *Server) routeFrame(cs *connState, payload []byte) (int, []byte, error) {
-	shard, inner, err := wire.SplitShardPayload(payload)
-	if err != nil {
-		return 0, nil, err
+// resolveRoutes maps shard indices to the instances serving them for
+// this connection. The generation check and every instance resolution
+// happen under ONE critical section: checking first and resolving later
+// would let a reshard swap slip in between, delivering an old-generation
+// invoke to a just-started new-generation enclave (whose correct
+// reaction to the failed authentication is a permanent halt). A frame
+// stamped with a stale generation — or arriving on a connection accepted
+// before the latest reshard — is refused wholesale with the refresh
+// error; per-shard problems (out of range, no instance) fail only that
+// entry. This is the single copy of the routing/refusal policy, shared
+// by the plain and multi-invoke paths.
+func (s *Server) resolveRoutes(cs *connState, gen uint32, shards []int) ([]*instance, []error, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if uint64(gen) != s.gen || cs.gen != s.gen {
+		return nil, nil, errStaleGeneration
 	}
-	if shard >= len(cs.routes) {
-		return 0, nil, fmt.Errorf("host: shard %d out of range (%d shards)", shard, len(cs.routes))
+	insts := make([]*instance, len(shards))
+	errs := make([]error, len(shards))
+	for i, shard := range shards {
+		switch {
+		case shard < 0 || shard >= len(cs.routes):
+			errs[i] = fmt.Errorf("host: shard %d out of range (%d shards)", shard, len(cs.routes))
+		case cs.routes[shard] < 0 || cs.routes[shard] >= len(s.instances):
+			errs[i] = fmt.Errorf("host: no enclave instance for shard %d", shard)
+		default:
+			insts[i] = s.instances[cs.routes[shard]]
+		}
 	}
-	return cs.routes[shard], inner, nil
+	return insts, errs, nil
 }
+
+// routeFrame resolves a single shard-addressed frame payload through
+// resolveRoutes.
+func (s *Server) routeFrame(cs *connState, payload []byte) (*instance, []byte, error) {
+	shard, gen, inner, err := wire.SplitShardPayload(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	insts, errs, err := s.resolveRoutes(cs, gen, []int{shard})
+	if err != nil {
+		return nil, nil, err
+	}
+	if errs[0] != nil {
+		return nil, nil, errs[0]
+	}
+	return insts[0], inner, nil
+}
+
+// errStaleGeneration answers routed frames from connections accepted
+// before the latest reshard: their per-shard routes (and the client's
+// sealed INVOKEs) belong to the old generation, so forwarding them would
+// at best fail authentication at a new-generation enclave. The client
+// refreshes via FrameReshardInfo (served below even on stale
+// connections) and reconnects.
+var errStaleGeneration = errors.New("host: deployment resharded; refresh routing via reshard info")
 
 // connLoop reads frames from one client connection.
 func (s *Server) connLoop(cs *connState) {
@@ -442,14 +549,9 @@ func (s *Server) connLoop(cs *connState) {
 		kind, payload := frame[0], frame[1:]
 		switch kind {
 		case wire.FrameInvoke:
-			idx, invoke, err := s.routeFrame(cs, payload)
+			inst, invoke, err := s.routeFrame(cs, payload)
 			if err != nil {
 				_ = cs.send(wire.ErrorFrame(err))
-				continue
-			}
-			inst := s.instanceAt(idx)
-			if inst == nil {
-				_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: no enclave instance %d", idx)))
 				continue
 			}
 			select {
@@ -461,8 +563,10 @@ func (s *Server) connLoop(cs *connState) {
 			// Scatter: each part joins its shard's batch queue like a
 			// plain invoke; the gather sends one combined response when
 			// every shard has answered. Routing (including fork
-			// overrides) is per part, exactly as for single invokes.
-			parts, err := wire.DecodeMultiShardParts(payload)
+			// overrides) is per part; the generation check and every
+			// part's instance resolution share one critical section for
+			// the same reason as routeFrame.
+			gen, parts, err := wire.DecodeMultiShardParts(payload)
 			if err == nil && len(parts) == 0 {
 				err = errors.New("host: empty multi-shard frame")
 			}
@@ -470,19 +574,23 @@ func (s *Server) connLoop(cs *connState) {
 				_ = cs.send(wire.ErrorFrame(err))
 				continue
 			}
+			shards := make([]int, len(parts))
+			for i, p := range parts {
+				shards[i] = p.Shard
+			}
+			insts, partErrs, err := s.resolveRoutes(cs, gen, shards)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
 			g := newGather(cs, len(parts))
 			for i, p := range parts {
-				if p.Shard >= len(cs.routes) {
-					g.set(i, wire.ErrorFrame(fmt.Errorf("host: shard %d out of range (%d shards)", p.Shard, len(cs.routes))))
-					continue
-				}
-				inst := s.instanceAt(cs.routes[p.Shard])
-				if inst == nil {
-					g.set(i, wire.ErrorFrame(fmt.Errorf("host: no enclave instance for shard %d", p.Shard)))
+				if partErrs[i] != nil {
+					g.set(i, wire.ErrorFrame(partErrs[i]))
 					continue
 				}
 				select {
-				case inst.queue <- request{conn: cs, gather: g, part: i, invoke: p.Payload}:
+				case insts[i].queue <- request{conn: cs, gather: g, part: i, invoke: p.Payload}:
 				case <-s.stop:
 					return
 				}
@@ -490,12 +598,12 @@ func (s *Server) connLoop(cs *connState) {
 		case wire.FrameECall:
 			// Ecalls (status, admin, migration) act as persistence
 			// barriers: queued batch results become durable first.
-			idx, inner, err := s.routeFrame(cs, payload)
+			inst, inner, err := s.routeFrame(cs, payload)
 			if err != nil {
 				_ = cs.send(wire.ErrorFrame(err))
 				continue
 			}
-			resp, err := s.barrierECall(idx, inner)
+			resp, err := s.instanceBarrierECall(inst, inner)
 			if err != nil {
 				_ = cs.send(wire.ErrorFrame(err))
 				continue
@@ -508,6 +616,31 @@ func (s *Server) connLoop(cs *connState) {
 				continue
 			}
 			_ = cs.send(wire.OKFrame(core.EncodeDeploymentStatus(ds)))
+		case wire.FrameReshardInfo:
+			// Every generation's bundle is retained, so a client that
+			// slept through several reshards can walk them one at a
+			// time, verifying each boundary's handoffs with the keys it
+			// adopted at the previous one. An empty payload requests the
+			// latest; [u64 gen] requests a specific generation.
+			var wanted uint64
+			if len(payload) == 8 {
+				r := wire.NewReader(payload)
+				wanted = r.U64()
+			} else if len(payload) != 0 {
+				_ = cs.send(wire.ErrorFrame(errors.New("host: malformed reshard info request")))
+				continue
+			}
+			s.mu.Lock()
+			if wanted == 0 {
+				wanted = s.gen
+			}
+			info := s.reshardInfos[wanted]
+			s.mu.Unlock()
+			if info == nil {
+				_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: no reshard info for generation %d", wanted)))
+				continue
+			}
+			_ = cs.send(wire.OKFrame(info))
 		default:
 			_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: unknown frame kind %d", kind)))
 		}
@@ -876,8 +1009,11 @@ func (s *Server) ShardGroupCommitStats(shard int) (groups, records, maxGroup int
 // stay usable exactly when detection has fired. It answers the
 // wire.FrameStatus endpoint and serves in-process operators directly.
 func (s *Server) DeploymentStatus() (*core.DeploymentStatus, error) {
-	ds := &core.DeploymentStatus{}
-	for shard := 0; shard < s.shards; shard++ {
+	s.mu.Lock()
+	gen, shards := s.gen, s.shards
+	s.mu.Unlock()
+	ds := &core.DeploymentStatus{Gen: gen}
+	for shard := 0; shard < shards; shard++ {
 		entry := core.ShardStatus{Shard: shard}
 		resp, err := s.barrierECall(shard, core.EncodeStatusCall())
 		if err == nil {
@@ -931,8 +1067,8 @@ func (s *Server) AttackRollback(shard, n int) error {
 	if !ok {
 		return errors.New("host: rollback attack needs a RollbackStore")
 	}
-	if shard < 0 || shard >= s.shards {
-		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	if shards := s.Shards(); shard < 0 || shard >= shards {
+		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, shards)
 	}
 	logSlot := s.ShardSlot(shard, core.SlotDeltaLog)
 	blobSlot := s.ShardSlot(shard, core.SlotStateBlob)
@@ -983,8 +1119,8 @@ func (s *Server) RouteNewConnsTo(idx int) {
 // shard's primary enclave, bypassing any client. It returns the enclave's
 // error, which — per the protocol — should be a halt.
 func (s *Server) AttackReplay(shard int, invoke []byte) error {
-	if shard < 0 || shard >= s.shards {
-		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, s.shards)
+	if shards := s.Shards(); shard < 0 || shard >= shards {
+		return fmt.Errorf("host: shard %d out of range (%d shards)", shard, shards)
 	}
 	_, err := s.Enclave(shard).Call(core.EncodeBatchCall([][]byte{invoke}))
 	return err

@@ -29,6 +29,13 @@ import (
 //
 // The destination's delta log is truncated first, so a retry after a
 // partial copy cannot splice two copies together.
+//
+// The delta log streams slot-by-slot in bounded chunks
+// (stablestore.ScanLog): at no point is more than copyChunkRecords
+// records or ~copyChunkBytes of log resident, so a multi-gigabyte chain
+// copies in constant memory. Reshard staging (Server.Reshard) reuses
+// this path to fan each source shard's chain out to every target's
+// namespace.
 func CopyStorage(src, dst stablestore.Store) error {
 	blob, err := src.Load(core.SlotStateBlob)
 	if errors.Is(err, stablestore.ErrNotFound) {
@@ -40,15 +47,48 @@ func CopyStorage(src, dst stablestore.Store) error {
 	if err := dst.Store(core.SlotStateBlob, blob); err != nil {
 		return fmt.Errorf("host: copy storage: store state blob: %w", err)
 	}
-	records, err := src.LoadLog(core.SlotDeltaLog)
-	if err != nil {
-		return fmt.Errorf("host: copy storage: load delta log: %w", err)
-	}
 	if err := dst.TruncateLog(core.SlotDeltaLog); err != nil {
 		return fmt.Errorf("host: copy storage: truncate destination log: %w", err)
 	}
-	if err := dst.AppendGroup(core.SlotDeltaLog, records); err != nil {
-		return fmt.Errorf("host: copy storage: append delta log: %w", err)
+	return copyLogStreaming(src, dst, core.SlotDeltaLog)
+}
+
+// Chunking bounds for the streaming log copy: a chunk flushes to the
+// destination once it covers this many records or roughly this many
+// bytes, whichever comes first.
+const (
+	copyChunkRecords = 64
+	copyChunkBytes   = 1 << 20
+)
+
+// copyLogStreaming appends src's log slot to dst's in bounded chunks.
+func copyLogStreaming(src, dst stablestore.Store, slot string) error {
+	var (
+		chunk      [][]byte
+		chunkBytes int
+	)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := dst.AppendGroup(slot, chunk); err != nil {
+			return fmt.Errorf("host: copy storage: append delta log: %w", err)
+		}
+		chunk, chunkBytes = chunk[:0], 0
+		return nil
 	}
-	return nil
+	err := stablestore.ScanLog(src, slot, func(record []byte) error {
+		// ScanLog implementations may reuse nothing — records are fresh
+		// copies — so the chunk can retain them directly.
+		chunk = append(chunk, record)
+		chunkBytes += len(record)
+		if len(chunk) >= copyChunkRecords || chunkBytes >= copyChunkBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("host: copy storage: scan delta log: %w", err)
+	}
+	return flush()
 }

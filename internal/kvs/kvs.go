@@ -68,6 +68,7 @@ var (
 	_ service.DeltaService = (*Store)(nil)
 	_ service.Sharder      = (*Store)(nil)
 	_ service.Scanner      = (*Store)(nil)
+	_ service.Resharder    = (*Store)(nil)
 )
 
 // New returns an empty store.
@@ -365,6 +366,61 @@ func (s *Store) ApplyDelta(delta []byte) error {
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("kvs: apply delta: %w", err)
+	}
+	return nil
+}
+
+// PartitionState implements service.Resharder: fragment j receives
+// exactly the keys ShardIndex maps onto shard j under an n-way partition,
+// each fragment encoded like a snapshot (sorted, deterministic). The
+// dirty set is untouched — resharding freezes the instance around the
+// split, so delta tracking must survive an aborted attempt.
+func (s *Store) PartitionState(n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kvs: partition into %d shards", n)
+	}
+	buckets := make([][]string, n)
+	for k := range s.data {
+		j := service.ShardIndex(k, n)
+		buckets[j] = append(buckets[j], k)
+	}
+	fragments := make([][]byte, n)
+	for j, keys := range buckets {
+		sort.Strings(keys)
+		w := wire.NewWriter(16 + len(keys)*32)
+		w.U32(uint32(len(keys)))
+		for _, k := range keys {
+			w.Var([]byte(k))
+			w.Var([]byte(s.data[k]))
+		}
+		fragments[j] = w.Bytes()
+	}
+	return fragments, nil
+}
+
+// MergeState implements service.Resharder: the union of the fragments
+// becomes the store's state. Source shards partition the keyspace, so the
+// fragments are disjoint; a duplicate key means the fragments were not
+// produced by one consistent split and is rejected.
+func (s *Store) MergeState(fragments [][]byte) error {
+	for i, frag := range fragments {
+		r := wire.NewReader(frag)
+		n := r.U32()
+		for j := uint32(0); j < n; j++ {
+			k := string(r.Var())
+			v := string(r.Var())
+			if r.Err() != nil {
+				break
+			}
+			if _, ok := s.data[k]; ok {
+				return fmt.Errorf("kvs: merge state: key %q in more than one fragment", k)
+			}
+			s.data[k] = v
+			s.footprint += entryFootprint(k, v)
+		}
+		if err := r.Done(); err != nil {
+			return fmt.Errorf("kvs: merge state: fragment %d: %w", i, err)
+		}
 	}
 	return nil
 }

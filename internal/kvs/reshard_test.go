@@ -1,0 +1,114 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"lcm/internal/service"
+)
+
+// PartitionState assigns every key to exactly the fragment its hash
+// names, and merging the fragments of disjoint sources reproduces their
+// union — the Resharder contract a live reshard leans on.
+func TestPartitionStateMergeRoundTrip(t *testing.T) {
+	const n = 4
+	sources := make([]*Store, 2)
+	want := map[string]string{}
+	for si := range sources {
+		sources[si] = New()
+		for i := 0; i < 40; i++ {
+			// Disjoint keyspaces, like two shards of one deployment.
+			k := fmt.Sprintf("s%d-key-%03d", si, i)
+			v := fmt.Sprintf("val-%d-%d", si, i)
+			if _, err := sources[si].Apply(Put(k, v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		}
+	}
+
+	// Each target merges its fragment from every source.
+	targets := make([]*Store, n)
+	for j := range targets {
+		targets[j] = New()
+		var frags [][]byte
+		for _, src := range sources {
+			parts, err := src.PartitionState(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parts) != n {
+				t.Fatalf("PartitionState returned %d fragments, want %d", len(parts), n)
+			}
+			frags = append(frags, parts[j])
+		}
+		if err := targets[j].MergeState(frags); err != nil {
+			t.Fatalf("target %d merge: %v", j, err)
+		}
+	}
+
+	total := 0
+	for j, tgt := range targets {
+		total += tgt.Len()
+		// Placement: every key on target j hashes to j.
+		for k, v := range want {
+			if service.ShardIndex(k, n) != j {
+				continue
+			}
+			res, err := tgt.Apply(Get(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kv, err := DecodeResult(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !kv.Found || string(kv.Value) != v {
+				t.Fatalf("target %d key %q = %q (found=%v), want %q", j, k, kv.Value, kv.Found, v)
+			}
+		}
+	}
+	if total != len(want) {
+		t.Fatalf("targets hold %d keys, sources held %d", total, len(want))
+	}
+}
+
+// A duplicated key across fragments marks an inconsistent split and is
+// rejected rather than silently overwritten.
+func TestMergeStateRejectsOverlap(t *testing.T) {
+	src := New()
+	if _, err := src.Apply(Put("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := src.PartitionState(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := New()
+	if err := tgt.MergeState([][]byte{parts[0], parts[0]}); err == nil {
+		t.Fatal("merge of overlapping fragments succeeded")
+	}
+}
+
+// PartitionState must not disturb delta tracking: an aborted reshard
+// resumes delta persistence with nothing lost.
+func TestPartitionStatePreservesDirtyTracking(t *testing.T) {
+	s := New()
+	if _, err := s.Apply(Put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PartitionState(4); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := s.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if err := fresh.ApplyDelta(delta); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("delta after PartitionState lost the dirty key (len=%d)", fresh.Len())
+	}
+}

@@ -107,6 +107,39 @@ type Scanner interface {
 	MergeScans(op []byte, parts [][]byte) ([]byte, error)
 }
 
+// Resharder is an optional extension for services whose state can be
+// re-partitioned online. A live resharding (growing or shrinking the
+// shard count of a deployment) runs inside the trusted contexts: each
+// source shard's enclave splits its current state into one fragment per
+// new shard (every item goes to ShardIndex(name, newShards)), and each
+// new shard's enclave merges the fragments it receives — one from every
+// source — into its initial state. The split/merge happens where the
+// plaintext exists, so the untrusted host only ever relays sealed
+// fragments.
+//
+// The contract mirrors the Scanner's partition property in reverse:
+// for any state S and any n, merging PartitionState(n)'s fragments
+// (each restored on an empty instance) across all source shards must
+// reproduce exactly the union of the sources' states, and fragment j
+// must contain precisely the items with ShardIndex(name, n) == j.
+// Both bundled services implement it (internal/kvs and internal/counter).
+type Resharder interface {
+	Service
+
+	// PartitionState splits the current state into n fragments by item
+	// name: fragment j holds exactly the items ShardIndex maps to shard j
+	// under an n-way partition. Unlike Snapshot it must not disturb the
+	// delta/dirty tracking — the caller freezes the instance around it.
+	PartitionState(n int) ([][]byte, error)
+
+	// MergeState folds fragments produced by PartitionState on disjoint
+	// source states into the current state. Item sets are disjoint by
+	// construction (each item lived on exactly one source shard), so the
+	// merge is a plain union; an overlap indicates corrupt fragments and
+	// must be reported as an error.
+	MergeState(fragments [][]byte) error
+}
+
 // ShardIndex maps an item name onto one of n shards with a stable hash
 // (FNV-1a). Every layer — client routing, bench harnesses, tests picking
 // shard-local keys — must use this one function so they agree on the

@@ -11,8 +11,10 @@
 package stablestore
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -64,6 +66,40 @@ type Lister interface {
 	Slots() []string
 }
 
+// LogScanner is an optional Store extension for streaming reads of log
+// slots: fn is called once per record, in append order, without the
+// whole log ever being resident. Large delta logs are copied (migration
+// staging, reshard splits) through this path in bounded chunks instead
+// of one LoadLog allocation.
+//
+// Implementations must not hold their internal locks across fn — the
+// callback may write to the same underlying store (copying between two
+// namespaces of one physical store is exactly the reshard staging
+// pattern). The scan observes a consistent prefix: records appended
+// after the scan started may or may not be visited.
+type LogScanner interface {
+	ScanLog(slot string, fn func(record []byte) error) error
+}
+
+// ScanLog streams the records of a log slot on any Store: through the
+// store's own LogScanner when implemented, otherwise by falling back to
+// LoadLog (one allocation, for stores that cannot stream).
+func ScanLog(s Store, slot string, fn func(record []byte) error) error {
+	if scanner, ok := s.(LogScanner); ok {
+		return scanner.ScanLog(slot, fn)
+	}
+	records, err := s.LoadLog(slot)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MemStore is an in-memory Store for tests and benchmarks.
 type MemStore struct {
 	mu    sync.RWMutex
@@ -72,8 +108,9 @@ type MemStore struct {
 }
 
 var (
-	_ Store  = (*MemStore)(nil)
-	_ Lister = (*MemStore)(nil)
+	_ Store      = (*MemStore)(nil)
+	_ Lister     = (*MemStore)(nil)
+	_ LogScanner = (*MemStore)(nil)
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -148,6 +185,26 @@ func (s *MemStore) TruncateLog(slot string) error {
 	return nil
 }
 
+// ScanLog implements LogScanner. The snapshot is taken under the lock;
+// fn runs outside it, so a callback may write back into this store.
+func (s *MemStore) ScanLog(slot string, fn func(record []byte) error) error {
+	s.mu.RLock()
+	log := s.logs[slot]
+	snapshot := make([][]byte, len(log))
+	for i, rec := range log {
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		snapshot[i] = cp
+	}
+	s.mu.RUnlock()
+	for _, rec := range snapshot {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Slots implements Lister.
 func (s *MemStore) Slots() []string {
 	s.mu.RLock()
@@ -174,8 +231,9 @@ type FileStore struct {
 }
 
 var (
-	_ Store  = (*FileStore)(nil)
-	_ Lister = (*FileStore)(nil)
+	_ Store      = (*FileStore)(nil)
+	_ Lister     = (*FileStore)(nil)
+	_ LogScanner = (*FileStore)(nil)
 )
 
 // NewFileStore creates (if necessary) dir and returns a FileStore over it.
@@ -323,6 +381,55 @@ func (s *FileStore) LoadLog(slot string) ([][]byte, error) {
 	return wire.SplitLogFrames(raw), nil
 }
 
+// ScanLog implements LogScanner: records stream through a bounded read
+// buffer, so a multi-gigabyte delta log is copied without ever being
+// resident. The scan covers the file's size at scan start (a consistent
+// prefix — later appends are by construction unacknowledged relative to
+// the scan); a torn trailing frame is dropped exactly like in LoadLog.
+// The store's lock is only held to snapshot the size, never across fn,
+// so a callback may append to another slot of this same store.
+func (s *FileStore) ScanLog(slot string, fn func(record []byte) error) error {
+	s.mu.Lock()
+	path := s.logPath(slot)
+	fi, err := os.Stat(path)
+	s.mu.Unlock()
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("stablestore: scan log: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("stablestore: scan log: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(io.LimitReader(f, fi.Size()), 64<<10)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header
+			}
+			return fmt.Errorf("stablestore: scan log: %w", err)
+		}
+		n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+		if n < 0 {
+			return nil // corrupt length; treat like a torn tail
+		}
+		rec := make([]byte, n)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn payload
+			}
+			return fmt.Errorf("stablestore: scan log: %w", err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
 // TruncateLog implements Store.
 func (s *FileStore) TruncateLog(slot string) error {
 	s.mu.Lock()
@@ -411,6 +518,14 @@ func (s *Namespaced) LoadLog(slot string) ([][]byte, error) {
 func (s *Namespaced) TruncateLog(slot string) error {
 	return s.inner.TruncateLog(s.slot(slot))
 }
+
+// ScanLog implements LogScanner, streaming through the inner store's
+// scanner when it has one (falling back to one LoadLog otherwise).
+func (s *Namespaced) ScanLog(slot string, fn func(record []byte) error) error {
+	return ScanLog(s.inner, s.slot(slot), fn)
+}
+
+var _ LogScanner = (*Namespaced)(nil)
 
 // RollbackStore wraps a Store and retains the full version history of every
 // slot, modelling a malicious server's stable storage. While inactive it
@@ -546,6 +661,30 @@ func (s *RollbackStore) TruncateLog(slot string) error {
 	}
 	return s.inner.TruncateLog(slot)
 }
+
+// ScanLog implements LogScanner: the log-truncation attack applies to
+// streamed reads exactly as to LoadLog, so an adversarial store cannot
+// be bypassed by the streaming copy path.
+func (s *RollbackStore) ScanLog(slot string, fn func(record []byte) error) error {
+	s.mu.Lock()
+	_, pinned := s.logPin[slot]
+	s.mu.Unlock()
+	if pinned {
+		records, err := s.LoadLog(slot)
+		if err != nil {
+			return err
+		}
+		for _, rec := range records {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ScanLog(s.inner, slot, fn)
+}
+
+var _ LogScanner = (*RollbackStore)(nil)
 
 // LogLen returns the number of records currently in the log slot.
 func (s *RollbackStore) LogLen(slot string) int {
@@ -698,6 +837,13 @@ func (s *CrashStore) AppendGroup(slot string, records [][]byte) error {
 func (s *CrashStore) LoadLog(slot string) ([][]byte, error) {
 	return s.inner.LoadLog(slot)
 }
+
+// ScanLog implements LogScanner; reads are never crash-charged.
+func (s *CrashStore) ScanLog(slot string, fn func(record []byte) error) error {
+	return ScanLog(s.inner, slot, fn)
+}
+
+var _ LogScanner = (*CrashStore)(nil)
 
 // TruncateLog implements Store; truncations count as writes.
 func (s *CrashStore) TruncateLog(slot string) error {

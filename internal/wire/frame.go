@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -33,6 +34,13 @@ const (
 	// ordinary sealed INVOKE for its shard's context; the bundling is pure
 	// untrusted transport, with no protocol meaning.
 	FrameMultiInvoke
+	// FrameReshardInfo requests the deployment's latest reshard handoff
+	// bundle (an encoded core.ReshardInfo): the new generation and shard
+	// count — untrusted routing metadata — plus one handoff ciphertext
+	// per old shard, each sealed under that shard's communication key.
+	// Clients verify the handoffs before adopting the new routing; the
+	// host merely stores and serves them. The payload is empty.
+	FrameReshardInfo
 )
 
 // MaxShards bounds the shard index representable in the one-byte routing
@@ -40,26 +48,34 @@ const (
 const MaxShards = 256
 
 // EncodeShardFrame builds a request frame addressed to one shard:
-// [kind][u8 shard][payload]. The shard byte is untrusted routing metadata
-// for the host — the protocol's integrity never rests on it, because each
-// shard's INVOKEs are sealed under that shard's own communication key, so
-// a frame misrouted (accidentally or maliciously) to another shard fails
-// authentication there.
-func EncodeShardFrame(kind byte, shard int, payload []byte) []byte {
-	out := make([]byte, 2+len(payload))
+// [kind][u8 shard][u32 gen][payload]. The shard byte and the reshard
+// generation are untrusted routing metadata for the host — the
+// protocol's integrity never rests on them, because each shard's INVOKEs
+// are sealed under that shard's own communication key, so a frame
+// misrouted (accidentally or maliciously) to another shard fails
+// authentication there. The generation exists for availability, not
+// integrity: a client that has not yet adopted a live reshard would
+// otherwise land its old-generation ciphertext on a new-generation
+// enclave, whose (correct!) reaction to the failed authentication is a
+// permanent halt. Stamping the generation lets the host answer such
+// frames with a refresh error instead of routing them.
+func EncodeShardFrame(kind byte, shard int, gen uint32, payload []byte) []byte {
+	out := make([]byte, 6+len(payload))
 	out[0] = kind
 	out[1] = byte(shard)
-	copy(out[2:], payload)
+	binary.BigEndian.PutUint32(out[2:6], gen)
+	copy(out[6:], payload)
 	return out
 }
 
 // SplitShardPayload splits a shard-addressed frame payload (everything
-// after the kind byte) into the shard index and the inner payload.
-func SplitShardPayload(payload []byte) (shard int, inner []byte, err error) {
-	if len(payload) == 0 {
-		return 0, nil, errors.New("wire: shard frame missing routing byte")
+// after the kind byte) into the shard index, the sender's reshard
+// generation and the inner payload.
+func SplitShardPayload(payload []byte) (shard int, gen uint32, inner []byte, err error) {
+	if len(payload) < 5 {
+		return 0, 0, nil, errors.New("wire: shard frame missing routing header")
 	}
-	return int(payload[0]), payload[1:], nil
+	return int(payload[0]), binary.BigEndian.Uint32(payload[1:5]), payload[5:], nil
 }
 
 // ShardPart is one shard-addressed payload of a multi-shard frame.
@@ -69,18 +85,22 @@ type ShardPart struct {
 }
 
 // EncodeMultiShardFrame builds a FrameMultiInvoke request carrying one
-// sealed INVOKE per part: [kind][u16 count]([u8 shard][var payload])*.
+// sealed INVOKE per part:
+// [kind][u32 gen][u16 count]([u8 shard][var payload])*.
 // The count is two bytes so a fan-out over the full MaxShards (256)
-// shard space still encodes. Like the single-shard routing byte, the
-// shard indices are untrusted metadata — a misrouted part fails
-// authentication at the receiving shard's context.
-func EncodeMultiShardFrame(parts []ShardPart) []byte {
-	size := 3
+// shard space still encodes. Like the single-shard routing header, the
+// generation and shard indices are untrusted metadata — a misrouted part
+// fails authentication at the receiving shard's context, and the
+// generation only exists so a stale client's fan-out is answered with a
+// refresh error instead of being routed (see EncodeShardFrame).
+func EncodeMultiShardFrame(gen uint32, parts []ShardPart) []byte {
+	size := 7
 	for _, p := range parts {
 		size += 1 + 4 + len(p.Payload)
 	}
 	w := NewWriter(size)
 	w.U8(FrameMultiInvoke)
+	w.U32(gen)
 	w.U16(uint16(len(parts)))
 	for _, p := range parts {
 		w.U8(byte(p.Shard))
@@ -90,9 +110,11 @@ func EncodeMultiShardFrame(parts []ShardPart) []byte {
 }
 
 // DecodeMultiShardParts parses a FrameMultiInvoke payload (everything
-// after the kind byte) into its shard-addressed parts.
-func DecodeMultiShardParts(payload []byte) ([]ShardPart, error) {
+// after the kind byte) into the sender's generation and its
+// shard-addressed parts.
+func DecodeMultiShardParts(payload []byte) (uint32, []ShardPart, error) {
 	r := NewReader(payload)
+	gen := r.U32()
 	n := int(r.U16())
 	parts := make([]ShardPart, 0, n)
 	for i := 0; i < n; i++ {
@@ -101,9 +123,9 @@ func DecodeMultiShardParts(payload []byte) ([]ShardPart, error) {
 		parts = append(parts, ShardPart{Shard: shard, Payload: inner})
 	}
 	if err := r.Done(); err != nil {
-		return nil, fmt.Errorf("wire: decode multi-shard frame: %w", err)
+		return 0, nil, fmt.Errorf("wire: decode multi-shard frame: %w", err)
 	}
-	return parts, nil
+	return gen, parts, nil
 }
 
 // EncodeMultiResponse bundles per-part response frames (each an OKFrame or

@@ -12,14 +12,17 @@ func TestMultiShardFrameRoundTrip(t *testing.T) {
 		{Shard: 7, Payload: nil},
 		{Shard: 255, Payload: []byte("z")},
 	}
-	frame := EncodeMultiShardFrame(parts)
+	frame := EncodeMultiShardFrame(3, parts)
 	kind, payload, err := DecodeFrame(frame)
 	if err != nil || kind != FrameMultiInvoke {
 		t.Fatalf("frame kind = %d, err %v", kind, err)
 	}
-	got, err := DecodeMultiShardParts(payload)
+	gen, got, err := DecodeMultiShardParts(payload)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if gen != 3 {
+		t.Fatalf("decoded gen = %d, want 3", gen)
 	}
 	if len(got) != len(parts) {
 		t.Fatalf("decoded %d parts, want %d", len(got), len(parts))
@@ -32,12 +35,12 @@ func TestMultiShardFrameRoundTrip(t *testing.T) {
 }
 
 func TestMultiShardFrameRejectsGarbage(t *testing.T) {
-	if _, err := DecodeMultiShardParts([]byte{3, 0}); err == nil {
+	if _, _, err := DecodeMultiShardParts([]byte{3, 0}); err == nil {
 		t.Fatal("truncated multi-shard frame accepted")
 	}
 	// Trailing bytes after the declared parts are an error too.
-	frame := EncodeMultiShardFrame([]ShardPart{{Shard: 1, Payload: []byte("x")}})
-	if _, err := DecodeMultiShardParts(append(frame[1:], 0xFF)); err == nil {
+	frame := EncodeMultiShardFrame(0, []ShardPart{{Shard: 1, Payload: []byte("x")}})
+	if _, _, err := DecodeMultiShardParts(append(frame[1:], 0xFF)); err == nil {
 		t.Fatal("trailing bytes accepted")
 	}
 }

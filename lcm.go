@@ -132,6 +132,23 @@ type (
 	// TransferOutcome reports how a transfer ended.
 	TransferOutcome = client.TransferOutcome
 
+	// Resharder is the optional service extension a live reshard needs:
+	// splitting a shard's state by the new shard index and merging
+	// fragments on the targets.
+	Resharder = service.Resharder
+
+	// ReshardStats summarizes one completed live reshard
+	// (Server.Reshard).
+	ReshardStats = host.ReshardStats
+
+	// ReshardInfo is the handoff bundle a resharded host serves; verify
+	// it with ShardedSession.VerifyReshard before adopting.
+	ReshardInfo = core.ReshardInfo
+
+	// ReshardPending describes the fate of an operation that was pending
+	// when the deployment resharded.
+	ReshardPending = client.ReshardPending
+
 	// LatencyModel centralizes the simulation's injected hardware
 	// latencies.
 	LatencyModel = latency.Model
@@ -244,8 +261,14 @@ func ResumeShardedSession(conn transport.Conn, states []*ClientState, kcs []Key,
 func ShardIndex(key string, n int) int { return service.ShardIndex(key, n) }
 
 // CopyStorage ships the sealed state blob and delta log from one host's
-// storage to another's for a chain-mode migration without shared storage.
+// storage to another's — streamed in bounded chunks — for a chain-mode
+// migration without shared storage (reshard staging reuses it).
 func CopyStorage(src, dst stablestore.Store) error { return host.CopyStorage(src, dst) }
+
+// NeedsReshardRefresh reports whether an operation error means the
+// deployment live-resharded underneath the session; refresh with
+// ShardedSession.Refresh and resolve pending operations from the report.
+func NeedsReshardRefresh(err error) bool { return client.NeedsReshardRefresh(err) }
 
 // QueryStatus fetches a trusted context's status through any call path.
 func QueryStatus(call core.CallFunc) (*Status, error) { return core.QueryStatus(call) }

@@ -1,0 +1,151 @@
+// Command benchdiff gates CI on bench regressions: it compares the
+// throughput series of a fresh BENCH_ci.json against the committed
+// BENCH_baseline.json and fails when any series point fell below the
+// tolerated fraction of its baseline.
+//
+//	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-minratio 0.35]
+//
+// Matching is by (series name, point Name, X). Rules:
+//
+//   - current/baseline throughput >= minratio → PASS (improvements pass
+//     trivially and are reported);
+//   - below minratio → FAIL;
+//   - a baseline series or point missing from the current run → FAIL
+//     (a silently dropped measurement must not pass the gate);
+//   - points whose baseline throughput is 0 (e.g. pause-only points that
+//     report latency, not throughput) are skipped;
+//   - series present only in the current run are reported as NEW and
+//     pass — they become gated once the baseline is refreshed.
+//
+// The default tolerance is deliberately loose (0.35, i.e. the current
+// run must reach 35 % of baseline throughput): shared CI runners are
+// noisy and the gate exists to catch collapses (a series losing most of
+// its throughput, a deadlocked pipeline), not single-digit drift.
+//
+// # Refreshing the baseline
+//
+// When a change intentionally shifts performance (or adds a series),
+// regenerate the baseline with exactly the CI bench invocation and
+// commit it:
+//
+//	go run ./cmd/lcm-bench -experiment ci -duration 500ms -scale 0.2 -jsonOut BENCH_baseline.json
+//
+// and mention the reason in the commit message.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// point mirrors benchrun.AblationPoint's JSON (decoupled on purpose: the
+// gate must keep reading old baselines even if the bench struct grows).
+type point struct {
+	Name       string
+	X          int
+	Throughput float64
+	MeanLat    time.Duration
+}
+
+// report mirrors the lcm-bench -jsonOut envelope.
+type report struct {
+	Series map[string][]point
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+		currentPath  = flag.String("current", "BENCH_ci.json", "freshly measured JSON")
+		minRatio     = flag.Float64("minratio", 0.35, "minimum current/baseline throughput ratio per point")
+	)
+	flag.Parse()
+	failures, err := run(*baselinePath, *currentPath, *minRatio, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regressed/missing point(s) below ratio %.2f\n", failures, *minRatio)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all series within tolerance")
+}
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(r.Series) == 0 {
+		return nil, fmt.Errorf("%s holds no series", path)
+	}
+	return &r, nil
+}
+
+// key identifies one comparable point within a series.
+type key struct {
+	Name string
+	X    int
+}
+
+func run(baselinePath, currentPath string, minRatio float64, out io.Writer) (failures int, err error) {
+	baseline, err := load(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	current, err := load(currentPath)
+	if err != nil {
+		return 0, err
+	}
+
+	series := make([]string, 0, len(baseline.Series))
+	for name := range baseline.Series {
+		series = append(series, name)
+	}
+	sort.Strings(series)
+
+	for _, name := range series {
+		currentPoints := make(map[key]point)
+		for _, p := range current.Series[name] {
+			currentPoints[key{p.Name, p.X}] = p
+		}
+		// A series absent from the current run degrades to every one of
+		// its gated points reporting missing below.
+		for _, base := range baseline.Series[name] {
+			if base.Throughput == 0 {
+				continue // latency-only point (e.g. reshard pause): not gated
+			}
+			cur, ok := currentPoints[key{base.Name, base.X}]
+			if !ok {
+				fmt.Fprintf(out, "FAIL %-20s %-24s x=%-4d missing from the current run\n", name, base.Name, base.X)
+				failures++
+				continue
+			}
+			ratio := cur.Throughput / base.Throughput
+			verdict, suffix := "PASS", ""
+			if ratio < minRatio {
+				verdict = "FAIL"
+				failures++
+			} else if ratio > 1 {
+				suffix = " (improved)"
+			}
+			fmt.Fprintf(out, "%-4s %-20s %-24s x=%-4d %9.1f -> %9.1f ops/s (%.2fx)%s\n",
+				verdict, name, base.Name, base.X, base.Throughput, cur.Throughput, ratio, suffix)
+		}
+	}
+	for name := range current.Series {
+		if _, ok := baseline.Series[name]; !ok {
+			fmt.Fprintf(out, "NEW  %-20s not in baseline (refresh BENCH_baseline.json to gate it)\n", name)
+		}
+	}
+	return failures, nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport drops a JSON report into dir and returns its path.
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "Series": {
+    "sealAblation": [
+      {"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+      {"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+    ],
+    "reshardAblation": [
+      {"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0},
+      {"Name": "lcm-reshard2to4-pause", "X": 4, "Throughput": 0, "MeanLat": 1000000}
+    ]
+  }
+}`
+
+func TestBenchdiff(t *testing.T) {
+	cases := []struct {
+		name         string
+		current      string
+		minRatio     float64
+		wantFailures int
+		wantOutput   []string
+	}{
+		{
+			name:         "identical baseline passes",
+			current:      baselineJSON,
+			minRatio:     0.35,
+			wantFailures: 0,
+			wantOutput:   []string{"PASS sealAblation", "1.00x"},
+		},
+		{
+			name: "regressed series fails",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 30.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0},
+					{"Name": "lcm-reshard2to4-pause", "X": 4, "Throughput": 0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 1,
+			wantOutput:   []string{"FAIL sealAblation", "lcm-seal-delta", "0.07x"},
+		},
+		{
+			name: "improved series passes",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 220.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 900.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 80.0},
+					{"Name": "lcm-reshard2to4-pause", "X": 4, "Throughput": 0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 0,
+			wantOutput:   []string{"(improved)"},
+		},
+		{
+			name: "missing series fails",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 1, // the one throughput-bearing reshard point is absent
+			wantOutput:   []string{"missing from the current run"},
+		},
+		{
+			name: "missing point fails",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 1,
+			wantOutput:   []string{"FAIL", "lcm-seal-delta", "missing from the current run"},
+		},
+		{
+			name: "latency-only points are not gated",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 0,
+		},
+		{
+			name: "new series reported but passing",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				],
+				"brandNew": [
+					{"Name": "shiny", "X": 1, "Throughput": 1.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 0,
+			wantOutput:   []string{"NEW  brandNew"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			baseline := writeReport(t, dir, "baseline.json", baselineJSON)
+			current := writeReport(t, dir, "current.json", tc.current)
+			var out bytes.Buffer
+			failures, err := run(baseline, current, tc.minRatio, &out)
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+			if failures != tc.wantFailures {
+				t.Fatalf("failures = %d, want %d\n%s", failures, tc.wantFailures, out.String())
+			}
+			for _, want := range tc.wantOutput {
+				if !strings.Contains(out.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestBenchdiffRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := writeReport(t, dir, "empty.json", `{"Series": {}}`)
+	good := writeReport(t, dir, "good.json", baselineJSON)
+	if _, err := run(empty, good, 0.35, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := run(good, filepath.Join(dir, "nope.json"), 0.35, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing current file accepted")
+	}
+	garbage := writeReport(t, dir, "garbage.json", `{`)
+	if _, err := run(good, garbage, 0.35, &bytes.Buffer{}); err == nil {
+		t.Fatal("unparseable current file accepted")
+	}
+}
