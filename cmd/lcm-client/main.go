@@ -275,6 +275,10 @@ func printStatus(sess *client.Session) error {
 			sh.Shard, st.Provisioned, st.Migrated, st.Epoch, st.Seq, st.Stable, st.NumClients, sh.Instances)
 		fmt.Printf("         delta=%v chain=%d records/%dB snapshot=%dB compactions=%d lastCompactT=%d\n",
 			st.DeltaActive, st.ChainLen, st.ChainBytes, st.SnapshotBytes, st.Compactions, st.LastCompactSeq)
+		if sh.Replicas > 0 {
+			fmt.Printf("         replication copies=%d quorum=%d live=%d/%d heals=%d\n",
+				sh.Replicas, sh.Quorum, sh.ReplicasLive, sh.Replicas, sh.Heals)
+		}
 		if sh.Groups > 0 {
 			fmt.Printf("         groupcommit groups=%d records=%d maxGroup=%d\n",
 				sh.Groups, sh.Records, sh.MaxGroup)

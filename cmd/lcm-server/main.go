@@ -13,7 +13,14 @@
 // Usage:
 //
 //	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
-//	           -clients 8 [-service kvs|bank] [-shards N] [-sync]
+//	           -clients 8 [-service kvs|bank] [-shards N] [-sync] \
+//	           [-replicas N [-quorum Q]]
+//
+// -replicas mirrors every shard's sealed delta chain onto N peer enclave
+// instances (enclave-to-enclave chain replication): replies are released
+// only once -quorum durable copies exist (primary's fsync plus peer
+// acks; 0 picks the majority default), and a primary that restarts on a
+// rolled-back disk heals from a peer suffix instead of halting.
 package main
 
 import (
@@ -54,6 +61,9 @@ func run() error {
 		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
 
+		replicas = flag.Int("replicas", 0, "peer enclave replicas per shard (chain replication; 0 disables)")
+		quorum   = flag.Int("quorum", 0, "durable copies required before a reply is released (0 = majority)")
+
 		reshardTo    = flag.Int("reshardto", 0, "live-reshard the deployment to this many shards (with -reshardafter)")
 		reshardAfter = flag.Duration("reshardafter", 30*time.Second, "delay before the -reshardto live reshard")
 	)
@@ -93,6 +103,8 @@ func run() error {
 		Shards:      *shards,
 		BatchSize:   *batch,
 		GroupCommit: *group,
+		Replicas:    *replicas,
+		Quorum:      *quorum,
 	})
 	if err != nil {
 		return err
@@ -122,6 +134,10 @@ func run() error {
 	fmt.Printf("lcm-server listening on %s\n", listener.Addr())
 	fmt.Printf("  service:   %s (LCM-protected, shards=%d, batch=%d, sync=%v, groupcommit=%v)\n",
 		*svcName, server.Shards(), *batch, *sync, *group)
+	if *replicas > 0 {
+		fmt.Printf("  replication: %d peer replicas per shard, quorum %d (0 = majority); rollback heals instead of halting\n",
+			*replicas, *quorum)
+	}
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
 	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
 	fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")

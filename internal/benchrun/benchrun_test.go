@@ -354,3 +354,53 @@ func TestRunReshardAblationSmoke(t *testing.T) {
 		t.Fatal("no pause recorded")
 	}
 }
+
+func TestRunReplicationAblationSmoke(t *testing.T) {
+	cfg := quickCfg(t)
+	points, err := RunReplicationAblation(cfg, []int{2}, []int{4}, false)
+	if err != nil {
+		t.Fatalf("RunReplicationAblation: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (off + q2)", len(points))
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s produced no throughput", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	if _, ok := byName["lcm-repl-off"]; !ok {
+		t.Fatal("missing unreplicated arm")
+	}
+	if _, ok := byName["lcm-repl-q2"]; !ok {
+		t.Fatal("missing quorum-2 arm")
+	}
+}
+
+func TestDeployReplicatedLCM(t *testing.T) {
+	dep, err := Deploy(SysLCM, Options{
+		Model:    latency.Scaled(0.01),
+		Dir:      t.TempDir(),
+		Clients:  4,
+		Replicas: 2,
+		Quorum:   2,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Close()
+	s, err := dep.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, found, err := s.Get("k")
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("Get = %q %v %v", v, found, err)
+	}
+}

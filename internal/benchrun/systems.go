@@ -80,6 +80,14 @@ type Options struct {
 	// deploys the classic single enclave. Sessions become sharded
 	// clients routing by key hash. Ignored by the non-LCM systems.
 	Shards int
+	// Replicas mirrors every shard's sealed delta chain onto this many
+	// peer enclave instances (enclave-to-enclave chain replication,
+	// host.Config.Replicas); 0 runs unreplicated. LCM only.
+	Replicas int
+	// Quorum is the number of durable copies — the primary's local fsync
+	// plus peer acks — required before a reply is released; 0 picks the
+	// host's majority default. Only meaningful with Replicas > 0.
+	Quorum int
 }
 
 // Deployment is a running system under test.
@@ -407,6 +415,8 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 			Shards:      shards,
 			BatchSize:   batch,
 			GroupCommit: opt.GroupCommit,
+			Replicas:    opt.Replicas,
+			Quorum:      opt.Quorum,
 		})
 		if err != nil {
 			return nil, err

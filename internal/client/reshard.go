@@ -209,6 +209,24 @@ func (s *ShardedSession) Refresh(dial func() (transport.Conn, error)) (*ShardedS
 		conn.Close()
 		return nil, nil, err
 	}
+	// Tell the host this client is done with the old generation, so it
+	// can reclaim retired storage once the whole group has moved over.
+	// Best effort: a lost ack only delays the host's garbage collection.
+	next.ackReshardAdopted()
 	_ = s.Close()
 	return next, pending, nil
+}
+
+// ackReshardAdopted reports this session's adopted generation to the
+// host (wire.FrameReshardAdopted). The ack is operational, not part of
+// the protocol: errors are ignored and nothing about the session's
+// safety depends on it.
+func (s *ShardedSession) ackReshardAdopted() {
+	w := wire.NewWriter(12)
+	w.U64(s.cfg.Gen)
+	w.U32(s.ID())
+	if err := s.link.conn.Send(wire.EncodeFrame(wire.FrameReshardAdopted, w.Bytes())); err != nil {
+		return
+	}
+	_, _ = s.link.await(s.cfg.Timeout)
 }

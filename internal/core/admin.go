@@ -27,6 +27,11 @@ type Admin struct {
 	kc       aead.Key
 	adminSeq uint64
 	clients  []uint32
+
+	// reshCh is the pending reshard channel: an ephemeral responder whose
+	// public key ReshardChannel sealed under kP, awaiting the lead's
+	// admin handoff (AdoptReshard).
+	reshCh *securechannel.Responder
 }
 
 // NewAdmin creates an admin that will only trust enclaves running the
@@ -51,6 +56,10 @@ func (a *Admin) StateKey() aead.Key { return a.kp }
 func (a *Admin) Clients() []uint32 {
 	return append([]uint32(nil), a.clients...)
 }
+
+// Attestation returns the attestation service this admin verifies quotes
+// against — operators registering a fresh recovery platform need it.
+func (a *Admin) Attestation() *tee.AttestationService { return a.attestation }
 
 // attest runs the remote-attestation handshake against call and returns
 // the enclave's verified secure-channel public key.
@@ -104,6 +113,75 @@ func (a *Admin) Bootstrap(call CallFunc, clients []uint32) error {
 	a.adminSeq = 0
 	a.clients = append([]uint32(nil), clients...)
 	return nil
+}
+
+// ReshardChannel mints an ephemeral channel on which the admin will
+// receive the next generation's keys during a reshard, and returns its
+// public key sealed under the current kP. The host relays the blob in
+// the BEGIN call; the lead opens it with its own kP — which the host
+// does not hold — so a successful open proves the channel terminates at
+// the admin, not at the host.
+func (a *Admin) ReshardChannel() ([]byte, error) {
+	if a.kp.IsZero() {
+		return nil, errors.New("lcm: admin has not bootstrapped")
+	}
+	resp, err := securechannel.NewResponder()
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := aead.Seal(a.kp, resp.PublicKey(), []byte(adReshardAdminCh))
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal reshard admin channel: %w", err)
+	}
+	a.reshCh = resp
+	return sealed, nil
+}
+
+// AdoptReshard opens the lead's admin handoff (produced at BEGIN against
+// this admin's ReshardChannel) and returns one admin per new shard,
+// each holding that shard's fresh (kP, kC) and the carried-over client
+// group. The receiving admin's own keys are untouched — until the
+// clients adopt the new generation the old one is still the deployment
+// of record.
+func (a *Admin) AdoptReshard(p SealedPayload) ([]*Admin, error) {
+	if a.reshCh == nil {
+		return nil, errors.New("lcm: no outstanding reshard channel")
+	}
+	if len(p.SenderPub) == 0 && len(p.Ciphertext) == 0 {
+		return nil, errors.New("lcm: reshard produced no admin handoff")
+	}
+	plain, err := a.reshCh.Open(p.SenderPub, p.Ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: open reshard admin handoff: %w", err)
+	}
+	h, err := decodeReshardAdminHandoff(plain)
+	if err != nil {
+		return nil, err
+	}
+	if h.NewShards < 1 || len(h.KPs) != h.NewShards || len(h.KCs) != h.NewShards {
+		return nil, fmt.Errorf("lcm: reshard admin handoff covers %d/%d key pairs for %d shards",
+			len(h.KPs), len(h.KCs), h.NewShards)
+	}
+	admins := make([]*Admin, h.NewShards)
+	for j := range admins {
+		kp, err := aead.KeyFromBytes(h.KPs[j])
+		if err != nil {
+			return nil, fmt.Errorf("lcm: reshard admin handoff kP %d: %w", j, err)
+		}
+		kc, err := aead.KeyFromBytes(h.KCs[j])
+		if err != nil {
+			return nil, fmt.Errorf("lcm: reshard admin handoff kC %d: %w", j, err)
+		}
+		admins[j] = &Admin{
+			attestation: a.attestation,
+			measurement: a.measurement,
+			kp:          kp,
+			kc:          kc,
+			clients:     append([]uint32(nil), h.Clients...),
+		}
+	}
+	a.reshCh = nil
+	return admins, nil
 }
 
 // sendAdminOp seals and delivers one membership change.

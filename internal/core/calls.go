@@ -28,6 +28,13 @@ const (
 	callReshardExport
 	callReshardImport
 	callReshardAbort
+	// callChainSync folds a chain suffix fetched from a replica peer after
+	// a restart found the local delta log stale (see heal.go).
+	callChainSync
+	// callRecover provisions the state key into a fresh enclave over an
+	// attested admin channel, re-animating a deployment whose original
+	// platform (and thus sealing key) is gone (see heal.go).
+	callRecover
 )
 
 // BatchCallSize returns the encoded size of a batch call, for writer
@@ -376,6 +383,15 @@ type ShardStatus struct {
 	MaxGroup  int    // largest single group
 	Err       string // why the shard's status ecall failed ("" = healthy)
 	Status    Status
+
+	// Replication observability (zero when the shard runs unreplicated):
+	// the replica-set size including the primary, the configured write
+	// quorum, how many peers currently answer, and how many times the
+	// shard healed a stale local chain from a peer suffix.
+	Replicas     int
+	Quorum       int
+	ReplicasLive int
+	Heals        int
 }
 
 // DeploymentStatus is the host's aggregated operational view: one entry
@@ -424,6 +440,10 @@ func EncodeDeploymentStatus(d *DeploymentStatus) []byte {
 		w.Var([]byte(s.Err))
 		inner := encodeStatus(&s.Status)
 		w.Var(inner)
+		w.U32(uint32(s.Replicas))
+		w.U32(uint32(s.Quorum))
+		w.U32(uint32(s.ReplicasLive))
+		w.U32(uint32(s.Heals))
 	}
 	return w.Bytes()
 }
@@ -450,6 +470,10 @@ func DecodeDeploymentStatus(b []byte) (*DeploymentStatus, error) {
 			}
 			s.Status = *st
 		}
+		s.Replicas = int(r.U32())
+		s.Quorum = int(r.U32())
+		s.ReplicasLive = int(r.U32())
+		s.Heals = int(r.U32())
 		d.Shards = append(d.Shards, s)
 	}
 	if err := r.Done(); err != nil {

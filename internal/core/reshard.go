@@ -109,9 +109,12 @@ func EncodeReshardChallengeCall() []byte {
 
 // EncodeReshardBeginCall hands the lead the new shard count and the
 // collected quotes (targets in new-shard order, peers in source order
-// starting at shard 1).
-func EncodeReshardBeginCall(newShards int, targetQuotes, peerQuotes [][]byte) []byte {
-	size := 9
+// starting at shard 1). adminChannel, if non-empty, is the admin's
+// reshard-channel public key sealed under the current kP (see
+// Admin.ReshardChannel); the lead then seals the new generation's keys
+// to it so membership changes keep working after the move.
+func EncodeReshardBeginCall(newShards int, targetQuotes, peerQuotes [][]byte, adminChannel []byte) []byte {
+	size := 13 + len(adminChannel)
 	for _, q := range targetQuotes {
 		size += 4 + len(q)
 	}
@@ -129,19 +132,23 @@ func EncodeReshardBeginCall(newShards int, targetQuotes, peerQuotes [][]byte) []
 	for _, q := range peerQuotes {
 		w.Var(q)
 	}
+	w.Var(adminChannel)
 	return w.Bytes()
 }
 
 // ReshardBeginResult is the lead's output: one sealed payload per peer
-// source shard (index 1..oldShards-1, in order) and per target shard.
+// source shard (index 1..oldShards-1, in order) and per target shard,
+// plus — when the host relayed an admin channel — the new generation's
+// admin handoff sealed to that channel.
 type ReshardBeginResult struct {
 	PeerPayloads   []SealedPayload
 	TargetPayloads []SealedPayload
+	AdminPayload   SealedPayload
 }
 
 // Encode serializes the result (enclave side).
 func (res *ReshardBeginResult) Encode() []byte {
-	size := 8
+	size := 16 + len(res.AdminPayload.SenderPub) + len(res.AdminPayload.Ciphertext)
 	for _, p := range res.PeerPayloads {
 		size += 8 + len(p.SenderPub) + len(p.Ciphertext)
 	}
@@ -157,6 +164,7 @@ func (res *ReshardBeginResult) Encode() []byte {
 	for i := range res.TargetPayloads {
 		res.TargetPayloads[i].encodeTo(w)
 	}
+	res.AdminPayload.encodeTo(w)
 	return w.Bytes()
 }
 
@@ -172,6 +180,7 @@ func DecodeReshardBeginResult(b []byte) (*ReshardBeginResult, error) {
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		res.TargetPayloads = append(res.TargetPayloads, decodeSealedPayload(r))
 	}
+	res.AdminPayload = decodeSealedPayload(r)
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode reshard begin result: %w", err)
 	}
@@ -493,6 +502,59 @@ func decodeReshardTargetPayload(b []byte) (*reshardTargetPayload, error) {
 	return p, nil
 }
 
+// reshardAdminHandoff is what the lead seals to the admin's reshard
+// channel at BEGIN: the new generation's per-shard protocol keys and the
+// client group, so the admin can keep performing membership changes
+// (Sec. 4.6.3) after the move without re-bootstrapping.
+type reshardAdminHandoff struct {
+	Gen       uint64
+	NewShards int
+	Clients   []uint32
+	KPs       [][]byte // one per new shard
+	KCs       [][]byte // one per new shard
+}
+
+func (h *reshardAdminHandoff) encode() []byte {
+	size := 24 + 4*len(h.Clients)
+	for i := range h.KPs {
+		size += 8 + len(h.KPs[i]) + len(h.KCs[i])
+	}
+	w := wire.NewWriter(size)
+	w.U64(h.Gen)
+	w.U32(uint32(h.NewShards))
+	w.U32(uint32(len(h.Clients)))
+	for _, id := range h.Clients {
+		w.U32(id)
+	}
+	w.U32(uint32(len(h.KPs)))
+	for i := range h.KPs {
+		w.Var(h.KPs[i])
+		w.Var(h.KCs[i])
+	}
+	return w.Bytes()
+}
+
+func decodeReshardAdminHandoff(b []byte) (*reshardAdminHandoff, error) {
+	r := wire.NewReader(b)
+	h := &reshardAdminHandoff{
+		Gen:       r.U64(),
+		NewShards: int(r.U32()),
+	}
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		h.Clients = append(h.Clients, r.U32())
+	}
+	n = r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		h.KPs = append(h.KPs, r.Var())
+		h.KCs = append(h.KCs, r.Var())
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("lcm: decode reshard admin handoff: %w", err)
+	}
+	return h, nil
+}
+
 // reshardPiece is what a source seals under kR for one target: the
 // chain-mode migration payload generalized to N→M — the source's state
 // key, pinned chain head and pending delta. The bulk service state
@@ -575,7 +637,7 @@ func (p *Trusted) handleReshardChallenge(env tee.Env) ([]byte, error) {
 
 // handleReshardBegin runs on the lead: it verifies every quote, mints
 // the generation's secrets and freezes this shard.
-func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, peerQuotes [][]byte) ([]byte, error) {
+func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, peerQuotes [][]byte, adminChannel []byte) ([]byte, error) {
 	if !p.provisioned() {
 		return nil, ErrNotProvisioned
 	}
@@ -639,6 +701,7 @@ func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, p
 	// the host never sees a key.
 	clients := p.v.clientIDs()
 	newKCs := make([][]byte, 0, newShards)
+	newKPs := make([][]byte, 0, newShards)
 	for j, q := range targetQuotes {
 		channelPub, err := verify(q)
 		if err != nil {
@@ -653,6 +716,7 @@ func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, p
 			return nil, err
 		}
 		newKCs = append(newKCs, kc.Bytes())
+		newKPs = append(newKPs, kp.Bytes())
 		payload := reshardTargetPayload{
 			Gen: gen, OldShards: oldShards, NewShards: newShards, Self: j,
 			KR: kr.Bytes(), KP: kp.Bytes(), KC: kc.Bytes(), Clients: clients,
@@ -662,6 +726,27 @@ func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, p
 			return nil, fmt.Errorf("lcm: seal reshard target payload: %w", err)
 		}
 		res.TargetPayloads = append(res.TargetPayloads, SealedPayload{SenderPub: senderPub, Ciphertext: ct})
+	}
+
+	// Admin continuity: if the host relayed an admin channel, it must be
+	// authentic — the channel public key is sealed under this shard's kP,
+	// which the host does not hold. The lead answers with the whole key
+	// set of the new generation sealed to that channel, so membership
+	// changes keep working after the sources retire.
+	if len(adminChannel) > 0 {
+		adminPub, err := aead.Open(p.kp, adminChannel, []byte(adReshardAdminCh))
+		if err != nil {
+			return nil, fmt.Errorf("lcm: reshard admin channel failed authentication: %w", err)
+		}
+		handoff := reshardAdminHandoff{
+			Gen: gen, NewShards: newShards, Clients: clients,
+			KPs: newKPs, KCs: newKCs,
+		}
+		senderPub, ct, err := securechannel.Seal(adminPub, handoff.encode())
+		if err != nil {
+			return nil, fmt.Errorf("lcm: seal reshard admin handoff: %w", err)
+		}
+		res.AdminPayload = SealedPayload{SenderPub: senderPub, Ciphertext: ct}
 	}
 
 	p.resh = &reshardState{

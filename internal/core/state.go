@@ -108,9 +108,13 @@ const (
 	adMigration = "lcm/migration/v1"
 
 	// Reshard labels (see reshard.go): pieces are sealed under the
-	// generation key kR, handoffs under the source shard's kC.
+	// generation key kR, handoffs under the source shard's kC, and the
+	// admin's reshard-channel public key under the old generation's kP —
+	// only the admin and the lead hold kP, so an authenticated channel
+	// blob proves the channel terminates at the admin.
 	adReshardPiece   = "lcm/reshard/piece/v1"
 	adReshardHandoff = "lcm/reshard/handoff/v1"
+	adReshardAdminCh = "lcm/reshard/adminchannel/v1"
 )
 
 // blobHash condenses a sealed blob (ciphertext) for chain binding.

@@ -393,10 +393,11 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 		for i := uint32(0); i < n && r.Err() == nil; i++ {
 			peerQuotes = append(peerQuotes, r.Var())
 		}
+		adminChannel := r.Var()
 		if err := r.Done(); err != nil {
 			return nil, err
 		}
-		return p.handleReshardBegin(env, newShards, targetQuotes, peerQuotes)
+		return p.handleReshardBegin(env, newShards, targetQuotes, peerQuotes, adminChannel)
 	case callReshardPrepare:
 		senderPub := r.Var()
 		ct := r.Var()
@@ -426,6 +427,23 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return p.handleReshardAbort(env)
+	case callChainSync:
+		n := r.U32()
+		records := make([][]byte, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			records = append(records, r.Var())
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleChainSync(env, records)
+	case callRecover:
+		senderPub := r.Var()
+		ct := r.Var()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleRecover(env, senderPub, ct)
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
 	}

@@ -1,0 +1,155 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"lcm/internal/core"
+	"lcm/internal/replication"
+	"lcm/internal/stablestore"
+)
+
+// Reshard garbage collection. A completed reshard leaves three kinds of
+// residue on the host's storage: the retired generations' namespaces
+// (gen<g'>/shard<j>, including their replica mirrors), the replica sets
+// still mirroring those dead chains, and the staging copies the import
+// verified (gen<g>/shard<j>/src<i>). None of it is needed once every
+// registered client has verified the boundary handoffs and adopted the
+// new generation — the handoff bundles themselves (reshardInfos) are
+// retained forever, because a client that slept through several reshards
+// still walks them one generation at a time.
+//
+// Clients announce adoption with wire.FrameReshardAdopted. The ack is
+// untrusted, like everything the host acts on: a client lying about
+// adoption can only make the host reclaim the host's own storage early,
+// which weakens nothing — detection rests on the sealed handoffs each
+// client verifies, never on the host retaining old chains.
+
+// noteReshardAdopted records one client's adoption ack and, once every
+// registered client of the current generation has acked, reclaims the
+// retired generations' storage.
+func (s *Server) noteReshardAdopted(gen uint64, id uint32) error {
+	s.mu.Lock()
+	if gen == 0 || gen != s.gen || len(s.instances) == 0 {
+		// A stale ack (the deployment resharded again) or a bogus one
+		// (no reshard ever happened): nothing to reclaim yet.
+		s.mu.Unlock()
+		return nil
+	}
+	set := s.adopted[gen]
+	if set == nil {
+		set = make(map[uint32]struct{})
+		s.adopted[gen] = set
+	}
+	set[id] = struct{}{}
+	adopted := len(set)
+	done := s.gcUpTo >= gen
+	inst := s.instances[0]
+	s.mu.Unlock()
+	if done {
+		return nil
+	}
+
+	// The registered group lives inside the enclave; ask shard 0 of the
+	// new generation how many clients must adopt. A failed query just
+	// defers the collection to the next ack.
+	resp, err := s.instanceBarrierECall(inst, core.EncodeStatusCall())
+	if err != nil {
+		return nil
+	}
+	status, err := core.DecodeStatus(resp)
+	if err != nil || status.NumClients == 0 || adopted < status.NumClients {
+		return nil
+	}
+	return s.gcRetiredGenerations(gen)
+}
+
+// gcRetiredGenerations deletes every namespace belonging to a generation
+// before gen, stops the replica sets that mirrored them, and removes the
+// current generation's staging copies. Missing NamespaceDeleter support
+// on the configured store downgrades the collection to a no-op.
+func (s *Server) gcRetiredGenerations(gen uint64) error {
+	s.mu.Lock()
+	if s.gcUpTo >= gen || s.gen != gen {
+		s.mu.Unlock()
+		return nil
+	}
+	from := s.gcUpTo
+	s.gcUpTo = gen
+
+	// Shard counts per retired generation: generation g's bundle records
+	// the count at g-1 as OldShards.
+	counts := make(map[uint64]int)
+	curOld := 0
+	for g := from + 1; g <= gen; g++ {
+		enc := s.reshardInfos[g]
+		if enc == nil {
+			continue
+		}
+		info, err := core.DecodeReshardInfo(enc)
+		if err != nil {
+			continue
+		}
+		counts[g-1] = info.OldShards
+		if g == gen {
+			curOld = info.OldShards
+		}
+	}
+
+	// Replica sets not serving the current generation mirror dead chains.
+	current := make(map[string]bool, s.shards)
+	for j := 0; j < s.shards; j++ {
+		current[genShardPrefix(gen, j)] = true
+	}
+	var stale []*replication.Set
+	for key, rs := range s.replicaSets {
+		if !current[key] {
+			stale = append(stale, rs)
+			delete(s.replicaSets, key)
+		}
+	}
+	curShards := s.shards
+	replicas := s.cfg.Replicas
+	store := s.cfg.Store
+	s.mu.Unlock()
+
+	for _, rs := range stale {
+		rs.Stop()
+	}
+
+	var firstErr error
+	del := func(prefix string) {
+		err := stablestore.DeleteNamespace(store, prefix)
+		if err != nil && !errors.Is(err, stablestore.ErrNoNamespaceDelete) && firstErr == nil {
+			firstErr = fmt.Errorf("host: reclaim namespace %s: %w", prefix, err)
+		}
+	}
+	for g := from; g < gen; g++ {
+		c := counts[g]
+		if c == 0 {
+			continue // layout unknown (bundle missing); keep the files
+		}
+		if g == 0 && c == 1 {
+			// The historical unprefixed single-shard layout has no
+			// namespace of its own to delete; only its replica mirrors
+			// are prefixed.
+			for r := 0; r < replicas; r++ {
+				del(fmt.Sprintf("replica%d", r))
+			}
+			continue
+		}
+		for j := 0; j < c; j++ {
+			// Covers the shard's slots and its replica<r> mirrors alike.
+			del(genShardPrefix(g, j))
+		}
+	}
+	// The current generation's staging copies are import residue: the
+	// targets verified the folded chains against the pinned heads long
+	// before any client could have adopted.
+	for j := 0; j < curShards; j++ {
+		for i := 0; i < curOld; i++ {
+			del(stablestore.NamespacedSlot(genShardPrefix(gen, j), fmt.Sprintf("src%d", i)))
+		}
+	}
+	return firstErr
+}

@@ -43,12 +43,14 @@
 package host
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"lcm/internal/core"
+	"lcm/internal/replication"
 	"lcm/internal/stablestore"
 	"lcm/internal/tee"
 	"lcm/internal/transport"
@@ -91,6 +93,19 @@ type Config struct {
 	// ecalls flush the committer first. Sharded deployments run one
 	// committer per enclave instance.
 	GroupCommit bool
+	// Replicas adds enclave-to-enclave chain replication: every shard
+	// primary gets this many peer replica enclaves mirroring its sealed
+	// delta records, and a restart that finds the local chain stale heals
+	// by fetching the missing suffix from a peer instead of leaving
+	// clients to detect a rollback (see replicate.go). 0 disables
+	// replication.
+	Replicas int
+	// Quorum is the number of durable copies — the primary's local fsync
+	// plus peer acknowledgements — required before a reply batch is
+	// released. 0 defaults to a majority of the replica set
+	// (Replicas/2 + 1 peers plus the primary... i.e. (Replicas+1)/2+1
+	// total). Only meaningful with Replicas > 0.
+	Quorum int
 }
 
 // maxCommitGroup caps how many batch results one commit group covers, so
@@ -180,6 +195,14 @@ type instance struct {
 	queue   chan request
 	cm      *committer  // nil when GroupCommit is off
 	pm      *sync.Mutex // serialize batch (ecall+persist) vs barrier ecalls
+
+	// Replication state (nil/zero when unreplicated or a fork instance):
+	// the shard's replica set, the enclave epoch the heal check last ran
+	// for, and how many times a stale chain was healed from a peer
+	// suffix. healedEpoch and heals are guarded by pm.
+	rs          *replication.Set
+	healedEpoch uint64
+	heals       int
 }
 
 // Server is the untrusted server application.
@@ -195,6 +218,15 @@ type Server struct {
 	shardStores   []stablestore.Store
 	routeOverride map[int]int // shard → instance for NEW connections (forks)
 	liveConns     map[*connState]struct{}
+
+	// Replication: the attestation root replica provisioning verifies
+	// against, and the replica sets keyed by generation-qualified shard
+	// prefix (see replicate.go). Reshard GC state tracks which clients
+	// adopted the current generation (see gc in reshard.go).
+	attestation *tee.AttestationService
+	replicaSets map[string]*replication.Set
+	adopted     map[uint64]map[uint32]struct{}
+	gcUpTo      uint64
 
 	wg       sync.WaitGroup
 	stop     chan struct{}
@@ -232,13 +264,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > wire.MaxShards {
 		return nil, fmt.Errorf("host: %d shards exceed the routing limit of %d", cfg.Shards, wire.MaxShards)
 	}
+	if cfg.Replicas > 0 {
+		if cfg.Quorum <= 0 {
+			// Majority of the replica set (primary + peers).
+			cfg.Quorum = (cfg.Replicas+1)/2 + 1
+		}
+		if cfg.Quorum > cfg.Replicas+1 {
+			return nil, fmt.Errorf("host: quorum %d exceeds the replica set size %d",
+				cfg.Quorum, cfg.Replicas+1)
+		}
+	}
 	s := &Server{
 		cfg:           cfg,
 		shards:        cfg.Shards,
 		reshardInfos:  make(map[uint64][]byte),
 		routeOverride: make(map[int]int),
 		liveConns:     make(map[*connState]struct{}),
+		replicaSets:   make(map[string]*replication.Set),
+		adopted:       make(map[uint64]map[uint32]struct{}),
 		stop:          make(chan struct{}),
+	}
+	if cfg.Replicas > 0 {
+		s.attestation = tee.NewAttestationService()
+		s.attestation.Register(cfg.Platform)
 	}
 	for shard := 0; shard < s.shards; shard++ {
 		s.shardStores = append(s.shardStores, s.storeForShard(0, cfg.Shards, shard))
@@ -301,18 +349,30 @@ func (s *Server) addInstance(shard int) (int, error) {
 	}
 	store := s.shardStores[shard]
 	n := len(s.instances)
+	gen, shards := s.gen, s.shards
 	label := genShardPrefix(s.gen, shard)
-	if n >= s.shards {
+	primary := n < s.shards
+	if !primary {
 		label = fmt.Sprintf("%s/fork%d", label, n-s.shards+1)
 	}
 	s.mu.Unlock()
 
+	// Only shard primaries replicate: a fork instance is an attack
+	// artifact, and feeding its divergent chain into the shard's replica
+	// set would let the attacker overwrite the honest history's mirror.
+	var rs *replication.Set
+	if primary {
+		var err error
+		if rs, err = s.replicaSetFor(gen, shards, shard); err != nil {
+			return 0, err
+		}
+	}
 	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, store)
 	enclave.SetLabel(label)
 	if err := enclave.Start(); err != nil {
 		return 0, fmt.Errorf("host: start enclave %s: %w", label, err)
 	}
-	inst := s.newInstance(enclave, store, shard)
+	inst := s.newInstance(enclave, store, shard, rs)
 	s.mu.Lock()
 	s.instances = append(s.instances, inst)
 	idx := len(s.instances) - 1
@@ -325,13 +385,14 @@ func (s *Server) addInstance(shard int) (int, error) {
 // newInstance assembles the host-side runtime state of one enclave
 // instance (queue, persistence barrier, optional committer) without
 // registering or starting it.
-func (s *Server) newInstance(enclave *tee.Enclave, store stablestore.Store, shard int) *instance {
+func (s *Server) newInstance(enclave *tee.Enclave, store stablestore.Store, shard int, rs *replication.Set) *instance {
 	inst := &instance{
 		enclave: enclave,
 		store:   store,
 		shard:   shard,
 		queue:   make(chan request, 1024),
 		pm:      &sync.Mutex{},
+		rs:      rs,
 	}
 	if s.cfg.GroupCommit {
 		inst.cm = &committer{srv: s, inst: inst, ch: make(chan commitReq, maxCommitGroup)}
@@ -390,10 +451,16 @@ func (s *Server) barrierECall(idx int, payload []byte) ([]byte, error) {
 func (s *Server) instanceBarrierECall(inst *instance, payload []byte) ([]byte, error) {
 	inst.pm.Lock()
 	defer inst.pm.Unlock()
+	s.healLocked(inst)
 	if inst.cm != nil {
 		inst.cm.flush(s.stop)
 	}
-	return inst.enclave.Call(payload)
+	resp, err := inst.enclave.Call(payload)
+	// A barrier ecall may have persisted a fresh state blob inside the
+	// enclave (provisioning, admin ops, compaction during import) — chain
+	// events the committer never sees. Re-anchor the replica set on it.
+	s.resyncBaseLocked(inst)
+	return resp, err
 }
 
 // Enclave returns enclave instance idx. Instances 0..Shards()-1 are the
@@ -641,6 +708,19 @@ func (s *Server) connLoop(cs *connState) {
 				continue
 			}
 			_ = cs.send(wire.OKFrame(info))
+		case wire.FrameReshardAdopted:
+			r := wire.NewReader(payload)
+			gen := r.U64()
+			id := r.U32()
+			if err := r.Done(); err != nil {
+				_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: malformed reshard adopted frame: %w", err)))
+				continue
+			}
+			if err := s.noteReshardAdopted(gen, id); err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			_ = cs.send(wire.OKFrame(nil))
 		default:
 			_ = cs.send(wire.ErrorFrame(fmt.Errorf("host: unknown frame kind %d", kind)))
 		}
@@ -681,6 +761,9 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 	// chain-restarting blob ahead of an already-sealed record.
 	inst.pm.Lock()
 	defer inst.pm.Unlock()
+	// First call of a new enclave epoch: heal a stale chain from the
+	// replica peers before any invoke can trip rollback detection.
+	s.healLocked(inst)
 	invokes := make([][]byte, len(batch))
 	for i, req := range batch {
 		invokes[i] = req.invoke
@@ -746,7 +829,17 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 // namespace.
 func (s *Server) persistBatchResult(inst *instance, result *core.BatchResult) error {
 	if len(result.DeltaRecord) > 0 {
+		// Overlap peer replication with the local append (see the
+		// committer's delta path for the durability argument).
+		var repErr chan error
+		if inst.rs != nil {
+			repErr = make(chan error, 1)
+			go func() { repErr <- inst.rs.ReplicateGroup([][]byte{result.DeltaRecord}) }()
+		}
 		if err := inst.store.Append(core.SlotDeltaLog, result.DeltaRecord); err != nil {
+			if repErr != nil {
+				<-repErr
+			}
 			// The enclave's chain already advanced past the record we
 			// failed to persist; appending later records would leave a
 			// permanent gap on disk. Treat the lost write exactly like a
@@ -760,6 +853,15 @@ func (s *Server) persistBatchResult(inst *instance, result *core.BatchResult) er
 			}
 			return err
 		}
+		if repErr != nil {
+			// A quorum shortfall is NOT a crash: the record is locally
+			// durable and chain-consistent, so the enclave keeps running
+			// and the affected clients converge through cached-reply
+			// retries once enough peers are reachable again.
+			if err := <-repErr; err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	if err := inst.store.Store(s.cfg.StateSlot, result.StateBlob); err != nil {
@@ -772,6 +874,12 @@ func (s *Server) persistBatchResult(inst *instance, result *core.BatchResult) er
 			}
 		}
 		return err
+	}
+	if inst.rs != nil {
+		// A fresh (or compacting) blob starts a new chain segment: the
+		// peer mirrors of the subsumed records are obsolete, re-anchor
+		// the set on the blob.
+		inst.rs.ResetBase(sha256.Sum256(result.StateBlob))
 	}
 	if result.Compact {
 		return inst.store.TruncateLog(core.SlotDeltaLog)
@@ -870,8 +978,25 @@ func (c *committer) process(pending []commitReq) {
 				records = append(records, pending[j].result.DeltaRecord)
 				j++
 			}
+			// Peer replication overlaps the local fsync: both must hold
+			// before any reply is released, so durability at release time
+			// is unchanged, but the group costs max(fsync, quorum) instead
+			// of their sum. If the local append is lost while the peers
+			// took the group, the restarted enclave heals the suffix back
+			// from them — peers running ahead is exactly the recoverable
+			// direction.
+			repErr := c.replicateAsync(records)
 			if err := c.inst.store.AppendGroup(core.SlotDeltaLog, records); err != nil {
+				<-repErr
 				c.fail(pending[i:j], err)
+			} else if err := <-repErr; err != nil {
+				// Quorum shortfall: locally durable and chain-consistent,
+				// so no restart — reject the replies and let the clients
+				// converge via cached-reply retries.
+				c.recordGroup(len(records))
+				for _, r := range pending[i:j] {
+					c.reject(r, err)
+				}
 			} else {
 				c.recordGroup(len(records))
 				for _, r := range pending[i:j] {
@@ -892,6 +1017,7 @@ func (c *committer) process(pending []commitReq) {
 			if err := c.inst.store.Store(c.srv.cfg.StateSlot, pending[j-1].result.StateBlob); err != nil {
 				c.fail(pending[i:j], err)
 			} else {
+				c.rebase(pending[j-1].result.StateBlob)
 				c.recordGroup(j - i)
 				for _, r := range pending[i:j] {
 					c.release(r)
@@ -907,6 +1033,7 @@ func (c *committer) process(pending []commitReq) {
 			if err != nil {
 				c.fail(pending[i:i+1], err)
 			} else {
+				c.rebase(req.result.StateBlob)
 				c.release(req)
 			}
 			i++
@@ -926,6 +1053,30 @@ func (c *committer) fail(group []commitReq, err error) {
 		c.reject(r, fmt.Errorf("host: persist state: %w", err))
 	}
 	_ = c.inst.enclave.Restart()
+}
+
+// replicateAsync ships a committed group to the instance's replica peers
+// in the background and returns the channel that delivers the quorum
+// outcome (immediately nil when unreplicated). The caller must receive
+// from it before touching the replica set again — the committer is the
+// set's only writer, and joining keeps the mirrored chain in commit
+// order.
+func (c *committer) replicateAsync(records [][]byte) <-chan error {
+	done := make(chan error, 1)
+	if c.inst.rs == nil {
+		done <- nil
+		return done
+	}
+	go func() { done <- c.inst.rs.ReplicateGroup(records) }()
+	return done
+}
+
+// rebase re-anchors the replica set on a freshly stored state blob (a
+// compaction or full-seal write subsumes the mirrored delta records).
+func (c *committer) rebase(blob []byte) {
+	if c.inst.rs != nil {
+		c.inst.rs.ResetBase(sha256.Sum256(blob))
+	}
 }
 
 func (c *committer) release(req commitReq) {
@@ -1033,6 +1184,12 @@ func (s *Server) DeploymentStatus() (*core.DeploymentStatus, error) {
 		}
 		s.mu.Unlock()
 		entry.Groups, entry.Records, entry.MaxGroup = s.ShardGroupCommitStats(shard)
+		if inst := s.instanceAt(shard); inst != nil && inst.rs != nil {
+			entry.Replicas = inst.rs.Replicas()
+			entry.Quorum = inst.rs.Quorum()
+			entry.ReplicasLive = inst.rs.Alive() + 1 // peers + primary
+			entry.Heals = inst.healsCount()
+		}
 		ds.Shards = append(ds.Shards, entry)
 	}
 	return ds, nil
@@ -1047,8 +1204,15 @@ func (s *Server) Shutdown() {
 	for cs := range s.liveConns {
 		_ = cs.conn.Close()
 	}
+	sets := make([]*replication.Set, 0, len(s.replicaSets))
+	for _, rs := range s.replicaSets {
+		sets = append(sets, rs)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, rs := range sets {
+		rs.Stop()
+	}
 }
 
 // ---- Malicious behaviours (Sec. 2.3) ----

@@ -21,6 +21,10 @@ type ReshardStats struct {
 	// Clients additionally pay one refresh round trip on their next
 	// operation.
 	Pause time.Duration
+	// AdminHandoff is the new generation's key set sealed to the admin's
+	// reshard channel (empty unless ReshardWithAdmin was used). The host
+	// only relays it — the admin opens it with core.Admin.AdoptReshard.
+	AdminHandoff core.SealedPayload
 }
 
 // Reshard grows (or shrinks) the live deployment to newShards keyspace
@@ -49,6 +53,18 @@ type ReshardStats struct {
 // origin), so a failure past it leaves the deployment down and the error
 // says so — the staged state remains on storage for recovery.
 func (s *Server) Reshard(newShards int) (*ReshardStats, error) {
+	return s.reshard(newShards, nil)
+}
+
+// ReshardWithAdmin runs Reshard while relaying the admin's sealed
+// reshard-channel blob (core.Admin.ReshardChannel) to the lead, so the
+// returned stats carry the new generation's admin handoff and membership
+// changes keep working after the move.
+func (s *Server) ReshardWithAdmin(newShards int, adminChannel []byte) (*ReshardStats, error) {
+	return s.reshard(newShards, adminChannel)
+}
+
+func (s *Server) reshard(newShards int, adminChannel []byte) (*ReshardStats, error) {
 	if newShards < 1 || newShards > wire.MaxShards {
 		return nil, fmt.Errorf("host: reshard to %d shards (want 1..%d)", newShards, wire.MaxShards)
 	}
@@ -124,7 +140,7 @@ func (s *Server) Reshard(newShards int) (*ReshardStats, error) {
 	// ecalls flush the committers first, so once every source is frozen
 	// the on-disk chains are final.
 	beginResp, err := s.instanceBarrierECall(sources[0],
-		core.EncodeReshardBeginCall(newShards, targetQuotes, peerQuotes))
+		core.EncodeReshardBeginCall(newShards, targetQuotes, peerQuotes, adminChannel))
 	if err != nil {
 		return abort(fmt.Errorf("host: reshard begin: %w", err))
 	}
@@ -202,7 +218,11 @@ func (s *Server) Reshard(newShards int) (*ReshardStats, error) {
 	}
 	instances := make([]*instance, newShards)
 	for j := range targets {
-		instances[j] = s.newInstance(targets[j], targetStores[j], j)
+		rs, err := s.replicaSetFor(gen, newShards, j)
+		if err != nil {
+			return nil, fmt.Errorf("host: start replica set for target %d (deployment needs recovery): %w", j, err)
+		}
+		instances[j] = s.newInstance(targets[j], targetStores[j], j, rs)
 	}
 	s.mu.Lock()
 	s.gen = gen
@@ -220,9 +240,10 @@ func (s *Server) Reshard(newShards int) (*ReshardStats, error) {
 	// their (now terminal) enclaves refuse everything anyway.
 
 	return &ReshardStats{
-		Gen:       gen,
-		OldShards: oldShards,
-		NewShards: newShards,
-		Pause:     time.Since(start),
+		Gen:          gen,
+		OldShards:    oldShards,
+		NewShards:    newShards,
+		Pause:        time.Since(start),
+		AdminHandoff: begin.AdminPayload,
 	}, nil
 }

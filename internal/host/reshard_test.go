@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"lcm/internal/aead"
 	"lcm/internal/client"
 	"lcm/internal/consistency"
 	"lcm/internal/core"
@@ -76,7 +77,16 @@ func TestLiveReshardGrowUnderTraffic(t *testing.T) {
 		wg.Add(1)
 		go func(ci int, id uint32, sess *client.ShardedSession) {
 			defer wg.Done()
-			for i := 0; i < opsPerClient; i++ {
+			// Run at least opsPerClient ops AND until the reshard boundary
+			// has been crossed — a fast worker must not finish on the old
+			// generation before the coordinator freezes it (the whole
+			// point is writing across the move). The cap guards against a
+			// reshard that never happens.
+			for i := 0; i < opsPerClient || sess.Gen() == 0; i++ {
+				if i > 100*opsPerClient {
+					t.Errorf("client %d never crossed the reshard boundary", id)
+					return
+				}
 				key := fmt.Sprintf("c%d-k%d", id, i%keysPerClient)
 				val := fmt.Sprintf("v%d-%d", id, i)
 				op := kvs.Put(key, val)
@@ -551,5 +561,113 @@ func TestReshardRejectsNoopAndServesNoInfo(t *testing.T) {
 	// The deployment still serves.
 	if _, err := sess.Do(kvs.Put("k", "v")); err != nil {
 		t.Fatalf("deployment broken by rejected reshard: %v", err)
+	}
+}
+
+// Admin continuity across a reshard: the admin opens a kP-authenticated
+// channel before the move, the lead seals the new generation's key set
+// to it at BEGIN, and the adopted per-shard admins keep performing
+// membership changes — a client admitted *after* the reshard operates
+// with the keys only the handoff could have carried.
+func TestReshardAdminContinuity(t *testing.T) {
+	const newShards = 4
+	st := newShardStack(t, stablestore.NewMemStore(), 2, []uint32{1}, false)
+	sess := st.session(1)
+	if _, err := sess.Do(kvs.Put("carried", "v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	adminCh, err := st.admins[0].ReshardChannel()
+	if err != nil {
+		t.Fatalf("ReshardChannel: %v", err)
+	}
+	stats, err := st.server.ReshardWithAdmin(newShards, adminCh)
+	if err != nil {
+		t.Fatalf("ReshardWithAdmin: %v", err)
+	}
+	admins, err := st.admins[0].AdoptReshard(stats.AdminHandoff)
+	if err != nil {
+		t.Fatalf("AdoptReshard: %v", err)
+	}
+	if len(admins) != newShards {
+		t.Fatalf("adopted %d admins, want %d", len(admins), newShards)
+	}
+
+	// The existing client walks the boundary as usual; the admin handoff
+	// changed nothing about the client-facing protocol.
+	next, _, err := refreshUntilAdopted(st, sess)
+	if err != nil {
+		t.Fatalf("refresh after reshard: %v", err)
+	}
+	res, err := next.Do(kvs.Get("carried"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv, _ := kvs.DecodeResult(res.Value); string(kv.Value) != "v1" {
+		t.Fatalf("carried value = %q, want v1", kv.Value)
+	}
+
+	// Membership changes keep working: each adopted admin admits client 2
+	// on its shard of the new generation.
+	for j, adm := range admins {
+		if err := adm.AddClient(st.server.ShardCall(j), 2); err != nil {
+			t.Fatalf("AddClient on new shard %d: %v", j, err)
+		}
+	}
+
+	// The admitted client operates with the communication keys the
+	// adopted admins hold — keys the host never saw in the clear.
+	keys := make([]aead.Key, newShards)
+	for j, adm := range admins {
+		keys[j] = adm.CommunicationKey()
+	}
+	conn, err := st.net.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2 := client.NewSharded(conn, 2, keys, kvs.New(), client.Config{
+		Timeout: 5 * time.Second,
+		Retries: 1,
+		Gen:     stats.Gen,
+	})
+	defer sess2.Close()
+	if _, err := sess2.Do(kvs.Put("post-reshard", "by-client-2")); err != nil {
+		t.Fatalf("admitted client write: %v", err)
+	}
+	res, err = sess2.Do(kvs.Get("post-reshard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv, _ := kvs.DecodeResult(res.Value); string(kv.Value) != "by-client-2" {
+		t.Fatalf("admitted client read = %q, want by-client-2", kv.Value)
+	}
+}
+
+// A forged admin channel cannot trick the lead into disclosing the new
+// generation's keys: the channel blob authenticates under kP, which the
+// host does not hold, so BEGIN refuses and the reshard aborts cleanly.
+func TestReshardForgedAdminChannelRefused(t *testing.T) {
+	st := newShardStack(t, stablestore.NewMemStore(), 2, []uint32{1}, false)
+	sess := st.session(1)
+	if _, err := sess.Do(kvs.Put("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The host mints its own key and seals a channel pubkey with it —
+	// the best a malicious operator can do without kP.
+	hostKey, err := aead.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := aead.Seal(hostKey, make([]byte, 32), []byte("lcm/reshard/adminchannel/v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.server.ReshardWithAdmin(4, forged); err == nil {
+		t.Fatal("reshard accepted a forged admin channel")
+	}
+	// The abort unfroze the old generation; it still serves.
+	if _, err := sess.Do(kvs.Put("k", "v2")); err != nil {
+		t.Fatalf("deployment broken by refused reshard: %v", err)
 	}
 }

@@ -100,6 +100,29 @@ func ScanLog(s Store, slot string, fn func(record []byte) error) error {
 	return nil
 }
 
+// NamespaceDeleter is an optional Store extension: delete every blob and
+// log slot under a namespace prefix, as laid out by Namespaced (slot
+// names of the form "<prefix>/<rest>"). Hosts use it to reclaim retired
+// reshard generations' namespaces once every client has adopted the new
+// one. Deleting a namespace that holds no slots is a no-op, not an
+// error.
+type NamespaceDeleter interface {
+	DeleteNamespace(prefix string) error
+}
+
+// ErrNoNamespaceDelete reports a store that cannot delete namespaces.
+var ErrNoNamespaceDelete = errors.New("stablestore: store does not support namespace deletion")
+
+// DeleteNamespace removes every slot under prefix on stores that support
+// it, and reports ErrNoNamespaceDelete otherwise — callers doing
+// best-effort space reclamation treat that as "keep the files".
+func DeleteNamespace(s Store, prefix string) error {
+	if d, ok := s.(NamespaceDeleter); ok {
+		return d.DeleteNamespace(prefix)
+	}
+	return ErrNoNamespaceDelete
+}
+
 // MemStore is an in-memory Store for tests and benchmarks.
 type MemStore struct {
 	mu    sync.RWMutex
@@ -200,6 +223,24 @@ func (s *MemStore) ScanLog(slot string, fn func(record []byte) error) error {
 	for _, rec := range snapshot {
 		if err := fn(rec); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// DeleteNamespace implements NamespaceDeleter.
+func (s *MemStore) DeleteNamespace(prefix string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := prefix + "/"
+	for k := range s.slots {
+		if strings.HasPrefix(k, p) {
+			delete(s.slots, k)
+		}
+	}
+	for k := range s.logs {
+		if strings.HasPrefix(k, p) {
+			delete(s.logs, k)
 		}
 	}
 	return nil
@@ -444,6 +485,37 @@ func (s *FileStore) TruncateLog(slot string) error {
 	return nil
 }
 
+// DeleteNamespace implements NamespaceDeleter. Slot names sanitize "/"
+// to "_" on disk, so a namespace's files all share the sanitized prefix
+// plus the separator; open append handles for logs under the prefix are
+// closed before their files are removed.
+func (s *FileStore) DeleteNamespace(prefix string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slotPrefix := prefix + "/"
+	for slot, f := range s.logs {
+		if strings.HasPrefix(slot, slotPrefix) {
+			f.Close()
+			delete(s.logs, slot)
+		}
+	}
+	safe := strings.NewReplacer("/", "_", "\\", "_", "..", "_").Replace(slotPrefix)
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("stablestore: delete namespace: %w", err)
+	}
+	var firstErr error
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), safe) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stablestore: delete namespace: %w", err)
+		}
+	}
+	return firstErr
+}
+
 // Slots implements Lister.
 func (s *FileStore) Slots() []string {
 	s.mu.Lock()
@@ -523,6 +595,12 @@ func (s *Namespaced) TruncateLog(slot string) error {
 // scanner when it has one (falling back to one LoadLog otherwise).
 func (s *Namespaced) ScanLog(slot string, fn func(record []byte) error) error {
 	return ScanLog(s.inner, s.slot(slot), fn)
+}
+
+// DeleteNamespace implements NamespaceDeleter when the inner store does,
+// joining the prefixes.
+func (s *Namespaced) DeleteNamespace(prefix string) error {
+	return DeleteNamespace(s.inner, s.slot(prefix))
 }
 
 var _ LogScanner = (*Namespaced)(nil)
@@ -686,6 +764,37 @@ func (s *RollbackStore) ScanLog(slot string, fn func(record []byte) error) error
 
 var _ LogScanner = (*RollbackStore)(nil)
 
+// DeleteNamespace implements NamespaceDeleter, purging the attacker's
+// retained history and log mirrors under the prefix along with the inner
+// store's slots — a deleted namespace cannot be resurrected by a later
+// rollback.
+func (s *RollbackStore) DeleteNamespace(prefix string) error {
+	s.mu.Lock()
+	p := prefix + "/"
+	for k := range s.history {
+		if strings.HasPrefix(k, p) {
+			delete(s.history, k)
+		}
+	}
+	for k := range s.pinned {
+		if strings.HasPrefix(k, p) {
+			delete(s.pinned, k)
+		}
+	}
+	for k := range s.logs {
+		if strings.HasPrefix(k, p) {
+			delete(s.logs, k)
+		}
+	}
+	for k := range s.logPin {
+		if strings.HasPrefix(k, p) {
+			delete(s.logPin, k)
+		}
+	}
+	s.mu.Unlock()
+	return DeleteNamespace(s.inner, prefix)
+}
+
 // LogLen returns the number of records currently in the log slot.
 func (s *RollbackStore) LogLen(slot string) int {
 	s.mu.Lock()
@@ -844,6 +953,13 @@ func (s *CrashStore) ScanLog(slot string, fn func(record []byte) error) error {
 }
 
 var _ LogScanner = (*CrashStore)(nil)
+
+// DeleteNamespace implements NamespaceDeleter when the inner store does;
+// reclamation is not crash-charged (it is host maintenance, not a
+// protocol durability event).
+func (s *CrashStore) DeleteNamespace(prefix string) error {
+	return DeleteNamespace(s.inner, prefix)
+}
 
 // TruncateLog implements Store; truncations count as writes.
 func (s *CrashStore) TruncateLog(slot string) error {

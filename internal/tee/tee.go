@@ -70,6 +70,11 @@ type HostServices interface {
 	// either detected at recovery or reduces to a rollback, which clients
 	// detect.
 	Append(slot string, record []byte) error
+	// AppendGroup adds several records to an append-only log slot in one
+	// durability unit — if the host is honest. It carries the same trust
+	// caveats as Append; group atomicity is a performance property of the
+	// honest host, never a security assumption.
+	AppendGroup(slot string, records [][]byte) error
 	// LoadLog returns the records of a log slot in append order — if the
 	// host is honest. A never-written slot yields an empty log.
 	LoadLog(slot string) ([][]byte, error)

@@ -41,6 +41,14 @@ const (
 	// Clients verify the handoffs before adopting the new routing; the
 	// host merely stores and serves them. The payload is empty.
 	FrameReshardInfo
+	// FrameReshardAdopted notifies the host that a client has verified
+	// and adopted a reshard generation: [u64 gen][u32 clientID]. Purely
+	// operational — the host garbage-collects retired generations'
+	// storage namespaces once every registered client has adopted, and a
+	// lying client can only hasten the host's reclamation of the host's
+	// own storage, never weaken detection (which rests on the sealed
+	// handoffs, not on retained storage).
+	FrameReshardAdopted
 )
 
 // MaxShards bounds the shard index representable in the one-byte routing
