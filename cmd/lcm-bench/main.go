@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|ci|all \
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|ci|all \
 //	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] \
 //	          [-latencymodel spin|sleep] [-jsonOut path]
 //
@@ -43,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|ci|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
@@ -174,6 +174,14 @@ func run() error {
 			measured["reshardAblation"] = points
 			fmt.Println("a live reshard pauses for the freeze window; throughput recovers on the wider deployment")
 			fmt.Println()
+		case "readablation":
+			points, err := benchrun.RunReadAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			measured["readAblation"] = points
+			fmt.Println("snapshot reads bypass the serialized write loop and its fsyncs; writes keep full durability")
+			fmt.Println()
 		case "replication":
 			points, err := benchrun.RunReplicationAblation(cfg, nil, nil, true)
 			if err != nil {
@@ -219,6 +227,11 @@ func run() error {
 				return err
 			}
 			measured["replicationAblation"] = repl
+			read, err := benchrun.RunReadAblation(ciCfg, []int{8})
+			if err != nil {
+				return err
+			}
+			measured["readAblation"] = read
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -228,7 +241,7 @@ func run() error {
 
 	runAll := func() error {
 		if *experiment == "all" {
-			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup", "reshardablation", "replication"} {
+			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup", "reshardablation", "replication", "readablation"} {
 				if err := runOne(name); err != nil {
 					return err
 				}

@@ -6,6 +6,7 @@
 // Usage (kvs, the default service):
 //
 //	lcm-client -addr 127.0.0.1:7000 -id 1 -key <hex kC> get <key>
+//	lcm-client ... read <key>     (snapshot read; needs lcm-server -snapshotreads)
 //	lcm-client ... put <key> <value>
 //	lcm-client ... del <key>
 //	lcm-client ... scan <prefix> [limit]
@@ -90,7 +91,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: lcm-client [flags] get|put|del|scan|bal|inc|transfer|status|refresh ...")
+		return errors.New("usage: lcm-client [flags] get|read|put|del|scan|bal|inc|transfer|status|refresh ...")
 	}
 	if *svcName != "kvs" && *svcName != "bank" {
 		return fmt.Errorf("unknown -service %q (want kvs or bank)", *svcName)
@@ -326,6 +327,11 @@ func parseOp(svcName string, args []string) ([]byte, error) {
 			return nil, errors.New("usage: get <key>")
 		}
 		return kvs.Get(args[1]), nil
+	case "read":
+		if len(args) != 2 {
+			return nil, errors.New("usage: read <key>")
+		}
+		return kvs.Get(args[1]), nil
 	case "put":
 		if len(args) != 3 {
 			return nil, errors.New("usage: put <key> <value>")
@@ -402,9 +408,9 @@ func printResult(svcName string, args []string, res *core.Result) error {
 			return err
 		}
 		switch {
-		case args[0] == "get" && kv.Found:
+		case (args[0] == "get" || args[0] == "read") && kv.Found:
 			fmt.Printf("%s\n", kv.Value)
-		case args[0] == "get":
+		case args[0] == "get" || args[0] == "read":
 			fmt.Println("(not found)")
 		default:
 			fmt.Println("ok")
@@ -460,7 +466,13 @@ func runSingle(conn transport.Conn, id uint32, kc aead.Key, svcName, statePath s
 	if err != nil {
 		return err
 	}
-	res, err := session.Do(op)
+	do := session.Do
+	if svcName == "kvs" && args[0] == "read" {
+		// Snapshot read: the host's concurrent read pool (lcm-server
+		// -snapshotreads) instead of the serialized write loop.
+		do = session.DoRead
+	}
+	res, err := do(op)
 	if err != nil {
 		// Persist even on failure: a timed-out op is pending, and the
 		// state file must record it so the next invocation Recovers
@@ -593,6 +605,22 @@ func runSharded(conn transport.Conn, id uint32, keys []aead.Key, svcName, stateP
 			return perr
 		}
 		return runShardedTransfer(session, statePath, from, to, amount, saveStates)
+
+	case svcName == "kvs" && args[0] == "read":
+		// Snapshot read: served by the host's concurrent read pool
+		// against the shard's durable snapshot (lcm-server
+		// -snapshotreads), with the full per-client context check.
+		if len(args) != 2 {
+			return errors.New("usage: read <key>")
+		}
+		res, err = session.DoRead(kvs.Get(args[1]))
+		if err != nil {
+			_ = saveStates()
+			if errors.Is(err, core.ErrViolationDetected) {
+				return fmt.Errorf("SERVER MISBEHAVIOUR DETECTED: %w", err)
+			}
+			return err
+		}
 
 	default:
 		op, perr := parseOp(svcName, args)

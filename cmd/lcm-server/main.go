@@ -59,6 +59,7 @@ func run() error {
 		svcName = flag.String("service", "kvs", "hosted functionality: kvs | bank")
 		sync    = flag.Bool("sync", false, "fsync every state write (crash tolerance, Fig. 6 mode)")
 		group   = flag.Bool("groupcommit", true, "coalesce concurrent batches' delta appends under one fsync")
+		snap    = flag.Bool("snapshotreads", false, "serve classified read-only ops from a concurrent snapshot read pool (clients use DoRead)")
 		scale   = flag.Float64("scale", 1.0, "latency model scale (0 disables injected latencies)")
 
 		replicas = flag.Int("replicas", 0, "peer enclave replicas per shard (chain replication; 0 disables)")
@@ -99,12 +100,13 @@ func run() error {
 			NewService:  factory,
 			Attestation: attestation,
 		}),
-		Store:       store,
-		Shards:      *shards,
-		BatchSize:   *batch,
-		GroupCommit: *group,
-		Replicas:    *replicas,
-		Quorum:      *quorum,
+		Store:         store,
+		Shards:        *shards,
+		BatchSize:     *batch,
+		GroupCommit:   *group,
+		SnapshotReads: *snap,
+		Replicas:      *replicas,
+		Quorum:        *quorum,
 	})
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // KeySize is the AES-128 key size in bytes used by the whole system.
@@ -91,11 +92,46 @@ func newGCM(k Key) (cipher.AEAD, error) {
 	return gcm, nil
 }
 
+// The hot path seals and opens thousands of messages per second under a
+// handful of long-lived keys (kC, kP, sealing keys), and expanding the
+// AES key schedule plus the GCM hash key dominates small-message cost.
+// Caching the constructed cipher.AEAD per key amortizes that setup to
+// once per key. cipher.AEAD values are safe for concurrent use.
+//
+// The cache is capped: keys beyond the cap (a deployment churning through
+// session keys faster than any of ours do) fall back to per-call setup
+// rather than growing without bound.
+const maxCachedKeys = 1024
+
+var (
+	gcmMu    sync.RWMutex
+	gcmCache = make(map[Key]cipher.AEAD)
+)
+
+func cachedGCM(k Key) (cipher.AEAD, error) {
+	gcmMu.RLock()
+	gcm, ok := gcmCache[k]
+	gcmMu.RUnlock()
+	if ok {
+		return gcm, nil
+	}
+	gcm, err := newGCM(k)
+	if err != nil {
+		return nil, err
+	}
+	gcmMu.Lock()
+	if len(gcmCache) < maxCachedKeys {
+		gcmCache[k] = gcm
+	}
+	gcmMu.Unlock()
+	return gcm, nil
+}
+
 // Seal implements auth-encrypt(m, k): it encrypts and authenticates
 // plaintext under k, binding the optional associated data. The result is
 // nonce ‖ ciphertext ‖ tag.
 func Seal(k Key, plaintext, associated []byte) ([]byte, error) {
-	gcm, err := newGCM(k)
+	gcm, err := cachedGCM(k)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +146,7 @@ func Seal(k Key, plaintext, associated []byte) ([]byte, error) {
 // produced by Seal with the same key and associated data. A failed
 // authentication returns ErrAuth.
 func Open(k Key, ciphertext, associated []byte) ([]byte, error) {
-	gcm, err := newGCM(k)
+	gcm, err := cachedGCM(k)
 	if err != nil {
 		return nil, err
 	}

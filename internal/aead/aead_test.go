@@ -143,6 +143,88 @@ func TestIsZero(t *testing.T) {
 	}
 }
 
+// The cipher cache must be transparent: repeated use of one key and use
+// of more keys than the cache retains both behave identically to the
+// uncached construction.
+func TestCipherCacheTransparent(t *testing.T) {
+	k, _ := NewKey()
+	for i := 0; i < 3; i++ {
+		ct, err := Seal(k, []byte("cached"), []byte("ad"))
+		if err != nil {
+			t.Fatalf("Seal (pass %d): %v", i, err)
+		}
+		got, err := Open(k, ct, []byte("ad"))
+		if err != nil || !bytes.Equal(got, []byte("cached")) {
+			t.Fatalf("Open (pass %d): %v %q", i, err, got)
+		}
+	}
+	// Exceed maxCachedKeys: later keys fall back to per-call setup and
+	// must still round-trip.
+	var last Key
+	for i := 0; i < maxCachedKeys+8; i++ {
+		var k Key
+		k[0], k[1] = byte(i), byte(i>>8)
+		k[15] = 0xEE
+		last = k
+		if _, err := cachedGCM(k); err != nil {
+			t.Fatalf("cachedGCM key %d: %v", i, err)
+		}
+	}
+	ct, err := Seal(last, []byte("overflow"), nil)
+	if err != nil {
+		t.Fatalf("Seal uncached key: %v", err)
+	}
+	if got, err := Open(last, ct, nil); err != nil || !bytes.Equal(got, []byte("overflow")) {
+		t.Fatalf("Open uncached key: %v %q", err, got)
+	}
+}
+
+// BenchmarkSeal measures the sealed hot path at the protocol's typical
+// message size; the cached key schedule is what keeps the per-message
+// cost near the raw GCM throughput.
+func BenchmarkSeal(b *testing.B) {
+	k, _ := NewKey()
+	msg := make([]byte, 145) // one 100 B invoke + metadata
+	ad := []byte("lcm/msg/inv/v1")
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Seal(k, msg, ad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealUncached isolates the cost the cache removes: a fresh AES
+// key schedule and GCM hash key per call.
+func BenchmarkSealUncached(b *testing.B) {
+	k, _ := NewKey()
+	msg := make([]byte, 145)
+	ad := []byte("lcm/msg/inv/v1")
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gcm, err := newGCM(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nonce := make([]byte, NonceSize, NonceSize+len(msg)+gcm.Overhead())
+		gcm.Seal(nonce, nonce, msg, ad)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	k, _ := NewKey()
+	ct, _ := Seal(k, make([]byte, 145), nil)
+	b.SetBytes(145)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(k, ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Property: Seal/Open round-trips for arbitrary plaintext and associated
 // data, and tampering with the associated data always fails.
 func TestQuickRoundTrip(t *testing.T) {

@@ -13,6 +13,12 @@ type AblationPoint struct {
 	Throughput float64
 	MeanLat    time.Duration
 
+	// Latency distribution of the measurement window; zero on older
+	// baselines (benchdiff's p99 gate only engages when both sides
+	// carry it).
+	P50Lat time.Duration `json:",omitempty"`
+	P99Lat time.Duration `json:",omitempty"`
+
 	// Group-commit observations (sync-writes ablation only): mean and
 	// largest number of delta records covered by one fsync.
 	AvgGroup float64 `json:",omitempty"`
@@ -45,7 +51,7 @@ func measureLCMWithBatch(cfg RunConfig, batch int) (AblationPoint, error) {
 	if err != nil {
 		return AblationPoint{}, err
 	}
-	return AblationPoint{Name: "lcm-batch", X: batch, Throughput: p.Throughput, MeanLat: p.MeanLat}, nil
+	return AblationPoint{Name: "lcm-batch", X: batch, Throughput: p.Throughput, MeanLat: p.MeanLat, P50Lat: p.P50Lat, P99Lat: p.P99Lat}, nil
 }
 
 // RunSyncWritesAblation sweeps the client count in the synchronous-write
@@ -112,7 +118,7 @@ func measureSyncArm(name string, clients int, cfg RunConfig, tune func(*Options)
 	if err != nil {
 		return AblationPoint{}, fmt.Errorf("%s: %w", name, err)
 	}
-	p := AblationPoint{Name: name, X: clients, Throughput: point.Throughput, MeanLat: point.MeanLat}
+	p := AblationPoint{Name: name, X: clients, Throughput: point.Throughput, MeanLat: point.MeanLat, P50Lat: point.P50Lat, P99Lat: point.P99Lat}
 	if groups > 0 {
 		p.AvgGroup = float64(records) / float64(groups)
 		p.MaxGroup = maxGroup
@@ -164,6 +170,8 @@ func RunShardAblation(cfg RunConfig, shards, clients []int) ([]AblationPoint, er
 				X:          n,
 				Throughput: p.Throughput,
 				MeanLat:    p.MeanLat,
+				P50Lat:     p.P50Lat,
+				P99Lat:     p.P99Lat,
 			}
 			points = append(points, point)
 			thr[n][sh] = p.Throughput
@@ -216,7 +224,7 @@ func RunBatchGroupSweep(cfg RunConfig, batches []int) ([]AblationPoint, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
-			point := AblationPoint{Name: name, X: b, Throughput: p.Throughput, MeanLat: p.MeanLat}
+			point := AblationPoint{Name: name, X: b, Throughput: p.Throughput, MeanLat: p.MeanLat, P50Lat: p.P50Lat, P99Lat: p.P99Lat}
 			if groups > 0 {
 				point.AvgGroup = float64(records) / float64(groups)
 				point.MaxGroup = maxGroup
@@ -268,7 +276,7 @@ func RunSealAblation(cfg RunConfig, records []int) ([]AblationPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			points = append(points, AblationPoint{Name: name, X: n, Throughput: p.Throughput, MeanLat: p.MeanLat})
+			points = append(points, AblationPoint{Name: name, X: n, Throughput: p.Throughput, MeanLat: p.MeanLat, P50Lat: p.P50Lat, P99Lat: p.P99Lat})
 			fmt.Fprintf(cfg.Out, "%-15s records=%-6d thr=%9.1f ops/s mean=%v\n",
 				name, n, p.Throughput, p.MeanLat.Round(time.Microsecond))
 		}

@@ -77,6 +77,7 @@ type Point struct {
 	X          int // clients (Figs. 5-6) or object size (Fig. 4)
 	Throughput float64
 	MeanLat    time.Duration
+	P50Lat     time.Duration
 	P99Lat     time.Duration
 	Ops        int
 	Errors     int
@@ -114,7 +115,11 @@ func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch i
 	}
 	defer dep.Close()
 
-	w := ycsb.WorkloadA(cfg.Records, valueSize)
+	workload := ycsb.WorkloadA
+	if opts.Workload != nil {
+		workload = opts.Workload
+	}
+	w := workload(cfg.Records, valueSize)
 
 	// Load phase, without the RTT charge (the paper measures only the
 	// transaction phase). Enclave-hosted baselines load as one batch.
@@ -134,6 +139,7 @@ func measureOptions(sys System, clients, valueSize int, syncWrites bool, batch i
 		X:          clients,
 		Throughput: report.Throughput,
 		MeanLat:    report.MeanLat,
+		P50Lat:     report.P50Lat,
 		P99Lat:     report.P99Lat,
 		Ops:        report.Ops,
 		Errors:     report.Errors,

@@ -88,6 +88,14 @@ type Options struct {
 	// plus peer acks — required before a reply is released; 0 picks the
 	// host's majority default. Only meaningful with Replicas > 0.
 	Quorum int
+	// SnapshotReads turns on the host's snapshot-isolated read pool
+	// (host.Config.SnapshotReads) AND routes the workload's reads through
+	// the sessions' DoRead instead of the serialized write loop. LCM only.
+	SnapshotReads bool
+	// Workload overrides the YCSB mix (default ycsb.WorkloadA, the
+	// paper's 50/50); the read ablation measures the read-heavy
+	// ycsb.WorkloadB.
+	Workload func(recordCount, valueSize int) *ycsb.Workload
 }
 
 // Deployment is a running system under test.
@@ -99,6 +107,7 @@ type Deployment struct {
 	keys    []aead.Key // per-shard kC (sharded LCM deployments)
 	shards  int
 	lcm     bool
+	snap    bool         // route session reads through DoRead
 	host    *host.Server // LCM deployments: for group-commit stats
 	nextID  atomic.Uint32
 	cleanup []func()
@@ -179,17 +188,25 @@ func (db *rttDB) Update(key, value string) error {
 // client sessions.
 type lcmDoer interface {
 	Do(op []byte) (*core.Result, error)
+	DoRead(op []byte) (*core.Result, error)
 	Close() error
 }
 
 // lcmSession adapts an LCM client session (single or sharded) to
-// baseline.Session.
+// baseline.Session. With snapshotReads set, Gets go through the
+// session's DoRead — the host's concurrent read pool — instead of the
+// serialized write loop.
 type lcmSession struct {
-	inner lcmDoer
+	inner         lcmDoer
+	snapshotReads bool
 }
 
 func (s *lcmSession) Get(key string) ([]byte, bool, error) {
-	res, err := s.inner.Do(kvs.Get(key))
+	do := s.inner.Do
+	if s.snapshotReads {
+		do = s.inner.DoRead
+	}
+	res, err := do(kvs.Get(key))
 	if err != nil {
 		return nil, false, err
 	}
@@ -267,9 +284,9 @@ func (d *Deployment) newSession() (baseline.Session, error) {
 	case SysLCM, SysLCMBatch:
 		id := d.nextID.Add(1)
 		if d.shards > 1 {
-			return &lcmSession{inner: client.NewSharded(conn, id, d.keys, kvs.New(), client.Config{})}, nil
+			return &lcmSession{inner: client.NewSharded(conn, id, d.keys, kvs.New(), client.Config{}), snapshotReads: d.snap}, nil
 		}
-		return &lcmSession{inner: client.New(conn, id, d.key, client.Config{})}, nil
+		return &lcmSession{inner: client.New(conn, id, d.key, client.Config{}), snapshotReads: d.snap}, nil
 	default:
 		return nil, fmt.Errorf("benchrun: unknown system %q", d.system)
 	}
@@ -411,12 +428,13 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 				FullSeal:     opt.FullSeal,
 				CompactEvery: opt.CompactEvery,
 			}),
-			Store:       store,
-			Shards:      shards,
-			BatchSize:   batch,
-			GroupCommit: opt.GroupCommit,
-			Replicas:    opt.Replicas,
-			Quorum:      opt.Quorum,
+			Store:         store,
+			Shards:        shards,
+			BatchSize:     batch,
+			GroupCommit:   opt.GroupCommit,
+			Replicas:      opt.Replicas,
+			Quorum:        opt.Quorum,
+			SnapshotReads: opt.SnapshotReads,
 		})
 		if err != nil {
 			return nil, err
@@ -441,6 +459,7 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 		}
 		d.key = d.keys[0]
 		d.lcm = true
+		d.snap = opt.SnapshotReads
 
 	default:
 		return nil, fmt.Errorf("benchrun: unknown system %q", sys)

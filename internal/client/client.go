@@ -3,14 +3,25 @@
 // matches replies, applies the retry mechanism of Sec. 4.6.1 on timeouts,
 // and persists the client state so a crashed client can resume.
 //
-// Against a sharded deployment (host.Config.Shards > 1) the
-// ShardedSession holds one core.Client protocol context per shard — each
-// shard is an independent LCM instance with its own hash chain and its
-// own communication key — and routes every operation to the shard its
-// service key hashes to (service.Sharder + service.ShardIndex) before
-// sealing. The shard index travels as a one-byte routing prefix on each
-// frame; it is untrusted metadata, since a misrouted INVOKE fails
-// authentication at the receiving shard.
+// There is exactly one session implementation — the unexported session,
+// holding one core.Client protocol context per shard, all multiplexed
+// over a single connection. The two exported types are views of it:
+//
+//   - ShardedSession exposes the full surface: per-shard contexts,
+//     routing by service key (service.Sharder + service.ShardIndex),
+//     scatter-gather scans, cross-shard transfers, reshard adoption.
+//   - Session is the thin single-context wrapper — the N=1 case, bound
+//     to the one shard Config.Shard names — with the historical
+//     shard-free method set.
+//
+// The shard index travels as a one-byte routing prefix on each frame; it
+// is untrusted metadata, since a misrouted INVOKE fails authentication at
+// the receiving shard.
+//
+// Read-only operations can additionally travel the snapshot-read path
+// (DoRead): the op is sealed as a READ-INVOKE and executed on the host's
+// concurrent read pool against the last durable state, with the same
+// per-client context verification as a write (see internal/core/read.go).
 package client
 
 import (
@@ -35,7 +46,7 @@ var ErrTimeout = errors.New("client: reply timeout")
 // ErrSessionClosed reports use of a closed session.
 var ErrSessionClosed = errors.New("client: session closed")
 
-// Config tunes a Session.
+// Config tunes a session.
 type Config struct {
 	// Timeout bounds the wait for each reply; 0 means no timeout.
 	Timeout time.Duration
@@ -121,81 +132,86 @@ func (l *link) close() error {
 	return err
 }
 
-// Session is a connected LCM client bound to one protocol context. It is
-// safe for use by one goroutine at a time (LCM clients are sequential by
-// design, Sec. 4.1).
-type Session struct {
-	proto *core.Client
-	link  *link
-	cfg   Config
+// ---- Unified session core ----
+
+// session is the single underlying implementation behind Session and
+// ShardedSession: one core.Client protocol context per shard — each shard
+// an independent LCM instance with its own hash chain and communication
+// key — multiplexed over one connection. It is sequential: one goroutine
+// at a time (LCM clients invoke sequentially, Sec. 4.1).
+type session struct {
+	protos  []*core.Client
+	kcs     []aead.Key // per-shard communication keys (for handoff checks)
+	sharder service.Sharder
+	link    *link
+	cfg     Config
 }
 
-// New creates a session for a fresh client.
-func New(conn transport.Conn, id uint32, kc aead.Key, cfg Config) *Session {
-	return newSession(conn, core.NewClient(id, kc), cfg)
+func newSessionCore(conn transport.Conn, protos []*core.Client, kcs []aead.Key, sharder service.Sharder, cfg Config) session {
+	return session{
+		protos:  protos,
+		kcs:     append([]aead.Key(nil), kcs...),
+		sharder: sharder,
+		link:    newLink(conn),
+		cfg:     cfg,
+	}
 }
 
-// Resume creates a session from persisted client state (crash recovery).
-// If the state holds a pending operation, the first Do-equivalent step is
-// to call Recover, which retries it.
-func Resume(conn transport.Conn, state *core.ClientState, kc aead.Key, cfg Config) *Session {
-	return newSession(conn, core.ResumeClient(state, kc), cfg)
+// wireShard maps a protocol-context index onto the wire shard it
+// addresses: context i of a multi-context session serves shard i, while a
+// single-context session addresses Config.Shard with its only context.
+func (s *session) wireShard(i int) int {
+	if len(s.protos) == 1 {
+		return s.cfg.Shard
+	}
+	return i
 }
 
-func newSession(conn transport.Conn, proto *core.Client, cfg Config) *Session {
-	return &Session{proto: proto, link: newLink(conn), cfg: cfg}
+func (s *session) checkIndex(i int) error {
+	if i < 0 || i >= len(s.protos) {
+		return fmt.Errorf("client: shard %d out of range (%d shards)", i, len(s.protos))
+	}
+	return nil
 }
 
-// ID returns the client identifier.
-func (s *Session) ID() uint32 { return s.proto.ID() }
-
-// LastSeq returns the sequence number of the last completed operation.
-func (s *Session) LastSeq() uint64 { return s.proto.LastSeq() }
-
-// LastStable returns the latest majority-stable sequence number known.
-func (s *Session) LastStable() uint64 { return s.proto.LastStable() }
-
-// IsStable reports whether the operation with the given sequence number is
-// known to be majority-stable.
-func (s *Session) IsStable(seq uint64) bool { return s.proto.IsStable(seq) }
-
-// State snapshots the persistent client state for stable storage.
-func (s *Session) State() *core.ClientState { return s.proto.State() }
-
-// Err returns the violation detected by this client, if any.
-func (s *Session) Err() error { return s.proto.Err() }
-
-// Do invokes one operation and waits for its verified result.
-func (s *Session) Do(op []byte) (*core.Result, error) {
-	invoke, err := s.proto.Invoke(op)
+// doOn invokes op on the context with index i and runs the Sec. 4.6.1
+// timeout/retry loop for its reply.
+func (s *session) doOn(i int, op []byte) (*core.Result, error) {
+	if err := s.checkIndex(i); err != nil {
+		return nil, err
+	}
+	invoke, err := s.protos[i].Invoke(op)
 	if err != nil {
 		return nil, err
 	}
-	return roundTrip(s.link, s.proto, s.cfg, s.cfg.Shard, invoke)
+	return s.roundTrip(i, invoke)
 }
 
-// Recover completes a pending operation left over from a crash or
-// timeout by re-sending it with the retry marker. It fails with
-// core.ErrNoPendingOperation when nothing is pending.
-func (s *Session) Recover() (*core.Result, error) {
-	invoke, err := s.proto.RetryMessage()
+// recoverOn completes context i's pending operation left over from a
+// crash or timeout by re-sending it with the retry marker.
+func (s *session) recoverOn(i int) (*core.Result, error) {
+	if err := s.checkIndex(i); err != nil {
+		return nil, err
+	}
+	invoke, err := s.protos[i].RetryMessage()
 	if err != nil {
 		return nil, err
 	}
-	return roundTrip(s.link, s.proto, s.cfg, s.cfg.Shard, invoke)
+	return s.roundTrip(i, invoke)
 }
 
-// roundTrip sends one INVOKE to a shard and runs the timeout/retry loop
-// against its protocol context.
-func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte) (*core.Result, error) {
-	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(cfg.Gen), invoke)); err != nil {
+// roundTrip sends one INVOKE for context i and runs the timeout/retry
+// loop against its protocol context.
+func (s *session) roundTrip(i int, invoke []byte) (*core.Result, error) {
+	proto, shard := s.protos[i], s.wireShard(i)
+	if err := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
 		return nil, fmt.Errorf("client: send invoke: %w", err)
 	}
 	attempts := 0
 	for {
-		frame, err := l.await(cfg.Timeout)
+		frame, err := s.link.await(s.cfg.Timeout)
 		if errors.Is(err, ErrTimeout) {
-			if attempts >= cfg.Retries {
+			if attempts >= s.cfg.Retries {
 				return nil, ErrTimeout
 			}
 			attempts++
@@ -203,7 +219,7 @@ func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte
 			if rerr != nil {
 				return nil, rerr
 			}
-			if serr := l.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(cfg.Gen), retry)); serr != nil {
+			if serr := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), retry)); serr != nil {
 				return nil, fmt.Errorf("client: send retry: %w", serr)
 			}
 			continue
@@ -220,11 +236,52 @@ func roundTrip(l *link, proto *core.Client, cfg Config, shard int, invoke []byte
 	}
 }
 
-// ECall forwards a raw enclave call through this connection — the path a
-// remote admin uses for attestation, provisioning, membership and
-// migration. The call is synchronous; do not interleave it with Do.
-func (s *Session) ECall(payload []byte) ([]byte, error) {
-	return ecall(s.link, s.cfg, s.cfg.Shard, payload)
+// readOn executes a read-only op on context i over the snapshot-read path
+// (wire.FrameReadInvoke → the host's concurrent read pool). Reads are
+// side-effect free, so a timed-out read is simply abandoned and re-issued
+// under a fresh nonce rather than retried with a marker.
+func (s *session) readOn(i int, op []byte) (*core.Result, error) {
+	if err := s.checkIndex(i); err != nil {
+		return nil, err
+	}
+	proto, shard := s.protos[i], s.wireShard(i)
+	invoke, err := proto.ReadInvoke(op)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
+		return nil, fmt.Errorf("client: send read invoke: %w", err)
+	}
+	attempts := 0
+	for {
+		frame, err := s.link.await(s.cfg.Timeout)
+		if errors.Is(err, ErrTimeout) {
+			if attempts >= s.cfg.Retries {
+				return nil, ErrTimeout
+			}
+			attempts++
+			if invoke, err = proto.ReadInvoke(op); err != nil {
+				return nil, err
+			}
+			if serr := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); serr != nil {
+				return nil, fmt.Errorf("client: send read retry: %w", serr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		reply, err := wire.DecodeResponse(frame)
+		if err != nil {
+			return nil, err
+		}
+		return proto.ProcessReadReply(reply)
+	}
+}
+
+// ecallOn forwards a raw enclave call to the given wire shard.
+func (s *session) ecallOn(shard int, payload []byte) ([]byte, error) {
+	return ecall(s.link, s.cfg, shard, payload)
 }
 
 func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
@@ -240,15 +297,11 @@ func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
 
 // DeploymentStatus fetches the host's aggregated operational status: one
 // core.Status per shard plus the host-side group-commit counters.
-func (s *Session) DeploymentStatus() (*core.DeploymentStatus, error) {
-	return deploymentStatus(s.link, s.cfg)
-}
-
-func deploymentStatus(l *link, cfg Config) (*core.DeploymentStatus, error) {
-	if err := l.conn.Send(wire.EncodeFrame(wire.FrameStatus, nil)); err != nil {
+func (s *session) DeploymentStatus() (*core.DeploymentStatus, error) {
+	if err := s.link.conn.Send(wire.EncodeFrame(wire.FrameStatus, nil)); err != nil {
 		return nil, fmt.Errorf("client: send status: %w", err)
 	}
-	frame, err := l.await(cfg.Timeout)
+	frame, err := s.link.await(s.cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +313,80 @@ func deploymentStatus(l *link, cfg Config) (*core.DeploymentStatus, error) {
 }
 
 // Close shuts the session down and releases the reader goroutine.
-func (s *Session) Close() error { return s.link.close() }
+func (s *session) Close() error { return s.link.close() }
+
+// ---- Single-context view ----
+
+// Session is a connected LCM client bound to one protocol context — the
+// single-shard view of the unified session (it and ShardedSession share
+// one implementation). It is safe for use by one goroutine at a time.
+type Session struct {
+	session
+}
+
+// New creates a session for a fresh client.
+//
+// Deprecated-ish: New remains fully supported as the single-shard
+// convenience constructor; new code talking to sharded deployments should
+// use NewSharded, of which this is the one-context special case.
+func New(conn transport.Conn, id uint32, kc aead.Key, cfg Config) *Session {
+	return newSession(conn, core.NewClient(id, kc), kc, cfg)
+}
+
+// Resume creates a session from persisted client state (crash recovery).
+// If the state holds a pending operation, the first Do-equivalent step is
+// to call Recover, which retries it.
+//
+// Deprecated-ish: like New, Resume remains supported as the one-context
+// special case of ResumeSharded.
+func Resume(conn transport.Conn, state *core.ClientState, kc aead.Key, cfg Config) *Session {
+	return newSession(conn, core.ResumeClient(state, kc), kc, cfg)
+}
+
+func newSession(conn transport.Conn, proto *core.Client, kc aead.Key, cfg Config) *Session {
+	return &Session{session: newSessionCore(conn, []*core.Client{proto}, []aead.Key{kc}, nil, cfg)}
+}
+
+// ID returns the client identifier.
+func (s *Session) ID() uint32 { return s.protos[0].ID() }
+
+// LastSeq returns the sequence number of the last completed operation.
+func (s *Session) LastSeq() uint64 { return s.protos[0].LastSeq() }
+
+// LastStable returns the latest majority-stable sequence number known.
+func (s *Session) LastStable() uint64 { return s.protos[0].LastStable() }
+
+// IsStable reports whether the operation with the given sequence number is
+// known to be majority-stable.
+func (s *Session) IsStable(seq uint64) bool { return s.protos[0].IsStable(seq) }
+
+// State snapshots the persistent client state for stable storage.
+func (s *Session) State() *core.ClientState { return s.protos[0].State() }
+
+// Err returns the violation detected by this client, if any.
+func (s *Session) Err() error { return s.protos[0].Err() }
+
+// Do invokes one operation and waits for its verified result.
+func (s *Session) Do(op []byte) (*core.Result, error) { return s.doOn(0, op) }
+
+// DoRead executes a read-only operation over the snapshot-read path: it
+// runs on the host's concurrent read pool against the last durable state,
+// fully verified against this client's context, without entering the
+// write pipeline. Requires host.Config.SnapshotReads; the result's Seq is
+// the snapshot's sequence number (≥ this client's last write).
+func (s *Session) DoRead(op []byte) (*core.Result, error) { return s.readOn(0, op) }
+
+// Recover completes a pending operation left over from a crash or
+// timeout by re-sending it with the retry marker. It fails with
+// core.ErrNoPendingOperation when nothing is pending.
+func (s *Session) Recover() (*core.Result, error) { return s.recoverOn(0) }
+
+// ECall forwards a raw enclave call through this connection — the path a
+// remote admin uses for attestation, provisioning, membership and
+// migration. The call is synchronous; do not interleave it with Do.
+func (s *Session) ECall(payload []byte) ([]byte, error) {
+	return s.ecallOn(s.cfg.Shard, payload)
+}
 
 // AdminConn adapts a transport connection into a core.CallFunc for admins
 // operating over the network against the given shard.
@@ -279,18 +405,16 @@ func AdminConnShard(conn transport.Conn, shard int) (core.CallFunc, func() error
 	return call, l.close
 }
 
-// ---- Sharded session ----
+// ---- Sharded view ----
 
-// ShardedSession is a connected LCM client of a sharded deployment: one
-// core.Client protocol context per shard, all multiplexed over a single
-// connection. Operations route to the shard their service key hashes to.
-// Like Session, it is sequential: one goroutine at a time.
+// ShardedSession is a connected LCM client of a sharded deployment — the
+// full-surface view of the unified session: one core.Client protocol
+// context per shard, all multiplexed over a single connection, operations
+// routed to the shard their service key hashes to. Like Session (with
+// which it shares its implementation), it is sequential: one goroutine at
+// a time.
 type ShardedSession struct {
-	protos  []*core.Client
-	kcs     []aead.Key // per-shard communication keys (for handoff checks)
-	sharder service.Sharder
-	link    *link
-	cfg     Config
+	session
 }
 
 // NewSharded creates a sharded session for a fresh client. kcs holds one
@@ -301,13 +425,7 @@ func NewSharded(conn transport.Conn, id uint32, kcs []aead.Key, sharder service.
 	for i, kc := range kcs {
 		protos[i] = core.NewClient(id, kc)
 	}
-	return &ShardedSession{
-		protos:  protos,
-		kcs:     append([]aead.Key(nil), kcs...),
-		sharder: sharder,
-		link:    newLink(conn),
-		cfg:     cfg,
-	}
+	return &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}
 }
 
 // ResumeSharded reconstructs a sharded session from persisted per-shard
@@ -321,13 +439,7 @@ func ResumeSharded(conn transport.Conn, states []*core.ClientState, kcs []aead.K
 	for i := range kcs {
 		protos[i] = core.ResumeClient(states[i], kcs[i])
 	}
-	return &ShardedSession{
-		protos:  protos,
-		kcs:     append([]aead.Key(nil), kcs...),
-		sharder: sharder,
-		link:    newLink(conn),
-		cfg:     cfg,
-	}, nil
+	return &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}, nil
 }
 
 // Shards returns the number of shards this session spans.
@@ -351,20 +463,28 @@ func (s *ShardedSession) Do(op []byte) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.DoOn(shard, op)
+	return s.doOn(shard, op)
 }
 
 // DoOn invokes an operation on an explicit shard — for callers that have
 // already resolved the routing (or tests steering traffic).
 func (s *ShardedSession) DoOn(shard int, op []byte) (*core.Result, error) {
-	if shard < 0 || shard >= len(s.protos) {
-		return nil, fmt.Errorf("client: shard %d out of range (%d shards)", shard, len(s.protos))
-	}
-	invoke, err := s.protos[shard].Invoke(op)
+	return s.doOn(shard, op)
+}
+
+// DoRead executes a read-only operation over the snapshot-read path on
+// the shard its service key hashes to (see Session.DoRead).
+func (s *ShardedSession) DoRead(op []byte) (*core.Result, error) {
+	shard, err := s.ShardFor(op)
 	if err != nil {
 		return nil, err
 	}
-	return roundTrip(s.link, s.protos[shard], s.cfg, shard, invoke)
+	return s.readOn(shard, op)
+}
+
+// DoReadOn is DoRead on an explicit shard.
+func (s *ShardedSession) DoReadOn(shard int, op []byte) (*core.Result, error) {
+	return s.readOn(shard, op)
 }
 
 // HasPending reports whether an operation on the given shard awaits its
@@ -376,14 +496,7 @@ func (s *ShardedSession) HasPending(shard int) bool {
 // Recover completes the given shard's pending operation by re-sending it
 // with the retry marker (Sec. 4.6.1).
 func (s *ShardedSession) Recover(shard int) (*core.Result, error) {
-	if shard < 0 || shard >= len(s.protos) {
-		return nil, fmt.Errorf("client: shard %d out of range (%d shards)", shard, len(s.protos))
-	}
-	invoke, err := s.protos[shard].RetryMessage()
-	if err != nil {
-		return nil, err
-	}
-	return roundTrip(s.link, s.protos[shard], s.cfg, shard, invoke)
+	return s.recoverOn(shard)
 }
 
 // LastSeq returns the sequence number of the last completed operation on
@@ -415,13 +528,5 @@ func (s *ShardedSession) Err() error {
 
 // ECall forwards a raw enclave call to one shard's trusted context.
 func (s *ShardedSession) ECall(shard int, payload []byte) ([]byte, error) {
-	return ecall(s.link, s.cfg, shard, payload)
+	return s.ecallOn(shard, payload)
 }
-
-// DeploymentStatus fetches the host's aggregated per-shard status.
-func (s *ShardedSession) DeploymentStatus() (*core.DeploymentStatus, error) {
-	return deploymentStatus(s.link, s.cfg)
-}
-
-// Close shuts the session down and releases the reader goroutine.
-func (s *ShardedSession) Close() error { return s.link.close() }

@@ -77,12 +77,16 @@ type ReshardPending struct {
 	// Op is the buffered operation.
 	Op []byte
 	// Executed reports whether the source shard executed the operation
-	// before freezing (its reply was lost with the old generation, so
-	// the result is unrecoverable — but the effects are part of the
-	// migrated state and the operation must NOT be re-issued blindly).
-	// When false the operation never executed; re-issue it on the new
-	// session to complete it.
+	// before freezing. Its effects are part of the migrated state and
+	// the operation must NOT be re-issued blindly. When false the
+	// operation never executed; re-issue it on the new session to
+	// complete it.
 	Executed bool
+	// Result is the executed operation's recovered result: the handoff
+	// carries the source's cached reply ciphertext (Sec. 4.6.1), which
+	// VerifyReshard feeds through the old shard's protocol context
+	// exactly as a retry's resent reply. Nil when Executed is false.
+	Result *core.Result
 }
 
 // VerifyReshard authenticates a reshard against this session's state:
@@ -92,6 +96,12 @@ type ReshardPending struct {
 // check, executed client-side at the generation boundary. It returns
 // the new generation's communication keys (from the lead's handoff) and
 // the resolution of any pending operations.
+//
+// Recovering an executed pending operation consumes its cached reply on
+// the old shard's context (advancing it to the handoff's pinned state),
+// so the Executed entry — and its Result — is reported by the first
+// verification only; a repeated VerifyReshard of the same info sees a
+// clean context and an empty report for that shard.
 //
 // A rollback or fork injected on a source shard during the move makes
 // the exported V disagree with this client's context, and the
@@ -143,9 +153,19 @@ func (s *ShardedSession) VerifyReshard(info *core.ReshardInfo) ([]aead.Key, []Re
 			}
 		case st.Pending != nil && entry.TA == st.TC && entry.HA == st.HC:
 			// The source acknowledged our context and executed one more
-			// operation — our pending one. Its reply died with the old
-			// generation; the effects live on in the new one.
-			pending = append(pending, ReshardPending{OldShard: shard, Op: st.Pending, Executed: true})
+			// operation — our pending one. The handoff carries the cached
+			// reply for it; consume it through the normal Alg. 1 reply
+			// verification, which also advances this context to the
+			// entry's (T, H) so the recovery is checked, not assumed.
+			if len(entry.LastReply) == 0 {
+				return nil, nil, fmt.Errorf("%w: shard %d handoff pins an executed operation for client %d but carries no cached reply",
+					core.ErrViolationDetected, shard, s.ID())
+			}
+			res, err := s.protos[shard].ProcessReply(entry.LastReply)
+			if err != nil {
+				return nil, nil, fmt.Errorf("shard %d cached reply in reshard handoff: %w", shard, err)
+			}
+			pending = append(pending, ReshardPending{OldShard: shard, Op: st.Pending, Executed: true, Result: res})
 		default:
 			return nil, nil, fmt.Errorf("%w: shard %d handoff context (t=%d) does not match this client's (t=%d): rollback or forking attack during the reshard",
 				core.ErrViolationDetected, shard, entry.T, st.TC)

@@ -35,6 +35,13 @@ const (
 	// attested admin channel, re-animating a deployment whose original
 	// platform (and thus sealing key) is gone (see heal.go).
 	callRecover
+	// callEnableReads arms the concurrent snapshot-read path (see read.go).
+	// The host sends it once per enclave instance, before serving.
+	callEnableReads
+	// callAdvanceDurable tells the enclave that every batch up to the given
+	// sequence number has reached stable storage; the enclave publishes
+	// that prefix to the snapshot readers (see read.go).
+	callAdvanceDurable
 )
 
 // BatchCallSize returns the encoded size of a batch call, for writer
@@ -109,13 +116,17 @@ type BatchResult struct {
 	StateBlob   []byte
 	DeltaRecord []byte
 	Compact     bool
+	// Seq is the trusted context's sequence number after this batch — the
+	// value the host reports back through EncodeAdvanceDurableCall once
+	// the batch's persistence record is durable.
+	Seq uint64
 }
 
 // Encode serializes a batch result; the inverse of DecodeBatchResult.
 func (res *BatchResult) Encode() []byte { return encodeBatchResult(res) }
 
 func encodeBatchResult(res *BatchResult) []byte {
-	size := 14 + len(res.StateBlob) + len(res.DeltaRecord)
+	size := 22 + len(res.StateBlob) + len(res.DeltaRecord)
 	for _, rep := range res.Replies {
 		size += 4 + len(rep)
 	}
@@ -127,6 +138,7 @@ func encodeBatchResult(res *BatchResult) []byte {
 	w.Bool(res.Compact)
 	w.Var(res.StateBlob)
 	w.Var(res.DeltaRecord)
+	w.U64(res.Seq)
 	return w.Bytes()
 }
 
@@ -141,6 +153,7 @@ func DecodeBatchResult(b []byte) (*BatchResult, error) {
 	res.Compact = r.Bool()
 	res.StateBlob = r.Var()
 	res.DeltaRecord = r.Var()
+	res.Seq = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode batch result: %w", err)
 	}
@@ -315,6 +328,25 @@ func EncodeMigrateImportCall(m *MigrationExport) []byte {
 	w := wire.NewWriter(5 + len(inner))
 	w.U8(callMigrateImport)
 	w.Var(inner)
+	return w.Bytes()
+}
+
+// EncodeEnableReadsCall arms the concurrent snapshot-read path. The host
+// must send it before serving a freshly started (or recovered) instance;
+// batches executed afterwards tag their undo overlays so snapshot readers
+// can resolve the durable view (see read.go).
+func EncodeEnableReadsCall() []byte {
+	return []byte{callEnableReads}
+}
+
+// EncodeAdvanceDurableCall reports that all batches with sequence numbers
+// ≤ seq are durable on stable storage. The host sends it after a
+// persistence write completes and BEFORE releasing the covered replies,
+// which is what gives snapshot reads read-your-writes.
+func EncodeAdvanceDurableCall(seq uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(callAdvanceDurable)
+	w.U64(seq)
 	return w.Bytes()
 }
 

@@ -42,6 +42,14 @@ type Client struct {
 
 	pending  []byte // the buffered operation u, nil if none outstanding
 	poisoned error  // first detected violation; sticky
+
+	// Snapshot-read session state (see read.go). Deliberately not part
+	// of ClientState: reads are side-effect free, so a crashed client
+	// simply starts a fresh read session.
+	readNonce        uint64 // last issued request nonce (random origin)
+	readPendingNonce uint64
+	readPending      bool
+	readSeq          uint64 // monotonic-reads floor
 }
 
 // NewClient creates a fresh client with identifier id and the group's

@@ -43,6 +43,14 @@ var (
 	// operation outstanding.
 	ErrNoPendingOperation = errors.New("lcm: no operation pending")
 
+	// ErrNoPendingRead reports ProcessReadReply with no read outstanding.
+	ErrNoPendingRead = errors.New("lcm: no read pending")
+
+	// ErrStaleReadSnapshot reports a read reply describing a snapshot
+	// older than the client's last write or last read — the server served
+	// a rolled-back or withheld view on the read path.
+	ErrStaleReadSnapshot = errors.New("lcm: read snapshot older than the client's context")
+
 	// ErrClientPoisoned reports any use of a client that has already
 	// detected a violation.
 	ErrClientPoisoned = errors.New("lcm: client halted after detecting server misbehaviour")
@@ -91,4 +99,12 @@ var (
 	// ErrReshardAttestation reports a reshard target or peer whose quote
 	// did not verify.
 	ErrReshardAttestation = errors.New("lcm: reshard attestation failed")
+
+	// ErrReadsUnsupported reports callEnableReads on a trusted context
+	// whose service does not implement service.SnapshotReader.
+	ErrReadsUnsupported = errors.New("lcm: service does not support snapshot reads")
+
+	// ErrReadsNotEnabled reports a read on an instance the host has not
+	// armed with callEnableReads.
+	ErrReadsNotEnabled = errors.New("lcm: snapshot reads not enabled on this instance")
 )

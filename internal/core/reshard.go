@@ -312,13 +312,17 @@ func DecodeReshardInfo(b []byte) (*ReshardInfo, error) {
 
 // ReshardEntry is one client's final V entry on a source shard, as
 // pinned by that shard's handoff: the same (acknowledged, last) context
-// pair Alg. 2 verifies on every INVOKE.
+// pair Alg. 2 verifies on every INVOKE, plus the Sec. 4.6.1 cached REPLY
+// ciphertext. Carrying the cached reply lets a client whose operation
+// executed right before the freeze recover its result across the
+// generation change instead of only learning "it ran, the value is gone".
 type ReshardEntry struct {
-	ID uint32
-	TA uint64
-	HA hashchain.Value
-	T  uint64
-	H  hashchain.Value
+	ID        uint32
+	TA        uint64
+	HA        hashchain.Value
+	T         uint64
+	H         hashchain.Value
+	LastReply []byte
 }
 
 // ReshardHandoff is the plaintext of one source shard's handoff. Clients
@@ -336,7 +340,10 @@ type ReshardHandoff struct {
 }
 
 func (h *ReshardHandoff) encode() []byte {
-	size := 80 + len(h.Entries)*(4+16+2*hashchain.Size)
+	size := 80 + len(h.Entries)*(8+16+2*hashchain.Size)
+	for _, e := range h.Entries {
+		size += len(e.LastReply)
+	}
 	for _, kc := range h.NewKCs {
 		size += 4 + len(kc)
 	}
@@ -354,6 +361,7 @@ func (h *ReshardHandoff) encode() []byte {
 		w.Bytes32(e.HA)
 		w.U64(e.T)
 		w.Bytes32(e.H)
+		w.Var(e.LastReply)
 	}
 	w.U32(uint32(len(h.NewKCs)))
 	for _, kc := range h.NewKCs {
@@ -375,11 +383,12 @@ func decodeReshardHandoff(b []byte) (*ReshardHandoff, error) {
 	n := r.U32()
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		h.Entries = append(h.Entries, ReshardEntry{
-			ID: r.U32(),
-			TA: r.U64(),
-			HA: r.Bytes32(),
-			T:  r.U64(),
-			H:  r.Bytes32(),
+			ID:        r.U32(),
+			TA:        r.U64(),
+			HA:        r.Bytes32(),
+			T:         r.U64(),
+			H:         r.Bytes32(),
+			LastReply: r.Var(),
 		})
 	}
 	n = r.U32()
@@ -847,6 +856,7 @@ func (p *Trusted) handleReshardExport(env tee.Env) ([]byte, error) {
 		e := p.v[id]
 		handoff.Entries = append(handoff.Entries, ReshardEntry{
 			ID: id, TA: e.TA, HA: e.HA, T: e.T, H: e.H,
+			LastReply: e.LastReply,
 		})
 	}
 	sealedHandoff, err := aead.Seal(p.kc, handoff.encode(), []byte(adReshardHandoff))

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lcm/internal/hashchain"
+)
+
+func TestReshardHandoffCodecRoundTrip(t *testing.T) {
+	h := &ReshardHandoff{
+		Gen:       3,
+		OldShards: 2,
+		NewShards: 4,
+		Src:       1,
+		Seq:       77,
+		Head:      hashchain.Value{1, 2, 3},
+		Entries: []ReshardEntry{
+			{ID: 1, TA: 5, HA: hashchain.Value{4}, T: 6, H: hashchain.Value{5}, LastReply: []byte("sealed-reply-1")},
+			{ID: 2, TA: 7, HA: hashchain.Value{6}, T: 7, H: hashchain.Value{6}}, // no cached reply
+		},
+		NewKCs: [][]byte{{9, 9}, {8, 8}},
+	}
+	got, err := decodeReshardHandoff(h.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Gen != h.Gen || got.OldShards != h.OldShards || got.NewShards != h.NewShards ||
+		got.Src != h.Src || got.Seq != h.Seq || got.Head != h.Head {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got.Entries))
+	}
+	for i := range h.Entries {
+		want, e := h.Entries[i], got.Entries[i]
+		if e.ID != want.ID || e.TA != want.TA || e.HA != want.HA || e.T != want.T || e.H != want.H {
+			t.Errorf("entry %d context mismatch: %+v", i, e)
+		}
+		if !bytes.Equal(e.LastReply, want.LastReply) {
+			t.Errorf("entry %d LastReply = %q, want %q", i, e.LastReply, want.LastReply)
+		}
+	}
+	if len(got.NewKCs) != 2 || !bytes.Equal(got.NewKCs[1], []byte{8, 8}) {
+		t.Fatalf("NewKCs mismatch: %v", got.NewKCs)
+	}
+}

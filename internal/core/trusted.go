@@ -35,19 +35,20 @@ type Trusted struct {
 	compactRatio float64
 
 	// Volatile state, rebuilt by init from the sealed blobs.
-	svc       service.Service
-	deltaSvc  service.DeltaService // non-nil iff svc supports deltas
-	t         uint64               // sequence number of the last executed operation
-	h         hashchain.Value      // hash-chain value after it
-	v         vmap                 // protocol state V
-	adminSeq  uint64
-	ks        aead.Key // sealing key (from the TEE, each epoch)
-	kp        aead.Key // protocol-state encryption key
-	kc        aead.Key // communication key
-	channel   *securechannel.Responder
-	migNonce  []byte // outstanding migration challenge, if any
-	migrated  bool
-	footprint int64 // last footprint reported to the EPC model
+	svc        service.Service
+	deltaSvc   service.DeltaService   // non-nil iff svc supports deltas
+	snapReader service.SnapshotReader // non-nil iff svc supports snapshot reads
+	t          uint64                 // sequence number of the last executed operation
+	h          hashchain.Value        // hash-chain value after it
+	v          vmap                   // protocol state V
+	adminSeq   uint64
+	ks         aead.Key // sealing key (from the TEE, each epoch)
+	kp         aead.Key // protocol-state encryption key
+	kc         aead.Key // communication key
+	channel    *securechannel.Responder
+	migNonce   []byte // outstanding migration challenge, if any
+	migrated   bool
+	footprint  int64 // last footprint reported to the EPC model
 
 	// Reshard state (see reshard.go): the generation this context
 	// belongs to (persisted in the state blob), the volatile mid-reshard
@@ -75,7 +76,18 @@ type Trusted struct {
 	snapBytes    int
 	compactions  uint64
 	lastCompactT uint64
+
+	// Concurrent snapshot-read state (see read.go): whether the host has
+	// armed the read path for this instance, the highest sequence number
+	// the host has confirmed durable, and the projection of the protocol
+	// state shared with concurrent HandleRead calls. rs is the ONLY field
+	// readers touch; everything else stays serialized.
+	readsArmed bool
+	durableT   uint64
+	rs         readState
 }
+
+var _ tee.ReadProgram = (*Trusted)(nil)
 
 var _ tee.Program = (*Trusted)(nil)
 
@@ -153,6 +165,7 @@ func (p *Trusted) Init(env tee.Env) error {
 	p.ks = env.SealingKey()
 	p.svc = p.newService()
 	p.deltaSvc, _ = p.svc.(service.DeltaService)
+	p.snapReader, _ = p.svc.(service.SnapshotReader)
 	p.v = vmap{}
 
 	// Each epoch gets a fresh secure-channel key pair; its public key is
@@ -270,6 +283,7 @@ func (p *Trusted) foldDeltaLog(env tee.Env, baseBlob []byte) error {
 		p.chainLen++
 		p.chainBytes += len(sealed)
 	}
+	p.durableT = p.t // the folded chain came from stable storage
 	p.chargeFootprint(env)
 	return nil
 }
@@ -291,6 +305,7 @@ func (p *Trusted) install(env tee.Env, kp aead.Key, state *trustedState) error {
 	p.adminSeq = state.AdminSeq
 	p.gen = state.Gen
 	p.t, p.h = p.v.argmax() // (·, t, h) ← V[argmax(V)]
+	p.durableT = p.t        // the installed state came from stable storage
 	p.chargeFootprint(env)
 	return nil
 }
@@ -305,8 +320,25 @@ func (p *Trusted) chargeFootprint(env tee.Env) {
 
 func (p *Trusted) provisioned() bool { return !p.kp.IsZero() }
 
-// Call implements tee.Program: the ecall dispatcher.
+// Call implements tee.Program: the ecall dispatcher. After any
+// successful state-transitioning call it republishes the reader-visible
+// projection (see read.go); the batch path instead publishes through the
+// durability advances, so readers only ever see durable state.
 func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
+	resp, err := p.dispatch(env, payload)
+	if err == nil && len(payload) > 0 {
+		switch payload[0] {
+		case callBatch, callStatus, callAttest, callEnableReads, callAdvanceDurable:
+			// Reads-neutral (status, attest), self-publishing (enable,
+			// advance), or published only once durable (batch).
+		default:
+			p.syncReadState()
+		}
+	}
+	return resp, err
+}
+
+func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 	if len(payload) == 0 {
 		return nil, errors.New("lcm: empty call payload")
 	}
@@ -444,6 +476,17 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return p.handleRecover(env, senderPub, ct)
+	case callEnableReads:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleEnableReads()
+	case callAdvanceDurable:
+		seq := r.U64()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleAdvanceDurable(seq)
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
 	}
@@ -490,7 +533,13 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 		}
 	}
 	p.chargeFootprint(env)
-	res := BatchResult{Replies: replies}
+	if p.readsArmed && p.snapReader != nil {
+		// Seal this batch's undo generation under its final sequence
+		// number; snapshot readers keep resolving through it until the
+		// host confirms the batch durable (callAdvanceDurable).
+		p.snapReader.EndBatch(p.t)
+	}
+	res := BatchResult{Replies: replies, Seq: p.t}
 	switch {
 	case touched == nil:
 		// Full-seal mode (or a service without delta support): the
@@ -695,6 +744,13 @@ func (p *Trusted) persist(env tee.Env) error {
 	// discarded at recovery (see state.go).
 	if err := env.Host().TruncateLog(SlotDeltaLog); err != nil {
 		return fmt.Errorf("lcm: truncate delta log: %w", err)
+	}
+	if p.readsArmed && p.snapReader != nil {
+		// The synchronous store above made everything durable; release
+		// the whole undo overlay to the snapshot readers.
+		p.durableT = p.t
+		p.snapReader.EndBatch(p.t)
+		p.snapReader.AdvanceDurable(p.t)
 	}
 	return nil
 }

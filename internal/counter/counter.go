@@ -54,6 +54,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"lcm/internal/service"
 	"lcm/internal/wire"
@@ -129,14 +130,44 @@ type Bank struct {
 	dirty    map[string]struct{}
 	txs      map[string]txRecord
 	dirtyTx  map[string]struct{}
+
+	// mu orders mutations against concurrent snapshot readers
+	// (service.SnapshotReader); every mutation goes through setAccount /
+	// setTx, which record undo-overlay pre-images under the write lock.
+	// The writer's own plain reads need no lock — mutations happen only
+	// on the writer's goroutine, and readers never write.
+	mu          sync.RWMutex
+	acctOverlay service.Overlay[int64]
+	txOverlay   service.Overlay[txRecord]
 }
 
 var (
-	_ service.Service      = (*Bank)(nil)
-	_ service.DeltaService = (*Bank)(nil)
-	_ service.Sharder      = (*Bank)(nil)
-	_ service.Resharder    = (*Bank)(nil)
+	_ service.Service        = (*Bank)(nil)
+	_ service.DeltaService   = (*Bank)(nil)
+	_ service.Sharder        = (*Bank)(nil)
+	_ service.Resharder      = (*Bank)(nil)
+	_ service.SnapshotReader = (*Bank)(nil)
 )
+
+// setAccount assigns an account balance, recording its pre-image for
+// pending snapshot readers. Callers mark the dirty set themselves (a
+// healed delta must not re-dirty).
+func (b *Bank) setAccount(name string, v int64) {
+	b.mu.Lock()
+	old, ok := b.accounts[name]
+	b.acctOverlay.Record(name, old, ok)
+	b.accounts[name] = v
+	b.mu.Unlock()
+}
+
+// setTx assigns a transaction record, recording its pre-image.
+func (b *Bank) setTx(key string, rec txRecord) {
+	b.mu.Lock()
+	old, ok := b.txs[key]
+	b.txOverlay.Record(key, old, ok)
+	b.txs[key] = rec
+	b.mu.Unlock()
+}
 
 // New returns an empty bank.
 func New() *Bank {
@@ -166,7 +197,7 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 		if err := r.Done(); err != nil {
 			return nil, fmt.Errorf("%w: inc: %v", ErrMalformedOp, err)
 		}
-		b.accounts[name] += delta
+		b.setAccount(name, b.accounts[name]+delta)
 		b.dirty[name] = struct{}{}
 		return encodeBalance(StatusOK, b.accounts[name]), nil
 
@@ -187,8 +218,8 @@ func (b *Bank) Apply(op []byte) ([]byte, error) {
 		if amount < 0 || b.accounts[from] < amount {
 			return encodeBalance(StatusInsufficient, b.accounts[from]), nil
 		}
-		b.accounts[from] -= amount
-		b.accounts[to] += amount
+		b.setAccount(from, b.accounts[from]-amount)
+		b.setAccount(to, b.accounts[to]+amount)
 		b.dirty[from] = struct{}{}
 		b.dirty[to] = struct{}{}
 		return encodeBalance(StatusOK, b.accounts[from]), nil
@@ -253,9 +284,9 @@ func (b *Bank) prepare(id, from string, amount int64) []byte {
 	if amount < 0 || b.accounts[from] < amount {
 		return encodeBalance(StatusInsufficient, b.accounts[from])
 	}
-	b.accounts[from] -= amount
+	b.setAccount(from, b.accounts[from]-amount)
 	b.dirty[from] = struct{}{}
-	b.txs[key] = txRecord{State: txEscrowed, Account: from, Amount: amount}
+	b.setTx(key, txRecord{State: txEscrowed, Account: from, Amount: amount})
 	b.dirtyTx[key] = struct{}{}
 	return encodeBalance(StatusOK, b.accounts[from])
 }
@@ -271,9 +302,9 @@ func (b *Bank) credit(id, to string, amount int64) []byte {
 	if amount < 0 {
 		return encodeBalance(StatusInsufficient, b.accounts[to])
 	}
-	b.accounts[to] += amount
+	b.setAccount(to, b.accounts[to]+amount)
 	b.dirty[to] = struct{}{}
-	b.txs[key] = txRecord{State: txCredited, Account: to, Amount: amount}
+	b.setTx(key, txRecord{State: txCredited, Account: to, Amount: amount})
 	b.dirtyTx[key] = struct{}{}
 	return encodeBalance(StatusOK, b.accounts[to])
 }
@@ -289,7 +320,7 @@ func (b *Bank) settle(id string) []byte {
 	switch rec.State {
 	case txEscrowed:
 		rec.State = txSettled
-		b.txs[key] = rec
+		b.setTx(key, rec)
 		b.dirtyTx[key] = struct{}{}
 		return encodeBalance(StatusOK, b.accounts[rec.Account])
 	case txSettled:
@@ -310,16 +341,16 @@ func (b *Bank) abort(id, from string) []byte {
 	key := srcKey(id)
 	rec, ok := b.txs[key]
 	if !ok {
-		b.txs[key] = txRecord{State: txAborted, Account: from}
+		b.setTx(key, txRecord{State: txAborted, Account: from})
 		b.dirtyTx[key] = struct{}{}
 		return encodeBalance(StatusOK, 0)
 	}
 	switch rec.State {
 	case txEscrowed:
-		b.accounts[rec.Account] += rec.Amount
+		b.setAccount(rec.Account, b.accounts[rec.Account]+rec.Amount)
 		b.dirty[rec.Account] = struct{}{}
 		rec.State = txAborted
-		b.txs[key] = rec
+		b.setTx(key, rec)
 		b.dirtyTx[key] = struct{}{}
 		return encodeBalance(StatusOK, b.accounts[rec.Account])
 	case txAborted:
@@ -426,8 +457,12 @@ func (b *Bank) Restore(snapshot []byte) error {
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("counter: restore: %w", err)
 	}
+	b.mu.Lock()
 	b.accounts = accounts
 	b.txs = txs
+	b.acctOverlay.Reset()
+	b.txOverlay.Reset()
+	b.mu.Unlock()
 	b.dirty = make(map[string]struct{})
 	b.dirtyTx = make(map[string]struct{})
 	return nil
@@ -456,7 +491,9 @@ func (b *Bank) Delta() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// ApplyDelta implements service.DeltaService.
+// ApplyDelta implements service.DeltaService. Changes record pre-images
+// like Apply's, so a healed chain suffix stays invisible to snapshot
+// readers until it is reported durable.
 func (b *Bank) ApplyDelta(delta []byte) error {
 	r := wire.NewReader(delta)
 	n := r.U32()
@@ -466,7 +503,7 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 		if r.Err() != nil {
 			break
 		}
-		b.accounts[name] = balance
+		b.setAccount(name, balance)
 	}
 	ntx := r.U32()
 	for i := uint32(0); i < ntx; i++ {
@@ -474,7 +511,7 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 		if r.Err() != nil {
 			break
 		}
-		b.txs[key] = rec
+		b.setTx(key, rec)
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("counter: apply delta: %w", err)
@@ -575,6 +612,8 @@ func (b *Bank) PartitionState(n int) ([][]byte, error) {
 // becomes the bank's state. Accounts and transaction records are disjoint
 // across source shards; a duplicate means inconsistent fragments.
 func (b *Bank) MergeState(fragments [][]byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for i, frag := range fragments {
 		r := wire.NewReader(frag)
 		n := r.U32()
@@ -605,6 +644,87 @@ func (b *Bank) MergeState(fragments [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// ---- Snapshot reads (service.SnapshotReader) ----
+
+// ReadOnly is the stateless read classifier: it reports whether an
+// encoded operation can never change state and may therefore travel the
+// snapshot-read path (client DoRead). Classification depends only on the
+// op encoding, so clients use this without a bank instance; the enclave
+// re-checks server-side via IsReadOnly.
+func ReadOnly(op []byte) bool {
+	return len(op) > 0 && (op[0] == opRead || op[0] == opEscrowTotal)
+}
+
+// IsReadOnly implements service.SnapshotReader: balance reads and the
+// escrow-total sum never change state.
+func (b *Bank) IsReadOnly(op []byte) bool { return ReadOnly(op) }
+
+// SnapshotRead implements service.SnapshotReader. Safe for concurrent
+// use with Apply.
+func (b *Bank) SnapshotRead(op []byte) ([]byte, error) {
+	if len(op) == 0 {
+		return nil, ErrMalformedOp
+	}
+	r := wire.NewReader(op[1:])
+	switch op[0] {
+	case opRead:
+		name := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: read: %v", ErrMalformedOp, err)
+		}
+		b.mu.RLock()
+		bal, existed, pinned := b.acctOverlay.Resolve(name)
+		if !pinned {
+			bal = b.accounts[name]
+		} else if !existed {
+			bal = 0 // account did not exist at the snapshot: zero balance
+		}
+		b.mu.RUnlock()
+		return encodeBalance(StatusOK, bal), nil
+
+	case opEscrowTotal:
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: escrowtotal: %v", ErrMalformedOp, err)
+		}
+		b.mu.RLock()
+		var total int64
+		// Transaction records are never deleted, so every pinned key is
+		// also a live key: iterating the live map covers the snapshot.
+		for key, rec := range b.txs {
+			if pre, existed, pinned := b.txOverlay.Resolve(key); pinned {
+				if !existed {
+					continue // record created after the snapshot
+				}
+				rec = pre
+			}
+			if rec.State == txEscrowed {
+				total += rec.Amount
+			}
+		}
+		b.mu.RUnlock()
+		return encodeBalance(StatusOK, total), nil
+
+	default:
+		return nil, fmt.Errorf("%w: not a read-only op (tag %d)", ErrMalformedOp, op[0])
+	}
+}
+
+// EndBatch implements service.SnapshotReader.
+func (b *Bank) EndBatch(seq uint64) {
+	b.mu.Lock()
+	b.acctOverlay.Close(seq)
+	b.txOverlay.Close(seq)
+	b.mu.Unlock()
+}
+
+// AdvanceDurable implements service.SnapshotReader.
+func (b *Bank) AdvanceDurable(seq uint64) {
+	b.mu.Lock()
+	b.acctOverlay.Advance(seq)
+	b.txOverlay.Advance(seq)
+	b.mu.Unlock()
 }
 
 // ---- Operation and result codecs ----

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"lcm/internal/core"
 	"lcm/internal/replication"
@@ -106,11 +107,102 @@ type Config struct {
 	// (Replicas/2 + 1 peers plus the primary... i.e. (Replicas+1)/2+1
 	// total). Only meaningful with Replicas > 0.
 	Quorum int
+	// SnapshotReads serves FrameReadInvoke requests from a concurrent
+	// per-instance read pool executing against the enclave's durable
+	// snapshot (see core/read.go), instead of refusing them. The host
+	// additionally confirms each commit group's durability to the enclave
+	// (one tiny advance ecall) before releasing the covered replies,
+	// which is what gives readers read-your-writes.
+	SnapshotReads bool
+	// ReadWorkers is the number of concurrent read executors per enclave
+	// instance; 0 selects DefaultReadWorkers. Only meaningful with
+	// SnapshotReads.
+	ReadWorkers int
+	// CommitLatencyTarget bounds the extra reply latency group commit may
+	// add: the committer adaptively sizes commit groups (see groupPolicy)
+	// so that one group's persistence stays within this target. 0 selects
+	// DefaultCommitLatencyTarget. Only meaningful with GroupCommit.
+	CommitLatencyTarget time.Duration
 }
 
-// maxCommitGroup caps how many batch results one commit group covers, so
-// a burst cannot defer durability (and replies) indefinitely.
-const maxCommitGroup = 64
+// DefaultReadWorkers is the per-instance read-pool size when
+// Config.SnapshotReads is on and Config.ReadWorkers is 0.
+const DefaultReadWorkers = 8
+
+// Validate checks the configuration for inconsistent combinations and
+// fills in the documented defaults (it is called by New; exported so
+// operators can pre-flight a config without starting enclaves). The
+// zero-ish values keep their historical meanings — Shards 0 is the
+// single-shard layout, Quorum 0 a replica-set majority — while
+// combinations that cannot mean anything sensible are rejected with a
+// descriptive error instead of being silently "fixed".
+func (c *Config) Validate() error {
+	if c.Platform == nil {
+		return errors.New("host: config: Platform is required")
+	}
+	if c.Factory == nil {
+		return errors.New("host: config: Factory is required")
+	}
+	if c.Store == nil {
+		return errors.New("host: config: Store is required")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("host: config: Shards must be ≥ 1 (got %d); 0 selects the single-shard default", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards > wire.MaxShards {
+		return fmt.Errorf("host: config: %d shards exceed the routing limit of %d", c.Shards, wire.MaxShards)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("host: config: BatchSize must be ≥ 1 (got %d); 0 disables batching", c.BatchSize)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.StateSlot == "" {
+		c.StateSlot = core.SlotStateBlob
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("host: config: Replicas must be ≥ 0 (got %d)", c.Replicas)
+	}
+	if c.Replicas == 0 && c.Quorum != 0 {
+		return fmt.Errorf("host: config: Quorum %d configured without replication (Replicas is 0)", c.Quorum)
+	}
+	if c.Replicas > 0 {
+		if c.Quorum < 0 {
+			return fmt.Errorf("host: config: Quorum must be ≥ 1 (got %d); 0 selects a replica-set majority", c.Quorum)
+		}
+		if c.Quorum == 0 {
+			// Majority of the replica set (primary + peers).
+			c.Quorum = (c.Replicas+1)/2 + 1
+		}
+		if c.Quorum > c.Replicas+1 {
+			return fmt.Errorf("host: config: quorum %d exceeds the replica set size %d (Replicas+1)",
+				c.Quorum, c.Replicas+1)
+		}
+	}
+	if c.ReadWorkers < 0 {
+		return fmt.Errorf("host: config: ReadWorkers must be ≥ 0 (got %d)", c.ReadWorkers)
+	}
+	if c.ReadWorkers > 0 && !c.SnapshotReads {
+		return fmt.Errorf("host: config: ReadWorkers %d configured without SnapshotReads", c.ReadWorkers)
+	}
+	if c.SnapshotReads && c.ReadWorkers == 0 {
+		c.ReadWorkers = DefaultReadWorkers
+	}
+	if c.CommitLatencyTarget < 0 {
+		return fmt.Errorf("host: config: CommitLatencyTarget must be ≥ 0 (got %v)", c.CommitLatencyTarget)
+	}
+	if c.CommitLatencyTarget > 0 && !c.GroupCommit {
+		return fmt.Errorf("host: config: CommitLatencyTarget %v configured without GroupCommit", c.CommitLatencyTarget)
+	}
+	if c.GroupCommit && c.CommitLatencyTarget == 0 {
+		c.CommitLatencyTarget = DefaultCommitLatencyTarget
+	}
+	return nil
+}
 
 // request is one queued invoke awaiting its batch. Its response goes
 // directly to the connection, or — for one part of a multi-shard
@@ -193,8 +285,9 @@ type instance struct {
 	store   stablestore.Store
 	shard   int // keyspace shard this instance serves
 	queue   chan request
-	cm      *committer  // nil when GroupCommit is off
-	pm      *sync.Mutex // serialize batch (ecall+persist) vs barrier ecalls
+	readq   chan request // snapshot reads; nil when SnapshotReads is off
+	cm      *committer   // nil when GroupCommit is off
+	pm      *sync.Mutex  // serialize batch (ecall+persist) vs barrier ecalls
 
 	// Replication state (nil/zero when unreplicated or a fork instance):
 	// the shard's replica set, the enclave epoch the heal check last ran
@@ -252,27 +345,8 @@ func genShardPrefix(gen uint64, shard int) string {
 // New creates a server with one started enclave instance per shard and
 // honest routing (each shard's traffic to its primary).
 func New(cfg Config) (*Server, error) {
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 1
-	}
-	if cfg.StateSlot == "" {
-		cfg.StateSlot = core.SlotStateBlob
-	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 1
-	}
-	if cfg.Shards > wire.MaxShards {
-		return nil, fmt.Errorf("host: %d shards exceed the routing limit of %d", cfg.Shards, wire.MaxShards)
-	}
-	if cfg.Replicas > 0 {
-		if cfg.Quorum <= 0 {
-			// Majority of the replica set (primary + peers).
-			cfg.Quorum = (cfg.Replicas+1)/2 + 1
-		}
-		if cfg.Quorum > cfg.Replicas+1 {
-			return nil, fmt.Errorf("host: quorum %d exceeds the replica set size %d",
-				cfg.Quorum, cfg.Replicas+1)
-		}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Server{
 		cfg:           cfg,
@@ -379,6 +453,14 @@ func (s *Server) addInstance(shard int) (int, error) {
 	s.mu.Unlock()
 
 	s.startInstance(inst)
+	if s.cfg.SnapshotReads {
+		// Arm the snapshot-read path before the instance serves anything,
+		// so every batch tags its undo generation from the start. Best
+		// effort: a service without snapshot support simply keeps
+		// answering reads with an error, and enclave restarts re-arm
+		// lazily from the read pool (see processRead).
+		_, _ = s.instanceBarrierECall(inst, core.EncodeEnableReadsCall())
+	}
 	return idx, nil
 }
 
@@ -395,12 +477,21 @@ func (s *Server) newInstance(enclave *tee.Enclave, store stablestore.Store, shar
 		rs:      rs,
 	}
 	if s.cfg.GroupCommit {
-		inst.cm = &committer{srv: s, inst: inst, ch: make(chan commitReq, maxCommitGroup)}
+		inst.cm = &committer{
+			srv:    s,
+			inst:   inst,
+			ch:     make(chan commitReq, commitGroupCeiling),
+			policy: newGroupPolicy(s.cfg.CommitLatencyTarget),
+		}
+	}
+	if s.cfg.SnapshotReads {
+		inst.readq = make(chan request, 1024)
 	}
 	return inst
 }
 
-// startInstance launches an instance's committer and batch loop.
+// startInstance launches an instance's committer, batch loop and read
+// pool.
 func (s *Server) startInstance(inst *instance) {
 	if inst.cm != nil {
 		s.wg.Add(1)
@@ -414,6 +505,15 @@ func (s *Server) startInstance(inst *instance) {
 		defer s.wg.Done()
 		s.batchLoop(inst)
 	}()
+	if inst.readq != nil {
+		for w := 0; w < s.cfg.ReadWorkers; w++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.readLoop(inst)
+			}()
+		}
+	}
 }
 
 // instanceAt returns instance idx, or nil when out of range.
@@ -662,6 +762,27 @@ func (s *Server) connLoop(cs *connState) {
 					return
 				}
 			}
+		case wire.FrameReadInvoke:
+			// Snapshot reads skip the batch queue entirely: they join the
+			// instance's read pool and execute concurrently against the
+			// durable snapshot (see read.go). Routing — including the
+			// generation check and fork overrides — is identical to
+			// writes, so a forked or stale-generation read is refused or
+			// detected exactly like a forked write.
+			inst, invoke, err := s.routeFrame(cs, payload)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			if inst.readq == nil {
+				_ = cs.send(wire.ErrorFrame(errSnapshotReadsDisabled))
+				continue
+			}
+			select {
+			case inst.readq <- request{conn: cs, invoke: invoke}:
+			case <-s.stop:
+				return
+			}
 		case wire.FrameECall:
 			// Ecalls (status, admin, migration) act as persistence
 			// barriers: queued batch results become durable first.
@@ -819,6 +940,7 @@ func (s *Server) processBatch(inst *instance, batch []request) {
 		}
 		return
 	}
+	s.advanceDurable(inst, result.Seq)
 	for i, req := range batch {
 		req.respond(wire.OKFrame(result.Replies[i]))
 	}
@@ -907,9 +1029,10 @@ type commitReq struct {
 // enclave restarts, queued results from the failed epoch are discarded,
 // and clients converge via retries.
 type committer struct {
-	srv  *Server
-	inst *instance
-	ch   chan commitReq
+	srv    *Server
+	inst   *instance
+	ch     chan commitReq
+	policy *groupPolicy // adaptive group cap (see groupsize.go)
 
 	failEpoch uint64 // results sealed in epochs <= failEpoch are dropped
 
@@ -917,6 +1040,7 @@ type committer struct {
 	groups   int
 	records  int
 	maxGroup int
+	groupCap int // last policy cap, for stats
 }
 
 func (c *committer) run() {
@@ -929,7 +1053,7 @@ func (c *committer) run() {
 		}
 		pending := []commitReq{first}
 	drain:
-		for len(pending) < maxCommitGroup {
+		for len(pending) < c.policy.size() {
 			select {
 			case r := <-c.ch:
 				pending = append(pending, r)
@@ -985,6 +1109,7 @@ func (c *committer) process(pending []commitReq) {
 			// took the group, the restarted enclave heals the suffix back
 			// from them — peers running ahead is exactly the recoverable
 			// direction.
+			start := time.Now()
 			repErr := c.replicateAsync(records)
 			if err := c.inst.store.AppendGroup(core.SlotDeltaLog, records); err != nil {
 				<-repErr
@@ -992,13 +1117,18 @@ func (c *committer) process(pending []commitReq) {
 			} else if err := <-repErr; err != nil {
 				// Quorum shortfall: locally durable and chain-consistent,
 				// so no restart — reject the replies and let the clients
-				// converge via cached-reply retries.
-				c.recordGroup(len(records))
+				// converge via cached-reply retries. The durable prefix
+				// is NOT advanced: a reader must not see state whose
+				// replies the quorum never covered.
+				c.recordGroup(len(records), time.Since(start))
 				for _, r := range pending[i:j] {
 					c.reject(r, err)
 				}
 			} else {
-				c.recordGroup(len(records))
+				c.recordGroup(len(records), time.Since(start))
+				// Confirm durability to the enclave before any reply in
+				// the group is released: read-your-writes (see read.go).
+				c.srv.advanceDurable(c.inst, pending[j-1].result.Seq)
 				for _, r := range pending[i:j] {
 					c.release(r)
 				}
@@ -1014,11 +1144,13 @@ func (c *committer) process(pending []commitReq) {
 				len(pending[j].result.DeltaRecord) == 0 && !pending[j].result.Compact {
 				j++
 			}
+			start := time.Now()
 			if err := c.inst.store.Store(c.srv.cfg.StateSlot, pending[j-1].result.StateBlob); err != nil {
 				c.fail(pending[i:j], err)
 			} else {
 				c.rebase(pending[j-1].result.StateBlob)
-				c.recordGroup(j - i)
+				c.recordGroup(j-i, time.Since(start))
+				c.srv.advanceDurable(c.inst, pending[j-1].result.Seq)
 				for _, r := range pending[i:j] {
 					c.release(r)
 				}
@@ -1034,6 +1166,7 @@ func (c *committer) process(pending []commitReq) {
 				c.fail(pending[i:i+1], err)
 			} else {
 				c.rebase(req.result.StateBlob)
+				c.srv.advanceDurable(c.inst, req.result.Seq)
 				c.release(req)
 			}
 			i++
@@ -1091,13 +1224,17 @@ func (c *committer) reject(req commitReq, err error) {
 	}
 }
 
-func (c *committer) recordGroup(n int) {
+// recordGroup updates the counters for one committed group and feeds the
+// observation (n results durable in d) back into the sizing policy.
+func (c *committer) recordGroup(n int, d time.Duration) {
+	c.policy.observe(n, d)
 	c.statMu.Lock()
 	c.groups++
 	c.records += n
 	if n > c.maxGroup {
 		c.maxGroup = n
 	}
+	c.groupCap = c.policy.limit
 	c.statMu.Unlock()
 }
 
@@ -1106,6 +1243,16 @@ func (c *committer) stats() (groups, records, maxGroup int) {
 	c.statMu.Lock()
 	defer c.statMu.Unlock()
 	return c.groups, c.records, c.maxGroup
+}
+
+// capNow returns the committer's current adaptive group cap.
+func (c *committer) capNow() int {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	if c.groupCap == 0 {
+		return commitGroupInitial
+	}
+	return c.groupCap
 }
 
 // GroupCommitStats reports the deployment-wide group-commit activity,

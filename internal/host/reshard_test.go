@@ -107,12 +107,15 @@ func TestLiveReshardGrowUnderTraffic(t *testing.T) {
 					for _, p := range pending {
 						if p.Executed {
 							executed = true
+							if p.Result == nil {
+								t.Errorf("client %d: executed pending op without a recovered result", id)
+							}
 						}
 					}
 					if executed {
-						// The old shard executed it before freezing: it is
-						// an acknowledged-after-the-fact write; its result
-						// died with the old generation.
+						// The old shard executed it before freezing: the
+						// handoff's cached reply recovered the result, so
+						// it is an acknowledged write.
 						ack(key, val)
 					} else {
 						i-- // never executed: re-issue on the new session

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"lcm/internal/service"
 	"lcm/internal/wire"
@@ -61,14 +63,24 @@ type Store struct {
 	data      map[string]string
 	dirty     map[string]struct{}
 	footprint int64
+
+	// mu orders the writer's mutations against concurrent snapshot
+	// readers (service.SnapshotReader). Only mutation sites take the
+	// write lock — and per mutation, not per batch, so readers
+	// interleave with a long batch. The writer's own plain reads
+	// (GET/SCAN in Apply, Delta, Snapshot) need no lock: all mutations
+	// happen on the writer's goroutine, and readers never write.
+	mu      sync.RWMutex
+	overlay service.Overlay[string]
 }
 
 var (
-	_ service.Service      = (*Store)(nil)
-	_ service.DeltaService = (*Store)(nil)
-	_ service.Sharder      = (*Store)(nil)
-	_ service.Scanner      = (*Store)(nil)
-	_ service.Resharder    = (*Store)(nil)
+	_ service.Service        = (*Store)(nil)
+	_ service.DeltaService   = (*Store)(nil)
+	_ service.Sharder        = (*Store)(nil)
+	_ service.Scanner        = (*Store)(nil)
+	_ service.Resharder      = (*Store)(nil)
+	_ service.SnapshotReader = (*Store)(nil)
 )
 
 // New returns an empty store.
@@ -110,11 +122,15 @@ func (s *Store) Apply(op []byte) ([]byte, error) {
 		if err := r.Done(); err != nil {
 			return nil, fmt.Errorf("%w: put: %v", ErrMalformedOp, err)
 		}
-		if old, ok := s.data[key]; ok {
+		s.mu.Lock()
+		old, ok := s.data[key]
+		s.overlay.Record(key, old, ok)
+		if ok {
 			s.footprint -= entryFootprint(key, old)
 		}
 		s.data[key] = value
 		s.footprint += entryFootprint(key, value)
+		s.mu.Unlock()
 		s.dirty[key] = struct{}{}
 		return encodeStatus(statusOK, nil), nil
 
@@ -127,8 +143,11 @@ func (s *Store) Apply(op []byte) ([]byte, error) {
 		if !ok {
 			return encodeStatus(statusNotFound, nil), nil
 		}
+		s.mu.Lock()
+		s.overlay.Record(key, old, true)
 		s.footprint -= entryFootprint(key, old)
 		delete(s.data, key)
+		s.mu.Unlock()
 		s.dirty[key] = struct{}{}
 		return encodeStatus(statusOK, nil), nil
 
@@ -302,8 +321,11 @@ func (s *Store) Restore(snapshot []byte) error {
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("kvs: restore: %w", err)
 	}
+	s.mu.Lock()
 	s.data = data
 	s.footprint = footprint
+	s.overlay.Reset()
+	s.mu.Unlock()
 	s.dirty = make(map[string]struct{})
 	return nil
 }
@@ -334,7 +356,9 @@ func (s *Store) Delta() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// ApplyDelta implements service.DeltaService.
+// ApplyDelta implements service.DeltaService. Changes record pre-images
+// like Apply's: a healed chain suffix is a mutation like any other from
+// the snapshot overlay's point of view.
 func (s *Store) ApplyDelta(delta []byte) error {
 	r := wire.NewReader(delta)
 	n := r.U32()
@@ -347,19 +371,26 @@ func (s *Store) ApplyDelta(delta []byte) error {
 			if r.Err() != nil {
 				break
 			}
-			if old, ok := s.data[k]; ok {
+			s.mu.Lock()
+			old, ok := s.data[k]
+			s.overlay.Record(k, old, ok)
+			if ok {
 				s.footprint -= entryFootprint(k, old)
 			}
 			s.data[k] = v
 			s.footprint += entryFootprint(k, v)
+			s.mu.Unlock()
 		case deltaDel:
 			if r.Err() != nil {
 				break
 			}
+			s.mu.Lock()
 			if old, ok := s.data[k]; ok {
+				s.overlay.Record(k, old, true)
 				s.footprint -= entryFootprint(k, old)
 				delete(s.data, k)
 			}
+			s.mu.Unlock()
 		default:
 			return fmt.Errorf("kvs: apply delta: unknown change kind %d", kind)
 		}
@@ -403,6 +434,8 @@ func (s *Store) PartitionState(n int) ([][]byte, error) {
 // fragments are disjoint; a duplicate key means the fragments were not
 // produced by one consistent split and is rejected.
 func (s *Store) MergeState(fragments [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, frag := range fragments {
 		r := wire.NewReader(frag)
 		n := r.U32()
@@ -423,6 +456,117 @@ func (s *Store) MergeState(fragments [][]byte) error {
 		}
 	}
 	return nil
+}
+
+// ---- Snapshot reads (service.SnapshotReader) ----
+
+// ReadOnly is the stateless read classifier: it reports whether an
+// encoded operation can never change state and may therefore travel the
+// snapshot-read path (client DoRead). Classification depends only on the
+// op encoding, so clients use this without a store instance; the enclave
+// re-checks server-side via IsReadOnly.
+func ReadOnly(op []byte) bool {
+	return len(op) > 0 && (op[0] == opGet || op[0] == opScan)
+}
+
+// IsReadOnly implements service.SnapshotReader: GET and SCAN never
+// change state.
+func (s *Store) IsReadOnly(op []byte) bool { return ReadOnly(op) }
+
+// SnapshotRead implements service.SnapshotReader: it executes a GET or
+// SCAN against the last durable version of the store — the live state
+// with every still-pending batch's mutations peeled back through the
+// undo overlay. Safe for concurrent use with Apply.
+func (s *Store) SnapshotRead(op []byte) ([]byte, error) {
+	if len(op) == 0 {
+		return nil, ErrMalformedOp
+	}
+	r := wire.NewReader(op[1:])
+	switch op[0] {
+	case opGet:
+		key := string(r.Var())
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: get: %v", ErrMalformedOp, err)
+		}
+		s.mu.RLock()
+		val, existed, pinned := s.overlay.Resolve(key)
+		if !pinned {
+			val, existed = s.data[key]
+		}
+		s.mu.RUnlock()
+		if !existed {
+			return encodeStatus(statusNotFound, nil), nil
+		}
+		return encodeStatus(statusOK, []byte(val)), nil
+
+	case opScan:
+		prefix := string(r.Var())
+		limit := r.U32()
+		if err := r.Done(); err != nil {
+			return nil, fmt.Errorf("%w: scan: %v", ErrMalformedOp, err)
+		}
+		return s.snapshotScan(prefix, int(limit)), nil
+
+	default:
+		return nil, fmt.Errorf("%w: not a read-only op (tag %d)", ErrMalformedOp, op[0])
+	}
+}
+
+// snapshotScan is scan against the durable snapshot: live entries with
+// pending pre-images substituted (a pre-image that says "absent at the
+// snapshot" suppresses the live entry; one that says "existed" resurrects
+// a since-deleted or overwritten entry).
+func (s *Store) snapshotScan(prefix string, limit int) []byte {
+	s.mu.RLock()
+	entries := make(map[string]string)
+	for k, v := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			entries[k] = v
+		}
+	}
+	s.overlay.Pinned(func(k string, val string, existed bool) bool {
+		if !strings.HasPrefix(k, prefix) {
+			return true
+		}
+		if existed {
+			entries[k] = val
+		} else {
+			delete(entries, k)
+		}
+		return true
+	})
+	s.mu.RUnlock()
+
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	w := wire.NewWriter(64)
+	w.U8(statusOK)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Var([]byte(k))
+		w.Var([]byte(entries[k]))
+	}
+	return w.Bytes()
+}
+
+// EndBatch implements service.SnapshotReader.
+func (s *Store) EndBatch(seq uint64) {
+	s.mu.Lock()
+	s.overlay.Close(seq)
+	s.mu.Unlock()
+}
+
+// AdvanceDurable implements service.SnapshotReader.
+func (s *Store) AdvanceDurable(seq uint64) {
+	s.mu.Lock()
+	s.overlay.Advance(seq)
+	s.mu.Unlock()
 }
 
 // ---- Operation and result codecs (used by clients) ----

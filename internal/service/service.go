@@ -140,6 +140,152 @@ type Resharder interface {
 	MergeState(fragments [][]byte) error
 }
 
+// SnapshotReader is an optional extension for services that can serve
+// read-only operations against the last *durable* version of their state
+// while newer writes are still in flight. The trusted context uses it to
+// execute classified reads on a concurrent read pool, snapshot-isolated
+// from the writer batch: a read observes exactly the state as of the
+// sequence number last reported durable, never a write whose persistence
+// (and therefore whose reply) is still pending — so a crash can never
+// roll back state a read has already observed.
+//
+// The write path drives the snapshot: the trusted context calls EndBatch
+// after each executed batch (closing that batch's undo generation) and
+// AdvanceDurable once the host reports the batch's record persisted.
+// Implementations must make SnapshotRead safe for use concurrent with
+// Apply/EndBatch/AdvanceDurable; all four are expected to synchronize on
+// one internal lock (Apply taking it per mutation, not per batch, so
+// readers interleave with a long batch instead of convoying behind it).
+//
+// Both bundled services implement it (internal/kvs and internal/counter).
+type SnapshotReader interface {
+	Service
+
+	// IsReadOnly reports whether op can never change state — only such
+	// operations may execute on the snapshot. The trusted context
+	// re-checks this server-side; a misclassified op is rejected, never
+	// executed.
+	IsReadOnly(op []byte) bool
+
+	// SnapshotRead executes a read-only op against the durable snapshot.
+	SnapshotRead(op []byte) ([]byte, error)
+
+	// EndBatch closes the undo generation covering every mutation since
+	// the previous EndBatch, tagging it with the sequence number of the
+	// batch's last operation.
+	EndBatch(seq uint64)
+
+	// AdvanceDurable moves the snapshot forward: every generation tagged
+	// <= seq is folded away and subsequent SnapshotReads observe the
+	// corresponding state. seq must be a value previously passed to
+	// EndBatch (or the recovery point).
+	AdvanceDurable(seq uint64)
+}
+
+// Overlay tracks pre-images of mutated items so a service can serve
+// snapshot reads at the last durable sequence number while later batches
+// have already executed against the live state. It is the bookkeeping
+// half of a SnapshotReader implementation; the service supplies the live
+// state and the locking.
+//
+// The write path records, per batch ("generation"), the value every item
+// had *before* that batch first touched it. To read item k at durable
+// sequence S, walk the still-pending generations oldest to newest: the
+// first one holding a pre-image of k supplies k's value at S (no earlier
+// pending generation touched k, so its value was unchanged between S and
+// that batch); if none does, the live value is current. Close ends a
+// generation, Advance(S) discards generations at or below S.
+type Overlay[V any] struct {
+	gens []overlayGen[V]
+	cur  map[string]overlayPre[V]
+}
+
+type overlayPre[V any] struct {
+	val     V
+	existed bool
+}
+
+type overlayGen[V any] struct {
+	seq  uint64
+	pres map[string]overlayPre[V]
+}
+
+// Record notes item key's pre-image in the current generation: the value
+// it had (and whether it existed) before the current batch's first
+// mutation of it. Later Records of the same key in one generation are
+// ignored — the first already holds the batch-entry value.
+func (o *Overlay[V]) Record(key string, val V, existed bool) {
+	if o.cur == nil {
+		o.cur = make(map[string]overlayPre[V])
+	}
+	if _, done := o.cur[key]; done {
+		return
+	}
+	o.cur[key] = overlayPre[V]{val: val, existed: existed}
+}
+
+// Close ends the current generation at sequence seq. Empty generations
+// are dropped (Advance works on sequence numbers, not generation counts,
+// so gaps are harmless).
+func (o *Overlay[V]) Close(seq uint64) {
+	if len(o.cur) == 0 {
+		return
+	}
+	o.gens = append(o.gens, overlayGen[V]{seq: seq, pres: o.cur})
+	o.cur = nil
+}
+
+// Advance discards every generation tagged at or below seq: their
+// pre-images predate the durable snapshot and are no longer needed.
+func (o *Overlay[V]) Advance(seq uint64) {
+	i := 0
+	for i < len(o.gens) && o.gens[i].seq <= seq {
+		i++
+	}
+	if i > 0 {
+		o.gens = append(o.gens[:0], o.gens[i:]...)
+	}
+}
+
+// Resolve reports item key's value at the durable snapshot: pinned is
+// true when a pending generation holds a pre-image (val/existed are that
+// pre-image); false means the live value is current.
+func (o *Overlay[V]) Resolve(key string) (val V, existed, pinned bool) {
+	for _, g := range o.gens {
+		if p, ok := g.pres[key]; ok {
+			return p.val, p.existed, true
+		}
+	}
+	return val, false, false
+}
+
+// Pinned calls f for every item with a pending pre-image, passing its
+// snapshot-time value (first-generation-wins). Items whose pre-image says
+// "did not exist at the snapshot" are reported with existed == false —
+// scans must skip them even if the item exists in the live state. f
+// returning false stops the iteration.
+func (o *Overlay[V]) Pinned(f func(key string, val V, existed bool) bool) {
+	seen := make(map[string]struct{})
+	for _, g := range o.gens {
+		for k, p := range g.pres {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if !f(k, p.val, p.existed) {
+				return
+			}
+		}
+	}
+}
+
+// Reset discards all tracking — for Restore, which replaces the state
+// wholesale.
+func (o *Overlay[V]) Reset() {
+	o.gens = nil
+	o.cur = nil
+}
+
 // ShardIndex maps an item name onto one of n shards with a stable hash
 // (FNV-1a). Every layer — client routing, bench harnesses, tests picking
 // shard-local keys — must use this one function so they agree on the

@@ -127,6 +127,19 @@ type Program interface {
 // ProgramFactory creates a fresh Program instance for an epoch.
 type ProgramFactory func() Program
 
+// ReadProgram is implemented by programs that can serve read-only calls
+// concurrently with their serialized Call stream. HandleRead runs WITHOUT
+// the enclave's call serialization (only brief bookkeeping holds the
+// lock), so implementations must do their own synchronization against
+// state the serialized calls mutate. Real SGX enclaves admit multiple
+// threads through separate TCS slots; this models a read-only slot.
+type ReadProgram interface {
+	Program
+	// HandleRead serves one read-only ecall. Returning a HaltError (or
+	// wrapping one) permanently halts the enclave, exactly as from Call.
+	HandleRead(payload []byte) ([]byte, error)
+}
+
 // HaltError signals a protocol violation that must permanently halt the
 // enclave (the assert statement of Alg. 2).
 type HaltError struct {
@@ -435,6 +448,56 @@ func (e *Enclave) Call(payload []byte) ([]byte, error) {
 			e.halted = true
 			e.haltErr = err
 			e.program = nil
+			return nil, fmt.Errorf("%w: %v", ErrEnclaveHalted, err)
+		}
+		return nil, err
+	}
+	e.platform.model.WaitOCall()
+	return resp, nil
+}
+
+// ErrNoReadProgram reports ReadCall on a program that does not implement
+// ReadProgram.
+var ErrNoReadProgram = errors.New("tee: program does not serve concurrent reads")
+
+// ReadCall performs one read-only ecall. Unlike Call it does NOT hold the
+// enclave lock while the program runs: any number of ReadCalls proceed
+// concurrently with each other and with the serialized Call stream, which
+// is the whole point — the program's HandleRead must be safe for that.
+// The transition latency and EPC paging are charged like any other ecall.
+// A HaltError from the program permanently halts the enclave.
+func (e *Enclave) ReadCall(payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	if e.halted {
+		e.mu.Unlock()
+		return nil, ErrEnclaveHalted
+	}
+	if e.program == nil {
+		e.mu.Unlock()
+		return nil, ErrEnclaveStopped
+	}
+	rp, ok := e.program.(ReadProgram)
+	paging := e.pagingFactor()
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrNoReadProgram
+	}
+	// Latency charges happen outside the lock so concurrent reads overlap
+	// their transition costs instead of convoying on e.mu.
+	e.platform.model.WaitECall()
+	e.platform.model.WaitECallBytes(len(payload))
+	if paging > 0 {
+		e.platform.model.WaitPaging(paging)
+	}
+	resp, err := rp.HandleRead(payload)
+	if err != nil {
+		var halt *HaltError
+		if errors.As(err, &halt) {
+			e.mu.Lock()
+			e.halted = true
+			e.haltErr = err
+			e.program = nil
+			e.mu.Unlock()
 			return nil, fmt.Errorf("%w: %v", ErrEnclaveHalted, err)
 		}
 		return nil, err

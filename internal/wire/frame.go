@@ -49,6 +49,15 @@ const (
 	// own storage, never weaken detection (which rests on the sealed
 	// handoffs, not on retained storage).
 	FrameReshardAdopted
+	// FrameReadInvoke carries an encrypted snapshot-read request (a
+	// wire.ReadInvoke sealed under the shard's kC); the response carries
+	// the encrypted ReadReply. Routing header matches FrameInvoke
+	// ([u8 shard][u32 gen]), but the host serves these from the shard's
+	// concurrent read pool against the last durable snapshot instead of
+	// queueing them behind the writer batch. The split is untrusted
+	// routing: a read misrouted into the write queue fails the message
+	// tag check inside the enclave, never executes as a write.
+	FrameReadInvoke
 )
 
 // MaxShards bounds the shard index representable in the one-byte routing

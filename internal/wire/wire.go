@@ -29,6 +29,8 @@ const (
 	TagProvision
 	TagStateExport
 	TagAdmin
+	TagReadInvoke
+	TagReadReply
 )
 
 // InvokeOverhead is the constant number of metadata bytes an encoded
@@ -240,6 +242,20 @@ func (r *Reader) Bytes32() [32]byte {
 
 // Var reads a length-prefixed byte string. The returned slice is a copy.
 func (r *Reader) Var() []byte {
+	b := r.VarView()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// VarView reads a length-prefixed byte string without copying: the
+// returned slice aliases the Reader's buffer. Hot decode paths use it to
+// stay allocation-free; callers that retain the bytes beyond the buffer's
+// lifetime (or past a pooled buffer's release) must use Var instead.
+func (r *Reader) VarView() []byte {
 	n := r.U32()
 	if r.err != nil {
 		return nil
@@ -248,10 +264,7 @@ func (r *Reader) Var() []byte {
 		r.err = ErrTruncated
 		return nil
 	}
-	b := r.take(int(n))
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
+	return r.take(int(n))
 }
 
 // Invoke is the plaintext of Alg. 1's INVOKE message, encrypted under the
@@ -276,7 +289,9 @@ func (m *Invoke) Encode() []byte {
 	return w.Bytes()
 }
 
-// DecodeInvoke parses an encoded INVOKE message.
+// DecodeInvoke parses an encoded INVOKE message. The returned Op aliases
+// b (the AEAD-opened plaintext on the hot path is used once and never
+// pooled); callers that retain Op beyond b's lifetime must copy it.
 func DecodeInvoke(b []byte) (*Invoke, error) {
 	r := NewReader(b)
 	if tag := r.U8(); r.Err() == nil && tag != TagInvoke {
@@ -287,7 +302,7 @@ func DecodeInvoke(b []byte) (*Invoke, error) {
 		TC:       r.U64(),
 		HC:       r.Bytes32(),
 		Retry:    r.Bool(),
-		Op:       r.Var(),
+		Op:       r.VarView(),
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("wire: decode invoke: %w", err)
@@ -316,7 +331,8 @@ func (m *Reply) Encode() []byte {
 	return w.Bytes()
 }
 
-// DecodeReply parses an encoded REPLY message.
+// DecodeReply parses an encoded REPLY message. Result aliases b; callers
+// that retain it beyond b's lifetime must copy.
 func DecodeReply(b []byte) (*Reply, error) {
 	r := NewReader(b)
 	if tag := r.U8(); r.Err() == nil && tag != TagReply {
@@ -327,10 +343,101 @@ func DecodeReply(b []byte) (*Reply, error) {
 		H:      r.Bytes32(),
 		Q:      r.U64(),
 		HCPrev: r.Bytes32(),
-		Result: r.Var(),
+		Result: r.VarView(),
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("wire: decode reply: %w", err)
+	}
+	return m, nil
+}
+
+// ReadInvoke is the plaintext of a snapshot-read request, encrypted under
+// kC with a distinct associated-data label so it can never be replayed as
+// a state-changing INVOKE (or vice versa). It carries the client's full
+// context — the trusted context verifies it against the snapshot's V map
+// exactly as Alg. 2 does for writes, so a rolled-back or forked enclave
+// is detected by reads too — plus a random nonce that binds the reply to
+// this specific request (reads do not advance the hash chain, so the
+// chain cannot provide that binding).
+type ReadInvoke struct {
+	ClientID uint32
+	TC       uint64          // tc: sequence number of the client's last write
+	HC       hashchain.Value // hc: hash-chain value of the client's last write
+	Nonce    uint64
+	Op       []byte
+}
+
+// Encode serializes the message.
+func (m *ReadInvoke) Encode() []byte {
+	w := NewWriter(1 + 4 + 8 + hashchain.Size + 8 + 4 + len(m.Op))
+	w.U8(TagReadInvoke)
+	w.U32(m.ClientID)
+	w.U64(m.TC)
+	w.Bytes32(m.HC)
+	w.U64(m.Nonce)
+	w.Var(m.Op)
+	return w.Bytes()
+}
+
+// DecodeReadInvoke parses an encoded read request. Op aliases b.
+func DecodeReadInvoke(b []byte) (*ReadInvoke, error) {
+	r := NewReader(b)
+	if tag := r.U8(); r.Err() == nil && tag != TagReadInvoke {
+		return nil, &ErrBadTag{Got: tag, Want: TagReadInvoke}
+	}
+	m := &ReadInvoke{
+		ClientID: r.U32(),
+		TC:       r.U64(),
+		HC:       r.Bytes32(),
+		Nonce:    r.U64(),
+		Op:       r.VarView(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: decode read invoke: %w", err)
+	}
+	return m, nil
+}
+
+// ReadReply is the plaintext of a snapshot-read response, encrypted under
+// kC. Seq is the durable snapshot the read executed against; Q is the
+// majority-stable sequence number at that snapshot; HCEcho returns the
+// client's own chain value and Nonce the request nonce, proving the reply
+// was produced for this client's current context and this request.
+type ReadReply struct {
+	Seq    uint64
+	Q      uint64
+	HCEcho hashchain.Value
+	Nonce  uint64
+	Result []byte
+}
+
+// Encode serializes the message.
+func (m *ReadReply) Encode() []byte {
+	w := NewWriter(1 + 8 + 8 + hashchain.Size + 8 + 4 + len(m.Result))
+	w.U8(TagReadReply)
+	w.U64(m.Seq)
+	w.U64(m.Q)
+	w.Bytes32(m.HCEcho)
+	w.U64(m.Nonce)
+	w.Var(m.Result)
+	return w.Bytes()
+}
+
+// DecodeReadReply parses an encoded read response. Result aliases b.
+func DecodeReadReply(b []byte) (*ReadReply, error) {
+	r := NewReader(b)
+	if tag := r.U8(); r.Err() == nil && tag != TagReadReply {
+		return nil, &ErrBadTag{Got: tag, Want: TagReadReply}
+	}
+	m := &ReadReply{
+		Seq:    r.U64(),
+		Q:      r.U64(),
+		HCEcho: r.Bytes32(),
+		Nonce:  r.U64(),
+		Result: r.VarView(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: decode read reply: %w", err)
 	}
 	return m, nil
 }

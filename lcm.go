@@ -84,7 +84,9 @@ type (
 	// ServerConfig assembles a Server.
 	ServerConfig = host.Config
 
-	// Session is a connected LCM client (Alg. 1 plus networking).
+	// Session is a connected LCM client (Alg. 1 plus networking). It is
+	// the single-shard view of the unified session implementation it
+	// shares with ShardedSession.
 	Session = client.Session
 
 	// SessionConfig tunes timeouts and retries.
@@ -286,6 +288,10 @@ var (
 	// sharded deployment, execute it with ShardedSession.Scan — the
 	// scatter-gather fan-out — rather than Do.
 	Scan = kvs.Scan
+	// KVReadOnly classifies a kvs operation for the snapshot-read path:
+	// ops it accepts may run through Session.DoRead /
+	// ShardedSession.DoRead on a ServerConfig.SnapshotReads deployment.
+	KVReadOnly = kvs.ReadOnly
 	// DecodeKVResult parses a kvs operation result.
 	DecodeKVResult = kvs.DecodeResult
 	// DecodeKVScanResult parses a (merged or single-shard) scan result.

@@ -3,13 +3,17 @@
 // BENCH_baseline.json and fails when any series point fell below the
 // tolerated fraction of its baseline.
 //
-//	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-minratio 0.35]
+//	go run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json [-minratio 0.35] [-maxp99ratio 4.0]
 //
 // Matching is by (series name, point Name, X). Rules:
 //
 //   - current/baseline throughput >= minratio → PASS (improvements pass
 //     trivially and are reported);
 //   - below minratio → FAIL;
+//   - additionally, when BOTH sides of a point carry a p99 latency,
+//     current p99 > baseline p99 × maxp99ratio → FAIL (a tail-latency
+//     collapse can hide behind a healthy mean throughput — e.g. a read
+//     pool silently draining through the serialized write loop);
 //   - a baseline series or point missing from the current run → FAIL
 //     (a silently dropped measurement must not pass the gate);
 //   - points whose baseline throughput is 0 (e.g. pause-only points that
@@ -17,10 +21,11 @@
 //   - series present only in the current run are reported as NEW and
 //     pass — they become gated once the baseline is refreshed.
 //
-// The default tolerance is deliberately loose (0.35, i.e. the current
-// run must reach 35 % of baseline throughput): shared CI runners are
-// noisy and the gate exists to catch collapses (a series losing most of
-// its throughput, a deadlocked pipeline), not single-digit drift.
+// The default tolerances are deliberately loose (0.35, i.e. the current
+// run must reach 35 % of baseline throughput; p99 may grow 4x): shared
+// CI runners are noisy and the gate exists to catch collapses (a series
+// losing most of its throughput, a deadlocked pipeline), not
+// single-digit drift.
 //
 // # Refreshing the baseline
 //
@@ -50,6 +55,8 @@ type point struct {
 	X          int
 	Throughput float64
 	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
 }
 
 // report mirrors the lcm-bench -jsonOut envelope.
@@ -62,15 +69,16 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
 		currentPath  = flag.String("current", "BENCH_ci.json", "freshly measured JSON")
 		minRatio     = flag.Float64("minratio", 0.35, "minimum current/baseline throughput ratio per point")
+		maxP99Ratio  = flag.Float64("maxp99ratio", 4.0, "maximum current/baseline p99 latency ratio per point (0 disables)")
 	)
 	flag.Parse()
-	failures, err := run(*baselinePath, *currentPath, *minRatio, os.Stdout)
+	failures, err := run(*baselinePath, *currentPath, *minRatio, *maxP99Ratio, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 	if failures > 0 {
-		fmt.Printf("benchdiff: %d regressed/missing point(s) below ratio %.2f\n", failures, *minRatio)
+		fmt.Printf("benchdiff: %d regressed/missing point(s) outside ratios (thr >= %.2fx, p99 <= %.2fx)\n", failures, *minRatio, *maxP99Ratio)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: all series within tolerance")
@@ -97,7 +105,7 @@ type key struct {
 	X    int
 }
 
-func run(baselinePath, currentPath string, minRatio float64, out io.Writer) (failures int, err error) {
+func run(baselinePath, currentPath string, minRatio, maxP99Ratio float64, out io.Writer) (failures int, err error) {
 	baseline, err := load(baselinePath)
 	if err != nil {
 		return 0, err
@@ -137,6 +145,19 @@ func run(baselinePath, currentPath string, minRatio float64, out io.Writer) (fai
 				failures++
 			} else if ratio > 1 {
 				suffix = " (improved)"
+			}
+			// Tail-latency gate: only for points where both runs carry
+			// a p99 (old baselines predate the field and stay ungated).
+			if maxP99Ratio > 0 && base.P99Lat > 0 && cur.P99Lat > 0 {
+				p99Ratio := float64(cur.P99Lat) / float64(base.P99Lat)
+				if p99Ratio > maxP99Ratio {
+					if verdict == "PASS" {
+						verdict = "FAIL"
+						failures++
+					}
+					suffix = fmt.Sprintf(" p99 %v -> %v (%.2fx, limit %.2fx)",
+						base.P99Lat, cur.P99Lat, p99Ratio, maxP99Ratio)
+				}
 			}
 			fmt.Fprintf(out, "%-4s %-20s %-24s x=%-4d %9.1f -> %9.1f ops/s (%.2fx)%s\n",
 				verdict, name, base.Name, base.X, base.Throughput, cur.Throughput, ratio, suffix)

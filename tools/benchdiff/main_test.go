@@ -22,7 +22,7 @@ const baselineJSON = `{
   "Series": {
     "sealAblation": [
       {"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
-      {"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+      {"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0, "P99Lat": 1000000}
     ],
     "reshardAblation": [
       {"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0},
@@ -119,6 +119,54 @@ func TestBenchdiff(t *testing.T) {
 			wantFailures: 0,
 		},
 		{
+			// The throughput is healthy but the tail latency quadrupled
+			// past the limit: the p99 gate fails the point on its own.
+			name: "p99 collapse fails despite healthy throughput",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0, "P99Lat": 10000000}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 1,
+			wantOutput:   []string{"FAIL sealAblation", "lcm-seal-delta", "p99 1ms -> 10ms", "limit 4.00x"},
+		},
+		{
+			name: "p99 growth within tolerance passes",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0, "P99Lat": 3000000}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 0,
+		},
+		{
+			// A current run without the field (or an old baseline) must
+			// not trip the gate — only points carrying p99 on both sides
+			// are compared.
+			name: "missing p99 on one side stays ungated",
+			current: `{"Series": {
+				"sealAblation": [
+					{"Name": "lcm-seal-full", "X": 200, "Throughput": 100.0},
+					{"Name": "lcm-seal-delta", "X": 200, "Throughput": 400.0}
+				],
+				"reshardAblation": [
+					{"Name": "lcm-reshard2to4-pre", "X": 4, "Throughput": 50.0}
+				]
+			}}`,
+			minRatio:     0.35,
+			wantFailures: 0,
+		},
+		{
 			name: "new series reported but passing",
 			current: `{"Series": {
 				"sealAblation": [
@@ -143,7 +191,7 @@ func TestBenchdiff(t *testing.T) {
 			baseline := writeReport(t, dir, "baseline.json", baselineJSON)
 			current := writeReport(t, dir, "current.json", tc.current)
 			var out bytes.Buffer
-			failures, err := run(baseline, current, tc.minRatio, &out)
+			failures, err := run(baseline, current, tc.minRatio, 4.0, &out)
 			if err != nil {
 				t.Fatalf("run: %v\n%s", err, out.String())
 			}
@@ -163,14 +211,14 @@ func TestBenchdiffRejectsBadInput(t *testing.T) {
 	dir := t.TempDir()
 	empty := writeReport(t, dir, "empty.json", `{"Series": {}}`)
 	good := writeReport(t, dir, "good.json", baselineJSON)
-	if _, err := run(empty, good, 0.35, &bytes.Buffer{}); err == nil {
+	if _, err := run(empty, good, 0.35, 4.0, &bytes.Buffer{}); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
-	if _, err := run(good, filepath.Join(dir, "nope.json"), 0.35, &bytes.Buffer{}); err == nil {
+	if _, err := run(good, filepath.Join(dir, "nope.json"), 0.35, 4.0, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing current file accepted")
 	}
 	garbage := writeReport(t, dir, "garbage.json", `{`)
-	if _, err := run(good, garbage, 0.35, &bytes.Buffer{}); err == nil {
+	if _, err := run(good, garbage, 0.35, 4.0, &bytes.Buffer{}); err == nil {
 		t.Fatal("unparseable current file accepted")
 	}
 }
