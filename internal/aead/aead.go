@@ -12,6 +12,7 @@
 package aead
 
 import (
+	"container/list"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -98,30 +99,51 @@ func newGCM(k Key) (cipher.AEAD, error) {
 // Caching the constructed cipher.AEAD per key amortizes that setup to
 // once per key. cipher.AEAD values are safe for concurrent use.
 //
-// The cache is capped: keys beyond the cap (a deployment churning through
-// session keys faster than any of ours do) fall back to per-call setup
-// rather than growing without bound.
-const maxCachedKeys = 1024
+// The cache is a small LRU: epoch rotations and reshards retire sealing
+// and session keys for good, so retired keys age out of the cache (and
+// their expanded key schedules out of process memory) instead of
+// permanently occupying slots. Whatever keys are live keep hitting and
+// stay at the front, so the hot path never degrades to per-call setup no
+// matter how many keys a long-running deployment churns through.
+const maxCachedKeys = 256
+
+type gcmEntry struct {
+	key Key
+	gcm cipher.AEAD
+}
 
 var (
-	gcmMu    sync.RWMutex
-	gcmCache = make(map[Key]cipher.AEAD)
+	gcmMu    sync.Mutex
+	gcmCache = make(map[Key]*list.Element)
+	gcmLRU   = list.New() // front = most recently used
 )
 
 func cachedGCM(k Key) (cipher.AEAD, error) {
-	gcmMu.RLock()
-	gcm, ok := gcmCache[k]
-	gcmMu.RUnlock()
-	if ok {
+	gcmMu.Lock()
+	if el, ok := gcmCache[k]; ok {
+		gcmLRU.MoveToFront(el)
+		gcm := el.Value.(*gcmEntry).gcm
+		gcmMu.Unlock()
 		return gcm, nil
 	}
+	gcmMu.Unlock()
+
 	gcm, err := newGCM(k)
 	if err != nil {
 		return nil, err
 	}
+
 	gcmMu.Lock()
-	if len(gcmCache) < maxCachedKeys {
-		gcmCache[k] = gcm
+	if el, ok := gcmCache[k]; ok {
+		// Lost a construction race; keep the incumbent.
+		gcmLRU.MoveToFront(el)
+		gcm = el.Value.(*gcmEntry).gcm
+	} else {
+		gcmCache[k] = gcmLRU.PushFront(&gcmEntry{key: k, gcm: gcm})
+		if gcmLRU.Len() > maxCachedKeys {
+			old := gcmLRU.Remove(gcmLRU.Back()).(*gcmEntry)
+			delete(gcmCache, old.key)
+		}
 	}
 	gcmMu.Unlock()
 	return gcm, nil

@@ -2,6 +2,7 @@ package aead
 
 import (
 	"bytes"
+	"container/list"
 	"testing"
 	"testing/quick"
 )
@@ -158,8 +159,8 @@ func TestCipherCacheTransparent(t *testing.T) {
 			t.Fatalf("Open (pass %d): %v %q", i, err, got)
 		}
 	}
-	// Exceed maxCachedKeys: later keys fall back to per-call setup and
-	// must still round-trip.
+	// Exceed maxCachedKeys: older keys are evicted and every key must
+	// still round-trip.
 	var last Key
 	for i := 0; i < maxCachedKeys+8; i++ {
 		var k Key
@@ -176,6 +177,62 @@ func TestCipherCacheTransparent(t *testing.T) {
 	}
 	if got, err := Open(last, ct, nil); err != nil || !bytes.Equal(got, []byte("overflow")) {
 		t.Fatalf("Open uncached key: %v %q", err, got)
+	}
+}
+
+// The cache is an LRU: retired (no longer used) keys age out instead of
+// occupying slots forever, and keys in active use survive arbitrary churn
+// so the hot path never degrades to per-call key-schedule setup.
+func TestCipherCacheEvictsRetiredKeys(t *testing.T) {
+	reset := func() {
+		gcmMu.Lock()
+		gcmCache = make(map[Key]*list.Element)
+		gcmLRU = list.New()
+		gcmMu.Unlock()
+	}
+	reset()
+	defer reset()
+
+	keyN := func(i int) Key {
+		var k Key
+		k[0], k[1], k[2] = byte(i), byte(i>>8), byte(i>>16)
+		k[15] = 0xCC
+		return k
+	}
+	hot, _ := NewKey()
+	msg := []byte("m")
+	// Churn through more distinct keys than the cache holds, touching the
+	// hot key throughout so it stays recently used.
+	for i := 0; i < maxCachedKeys+32; i++ {
+		if _, err := Seal(keyN(i), msg, nil); err != nil {
+			t.Fatalf("Seal churn key %d: %v", i, err)
+		}
+		if _, err := Seal(hot, msg, nil); err != nil {
+			t.Fatalf("Seal hot key: %v", err)
+		}
+	}
+
+	gcmMu.Lock()
+	size, lruLen := len(gcmCache), gcmLRU.Len()
+	_, hotCached := gcmCache[hot]
+	_, oldestCached := gcmCache[keyN(0)]
+	gcmMu.Unlock()
+	if size > maxCachedKeys || size != lruLen {
+		t.Fatalf("cache size %d (lru %d), want ≤ %d and consistent", size, lruLen, maxCachedKeys)
+	}
+	if !hotCached {
+		t.Fatal("key in active use was evicted")
+	}
+	if oldestCached {
+		t.Fatal("least recently used key was not evicted")
+	}
+	// Evicted keys still work: rebuilt on demand and re-cached.
+	ct, err := Seal(keyN(0), msg, nil)
+	if err != nil {
+		t.Fatalf("Seal evicted key: %v", err)
+	}
+	if got, err := Open(keyN(0), ct, nil); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("Open evicted key: %v %q", err, got)
 	}
 }
 

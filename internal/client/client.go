@@ -275,7 +275,14 @@ func (s *session) readOn(i int, op []byte) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return proto.ProcessReadReply(reply)
+		res, err := proto.ProcessReadReply(reply)
+		if errors.Is(err, core.ErrStaleReadReply) {
+			// Delayed reply to an abandoned (timed-out, re-issued) attempt
+			// of this read: benign on a multiplexed link. Drop the frame
+			// and keep awaiting the current attempt's reply.
+			continue
+		}
+		return res, err
 	}
 }
 

@@ -46,6 +46,15 @@ var (
 	// ErrNoPendingRead reports ProcessReadReply with no read outstanding.
 	ErrNoPendingRead = errors.New("lcm: no read pending")
 
+	// ErrStaleReadReply reports an authentic read reply answering an
+	// abandoned (timed-out, since re-issued) read rather than the
+	// outstanding one. It is benign — reads are side-effect free and
+	// re-sent under fresh nonces, so a delayed reply to an earlier
+	// attempt can legitimately arrive over the multiplexed link. The
+	// caller discards the frame and keeps awaiting; the client is NOT
+	// poisoned.
+	ErrStaleReadReply = errors.New("lcm: reply answers an abandoned read")
+
 	// ErrStaleReadSnapshot reports a read reply describing a snapshot
 	// older than the client's last write or last read — the server served
 	// a rolled-back or withheld view on the read path.

@@ -249,7 +249,10 @@ func (c *Client) LastReadSeq() uint64 { return c.readSeq }
 // read. The reply must echo the request nonce and the client's current
 // hash-chain value, and must describe a snapshot no older than the
 // client's last write (read-your-writes) or its previous read (monotonic
-// reads). Any failure is server misbehaviour and poisons the client.
+// reads). Authentication, echo and staleness failures are server
+// misbehaviour and poison the client; a nonce mismatch alone is the
+// delayed reply to an abandoned read and returns the non-poisoning
+// ErrStaleReadReply (the read stays pending).
 func (c *Client) ProcessReadReply(ciphertext []byte) (*Result, error) {
 	if c.poisoned != nil {
 		return nil, c.poisoned
@@ -265,7 +268,17 @@ func (c *Client) ProcessReadReply(ciphertext []byte) (*Result, error) {
 	if err != nil {
 		return nil, c.poison(fmt.Errorf("%w: %w", ErrReplyAuth, err))
 	}
-	if rep.Nonce != c.readPendingNonce || rep.HCEcho != c.hc {
+	if rep.Nonce != c.readPendingNonce {
+		// An authentic reply for a different nonce is the delayed answer
+		// to an abandoned earlier read (timeouts re-issue reads under a
+		// fresh nonce over the same link). Discard it and keep waiting —
+		// poisoning here would permanently kill the client on a benign
+		// timeout. A replayed or withheld frame can never be accepted
+		// this way: only the reply echoing the outstanding nonce ever
+		// completes the read.
+		return nil, ErrStaleReadReply
+	}
+	if rep.HCEcho != c.hc {
 		return nil, c.poison(ErrReplyMismatch)
 	}
 	if rep.Seq < c.tc || rep.Seq < c.readSeq {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lcm/internal/aead"
+	"lcm/internal/wire"
+)
+
+// TestReadReplyToAbandonedReadIsBenign: a timed-out read is re-issued
+// under a fresh nonce over the same multiplexed link, so the delayed
+// reply to the abandoned attempt can still arrive. That frame must be
+// discarded — not treated as server misbehaviour — or a benign timeout
+// permanently poisons the client.
+func TestReadReplyToAbandonedReadIsBenign(t *testing.T) {
+	kc, err := aead.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(1, kc)
+
+	if _, err := c.ReadInvoke([]byte{0}); err != nil {
+		t.Fatalf("ReadInvoke: %v", err)
+	}
+	abandoned := c.readPendingNonce
+	// Timeout: the session abandons the first attempt and re-issues.
+	if _, err := c.ReadInvoke([]byte{0}); err != nil {
+		t.Fatalf("re-issued ReadInvoke: %v", err)
+	}
+	current := c.readPendingNonce
+	if abandoned == current {
+		t.Fatal("re-issued read reused the abandoned nonce")
+	}
+
+	seal := func(nonce uint64, result string) []byte {
+		rep := wire.ReadReply{HCEcho: c.hc, Nonce: nonce, Result: []byte(result)}
+		ct, err := aead.Seal(kc, rep.Encode(), []byte(adReadReply))
+		if err != nil {
+			t.Fatalf("seal read reply: %v", err)
+		}
+		return ct
+	}
+
+	// The abandoned attempt's reply arrives first: discarded, not poison,
+	// and the current read stays pending.
+	if _, err := c.ProcessReadReply(seal(abandoned, "stale")); !errors.Is(err, ErrStaleReadReply) {
+		t.Fatalf("stale reply = %v, want ErrStaleReadReply", err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("client poisoned by reply to abandoned read: %v", c.Err())
+	}
+	if !c.HasPendingRead() {
+		t.Fatal("read no longer pending after discarding the stale frame")
+	}
+
+	// The current attempt's reply then completes the read normally.
+	res, err := c.ProcessReadReply(seal(current, "fresh"))
+	if err != nil {
+		t.Fatalf("current reply: %v", err)
+	}
+	if string(res.Value) != "fresh" {
+		t.Fatalf("result = %q, want fresh", res.Value)
+	}
+
+	// A wrong chain echo under the right nonce is still misbehaviour: the
+	// reply was produced for a different client context.
+	if _, err := c.ReadInvoke([]byte{0}); err != nil {
+		t.Fatalf("ReadInvoke: %v", err)
+	}
+	badHC := c.hc
+	badHC[0] ^= 1
+	rep := wire.ReadReply{HCEcho: badHC, Nonce: c.readPendingNonce}
+	ct, err := aead.Seal(kc, rep.Encode(), []byte(adReadReply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProcessReadReply(ct); !errors.Is(err, ErrReplyMismatch) {
+		t.Fatalf("bad echo = %v, want ErrReplyMismatch", err)
+	}
+	if c.Err() == nil {
+		t.Fatal("client not poisoned by mismatched chain echo")
+	}
+}

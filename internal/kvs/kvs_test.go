@@ -52,6 +52,73 @@ func TestPutGetDel(t *testing.T) {
 	}
 }
 
+// TestSnapshotReadPinsInFlightBatch: mutations of the currently-executing
+// batch (recorded in the overlay's still-open generation, before EndBatch)
+// must be invisible to snapshot reads — a concurrent read of a key first
+// touched by the in-flight batch returns the durable pre-image, never the
+// live mid-batch value, which is not yet persistent and could roll back.
+func TestSnapshotReadPinsInFlightBatch(t *testing.T) {
+	s := New()
+	mustApply(t, s, Put("k", "v1"))
+	s.EndBatch(1)
+	s.AdvanceDurable(1) // durable snapshot: k=v1
+
+	snapGet := func(key string) Result {
+		t.Helper()
+		raw, err := s.SnapshotRead(Get(key))
+		if err != nil {
+			t.Fatalf("SnapshotRead get %q: %v", key, err)
+		}
+		res, err := DecodeResult(raw)
+		if err != nil {
+			t.Fatalf("DecodeResult: %v", err)
+		}
+		return res
+	}
+
+	// An in-flight batch overwrites k and creates n; no EndBatch yet.
+	mustApply(t, s, Put("k", "v2"))
+	mustApply(t, s, Put("n", "new"))
+	if res := snapGet("k"); string(res.Value) != "v1" {
+		t.Fatalf("snapshot get mid-batch = %q, want durable v1", res.Value)
+	}
+	if res := snapGet("n"); res.Found {
+		t.Fatal("snapshot get saw a key created by the in-flight batch")
+	}
+	raw, err := s.SnapshotRead(Scan("", 0))
+	if err != nil {
+		t.Fatalf("SnapshotRead scan: %v", err)
+	}
+	scan, err := DecodeScanResult(raw)
+	if err != nil {
+		t.Fatalf("DecodeScanResult: %v", err)
+	}
+	if len(scan) != 1 || scan[0].Key != "k" || scan[0].Value != "v1" {
+		t.Fatalf("snapshot scan mid-batch = %+v, want [k=v1]", scan)
+	}
+
+	// Once the batch closes and is durable, the new state is visible.
+	s.EndBatch(2)
+	s.AdvanceDurable(2)
+	if res := snapGet("k"); string(res.Value) != "v2" {
+		t.Fatalf("snapshot get after advance = %q, want v2", res.Value)
+	}
+	if res := snapGet("n"); !res.Found || string(res.Value) != "new" {
+		t.Fatalf("snapshot get n after advance = %+v, want new", res)
+	}
+
+	// An in-flight delete likewise stays invisible until durable.
+	mustApply(t, s, Del("k"))
+	if res := snapGet("k"); !res.Found || string(res.Value) != "v2" {
+		t.Fatalf("snapshot get during in-flight delete = %+v, want v2", res)
+	}
+	s.EndBatch(3)
+	s.AdvanceDurable(3)
+	if res := snapGet("k"); res.Found {
+		t.Fatal("snapshot get after durable delete still found the key")
+	}
+}
+
 func TestEmptyValueIsDistinctFromMissing(t *testing.T) {
 	s := New()
 	mustApply(t, s, Put("k", ""))

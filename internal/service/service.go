@@ -249,21 +249,28 @@ func (o *Overlay[V]) Advance(seq uint64) {
 
 // Resolve reports item key's value at the durable snapshot: pinned is
 // true when a pending generation holds a pre-image (val/existed are that
-// pre-image); false means the live value is current.
+// pre-image); false means the live value is current. The open generation
+// counts as the newest pending one: a mutation of the currently-executing
+// batch has already changed the live state, so its pre-image must pin the
+// snapshot value until Close/Advance retire it.
 func (o *Overlay[V]) Resolve(key string) (val V, existed, pinned bool) {
 	for _, g := range o.gens {
 		if p, ok := g.pres[key]; ok {
 			return p.val, p.existed, true
 		}
 	}
+	if p, ok := o.cur[key]; ok {
+		return p.val, p.existed, true
+	}
 	return val, false, false
 }
 
 // Pinned calls f for every item with a pending pre-image, passing its
-// snapshot-time value (first-generation-wins). Items whose pre-image says
-// "did not exist at the snapshot" are reported with existed == false —
-// scans must skip them even if the item exists in the live state. f
-// returning false stops the iteration.
+// snapshot-time value (first-generation-wins; the open generation counts
+// as the newest, as in Resolve). Items whose pre-image says "did not
+// exist at the snapshot" are reported with existed == false — scans must
+// skip them even if the item exists in the live state. f returning false
+// stops the iteration.
 func (o *Overlay[V]) Pinned(f func(key string, val V, existed bool) bool) {
 	seen := make(map[string]struct{})
 	for _, g := range o.gens {
@@ -275,6 +282,14 @@ func (o *Overlay[V]) Pinned(f func(key string, val V, existed bool) bool) {
 			if !f(k, p.val, p.existed) {
 				return
 			}
+		}
+	}
+	for k, p := range o.cur {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if !f(k, p.val, p.existed) {
+			return
 		}
 	}
 }

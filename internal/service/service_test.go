@@ -15,6 +15,61 @@ func (s stubSharder) ShardKeys(op []byte) []string {
 	return s[op[0]]
 }
 
+// TestOverlayPinsOpenGeneration: pre-images recorded by the
+// currently-executing batch live in the open generation until Close runs
+// after the whole batch. Resolve and Pinned must consult them — otherwise
+// a concurrent snapshot read of a key first touched by the in-flight
+// batch would return the live, non-durable value (a dirty read).
+func TestOverlayPinsOpenGeneration(t *testing.T) {
+	var o Overlay[string]
+
+	// Mid-batch: the batch overwrote k (pre-image v1) and created n.
+	o.Record("k", "v1", true)
+	o.Record("n", "", false)
+	if v, ex, pin := o.Resolve("k"); !pin || !ex || v != "v1" {
+		t.Fatalf("Resolve(k) mid-batch = %q, %v, %v; want v1 pinned", v, ex, pin)
+	}
+	if _, ex, pin := o.Resolve("n"); !pin || ex {
+		t.Fatalf("Resolve(n) mid-batch: pinned=%v existed=%v; want pinned, absent", pin, ex)
+	}
+	// First-record-wins within the open generation too.
+	o.Record("k", "v2", true)
+	if v, _, _ := o.Resolve("k"); v != "v1" {
+		t.Fatalf("second Record overwrote pre-image: %q", v)
+	}
+	pinned := make(map[string]bool)
+	o.Pinned(func(k string, _ string, existed bool) bool {
+		pinned[k] = existed
+		return true
+	})
+	if len(pinned) != 2 || !pinned["k"] || pinned["n"] {
+		t.Fatalf("Pinned mid-batch = %v; want k existed, n absent", pinned)
+	}
+
+	// A closed generation stays older than the open one: after Close, a
+	// second batch's pre-image of k must not shadow the first's.
+	o.Close(1)
+	o.Record("k", "v5", true)
+	if v, _, _ := o.Resolve("k"); v != "v1" {
+		t.Fatalf("open generation shadowed closed one: %q, want v1", v)
+	}
+	// Advancing past the closed generation promotes the open one.
+	o.Advance(1)
+	if v, _, pin := o.Resolve("k"); !pin || v != "v5" {
+		t.Fatalf("Resolve(k) after Advance(1) = %q pinned=%v; want v5 pinned", v, pin)
+	}
+	// Closing and advancing the second batch unpins everything.
+	o.Close(2)
+	o.Advance(2)
+	if _, _, pin := o.Resolve("k"); pin {
+		t.Fatal("Resolve(k) still pinned after all generations advanced")
+	}
+	o.Pinned(func(k string, _ string, _ bool) bool {
+		t.Fatalf("Pinned reported %q after all generations advanced", k)
+		return false
+	})
+}
+
 func TestShardIndexStableAndInRange(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8, 256} {
 		for i := 0; i < 100; i++ {
