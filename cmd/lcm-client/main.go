@@ -87,6 +87,9 @@ func run() error {
 		svcName   = flag.String("service", "kvs", "service the server hosts: kvs | bank")
 		statePath = flag.String("state", "", "client state file (default lcm-client-<id>.state)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "reply timeout before retry")
+		dialTO    = flag.Duration("dialtimeout", 0, "TCP connect timeout (0 = OS default)")
+		keepAlive = flag.Duration("keepalive", 0, "TCP keep-alive probe period (0 disables)")
+		ioTimeout = flag.Duration("iotimeout", 0, "per-frame read/write deadline (0 disables)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -98,11 +101,17 @@ func run() error {
 	}
 
 	cfg := client.Config{Timeout: *timeout, Retries: 2}
+	tcpOpts := transport.TCPOptions{
+		DialTimeout:  *dialTO,
+		ReadTimeout:  *ioTimeout,
+		WriteTimeout: *ioTimeout,
+		KeepAlive:    *keepAlive,
+	}
 
 	if args[0] == "status" {
 		// The aggregated host endpoint needs no protocol context — and
 		// therefore no -key.
-		conn, err := transport.DialTCP(*addr)
+		conn, err := transport.DialTCPTimeout(*addr, tcpOpts)
 		if err != nil {
 			return err
 		}
@@ -116,7 +125,7 @@ func run() error {
 		return err
 	}
 
-	conn, err := transport.DialTCP(*addr)
+	conn, err := transport.DialTCPTimeout(*addr, tcpOpts)
 	if err != nil {
 		return err
 	}

@@ -14,7 +14,13 @@
 //
 //	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
 //	           -clients 8 [-service kvs|bank] [-shards N] [-sync] \
-//	           [-replicas N [-quorum Q]]
+//	           [-replicas N [-quorum Q]] [-keepalive D] [-iotimeout D]
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, the group
+// committers drain behind each shard's persistence barrier, and the
+// process exits 0. Restarting over a -dir that already holds sealed state
+// resumes the deployment instead of re-bootstrapping (clients keep their
+// previous communication keys).
 //
 // -replicas mirrors every shard's sealed delta chain onto N peer enclave
 // instances (enclave-to-enclave chain replication): replies are released
@@ -24,11 +30,16 @@
 package main
 
 import (
+	"crypto/rand"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"lcm/internal/core"
@@ -49,6 +60,38 @@ func main() {
 	}
 }
 
+// platformSecret returns the simulated platform's root secret, persisted
+// alongside the stable storage. On real hardware the root secret is fused
+// into the CPU, so sealing keys survive restarts of the same machine; the
+// simulation gets the same property by creating the secret once per -dir
+// and reading it back on relaunch. Without this a restarted server could
+// never unseal its own state and would silently re-bootstrap with a fresh
+// communication key, orphaning every client.
+func platformSecret(dir string) ([]byte, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage dir: %w", err)
+	}
+	path := filepath.Join(dir, "platform-secret")
+	secret, err := os.ReadFile(path)
+	if err == nil {
+		if len(secret) != 32 {
+			return nil, fmt.Errorf("%s: corrupt platform secret (%d bytes, want 32)", path, len(secret))
+		}
+		return secret, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("platform secret: %w", err)
+	}
+	secret = make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("platform secret: %w", err)
+	}
+	if err := os.WriteFile(path, secret, 0o600); err != nil {
+		return nil, fmt.Errorf("platform secret: %w", err)
+	}
+	return secret, nil
+}
+
 func run() error {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7000", "listen address")
@@ -67,6 +110,9 @@ func run() error {
 
 		reshardTo    = flag.Int("reshardto", 0, "live-reshard the deployment to this many shards (with -reshardafter)")
 		reshardAfter = flag.Duration("reshardafter", 30*time.Second, "delay before the -reshardto live reshard")
+
+		keepAlive = flag.Duration("keepalive", 0, "TCP keep-alive probe period on accepted connections (0 disables)")
+		ioTimeout = flag.Duration("iotimeout", 0, "per-frame read/write deadline on accepted connections (0 disables)")
 	)
 	flag.Parse()
 
@@ -81,7 +127,12 @@ func run() error {
 	}
 
 	model := latency.Scaled(*scale)
-	platform, err := tee.NewPlatform("lcm-server-platform", tee.WithLatencyModel(model))
+	secret, err := platformSecret(*dir)
+	if err != nil {
+		return err
+	}
+	platform, err := tee.NewPlatform("lcm-server-platform",
+		tee.WithLatencyModel(model), tee.WithRootSecret(secret))
 	if err != nil {
 		return err
 	}
@@ -113,13 +164,27 @@ func run() error {
 	}
 
 	// Each shard is an independent LCM instance: its own bootstrap, its
-	// own communication key, the same client group.
+	// own communication key, the same client group. A shard whose sealed
+	// state survived a previous run resumes instead: the enclave restored
+	// its context (including kC) from stable storage, so bootstrapping
+	// again would wipe acknowledged history — clients keep using the key
+	// printed by the run that did bootstrap.
 	ids := make([]uint32, *clients)
 	for i := range ids {
 		ids[i] = uint32(i + 1)
 	}
 	keyParts := make([]string, 0, server.Shards())
+	resumed := 0
 	for shard := 0; shard < server.Shards(); shard++ {
+		st, err := core.QueryStatus(server.ShardCall(shard))
+		if err != nil {
+			return fmt.Errorf("status shard %d: %w", shard, err)
+		}
+		if st.Provisioned {
+			resumed++
+			keyParts = append(keyParts, "resumed")
+			continue
+		}
 		admin := core.NewAdmin(attestation, core.ProgramIdentity(*svcName))
 		if err := admin.Bootstrap(server.ShardCall(shard), ids); err != nil {
 			return fmt.Errorf("bootstrap shard %d: %w", shard, err)
@@ -127,7 +192,11 @@ func run() error {
 		keyParts = append(keyParts, hex.EncodeToString(admin.CommunicationKey().Bytes()))
 	}
 
-	listener, err := transport.ListenTCP(*addr)
+	listener, err := transport.ListenTCPOptions(*addr, transport.TCPOptions{
+		ReadTimeout:  *ioTimeout,
+		WriteTimeout: *ioTimeout,
+		KeepAlive:    *keepAlive,
+	})
 	if err != nil {
 		return err
 	}
@@ -142,8 +211,12 @@ func run() error {
 	}
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
 	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
-	fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")
-	fmt.Println("the admin would distribute them over secure channels")
+	if resumed > 0 {
+		fmt.Printf("resumed %d shard(s) from sealed state in %s; clients keep their previous kC\n", resumed, *dir)
+	} else {
+		fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")
+		fmt.Println("the admin would distribute them over secure channels")
+	}
 
 	if *reshardTo > 0 {
 		go func() {
@@ -160,6 +233,28 @@ func run() error {
 		}()
 	}
 
+	// Graceful shutdown on SIGINT/SIGTERM: close the listener (stop
+	// accepting; Serve returns), drain the group committers behind each
+	// shard's persistence barrier so everything acknowledged is durable,
+	// then tear down and exit 0. A second signal exits immediately.
+	var draining atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		draining.Store(true)
+		fmt.Printf("lcm-server: %v: draining...\n", sig)
+		listener.Close()
+		<-sigCh
+		os.Exit(1)
+	}()
+
 	defer server.Shutdown()
-	return server.Serve(listener)
+	err = server.Serve(listener)
+	if draining.Load() {
+		server.Drain()
+		fmt.Println("lcm-server: drained; exiting")
+		return nil
+	}
+	return err
 }

@@ -1,0 +1,662 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/benchrun"
+	"lcm/internal/client"
+	"lcm/internal/consistency"
+	"lcm/internal/core"
+	"lcm/internal/counter"
+	"lcm/internal/kvs"
+	"lcm/internal/securechannel"
+	"lcm/internal/service"
+	"lcm/internal/transport"
+)
+
+// statsPrefix marks the one stdout line a worker emits for the driver.
+const statsPrefix = "SWARM-STATS "
+
+// eventRecorder seals consistency events into the worker's event file
+// through one securechannel session (worker = initiator, driver =
+// responder). File layout: u32-framed hello, then u32-framed sealed
+// records, one event each. Safe for concurrent use.
+type eventRecorder struct {
+	mu    sync.Mutex
+	f     *os.File
+	sess  *securechannel.Session
+	count uint64
+}
+
+func newEventRecorder(path string, responderPub []byte) (*eventRecorder, error) {
+	// A small rotation interval makes a real run cross many epochs, so
+	// the driver's decode exercises the ratchet, not just epoch 0.
+	sess, hello, err := securechannel.NewInitiatorSession(responderPub, securechannel.SessionConfig{RotateEvery: 256})
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &eventRecorder{f: f, sess: sess}
+	if err := r.writeFrame(hello); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *eventRecorder) writeFrame(b []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := r.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := r.f.Write(b)
+	return err
+}
+
+func (r *eventRecorder) record(clientID uint32, ob client.Observation) {
+	e := consistency.Event{
+		Client: clientID,
+		Gen:    int(ob.Gen),
+		Shard:  ob.Shard,
+		Seq:    ob.Result.Seq,
+		Stable: ob.Result.Stable,
+		Op:     ob.Op,
+		Result: ob.Result.Value,
+		Chain:  ob.Chain,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sealed, err := r.sess.Seal(consistency.EncodeEvent(e))
+	if err != nil {
+		return
+	}
+	if r.writeFrame(sealed) == nil {
+		r.count++
+	}
+}
+
+func (r *eventRecorder) close() error { return r.f.Close() }
+
+// ackedVal is what a connection believes a key holds after its last
+// acknowledged write.
+type ackedVal struct {
+	val     string
+	deleted bool
+}
+
+// connWorker drives one client session (one TCP connection) through the
+// workload, surviving connection kills and server restarts by redialing
+// and recovering pending operations.
+type connWorker struct {
+	o        *options
+	id       uint32
+	index    int
+	keys     []aead.Key
+	sharder  service.Sharder
+	policy   *transport.TamperPolicy
+	deadline time.Time
+	stats    *benchrun.WorkerStats
+	statsMu  *sync.Mutex
+	rec      *eventRecorder
+	rng      *rand.Rand
+
+	connMu sync.Mutex
+	conn   transport.Conn
+
+	sess *client.ShardedSession
+
+	// kvs model
+	acked   map[string]ackedVal
+	tainted map[string]bool // outcome unknown — excluded from read-back
+	// bank model
+	ledger      map[string]int64
+	ledgerDirty bool
+
+	violation error
+	lost      uint64
+}
+
+func (w *connWorker) cfg() client.Config {
+	return client.Config{
+		Timeout:     w.o.opTimeout,
+		Retries:     4,
+		AtLeastOnce: true,
+		Observe:     func(ob client.Observation) { w.rec.record(w.id, ob) },
+	}
+}
+
+func (w *connWorker) dialOpts() transport.TCPOptions {
+	return transport.TCPOptions{DialTimeout: 3 * time.Second, KeepAlive: 15 * time.Second}
+}
+
+// killConn closes the live connection out from under the session — the
+// chaos monkey's connection kill.
+func (w *connWorker) killConn() {
+	w.connMu.Lock()
+	c := w.conn
+	w.connMu.Unlock()
+	if c != nil {
+		c.Close()
+		w.statsMu.Lock()
+		w.stats.ConnKills++
+		w.statsMu.Unlock()
+	}
+}
+
+func (w *connWorker) setConn(c transport.Conn) {
+	w.connMu.Lock()
+	w.conn = c
+	w.connMu.Unlock()
+}
+
+// connect dials (retrying until limit), wraps the connection in this
+// worker's tamper policy and builds or resumes the session.
+func (w *connWorker) connect(limit time.Time) error {
+	for {
+		nc, err := transport.DialTCPTimeout(w.o.addr, w.dialOpts())
+		if err != nil {
+			if time.Now().After(limit) {
+				return fmt.Errorf("dial: %w", err)
+			}
+			time.Sleep(150 * time.Millisecond)
+			continue
+		}
+		w.setConn(nc)
+		conn := transport.Conn(nc)
+		if w.policy != nil {
+			conn = transport.NewTamperConn(nc, *w.policy)
+		}
+		if w.sess == nil {
+			w.sess = client.NewSharded(conn, w.id, w.keys, w.sharder, w.cfg())
+			return nil
+		}
+		states := w.sess.States()
+		w.sess.Close()
+		sess, err := client.ResumeSharded(conn, states, w.keys, w.sharder, w.cfg())
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		w.sess = sess
+		return nil
+	}
+}
+
+// recoverPendings re-drives every shard with a pending operation so the
+// sessions stay usable, and returns the recovered result of the target
+// shard (-1 for none). Results recovered on other shards belong to
+// abandoned operations (an interrupted scatter-gather scan) and are
+// discarded — attributing them to the caller's operation would corrupt
+// the worker's read-your-writes model.
+func (w *connWorker) recoverPendings(target int) (*lcmResult, error) {
+	var targetRes *lcmResult
+	for shard := 0; shard < w.sess.Shards(); shard++ {
+		if !w.sess.HasPending(shard) {
+			continue
+		}
+		res, err := w.sess.Recover(shard)
+		if err != nil {
+			return nil, err
+		}
+		w.statsMu.Lock()
+		w.stats.Recoveries++
+		w.statsMu.Unlock()
+		if shard == target {
+			targetRes = &lcmResult{value: res.Value}
+		}
+	}
+	return targetRes, nil
+}
+
+type lcmResult struct{ value []byte }
+
+// do executes one operation with full fault handling: on any error it
+// redials, resumes the session and recovers pending operations. A
+// recovered result on the operation's own shard is this operation's
+// result only if a previous iteration actually issued it (ourPending) —
+// otherwise the pending was the residue of an abandoned scan, its result
+// is discarded, and the operation is issued fresh. A definite outcome or
+// an error after the limit; a violation is sticky and fatal.
+func (w *connWorker) do(kind string, op []byte) ([]byte, error) {
+	limit := w.deadline.Add(60 * time.Second)
+	start := time.Now()
+	shard, err := w.sess.ShardFor(op)
+	if err != nil {
+		return nil, err
+	}
+	ourPending := false
+	for {
+		res, err := w.sess.Do(op)
+		if err == nil {
+			w.observe(kind, start, nil)
+			return res.Value, nil
+		}
+		if w.sess.Err() != nil {
+			w.violation = w.sess.Err()
+			return nil, w.violation
+		}
+		if !errors.Is(err, core.ErrPendingOperation) {
+			// Do issued (or tried to issue) our op: if the shard holds a
+			// pending now, it is ours. An ErrPendingOperation instead
+			// means Do refused — the pending predates this iteration and
+			// is ours only if we set ourPending on an earlier lap.
+			ourPending = true
+		}
+		if time.Now().After(limit) {
+			w.observe(kind, start, err)
+			return nil, err
+		}
+		if cerr := w.connect(limit); cerr != nil {
+			w.observe(kind, start, err)
+			return nil, fmt.Errorf("%v (reconnect: %w)", err, cerr)
+		}
+		rec, rerr := w.recoverPendings(shard)
+		if rerr != nil {
+			if w.sess.Err() != nil {
+				w.violation = w.sess.Err()
+				return nil, w.violation
+			}
+			continue // recover again over a fresh connection
+		}
+		if rec != nil && ourPending {
+			w.observe(kind, start, nil)
+			return rec.value, nil
+		}
+		// Either nothing was pending (the op never left) or the pending
+		// was an abandoned scan's — the shard is clear now; re-issue.
+		ourPending = false
+	}
+}
+
+func (w *connWorker) observe(kind string, start time.Time, err error) {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	s := w.stats.Op(kind)
+	if err != nil {
+		s.Errors++
+		if w.o.verbose {
+			fmt.Fprintf(os.Stderr, "conn %d (%s): %v\n", w.id, kind, err)
+		}
+		return
+	}
+	s.Ops++
+	s.Hist.Observe(time.Since(start))
+}
+
+func (w *connWorker) key(i int) string {
+	return fmt.Sprintf("w%dc%d-k%02d", w.o.workerIndex, w.id, i)
+}
+
+const keysPerConn = 16
+
+// kvsOp runs one randomly chosen kvs operation and updates the local
+// model on acknowledgement.
+func (w *connWorker) kvsOp(opCounter int) {
+	k := w.key(w.rng.Intn(keysPerConn))
+	switch r := w.rng.Float64(); {
+	case r < 0.45:
+		val := fmt.Sprintf("v%d-%d", w.id, opCounter)
+		if _, err := w.do("put", kvs.Put(k, val)); err != nil {
+			w.tainted[k] = true
+			return
+		}
+		delete(w.tainted, k)
+		w.acked[k] = ackedVal{val: val}
+		w.statsMu.Lock()
+		w.stats.AckedWrites++
+		w.statsMu.Unlock()
+	case r < 0.80:
+		raw, err := w.do("get", kvs.Get(k))
+		if err != nil {
+			return
+		}
+		w.checkRead(k, raw)
+	case r < 0.90:
+		if _, err := w.do("del", kvs.Del(k)); err != nil {
+			w.tainted[k] = true
+			return
+		}
+		delete(w.tainted, k)
+		w.acked[k] = ackedVal{deleted: true}
+		w.statsMu.Lock()
+		w.stats.AckedWrites++
+		w.statsMu.Unlock()
+	default:
+		prefix := fmt.Sprintf("w%dc%d-", w.o.workerIndex, w.id)
+		start := time.Now()
+		if _, err := w.scan(kvs.Scan(prefix, 64)); err != nil {
+			w.observe("scan", start, err)
+			return
+		}
+		w.observe("scan", start, nil)
+	}
+}
+
+// scan runs a scatter-gather scan with the same fault handling as do,
+// except an interrupted scan is abandoned (its per-shard pendings are
+// recovered so the sessions stay usable, but partial results cannot be
+// stitched together).
+func (w *connWorker) scan(op []byte) (*client.ScanResult, error) {
+	res, err := w.sess.Scan(op)
+	if err == nil {
+		return res, nil
+	}
+	if w.sess.Err() != nil {
+		w.violation = w.sess.Err()
+		return nil, w.violation
+	}
+	limit := w.deadline.Add(60 * time.Second)
+	if cerr := w.connect(limit); cerr != nil {
+		return nil, err
+	}
+	if _, rerr := w.recoverPendings(-1); rerr != nil && w.sess.Err() != nil {
+		w.violation = w.sess.Err()
+		return nil, w.violation
+	}
+	return nil, err
+}
+
+// checkRead verifies read-your-writes against the local model: this
+// connection's keys are written only by this client, so an acknowledged
+// write must be visible until overwritten.
+func (w *connWorker) checkRead(k string, raw []byte) {
+	want, ok := w.acked[k]
+	if !ok || w.tainted[k] {
+		return
+	}
+	kv, err := kvs.DecodeResult(raw)
+	if err != nil {
+		w.lost++
+		return
+	}
+	if want.deleted {
+		if kv.Found {
+			w.lost++
+		}
+		return
+	}
+	if !kv.Found || string(kv.Value) != want.val {
+		w.lost++
+	}
+}
+
+func (w *connWorker) account(i int) string {
+	return fmt.Sprintf("w%dc%d-a%d", w.o.workerIndex, w.id, i)
+}
+
+const accountsPerConn = 4
+
+// bankOp runs one randomly chosen bank operation against this
+// connection's own accounts (so the local ledger fully predicts every
+// balance).
+func (w *connWorker) bankOp() {
+	a := w.account(w.rng.Intn(accountsPerConn))
+	switch r := w.rng.Float64(); {
+	case r < 0.40:
+		delta := int64(w.rng.Intn(10) + 1)
+		if _, err := w.do("inc", counter.Inc(a, delta)); err != nil {
+			w.ledgerDirty = true
+			return
+		}
+		w.ledger[a] += delta
+		w.statsMu.Lock()
+		w.stats.AckedWrites++
+		w.statsMu.Unlock()
+	case r < 0.80:
+		raw, err := w.do("bal", counter.Read(a))
+		if err != nil {
+			return
+		}
+		w.checkBalance(a, raw)
+	default:
+		b := w.account(w.rng.Intn(accountsPerConn))
+		if b == a || w.ledger[a] < 10 {
+			return
+		}
+		w.transfer(a, b, 10)
+	}
+}
+
+func (w *connWorker) transfer(from, to string, amount int64) {
+	start := time.Now()
+	srcShard, _ := w.sess.ShardFor(counter.Read(from))
+	dstShard, _ := w.sess.ShardFor(counter.Read(to))
+	if srcShard == dstShard {
+		if _, err := w.do("transfer", counter.Transfer(from, to, amount)); err != nil {
+			w.ledgerDirty = true
+			return
+		}
+	} else {
+		t, err := w.sess.NewTransfer(from, to, amount)
+		if err != nil {
+			w.observe("transfer", start, err)
+			return
+		}
+		if _, err := w.sess.RunTransfer(t, func(*client.Transfer) error { return nil }); err != nil {
+			// A cross-shard transfer is multi-phase; rather than
+			// re-driving it through reconnects, abandon verification
+			// of the touched accounts.
+			w.ledgerDirty = true
+			w.observe("transfer", start, err)
+			if w.sess.Err() != nil {
+				w.violation = w.sess.Err()
+			}
+			return
+		}
+		w.observe("transfer", start, nil)
+	}
+	w.ledger[from] -= amount
+	w.ledger[to] += amount
+	w.statsMu.Lock()
+	w.stats.AckedWrites++
+	w.statsMu.Unlock()
+}
+
+func (w *connWorker) checkBalance(a string, raw []byte) {
+	if w.ledgerDirty {
+		return
+	}
+	res, err := counter.DecodeResult(raw)
+	if err != nil || !res.OK || res.Balance != w.ledger[a] {
+		w.lost++
+	}
+}
+
+// readBack verifies every acknowledged write at the end of the run.
+func (w *connWorker) readBack() {
+	if w.o.service == "bank" {
+		if w.ledgerDirty {
+			return
+		}
+		for a, want := range w.ledger {
+			raw, err := w.do("bal", counter.Read(a))
+			if err != nil {
+				w.lost++
+				continue
+			}
+			res, derr := counter.DecodeResult(raw)
+			if derr != nil || !res.OK || res.Balance != want {
+				w.lost++
+			}
+		}
+		return
+	}
+	for k := range w.acked {
+		if w.tainted[k] {
+			continue
+		}
+		raw, err := w.do("get", kvs.Get(k))
+		if err != nil {
+			w.lost++
+			continue
+		}
+		w.checkRead(k, raw)
+	}
+}
+
+func (w *connWorker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if w.sess != nil {
+			w.sess.Close()
+		}
+	}()
+	if err := w.connect(w.deadline); err != nil {
+		w.statsMu.Lock()
+		w.stats.Op("connect").Errors++
+		w.statsMu.Unlock()
+		return
+	}
+	for opCounter := 0; time.Now().Before(w.deadline); opCounter++ {
+		if w.violation != nil {
+			return
+		}
+		if w.o.service == "bank" {
+			w.bankOp()
+		} else {
+			w.kvsOp(opCounter)
+		}
+	}
+	if w.violation == nil {
+		w.readBack()
+	}
+	w.statsMu.Lock()
+	w.stats.AckedWriteLoss += w.lost
+	w.statsMu.Unlock()
+}
+
+// chaosPolicy assigns a tamper policy by connection index: a quarter of
+// the connections run clean, the rest drop, duplicate+drop, or reorder
+// (pair-swap) with duplication — so every game and the documented
+// drop → swap → duplicate composition are live in one run.
+func chaosPolicy(index int) *transport.TamperPolicy {
+	switch index % 4 {
+	case 0:
+		return nil
+	case 1:
+		return &transport.TamperPolicy{DropEvery: 7}
+	case 2:
+		return &transport.TamperPolicy{DropEvery: 11, DuplicateEvery: 5}
+	default:
+		return &transport.TamperPolicy{SwapPairs: true, DuplicateEvery: 6}
+	}
+}
+
+func runWorker(o *options) error {
+	keys, err := parseWorkerKeys(o.keyHex)
+	if err != nil {
+		return err
+	}
+	responderPub, err := hex.DecodeString(o.sealPubHex)
+	if err != nil {
+		return fmt.Errorf("-sealpub: %w", err)
+	}
+	rec, err := newEventRecorder(o.eventFile, responderPub)
+	if err != nil {
+		return err
+	}
+
+	var sharder service.Sharder
+	if o.service == "bank" {
+		sharder = counter.New()
+	} else {
+		sharder = kvs.New()
+	}
+
+	stats := benchrun.NewWorkerStats(o.workerIndex, o.conns)
+	var statsMu sync.Mutex
+	deadline := time.Now().Add(o.duration)
+
+	workers := make([]*connWorker, o.conns)
+	var wg sync.WaitGroup
+	for c := 0; c < o.conns; c++ {
+		w := &connWorker{
+			o:        o,
+			id:       uint32(o.idBase + c),
+			index:    c,
+			keys:     keys,
+			sharder:  sharder,
+			deadline: deadline,
+			stats:    stats,
+			statsMu:  &statsMu,
+			rec:      rec,
+			rng:      rand.New(rand.NewSource(int64(o.idBase+c)*7919 + 17)),
+			acked:    make(map[string]ackedVal),
+			tainted:  make(map[string]bool),
+			ledger:   make(map[string]int64),
+		}
+		if o.chaos {
+			w.policy = chaosPolicy(c)
+		}
+		workers[c] = w
+		wg.Add(1)
+		go w.run(&wg)
+	}
+
+	// The chaos monkey: random connection kills for the whole window.
+	if o.chaos {
+		killRng := rand.New(rand.NewSource(int64(o.workerIndex)*104729 + 1))
+		go func() {
+			for time.Now().Before(deadline) {
+				time.Sleep(time.Duration(1500+killRng.Intn(1500)) * time.Millisecond)
+				workers[killRng.Intn(len(workers))].killConn()
+			}
+		}()
+	}
+
+	wg.Wait()
+	if err := rec.close(); err != nil {
+		return fmt.Errorf("event file: %w", err)
+	}
+	stats.Events = rec.count
+
+	var violations []string
+	for _, w := range workers {
+		if w.violation != nil {
+			violations = append(violations, fmt.Sprintf("client %d: %v", w.id, w.violation))
+		}
+	}
+
+	raw, err := json.Marshal(stats)
+	if err != nil {
+		return err
+	}
+	fmt.Println(statsPrefix + string(raw))
+	if len(violations) > 0 {
+		return fmt.Errorf("protocol violations detected: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}
+
+func parseWorkerKeys(keyHex string) ([]aead.Key, error) {
+	if keyHex == "" {
+		return nil, errors.New("worker needs -key")
+	}
+	parts := strings.Split(keyHex, ",")
+	keys := make([]aead.Key, 0, len(parts))
+	for i, part := range parts {
+		raw, err := hex.DecodeString(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("decode -key[%d]: %w", i, err)
+		}
+		key, err := aead.KeyFromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("-key[%d]: %w", i, err)
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}

@@ -1,0 +1,227 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Swarm statistics: the lcm-swarm harness runs many worker processes,
+// each owning hundreds of client connections. Workers count and time
+// operations locally with a mergeable log-bucketed histogram, emit one
+// WorkerStats JSON object at exit, and the driver merges them into the
+// SwarmReport artifact. Everything here is plain JSON so the nightly CI
+// job can archive and diff the artifacts.
+
+// histBuckets spans [1µs, ~2^40µs) in powers of two — wider than any
+// latency a swarm run can produce.
+const histBuckets = 40
+
+// Hist is a mergeable latency histogram with power-of-two microsecond
+// buckets. The zero value is ready to use; it marshals to JSON and merges
+// across processes without losing quantile resolution beyond a factor
+// of two.
+type Hist struct {
+	Buckets [histBuckets]uint64 `json:"buckets"`
+	N       uint64              `json:"n"`
+	SumNS   int64               `json:"sum_ns"`
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Buckets[bucketOf(d)]++
+	h.N++
+	h.SumNS += int64(d)
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.N += o.N
+	h.SumNS += int64(o.SumNS)
+}
+
+// Mean returns the exact mean latency (the sum is tracked outside the
+// buckets).
+func (h *Hist) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNS / int64(h.N))
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// sample (q in [0,1]), i.e. an at-most-2x overestimate.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.N))
+	if rank >= h.N {
+		rank = h.N - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			return time.Duration(1<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<histBuckets) * time.Microsecond
+}
+
+// OpStats aggregates one operation class (get/put/del/scan/transfer...).
+type OpStats struct {
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors"`
+	Hist   Hist   `json:"hist"`
+}
+
+// Merge folds o into s.
+func (s *OpStats) Merge(o *OpStats) {
+	s.Ops += o.Ops
+	s.Errors += o.Errors
+	s.Hist.Merge(&o.Hist)
+}
+
+// WorkerStats is one worker process's contribution, written as a single
+// JSON line on its stdout when it finishes.
+type WorkerStats struct {
+	Worker      int                 `json:"worker"`
+	Conns       int                 `json:"conns"`
+	Ops         map[string]*OpStats `json:"ops"`
+	AckedWrites uint64              `json:"acked_writes"`
+	ConnKills   uint64              `json:"conn_kills"`
+	Recoveries  uint64              `json:"recoveries"`
+	Events      uint64              `json:"events"`
+	// AckedWriteLoss counts acknowledged writes whose effect the worker's
+	// final read-back could not observe — any nonzero value fails the run.
+	AckedWriteLoss uint64 `json:"acked_write_loss"`
+}
+
+// NewWorkerStats returns an empty stats collector for worker id.
+func NewWorkerStats(worker, conns int) *WorkerStats {
+	return &WorkerStats{Worker: worker, Conns: conns, Ops: make(map[string]*OpStats)}
+}
+
+// Op returns the named operation-class bucket, creating it on first use.
+func (w *WorkerStats) Op(kind string) *OpStats {
+	s, ok := w.Ops[kind]
+	if !ok {
+		s = &OpStats{}
+		w.Ops[kind] = s
+	}
+	return s
+}
+
+// OpSummary is one rendered row of the merged per-class statistics.
+type OpSummary struct {
+	Kind    string        `json:"kind"`
+	Ops     uint64        `json:"ops"`
+	Errors  uint64        `json:"errors"`
+	MeanLat time.Duration `json:"mean_lat_ns"`
+	P50Lat  time.Duration `json:"p50_lat_ns"`
+	P99Lat  time.Duration `json:"p99_lat_ns"`
+}
+
+// SwarmReport is the driver's run artifact: configuration echo, merged
+// statistics, restart/chaos accounting and the consistency verdict.
+type SwarmReport struct {
+	Service    string        `json:"service"`
+	Workers    int           `json:"workers"`
+	Conns      int           `json:"conns"`
+	Duration   time.Duration `json:"duration_ns"`
+	Chaos      string        `json:"chaos"`
+	Restarts   []string      `json:"restarts,omitempty"`
+	Ops        uint64        `json:"ops"`
+	Errors     uint64        `json:"errors"`
+	Throughput float64       `json:"throughput_ops_per_s"`
+	ByOp       []OpSummary   `json:"by_op"`
+
+	AckedWrites uint64 `json:"acked_writes"`
+	ConnKills   uint64 `json:"conn_kills"`
+	Recoveries  uint64 `json:"recoveries"`
+	Events      uint64 `json:"events"`
+
+	// Verdict is "consistent" when the checker passed, otherwise the
+	// violation string. AckedWriteLoss counts acknowledged writes the
+	// final read-back could not observe — must be 0.
+	Verdict        string `json:"verdict"`
+	AckedWriteLoss int    `json:"acked_write_loss"`
+}
+
+// MergeWorkers folds a set of worker stats into the report's totals.
+func (r *SwarmReport) MergeWorkers(workers []*WorkerStats) {
+	merged := make(map[string]*OpStats)
+	for _, w := range workers {
+		r.AckedWrites += w.AckedWrites
+		r.ConnKills += w.ConnKills
+		r.Recoveries += w.Recoveries
+		r.Events += w.Events
+		r.AckedWriteLoss += int(w.AckedWriteLoss)
+		for kind, s := range w.Ops {
+			m, ok := merged[kind]
+			if !ok {
+				m = &OpStats{}
+				merged[kind] = m
+			}
+			m.Merge(s)
+		}
+	}
+	kinds := make([]string, 0, len(merged))
+	for k := range merged {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	r.ByOp = r.ByOp[:0]
+	r.Ops, r.Errors = 0, 0
+	for _, k := range kinds {
+		s := merged[k]
+		r.Ops += s.Ops
+		r.Errors += s.Errors
+		r.ByOp = append(r.ByOp, OpSummary{
+			Kind:    k,
+			Ops:     s.Ops,
+			Errors:  s.Errors,
+			MeanLat: s.Hist.Mean(),
+			P50Lat:  s.Hist.Quantile(0.50),
+			P99Lat:  s.Hist.Quantile(0.99),
+		})
+	}
+	if r.Duration > 0 {
+		r.Throughput = float64(r.Ops) / r.Duration.Seconds()
+	}
+}
+
+// Write saves the report as indented JSON at path, creating parent
+// directories as needed.
+func (r *SwarmReport) Write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("benchrun: swarm report dir: %w", err)
+		}
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrun: marshal swarm report: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,91 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestHistObserveQuantileMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 99; i++ {
+		a.Observe(100 * time.Microsecond)
+	}
+	b.Observe(50 * time.Millisecond)
+	a.Merge(&b)
+	if a.N != 100 {
+		t.Fatalf("N = %d", a.N)
+	}
+	p50, p99 := a.Quantile(0.50), a.Quantile(0.99)
+	if p50 < 100*time.Microsecond || p50 > 256*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 50*time.Millisecond || p99 > 128*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	wantMean := (99*int64(100*time.Microsecond) + int64(50*time.Millisecond)) / 100
+	if got := a.Mean(); int64(got) != wantMean {
+		t.Fatalf("mean = %v want %v", got, time.Duration(wantMean))
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Microsecond)
+	raw, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip: %+v != %+v", back, h)
+	}
+}
+
+func TestSwarmReportMergeAndWrite(t *testing.T) {
+	w1 := NewWorkerStats(0, 10)
+	w1.AckedWrites = 5
+	w1.Op("put").Ops = 5
+	w1.Op("put").Hist.Observe(time.Millisecond)
+	w1.Op("get").Ops = 7
+	w1.Op("get").Errors = 1
+	w2 := NewWorkerStats(1, 10)
+	w2.AckedWrites = 3
+	w2.ConnKills = 2
+	w2.Op("put").Ops = 3
+	w2.Op("put").Hist.Observe(2 * time.Millisecond)
+
+	r := &SwarmReport{Service: "kvs", Workers: 2, Conns: 20, Duration: 2 * time.Second, Verdict: "consistent"}
+	r.MergeWorkers([]*WorkerStats{w1, w2})
+	if r.Ops != 15 || r.Errors != 1 || r.AckedWrites != 8 || r.ConnKills != 2 {
+		t.Fatalf("merged totals: %+v", r)
+	}
+	if len(r.ByOp) != 2 || r.ByOp[0].Kind != "get" || r.ByOp[1].Kind != "put" {
+		t.Fatalf("ByOp = %+v", r.ByOp)
+	}
+	if r.Throughput != 7.5 {
+		t.Fatalf("throughput = %v", r.Throughput)
+	}
+
+	path := filepath.Join(t.TempDir(), "artifacts", "swarm.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SwarmReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Verdict != "consistent" || back.Ops != 15 {
+		t.Fatalf("written report: %+v", back)
+	}
+}

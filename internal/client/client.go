@@ -25,6 +25,7 @@
 package client
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"lcm/internal/aead"
 	"lcm/internal/core"
+	"lcm/internal/hashchain"
 	"lcm/internal/service"
 	"lcm/internal/transport"
 	"lcm/internal/wire"
@@ -63,6 +65,37 @@ type Config struct {
 	// it automatically; a resumed session whose deployment has resharded
 	// since must pass the generation it had adopted.
 	Gen uint64
+	// AtLeastOnce adapts the session to a network that may duplicate or
+	// locally reorder frames (the swarm harness's chaos links): every
+	// INVOKE carries the retry marker from its first transmission, so the
+	// trusted context answers a verbatim duplicate of the in-flight
+	// operation from its cached reply instead of halting, and the session
+	// silently discards byte-identical duplicates of replies it already
+	// verified. Execution stays exactly-once and every non-verbatim
+	// deviation is still detected; what is given up is treating a
+	// duplicate of the *latest* message as an attack. Leave it off on
+	// FIFO transports (the paper's model), where duplication is
+	// indistinguishable from a replay attack and should halt.
+	AtLeastOnce bool
+	// Observe, if non-nil, is called after every verified completed
+	// operation (including recoveries and per-shard scan parts) — the
+	// hook a harness uses to stamp a history into the consistency
+	// checker. It runs on the session's calling goroutine.
+	Observe func(Observation)
+}
+
+// Observation reports one verified completed operation to Config.Observe.
+type Observation struct {
+	// Shard is the wire shard that executed the operation.
+	Shard int
+	// Gen is the session's reshard generation.
+	Gen uint64
+	// Op is the service operation that was executed.
+	Op []byte
+	// Result is the verified protocol result (value, seq, stable).
+	Result *core.Result
+	// Chain is the client's hash-chain value after this operation.
+	Chain hashchain.Value
 }
 
 // link owns one connection's receive loop, shared by the session types.
@@ -145,7 +178,23 @@ type session struct {
 	sharder service.Sharder
 	link    *link
 	cfg     Config
+
+	// Verbatim-duplicate filter for AtLeastOnce links: a ring of recently
+	// accepted reply/multi-response payloads. A duplicated or re-answered
+	// frame is always byte-identical to one of these (the enclave caches
+	// and re-sends the exact ciphertext), so anything else that fails
+	// verification is still a detected attack. The ring must span more
+	// than the single latest reply: on a slow link every spurious retry
+	// of a merely-delayed reply mints another copy, and a copy can arrive
+	// several operations later.
+	recentReplies [][]byte
+	recentNext    int
 }
+
+// recentReplyWindow bounds the duplicate-filter ring. Stale copies per
+// operation are bounded by Config.Retries+1, and copies older than a few
+// operations have long drained from any real link.
+const recentReplyWindow = 64
 
 func newSessionCore(conn transport.Conn, protos []*core.Client, kcs []aead.Key, sharder service.Sharder, cfg Config) session {
 	return session{
@@ -155,6 +204,57 @@ func newSessionCore(conn transport.Conn, protos []*core.Client, kcs []aead.Key, 
 		link:    newLink(conn),
 		cfg:     cfg,
 	}
+}
+
+// staleDuplicate reports whether payload is a byte-identical duplicate of
+// a reply this session already verified and consumed — benign leftovers
+// of duplicated or re-answered frames on an at-least-once link.
+func (s *session) staleDuplicate(payload []byte) bool {
+	if !s.cfg.AtLeastOnce {
+		return false
+	}
+	for _, recent := range s.recentReplies {
+		if bytes.Equal(payload, recent) {
+			return true
+		}
+	}
+	return false
+}
+
+// rememberReply records a verified payload in the duplicate-filter ring.
+func (s *session) rememberReply(payload []byte) {
+	if !s.cfg.AtLeastOnce {
+		return
+	}
+	if len(s.recentReplies) < recentReplyWindow {
+		s.recentReplies = append(s.recentReplies, payload)
+		return
+	}
+	s.recentReplies[s.recentNext] = payload
+	s.recentNext = (s.recentNext + 1) % recentReplyWindow
+}
+
+// invokeOn buffers op on context i and seals it according to the
+// session's delivery model.
+func (s *session) invokeOn(i int, op []byte) ([]byte, error) {
+	if s.cfg.AtLeastOnce {
+		return s.protos[i].InvokeRetryable(op)
+	}
+	return s.protos[i].Invoke(op)
+}
+
+// observe reports a verified completed operation to Config.Observe.
+func (s *session) observe(i int, op []byte, res *core.Result) {
+	if s.cfg.Observe == nil {
+		return
+	}
+	s.cfg.Observe(Observation{
+		Shard:  s.wireShard(i),
+		Gen:    s.cfg.Gen,
+		Op:     op,
+		Result: res,
+		Chain:  s.protos[i].Chain(),
+	})
 }
 
 // wireShard maps a protocol-context index onto the wire shard it
@@ -180,11 +280,11 @@ func (s *session) doOn(i int, op []byte) (*core.Result, error) {
 	if err := s.checkIndex(i); err != nil {
 		return nil, err
 	}
-	invoke, err := s.protos[i].Invoke(op)
+	invoke, err := s.invokeOn(i, op)
 	if err != nil {
 		return nil, err
 	}
-	return s.roundTrip(i, invoke)
+	return s.roundTrip(i, op, invoke)
 }
 
 // recoverOn completes context i's pending operation left over from a
@@ -193,16 +293,18 @@ func (s *session) recoverOn(i int) (*core.Result, error) {
 	if err := s.checkIndex(i); err != nil {
 		return nil, err
 	}
+	op := s.protos[i].PendingOp()
 	invoke, err := s.protos[i].RetryMessage()
 	if err != nil {
 		return nil, err
 	}
-	return s.roundTrip(i, invoke)
+	return s.roundTrip(i, op, invoke)
 }
 
 // roundTrip sends one INVOKE for context i and runs the timeout/retry
-// loop against its protocol context.
-func (s *session) roundTrip(i int, invoke []byte) (*core.Result, error) {
+// loop against its protocol context. op is the service operation the
+// INVOKE carries, reported to the observer on success.
+func (s *session) roundTrip(i int, op []byte, invoke []byte) (*core.Result, error) {
 	proto, shard := s.protos[i], s.wireShard(i)
 	if err := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
 		return nil, fmt.Errorf("client: send invoke: %w", err)
@@ -232,7 +334,20 @@ func (s *session) roundTrip(i int, invoke []byte) (*core.Result, error) {
 			// The server reported an error (e.g. a halted enclave).
 			return nil, err
 		}
-		return proto.ProcessReply(reply)
+		if s.staleDuplicate(reply) {
+			// A re-delivery of a reply this session already verified —
+			// the benign residue of a duplicated frame or a re-answered
+			// retry on an at-least-once link. Keep awaiting the current
+			// operation's reply.
+			continue
+		}
+		res, err := proto.ProcessReply(reply)
+		if err != nil {
+			return nil, err
+		}
+		s.rememberReply(reply)
+		s.observe(i, op, res)
+		return res, nil
 	}
 }
 
@@ -274,6 +389,11 @@ func (s *session) readOn(i int, op []byte) (*core.Result, error) {
 		reply, err := wire.DecodeResponse(frame)
 		if err != nil {
 			return nil, err
+		}
+		if s.staleDuplicate(reply) {
+			// A duplicated write reply left over on an at-least-once
+			// link; not this read's answer.
+			continue
 		}
 		res, err := proto.ProcessReadReply(reply)
 		if errors.Is(err, core.ErrStaleReadReply) {

@@ -26,6 +26,8 @@ type stubServer struct {
 	chain     hashchain.Value
 	dropNext  int  // drop the next n replies
 	errorNext bool // answer the next invoke with an error frame
+	history   [][]byte
+	staleNext int // re-send this many ops' stale reply copies before the next reply
 
 	wg sync.WaitGroup
 }
@@ -116,7 +118,15 @@ func (s *stubServer) handleInvoke(ct []byte) {
 		s.dropNext--
 		return // reply lost
 	}
-	_ = s.conn.Send(wire.OKFrame(repCT))
+	frame := wire.OKFrame(repCT)
+	for ; s.staleNext > 0 && s.staleNext <= len(s.history); s.staleNext-- {
+		// A duplicated-link leftover: the verbatim frame from staleNext
+		// ops ago arrives ahead of the current reply.
+		_ = s.conn.Send(s.history[len(s.history)-s.staleNext])
+	}
+	s.staleNext = 0
+	s.history = append(s.history, frame)
+	_ = s.conn.Send(frame)
 }
 
 func TestSessionDoRoundTrip(t *testing.T) {
@@ -155,6 +165,37 @@ func TestSessionRetryAfterDroppedReply(t *testing.T) {
 	}
 	if time.Since(start) < 100*time.Millisecond {
 		t.Fatal("retry happened before the timeout elapsed")
+	}
+}
+
+func TestSessionAtLeastOnceFiltersOldStaleReplies(t *testing.T) {
+	srv, conn := newStubPair(t)
+	sess := New(conn, 1, srv.kc, Config{Timeout: 2 * time.Second, AtLeastOnce: true})
+	defer sess.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Do([]byte{'o', 'p', byte('1' + i)}); err != nil {
+			t.Fatalf("Do op%d: %v", i+1, err)
+		}
+	}
+
+	// Duplicated-link leftovers of op1 AND op2 arrive ahead of op4's
+	// reply. Only remembering the latest reply would let op1's copy
+	// through to verification, poisoning the session with a spurious
+	// authentication failure; the filter ring must span older ops too.
+	srv.mu.Lock()
+	srv.staleNext = 3
+	srv.mu.Unlock()
+
+	res, err := sess.Do([]byte("op4"))
+	if err != nil {
+		t.Fatalf("Do op4 with stale leftovers in flight: %v", err)
+	}
+	if string(res.Value) != "result:op4" || res.Seq != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+	if sess.Err() != nil {
+		t.Fatalf("session poisoned: %v", sess.Err())
 	}
 }
 

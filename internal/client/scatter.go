@@ -95,8 +95,8 @@ func (s *ShardedSession) Scan(op []byte) (*ScanResult, error) {
 		}
 	}
 	invokes := make([][]byte, len(s.protos))
-	for shard, p := range s.protos {
-		inv, err := p.Invoke(op)
+	for shard := range s.protos {
+		inv, err := s.invokeOn(shard, op)
 		if err != nil {
 			return nil, &ShardError{Shard: shard, Err: err}
 		}
@@ -118,6 +118,8 @@ func (s *ShardedSession) Scan(op []byte) (*ScanResult, error) {
 			if r, err = s.protos[shard].ProcessReply(payload); err == nil {
 				res.Results[shard] = r
 				values[shard] = r.Value
+				s.rememberReply(payload)
+				s.observe(shard, op, r)
 				continue
 			}
 		}
@@ -180,6 +182,11 @@ func (s *ShardedSession) multiRoundTrip(invokes [][]byte) ([][]byte, error) {
 			// shard); every context still has its op pending.
 			return nil, err
 		}
+		if s.staleDuplicate(payload) {
+			// Leftover duplicate of an earlier response on an
+			// at-least-once link; keep awaiting this fan-out's response.
+			continue
+		}
 		frames, err := wire.DecodeMultiResponse(payload)
 		if err != nil {
 			return nil, err
@@ -187,6 +194,7 @@ func (s *ShardedSession) multiRoundTrip(invokes [][]byte) ([][]byte, error) {
 		if len(frames) != len(s.protos) {
 			return nil, fmt.Errorf("client: multi-response covers %d shards, want %d", len(frames), len(s.protos))
 		}
+		s.rememberReply(payload)
 		return frames, nil
 	}
 }

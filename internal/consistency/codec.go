@@ -1,0 +1,52 @@
+package consistency
+
+import (
+	"fmt"
+
+	"lcm/internal/wire"
+)
+
+// Wire codec for events, so a harness process (a swarm worker) can stream
+// its history to the driver that runs the checker. One event encodes to
+// one self-contained record; a file of events is a concatenation of
+// length-delimited records, framed by whatever carries them (the swarm
+// harness seals each record into its own securechannel message).
+
+const eventCodecVersion = 1
+
+// EncodeEvent serializes one event.
+func EncodeEvent(e Event) []byte {
+	w := wire.NewWriter(64 + len(e.Op) + len(e.Result))
+	w.U8(eventCodecVersion)
+	w.U32(e.Client)
+	w.U64(uint64(e.Gen))
+	w.U32(uint32(e.Shard))
+	w.U64(e.Seq)
+	w.U64(e.Stable)
+	w.Var(e.Op)
+	w.Var(e.Result)
+	w.Bytes32(e.Chain)
+	return w.Bytes()
+}
+
+// DecodeEvent parses a record produced by EncodeEvent.
+func DecodeEvent(b []byte) (Event, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); v != eventCodecVersion {
+		return Event{}, fmt.Errorf("consistency: event codec version %d (want %d)", v, eventCodecVersion)
+	}
+	e := Event{
+		Client: r.U32(),
+		Gen:    int(r.U64()),
+		Shard:  int(r.U32()),
+		Seq:    r.U64(),
+		Stable: r.U64(),
+		Op:     r.Var(),
+		Result: r.Var(),
+		Chain:  r.Bytes32(),
+	}
+	if err := r.Done(); err != nil {
+		return Event{}, fmt.Errorf("consistency: decode event: %w", err)
+	}
+	return e, nil
+}

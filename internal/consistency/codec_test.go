@@ -1,0 +1,46 @@
+package consistency
+
+import (
+	"bytes"
+	"testing"
+
+	"lcm/internal/hashchain"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	chain := hashchain.Value{}
+	for i := range chain {
+		chain[i] = byte(i * 7)
+	}
+	events := []Event{
+		{Client: 1, Gen: 0, Shard: 0, Seq: 1, Stable: 0, Op: []byte("put a"), Result: []byte("ok"), Chain: chain},
+		{Client: 42, Gen: 3, Shard: 7, Seq: 1 << 40, Stable: 1<<40 - 5, Op: nil, Result: []byte{}, Chain: chain},
+	}
+	for _, e := range events {
+		got, err := DecodeEvent(EncodeEvent(e))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Client != e.Client || got.Gen != e.Gen || got.Shard != e.Shard ||
+			got.Seq != e.Seq || got.Stable != e.Stable || got.Chain != e.Chain ||
+			!bytes.Equal(got.Op, e.Op) || !bytes.Equal(got.Result, e.Result) {
+			t.Fatalf("round trip: got %+v want %+v", got, e)
+		}
+	}
+}
+
+func TestEventCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeEvent(nil); err == nil {
+		t.Fatal("nil record accepted")
+	}
+	if _, err := DecodeEvent([]byte{99}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	rec := EncodeEvent(Event{Client: 1, Seq: 1})
+	if _, err := DecodeEvent(rec[:len(rec)-1]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, err := DecodeEvent(append(rec, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -132,6 +132,11 @@ func (c *Client) LastSeq() uint64 { return c.tc }
 // to this client.
 func (c *Client) LastStable() uint64 { return c.ts }
 
+// Chain returns hc, the client's hash-chain value after its last
+// completed operation — what a recorded history stamps into the
+// consistency checker.
+func (c *Client) Chain() hashchain.Value { return c.hc }
+
 // IsStable reports whether the operation that returned sequence number seq
 // is known to be stable among a majority (Definition 2).
 func (c *Client) IsStable(seq uint64) bool { return seq <= c.ts }
@@ -177,6 +182,34 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 	}
 	c.pending = append([]byte(nil), op...)
 	return c.encodeInvoke(false)
+}
+
+// InvokeRetryable is Invoke with the retry marker already set on the
+// first transmission. The marker's only effect on the trusted context is
+// to permit answering an exact duplicate of the acknowledged context from
+// the cached reply (Sec. 4.6.1) — execution stays exactly-once — so
+// pre-marking lets a client ride an at-least-once transport that may
+// duplicate or locally reorder its frames, at the cost of not treating a
+// verbatim duplicate of the latest INVOKE as an attack. Old replays (any
+// message before the latest) still halt the enclave either way.
+func (c *Client) InvokeRetryable(op []byte) ([]byte, error) {
+	if c.poisoned != nil {
+		return nil, c.poisoned
+	}
+	if c.pending != nil {
+		return nil, ErrPendingOperation
+	}
+	c.pending = append([]byte(nil), op...)
+	return c.encodeInvoke(true)
+}
+
+// PendingOp returns a copy of the buffered operation awaiting its reply,
+// or nil. Observers use it to attribute a recovered operation's result.
+func (c *Client) PendingOp() []byte {
+	if c.pending == nil {
+		return nil
+	}
+	return append([]byte(nil), c.pending...)
 }
 
 // RetryMessage re-encodes the pending operation with the retry marker set

@@ -1,0 +1,147 @@
+package host
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lcm/internal/client"
+	"lcm/internal/consistency"
+	"lcm/internal/kvs"
+	"lcm/internal/stablestore"
+	"lcm/internal/transport"
+)
+
+// chaosSession dials the stack and wraps the connection in a TamperConn
+// applying the full chaos composition (drop → swap → duplicate) to the
+// client's request path, with the session in at-least-once mode. This is
+// the in-process twin of a swarm worker's chaos link.
+func chaosSession(t *testing.T, s *stack, id uint32, policy transport.TamperPolicy, log *consistency.Log) *client.Session {
+	t.Helper()
+	conn, err := s.net.Dial("lcm-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := transport.NewTamperConn(conn, policy)
+	sess := client.New(tampered, id, s.admin.CommunicationKey(), client.Config{
+		Timeout:     50 * time.Millisecond,
+		Retries:     40,
+		AtLeastOnce: true,
+		Observe: func(o client.Observation) {
+			log.Record(consistency.Event{
+				Client: id,
+				Gen:    int(o.Gen),
+				Shard:  o.Shard,
+				Seq:    o.Result.Seq,
+				Stable: o.Result.Stable,
+				Op:     o.Op,
+				Result: o.Result.Value,
+				Chain:  o.Chain,
+			})
+		},
+	})
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+// A client whose request link drops, duplicates and reorders frames still
+// completes every operation under Config.AtLeastOnce: duplicated INVOKEs
+// are answered from the trusted context's cached reply instead of halting
+// the enclave, dropped frames are recovered by retries, and the recorded
+// history passes the fork-linearizability checker. A clean second client
+// confirms the enclave never halted.
+func TestChaosAtLeastOnceEndToEnd(t *testing.T) {
+	s := newStack(t, []uint32{1, 2}, 1)
+	log := consistency.NewLog()
+	chaotic := chaosSession(t, s, 1, transport.TamperPolicy{
+		DropEvery:      5,
+		DuplicateEvery: 3,
+		SwapPairs:      true,
+	}, log)
+	clean := chaosSession(t, s, 2, transport.TamperPolicy{}, log)
+
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := chaotic.Do(kvs.Put(key, fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put %s under chaos: %v", key, err)
+		}
+	}
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%d", i)
+		res, err := chaotic.Do(kvs.Get(key))
+		if err != nil {
+			t.Fatalf("Get %s under chaos: %v", key, err)
+		}
+		kv, err := kvs.DecodeResult(res.Value)
+		if err != nil || !kv.Found || string(kv.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s = %+v, %v", key, kv, err)
+		}
+	}
+
+	// The enclave must not have halted: an untampered client still works.
+	if _, err := clean.Do(kvs.Put("clean", "ok")); err != nil {
+		t.Fatalf("clean client after chaos: %v", err)
+	}
+
+	if err := log.Check(kvs.Factory()); err != nil {
+		t.Fatalf("consistency check: %v", err)
+	}
+}
+
+// Chaos at the transport must not weaken detection: a session WITHOUT
+// AtLeastOnce on a duplicating link halts the first time the duplicate
+// arrives, exactly as the paper's FIFO model demands.
+func TestChaosWithoutAtLeastOnceStillDetects(t *testing.T) {
+	s := newStack(t, []uint32{1}, 1)
+	conn, err := s.net.Dial("lcm-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := transport.NewTamperConn(conn, transport.TamperPolicy{DuplicateEvery: 1})
+	sess := client.New(tampered, 1, s.admin.CommunicationKey(), client.Config{
+		Timeout: 200 * time.Millisecond,
+		Retries: 1,
+	})
+	t.Cleanup(func() { sess.Close() })
+
+	// First op: its duplicate INVOKE carries no retry marker, so the
+	// trusted context treats it as a replay attack and halts. The second
+	// operation can then never succeed.
+	_, err1 := sess.Do(kvs.Put("a", "1"))
+	_, err2 := sess.Do(kvs.Put("b", "2"))
+	if err1 == nil && err2 == nil {
+		t.Fatal("expected a detected violation on a duplicating link without AtLeastOnce")
+	}
+}
+
+// Drain must complete against a live server (flushing each instance's
+// committer behind its persistence barrier), leave the server usable, and
+// return immediately once the server has stopped.
+func TestDrainLiveAndAfterShutdown(t *testing.T) {
+	server, admin, net := groupStack(t, stablestore.NewMemStore(), 1)
+	c := groupSession(t, net, admin, 1)
+
+	if _, err := c.Do(kvs.Put("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { server.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain deadlocked on a live server")
+	}
+	if _, err := c.Do(kvs.Put("b", "2")); err != nil {
+		t.Fatalf("op after Drain: %v", err)
+	}
+
+	server.Shutdown()
+	done2 := make(chan struct{})
+	go func() { server.Drain(); close(done2) }()
+	select {
+	case <-done2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain deadlocked on a stopped server")
+	}
+}

@@ -1342,6 +1342,26 @@ func (s *Server) DeploymentStatus() (*core.DeploymentStatus, error) {
 	return ds, nil
 }
 
+// Drain blocks until every batch result acknowledged so far is durable:
+// for each enclave instance it takes the persistence barrier and flushes
+// the group committer's queue. A graceful shutdown calls Drain after
+// closing its listener (no new work arrives) and before Shutdown, so that
+// an acknowledged write can never be lost to the exit itself — the same
+// guarantee an in-band barrier ecall gives a single shard, extended to
+// the whole deployment.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	instances := append([]*instance(nil), s.instances...)
+	s.mu.Unlock()
+	for _, inst := range instances {
+		inst.pm.Lock()
+		if inst.cm != nil {
+			inst.cm.flush(s.stop)
+		}
+		inst.pm.Unlock()
+	}
+}
+
 // Shutdown stops the batchers, closes every live connection (unblocking
 // their handlers) and waits for all goroutines to drain. The caller closes
 // its Listener (which unblocks Serve) before calling.

@@ -15,8 +15,10 @@ package securechannel
 import (
 	"crypto/ecdh"
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lcm/internal/aead"
 	"lcm/internal/keyderiv"
@@ -25,12 +27,29 @@ import (
 // ErrBadPeerKey reports a malformed peer public key.
 var ErrBadPeerKey = errors.New("securechannel: invalid peer public key")
 
+// ErrReplay reports a payload or session message delivered a second time:
+// the exact bytes were already accepted once. Honest flows never re-send a
+// sealed payload verbatim (every Seal uses a fresh ephemeral key), so a
+// repeat is a recorded-and-replayed delivery.
+var ErrReplay = errors.New("securechannel: replayed payload")
+
 const channelContext = "lcm/securechannel/v1"
+
+// openSeenCap bounds the replay filter of one-shot Opens per responder.
+// Honest exchanges perform a handful of Opens over a responder's lifetime;
+// the cap only guards against unbounded growth under a flooding server.
+const openSeenCap = 4096
 
 // Responder is the enclave side of the channel. Its public key is meant to
 // be embedded in an attestation quote's user data.
 type Responder struct {
 	priv *ecdh.PrivateKey
+
+	// Replay filter over successfully opened payloads: digests of
+	// (senderPub, ciphertext), bounded FIFO.
+	mu    sync.Mutex
+	seen  map[[32]byte]struct{}
+	order [][32]byte
 }
 
 // NewResponder generates the responder's ephemeral key pair.
@@ -39,7 +58,7 @@ func NewResponder() (*Responder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("securechannel: generate key: %w", err)
 	}
-	return &Responder{priv: priv}, nil
+	return &Responder{priv: priv, seen: make(map[[32]byte]struct{})}, nil
 }
 
 // PublicKey returns the responder's public key bytes for embedding in a
@@ -51,10 +70,25 @@ func (r *Responder) PublicKey() []byte {
 // Open decrypts a sealed payload produced by Seal for this responder.
 // senderPub is the initiator's ephemeral public key that accompanied the
 // ciphertext.
+//
+// Each payload opens exactly once: re-delivering the same (senderPub,
+// ciphertext) pair fails with ErrReplay, so a relay that captured a
+// bootstrap or handoff message cannot feed it to the responder twice.
 func (r *Responder) Open(senderPub, ciphertext []byte) ([]byte, error) {
 	peer, err := ecdh.X25519().NewPublicKey(senderPub)
 	if err != nil {
 		return nil, ErrBadPeerKey
+	}
+	digest := sha256.New()
+	digest.Write(senderPub)
+	digest.Write(ciphertext)
+	var id [32]byte
+	digest.Sum(id[:0])
+	r.mu.Lock()
+	_, replayed := r.seen[id]
+	r.mu.Unlock()
+	if replayed {
+		return nil, ErrReplay
 	}
 	shared, err := r.priv.ECDH(peer)
 	if err != nil {
@@ -64,7 +98,23 @@ func (r *Responder) Open(senderPub, ciphertext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aead.Open(key, ciphertext, []byte(channelContext))
+	plain, err := aead.Open(key, ciphertext, []byte(channelContext))
+	if err != nil {
+		return nil, err
+	}
+	// Record only successful opens: garbage should not be able to displace
+	// the filter's memory of real payloads.
+	r.mu.Lock()
+	if _, dup := r.seen[id]; !dup {
+		r.seen[id] = struct{}{}
+		r.order = append(r.order, id)
+		if len(r.order) > openSeenCap {
+			delete(r.seen, r.order[0])
+			r.order = r.order[1:]
+		}
+	}
+	r.mu.Unlock()
+	return plain, nil
 }
 
 // Seal encrypts payload to a responder identified by its public key

@@ -2,8 +2,10 @@ package securechannel
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
+	"time"
 
 	"lcm/internal/aead"
 )
@@ -93,5 +95,263 @@ func TestEphemeralKeysAreFresh(t *testing.T) {
 	r2, _ := NewResponder()
 	if bytes.Equal(resp.PublicKey(), r2.PublicKey()) {
 		t.Fatal("responders share a key pair")
+	}
+}
+
+func TestOpenRejectsReplayedPayload(t *testing.T) {
+	r, err := NewResponder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ct, err := Seal(r.PublicKey(), []byte("bootstrap secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open(pub, ct); err != nil {
+		t.Fatalf("first delivery: %v", err)
+	}
+	if _, err := r.Open(pub, ct); !errors.Is(err, ErrReplay) {
+		t.Fatalf("second delivery = %v, want ErrReplay", err)
+	}
+	// A fresh payload still opens: the filter rejects repeats, not the
+	// channel.
+	pub2, ct2, err := Seal(r.PublicKey(), []byte("next payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open(pub2, ct2); err != nil {
+		t.Fatalf("fresh payload after replay: %v", err)
+	}
+}
+
+func TestOpenReplayFilterIgnoresFailedOpens(t *testing.T) {
+	r, err := NewResponder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, ct, err := Seal(r.PublicKey(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), ct...)
+	bad[0] ^= 1
+	if _, err := r.Open(pub, bad); err == nil || errors.Is(err, ErrReplay) {
+		t.Fatalf("tampered payload = %v, want auth failure", err)
+	}
+	// The failed attempt must not have consumed the genuine payload's
+	// one delivery.
+	if _, err := r.Open(pub, ct); err != nil {
+		t.Fatalf("genuine payload after failed attempt: %v", err)
+	}
+}
+
+// sessionPair builds a connected initiator/responder session pair.
+func sessionPair(t *testing.T, cfg SessionConfig) (ini, res *Session) {
+	t.Helper()
+	r, err := NewResponder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini, hello, err := NewInitiatorSession(r.PublicKey(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.NewSession(hello, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ini, res
+}
+
+func TestSessionRoundTripBothDirections(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{})
+	for i := 0; i < 5; i++ {
+		msg, err := ini.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Open(msg)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("i2r %d: %v, %v", i, got, err)
+		}
+		back, err := res.Seal([]byte{byte(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = ini.Open(back)
+		if err != nil || got[0] != byte(100+i) {
+			t.Fatalf("r2i %d: %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestSessionDirectionsUseDistinctKeys(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{})
+	msg, err := ini.Seal([]byte("to responder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reflecting the initiator's message back at it must not verify.
+	if _, err := ini.Open(msg); err == nil {
+		t.Fatal("initiator accepted its own reflected message")
+	}
+	if _, err := res.Open(msg); err != nil {
+		t.Fatalf("intended receiver rejected the message: %v", err)
+	}
+}
+
+func TestSessionRotationBoundary(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{RotateEvery: 4})
+	for i := 0; i < 10; i++ {
+		msg, err := ini.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEpoch := uint32(i / 4)
+		if got := binary.BigEndian.Uint32(msg[:4]); got != wantEpoch {
+			t.Fatalf("message %d sealed in epoch %d, want %d", i, got, wantEpoch)
+		}
+		if got, err := res.Open(msg); err != nil || got[0] != byte(i) {
+			t.Fatalf("open %d across rotation: %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestSessionTimeBasedRotation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	ini, res := sessionPair(t, SessionConfig{RotateAfter: time.Minute, Now: clock})
+	first, err := ini.Seal([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	second, err := ini.Seal([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e0, e1 := binary.BigEndian.Uint32(first[:4]), binary.BigEndian.Uint32(second[:4]); e0 != 0 || e1 != 1 {
+		t.Fatalf("epochs = %d, %d; want 0, 1", e0, e1)
+	}
+	for _, msg := range [][]byte{first, second} {
+		if _, err := res.Open(msg); err != nil {
+			t.Fatalf("open across time rotation: %v", err)
+		}
+	}
+}
+
+func TestSessionReplayInsideWindow(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{})
+	msg, err := ini.Seal([]byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Open(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Open(msg); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay inside window = %v, want ErrReplay", err)
+	}
+}
+
+func TestSessionOutOfOrderWithinWindow(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{ReplayWindow: 8})
+	var msgs [][]byte
+	for i := 0; i < 4; i++ {
+		m, err := ini.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	for _, i := range []int{2, 0, 3, 1} {
+		if got, err := res.Open(msgs[i]); err != nil || got[0] != byte(i) {
+			t.Fatalf("out-of-order open %d: %v, %v", i, got, err)
+		}
+	}
+	// All four are now marked: each repeats as a replay.
+	for i, m := range msgs {
+		if _, err := res.Open(m); !errors.Is(err, ErrReplay) {
+			t.Fatalf("repeat %d = %v, want ErrReplay", i, err)
+		}
+	}
+}
+
+func TestSessionRejectsBehindWindow(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{ReplayWindow: 4})
+	first, err := ini.Seal([]byte("early"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the window far past the first message without opening it.
+	for i := 0; i < 8; i++ {
+		m, err := ini.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.Open(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := res.Open(first); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("behind-window open = %v, want ErrOutOfWindow", err)
+	}
+}
+
+func TestSessionStragglerFromPreviousEpoch(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{RotateEvery: 3})
+	var held []byte
+	for i := 0; i < 6; i++ {
+		m, err := ini.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			held = m // last message of epoch 0; delivered late
+			continue
+		}
+		if _, err := res.Open(m); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	if got, err := res.Open(held); err != nil || got[0] != 2 {
+		t.Fatalf("straggler from previous epoch = %v, %v; want accepted", got, err)
+	}
+	// Two epochs back is gone.
+	ini2, res2 := sessionPair(t, SessionConfig{RotateEvery: 2})
+	var old []byte
+	for i := 0; i < 6; i++ {
+		m, err := ini2.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			old = m
+			continue
+		}
+		if _, err := res2.Open(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := res2.Open(old); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("expired-epoch open = %v, want ErrOutOfWindow", err)
+	}
+}
+
+func TestSessionHeaderTamperRejected(t *testing.T) {
+	ini, res := sessionPair(t, SessionConfig{})
+	msg, err := ini.Seal([]byte("bound"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving the ciphertext to another sequence slot must break the AD
+	// binding, not deliver in the wrong slot.
+	forged := append([]byte(nil), msg...)
+	binary.BigEndian.PutUint64(forged[4:12], 7)
+	if _, err := res.Open(forged); err == nil {
+		t.Fatal("sequence-slot forgery accepted")
+	}
+	if _, err := res.Open(msg); err != nil {
+		t.Fatalf("genuine message after forgery attempt: %v", err)
 	}
 }

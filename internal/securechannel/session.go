@@ -1,0 +1,371 @@
+// Long-lived secure-channel sessions. The one-shot Seal/Open pair fits
+// the bootstrap exchanges (one fresh ephemeral key per payload), but a
+// channel that carries a stream of messages needs session discipline:
+// key rotation so a compromised epoch key exposes a bounded window, and
+// replay protection so the relaying server cannot re-deliver or reorder
+// recorded ciphertexts beyond a small tolerance.
+//
+// A Session is one side of such a channel. The handshake is the same
+// single-round X25519 agreement as the one-shot path: the initiator
+// seals toward the responder's (attested) public key and sends its own
+// ephemeral public key as the hello. From the shared secret each side
+// derives one root, then two independent HKDF chains — one per
+// direction — so initiator→responder and responder→initiator traffic
+// never share AEAD keys.
+//
+// Rotation: a direction's key advances to the next epoch after
+// RotateEvery messages or RotateAfter wall time, whichever comes first,
+// by deterministic HKDF ratchet (epoch n+1's key is derived from epoch
+// n's and n's key is discarded — a later compromise cannot decrypt
+// earlier epochs). The receiver ratchets forward on demand when a
+// higher-epoch message arrives and keeps exactly one previous epoch
+// live for stragglers.
+//
+// Replay protection: every message carries (epoch, seq), both bound
+// into the associated data together with the direction label, so a
+// ciphertext cannot be replayed across directions, epochs or sequence
+// slots. Per direction the receiver keeps a sliding bitmap window of
+// ReplayWindow sequence numbers: a repeat inside the window fails with
+// ErrReplay, anything older than the window (or from an expired epoch)
+// fails with ErrOutOfWindow, and out-of-order delivery inside the
+// window is accepted.
+package securechannel
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"lcm/internal/aead"
+	"lcm/internal/keyderiv"
+)
+
+// ErrOutOfWindow reports a session message whose sequence number fell
+// behind the replay window (or whose epoch is no longer live): the
+// receiver cannot prove it is not a replay, so it is rejected.
+var ErrOutOfWindow = errors.New("securechannel: session message outside the replay window")
+
+const (
+	sessionContext = "lcm/securechannel/session/v1"
+
+	// sessionHeader is the clear (but authenticated) prefix of every
+	// session message: u32 epoch, u64 seq.
+	sessionHeader = 4 + 8
+
+	// maxEpochSkip bounds how many epochs a receiver ratchets forward for
+	// one message, so a corrupt header cannot buy unbounded key
+	// derivation work.
+	maxEpochSkip = 8
+)
+
+// SessionConfig tunes a session. Both sides must use identical values.
+// The zero value gets the defaults from fill().
+type SessionConfig struct {
+	// RotateEvery re-keys a direction after this many sealed messages in
+	// one epoch (default 1024).
+	RotateEvery uint64
+	// RotateAfter re-keys a direction after this much wall time in one
+	// epoch, even if RotateEvery is not reached (0 disables time-based
+	// rotation).
+	RotateAfter time.Duration
+	// ReplayWindow is how many recent sequence numbers the receiver
+	// tracks per direction (default 64). Out-of-order delivery inside
+	// the window is tolerated; anything older is rejected.
+	ReplayWindow int
+	// Now is the clock (tests inject a fake one); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c SessionConfig) fill() SessionConfig {
+	if c.RotateEvery == 0 {
+		c.RotateEvery = 1024
+	}
+	if c.ReplayWindow == 0 {
+		c.ReplayWindow = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sendState is one direction's sealing half.
+type sendState struct {
+	key        aead.Key
+	epoch      uint32
+	seq        uint64 // messages sealed in this epoch
+	epochStart time.Time
+}
+
+// recvState is one direction's opening half: the current epoch, one
+// retained previous epoch for stragglers, and a replay window per live
+// epoch.
+type recvState struct {
+	epoch   uint32
+	key     aead.Key
+	prevKey aead.Key // epoch-1's key; valid only when epoch > 0
+	win     *replayWindow
+	prevWin *replayWindow
+}
+
+// Session is one endpoint of a long-lived secure channel. It is not safe
+// for concurrent use.
+type Session struct {
+	cfg  SessionConfig
+	send sendState
+	recv recvState
+}
+
+// NewInitiatorSession starts a session toward a responder identified by
+// its (attested) public key. It returns the session and the hello — the
+// initiator's ephemeral public key — that the responder needs for
+// Responder.NewSession. The handshake carries no secret, so the hello
+// may travel over the untrusted server like any other message.
+func NewInitiatorSession(responderPub []byte, cfg SessionConfig) (*Session, []byte, error) {
+	peer, err := ecdh.X25519().NewPublicKey(responderPub)
+	if err != nil {
+		return nil, nil, ErrBadPeerKey
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: generate key: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: ecdh: %w", err)
+	}
+	hello := priv.PublicKey().Bytes()
+	s, err := newSession(shared, hello, responderPub, "i2r", "r2i", cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, hello, nil
+}
+
+// NewSession is the responder half of the session handshake: hello is
+// the initiator's ephemeral public key from NewInitiatorSession.
+func (r *Responder) NewSession(hello []byte, cfg SessionConfig) (*Session, error) {
+	peer, err := ecdh.X25519().NewPublicKey(hello)
+	if err != nil {
+		return nil, ErrBadPeerKey
+	}
+	shared, err := r.priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: ecdh: %w", err)
+	}
+	return newSession(shared, hello, r.PublicKey(), "r2i", "i2r", cfg)
+}
+
+func newSession(shared, initiatorPub, responderPub []byte, sendDir, recvDir string, cfg SessionConfig) (*Session, error) {
+	cfg = cfg.fill()
+	salt := make([]byte, 0, len(initiatorPub)+len(responderPub))
+	salt = append(salt, initiatorPub...)
+	salt = append(salt, responderPub...)
+	root, err := keyderiv.Derive(shared, salt, sessionContext+"/root", aead.KeySize)
+	if err != nil {
+		return nil, err
+	}
+	sendKey, err := epochZeroKey(root, sendDir)
+	if err != nil {
+		return nil, err
+	}
+	recvKey, err := epochZeroKey(root, recvDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:  cfg,
+		send: sendState{key: sendKey, epochStart: cfg.Now()},
+		recv: recvState{key: recvKey, win: newReplayWindow(cfg.ReplayWindow)},
+	}, nil
+}
+
+func epochZeroKey(root []byte, dir string) (aead.Key, error) {
+	raw, err := keyderiv.Derive(root, []byte(dir), sessionContext+"/key", aead.KeySize)
+	if err != nil {
+		return aead.Key{}, err
+	}
+	return aead.KeyFromBytes(raw)
+}
+
+// ratchet derives the next epoch's key from the current one. The old key
+// is unrecoverable from the new (HKDF is one-way), giving per-epoch
+// forward secrecy within the session.
+func ratchet(key aead.Key) (aead.Key, error) {
+	kb := key.Bytes()
+	raw, err := keyderiv.Derive(kb[:], nil, sessionContext+"/ratchet", aead.KeySize)
+	if err != nil {
+		return aead.Key{}, err
+	}
+	return aead.KeyFromBytes(raw)
+}
+
+// sessionAD binds direction, epoch and sequence number into the
+// associated data, so a ciphertext authenticates only in its exact slot.
+func sessionAD(epoch uint32, seq uint64) []byte {
+	ad := make([]byte, 0, len(sessionContext)+sessionHeader)
+	ad = append(ad, sessionContext...)
+	ad = binary.BigEndian.AppendUint32(ad, epoch)
+	ad = binary.BigEndian.AppendUint64(ad, seq)
+	return ad
+}
+
+// Seal encrypts one message on this session's sending direction,
+// rotating the epoch key first if the message or time budget of the
+// current epoch is spent.
+func (s *Session) Seal(payload []byte) ([]byte, error) {
+	st := &s.send
+	now := s.cfg.Now()
+	if st.seq >= s.cfg.RotateEvery ||
+		(s.cfg.RotateAfter > 0 && now.Sub(st.epochStart) >= s.cfg.RotateAfter) {
+		next, err := ratchet(st.key)
+		if err != nil {
+			return nil, err
+		}
+		st.key = next
+		st.epoch++
+		st.seq = 0
+		st.epochStart = now
+	}
+	st.seq++
+	ct, err := aead.Seal(st.key, payload, sessionAD(st.epoch, st.seq))
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 0, sessionHeader+len(ct))
+	msg = binary.BigEndian.AppendUint32(msg, st.epoch)
+	msg = binary.BigEndian.AppendUint64(msg, st.seq)
+	return append(msg, ct...), nil
+}
+
+// Open verifies and decrypts one message from this session's receiving
+// direction. Repeats inside the replay window fail with ErrReplay;
+// messages behind the window or from an expired epoch fail with
+// ErrOutOfWindow; out-of-order delivery inside the window succeeds. The
+// window advances only on successfully authenticated messages, so junk
+// cannot push real traffic out of it.
+func (s *Session) Open(msg []byte) ([]byte, error) {
+	if len(msg) < sessionHeader {
+		return nil, errors.New("securechannel: session message truncated")
+	}
+	epoch := binary.BigEndian.Uint32(msg[:4])
+	seq := binary.BigEndian.Uint64(msg[4:12])
+	ct := msg[sessionHeader:]
+	st := &s.recv
+
+	var key aead.Key
+	var win *replayWindow
+	ahead := 0 // epochs to commit forward after a successful open
+	switch {
+	case epoch == st.epoch:
+		key, win = st.key, st.win
+	case epoch+1 == st.epoch && epoch < st.epoch: // straggler from the retained epoch
+		if st.prevWin == nil {
+			return nil, ErrOutOfWindow
+		}
+		key, win = st.prevKey, st.prevWin
+	case epoch > st.epoch:
+		ahead = int(epoch - st.epoch)
+		if ahead > maxEpochSkip {
+			return nil, fmt.Errorf("securechannel: session epoch %d skips too far ahead of %d", epoch, st.epoch)
+		}
+		k := st.key
+		var err error
+		for i := 0; i < ahead; i++ {
+			if k, err = ratchet(k); err != nil {
+				return nil, err
+			}
+		}
+		key, win = k, newReplayWindow(s.cfg.ReplayWindow)
+	default: // older than the retained epoch
+		return nil, ErrOutOfWindow
+	}
+
+	if err := win.check(seq); err != nil {
+		return nil, err
+	}
+	plain, err := aead.Open(key, ct, sessionAD(epoch, seq))
+	if err != nil {
+		return nil, err
+	}
+	if ahead > 0 {
+		// Commit the ratchet only after authentication: retain the epoch
+		// immediately before the new one (reachable only for ahead == 1 —
+		// a larger skip already discarded the intermediate keys' traffic).
+		if ahead == 1 {
+			st.prevKey, st.prevWin = st.key, st.win
+		} else {
+			st.prevWin = nil
+		}
+		st.key, st.win, st.epoch = key, win, epoch
+	}
+	win.mark(seq)
+	return plain, nil
+}
+
+// replayWindow is a sliding bitmap over the last w sequence numbers of
+// one epoch, in the DTLS style: maxSeq is the highest accepted number,
+// bit i of bits records maxSeq-i.
+type replayWindow struct {
+	w      uint64
+	maxSeq uint64
+	bits   []uint64
+}
+
+func newReplayWindow(w int) *replayWindow {
+	return &replayWindow{w: uint64(w), bits: make([]uint64, (w+63)/64)}
+}
+
+func (rw *replayWindow) check(seq uint64) error {
+	if seq == 0 {
+		return ErrOutOfWindow // sequence numbers start at 1
+	}
+	if seq > rw.maxSeq {
+		return nil
+	}
+	back := rw.maxSeq - seq
+	if back >= rw.w {
+		return ErrOutOfWindow
+	}
+	if rw.bits[back/64]&(1<<(back%64)) != 0 {
+		return ErrReplay
+	}
+	return nil
+}
+
+func (rw *replayWindow) mark(seq uint64) {
+	if seq > rw.maxSeq {
+		rw.shift(seq - rw.maxSeq)
+		rw.maxSeq = seq
+	}
+	back := rw.maxSeq - seq
+	rw.bits[back/64] |= 1 << (back % 64)
+}
+
+// shift slides the window forward by n positions.
+func (rw *replayWindow) shift(n uint64) {
+	if n >= rw.w {
+		for i := range rw.bits {
+			rw.bits[i] = 0
+		}
+		return
+	}
+	words := n / 64
+	if words > 0 {
+		copy(rw.bits[words:], rw.bits)
+		for i := uint64(0); i < words; i++ {
+			rw.bits[i] = 0
+		}
+	}
+	if rem := n % 64; rem > 0 {
+		var carry uint64
+		for i := range rw.bits {
+			next := rw.bits[i] >> (64 - rem)
+			rw.bits[i] = rw.bits[i]<<rem | carry
+			carry = next
+		}
+	}
+}

@@ -211,26 +211,41 @@ func WithLatencyModel(m *latency.Model) PlatformOption {
 	return func(p *Platform) { p.model = m }
 }
 
-// NewPlatform creates a platform with a fresh root secret.
+// WithRootSecret fixes the platform's root secret (32 bytes) instead of
+// drawing a fresh random one. On real hardware the root secret is fused
+// into the CPU, so sealing keys survive a machine (process) restart;
+// standalone servers model that by persisting the secret next to their
+// stable storage and passing it back in on relaunch. Everything derived
+// from the secret — sealing keys, the attestation key — is then stable
+// across restarts too.
+func WithRootSecret(secret []byte) PlatformOption {
+	return func(p *Platform) { p.rootSecret = append([]byte(nil), secret...) }
+}
+
+// NewPlatform creates a platform with a fresh root secret (unless
+// WithRootSecret supplies one).
 func NewPlatform(id string, opts ...PlatformOption) (*Platform, error) {
 	secret := make([]byte, 32)
 	if _, err := rand.Read(secret); err != nil {
 		return nil, fmt.Errorf("tee: platform secret: %w", err)
 	}
-	ak, err := keyderiv.AttestationKey(secret)
-	if err != nil {
-		return nil, err
-	}
 	p := &Platform{
 		id:         id,
 		rootSecret: secret,
-		attestKey:  ak,
 		epc:        DefaultEPC(),
 		model:      latency.None(),
 	}
 	for _, opt := range opts {
 		opt(p)
 	}
+	if len(p.rootSecret) != 32 {
+		return nil, fmt.Errorf("tee: platform root secret must be 32 bytes, got %d", len(p.rootSecret))
+	}
+	ak, err := keyderiv.AttestationKey(p.rootSecret)
+	if err != nil {
+		return nil, err
+	}
+	p.attestKey = ak
 	return p, nil
 }
 

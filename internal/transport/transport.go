@@ -15,10 +15,17 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrClosed reports use of a closed connection or listener.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrDeadline reports that a Send or Recv exceeded the connection's
+// configured I/O timeout. The connection is not necessarily broken — the
+// peer may merely be slow — but the frame in flight is torn, so callers
+// should treat the connection as unusable and redial.
+var ErrDeadline = errors.New("transport: i/o deadline exceeded")
 
 // MaxFrame bounds a single message (16 MiB); larger frames indicate
 // corruption or abuse.
@@ -195,21 +202,67 @@ func (l *inmemListener) Addr() string { return l.name }
 
 // ---- TCP transport ----
 
+// TCPOptions tunes failure detection on a TCP connection. The zero value
+// preserves the historical behaviour — no timeouts, no keep-alive — so
+// existing callers are unaffected; the swarm harness turns everything on.
+type TCPOptions struct {
+	// DialTimeout bounds connection establishment (0 = no limit).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each Recv (0 = no limit). A Recv that exceeds it
+	// fails with ErrDeadline mid-frame, so only enable it on connections
+	// whose protocol guarantees traffic within the window; dead-peer
+	// detection on idle connections belongs to KeepAlive instead.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each Send (0 = no limit) — the guard against a
+	// peer that stopped reading while the kernel send buffer fills.
+	WriteTimeout time.Duration
+	// KeepAlive enables TCP keep-alive probes with the given period
+	// (0 = disabled), so a dead peer eventually surfaces as a Recv error
+	// even with no deadline set.
+	KeepAlive time.Duration
+}
+
+func (o TCPOptions) apply(nc net.Conn) {
+	if o.KeepAlive > 0 {
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(o.KeepAlive)
+		}
+	}
+}
+
 type tcpConn struct {
 	nc      net.Conn
+	opts    TCPOptions
 	readMu  sync.Mutex
 	writeMu sync.Mutex
 }
 
 var _ Conn = (*tcpConn)(nil)
 
-// DialTCP connects to a TCP frame endpoint.
+// DialTCP connects to a TCP frame endpoint with no timeouts configured.
 func DialTCP(addr string) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialTCPTimeout(addr, TCPOptions{})
+}
+
+// DialTCPTimeout connects to a TCP frame endpoint with the given timeout
+// and keep-alive configuration.
+func DialTCPTimeout(addr string, opts TCPOptions) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &tcpConn{nc: nc}, nil
+	opts.apply(nc)
+	return &tcpConn{nc: nc, opts: opts}, nil
+}
+
+// wrapIO translates net-level timeout errors into ErrDeadline.
+func wrapIO(what string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %s: %v", ErrDeadline, what, err)
+	}
+	return fmt.Errorf("transport: %s: %w", what, err)
 }
 
 // Send implements Conn with u32 length-prefixed framing.
@@ -219,13 +272,16 @@ func (c *tcpConn) Send(msg []byte) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if t := c.opts.WriteTimeout; t > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(t))
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	if _, err := c.nc.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
+		return wrapIO("write header", err)
 	}
 	if _, err := c.nc.Write(msg); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+		return wrapIO("write body", err)
 	}
 	return nil
 }
@@ -234,9 +290,15 @@ func (c *tcpConn) Send(msg []byte) error {
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
+	if t := c.opts.ReadTimeout; t > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(t))
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
-		return nil, err
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
+		return nil, wrapIO("read header", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
@@ -244,7 +306,10 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(c.nc, msg); err != nil {
-		return nil, err
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
+		return nil, wrapIO("read body", err)
 	}
 	return msg, nil
 }
@@ -253,16 +318,23 @@ func (c *tcpConn) Recv() ([]byte, error) {
 func (c *tcpConn) Close() error { return c.nc.Close() }
 
 type tcpListener struct {
-	nl net.Listener
+	nl   net.Listener
+	opts TCPOptions
 }
 
 // ListenTCP opens a TCP frame endpoint; addr may use port 0.
 func ListenTCP(addr string) (Listener, error) {
+	return ListenTCPOptions(addr, TCPOptions{})
+}
+
+// ListenTCPOptions opens a TCP frame endpoint whose accepted connections
+// carry the given timeout and keep-alive configuration.
+func ListenTCPOptions(addr string, opts TCPOptions) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, opts: opts}, nil
 }
 
 // Accept implements Listener.
@@ -271,7 +343,8 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{nc: nc}, nil
+	l.opts.apply(nc)
+	return &tcpConn{nc: nc, opts: l.opts}, nil
 }
 
 // Close implements Listener.
@@ -283,26 +356,34 @@ func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 // ---- Adversarial wrapper ----
 
 // TamperPolicy decides the fate of each message through a TamperConn.
+//
+// Composition order is drop → swap → duplicate: every offered message
+// first faces DropEvery (which counts all offered messages, dropped ones
+// included); survivors enter the swap stage; DuplicateEvery then counts
+// only the messages actually handed to the inner connection, so its n-th
+// victim is the n-th message that really went out, not the n-th offered.
 type TamperPolicy struct {
-	// DropEvery drops every n-th sent message (0 disables).
+	// DropEvery drops every n-th offered message (0 disables).
 	DropEvery int
-	// DuplicateEvery re-delivers every n-th sent message twice
+	// DuplicateEvery re-delivers every n-th surviving message twice
 	// (0 disables) — a network-level replay.
 	DuplicateEvery int
-	// SwapPairs delivers messages in pairs with their order swapped,
-	// violating FIFO.
+	// SwapPairs delivers surviving messages in pairs with their order
+	// swapped, violating FIFO. A held message with no successor yet is
+	// flushed when the connection is closed.
 	SwapPairs bool
 }
 
 // TamperConn wraps a Conn and applies a malicious server's message games
 // on the Send path.
 type TamperConn struct {
-	inner   Conn
-	policy  TamperPolicy
-	mu      sync.Mutex
-	count   int
-	heldMsg []byte
-	holding bool
+	inner     Conn
+	policy    TamperPolicy
+	mu        sync.Mutex
+	offered   int // all messages offered to Send (DropEvery's clock)
+	delivered int // messages handed to inner (DuplicateEvery's clock)
+	heldMsg   []byte
+	holding   bool
 }
 
 var _ Conn = (*TamperConn)(nil)
@@ -312,12 +393,13 @@ func NewTamperConn(inner Conn, policy TamperPolicy) *TamperConn {
 	return &TamperConn{inner: inner, policy: policy}
 }
 
-// Send implements Conn, applying the tampering policy.
+// Send implements Conn, applying the tampering policy in drop → swap →
+// duplicate order.
 func (c *TamperConn) Send(msg []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.count++
-	if d := c.policy.DropEvery; d > 0 && c.count%d == 0 {
+	c.offered++
+	if d := c.policy.DropEvery; d > 0 && c.offered%d == 0 {
 		return nil // silently discarded
 	}
 	if c.policy.SwapPairs {
@@ -327,15 +409,22 @@ func (c *TamperConn) Send(msg []byte) error {
 			return nil
 		}
 		c.holding = false
-		if err := c.inner.Send(msg); err != nil {
+		if err := c.deliver(msg); err != nil {
 			return err
 		}
-		return c.inner.Send(c.heldMsg)
+		return c.deliver(c.heldMsg)
 	}
+	return c.deliver(msg)
+}
+
+// deliver is the duplicate stage: it hands msg to the inner connection
+// and re-sends every DuplicateEvery-th delivered message.
+func (c *TamperConn) deliver(msg []byte) error {
+	c.delivered++
 	if err := c.inner.Send(msg); err != nil {
 		return err
 	}
-	if d := c.policy.DuplicateEvery; d > 0 && c.count%d == 0 {
+	if d := c.policy.DuplicateEvery; d > 0 && c.delivered%d == 0 {
 		return c.inner.Send(msg)
 	}
 	return nil
@@ -344,5 +433,14 @@ func (c *TamperConn) Send(msg []byte) error {
 // Recv implements Conn.
 func (c *TamperConn) Recv() ([]byte, error) { return c.inner.Recv() }
 
-// Close implements Conn.
-func (c *TamperConn) Close() error { return c.inner.Close() }
+// Close implements Conn. A message still held by the swap stage is
+// flushed first, so a stream ending on an odd count loses nothing.
+func (c *TamperConn) Close() error {
+	c.mu.Lock()
+	if c.holding {
+		c.holding = false
+		_ = c.deliver(c.heldMsg) // best effort; the conn is going away
+	}
+	c.mu.Unlock()
+	return c.inner.Close()
+}

@@ -2,9 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -374,5 +376,223 @@ func TestTamperConnSwapPairs(t *testing.T) {
 	}
 	if !bytes.Equal(got, []byte{2, 1, 4, 3}) {
 		t.Fatalf("swap pattern = %v", got)
+	}
+}
+
+// tcpPair builds a connected TCP client/server pair with the options
+// applied to both ends.
+func tcpPair(t *testing.T, opts TCPOptions) (client, server Conn) {
+	t.Helper()
+	l, err := ListenTCPOptions("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatalf("ListenTCPOptions: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err = DialTCPTimeout(l.Addr(), opts)
+	if err != nil {
+		t.Fatalf("DialTCPTimeout: %v", err)
+	}
+	server = <-accepted
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestTCPReadDeadlineExpires(t *testing.T) {
+	client, _ := tcpPair(t, TCPOptions{ReadTimeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := client.Recv()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Recv on idle conn = %v, want ErrDeadline", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+}
+
+func TestTCPWriteDeadlineExpires(t *testing.T) {
+	// The peer never reads, so the kernel buffers fill and Send must fail
+	// with ErrDeadline instead of blocking forever.
+	client, _ := tcpPair(t, TCPOptions{WriteTimeout: 100 * time.Millisecond})
+	frame := make([]byte, 4<<20)
+	for i := 0; i < 64; i++ {
+		if err := client.Send(frame); err != nil {
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("Send into full buffer = %v, want ErrDeadline", err)
+			}
+			return
+		}
+	}
+	t.Fatal("Send never hit the write deadline")
+}
+
+func TestTCPKeepAliveConfigured(t *testing.T) {
+	// Smoke test: enabling keep-alive must not disturb framing.
+	client, server := tcpPair(t, TCPOptions{KeepAlive: time.Second})
+	if err := client.Send([]byte("ka")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := server.Recv(); err != nil || string(got) != "ka" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestTCPConcurrentSendRecv(t *testing.T) {
+	// Full-duplex traffic with concurrent senders/receivers on both ends —
+	// the -race run guards the per-direction mutexes and deadline updates.
+	client, server := tcpPair(t, TCPOptions{WriteTimeout: 5 * time.Second, KeepAlive: time.Second})
+	const n = 400
+	var wg sync.WaitGroup
+	fail := make(chan error, 4)
+	pump := func(c Conn, tag byte) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := c.Send([]byte{tag, byte(i), byte(i >> 8)}); err != nil {
+				fail <- err
+				return
+			}
+		}
+	}
+	drain := func(c Conn, tag byte) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				fail <- err
+				return
+			}
+			if len(msg) != 3 || msg[0] != tag || int(msg[1])|int(msg[2])<<8 != i {
+				fail <- fmt.Errorf("frame %d corrupted: %v", i, msg)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go pump(client, 'c')
+	go pump(server, 's')
+	go drain(server, 'c')
+	go drain(client, 's')
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestTCPTornFrameOnKill(t *testing.T) {
+	// A connection killed mid-frame must surface an error, not a short
+	// frame: write a header promising 100 bytes, deliver 10, and close.
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer server.Close()
+	hdr := []byte{0, 0, 0, 100}
+	raw.Write(hdr)
+	raw.Write(make([]byte, 10))
+	raw.Close()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("Recv returned a torn frame as success")
+	}
+}
+
+func TestTCPRecvRejectsOversizedFrame(t *testing.T) {
+	// The receive path must refuse a header announcing more than MaxFrame
+	// before allocating or reading the body.
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	server := <-accepted
+	defer server.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("Recv accepted an oversized frame header")
+	}
+}
+
+func TestTamperConnSwapFlushesHeldOnClose(t *testing.T) {
+	a, b := Pipe()
+	tc := NewTamperConn(a, TamperPolicy{SwapPairs: true})
+	tc.Send([]byte{1})
+	tc.Send([]byte{2})
+	tc.Send([]byte{3}) // held — must not be lost
+	tc.Close()
+	var got []byte
+	for i := 0; i < 3; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got = append(got, m[0])
+	}
+	if !bytes.Equal(got, []byte{2, 1, 3}) {
+		t.Fatalf("close flush pattern = %v, want [2 1 3]", got)
+	}
+}
+
+func TestTamperConnCompositionOrder(t *testing.T) {
+	// drop → swap → duplicate: DropEvery counts offered messages,
+	// DuplicateEvery counts delivered ones. Offer 1..8 with DropEvery 4
+	// (drops 4 and 8), SwapPairs on the survivors, DuplicateEvery 3 on
+	// the delivered stream.
+	a, b := Pipe()
+	tc := NewTamperConn(a, TamperPolicy{DropEvery: 4, SwapPairs: true, DuplicateEvery: 3})
+	for i := 1; i <= 8; i++ {
+		if err := tc.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc.Close()
+	// Survivors: 1 2 3 5 6 7. Swapped pairs: (2,1) (5,3) (7,6).
+	// Delivered stream 2 1 5 3 7 6; every 3rd duplicated: 5 and 6.
+	want := []byte{2, 1, 5, 5, 3, 7, 6, 6}
+	var got []byte
+	for range want {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m[0])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("composed stream = %v, want %v", got, want)
 	}
 }
