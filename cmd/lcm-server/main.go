@@ -14,7 +14,16 @@
 //
 //	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
 //	           -clients 8 [-service kvs|bank] [-shards N] [-sync] \
-//	           [-replicas N [-quorum Q]] [-keepalive D] [-iotimeout D]
+//	           [-replicas N [-quorum Q]] [-beaconinterval D] \
+//	           [-cloneshard I [-cloneafter D]] [-keepalive D] [-iotimeout D]
+//
+// -beaconinterval arms the chain-heartbeat beacon: every instance
+// periodically commits a self-attesting beacon record onto its sealed
+// chain, tick-driven by the platform's trusted monotonic counter, so a
+// cloned enclave collides with its twin within two intervals and halts
+// with a clone-detection verdict. -cloneshard injects exactly that attack
+// after -cloneafter (printing "clone injected" and, once a twin halts,
+// "clone detected: ...") — the demo/chaos arm the swarm harness drives.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, the group
 // committers drain behind each shard's persistence barrier, and the
@@ -32,6 +41,7 @@ package main
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -108,8 +118,13 @@ func run() error {
 		replicas = flag.Int("replicas", 0, "peer enclave replicas per shard (chain replication; 0 disables)")
 		quorum   = flag.Int("quorum", 0, "durable copies required before a reply is released (0 = majority)")
 
+		beacon = flag.Duration("beaconinterval", 0, "chain-heartbeat beacon period per enclave instance (0 disables; arms clone detection via the platform counter)")
+
 		reshardTo    = flag.Int("reshardto", 0, "live-reshard the deployment to this many shards (with -reshardafter)")
 		reshardAfter = flag.Duration("reshardafter", 30*time.Second, "delay before the -reshardto live reshard")
+
+		cloneShard = flag.Int("cloneshard", -1, "inject a cloning attack against this shard after -cloneafter (testing/demo)")
+		cloneAfter = flag.Duration("cloneafter", 10*time.Second, "delay before the -cloneshard clone injection")
 
 		keepAlive = flag.Duration("keepalive", 0, "TCP keep-alive probe period on accepted connections (0 disables)")
 		ioTimeout = flag.Duration("iotimeout", 0, "per-frame read/write deadline on accepted connections (0 disables)")
@@ -131,8 +146,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The counter store gives the simulated TMC hardware's non-volatility:
+	// beacon-claimed ticks survive a server restart, so an honest relaunch
+	// over the same -dir resumes inside the counter tolerance window
+	// instead of tripping a false clone detection.
 	platform, err := tee.NewPlatform("lcm-server-platform",
-		tee.WithLatencyModel(model), tee.WithRootSecret(secret))
+		tee.WithLatencyModel(model), tee.WithRootSecret(secret),
+		tee.WithCounterStore(filepath.Join(*dir, "tmc")))
 	if err != nil {
 		return err
 	}
@@ -151,13 +171,14 @@ func run() error {
 			NewService:  factory,
 			Attestation: attestation,
 		}),
-		Store:         store,
-		Shards:        *shards,
-		BatchSize:     *batch,
-		GroupCommit:   *group,
-		SnapshotReads: *snap,
-		Replicas:      *replicas,
-		Quorum:        *quorum,
+		Store:          store,
+		Shards:         *shards,
+		BatchSize:      *batch,
+		GroupCommit:    *group,
+		SnapshotReads:  *snap,
+		Replicas:       *replicas,
+		Quorum:         *quorum,
+		BeaconInterval: *beacon,
 	})
 	if err != nil {
 		return err
@@ -216,6 +237,38 @@ func run() error {
 	} else {
 		fmt.Println("pass -key to lcm-client (comma-separated, one kC per shard);")
 		fmt.Println("the admin would distribute them over secure channels")
+	}
+
+	if *beacon > 0 {
+		fmt.Printf("  beacons:   every %v per instance (clone detection armed; clients should set a freshness horizon > 2 intervals)\n", *beacon)
+	}
+
+	if *cloneShard >= 0 {
+		go func() {
+			time.Sleep(*cloneAfter)
+			idx, err := server.AttackClone(*cloneShard)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lcm-server: clone:", err)
+				return
+			}
+			fmt.Printf("clone injected: shard %d duplicated as instance %d; new connections now land on the clone\n",
+				*cloneShard, idx)
+			// Watch both twins: whichever loses the beacon counter race
+			// halts with ErrCloneDetected.
+			for {
+				for _, i := range []int{*cloneShard, idx} {
+					enc := server.Enclave(i)
+					if enc == nil {
+						continue
+					}
+					if herr := enc.HaltedErr(); herr != nil && errors.Is(herr, core.ErrCloneDetected) {
+						fmt.Printf("clone detected: instance %d halted: %v\n", i, herr)
+						return
+					}
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
 	}
 
 	if *reshardTo > 0 {

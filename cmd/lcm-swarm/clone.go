@@ -1,0 +1,227 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"lcm/internal/client"
+	"lcm/internal/consistency"
+	"lcm/internal/kvs"
+	"lcm/internal/service"
+	"lcm/internal/transport"
+)
+
+// The clone-side partition: a handful of fresh clients the driver runs
+// in-process, connected only AFTER the server's injection notice so the
+// host's route override pins every one of them to the cloned instance.
+// Disjoint from the worker ids, they are exactly the client set the
+// cloning attack serves undetectably — until the beacon collision.
+const cloneConns = 4
+
+// clonePartitionOps is the write budget per clone-side client. The ops
+// double-assign sequence numbers the primary's workers also consume,
+// which is what the offline checker's slot-collision rule latches onto.
+const clonePartitionOps = 64
+
+// cloneOutcome is everything the verdict needs from the clone arm.
+type cloneOutcome struct {
+	injected   bool
+	cloneInst  int  // instance index the server minted for the clone
+	detected   bool // the beacon collision halted one twin
+	haltedInst int  // which twin halted (0 = the primary)
+	latency    time.Duration
+	events     *consistency.Log // the clone partition's verified-op history
+	acked      int              // writes the clone acknowledged to its partition
+	lost       int              // acked clone-side writes unreadable from a surviving clone
+	errs       []string
+}
+
+// runCloneArm waits for the server's mid-run clone injection, drives the
+// clone-side client partition, and watches for the beacon-collision
+// detection notice. It returns whatever happened; judgeClone renders the
+// verdict.
+func runCloneArm(o *options, addr, keyHex string, srv *serverProc, say func(string, ...any)) *cloneOutcome {
+	out := &cloneOutcome{events: consistency.NewLog()}
+	fail := func(format string, args ...any) *cloneOutcome {
+		out.errs = append(out.errs, fmt.Sprintf(format, args...))
+		return out
+	}
+
+	select {
+	case inst := <-srv.cloneInjected:
+		out.injected = true
+		out.cloneInst = inst
+	case <-time.After(o.duration/2 + 30*time.Second):
+		return fail("no clone injection notice from the server")
+	}
+	injectedAt := time.Now()
+	say("lcm-swarm: clone injected (instance %d); driving the clone-side client partition...", out.cloneInst)
+
+	keys, err := parseWorkerKeys(keyHex)
+	if err != nil {
+		return fail("keys: %v", err)
+	}
+	sharder := kvs.New()
+
+	var mu sync.Mutex
+	acked := map[string]string{}
+
+	// Connect the partition. These sessions never reconnect: a redial
+	// after the clone halts would land a clone-grown context on the
+	// primary and halt it too (the cross-clone join of the host tests).
+	var clients []*cloneClient
+	defer func() {
+		for _, c := range clients {
+			c.sess.Close()
+			c.conn.Close()
+		}
+	}()
+	for c := 0; c < cloneConns; c++ {
+		id := uint32(o.workers*o.conns + 1 + c)
+		nc, err := transport.DialTCPTimeout(addr, transport.TCPOptions{DialTimeout: 3 * time.Second})
+		if err != nil {
+			out.errs = append(out.errs, fmt.Sprintf("clone client %d dial: %v", id, err))
+			continue
+		}
+		cfg := client.Config{
+			Timeout: o.opTimeout,
+			Retries: 1,
+			Observe: func(ob client.Observation) {
+				out.events.Record(consistency.Event{
+					Client: id,
+					Gen:    int(ob.Gen),
+					Shard:  ob.Shard,
+					Seq:    ob.Result.Seq,
+					Stable: ob.Result.Stable,
+					Op:     ob.Op,
+					Result: ob.Result.Value,
+					Chain:  ob.Chain,
+				})
+			},
+		}
+		clients = append(clients, &cloneClient{id: id, sess: client.NewSharded(nc, id, keys, sharder, cfg), conn: nc})
+	}
+	if len(clients) == 0 {
+		return fail("no clone-side client connected")
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *cloneClient) {
+			defer wg.Done()
+			for i := 0; i < clonePartitionOps; i++ {
+				key := fmt.Sprintf("clone-%d-k%02d", c.id, i)
+				val := fmt.Sprintf("v%d", i)
+				if _, err := c.sess.DoOn(0, kvs.Put(key, val)); err != nil {
+					// The expected end of the stream: the clone lost the
+					// beacon counter race mid-run and halted under us.
+					return
+				}
+				mu.Lock()
+				acked[key] = val
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	// The twins' beacons collide on the shared platform counter within
+	// about one interval of the clone's start (its first tick); allow a
+	// wide margin for loaded CI machines.
+	select {
+	case inst := <-srv.cloneDetected:
+		out.detected = true
+		out.haltedInst = inst
+		out.latency = time.Since(injectedAt)
+	case <-time.After(10*o.beacon + 10*time.Second):
+	}
+	wg.Wait()
+	out.acked = len(acked)
+
+	if out.detected && out.haltedInst == 0 {
+		// The primary lost the race: the clone is the survivor, so its
+		// partition's acknowledged writes must all read back from it.
+		say("lcm-swarm: primary halted — reading the clone partition back from the surviving clone...")
+		for key, want := range acked {
+			if !cloneReadBack(clients, key, want) {
+				out.lost++
+			}
+		}
+	}
+	return out
+}
+
+// cloneClient is one clone-partition session plus its connection.
+type cloneClient struct {
+	id   uint32
+	sess *client.ShardedSession
+	conn transport.Conn
+}
+
+// cloneReadBack verifies one acknowledged clone-partition write against
+// the surviving clone, through any of the partition's live sessions.
+func cloneReadBack(clients []*cloneClient, key, want string) bool {
+	for _, c := range clients {
+		res, err := c.sess.DoOn(0, kvs.Get(key))
+		if err != nil {
+			continue
+		}
+		kv, err := kvs.DecodeResult(res.Value)
+		if err != nil {
+			return false
+		}
+		return kv.Found && string(kv.Value) == want
+	}
+	return false
+}
+
+// judgeClone renders the clone arm's verdict: detection fired, the clone
+// partition's own history is fork-linearizable, and the offline checker
+// extracts slot-collision clone evidence from the merged histories.
+func judgeClone(factory service.Factory, workerLog *consistency.Log, res *cloneOutcome) (string, error) {
+	tail := func(desc string) string {
+		if res != nil && len(res.errs) > 0 {
+			return desc + " [" + strings.Join(res.errs, "; ") + "]"
+		}
+		return desc
+	}
+	if res == nil {
+		return "no clone-arm result", errors.New("clone arm returned no result")
+	}
+	if !res.injected {
+		return tail("clone was never injected"), errors.New("server never reported the clone injection")
+	}
+	if !res.detected {
+		return tail("no detection"), errors.New("no beacon-collision detection before the deadline")
+	}
+	if res.acked == 0 {
+		return tail("detection fired but the clone partition completed no writes"),
+			errors.New("clone partition completed no acknowledged writes before detection — raise -beaconinterval")
+	}
+	if err := res.events.CheckSharded(factory); err != nil {
+		return tail("clone partition history inconsistent"),
+			fmt.Errorf("clone partition history: %w", err)
+	}
+	merged := consistency.NewLog()
+	for _, e := range workerLog.Events() {
+		merged.Record(e)
+	}
+	for _, e := range res.events.Events() {
+		merged.Record(e)
+	}
+	ev := merged.GenShardCloneEvidence(0, 0)
+	if ev == nil {
+		return tail("no slot-collision evidence in the merged histories"),
+			errors.New("merged worker+clone histories yielded no clone evidence")
+	}
+	halted := "the clone"
+	if res.haltedInst == 0 {
+		halted = "the primary"
+	}
+	desc := fmt.Sprintf("injected instance %d; beacon collision halted %s (instance %d) %v after injection; %d clone-side acked writes; evidence: %s",
+		res.cloneInst, halted, res.haltedInst, res.latency.Round(time.Millisecond), res.acked, ev)
+	return tail(desc), nil
+}

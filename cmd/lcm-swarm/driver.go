@@ -43,21 +43,38 @@ type serverProc struct {
 	waitCh chan error // closed after cmd.Wait, carrying its result
 	ready  chan struct{}
 	keyHex string // kC line from a bootstrapping launch ("" on resume)
+
+	// Clone-arm signals, parsed from the server's stdout notices
+	// (buffered so the scanner never blocks when nobody listens).
+	cloneInjected chan int // instance index minted for the clone
+	cloneDetected chan int // instance index of the twin that halted
 }
 
 // startServer launches lcm-server and waits until it prints its kC line
 // (bootstrap) or its resume notice — either way it is accepting.
 func startServer(o *options, bin, addr string, logW io.Writer) (*serverProc, error) {
+	clients := o.workers * o.conns
+	if o.clone {
+		// Reserve the id range the driver's in-process clone-partition
+		// clients join with (they must be group members like any other).
+		clients += cloneConns
+	}
 	args := []string{
 		"-addr", addr,
 		"-dir", filepath.Join(o.dir, "data"),
 		"-service", o.service,
 		"-shards", fmt.Sprint(o.shards),
 		"-batch", fmt.Sprint(o.batch),
-		"-clients", fmt.Sprint(o.workers * o.conns),
+		"-clients", fmt.Sprint(clients),
 		"-sync",
 		"-scale", "0",
 		"-keepalive", "15s",
+	}
+	if o.beacon > 0 {
+		args = append(args, "-beaconinterval", o.beacon.String())
+	}
+	if o.clone {
+		args = append(args, "-cloneshard", "0", "-cloneafter", (o.duration / 2).String())
 	}
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -68,7 +85,10 @@ func startServer(o *options, bin, addr string, logW io.Writer) (*serverProc, err
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
-	p := &serverProc{cmd: cmd, waitCh: make(chan error, 1), ready: make(chan struct{})}
+	p := &serverProc{
+		cmd: cmd, waitCh: make(chan error, 1), ready: make(chan struct{}),
+		cloneInjected: make(chan int, 1), cloneDetected: make(chan int, 1),
+	}
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -81,6 +101,24 @@ func startServer(o *options, bin, addr string, logW io.Writer) (*serverProc, err
 				if !readySignalled {
 					readySignalled = true
 					close(p.ready)
+				}
+			}
+			if strings.HasPrefix(line, "clone injected:") {
+				var shard, inst int
+				if _, err := fmt.Sscanf(line, "clone injected: shard %d duplicated as instance %d", &shard, &inst); err == nil {
+					select {
+					case p.cloneInjected <- inst:
+					default:
+					}
+				}
+			}
+			if strings.HasPrefix(line, "clone detected:") {
+				var inst int
+				if _, err := fmt.Sscanf(line, "clone detected: instance %d halted:", &inst); err == nil {
+					select {
+					case p.cloneDetected <- inst:
+					default:
+					}
 				}
 			}
 		}
@@ -164,6 +202,27 @@ func startWorker(o *options, self, addr, keyHex, sealPub string, index int, logW
 }
 
 func runDriver(o *options) error {
+	if o.clone {
+		// The clone arm needs a deterministic split of the world: the
+		// worker partition pinned to the primary (no redials → no
+		// stray landings on the clone) and the driver's clone partition
+		// pinned to the clone. Chaos kills and server restarts both
+		// force reconnections, so they are incompatible with the arm.
+		if o.service != "kvs" {
+			return errors.New("-clone supports -service kvs only")
+		}
+		o.chaos = false
+		o.restarts = false
+		if o.beacon == 0 {
+			// Generous default: the injection-to-collision window is
+			// about one interval, and the clone partition must connect
+			// and complete its writes inside it.
+			o.beacon = time.Second
+		}
+		if o.duration < 4*o.beacon {
+			return fmt.Errorf("-clone needs -duration >= 4x the beacon interval (%v)", o.beacon)
+		}
+	}
 	if err := os.MkdirAll(o.dir, 0o755); err != nil {
 		return err
 	}
@@ -245,6 +304,15 @@ func runDriver(o *options) error {
 		workers[i] = w
 	}
 
+	// The clone arm runs concurrently with the workers: it waits for the
+	// server's mid-run injection, drives the clone-side client partition,
+	// and watches for the beacon-collision detection notice.
+	var cloneCh chan *cloneOutcome
+	if o.clone {
+		cloneCh = make(chan *cloneOutcome, 1)
+		go func() { cloneCh <- runCloneArm(o, addr, keyHex, srv, say) }()
+	}
+
 	var restarts []string
 	var driverErrs []string
 	if o.restarts {
@@ -298,6 +366,17 @@ func runDriver(o *options) error {
 	}
 	elapsed := time.Since(start)
 
+	// Collect the clone arm before stopping the server: its survivor
+	// read-back needs the process alive.
+	var cloneRes *cloneOutcome
+	if cloneCh != nil {
+		select {
+		case cloneRes = <-cloneCh:
+		case <-time.After(2 * time.Minute):
+			driverErrs = append(driverErrs, "clone arm: no result within 2m")
+		}
+	}
+
 	// Final clean stop — also exercises the drain path a second time.
 	if err := srv.stop(syscall.SIGTERM, 30*time.Second); err != nil {
 		driverErrs = append(driverErrs, fmt.Sprintf("final stop: %v", err))
@@ -328,6 +407,20 @@ func runDriver(o *options) error {
 	if o.chaos {
 		chaosDesc = "drop+duplicate+reorder (per-conn TamperConn) + random connection kills"
 	}
+	// The clone gate: detection fired, the clone partition's own history
+	// is consistent, and the offline checker extracts slot-collision
+	// evidence from the merged (worker + clone) histories.
+	var cloneErr error
+	cloneDesc := ""
+	if o.clone {
+		cloneDesc, cloneErr = judgeClone(factory, log, cloneRes)
+	}
+	// When the primary loses the beacon counter race (rare — its ticker
+	// is already mid-flight at clone birth), worker-side loss and exit
+	// failures are the attack's doing, not a harness failure; the
+	// surviving clone's partition carries the loss gate instead.
+	primaryHalted := cloneRes != nil && cloneRes.detected && cloneRes.haltedInst == 0
+
 	report := &benchrun.SwarmReport{
 		Service:  o.service,
 		Workers:  o.workers,
@@ -336,6 +429,7 @@ func runDriver(o *options) error {
 		Chaos:    chaosDesc,
 		Restarts: restarts,
 		Verdict:  verdict,
+		Clone:    cloneDesc,
 	}
 	report.MergeWorkers(stats)
 	if err := report.Write(o.out); err != nil {
@@ -346,15 +440,22 @@ func runDriver(o *options) error {
 		report.Ops, report.Errors, report.Conns, elapsed.Round(time.Second), report.Throughput)
 	say("lcm-swarm: acked writes %d, loss %d; conn kills %d, recoveries %d; %d history events checked",
 		report.AckedWrites, report.AckedWriteLoss, report.ConnKills, report.Recoveries, report.Events)
+	if o.clone {
+		say("lcm-swarm: clone arm: %s", cloneDesc)
+	}
 	say("lcm-swarm: verdict: %s", verdict)
 	say("lcm-swarm: report: %s", o.out)
 
 	switch {
 	case verdict != "consistent":
 		return fmt.Errorf("consistency verdict: %s", verdict)
-	case report.AckedWriteLoss > 0:
+	case cloneErr != nil:
+		return fmt.Errorf("clone gate: %w", cloneErr)
+	case primaryHalted && cloneRes.lost > 0:
+		return fmt.Errorf("clone survived its twin but lost %d of its partition's acknowledged writes", cloneRes.lost)
+	case !primaryHalted && report.AckedWriteLoss > 0:
 		return fmt.Errorf("%d acknowledged writes lost", report.AckedWriteLoss)
-	case workerFailures > 0 || len(driverErrs) > 0:
+	case !primaryHalted && (workerFailures > 0 || len(driverErrs) > 0):
 		return fmt.Errorf("run degraded: %s", strings.Join(driverErrs, "; "))
 	}
 	return nil

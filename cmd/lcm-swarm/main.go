@@ -27,7 +27,19 @@
 //
 //	lcm-swarm -workers 8 -conns 125 -duration 30s \
 //	          [-service kvs|bank] [-shards N] [-chaos] [-restarts] \
+//	          [-beaconinterval D] [-clone] \
 //	          [-dir swarm-out] [-serverbin path/to/lcm-server]
+//
+// -beaconinterval passes the chain-heartbeat beacon period to the server;
+// an un-cloned run with beacons on doubles as the false-positive smoke
+// test. -clone is the cloning-attack chaos arm: the server duplicates
+// shard 0 mid-run (its -cloneshard injection), the driver then runs a
+// separate in-process client partition against the clone, and the run
+// passes only if a beacon collision halts one twin with a clone verdict,
+// the consistency checker extracts slot-collision clone evidence from the
+// merged histories, and the surviving instance's partition shows zero
+// acknowledged-write loss. Clone mode forces chaos and restarts off so
+// the worker partition stays pinned to the primary.
 //
 // The worker mode (-mode worker) is internal: the driver re-executes its
 // own binary.
@@ -50,6 +62,8 @@ type options struct {
 	batch     int
 	chaos     bool
 	restarts  bool
+	clone     bool
+	beacon    time.Duration
 	dir       string
 	out       string
 	serverbin string
@@ -76,6 +90,8 @@ func parseOptions() *options {
 	flag.IntVar(&o.batch, "batch", 16, "server request batch size")
 	flag.BoolVar(&o.chaos, "chaos", true, "enable per-connection tamper policies (drop/duplicate/reorder) and random connection kills")
 	flag.BoolVar(&o.restarts, "restarts", true, "restart the server mid-run: once cleanly (SIGTERM), once by crash (SIGKILL)")
+	flag.BoolVar(&o.clone, "clone", false, "inject a cloning attack against shard 0 mid-run and gate on beacon detection (forces -chaos=false -restarts=false; kvs only)")
+	flag.DurationVar(&o.beacon, "beaconinterval", 0, "server chain-heartbeat beacon period (0 disables; -clone defaults it to 1s)")
 	flag.StringVar(&o.dir, "dir", "swarm-out", "artifact directory (server data, logs, event files, report)")
 	flag.StringVar(&o.out, "out", "", "report path (default <dir>/swarm-report.json)")
 	flag.StringVar(&o.serverbin, "serverbin", "", "lcm-server binary (default: next to this binary, else $PATH)")

@@ -1,7 +1,10 @@
 // Attack demo: a malicious cloud provider mounts the rollback and
 // forking attacks of Sec. 2.3 against an LCM-protected key-value store —
 // including forking one shard of a sharded deployment in the middle of a
-// cross-shard scatter-gather scan. Every attack is detected.
+// cross-shard scatter-gather scan, and the cloning attack (two live
+// instances from one sealed state, serving disjoint clients) that the
+// per-client chain checks alone cannot see. Every attack is detected —
+// the clone by the chain-heartbeat beacon.
 //
 //	go run ./examples/attackdemo
 package main
@@ -40,7 +43,12 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Println("== Part 3: mid-scan fork against a sharded deployment ==")
-	return midScanForkAttack()
+	if err := midScanForkAttack(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("== Part 4: cloning attack — the blind spot, then the beacon ==")
+	return cloneAttack()
 }
 
 // stack bundles one deployed LCM system under attacker control.
@@ -74,6 +82,12 @@ func (s *stack) resume(state *lcm.ClientState) (*lcm.Session, error) {
 
 // deploy builds an LCM stack over attacker-controlled storage.
 func deploy() (*stack, error) {
+	return deployIDs(0, []uint32{1, 2})
+}
+
+// deployIDs is deploy with the client group and the chain-heartbeat
+// beacon interval (0 = beacons off) under the caller's control.
+func deployIDs(beacon time.Duration, ids []uint32) (*stack, error) {
 	platform, err := lcm.NewPlatform("evil-cloud")
 	if err != nil {
 		return nil, err
@@ -88,8 +102,9 @@ func deploy() (*stack, error) {
 			NewService:  lcm.NewKVStoreFactory(),
 			Attestation: attestation,
 		}),
-		Store:     storage,
-		BatchSize: 1,
+		Store:          storage,
+		BatchSize:      1,
+		BeaconInterval: beacon,
 	})
 	if err != nil {
 		return nil, err
@@ -105,7 +120,7 @@ func deploy() (*stack, error) {
 		server.Shutdown()
 	}
 	admin := lcm.NewAdmin(attestation, lcm.ProgramIdentity("kvs"))
-	if err := admin.Bootstrap(server.ECall, []uint32{1, 2}); err != nil {
+	if err := admin.Bootstrap(server.ECall, ids); err != nil {
 		shutdown()
 		return nil, err
 	}
@@ -360,5 +375,159 @@ func midScanForkAttack() error {
 	}
 	fmt.Printf("other %d shards keep serving bob's session\n", shards-1)
 	fmt.Println("MID-SCAN FORK DETECTED ✓ (one poisoned shard poisons the scan, nothing else)")
+	return nil
+}
+
+// cloneAttack demonstrates the attack Parts 1-3 cannot catch — and the
+// defense that does. The provider duplicates the enclave from its
+// current sealed state into a SECOND live instance and keeps the client
+// sets disjoint: every per-client hash-chain check passes on both twins,
+// because each client's context matches the instance it talks to. Act
+// one shows that blind spot. Act two arms the chain-heartbeat beacon:
+// both twins periodically commit a beacon onto their sealed chain,
+// tick-driven by the platform's trusted monotonic counter — one shared
+// hardware cell — so two live writers collide within a beacon interval
+// and the loser halts with a clone verdict.
+func cloneAttack() error {
+	// ---- Act one: beacons off — the clone is invisible. ----
+	st, err := deployIDs(0, []uint32{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	alice, err := st.dial(1)
+	if err != nil {
+		st.shutdown()
+		return err
+	}
+	if _, err := alice.Do(lcm.Put("ledger", "genuine")); err != nil {
+		alice.Close()
+		st.shutdown()
+		return err
+	}
+	fmt.Println("alice stored ledger=genuine on the primary")
+
+	cloneIdx, err := st.server.AttackClone(0)
+	if err != nil {
+		alice.Close()
+		st.shutdown()
+		return fmt.Errorf("mount clone: %w", err)
+	}
+	fmt.Println("malicious host: duplicated the enclave from its sealed state — two LIVE instances now run")
+
+	// Carol — a fresh client — lands on the clone; alice stays on the
+	// primary. Both partitions serve happily: every chain check passes.
+	carol, err := st.dial(3)
+	if err != nil {
+		alice.Close()
+		st.shutdown()
+		return err
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := carol.Do(lcm.Put("ledger", fmt.Sprintf("forged-%d", i))); err != nil {
+			carol.Close()
+			alice.Close()
+			st.shutdown()
+			return fmt.Errorf("carol's op on the clone failed unexpectedly: %w", err)
+		}
+	}
+	if _, err := alice.Do(lcm.Get("ledger")); err != nil {
+		carol.Close()
+		alice.Close()
+		st.shutdown()
+		return fmt.Errorf("alice's op on the primary failed unexpectedly: %w", err)
+	}
+	if st.server.Enclave(0).HaltedErr() != nil || st.server.Enclave(cloneIdx).HaltedErr() != nil {
+		carol.Close()
+		alice.Close()
+		st.shutdown()
+		return errors.New("an instance halted without beacons — unexpected")
+	}
+	fmt.Println("carol wrote forged-1..3 on the clone; alice keeps reading the primary")
+	fmt.Println("CLONE UNDETECTED ✗ — with disjoint clients, every per-client chain check passes on both twins")
+	carol.Close()
+	alice.Close()
+	st.shutdown()
+
+	// ---- Act two: beacons armed — the twins collide. ----
+	const interval = 150 * time.Millisecond
+	st2, err := deployIDs(interval, []uint32{1, 2, 3})
+	if err != nil {
+		return err
+	}
+	defer st2.shutdown()
+	alice2, err := st2.dial(1)
+	if err != nil {
+		return err
+	}
+	defer alice2.Close()
+	if _, err := alice2.Do(lcm.Put("ledger", "genuine")); err != nil {
+		return err
+	}
+
+	// Wait for the primary's first beacon so its heartbeat is in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, err := lcm.QueryStatus(st2.server.ECall)
+		if err != nil {
+			return err
+		}
+		if status.BeaconSeq >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("primary never beaconed")
+		}
+		time.Sleep(interval / 4)
+	}
+	fmt.Printf("beacons armed: the enclave heartbeats its sealed chain every %v, ticking the platform counter\n", interval)
+
+	cloneIdx2, err := st2.server.AttackClone(0)
+	if err != nil {
+		return fmt.Errorf("mount clone: %w", err)
+	}
+	cloneStart := time.Now()
+	fmt.Println("malicious host: duplicated the enclave again — both twins now beacon the SAME counter cell")
+
+	carol2, err := st2.dial(3)
+	if err != nil {
+		return err
+	}
+	defer carol2.Close()
+	forged := 0
+	var carolErr error
+	for i := 0; i < 200; i++ {
+		if _, err := carol2.Do(lcm.Put("ledger", fmt.Sprintf("forged-%d", i+1))); err != nil {
+			carolErr = err
+			break
+		}
+		forged++
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The clone's very first beacon reserves a tick the primary already
+	// consumed: it halts with the clone verdict.
+	var haltErr error
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(5 * time.Millisecond) {
+		if haltErr = st2.server.Enclave(cloneIdx2).HaltedErr(); haltErr != nil {
+			break
+		}
+	}
+	detected := time.Since(cloneStart)
+	if haltErr == nil {
+		return errors.New("clone never halted — this must not happen with beacons armed")
+	}
+	if !errors.Is(haltErr, lcm.ErrCloneDetected) {
+		return fmt.Errorf("clone halted with the wrong verdict: %v", haltErr)
+	}
+	fmt.Printf("carol squeezed in %d forged writes before her next op failed: %v\n", forged, carolErr)
+	fmt.Printf("clone halted %v after its birth (bound: 2 intervals = %v): %v\n",
+		detected.Round(time.Millisecond), 2*interval, haltErr)
+
+	// The primary — and alice — never noticed a thing.
+	if _, err := alice2.Do(lcm.Get("ledger")); err != nil {
+		return fmt.Errorf("alice's op on the surviving primary failed: %w", err)
+	}
+	fmt.Println("alice keeps operating on the surviving primary")
+	fmt.Println("CLONE DETECTED ✓ (the shared counter makes two live chains collide within a beacon interval)")
 	return nil
 }

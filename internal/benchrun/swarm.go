@@ -166,6 +166,11 @@ type SwarmReport struct {
 	// final read-back could not observe — must be 0.
 	Verdict        string `json:"verdict"`
 	AckedWriteLoss int    `json:"acked_write_loss"`
+
+	// Clone summarizes the cloning-attack arm (-clone): injection,
+	// which twin the beacon collision halted and how fast, and the
+	// offline checker's slot-collision evidence. Empty when off.
+	Clone string `json:"clone,omitempty"`
 }
 
 // MergeWorkers folds a set of worker stats into the report's totals.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcm/internal/aead"
 	"lcm/internal/baseline"
@@ -96,6 +97,11 @@ type Options struct {
 	// paper's 50/50); the read ablation measures the read-heavy
 	// ycsb.WorkloadB.
 	Workload func(recordCount, valueSize int) *ycsb.Workload
+	// BeaconInterval turns on the host's chain-heartbeat beacon at this
+	// period (host.Config.BeaconInterval); 0 disables. The clone
+	// ablation sweeps it against throughput and detection latency. LCM
+	// only.
+	BeaconInterval time.Duration
 }
 
 // Deployment is a running system under test.
@@ -428,13 +434,14 @@ func Deploy(sys System, opt Options) (*Deployment, error) {
 				FullSeal:     opt.FullSeal,
 				CompactEvery: opt.CompactEvery,
 			}),
-			Store:         store,
-			Shards:        shards,
-			BatchSize:     batch,
-			GroupCommit:   opt.GroupCommit,
-			Replicas:      opt.Replicas,
-			Quorum:        opt.Quorum,
-			SnapshotReads: opt.SnapshotReads,
+			Store:          store,
+			Shards:         shards,
+			BatchSize:      batch,
+			GroupCommit:    opt.GroupCommit,
+			Replicas:       opt.Replicas,
+			Quorum:         opt.Quorum,
+			SnapshotReads:  opt.SnapshotReads,
+			BeaconInterval: opt.BeaconInterval,
 		})
 		if err != nil {
 			return nil, err

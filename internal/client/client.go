@@ -65,6 +65,16 @@ type Config struct {
 	// it automatically; a resumed session whose deployment has resharded
 	// since must pass the generation it had adopted.
 	Gen uint64
+	// FreshnessHorizon arms the beacon-freshness rule on every shard
+	// context (core.Client.SetFreshnessHorizon): a reply whose heartbeat-
+	// beacon ordinal has not advanced within this duration poisons the
+	// context with core.ErrBeaconStale. Set it when the deployment runs
+	// with host.Config.BeaconInterval > 0, to comfortably more than the
+	// interval (≥ 2–3 intervals plus transport slack); it closes the
+	// "gagged clone" branch of the cloning attack, where an instance
+	// avoids counter collisions by silently not beaconing. Zero disables
+	// the check.
+	FreshnessHorizon time.Duration
 	// AtLeastOnce adapts the session to a network that may duplicate or
 	// locally reorder frames (the swarm harness's chaos links): every
 	// INVOKE carries the retry marker from its first transmission, so the
@@ -197,6 +207,11 @@ type session struct {
 const recentReplyWindow = 64
 
 func newSessionCore(conn transport.Conn, protos []*core.Client, kcs []aead.Key, sharder service.Sharder, cfg Config) session {
+	if cfg.FreshnessHorizon > 0 {
+		for _, p := range protos {
+			p.SetFreshnessHorizon(cfg.FreshnessHorizon)
+		}
+	}
 	return session{
 		protos:  protos,
 		kcs:     append([]aead.Key(nil), kcs...),

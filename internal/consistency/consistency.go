@@ -311,6 +311,87 @@ func (l *Log) GenShardForks(gen, shard int) [][]uint32 {
 	return forksOf(events)
 }
 
+// CloneEvidence is the verdict GenShardCloneEvidence extracts from a
+// recorded history: two clients each completed a DIFFERENT operation
+// under the SAME sequence number — the slot was assigned twice, which
+// only two instances of the context serving concurrently can produce (a
+// cloning attack, or a fork whose source instance kept serving — the
+// other two-live-writer attack). A fork that abandons its source (or any
+// single-instance history, however partitioned) never collides a slot:
+// one instance assigns each sequence number exactly once.
+type CloneEvidence struct {
+	ClientA, ClientB uint32    // the colliding observers, ClientA < ClientB
+	Seq              uint64    // the first doubly-assigned sequence number
+	RangeA, RangeB   [2]uint64 // each client's observed [min,max] seq span
+}
+
+// String formats the evidence as a violation-style message.
+func (e *CloneEvidence) String() string {
+	return fmt.Sprintf(
+		"seq %d assigned twice: client %d (view [%d,%d]) and client %d (view [%d,%d]) hold diverged operations for it — two concurrent writers on one context",
+		e.Seq, e.ClientA, e.RangeA[0], e.RangeA[1], e.ClientB, e.RangeB[0], e.RangeB[1])
+}
+
+// GenShardCloneEvidence inspects one protocol context's sub-history for
+// evidence of two live writers: the lowest sequence number two clients
+// both observed with diverged chain values. A nil return means the
+// history — even one whose client partitions never overlap — is
+// explainable by a single instance; non-nil proves two instances were
+// assigning sequence numbers concurrently.
+//
+// The rule is deliberately pairwise rather than fork-group-based: with
+// many clients, Forks' partition can transitively merge two genuinely
+// diverged partitions through clients that happen to share no sequence
+// numbers with one side, but a slot collision between ANY two views is
+// direct evidence regardless of how the partition resolves.
+func (l *Log) GenShardCloneEvidence(gen, shard int) *CloneEvidence {
+	var events []Event
+	for _, e := range l.Events() {
+		if e.Gen == gen && e.Shard == shard {
+			events = append(events, e)
+		}
+	}
+	byClient := make(map[uint32]map[uint64]hashchain.Value)
+	ranges := make(map[uint32][2]uint64)
+	ids := make([]uint32, 0, len(byClient))
+	for _, e := range events {
+		view, ok := byClient[e.Client]
+		if !ok {
+			view = make(map[uint64]hashchain.Value)
+			byClient[e.Client] = view
+			ranges[e.Client] = [2]uint64{e.Seq, e.Seq}
+			ids = append(ids, e.Client)
+		}
+		view[e.Seq] = e.Chain
+		r := ranges[e.Client]
+		if e.Seq < r[0] {
+			r[0] = e.Seq
+		}
+		if e.Seq > r[1] {
+			r[1] = e.Seq
+		}
+		ranges[e.Client] = r
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var best *CloneEvidence
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := byClient[ids[i]], byClient[ids[j]]
+			for seq, chainA := range a {
+				if chainB, ok := b[seq]; ok && chainA != chainB {
+					if best == nil || seq < best.Seq {
+						best = &CloneEvidence{
+							ClientA: ids[i], ClientB: ids[j], Seq: seq,
+							RangeA: ranges[ids[i]], RangeB: ranges[ids[j]],
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
 func forksOf(events []Event) [][]uint32 {
 	byClient := make(map[uint32][]Event)
 	for _, e := range events {

@@ -42,6 +42,14 @@ const (
 	// sequence number has reached stable storage; the enclave publishes
 	// that prefix to the snapshot readers (see read.go).
 	callAdvanceDurable
+	// callBeacon asks the trusted context to commit one heartbeat beacon
+	// record onto its sealed chain after checking the platform counter for
+	// foreign increments — the clone-detection protocol of trusted.go.
+	callBeacon
+	// callBeaconConfirm tells the enclave the beacon record it just sealed
+	// is durable; the enclave claims the reserved counter tick by
+	// incrementing the platform counter.
+	callBeaconConfirm
 )
 
 // BatchCallSize returns the encoded size of a batch call, for writer
@@ -120,6 +128,11 @@ type BatchResult struct {
 	// value the host reports back through EncodeAdvanceDurableCall once
 	// the batch's persistence record is durable.
 	Seq uint64
+	// Beacon marks the result of a callBeacon: the record carries a
+	// heartbeat beacon, and once it is durable the host must issue
+	// EncodeBeaconConfirmCall so the enclave claims the reserved counter
+	// tick.
+	Beacon bool
 }
 
 // Encode serializes a batch result; the inverse of DecodeBatchResult.
@@ -139,6 +152,7 @@ func encodeBatchResult(res *BatchResult) []byte {
 	w.Var(res.StateBlob)
 	w.Var(res.DeltaRecord)
 	w.U64(res.Seq)
+	w.Bool(res.Beacon)
 	return w.Bytes()
 }
 
@@ -154,6 +168,7 @@ func DecodeBatchResult(b []byte) (*BatchResult, error) {
 	res.StateBlob = r.Var()
 	res.DeltaRecord = r.Var()
 	res.Seq = r.U64()
+	res.Beacon = r.Bool()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode batch result: %w", err)
 	}
@@ -350,6 +365,22 @@ func EncodeAdvanceDurableCall(seq uint64) []byte {
 	return w.Bytes()
 }
 
+// EncodeBeaconCall asks the trusted context to commit a heartbeat beacon
+// record (see trusted.go). The result is a BatchResult with no replies and
+// Beacon set; the host persists the record through the ordinary
+// group-commit path and then confirms durability.
+func EncodeBeaconCall() []byte {
+	return []byte{callBeacon}
+}
+
+// EncodeBeaconConfirmCall reports that the last beacon record is durable.
+// The enclave increments the platform counter to claim the tick the beacon
+// reserved; a mismatch means another live instance raced it and the
+// context halts with ErrCloneDetected.
+func EncodeBeaconConfirmCall() []byte {
+	return []byte{callBeaconConfirm}
+}
+
 // EncodeStatusCall requests the trusted context's public status.
 func EncodeStatusCall() []byte {
 	return []byte{callStatus}
@@ -378,6 +409,10 @@ type Status struct {
 	SnapshotBytes  int    // size of the last sealed full snapshot
 	Compactions    uint64 // full re-seals that truncated a non-empty chain
 	LastCompactSeq uint64 // t at the most recent compaction
+
+	// BeaconSeq counts the heartbeat beacon records this context has
+	// committed (0 when beacons are off); see trusted.go.
+	BeaconSeq uint64
 }
 
 func encodeStatus(s *Status) []byte {
@@ -397,6 +432,7 @@ func encodeStatus(s *Status) []byte {
 	w.U64(uint64(s.SnapshotBytes))
 	w.U64(s.Compactions)
 	w.U64(s.LastCompactSeq)
+	w.U64(s.BeaconSeq)
 	return w.Bytes()
 }
 
@@ -534,6 +570,7 @@ func DecodeStatus(b []byte) (*Status, error) {
 	s.SnapshotBytes = int(r.U64())
 	s.Compactions = r.U64()
 	s.LastCompactSeq = r.U64()
+	s.BeaconSeq = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode status: %w", err)
 	}

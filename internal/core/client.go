@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lcm/internal/aead"
 	"lcm/internal/hashchain"
@@ -23,6 +24,9 @@ type Result struct {
 	Value  []byte
 	Seq    uint64
 	Stable uint64
+	// BeaconSeq is the server's heartbeat-beacon ordinal at reply time (0
+	// when beacons are off); see SetFreshnessHorizon.
+	BeaconSeq uint64
 }
 
 // Client implements Alg. 1, the LCM protocol for client Ci. It holds only
@@ -42,6 +46,12 @@ type Client struct {
 
 	pending  []byte // the buffered operation u, nil if none outstanding
 	poisoned error  // first detected violation; sticky
+
+	// Beacon-freshness state (see SetFreshnessHorizon): the highest
+	// beacon ordinal observed in a reply and when it was first seen.
+	freshness   time.Duration
+	beaconSeq   uint64
+	beaconSeqAt time.Time
 
 	// Snapshot-read session state (see read.go). Deliberately not part
 	// of ClientState: reads are side-effect free, so a crashed client
@@ -146,6 +156,35 @@ func (c *Client) HasPending() bool { return c.pending != nil }
 
 // Err returns the violation this client detected, or nil.
 func (c *Client) Err() error { return c.poisoned }
+
+// SetFreshnessHorizon arms the beacon-freshness rule: once set, a reply
+// whose beacon ordinal has not advanced within d of the previous advance
+// poisons the client with ErrBeaconStale. The rule closes the "gagged
+// clone" branch of the cloning attack — an instance that stops committing
+// heartbeat beacons (because beaconing would collide with its twin on the
+// platform counter) can keep satisfying every Alg. 1 check, but its
+// replies go stale against the horizon. d must comfortably exceed the
+// server's beacon interval (≥ 2–3 intervals, plus transport slack); zero
+// disables the check.
+func (c *Client) SetFreshnessHorizon(d time.Duration) { c.freshness = d }
+
+// checkFreshness enforces the beacon-freshness horizon against an
+// authenticated reply's beacon ordinal. The first observation only
+// baselines the clock.
+func (c *Client) checkFreshness(beaconSeq uint64) error {
+	if c.freshness <= 0 {
+		return nil
+	}
+	now := time.Now()
+	switch {
+	case c.beaconSeqAt.IsZero() || beaconSeq > c.beaconSeq:
+		c.beaconSeq = beaconSeq
+		c.beaconSeqAt = now
+	case now.Sub(c.beaconSeqAt) > c.freshness:
+		return c.poison(ErrBeaconStale)
+	}
+	return nil
+}
 
 func (c *Client) poison(err error) error {
 	wrapped := fmt.Errorf("%w: %w", ErrViolationDetected, err)
@@ -256,8 +295,11 @@ func (c *Client) ProcessReply(ciphertext []byte) (*Result, error) {
 	if rep.Q < c.ts || rep.Q > rep.T {
 		return nil, c.poison(ErrNonMonotonicStable)
 	}
+	if err := c.checkFreshness(rep.BeaconSeq); err != nil {
+		return nil, err
+	}
 	// (tc, ts, hc) ← (t, q, h).
 	c.tc, c.ts, c.hc = rep.T, rep.Q, rep.H
 	c.pending = nil
-	return &Result{Value: rep.Result, Seq: rep.T, Stable: rep.Q}, nil
+	return &Result{Value: rep.Result, Seq: rep.T, Stable: rep.Q, BeaconSeq: rep.BeaconSeq}, nil
 }

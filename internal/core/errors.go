@@ -63,6 +63,13 @@ var (
 	// ErrClientPoisoned reports any use of a client that has already
 	// detected a violation.
 	ErrClientPoisoned = errors.New("lcm: client halted after detecting server misbehaviour")
+
+	// ErrBeaconStale reports a reply whose beacon sequence number has not
+	// advanced within the client's freshness horizon: the instance either
+	// stopped committing heartbeat beacons (a cloned enclave hiding from
+	// the counter collision) or the host withheld them. Wrapped in
+	// ErrViolationDetected like every other client-side detection.
+	ErrBeaconStale = errors.New("lcm: beacon stale beyond the freshness horizon (possible cloned or gagged instance)")
 )
 
 // Trusted-side errors (returned from enclave calls without halting).
@@ -116,4 +123,13 @@ var (
 	// ErrReadsNotEnabled reports a read on an instance the host has not
 	// armed with callEnableReads.
 	ErrReadsNotEnabled = errors.New("lcm: snapshot reads not enabled on this instance")
+
+	// ErrCloneDetected is the reason a trusted context halts when the
+	// platform's beacon counter diverges from the tick its sealed chain
+	// reserved: another live instance of the same context incremented the
+	// counter (a cloning attack — two enclaves serving from one sealed
+	// state), or the chain was rolled back behind counter increments it
+	// had already confirmed. Either way the sealed history and the
+	// counter disagree and the context must stop.
+	ErrCloneDetected = errors.New("lcm: beacon counter mismatch: cloned instance or rollback behind the counter")
 )

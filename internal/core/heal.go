@@ -128,6 +128,11 @@ func (p *Trusted) handleChainSync(env tee.Env, records [][]byte) ([]byte, error)
 			if p.t != rec.ToT {
 				return nil, tee.Halt("chain sync record does not reach its declared sequence", nil)
 			}
+			if rec.BeaconSeq > 0 {
+				// Healed beacon record: resume the counter reservation
+				// where the suffix's author left it (see foldDeltaLog).
+				p.beaconSeq, p.beaconTick = rec.BeaconSeq, rec.BeaconTick
+			}
 			p.chainPrev = blobHash(sealed)
 			p.chainLen++
 			p.chainBytes += len(sealed)
@@ -203,6 +208,10 @@ func (p *Trusted) handleRecover(env tee.Env, senderPub, ct []byte) ([]byte, erro
 	if err := p.foldDeltaLog(env, blobstate); err != nil {
 		return nil, err
 	}
+	// Recovery typically lands on a replacement platform whose counter did
+	// not travel with the storage; rebase the beacon reservation on the
+	// local counter (admin-authorized, like the migration import rebase).
+	p.beaconTick = env.CounterRead(p.counterID())
 	sealedKey, err := p.sealKeyBlob()
 	if err != nil {
 		return nil, err

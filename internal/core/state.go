@@ -27,8 +27,14 @@ package core
 //	U32      n            number of touched V entries
 //	n ×      U32 id, U64 TA, Bytes32 HA, U64 T, Bytes32 H, Var LastReply
 //	Var      ServiceDelta service.DeltaService.Delta() output
+//	U64      BeaconSeq    beacon ordinal (0 for ordinary batch records)
+//	U64      BeaconTick   platform counter tick the beacon reserved
 //
 // and is sealed with AEAD under kP with associated data adDeltaLog.
+// Heartbeat beacon records (trusted.go) are ordinary delta records with an
+// empty batch (FromT == ToT, no entries, no delta) and BeaconSeq > 0; they
+// ride the same chain, so a clone committing beacons forks the chain like
+// any other divergent writer.
 //
 // # Chaining
 //
@@ -130,10 +136,17 @@ type trustedState struct {
 	KC       []byte
 	V        vmap
 	Snapshot []byte
+	// Beacon bookkeeping (see trusted.go's heartbeat beacon): the number
+	// of beacon records this context has committed and the platform
+	// counter tick the latest one reserved. Sealed with the rest of the
+	// state so a restarted context resumes the reservation protocol where
+	// the chain left off.
+	BeaconSeq  uint64
+	BeaconTick uint64
 }
 
 func (s *trustedState) encodedSize() int {
-	size := 40 + len(s.KC) + len(s.Snapshot)
+	size := 56 + len(s.KC) + len(s.Snapshot)
 	for _, e := range s.V {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
@@ -173,6 +186,8 @@ func (s *trustedState) encodeTo(w *wire.Writer) {
 		encodeVEntry(w, id, s.V[id])
 	}
 	w.Var(s.Snapshot)
+	w.U64(s.BeaconSeq)
+	w.U64(s.BeaconTick)
 }
 
 func (s *trustedState) encode() []byte {
@@ -191,6 +206,8 @@ func decodeTrustedState(b []byte) (*trustedState, error) {
 		s.V[id] = e
 	}
 	s.Snapshot = r.Var()
+	s.BeaconSeq = r.U64()
+	s.BeaconTick = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode trusted state: %w", err)
 	}
@@ -207,10 +224,14 @@ type deltaRecord struct {
 	Prev     [32]byte
 	Entries  vmap
 	Delta    []byte
+	// BeaconSeq > 0 marks a heartbeat beacon record; BeaconTick is the
+	// platform counter tick it reserved. Both zero on batch records.
+	BeaconSeq  uint64
+	BeaconTick uint64
 }
 
 func (d *deltaRecord) encodedSize() int {
-	size := 8 + 8 + 8 + 32 + 4 + 4 + len(d.Delta)
+	size := 8 + 8 + 8 + 32 + 4 + 4 + 16 + len(d.Delta)
 	for _, e := range d.Entries {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
@@ -228,6 +249,8 @@ func (d *deltaRecord) encodeTo(w *wire.Writer) {
 		encodeVEntry(w, id, d.Entries[id])
 	}
 	w.Var(d.Delta)
+	w.U64(d.BeaconSeq)
+	w.U64(d.BeaconTick)
 }
 
 func (d *deltaRecord) encode() []byte {
@@ -251,6 +274,8 @@ func decodeDeltaRecord(b []byte) (*deltaRecord, error) {
 		d.Entries[id] = e
 	}
 	d.Delta = r.Var()
+	d.BeaconSeq = r.U64()
+	d.BeaconTick = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode delta record: %w", err)
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -76,6 +78,14 @@ type Trusted struct {
 	snapBytes    int
 	compactions  uint64
 	lastCompactT uint64
+
+	// Heartbeat-beacon state (clone detection — see handleBeacon): the
+	// count of beacon records this context has committed, the platform
+	// counter tick the latest one reserved, and whether that reservation
+	// still awaits its durability confirm.
+	beaconSeq  uint64
+	beaconTick uint64
+	beaconOpen bool
 
 	// Concurrent snapshot-read state (see read.go): whether the host has
 	// armed the read path for this instance, the highest sequence number
@@ -279,6 +289,13 @@ func (p *Trusted) foldDeltaLog(env tee.Env, baseBlob []byte) error {
 		if p.t != rec.ToT {
 			return tee.Halt("delta record does not reach its declared sequence", nil)
 		}
+		if rec.BeaconSeq > 0 {
+			// A beacon record: resume the counter-reservation protocol at
+			// the tick it reserved. beaconOpen stays false — whether the
+			// confirm increment ran is what the next reserve's R ∈
+			// {tick, tick−1} tolerance absorbs.
+			p.beaconSeq, p.beaconTick = rec.BeaconSeq, rec.BeaconTick
+		}
 		p.chainPrev = blobHash(sealed)
 		p.chainLen++
 		p.chainBytes += len(sealed)
@@ -304,6 +321,8 @@ func (p *Trusted) install(env tee.Env, kp aead.Key, state *trustedState) error {
 	p.v = state.V
 	p.adminSeq = state.AdminSeq
 	p.gen = state.Gen
+	p.beaconSeq = state.BeaconSeq
+	p.beaconTick = state.BeaconTick
 	p.t, p.h = p.v.argmax() // (·, t, h) ← V[argmax(V)]
 	p.durableT = p.t        // the installed state came from stable storage
 	p.chargeFootprint(env)
@@ -328,9 +347,11 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 	resp, err := p.dispatch(env, payload)
 	if err == nil && len(payload) > 0 {
 		switch payload[0] {
-		case callBatch, callStatus, callAttest, callEnableReads, callAdvanceDurable:
-			// Reads-neutral (status, attest), self-publishing (enable,
-			// advance), or published only once durable (batch).
+		case callBatch, callStatus, callAttest, callEnableReads, callAdvanceDurable,
+			callBeacon, callBeaconConfirm:
+			// Reads-neutral (status, attest, beacons — no client-visible
+			// state changes), self-publishing (enable, advance), or
+			// published only once durable (batch).
 		default:
 			p.syncReadState()
 		}
@@ -407,6 +428,7 @@ func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 			SnapshotBytes:  p.snapBytes,
 			Compactions:    p.compactions,
 			LastCompactSeq: p.lastCompactT,
+			BeaconSeq:      p.beaconSeq,
 		}), nil
 	case callReshardChallenge:
 		if err := r.Done(); err != nil {
@@ -487,6 +509,16 @@ func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return p.handleAdvanceDurable(seq)
+	case callBeacon:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleBeacon(env)
+	case callBeaconConfirm:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleBeaconConfirm(env)
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
 	}
@@ -623,6 +655,137 @@ func (p *Trusted) sealDeltaRecord(fromT uint64, touched map[uint32]*ventry) ([]b
 	return sealed, nil
 }
 
+// counterID derives the platform-counter identity for this trusted
+// context from kP. Every instance holding the same protocol state — the
+// primary, a restarted epoch, a cloned enclave booted from copied sealed
+// blobs — maps to the same counter, which is exactly what makes the
+// counter the collision medium two live writers cannot avoid sharing.
+// Distinct deployments and reshard generations use fresh keys and
+// therefore disjoint counters.
+func (p *Trusted) counterID() string {
+	sum := sha256.Sum256(append([]byte("lcm/beacon/counter/v1"), p.kp.Bytes()...))
+	return hex.EncodeToString(sum[:])
+}
+
+// handleBeacon commits one heartbeat beacon record — the clone-detection
+// protocol. The sealed chain alone cannot expose a clone whose clients are
+// disjoint from ours (every per-client Alg. 2 check passes on both
+// copies), so the beacon couples the chain to the one resource copying
+// sealed storage cannot duplicate: the platform's monotonic counter. The
+// protocol is reserve/confirm:
+//
+//	reserve  R ← counter.Read(); require R ∈ {tick, tick−1}; tick ← R+1
+//	seal     append a beacon record (BeaconSeq, BeaconTick = tick)
+//	confirm  once the record is durable the host sends callBeaconConfirm
+//	         and counter.Increment() must land exactly on tick
+//
+// A second live instance beaconing on the same counter makes our next
+// read observe a foreign increment (R > tick), or our confirm land past
+// the reserved value — either way the context halts with ErrCloneDetected
+// within a bounded number of beacon intervals. R = tick−1 is tolerated as
+// the benign residue of a crash after the record became durable but
+// before the confirm increment ran; R < tick−1 means the chain was rolled
+// back behind increments it had already confirmed, which is equally fatal.
+func (p *Trusted) handleBeacon(env tee.Env) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if p.migrated {
+		return nil, ErrMigratedAway
+	}
+	if p.resharded {
+		return nil, ErrReshardedAway
+	}
+	if p.resh != nil {
+		return nil, ErrResharding
+	}
+	read := env.CounterRead(p.counterID())
+	if read != p.beaconTick && !(p.beaconTick > 0 && read == p.beaconTick-1) {
+		return nil, tee.Halt("beacon counter diverged from the sealed chain", ErrCloneDetected)
+	}
+	p.beaconSeq++
+	p.beaconTick = read + 1
+	p.beaconOpen = true
+	res := BatchResult{Seq: p.t, Beacon: true}
+	switch {
+	case !p.deltaActive():
+		// Full-seal mode: the beacon fields travel in the state blob.
+		blob, err := p.sealState()
+		if err != nil {
+			return nil, err
+		}
+		res.StateBlob = blob
+	case p.shouldCompact():
+		// Never append behind a stale prefix (forceCompact) and keep the
+		// chain bounded: compact exactly like a batch would.
+		blob, err := p.sealState()
+		if err != nil {
+			return nil, err
+		}
+		res.StateBlob = blob
+		res.Compact = true
+	default:
+		rec, err := p.sealBeaconRecord()
+		if err != nil {
+			return nil, err
+		}
+		res.DeltaRecord = rec
+	}
+	return encodeBatchResult(&res), nil
+}
+
+// sealBeaconRecord seals an empty-batch delta record carrying the beacon
+// fields and advances the chain exactly like a batch record — a clone
+// committing beacons of its own forks the chain like any other divergent
+// writer.
+func (p *Trusted) sealBeaconRecord() ([]byte, error) {
+	delta, err := p.deltaSvc.Delta()
+	if err != nil {
+		return nil, fmt.Errorf("lcm: service delta: %w", err)
+	}
+	rec := deltaRecord{
+		FromT:      p.t,
+		ToT:        p.t,
+		AdminSeq:   p.adminSeq,
+		Prev:       p.chainPrev,
+		Entries:    vmap{},
+		Delta:      delta,
+		BeaconSeq:  p.beaconSeq,
+		BeaconTick: p.beaconTick,
+	}
+	w := wire.GetWriter(rec.encodedSize())
+	rec.encodeTo(w)
+	sealed, err := aead.Seal(p.kp, w.Bytes(), []byte(adDeltaLog))
+	wire.PutWriter(w)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: seal beacon record: %w", err)
+	}
+	p.chainPrev = blobHash(sealed)
+	p.chainLen++
+	p.chainBytes += len(sealed)
+	return sealed, nil
+}
+
+// handleBeaconConfirm claims the counter tick the last beacon reserved,
+// strictly after the host reports the beacon record durable (keeping the
+// crash window benign: a crash between seal and confirm leaves the
+// counter one behind, which the next reserve tolerates). The increment
+// must land exactly on the reserved tick; any other value means a
+// concurrent writer slipped in between reserve and confirm.
+func (p *Trusted) handleBeaconConfirm(env tee.Env) ([]byte, error) {
+	if !p.provisioned() {
+		return nil, ErrNotProvisioned
+	}
+	if !p.beaconOpen {
+		return nil, errors.New("lcm: no beacon awaiting confirmation")
+	}
+	p.beaconOpen = false
+	if obs := env.CounterIncrement(p.counterID()); obs != p.beaconTick {
+		return nil, tee.Halt("beacon confirm raced a concurrent writer", ErrCloneDetected)
+	}
+	return []byte("ok"), nil
+}
+
 // handleInvoke is the per-operation body of Alg. 2. It returns the reply
 // ciphertext and the invoking client's identifier (for delta-record V
 // tracking).
@@ -670,7 +833,7 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, uint32, error) {
 	ent.T, ent.H = p.t, p.h
 	q := p.v.majorityStable()
 
-	reply := wire.Reply{T: p.t, H: p.h, Result: result, Q: q, HCPrev: inv.HC}
+	reply := wire.Reply{T: p.t, H: p.h, Result: result, Q: q, HCPrev: inv.HC, BeaconSeq: p.beaconSeq}
 	replyCT, err := aead.Seal(p.kc, reply.Encode(), []byte(adReply))
 	if err != nil {
 		return nil, 0, fmt.Errorf("lcm: seal reply: %w", err)
@@ -688,11 +851,13 @@ func (p *Trusted) sealState() ([]byte, error) {
 		return nil, fmt.Errorf("lcm: snapshot service: %w", err)
 	}
 	state := trustedState{
-		AdminSeq: p.adminSeq,
-		Gen:      p.gen,
-		KC:       p.kc.Bytes(),
-		V:        p.v,
-		Snapshot: snapshot,
+		AdminSeq:   p.adminSeq,
+		Gen:        p.gen,
+		KC:         p.kc.Bytes(),
+		V:          p.v,
+		Snapshot:   snapshot,
+		BeaconSeq:  p.beaconSeq,
+		BeaconTick: p.beaconTick,
 	}
 	w := wire.GetWriter(state.encodedSize())
 	state.encodeTo(w)
@@ -906,10 +1071,12 @@ func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, e
 	p.migNonce = nil
 
 	state := trustedState{
-		AdminSeq: p.adminSeq,
-		Gen:      p.gen,
-		KC:       p.kc.Bytes(),
-		V:        p.v.clone(),
+		AdminSeq:   p.adminSeq,
+		Gen:        p.gen,
+		KC:         p.kc.Bytes(),
+		V:          p.v.clone(),
+		BeaconSeq:  p.beaconSeq,
+		BeaconTick: p.beaconTick,
 	}
 	payload := migrationPayload{KP: p.kp.Bytes()}
 	if p.deltaActive() {
@@ -974,6 +1141,11 @@ func (p *Trusted) handleMigrateImport(env tee.Env, inner []byte) ([]byte, error)
 	if err := p.install(env, kp, state); err != nil {
 		return nil, err
 	}
+	// The counter is a platform resource and did not migrate with the
+	// state; rebase the reservation on this platform's current value. The
+	// origin stopped processing before exporting, so no live writer is
+	// being forgiven. (On a fresh platform this reads 0.)
+	p.beaconTick = env.CounterRead(p.counterID())
 	if err := p.persist(env); err != nil {
 		return nil, err
 	}
@@ -1042,6 +1214,11 @@ func (p *Trusted) importChain(env tee.Env, kp aead.Key, state *trustedState, pay
 			return nil, tee.Halt("migration pending delta malformed", err)
 		}
 	}
+	// The payload's beacon ordinal is authoritative (≥ anything the fold
+	// reconstructed); the counter tick rebases on this platform, exactly
+	// as in the snapshot-mode import.
+	p.beaconSeq = state.BeaconSeq
+	p.beaconTick = env.CounterRead(p.counterID())
 	p.chargeFootprint(env)
 	// Re-seal only kP under this platform's sealing key; the sealed state
 	// and delta log stay as-is and the chain continues from them.

@@ -123,6 +123,16 @@ type Config struct {
 	// so that one group's persistence stays within this target. 0 selects
 	// DefaultCommitLatencyTarget. Only meaningful with GroupCommit.
 	CommitLatencyTarget time.Duration
+	// BeaconInterval arms the chain-heartbeat beacon (clone detection):
+	// every interval, each enclave instance commits a self-attesting
+	// beacon record onto its sealed delta chain, coupled to the platform's
+	// monotonic counter through the reserve/confirm protocol of
+	// core.Trusted — so two live instances cloned from the same sealed
+	// state collide on the counter within ≤ 2 intervals and the loser
+	// halts with core.ErrCloneDetected. The record rides the ordinary
+	// group-commit path (one coalesced append per beacon). 0 disables
+	// beacons (the historical behaviour, blind to cloning).
+	BeaconInterval time.Duration
 }
 
 // DefaultReadWorkers is the per-instance read-pool size when
@@ -200,6 +210,9 @@ func (c *Config) Validate() error {
 	}
 	if c.GroupCommit && c.CommitLatencyTarget == 0 {
 		c.CommitLatencyTarget = DefaultCommitLatencyTarget
+	}
+	if c.BeaconInterval < 0 {
+		return fmt.Errorf("host: config: BeaconInterval must be ≥ 0 (got %v); 0 disables beacons", c.BeaconInterval)
 	}
 	return nil
 }
@@ -310,6 +323,7 @@ type Server struct {
 	instances     []*instance
 	shardStores   []stablestore.Store
 	routeOverride map[int]int // shard → instance for NEW connections (forks)
+	cloneSeq      int         // clones minted so far (namespace uniqueness)
 	liveConns     map[*connState]struct{}
 
 	// Replication: the attestation root replica provisioning verifies
@@ -513,6 +527,13 @@ func (s *Server) startInstance(inst *instance) {
 				s.readLoop(inst)
 			}()
 		}
+	}
+	if s.cfg.BeaconInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.beaconLoop(inst)
+		}()
 	}
 }
 
@@ -1129,6 +1150,7 @@ func (c *committer) process(pending []commitReq) {
 				// Confirm durability to the enclave before any reply in
 				// the group is released: read-your-writes (see read.go).
 				c.srv.advanceDurable(c.inst, pending[j-1].result.Seq)
+				c.confirmBeacons(pending[i:j])
 				for _, r := range pending[i:j] {
 					c.release(r)
 				}
@@ -1151,6 +1173,7 @@ func (c *committer) process(pending []commitReq) {
 				c.rebase(pending[j-1].result.StateBlob)
 				c.recordGroup(j-i, time.Since(start))
 				c.srv.advanceDurable(c.inst, pending[j-1].result.Seq)
+				c.confirmBeacons(pending[i:j])
 				for _, r := range pending[i:j] {
 					c.release(r)
 				}
@@ -1167,6 +1190,7 @@ func (c *committer) process(pending []commitReq) {
 			} else {
 				c.rebase(req.result.StateBlob)
 				c.srv.advanceDurable(c.inst, req.result.Seq)
+				c.confirmBeacons(pending[i : i+1])
 				c.release(req)
 			}
 			i++
@@ -1427,6 +1451,102 @@ func (s *Server) AttackFork(shard int) (int, error) {
 	s.routeOverride[shard] = idx
 	s.mu.Unlock()
 	return idx, nil
+}
+
+// AttackClone implements the cloning attack of Briongos & Soriente's "No
+// Forking Way": it duplicates the given shard's enclave from its current
+// sealed state — snapshot, delta log and (platform-sealed) key blob are
+// copied into a private storage namespace via the CopyStorage staging
+// path — and boots the copy as a second live instance on the same
+// platform. Subsequently accepted connections have the shard routed to
+// the clone (the AttackFork route-override machinery); existing
+// connections stay on the primary, partitioning the client group.
+//
+// Unlike AttackFork, the two instances then run over DISJOINT storage:
+// each appends to its own copy of the chain, every per-client Alg. 2
+// check passes on both sides, and as long as the client partitions stay
+// disjoint no context ever mismatches — the blind spot the chain-
+// heartbeat beacon (Config.BeaconInterval) closes by colliding the two
+// instances on the platform's monotonic counter, which the storage copy
+// cannot duplicate.
+//
+// The source is quiesced (persistence barrier held, committer flushed)
+// while the blobs are staged, so the clone boots from a consistent,
+// acknowledged prefix. It returns the clone's instance index.
+func (s *Server) AttackClone(shard int) (int, error) {
+	if shards := s.Shards(); shard < 0 || shard >= shards {
+		return 0, fmt.Errorf("host: shard %d out of range (%d shards)", shard, shards)
+	}
+	src := s.instanceAt(shard)
+	if src == nil {
+		return 0, fmt.Errorf("host: no enclave instance for shard %d", shard)
+	}
+	s.mu.Lock()
+	gen := s.gen
+	s.cloneSeq++
+	cloneStore := stablestore.NewNamespaced(s.cfg.Store,
+		fmt.Sprintf("%s/clone%d", genShardPrefix(gen, shard), s.cloneSeq))
+	label := fmt.Sprintf("%s/clone%d", genShardPrefix(gen, shard), s.cloneSeq)
+	s.mu.Unlock()
+
+	// Stage the sealed state under the source's persistence barrier: no
+	// batch can seal or persist between the flush and the copy, so the
+	// clone's chain is exactly the acknowledged history.
+	if err := func() error {
+		src.pm.Lock()
+		defer src.pm.Unlock()
+		if src.cm != nil {
+			src.cm.flush(s.stop)
+		}
+		keyBlob, err := src.store.Load(core.SlotKeyBlob)
+		if err != nil {
+			return fmt.Errorf("host: clone attack: source key blob: %w", err)
+		}
+		if err := cloneStore.Store(core.SlotKeyBlob, keyBlob); err != nil {
+			return fmt.Errorf("host: clone attack: store key blob: %w", err)
+		}
+		// CopyStorage deliberately skips the key blob (migration re-seals
+		// it); the attacker copies it too — same platform, same sealing
+		// key, so the clone recovers unassisted.
+		return CopyStorage(src.store, cloneStore)
+	}(); err != nil {
+		return 0, err
+	}
+
+	// Boot and register the clone like a fork instance: no replica set (an
+	// attack artifact must not feed the honest chain's mirrors) and its
+	// own queue, committer and — when beacons are armed — beacon loop,
+	// which is what makes the clone collide with the primary.
+	enclave := s.cfg.Platform.NewEnclave(s.cfg.Factory, cloneStore)
+	enclave.SetLabel(label)
+	if err := enclave.Start(); err != nil {
+		return 0, fmt.Errorf("host: start clone %s: %w", label, err)
+	}
+	inst := s.newInstance(enclave, cloneStore, shard, nil)
+	s.mu.Lock()
+	s.instances = append(s.instances, inst)
+	idx := len(s.instances) - 1
+	s.routeOverride[shard] = idx
+	s.mu.Unlock()
+	s.startInstance(inst)
+	if s.cfg.SnapshotReads {
+		_, _ = s.instanceBarrierECall(inst, core.EncodeEnableReadsCall())
+	}
+	return idx, nil
+}
+
+// ClearRouteOverrides drops every per-shard route override, restoring
+// honest routing (each shard to its primary) for subsequently accepted
+// connections. Attack arms compose through it: fork-then-clone or
+// clone-then-restart scenarios reset routing between phases instead of
+// leaking one phase's override into the next. Fork and clone instances
+// keep running — only routing changes.
+func (s *Server) ClearRouteOverrides() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for shard := range s.routeOverride {
+		delete(s.routeOverride, shard)
+	}
 }
 
 // RouteNewConnsTo directs the shard served by instance idx back to that

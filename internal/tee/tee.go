@@ -31,11 +31,15 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 
 	"lcm/internal/aead"
 	"lcm/internal/keyderiv"
 	"lcm/internal/latency"
+	"lcm/internal/tmc"
 )
 
 // Measurement identifies the code loaded into an enclave, standing in for
@@ -106,6 +110,18 @@ type Env interface {
 	// be issued from inside the enclave, so the host cannot forge quotes
 	// claiming the enclave holds attacker-chosen user data.
 	Quote(nonce, userData []byte) Quote
+	// CounterRead returns the platform's trusted monotonic counter for id
+	// without incrementing it. Counters live in the platform (the ME/TPM
+	// part), NOT in the enclave: every instance of a program on this
+	// platform — including a clone the host booted from copied sealed
+	// state — reads and bumps the SAME cell, which is exactly the shared
+	// medium the beacon protocol uses to make two live instances collide.
+	// Reads are cheap (no increment latency, no wear).
+	CounterRead(id string) uint64
+	// CounterIncrement bumps the platform counter for id and returns the
+	// new value, charging the hardware increment latency (~60 ms at full
+	// scale, Sec. 6.5) and wear.
+	CounterIncrement(id string) uint64
 }
 
 // Program is the protocol P loaded into an enclave. A fresh instance is
@@ -196,6 +212,14 @@ type Platform struct {
 	attestKey  aead.Key
 	epc        EPCConfig
 	model      *latency.Model
+
+	// Trusted monotonic counter bank (the ME/TPM part). One cell per id,
+	// created lazily on first use, shared by every enclave on the
+	// platform. With counterDir set the cell values also persist across
+	// process restarts, modelling the counter's non-volatile memory.
+	counterMu  sync.Mutex
+	counters   map[string]*tmc.Counter
+	counterDir string
 }
 
 // PlatformOption configures a Platform.
@@ -220,6 +244,16 @@ func WithLatencyModel(m *latency.Model) PlatformOption {
 // across restarts too.
 func WithRootSecret(secret []byte) PlatformOption {
 	return func(p *Platform) { p.rootSecret = append([]byte(nil), secret...) }
+}
+
+// WithCounterStore persists the platform's trusted monotonic counter
+// values under dir, one small file per counter id. Real TMC hardware is
+// non-volatile: its cells survive a machine restart. A standalone server
+// that rebuilds its Platform on every process launch needs this so a
+// restart does not silently reset the counters to zero — which the beacon
+// protocol would (correctly) flag as tampering.
+func WithCounterStore(dir string) PlatformOption {
+	return func(p *Platform) { p.counterDir = dir }
 }
 
 // NewPlatform creates a platform with a fresh root secret (unless
@@ -251,6 +285,61 @@ func NewPlatform(id string, opts ...PlatformOption) (*Platform, error) {
 
 // ID returns the platform identifier.
 func (p *Platform) ID() string { return p.id }
+
+// counter returns (creating on first use) the platform counter cell for
+// id, restored from the counter store when one is configured.
+func (p *Platform) counter(id string) *tmc.Counter {
+	p.counterMu.Lock()
+	defer p.counterMu.Unlock()
+	if p.counters == nil {
+		p.counters = make(map[string]*tmc.Counter)
+	}
+	c, ok := p.counters[id]
+	if !ok {
+		c = tmc.NewAt(p.model, p.loadCounter(id))
+		p.counters[id] = c
+	}
+	return c
+}
+
+// counterPath maps a counter id onto its persistence file. Enclaves pick
+// the ids; hashing keeps the filename safe whatever they choose.
+func (p *Platform) counterPath(id string) string {
+	sum := sha256.Sum256([]byte(id))
+	return filepath.Join(p.counterDir, "tmc-"+hex.EncodeToString(sum[:12]))
+}
+
+func (p *Platform) loadCounter(id string) uint64 {
+	if p.counterDir == "" {
+		return 0
+	}
+	b, err := os.ReadFile(p.counterPath(id))
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// persistCounter writes a cell value durably (temp file + rename), best
+// effort: the simulated NVRAM write cannot fail the increment itself.
+func (p *Platform) persistCounter(id string, v uint64) {
+	if p.counterDir == "" {
+		return
+	}
+	if err := os.MkdirAll(p.counterDir, 0o755); err != nil {
+		return
+	}
+	path := p.counterPath(id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(v, 10)), 0o600); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
 
 // NewEnclave creates a trusted execution context for the program on this
 // platform. The enclave is created stopped; call Start to begin the first
@@ -355,6 +444,17 @@ func (v *env) ChargeMemory(delta int64) {
 }
 
 func (v *env) ResidentBytes() int64 { return v.enclave.resident }
+
+func (v *env) CounterRead(id string) uint64 {
+	return v.enclave.platform.counter(id).Read()
+}
+
+func (v *env) CounterIncrement(id string) uint64 {
+	p := v.enclave.platform
+	val := p.counter(id).Increment()
+	p.persistCounter(id, val)
+	return val
+}
 
 func (v *env) Quote(nonce, userData []byte) Quote {
 	e := v.enclave

@@ -40,6 +40,14 @@ func New(model *latency.Model) *Counter {
 	return &Counter{model: model}
 }
 
+// NewAt returns a counter restored to a previously persisted value — what
+// a platform does when its non-volatile counter store survives a process
+// restart. Wear accounting restarts at zero (the value, not the history,
+// is what the NVRAM holds).
+func NewAt(model *latency.Model, value uint64) *Counter {
+	return &Counter{model: model, value: value}
+}
+
 // Increment bumps the counter and returns the new value, charging the
 // hardware latency. This is the per-request cost that caps a TMC-protected
 // service at tens of operations per second (Fig. 5's flat SGX+TMC line).

@@ -39,13 +39,14 @@ const (
 const InvokeOverhead = 4 + 8 + hashchain.Size + 1
 
 // ReplyOverhead is the constant metadata overhead of an encoded REPLY
-// beyond the result payload: t (8) + h (32) + q (8) + h'c (32).
+// beyond the result payload: t (8) + h (32) + q (8) + h'c (32) + beacon
+// ordinal (8).
 //
 // The paper's optimized C++ implementation reports 46 bytes here; our
-// encoding carries the pseudocode's full [t, h, q, h'c] tuple and is
-// therefore larger, but equally constant in the object size, which is the
-// property Fig. 4 depends on.
-const ReplyOverhead = 8 + hashchain.Size + 8 + hashchain.Size
+// encoding carries the pseudocode's full [t, h, q, h'c] tuple (plus the
+// clone-freshness beacon ordinal) and is therefore larger, but equally
+// constant in the object size, which is the property Fig. 4 depends on.
+const ReplyOverhead = 8 + hashchain.Size + 8 + hashchain.Size + 8
 
 // ErrTruncated reports a message shorter than its fields require.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -312,11 +313,12 @@ func DecodeInvoke(b []byte) (*Invoke, error) {
 
 // Reply is the plaintext of Alg. 2's REPLY message, encrypted under kC.
 type Reply struct {
-	T      uint64          // t: sequence number assigned to the operation
-	H      hashchain.Value // h: hash-chain value after the operation
-	Result []byte          // r: operation result from execF
-	Q      uint64          // q: latest majority-stable sequence number
-	HCPrev hashchain.Value // h'c: echo of the client's previous chain value
+	T         uint64          // t: sequence number assigned to the operation
+	H         hashchain.Value // h: hash-chain value after the operation
+	Result    []byte          // r: operation result from execF
+	Q         uint64          // q: latest majority-stable sequence number
+	HCPrev    hashchain.Value // h'c: echo of the client's previous chain value
+	BeaconSeq uint64          // heartbeat beacons committed (clone freshness)
 }
 
 // Encode serializes the message.
@@ -327,6 +329,7 @@ func (m *Reply) Encode() []byte {
 	w.Bytes32(m.H)
 	w.U64(m.Q)
 	w.Bytes32(m.HCPrev)
+	w.U64(m.BeaconSeq)
 	w.Var(m.Result)
 	return w.Bytes()
 }
@@ -339,11 +342,12 @@ func DecodeReply(b []byte) (*Reply, error) {
 		return nil, &ErrBadTag{Got: tag, Want: TagReply}
 	}
 	m := &Reply{
-		T:      r.U64(),
-		H:      r.Bytes32(),
-		Q:      r.U64(),
-		HCPrev: r.Bytes32(),
-		Result: r.VarView(),
+		T:         r.U64(),
+		H:         r.Bytes32(),
+		Q:         r.U64(),
+		HCPrev:    r.Bytes32(),
+		BeaconSeq: r.U64(),
+		Result:    r.VarView(),
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("wire: decode reply: %w", err)

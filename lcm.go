@@ -165,6 +165,17 @@ var (
 	// ErrEnclaveHalted reports that the trusted context detected a
 	// violation and stopped permanently.
 	ErrEnclaveHalted = tee.ErrEnclaveHalted
+
+	// ErrCloneDetected reports that a trusted context's heartbeat beacon
+	// collided with a concurrent writer on the platform's monotonic
+	// counter — a second live instance (cloning attack) — and halted.
+	// Match it against the halted enclave's error chain with errors.Is.
+	ErrCloneDetected = core.ErrCloneDetected
+
+	// ErrBeaconStale is the client-side complement: with
+	// SessionConfig.FreshnessHorizon armed, replies whose beacon ordinal
+	// stops advancing poison the client (the "gagged clone" branch).
+	ErrBeaconStale = core.ErrBeaconStale
 )
 
 // NewPlatform creates a simulated TEE platform.
