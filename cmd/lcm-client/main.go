@@ -13,6 +13,18 @@
 //	lcm-client ... status
 //	lcm-client ... refresh
 //
+// Membership (churn-era API):
+//
+//	lcm-client ... join        registers this client in the group
+//	lcm-client ... leave       retires it voluntarily (no key rotation)
+//	lcm-client -statekey <hex kP> members
+//	                           admin: prints the sealed group view
+//	                           (epoch, committees, members, current kC)
+//
+// join and leave go through the client's own session — no admin round
+// trip; the joiner must hold the group's current kC (from the admin, out
+// of band). members authenticates under the admin state key kP.
+//
 // Against a bank server (lcm-server -service bank):
 //
 //	lcm-client -service bank ... bal <account>
@@ -86,6 +98,8 @@ func run() error {
 		keyHex    = flag.String("key", "", "communication key(s) kC (hex; comma-separated, one per shard)")
 		svcName   = flag.String("service", "kvs", "service the server hosts: kvs | bank")
 		statePath = flag.String("state", "", "client state file (default lcm-client-<id>.state)")
+		stateKey  = flag.String("statekey", "", "admin state key kP (hex) — members verb only")
+		shardFlag = flag.Int("shard", 0, "shard a members query addresses")
 		timeout   = flag.Duration("timeout", 5*time.Second, "reply timeout before retry")
 		dialTO    = flag.Duration("dialtimeout", 0, "TCP connect timeout (0 = OS default)")
 		keepAlive = flag.Duration("keepalive", 0, "TCP keep-alive probe period (0 disables)")
@@ -94,7 +108,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: lcm-client [flags] get|read|put|del|scan|bal|inc|transfer|status|refresh ...")
+		return errors.New("usage: lcm-client [flags] get|read|put|del|scan|bal|inc|transfer|join|leave|members|status|refresh ...")
 	}
 	if *svcName != "kvs" && *svcName != "bank" {
 		return fmt.Errorf("unknown -service %q (want kvs or bank)", *svcName)
@@ -118,6 +132,11 @@ func run() error {
 		sess := client.New(conn, uint32(*id), aead.Key{}, cfg)
 		defer sess.Close()
 		return printStatus(sess)
+	}
+
+	if args[0] == "members" {
+		// An admin query: authenticates under kP, needs no client context.
+		return runMembers(*addr, tcpOpts, *stateKey, *shardFlag)
 	}
 
 	keys, err := parseKeys(*keyHex)
@@ -253,6 +272,41 @@ func runRefresh(conn transport.Conn, id uint32, keys []aead.Key, svcName, stateP
 	return nil
 }
 
+// runMembers queries one shard's sealed group view with the admin state
+// key: membership epoch, committee layout, members, staged/past
+// evictions and the current communication key (to distribute to joiners).
+func runMembers(addr string, tcpOpts transport.TCPOptions, stateKeyHex string, shard int) error {
+	if stateKeyHex == "" {
+		return errors.New("members needs -statekey <hex kP> (the admin state key)")
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(stateKeyHex))
+	if err != nil {
+		return fmt.Errorf("decode -statekey: %w", err)
+	}
+	kp, err := aead.KeyFromBytes(raw)
+	if err != nil {
+		return fmt.Errorf("-statekey: %w", err)
+	}
+	conn, err := transport.DialTCPTimeout(addr, tcpOpts)
+	if err != nil {
+		return err
+	}
+	call, closeConn := client.AdminConnShard(conn, shard)
+	defer closeConn()
+	info, err := core.QueryGroupInfo(call, kp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d: epoch=%d members=%d committees=%d (k=%d) evictions=%d\n",
+		shard, info.GroupEpoch, len(info.Members), info.Committees, info.CommitteeSize, info.Evictions)
+	fmt.Printf("members: %v\n", info.Members)
+	if len(info.Evicted) > 0 {
+		fmt.Printf("evicted: %v\n", info.Evicted)
+	}
+	fmt.Printf("current kC: %s\n", hex.EncodeToString(info.KC))
+	return nil
+}
+
 func parseKeys(keyHex string) ([]aead.Key, error) {
 	parts := strings.Split(keyHex, ",")
 	keys := make([]aead.Key, 0, len(parts))
@@ -285,6 +339,8 @@ func printStatus(sess *client.Session) error {
 			sh.Shard, st.Provisioned, st.Migrated, st.Epoch, st.Seq, st.Stable, st.NumClients, sh.Instances)
 		fmt.Printf("         delta=%v chain=%d records/%dB snapshot=%dB compactions=%d lastCompactT=%d\n",
 			st.DeltaActive, st.ChainLen, st.ChainBytes, st.SnapshotBytes, st.Compactions, st.LastCompactSeq)
+		fmt.Printf("         membership epoch=%d committees=%d k=%d active=%d evictions=%d\n",
+			st.GroupEpoch, st.Committees, st.CommitteeSize, st.ActiveClients, st.Evictions)
 		if sh.Replicas > 0 {
 			fmt.Printf("         replication copies=%d quorum=%d live=%d/%d heals=%d\n",
 				sh.Replicas, sh.Quorum, sh.ReplicasLive, sh.Replicas, sh.Heals)
@@ -471,6 +527,21 @@ func runSingle(conn transport.Conn, id uint32, kc aead.Key, svcName, statePath s
 		return nil
 	}
 
+	if args[0] == "join" || args[0] == "leave" {
+		var ack *core.ChurnAck
+		var err error
+		if args[0] == "join" {
+			ack, err = session.Join()
+		} else {
+			ack, err = session.Leave()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s ok: epoch=%d members=%d\n", args[0], ack.Epoch, ack.Members)
+		return saveState()
+	}
+
 	op, err := parseOp(svcName, args)
 	if err != nil {
 		return err
@@ -581,6 +652,22 @@ func runSharded(conn transport.Conn, id uint32, keys []aead.Key, svcName, stateP
 			}
 			return err
 		}
+	}
+
+	if args[0] == "join" || args[0] == "leave" {
+		var acks []*core.ChurnAck
+		if args[0] == "join" {
+			acks, err = session.Join()
+		} else {
+			acks, err = session.Leave()
+		}
+		if err != nil {
+			return err
+		}
+		for shard, ack := range acks {
+			fmt.Printf("shard %d: %s ok: epoch=%d members=%d\n", shard, args[0], ack.Epoch, ack.Members)
+		}
+		return saveStates()
 	}
 
 	var res *core.Result

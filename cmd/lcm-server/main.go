@@ -15,7 +15,17 @@
 //	lcm-server -addr 127.0.0.1:7000 -dir /tmp/lcm-data -batch 16 \
 //	           -clients 8 [-service kvs|bank] [-shards N] [-sync] \
 //	           [-replicas N [-quorum Q]] [-beaconinterval D] \
+//	           [-committeesize K] [-epochinterval D] [-evictafter E] \
 //	           [-cloneshard I [-cloneafter D]] [-keepalive D] [-iotimeout D]
+//
+// -epochinterval arms the membership epoch ticker: every interval each
+// shard seals an epoch — batching staged evictions (rotating kC when any
+// fire) and resealing the witness-committee digests that stand in for
+// idle members' acknowledgments in large registered groups. -committeesize
+// sets the witness-committee size k; -evictafter evicts clients that have
+// produced no liveness signal (invoke, churn, heartbeat) for that many
+// epochs. Clients keep themselves off the eviction list with
+// SessionConfig.HeartbeatInterval or `lcm-client ... join`-era heartbeats.
 //
 // -beaconinterval arms the chain-heartbeat beacon: every instance
 // periodically commits a self-attesting beacon record onto its sealed
@@ -120,6 +130,10 @@ func run() error {
 
 		beacon = flag.Duration("beaconinterval", 0, "chain-heartbeat beacon period per enclave instance (0 disables; arms clone detection via the platform counter)")
 
+		committeeSize = flag.Int("committeesize", 0, "witness-committee size k for large registered groups (0 = default)")
+		epochInterval = flag.Duration("epochinterval", 0, "membership epoch seal period (0 disables the ticker; epochs then advance only on admin request)")
+		evictAfter    = flag.Int("evictafter", 0, "evict clients silent for this many membership epochs (0 disables heartbeat-based eviction)")
+
 		reshardTo    = flag.Int("reshardto", 0, "live-reshard the deployment to this many shards (with -reshardafter)")
 		reshardAfter = flag.Duration("reshardafter", 30*time.Second, "delay before the -reshardto live reshard")
 
@@ -167,9 +181,11 @@ func run() error {
 	server, err := host.New(host.Config{
 		Platform: platform,
 		Factory: core.NewTrustedFactory(core.TrustedConfig{
-			ServiceName: *svcName,
-			NewService:  factory,
-			Attestation: attestation,
+			ServiceName:      *svcName,
+			NewService:       factory,
+			Attestation:      attestation,
+			CommitteeSize:    *committeeSize,
+			EvictAfterEpochs: *evictAfter,
 		}),
 		Store:          store,
 		Shards:         *shards,
@@ -179,6 +195,7 @@ func run() error {
 		Replicas:       *replicas,
 		Quorum:         *quorum,
 		BeaconInterval: *beacon,
+		EpochInterval:  *epochInterval,
 	})
 	if err != nil {
 		return err
@@ -195,6 +212,7 @@ func run() error {
 		ids[i] = uint32(i + 1)
 	}
 	keyParts := make([]string, 0, server.Shards())
+	stateKeyParts := make([]string, 0, server.Shards())
 	resumed := 0
 	for shard := 0; shard < server.Shards(); shard++ {
 		st, err := core.QueryStatus(server.ShardCall(shard))
@@ -204,6 +222,7 @@ func run() error {
 		if st.Provisioned {
 			resumed++
 			keyParts = append(keyParts, "resumed")
+			stateKeyParts = append(stateKeyParts, "resumed")
 			continue
 		}
 		admin := core.NewAdmin(attestation, core.ProgramIdentity(*svcName))
@@ -211,6 +230,7 @@ func run() error {
 			return fmt.Errorf("bootstrap shard %d: %w", shard, err)
 		}
 		keyParts = append(keyParts, hex.EncodeToString(admin.CommunicationKey().Bytes()))
+		stateKeyParts = append(stateKeyParts, hex.EncodeToString(admin.StateKey().Bytes()))
 	}
 
 	listener, err := transport.ListenTCPOptions(*addr, transport.TCPOptions{
@@ -232,6 +252,7 @@ func run() error {
 	}
 	fmt.Printf("  clients:   ids 1..%d\n", *clients)
 	fmt.Printf("  kC:        %s\n", strings.Join(keyParts, ","))
+	fmt.Printf("  kP:        %s (admin state key — pass as -statekey to `lcm-client members`)\n", strings.Join(stateKeyParts, ","))
 	if resumed > 0 {
 		fmt.Printf("resumed %d shard(s) from sealed state in %s; clients keep their previous kC\n", resumed, *dir)
 	} else {
@@ -241,6 +262,10 @@ func run() error {
 
 	if *beacon > 0 {
 		fmt.Printf("  beacons:   every %v per instance (clone detection armed; clients should set a freshness horizon > 2 intervals)\n", *beacon)
+	}
+	if *epochInterval > 0 {
+		fmt.Printf("  epochs:    sealed every %v per shard (committee size %d, eviction after %d silent epochs; 0 = defaults/disabled)\n",
+			*epochInterval, *committeeSize, *evictAfter)
 	}
 
 	if *cloneShard >= 0 {

@@ -1,8 +1,12 @@
-// Membership demo (Sec. 4.6.3): the client group of an LCM deployment
-// changes at runtime. The admin admits a new client (sharing the
-// communication key kC with it) and later evicts one — which rotates kC
-// to a fresh key k'C so the evicted client is cryptographically cut off,
-// while the remaining clients keep their protocol context.
+// Membership demo (Sec. 4.6.3, churn-era API): the client group of an
+// LCM deployment changes at runtime without an admin round trip per
+// change. A new client joins through its own session (Session.Join),
+// heartbeats keep quiet clients off the eviction list, and the admin
+// evicts a client by staging it (Admin.Evict) and sealing a membership
+// epoch (Admin.SealEpoch) — which batches the cut-off: the enclave
+// rotates kC to a fresh k'C so every evictee is cryptographically cut
+// off at once, while the remaining clients keep their protocol context
+// and re-key from the admin's sealed group view (Admin.Members).
 //
 // Membership also drives stability: with three clients, an operation is
 // majority-stable once two of them acknowledge it.
@@ -93,21 +97,34 @@ func run() error {
 		return err
 	}
 
-	// --- Admit carol. The admin extends the group in T, then shares kC
-	// with carol over a secure channel (here: in process).
-	if err := admin.AddClient(server.ECall, 3); err != nil {
-		return err
-	}
+	// --- Carol joins through her own session. The admin shares kC with
+	// her over a secure channel (here: in process); the join itself needs
+	// no admin round trip — the enclave registers her and answers with a
+	// sealed ack carrying the epoch and group size.
 	carol, err := dial(3, admin.CommunicationKey(), nil)
 	if err != nil {
 		return err
 	}
 	defer carol.Close()
+	ack, err := carol.Join()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("carol joined at epoch %d; group now has %d members\n", ack.Epoch, ack.Members)
+
 	res, err := carol.Do(lcm.Put("roster", "alice,bob,carol"))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("carol admitted; her first op got seq=%d\n", res.Seq)
+	fmt.Printf("carol's first op got seq=%d\n", res.Seq)
+
+	// Heartbeats keep quiet clients alive: with heartbeat-based eviction
+	// armed (TrustedConfig.EvictAfterEpochs), an idle-but-connected client
+	// ticks instead of invoking. SessionConfig.HeartbeatInterval does this
+	// automatically; here we tick once by hand.
+	if err := bob.Heartbeat(); err != nil {
+		return err
+	}
 
 	// With n=3 the stability quorum is 2: alice + carol acknowledging is
 	// enough even while bob is idle.
@@ -120,19 +137,28 @@ func run() error {
 	}
 	fmt.Printf("stability with 3 clients: q=%d (majority = 2 of 3)\n", res.Stable)
 
-	// --- Evict bob. T installs a fresh k'C; the admin distributes it to
-	// alice and carol only.
-	newKC, err := admin.RemoveClient(server.ECall, 2)
+	// --- Evict bob. The eviction is staged, then the next epoch seal
+	// batches it: the enclave tombstones bob and installs a fresh k'C.
+	// (A deployment with ServerConfig.EpochInterval set seals epochs on a
+	// timer; the admin can also force one, as here.)
+	if err := admin.Evict(server.ECall, 2); err != nil {
+		return err
+	}
+	if err := admin.SealEpoch(server.ECall); err != nil {
+		return err
+	}
+	info, err := admin.Members(server.ECall)
 	if err != nil {
 		return err
 	}
-	fmt.Println("bob evicted; communication key rotated")
+	fmt.Printf("bob evicted at epoch %d; kC rotated; members now %v\n", info.GroupEpoch, info.Members)
 
 	// Bob's old key no longer authenticates — his next request is
 	// indistinguishable from a forgery and T halts... but on a correct
 	// server this never reaches T, because the admin also revoked bob's
-	// account; here we show the remaining clients instead.
-	aliceRotated, err := dial(1, newKC, alice.State())
+	// account; here we show the remaining clients instead. Members adopted
+	// the rotated key into the admin, so CommunicationKey is current.
+	aliceRotated, err := dial(1, admin.CommunicationKey(), alice.State())
 	if err != nil {
 		return err
 	}
@@ -153,6 +179,7 @@ func run() error {
 	if status.NumClients != 2 {
 		return errors.New("group size wrong after eviction")
 	}
-	fmt.Printf("final group size: %d, admin ops applied: %d\n", status.NumClients, status.AdminSeq)
+	fmt.Printf("final group: %d members, epoch %d, evictions %d\n",
+		status.NumClients, status.GroupEpoch, status.Evictions)
 	return nil
 }

@@ -23,6 +23,11 @@ type AblationPoint struct {
 	// largest number of delta records covered by one fsync.
 	AvgGroup float64 `json:",omitempty"`
 	MaxGroup int     `json:",omitempty"`
+
+	// HandoffBytes is the sealed client-handoff size of a reshard
+	// (membership ablation only; such points carry Throughput 0 so the
+	// benchdiff throughput gate skips them).
+	HandoffBytes int `json:",omitempty"`
 }
 
 // RunBatchAblation sweeps the batching depth for LCM at a fixed client

@@ -1,0 +1,154 @@
+package benchrun
+
+import (
+	"fmt"
+	"time"
+
+	"lcm/internal/client"
+	"lcm/internal/kvs"
+)
+
+// RunMembershipAblation sweeps the REGISTERED group size at a fixed
+// 8-session active set and measures the two costs the witness-committee
+// redesign claims are flat in the registered count:
+//
+//   - stability latency: the wall time from an operation's reply until
+//     the active set's acknowledgements make it majority-stable. With
+//     the paper's full-group rule this degrades with every idle
+//     registered member (their TA=0 entries throttle the quorum); with
+//     committees it depends only on the active witnesses.
+//   - handoff bytes: the sealed client handoff of a real 1→2 reshard.
+//     Full-group handoffs carry one entry per registered client;
+//     committee-mode handoffs omit idle members and carry the per-
+//     committee digests instead.
+//
+// The committee size scales as k = max(8, n/256), bounding the
+// committee count — and with it the digest section of every handoff —
+// at 256 regardless of how large the registered group grows.
+func RunMembershipAblation(cfg RunConfig, sizes []int) ([]AblationPoint, error) {
+	cfg = cfg.fill()
+	if len(sizes) == 0 {
+		sizes = []int{1_000, 10_000, 100_000}
+	}
+	fmt.Fprintln(cfg.Out, "# Ablation — membership scale: registered group vs stability latency and handoff bytes (8 active sessions)")
+	var points []AblationPoint
+	for _, n := range sizes {
+		k := n / 256
+		if k < 8 {
+			k = 8
+		}
+		stab, handoff, err := measureMembership(cfg, n, k)
+		if err != nil {
+			return nil, fmt.Errorf("registered=%d: %w", n, err)
+		}
+		points = append(points, stab, handoff)
+		fmt.Fprintf(cfg.Out, "%-26s registered=%-7d k=%-4d stab=%v thr=%9.1f ops/s\n",
+			stab.Name, n, k, stab.MeanLat.Round(time.Microsecond), stab.Throughput)
+		fmt.Fprintf(cfg.Out, "%-26s registered=%-7d handoff=%dB pause=%v\n",
+			handoff.Name, n, handoff.HandoffBytes, handoff.MeanLat.Round(time.Microsecond))
+	}
+	return points, nil
+}
+
+// membershipActive is the ablation's active-session count. Small on
+// purpose: the claim under test is that the REGISTERED axis is free, so
+// the active set stays constant while sizes sweeps three decades.
+const membershipActive = 8
+
+func measureMembership(cfg RunConfig, registered, committeeSize int) (stab, handoff AblationPoint, err error) {
+	dep, err := Deploy(SysLCM, Options{
+		Model:         cfg.model(),
+		Dir:           cfg.Dir,
+		Clients:       membershipActive,
+		Registered:    registered,
+		CommitteeSize: committeeSize,
+	})
+	if err != nil {
+		return stab, handoff, fmt.Errorf("deploy: %w", err)
+	}
+	defer dep.Close()
+
+	sessions := make([]*client.ShardedSession, membershipActive)
+	for i := range sessions {
+		if sessions[i], err = dep.NewShardedSession(kvs.New()); err != nil {
+			return stab, handoff, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	// Warm-up: two operations per session, so every witness holds an
+	// acknowledged context before the measured rounds.
+	for r := 0; r < 2; r++ {
+		for i, s := range sessions {
+			if _, err := s.Do(kvs.Put(fmt.Sprintf("m%d", i), "warm")); err != nil {
+				return stab, handoff, fmt.Errorf("warmup: %w", err)
+			}
+		}
+	}
+
+	// Each round issues a probe on session 0 and then drives the other
+	// witnesses until the probe is majority-stable; the round's latency
+	// is probe-reply → observed-stable. The schedule is deterministic
+	// (two acknowledgement passes), so the latency measures per-operation
+	// protocol cost — which must not scale with the registered count.
+	const rounds = 12
+	var (
+		totalOps int
+		latSum   time.Duration
+		worst    time.Duration
+	)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		res, err := sessions[0].Do(kvs.Put("probe", "x"))
+		if err != nil {
+			return stab, handoff, fmt.Errorf("probe: %w", err)
+		}
+		target := res.Seq
+		totalOps++
+		for tries := 0; ; tries++ {
+			for i := 1; i < membershipActive; i++ {
+				if _, err := sessions[i].Do(kvs.Put(fmt.Sprintf("m%d", i), "ack")); err != nil {
+					return stab, handoff, fmt.Errorf("witness %d: %w", i, err)
+				}
+				totalOps++
+			}
+			check, err := sessions[0].Do(kvs.Get("probe"))
+			if err != nil {
+				return stab, handoff, fmt.Errorf("probe check: %w", err)
+			}
+			totalOps++
+			if check.Stable >= target {
+				break
+			}
+			if tries >= 8 {
+				return stab, handoff, fmt.Errorf("probe seq %d never became stable (q=%d)", target, check.Stable)
+			}
+		}
+		lat := time.Since(t0)
+		latSum += lat
+		if lat > worst {
+			worst = lat
+		}
+	}
+	elapsed := time.Since(start)
+	stab = AblationPoint{
+		Name:       "lcm-membership-stability",
+		X:          registered,
+		Throughput: float64(totalOps) / elapsed.Seconds(),
+		MeanLat:    latSum / rounds,
+		P99Lat:     worst,
+	}
+
+	// Handoff cost: a real 1→2 reshard; the stat is the sealed client
+	// handoff every refreshing session downloads and verifies.
+	rs, err := dep.Reshard(2)
+	if err != nil {
+		return stab, handoff, fmt.Errorf("reshard: %w", err)
+	}
+	handoff = AblationPoint{
+		Name:         "lcm-membership-handoff",
+		X:            registered,
+		MeanLat:      rs.Pause,
+		HandoffBytes: rs.HandoffBytes,
+	}
+	return stab, handoff, nil
+}

@@ -1,0 +1,37 @@
+package benchrun
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestMembershipAblationSmoke runs the membership ablation at toy sizes:
+// the sweep must complete, stability must converge at every registered
+// size, and the committee-mode handoff must stay flat (within 2x) while
+// the registered group grows 8x.
+func TestMembershipAblationSmoke(t *testing.T) {
+	cfg := RunConfig{Duration: 200 * time.Millisecond, Scale: 0.05, Records: 50, Dir: t.TempDir(), Out: io.Discard}
+	points, err := RunMembershipAblation(cfg, []int{2048, 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	var handoffs []int
+	for _, p := range points {
+		if p.Name == "lcm-membership-handoff" {
+			if p.HandoffBytes <= 0 {
+				t.Fatalf("handoff bytes missing: %+v", p)
+			}
+			handoffs = append(handoffs, p.HandoffBytes)
+		}
+	}
+	if len(handoffs) != 2 {
+		t.Fatalf("handoff points = %d, want 2", len(handoffs))
+	}
+	if float64(handoffs[1]) > 2*float64(handoffs[0]) {
+		t.Fatalf("handoff bytes not flat in registered size: %d -> %d", handoffs[0], handoffs[1])
+	}
+}

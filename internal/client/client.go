@@ -87,6 +87,20 @@ type Config struct {
 	// FIFO transports (the paper's model), where duplication is
 	// indistinguishable from a replay attack and should halt.
 	AtLeastOnce bool
+	// HeartbeatInterval arms the churn-era liveness auto-tick: every
+	// interval the session seals one heartbeat ChurnMsg per shard context
+	// and sends it on a background goroutine, keeping the client's
+	// lastSeen epoch fresh inside the enclave so heartbeat-based eviction
+	// (host.Config / core.TrustedConfig EvictAfterEpochs) never reaps a
+	// connected-but-quiet client. Heartbeats are fire-and-forget — the
+	// enclave produces no ack and the host answers with an empty OK frame,
+	// which the session's verification paths recognise and discard. Zero
+	// disables the tick; Heartbeat remains available for manual ticking.
+	// A session with the auto-tick armed must not multiplex raw admin
+	// ECalls over its connection (use AdminConn on a dedicated connection
+	// instead): admin responses can be legitimately empty, making them
+	// indistinguishable from a concurrent heartbeat's empty OK.
+	HeartbeatInterval time.Duration
 	// Observe, if non-nil, is called after every verified completed
 	// operation (including recoveries and per-shard scan parts) — the
 	// hook a harness uses to stamp a history into the consistency
@@ -111,6 +125,10 @@ type Observation struct {
 // link owns one connection's receive loop, shared by the session types.
 type link struct {
 	conn transport.Conn
+
+	// sendMu serialises writers: the session's calling goroutine and the
+	// background heartbeat tick share the connection's send side.
+	sendMu sync.Mutex
 
 	recvCh    chan recvResult
 	closeOnce sync.Once
@@ -145,6 +163,14 @@ func newLink(conn transport.Conn) *link {
 		}
 	}()
 	return l
+}
+
+// send transmits one frame, serialised against concurrent senders (the
+// heartbeat auto-tick shares the connection with the calling goroutine).
+func (l *link) send(frame []byte) error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	return l.conn.Send(frame)
 }
 
 // await blocks for the next frame, a timeout, or closure.
@@ -321,7 +347,7 @@ func (s *session) recoverOn(i int) (*core.Result, error) {
 // INVOKE carries, reported to the observer on success.
 func (s *session) roundTrip(i int, op []byte, invoke []byte) (*core.Result, error) {
 	proto, shard := s.protos[i], s.wireShard(i)
-	if err := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
+	if err := s.link.send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
 		return nil, fmt.Errorf("client: send invoke: %w", err)
 	}
 	attempts := 0
@@ -336,7 +362,7 @@ func (s *session) roundTrip(i int, op []byte, invoke []byte) (*core.Result, erro
 			if rerr != nil {
 				return nil, rerr
 			}
-			if serr := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), retry)); serr != nil {
+			if serr := s.link.send(wire.EncodeShardFrame(wire.FrameInvoke, shard, uint32(s.cfg.Gen), retry)); serr != nil {
 				return nil, fmt.Errorf("client: send retry: %w", serr)
 			}
 			continue
@@ -348,6 +374,11 @@ func (s *session) roundTrip(i int, op []byte, invoke []byte) (*core.Result, erro
 		if err != nil {
 			// The server reported an error (e.g. a halted enclave).
 			return nil, err
+		}
+		if len(reply) == 0 {
+			// A concurrent heartbeat's empty OK ack; a sealed reply is
+			// never empty. Keep awaiting this operation's reply.
+			continue
 		}
 		if s.staleDuplicate(reply) {
 			// A re-delivery of a reply this session already verified —
@@ -379,7 +410,7 @@ func (s *session) readOn(i int, op []byte) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
+	if err := s.link.send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); err != nil {
 		return nil, fmt.Errorf("client: send read invoke: %w", err)
 	}
 	attempts := 0
@@ -393,7 +424,7 @@ func (s *session) readOn(i int, op []byte) (*core.Result, error) {
 			if invoke, err = proto.ReadInvoke(op); err != nil {
 				return nil, err
 			}
-			if serr := s.link.conn.Send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); serr != nil {
+			if serr := s.link.send(wire.EncodeShardFrame(wire.FrameReadInvoke, shard, uint32(s.cfg.Gen), invoke)); serr != nil {
 				return nil, fmt.Errorf("client: send read retry: %w", serr)
 			}
 			continue
@@ -404,6 +435,11 @@ func (s *session) readOn(i int, op []byte) (*core.Result, error) {
 		reply, err := wire.DecodeResponse(frame)
 		if err != nil {
 			return nil, err
+		}
+		if len(reply) == 0 {
+			// A concurrent heartbeat's empty OK ack, not this read's
+			// answer (sealed read replies are never empty).
+			continue
 		}
 		if s.staleDuplicate(reply) {
 			// A duplicated write reply left over on an at-least-once
@@ -427,7 +463,7 @@ func (s *session) ecallOn(shard int, payload []byte) ([]byte, error) {
 }
 
 func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
-	if err := l.conn.Send(wire.EncodeShardFrame(wire.FrameECall, shard, uint32(cfg.Gen), payload)); err != nil {
+	if err := l.send(wire.EncodeShardFrame(wire.FrameECall, shard, uint32(cfg.Gen), payload)); err != nil {
 		return nil, fmt.Errorf("client: send ecall: %w", err)
 	}
 	frame, err := l.await(cfg.Timeout)
@@ -440,18 +476,132 @@ func ecall(l *link, cfg Config, shard int, payload []byte) ([]byte, error) {
 // DeploymentStatus fetches the host's aggregated operational status: one
 // core.Status per shard plus the host-side group-commit counters.
 func (s *session) DeploymentStatus() (*core.DeploymentStatus, error) {
-	if err := s.link.conn.Send(wire.EncodeFrame(wire.FrameStatus, nil)); err != nil {
+	if err := s.link.send(wire.EncodeFrame(wire.FrameStatus, nil)); err != nil {
 		return nil, fmt.Errorf("client: send status: %w", err)
 	}
-	frame, err := s.link.await(s.cfg.Timeout)
+	for {
+		frame, err := s.link.await(s.cfg.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := wire.DecodeResponse(frame)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp) == 0 {
+			// A concurrent heartbeat's empty OK ack; a status response
+			// always carries the encoded counters.
+			continue
+		}
+		return core.DecodeDeploymentStatus(resp)
+	}
+}
+
+// ---- Churn: join, leave, heartbeat ----
+
+// churnOn seals one membership message for context i, sends it as a
+// FrameChurn, and (for joins and leaves) verifies the sealed ack. The ack
+// authenticates under kC and echoes the kind and client id, so a
+// malicious host can suppress a churn request (plain unavailability) but
+// never forge its acceptance.
+func (s *session) churnOn(i int, kind byte) (*core.ChurnAck, error) {
+	if err := s.checkIndex(i); err != nil {
+		return nil, err
+	}
+	id, shard := s.protos[i].ID(), s.wireShard(i)
+	msg, err := core.SealChurnMsg(s.kcs[i], kind, id)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := wire.DecodeResponse(frame)
-	if err != nil {
-		return nil, err
+	if err := s.link.send(wire.EncodeShardFrame(wire.FrameChurn, shard, uint32(s.cfg.Gen), msg)); err != nil {
+		return nil, fmt.Errorf("client: send churn: %w", err)
 	}
-	return core.DecodeDeploymentStatus(resp)
+	if kind == core.ChurnHeartbeat {
+		// Fire-and-forget: the enclave produces no ack and the host's
+		// empty OK is discarded by whichever await drains it next.
+		return nil, nil
+	}
+	attempts := 0
+	for {
+		frame, err := s.link.await(s.cfg.Timeout)
+		if errors.Is(err, ErrTimeout) {
+			if attempts >= s.cfg.Retries {
+				return nil, ErrTimeout
+			}
+			attempts++
+			// Joins and leaves are idempotent at the enclave, so a
+			// timed-out request is simply re-sealed under a fresh nonce
+			// and re-sent.
+			if msg, err = core.SealChurnMsg(s.kcs[i], kind, id); err != nil {
+				return nil, err
+			}
+			if serr := s.link.send(wire.EncodeShardFrame(wire.FrameChurn, shard, uint32(s.cfg.Gen), msg)); serr != nil {
+				return nil, fmt.Errorf("client: send churn retry: %w", serr)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		reply, err := wire.DecodeResponse(frame)
+		if err != nil {
+			return nil, err
+		}
+		if len(reply) == 0 {
+			// A concurrent heartbeat's empty OK ack; churn acks are
+			// sealed and never empty.
+			continue
+		}
+		if s.staleDuplicate(reply) {
+			continue
+		}
+		ack, err := core.OpenChurnAck(s.kcs[i], reply, kind, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ack.OK {
+			return ack, fmt.Errorf("client: churn request refused by shard %d", shard)
+		}
+		return ack, nil
+	}
+}
+
+// heartbeatAll seals and sends one heartbeat per shard context. Errors
+// are best-effort: a failed send surfaces, but no reply is awaited.
+func (s *session) heartbeatAll() error {
+	for i := range s.protos {
+		if _, err := s.churnOn(i, core.ChurnHeartbeat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startHeartbeats launches the Config.HeartbeatInterval auto-tick. Called
+// once from the session constructors, after the struct has its final
+// address; the goroutine stops when the link closes.
+func (s *session) startHeartbeats() {
+	if s.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+			case <-s.link.closed:
+				return
+			}
+			for i := range s.protos {
+				msg, err := core.SealChurnMsg(s.kcs[i], core.ChurnHeartbeat, s.protos[i].ID())
+				if err != nil {
+					continue
+				}
+				_ = s.link.send(wire.EncodeShardFrame(wire.FrameChurn, s.wireShard(i), uint32(s.cfg.Gen), msg))
+			}
+		}
+	}()
 }
 
 // Close shuts the session down and releases the reader goroutine.
@@ -486,7 +636,9 @@ func Resume(conn transport.Conn, state *core.ClientState, kc aead.Key, cfg Confi
 }
 
 func newSession(conn transport.Conn, proto *core.Client, kc aead.Key, cfg Config) *Session {
-	return &Session{session: newSessionCore(conn, []*core.Client{proto}, []aead.Key{kc}, nil, cfg)}
+	s := &Session{session: newSessionCore(conn, []*core.Client{proto}, []aead.Key{kc}, nil, cfg)}
+	s.session.startHeartbeats()
+	return s
 }
 
 // ID returns the client identifier.
@@ -522,6 +674,23 @@ func (s *Session) DoRead(op []byte) (*core.Result, error) { return s.readOn(0, o
 // timeout by re-sending it with the retry marker. It fails with
 // core.ErrNoPendingOperation when nothing is pending.
 func (s *Session) Recover() (*core.Result, error) { return s.recoverOn(0) }
+
+// Join registers this client in the shard's group through the churn path:
+// the enclave upserts its V entry, persists the change, and answers with
+// a sealed ack carrying the membership epoch and registered-group size.
+// Idempotent — joining while already a member succeeds. The client must
+// already hold the group's current kC (from the admin, out of band).
+func (s *Session) Join() (*core.ChurnAck, error) { return s.churnOn(0, core.ChurnJoin) }
+
+// Leave retires this client from the group voluntarily: its V entry is
+// tombstoned without a kC rotation. The last member cannot leave.
+func (s *Session) Leave() (*core.ChurnAck, error) { return s.churnOn(0, core.ChurnLeave) }
+
+// Heartbeat sends one fire-and-forget liveness tick, refreshing this
+// client's lastSeen epoch inside the enclave so heartbeat-based eviction
+// never reaps it while connected. With Config.HeartbeatInterval set the
+// session ticks automatically and calling this is unnecessary.
+func (s *Session) Heartbeat() error { return s.heartbeatAll() }
 
 // ECall forwards a raw enclave call through this connection — the path a
 // remote admin uses for attestation, provisioning, membership and
@@ -567,7 +736,9 @@ func NewSharded(conn transport.Conn, id uint32, kcs []aead.Key, sharder service.
 	for i, kc := range kcs {
 		protos[i] = core.NewClient(id, kc)
 	}
-	return &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}
+	s := &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}
+	s.session.startHeartbeats()
+	return s
 }
 
 // ResumeSharded reconstructs a sharded session from persisted per-shard
@@ -581,7 +752,9 @@ func ResumeSharded(conn transport.Conn, states []*core.ClientState, kcs []aead.K
 	for i := range kcs {
 		protos[i] = core.ResumeClient(states[i], kcs[i])
 	}
-	return &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}, nil
+	s := &ShardedSession{session: newSessionCore(conn, protos, kcs, sharder, cfg)}
+	s.session.startHeartbeats()
+	return s, nil
 }
 
 // Shards returns the number of shards this session spans.
@@ -672,3 +845,34 @@ func (s *ShardedSession) Err() error {
 func (s *ShardedSession) ECall(shard int, payload []byte) ([]byte, error) {
 	return s.ecallOn(shard, payload)
 }
+
+// Join registers this client in every shard's group through the churn
+// path (see Session.Join). It returns the per-shard acks in shard order.
+func (s *ShardedSession) Join() ([]*core.ChurnAck, error) {
+	acks := make([]*core.ChurnAck, len(s.protos))
+	for i := range s.protos {
+		ack, err := s.churnOn(i, core.ChurnJoin)
+		if err != nil {
+			return acks, fmt.Errorf("shard %d: %w", s.wireShard(i), err)
+		}
+		acks[i] = ack
+	}
+	return acks, nil
+}
+
+// Leave retires this client from every shard's group (see Session.Leave).
+func (s *ShardedSession) Leave() ([]*core.ChurnAck, error) {
+	acks := make([]*core.ChurnAck, len(s.protos))
+	for i := range s.protos {
+		ack, err := s.churnOn(i, core.ChurnLeave)
+		if err != nil {
+			return acks, fmt.Errorf("shard %d: %w", s.wireShard(i), err)
+		}
+		acks[i] = ack
+	}
+	return acks, nil
+}
+
+// Heartbeat sends one liveness tick to every shard (see
+// Session.Heartbeat).
+func (s *ShardedSession) Heartbeat() error { return s.heartbeatAll() }

@@ -203,6 +203,10 @@ func (a *Admin) sendAdminOp(call CallFunc, op *AdminOp) error {
 
 // AddClient admits a new client to the group (Sec. 4.6.3). The admin then
 // shares kC with the new client out of band.
+//
+// Deprecated: AddClient is the classic admin-round-trip path, retained
+// for existing deployments; Join covers the same operation through the
+// churn-era API and scales to large groups.
 func (a *Admin) AddClient(call CallFunc, id uint32) error {
 	for _, existing := range a.clients {
 		if existing == id {
@@ -216,9 +220,96 @@ func (a *Admin) AddClient(call CallFunc, id uint32) error {
 	return nil
 }
 
+// Join admits a client to the group through the churn-era admin path: a
+// V-entry upsert persisted as O(change), with no kC rotation (the joiner
+// receives the current kC from the admin out of band). Idempotent —
+// joining a present member succeeds without a wire round trip.
+func (a *Admin) Join(call CallFunc, id uint32) error {
+	for _, existing := range a.clients {
+		if existing == id {
+			return nil
+		}
+	}
+	if err := a.sendAdminOp(call, &AdminOp{Kind: adminAddClient, ClientID: id}); err != nil {
+		return err
+	}
+	a.clients = append(a.clients, id)
+	return nil
+}
+
+// Leave retires a client voluntarily: its V entry is tombstoned without
+// rotating kC — a cooperative departure needs no cut-off, and skipping
+// the rotation keeps leaves O(change) instead of O(group). The last
+// member cannot leave.
+func (a *Admin) Leave(call CallFunc, id uint32) error {
+	if err := a.sendAdminOp(call, &AdminOp{Kind: adminLeaveClient, ClientID: id}); err != nil {
+		return err
+	}
+	kept := a.clients[:0]
+	for _, existing := range a.clients {
+		if existing != id {
+			kept = append(kept, existing)
+		}
+	}
+	a.clients = kept
+	return nil
+}
+
+// Evict stages a forcible removal for the next epoch seal. Staged
+// evictions are applied as one batch there, behind a single in-enclave
+// kC rotation that cuts off every evictee at once (Sec. 4.6.3's
+// rotation, amortized); the admin learns the rotated key via Members.
+func (a *Admin) Evict(call CallFunc, id uint32) error {
+	return a.sendAdminOp(call, &AdminOp{Kind: adminEvictClient, ClientID: id})
+}
+
+// SetCommitteeSize retunes the witness-committee size k (see
+// internal/core group.go); 0 restores the configured default. The new
+// partition takes effect at the next epoch seal.
+func (a *Admin) SetCommitteeSize(call CallFunc, k uint32) error {
+	return a.sendAdminOp(call, &AdminOp{Kind: adminSetCommitteeSize, ClientID: k})
+}
+
+// Members fetches the trusted context's authoritative group view — the
+// membership, epoch, committee geometry and the current kC — and adopts
+// it: client-originated churn and eviction-seal kC rotations happen
+// without the admin, so the local mirror goes stale and this is how it
+// catches up.
+func (a *Admin) Members(call CallFunc) (*GroupInfo, error) {
+	if a.kp.IsZero() {
+		return nil, errors.New("lcm: admin has not bootstrapped")
+	}
+	info, err := QueryGroupInfo(call, a.kp)
+	if err != nil {
+		return nil, err
+	}
+	kc, err := aead.KeyFromBytes(info.KC)
+	if err != nil {
+		return nil, fmt.Errorf("lcm: group info kC: %w", err)
+	}
+	a.kc = kc
+	a.clients = append([]uint32(nil), info.Members...)
+	return info, nil
+}
+
+// SealEpoch asks the trusted context to seal a membership epoch now —
+// what deployments without a host-side epoch ticker use. The host is
+// responsible for persisting the seal's record (hosts built on
+// internal/host route it automatically).
+func (a *Admin) SealEpoch(call CallFunc) error {
+	if _, err := call(EncodeEpochSealCall()); err != nil {
+		return fmt.Errorf("lcm: epoch seal call: %w", err)
+	}
+	return nil
+}
+
 // RemoveClient evicts a client: a fresh communication key k'C is generated,
 // installed in T, and returned for distribution to the remaining clients
 // (Sec. 4.6.3). The removed client, not knowing k'C, is cut off.
+//
+// Deprecated: RemoveClient rotates kC synchronously and re-seals the
+// whole state per removal; Evict (staged, batched per epoch seal) is the
+// scalable replacement.
 func (a *Admin) RemoveClient(call CallFunc, id uint32) (aead.Key, error) {
 	newKC, err := aead.NewKey()
 	if err != nil {

@@ -50,6 +50,18 @@ const (
 	// is durable; the enclave claims the reserved counter tick by
 	// incrementing the platform counter.
 	callBeaconConfirm
+	// callEpochSeal advances the membership epoch: the trusted context
+	// fences the new epoch number with the platform counter, applies staged
+	// and heartbeat-expired evictions (rotating kC when any fire), and
+	// recomputes the witness-committee digests (see group.go/churn.go).
+	callEpochSeal
+	// callChurn delivers a batch of client-originated membership messages
+	// (join/leave/heartbeat), each sealed under kC (see churn.go).
+	callChurn
+	// callGroupInfo returns the group's membership view sealed under kP —
+	// the admin's window onto epoch, committees, members and the current
+	// kC (see churn.go).
+	callGroupInfo
 )
 
 // BatchCallSize returns the encoded size of a batch call, for writer
@@ -251,10 +263,16 @@ func decodeProvisionPayload(b []byte) (*provisionPayload, error) {
 	return p, nil
 }
 
-// Admin operation kinds (Sec. 4.6.3).
+// Admin operation kinds (Sec. 4.6.3, extended with churn-era operations:
+// leave tombstones without rotating kC, evict stages a kC-cutting removal
+// for the next epoch seal, and set-committee-size retunes the witness
+// partition).
 const (
 	adminAddClient byte = iota + 1
 	adminRemoveClient
+	adminLeaveClient
+	adminEvictClient
+	adminSetCommitteeSize // committee size k rides in ClientID
 )
 
 // AdminOp is a group-membership change. Remove carries the fresh
@@ -413,10 +431,19 @@ type Status struct {
 	// BeaconSeq counts the heartbeat beacon records this context has
 	// committed (0 when beacons are off); see trusted.go.
 	BeaconSeq uint64
+
+	// Group observability (see group.go): the membership epoch, the
+	// witness-committee partition currently in force, the recently-active
+	// subset, and how many members epoch seals have evicted.
+	GroupEpoch    uint64
+	Committees    uint32
+	CommitteeSize uint32
+	ActiveClients uint32
+	Evictions     uint64
 }
 
 func encodeStatus(s *Status) []byte {
-	w := wire.NewWriter(80)
+	w := wire.NewWriter(112)
 	w.Bool(s.Provisioned)
 	w.Bool(s.Migrated)
 	w.U64(s.Epoch)
@@ -433,6 +460,11 @@ func encodeStatus(s *Status) []byte {
 	w.U64(s.Compactions)
 	w.U64(s.LastCompactSeq)
 	w.U64(s.BeaconSeq)
+	w.U64(s.GroupEpoch)
+	w.U32(s.Committees)
+	w.U32(s.CommitteeSize)
+	w.U32(s.ActiveClients)
+	w.U64(s.Evictions)
 	return w.Bytes()
 }
 
@@ -571,6 +603,11 @@ func DecodeStatus(b []byte) (*Status, error) {
 	s.Compactions = r.U64()
 	s.LastCompactSeq = r.U64()
 	s.BeaconSeq = r.U64()
+	s.GroupEpoch = r.U64()
+	s.Committees = r.U32()
+	s.CommitteeSize = r.U32()
+	s.ActiveClients = r.U32()
+	s.Evictions = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode status: %w", err)
 	}

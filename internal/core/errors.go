@@ -98,6 +98,13 @@ var (
 	// client outside the current group.
 	ErrUnknownClient = errors.New("lcm: unknown client")
 
+	// ErrClientEvicted reports an invocation from a client the group has
+	// evicted (or that left voluntarily). It is returned without halting:
+	// eviction is a deliberate membership decision, not host misbehaviour,
+	// and the definitive cut-off is the kC rotation at the epoch seal —
+	// after which the evictee's messages simply fail authentication.
+	ErrClientEvicted = errors.New("lcm: client evicted from the group")
+
 	// ErrMigrationAttestation reports a migration target whose quote did
 	// not verify.
 	ErrMigrationAttestation = errors.New("lcm: migration target attestation failed")

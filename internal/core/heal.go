@@ -119,12 +119,25 @@ func (p *Trusted) handleChainSync(env tee.Env, records [][]byte) ([]byte, error)
 				return nil, tee.Halt("chain sync record admin sequence mismatch", nil)
 			}
 			for id, e := range rec.Entries {
-				p.v[id] = e
+				p.g.v[id] = e
+			}
+			p.g.applyTombstones(rec.Removed)
+			if rec.GroupEpoch > p.g.epoch {
+				p.g.epoch = rec.GroupEpoch
+				p.g.graceEpoch = rec.GroupEpoch
+			}
+			if rec.QFloor > p.g.qFloor {
+				p.g.qFloor = rec.QFloor
 			}
 			if err := p.deltaSvc.ApplyDelta(rec.Delta); err != nil {
 				return nil, tee.Halt("service delta malformed", err)
 			}
-			p.t, p.h = p.v.argmax()
+			p.t, p.h = p.g.v.argmax()
+			if rec.SeqT > p.t {
+				// Removals can delete the V entry holding the head; the
+				// record's authoritative pair restores it (see state.go).
+				p.t, p.h = rec.SeqT, rec.SeqH
+			}
 			if p.t != rec.ToT {
 				return nil, tee.Halt("chain sync record does not reach its declared sequence", nil)
 			}

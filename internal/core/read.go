@@ -88,8 +88,8 @@ func (p *Trusted) syncReadState() {
 	default:
 		rs.ready, rs.reason = true, nil
 		rs.kc = p.kc
-		v := make(map[uint32]readCtx, len(p.v))
-		for id, e := range p.v {
+		v := make(map[uint32]readCtx, len(p.g.v))
+		for id, e := range p.g.v {
 			v[id] = readCtx{T: e.T, H: e.H}
 		}
 		rs.v = v
@@ -99,7 +99,7 @@ func (p *Trusted) syncReadState() {
 		// The stable number may run ahead of the durable snapshot (acks
 		// arrive with later batches); cap it so replies never claim
 		// stability beyond the snapshot they describe.
-		if q := p.v.majorityStable(); q > rs.q {
+		if q := p.g.stableQ(); q > rs.q {
 			if q > rs.seq {
 				q = rs.seq
 			}

@@ -328,6 +328,15 @@ type ReshardEntry struct {
 // ReshardHandoff is the plaintext of one source shard's handoff. Clients
 // open it with the source's kC and verify their own entry against their
 // stored context before adopting the new generation.
+//
+// When the source runs in committee mode (registered group larger than
+// the stability threshold, see group.go) it omits idle members — entries
+// with a zero context — and sets OmitsIdle, keeping the handoff
+// O(active + committees) instead of O(registered). A client whose own
+// context is zero accepts the absence of its entry (an idle client has
+// nothing a rollback could take from it); any client that has invoked
+// still finds — and verifies — its entry. Digests carries the source's
+// final committee digests for auditability of the omitted population.
 type ReshardHandoff struct {
 	Gen       uint64
 	OldShards int
@@ -337,10 +346,12 @@ type ReshardHandoff struct {
 	Head      hashchain.Value // the source's final h
 	Entries   []ReshardEntry  // ascending by ID
 	NewKCs    [][]byte        // lead (src 0) only: one kC per new shard
+	OmitsIdle bool
+	Digests   []CommitteeDigest
 }
 
 func (h *ReshardHandoff) encode() []byte {
-	size := 80 + len(h.Entries)*(8+16+2*hashchain.Size)
+	size := 88 + len(h.Entries)*(8+16+2*hashchain.Size) + len(h.Digests)*56
 	for _, e := range h.Entries {
 		size += len(e.LastReply)
 	}
@@ -366,6 +377,11 @@ func (h *ReshardHandoff) encode() []byte {
 	w.U32(uint32(len(h.NewKCs)))
 	for _, kc := range h.NewKCs {
 		w.Var(kc)
+	}
+	w.Bool(h.OmitsIdle)
+	w.U32(uint32(len(h.Digests)))
+	for i := range h.Digests {
+		h.Digests[i].encodeTo(w)
 	}
 	return w.Bytes()
 }
@@ -394,6 +410,11 @@ func decodeReshardHandoff(b []byte) (*ReshardHandoff, error) {
 	n = r.U32()
 	for i := uint32(0); i < n && r.Err() == nil; i++ {
 		h.NewKCs = append(h.NewKCs, r.Var())
+	}
+	h.OmitsIdle = r.Bool()
+	n = r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		h.Digests = append(h.Digests, decodeCommitteeDigest(r))
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode reshard handoff: %w", err)
@@ -708,7 +729,7 @@ func (p *Trusted) handleReshardBegin(env tee.Env, newShards int, targetQuotes, p
 
 	// Targets: fresh (kP, kC) per new shard, minted inside the lead so
 	// the host never sees a key.
-	clients := p.v.clientIDs()
+	clients := p.g.v.clientIDs()
 	newKCs := make([][]byte, 0, newShards)
 	newKPs := make([][]byte, 0, newShards)
 	for j, q := range targetQuotes {
@@ -852,8 +873,19 @@ func (p *Trusted) handleReshardExport(env tee.Env) ([]byte, error) {
 		Gen: resh.gen, OldShards: resh.oldShards, NewShards: resh.newShards,
 		Src: resh.src, Seq: p.t, Head: p.h, NewKCs: resh.newKCs,
 	}
-	for _, id := range p.v.clientIDs() {
-		e := p.v[id]
+	// In committee mode the handoff omits idle members (zero context) so
+	// its size tracks the active set, not the registered group; idle
+	// clients accept the absence (see ReshardHandoff). The final committee
+	// digests ride along for auditability.
+	if p.g.committeeMode() {
+		handoff.OmitsIdle = true
+		handoff.Digests = p.g.computeDigests(p.g.epoch)
+	}
+	for _, id := range p.g.v.clientIDs() {
+		e := p.g.v[id]
+		if handoff.OmitsIdle && e.TA == 0 && e.T == 0 {
+			continue
+		}
 		handoff.Entries = append(handoff.Entries, ReshardEntry{
 			ID: id, TA: e.TA, HA: e.HA, T: e.T, H: e.H,
 			LastReply: e.LastReply,
@@ -975,7 +1007,7 @@ func (p *Trusted) handleReshardImport(env tee.Env, senderPub, leadCT []byte, pie
 	// the generation (after verifying the handoffs), so the V map starts
 	// at zero like a bootstrap.
 	p.kp, p.kc = kp, kc
-	p.v = newVMap(payload.Clients)
+	p.g = p.freshGroup(payload.Clients)
 	p.adminSeq = 0
 	p.gen = payload.Gen
 	p.t, p.h = 0, hashchain.Initial()
@@ -1019,6 +1051,11 @@ func (p *Trusted) reshardSourceFragment(env tee.Env, piece *reshardPiece, newSha
 	deltaSvc, _ := svc.(service.DeltaService)
 	v := state.V
 	t, _ := v.argmax()
+	if state.SeqT > t {
+		// A removal may have deleted the V entry holding the head; the
+		// blob's authoritative pair restores it (see state.go).
+		t = state.SeqT
+	}
 	head := blobHash(blob)
 
 	records, err := env.Host().LoadLog(ReshardSrcSlot(piece.Src, SlotDeltaLog))
@@ -1054,10 +1091,16 @@ func (p *Trusted) reshardSourceFragment(env tee.Env, piece *reshardPiece, newSha
 		for id, e := range rec.Entries {
 			v[id] = e
 		}
+		for _, id := range rec.Removed {
+			delete(v, id)
+		}
 		if err := deltaSvc.ApplyDelta(rec.Delta); err != nil {
 			return nil, fmt.Errorf("staged delta malformed: %w", err)
 		}
 		t, _ = v.argmax()
+		if rec.SeqT > t {
+			t = rec.SeqT
+		}
 		if t != rec.ToT {
 			return nil, errors.New("staged delta record does not reach its declared sequence")
 		}

@@ -29,6 +29,12 @@ package core
 //	Var      ServiceDelta service.DeltaService.Delta() output
 //	U64      BeaconSeq    beacon ordinal (0 for ordinary batch records)
 //	U64      BeaconTick   platform counter tick the beacon reserved
+//	U32      m            number of removed (tombstoned) member ids
+//	m ×      U32 id       members this record removed from the group
+//	U64      GroupEpoch   membership epoch at seal time (group.go)
+//	U64      QFloor       monotone stability floor at seal time
+//	U64      SeqT         authoritative t after the batch
+//	Bytes32  SeqH         authoritative h after the batch
 //
 // and is sealed with AEAD under kP with associated data adDeltaLog.
 // Heartbeat beacon records (trusted.go) are ordinary delta records with an
@@ -128,8 +134,10 @@ func blobHash(blob []byte) [32]byte { return sha256.Sum256(blob) }
 
 // trustedState is the plaintext of the sealed state blob: the protocol
 // state V, the communication key kC, the admin sequence number and the
-// service snapshot. The global (t, h) pair is deliberately not serialized:
-// Alg. 2's init recovers it as V[argmax(V)], and we follow the pseudocode.
+// service snapshot. Alg. 2's init recovers (t, h) as V[argmax(V)]; since
+// membership removals can delete the entry holding the head, newer blobs
+// additionally carry the authoritative (SeqT, SeqH) pair in the
+// tail-appended group section.
 type trustedState struct {
 	AdminSeq uint64
 	Gen      uint64 // reshard generation this context belongs to
@@ -143,10 +151,21 @@ type trustedState struct {
 	// the chain left off.
 	BeaconSeq  uint64
 	BeaconTick uint64
+	// Group section (see group.go): the membership epoch, the monotone
+	// stability floor, the runtime committee-size override (0 = config
+	// default), the eviction tombstones and counter, and the authoritative
+	// sequence head.
+	GroupEpoch    uint64
+	QFloor        uint64
+	CommitteeSize uint32
+	Evicted       []uint32
+	Evictions     uint64
+	SeqT          uint64
+	SeqH          hashchain.Value
 }
 
 func (s *trustedState) encodedSize() int {
-	size := 56 + len(s.KC) + len(s.Snapshot)
+	size := 56 + len(s.KC) + len(s.Snapshot) + 40 + hashchain.Size + 4*len(s.Evicted)
 	for _, e := range s.V {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
@@ -188,6 +207,16 @@ func (s *trustedState) encodeTo(w *wire.Writer) {
 	w.Var(s.Snapshot)
 	w.U64(s.BeaconSeq)
 	w.U64(s.BeaconTick)
+	w.U64(s.GroupEpoch)
+	w.U64(s.QFloor)
+	w.U32(s.CommitteeSize)
+	w.U32(uint32(len(s.Evicted)))
+	for _, id := range s.Evicted {
+		w.U32(id)
+	}
+	w.U64(s.Evictions)
+	w.U64(s.SeqT)
+	w.Bytes32(s.SeqH)
 }
 
 func (s *trustedState) encode() []byte {
@@ -208,6 +237,19 @@ func decodeTrustedState(b []byte) (*trustedState, error) {
 	s.Snapshot = r.Var()
 	s.BeaconSeq = r.U64()
 	s.BeaconTick = r.U64()
+	s.GroupEpoch = r.U64()
+	s.QFloor = r.U64()
+	s.CommitteeSize = r.U32()
+	ne := r.U32()
+	if ne > 0 {
+		s.Evicted = make([]uint32, ne)
+		for i := uint32(0); i < ne; i++ {
+			s.Evicted[i] = r.U32()
+		}
+	}
+	s.Evictions = r.U64()
+	s.SeqT = r.U64()
+	s.SeqH = r.Bytes32()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode trusted state: %w", err)
 	}
@@ -228,10 +270,19 @@ type deltaRecord struct {
 	// platform counter tick it reserved. Both zero on batch records.
 	BeaconSeq  uint64
 	BeaconTick uint64
+	// Group section (see group.go): tombstoned member ids removed by this
+	// record, the membership epoch and stability floor at seal time, and
+	// the authoritative sequence head (argmax over Entries undershoots
+	// when a removal deleted the entry holding the head).
+	Removed    []uint32
+	GroupEpoch uint64
+	QFloor     uint64
+	SeqT       uint64
+	SeqH       hashchain.Value
 }
 
 func (d *deltaRecord) encodedSize() int {
-	size := 8 + 8 + 8 + 32 + 4 + 4 + 16 + len(d.Delta)
+	size := 8 + 8 + 8 + 32 + 4 + 4 + 16 + len(d.Delta) + 32 + hashchain.Size + 4*len(d.Removed)
 	for _, e := range d.Entries {
 		size += 4 + 8 + 8 + 2*hashchain.Size + 4 + len(e.LastReply)
 	}
@@ -251,6 +302,14 @@ func (d *deltaRecord) encodeTo(w *wire.Writer) {
 	w.Var(d.Delta)
 	w.U64(d.BeaconSeq)
 	w.U64(d.BeaconTick)
+	w.U32(uint32(len(d.Removed)))
+	for _, id := range d.Removed {
+		w.U32(id)
+	}
+	w.U64(d.GroupEpoch)
+	w.U64(d.QFloor)
+	w.U64(d.SeqT)
+	w.Bytes32(d.SeqH)
 }
 
 func (d *deltaRecord) encode() []byte {
@@ -276,6 +335,17 @@ func decodeDeltaRecord(b []byte) (*deltaRecord, error) {
 	d.Delta = r.Var()
 	d.BeaconSeq = r.U64()
 	d.BeaconTick = r.U64()
+	nr := r.U32()
+	if nr > 0 {
+		d.Removed = make([]uint32, nr)
+		for i := uint32(0); i < nr; i++ {
+			d.Removed[i] = r.U32()
+		}
+	}
+	d.GroupEpoch = r.U64()
+	d.QFloor = r.U64()
+	d.SeqT = r.U64()
+	d.SeqH = r.Bytes32()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("lcm: decode delta record: %w", err)
 	}

@@ -36,13 +36,18 @@ type Trusted struct {
 	compactBytes int
 	compactRatio float64
 
+	// Group-strategy configuration (see group.go).
+	committeeSize      int
+	stabilityThreshold int
+	evictAfterEpochs   int
+
 	// Volatile state, rebuilt by init from the sealed blobs.
 	svc        service.Service
 	deltaSvc   service.DeltaService   // non-nil iff svc supports deltas
 	snapReader service.SnapshotReader // non-nil iff svc supports snapshot reads
 	t          uint64                 // sequence number of the last executed operation
 	h          hashchain.Value        // hash-chain value after it
-	v          vmap                   // protocol state V
+	g          *Group                 // the client group (protocol state V + committees)
 	adminSeq   uint64
 	ks         aead.Key // sealing key (from the TEE, each epoch)
 	kp         aead.Key // protocol-state encryption key
@@ -143,6 +148,18 @@ type TrustedConfig struct {
 	// sealed bytes exceed this multiple of the last full snapshot's size.
 	// 0 means DefaultCompactRatio. Ignored when a fixed policy is set.
 	CompactRatio float64
+	// CommitteeSize is the witness-committee size k for large groups; 0
+	// means DefaultCommitteeSize. Admin.SetCommitteeSize overrides it at
+	// runtime.
+	CommitteeSize int
+	// StabilityThreshold is the registered-group size above which the
+	// committee stability strategy replaces the paper's full-group
+	// majority-stable; 0 means DefaultStabilityThreshold.
+	StabilityThreshold int
+	// EvictAfterEpochs evicts clients with no liveness signal (invoke,
+	// heartbeat or join) for this many membership epochs, batched at the
+	// epoch seal; 0 disables heartbeat eviction.
+	EvictAfterEpochs int
 }
 
 // NewTrustedFactory returns a tee.ProgramFactory for the LCM protocol over
@@ -154,15 +171,26 @@ func NewTrustedFactory(cfg TrustedConfig) tee.ProgramFactory {
 	}
 	return func() tee.Program {
 		return &Trusted{
-			serviceName:  cfg.ServiceName,
-			newService:   cfg.NewService,
-			attestation:  cfg.Attestation,
-			fullSeal:     cfg.FullSeal,
-			compactEvery: cfg.CompactEvery,
-			compactBytes: cfg.CompactBytes,
-			compactRatio: compactRatio,
+			serviceName:        cfg.ServiceName,
+			newService:         cfg.NewService,
+			attestation:        cfg.Attestation,
+			fullSeal:           cfg.FullSeal,
+			compactEvery:       cfg.CompactEvery,
+			compactBytes:       cfg.CompactBytes,
+			compactRatio:       compactRatio,
+			committeeSize:      cfg.CommitteeSize,
+			stabilityThreshold: cfg.StabilityThreshold,
+			evictAfterEpochs:   cfg.EvictAfterEpochs,
 		}
 	}
+}
+
+// freshGroup builds an empty Group carrying this context's strategy
+// configuration.
+func (p *Trusted) freshGroup(clients []uint32) *Group {
+	g := newGroup(clients)
+	g.configure(p.committeeSize, p.stabilityThreshold, p.evictAfterEpochs)
+	return g
 }
 
 // Identity implements tee.Program.
@@ -176,7 +204,7 @@ func (p *Trusted) Init(env tee.Env) error {
 	p.svc = p.newService()
 	p.deltaSvc, _ = p.svc.(service.DeltaService)
 	p.snapReader, _ = p.svc.(service.SnapshotReader)
-	p.v = vmap{}
+	p.g = p.freshGroup(nil)
 
 	// Each epoch gets a fresh secure-channel key pair; its public key is
 	// published through attestation quotes.
@@ -280,12 +308,25 @@ func (p *Trusted) foldDeltaLog(env tee.Env, baseBlob []byte) error {
 			return tee.Halt("delta record admin sequence mismatch", nil)
 		}
 		for id, e := range rec.Entries {
-			p.v[id] = e
+			p.g.v[id] = e
+		}
+		p.g.applyTombstones(rec.Removed)
+		if rec.GroupEpoch > p.g.epoch {
+			p.g.epoch = rec.GroupEpoch
+			p.g.graceEpoch = rec.GroupEpoch
+		}
+		if rec.QFloor > p.g.qFloor {
+			p.g.qFloor = rec.QFloor
 		}
 		if err := p.deltaSvc.ApplyDelta(rec.Delta); err != nil {
 			return tee.Halt("service delta malformed", err)
 		}
-		p.t, p.h = p.v.argmax()
+		p.t, p.h = p.g.v.argmax()
+		if rec.SeqT > p.t {
+			// A removal in this record may have deleted the entry holding
+			// the head; the record carries the authoritative (t, h).
+			p.t, p.h = rec.SeqT, rec.SeqH
+		}
 		if p.t != rec.ToT {
 			return tee.Halt("delta record does not reach its declared sequence", nil)
 		}
@@ -318,13 +359,19 @@ func (p *Trusted) install(env tee.Env, kp aead.Key, state *trustedState) error {
 	}
 	p.kp = kp
 	p.kc = kc
-	p.v = state.V
+	p.g = p.freshGroup(nil)
+	p.g.adoptState(state)
 	p.adminSeq = state.AdminSeq
 	p.gen = state.Gen
 	p.beaconSeq = state.BeaconSeq
 	p.beaconTick = state.BeaconTick
-	p.t, p.h = p.v.argmax() // (·, t, h) ← V[argmax(V)]
-	p.durableT = p.t        // the installed state came from stable storage
+	p.t, p.h = p.g.v.argmax() // (·, t, h) ← V[argmax(V)]
+	if state.SeqT > p.t {
+		// Evictions/leaves may have removed the entry that held the head;
+		// newer blobs carry the authoritative (t, h) explicitly.
+		p.t, p.h = state.SeqT, state.SeqH
+	}
+	p.durableT = p.t // the installed state came from stable storage
 	p.chargeFootprint(env)
 	return nil
 }
@@ -348,7 +395,7 @@ func (p *Trusted) Call(env tee.Env, payload []byte) ([]byte, error) {
 	if err == nil && len(payload) > 0 {
 		switch payload[0] {
 		case callBatch, callStatus, callAttest, callEnableReads, callAdvanceDurable,
-			callBeacon, callBeaconConfirm:
+			callBeacon, callBeaconConfirm, callGroupInfo:
 			// Reads-neutral (status, attest, beacons — no client-visible
 			// state changes), self-publishing (enable, advance), or
 			// published only once durable (batch).
@@ -417,9 +464,9 @@ func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 			Migrated:       p.migrated || p.resharded,
 			Epoch:          env.Epoch(),
 			Seq:            p.t,
-			Stable:         p.v.majorityStable(),
+			Stable:         p.g.stableQ(),
 			AdminSeq:       p.adminSeq,
-			NumClients:     len(p.v),
+			NumClients:     len(p.g.v),
 			Gen:            p.gen,
 			Resharding:     p.resh != nil,
 			DeltaActive:    p.deltaActive(),
@@ -429,6 +476,11 @@ func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 			Compactions:    p.compactions,
 			LastCompactSeq: p.lastCompactT,
 			BeaconSeq:      p.beaconSeq,
+			GroupEpoch:     p.g.epoch,
+			Committees:     uint32(p.g.numCommittees()),
+			CommitteeSize:  uint32(p.g.effectiveCommitteeSize()),
+			ActiveClients:  uint32(p.g.activeCount()),
+			Evictions:      p.g.evictions,
 		}), nil
 	case callReshardChallenge:
 		if err := r.Done(); err != nil {
@@ -519,6 +571,26 @@ func (p *Trusted) dispatch(env tee.Env, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return p.handleBeaconConfirm(env)
+	case callEpochSeal:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleEpochSeal(env)
+	case callChurn:
+		n := r.U32()
+		msgs := make([][]byte, 0, n)
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			msgs = append(msgs, r.Var())
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleChurn(env, msgs)
+	case callGroupInfo:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.handleGroupInfo()
 	default:
 		return nil, fmt.Errorf("lcm: unknown call kind %d", payload[0])
 	}
@@ -561,7 +633,7 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 		}
 		replies = append(replies, reply)
 		if touched != nil {
-			touched[id] = p.v[id]
+			touched[id] = p.g.v[id]
 		}
 	}
 	p.chargeFootprint(env)
@@ -592,7 +664,7 @@ func (p *Trusted) handleBatch(env tee.Env, invokes [][]byte) ([]byte, error) {
 		res.StateBlob = blob
 		res.Compact = true
 	default:
-		rec, err := p.sealDeltaRecord(fromT, touched)
+		rec, err := p.sealDeltaRecord(fromT, touched, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -629,18 +701,24 @@ func (p *Trusted) shouldCompact() bool {
 }
 
 // sealDeltaRecord seals this batch's delta record and advances the chain.
-func (p *Trusted) sealDeltaRecord(fromT uint64, touched map[uint32]*ventry) ([]byte, error) {
+// removed lists membership tombstones (churn leaves) the record carries.
+func (p *Trusted) sealDeltaRecord(fromT uint64, touched map[uint32]*ventry, removed []uint32) ([]byte, error) {
 	delta, err := p.deltaSvc.Delta()
 	if err != nil {
 		return nil, fmt.Errorf("lcm: service delta: %w", err)
 	}
 	rec := deltaRecord{
-		FromT:    fromT,
-		ToT:      p.t,
-		AdminSeq: p.adminSeq,
-		Prev:     p.chainPrev,
-		Entries:  touched,
-		Delta:    delta,
+		FromT:      fromT,
+		ToT:        p.t,
+		AdminSeq:   p.adminSeq,
+		Prev:       p.chainPrev,
+		Entries:    touched,
+		Delta:      delta,
+		Removed:    removed,
+		GroupEpoch: p.g.epoch,
+		QFloor:     p.g.qFloor,
+		SeqT:       p.t,
+		SeqH:       p.h,
 	}
 	w := wire.GetWriter(rec.encodedSize())
 	rec.encodeTo(w)
@@ -752,6 +830,10 @@ func (p *Trusted) sealBeaconRecord() ([]byte, error) {
 		Delta:      delta,
 		BeaconSeq:  p.beaconSeq,
 		BeaconTick: p.beaconTick,
+		GroupEpoch: p.g.epoch,
+		QFloor:     p.g.qFloor,
+		SeqT:       p.t,
+		SeqH:       p.h,
 	}
 	w := wire.GetWriter(rec.encodedSize())
 	rec.encodeTo(w)
@@ -800,8 +882,14 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, uint32, error) {
 	if err != nil {
 		return nil, 0, tee.Halt("invoke malformed", err)
 	}
-	ent, ok := p.v[inv.ClientID]
+	ent, ok := p.g.v[inv.ClientID]
 	if !ok {
+		if p.g.isEvicted(inv.ClientID) {
+			// An evicted (or departed) client that somehow still holds a
+			// working kC is a configuration remnant, not an attack: refuse
+			// the operation without halting the context.
+			return nil, 0, fmt.Errorf("%w: client %d", ErrClientEvicted, inv.ClientID)
+		}
 		return nil, 0, tee.Halt("invoke from unknown client", ErrUnknownClient)
 	}
 
@@ -828,10 +916,12 @@ func (p *Trusted) handleInvoke(ciphertext []byte) ([]byte, uint32, error) {
 	}
 	p.h = hashchain.Extend(p.h, inv.Op, p.t, inv.ClientID)
 
-	// V[i] ← (tc, t, h); q ← majority-stable(V).
+	// V[i] ← (tc, t, h); q ← the group's stability strategy (exactly
+	// majority-stable(V) for small groups; see Group.stableQ).
 	ent.TA, ent.HA = inv.TC, inv.HC
 	ent.T, ent.H = p.t, p.h
-	q := p.v.majorityStable()
+	p.g.noteActive(inv.ClientID)
+	q := p.g.stableQ()
 
 	reply := wire.Reply{T: p.t, H: p.h, Result: result, Q: q, HCPrev: inv.HC, BeaconSeq: p.beaconSeq}
 	replyCT, err := aead.Seal(p.kc, reply.Encode(), []byte(adReply))
@@ -851,13 +941,20 @@ func (p *Trusted) sealState() ([]byte, error) {
 		return nil, fmt.Errorf("lcm: snapshot service: %w", err)
 	}
 	state := trustedState{
-		AdminSeq:   p.adminSeq,
-		Gen:        p.gen,
-		KC:         p.kc.Bytes(),
-		V:          p.v,
-		Snapshot:   snapshot,
-		BeaconSeq:  p.beaconSeq,
-		BeaconTick: p.beaconTick,
+		AdminSeq:      p.adminSeq,
+		Gen:           p.gen,
+		KC:            p.kc.Bytes(),
+		V:             p.g.v,
+		Snapshot:      snapshot,
+		BeaconSeq:     p.beaconSeq,
+		BeaconTick:    p.beaconTick,
+		GroupEpoch:    p.g.epoch,
+		QFloor:        p.g.qFloor,
+		CommitteeSize: uint32(p.g.committeeSize),
+		Evicted:       p.g.evictedIDs(),
+		Evictions:     p.g.evictions,
+		SeqT:          p.t,
+		SeqH:          p.h,
 	}
 	w := wire.GetWriter(state.encodedSize())
 	state.encodeTo(w)
@@ -952,7 +1049,7 @@ func (p *Trusted) handleProvision(env tee.Env, senderPub, ct []byte) ([]byte, er
 		seen[id] = true
 	}
 	p.kp, p.kc = kp, kc
-	p.v = newVMap(payload.Clients)
+	p.g = p.freshGroup(payload.Clients)
 	p.t, p.h = 0, hashchain.Initial()
 	if err := p.persist(env); err != nil {
 		return nil, err
@@ -987,23 +1084,43 @@ func (p *Trusted) handleAdmin(env tee.Env, ct []byte) ([]byte, error) {
 	}
 	switch op.Kind {
 	case adminAddClient:
-		if _, exists := p.v[op.ClientID]; exists {
+		if _, exists := p.g.v[op.ClientID]; exists {
 			return nil, fmt.Errorf("lcm: client %d already in group", op.ClientID)
 		}
-		p.v[op.ClientID] = &ventry{}
+		p.g.v[op.ClientID] = &ventry{}
+		delete(p.g.evicted, op.ClientID)
 	case adminRemoveClient:
-		if _, exists := p.v[op.ClientID]; !exists {
+		if _, exists := p.g.v[op.ClientID]; !exists {
 			return nil, ErrUnknownClient
 		}
-		if len(p.v) == 1 {
+		if len(p.g.v) == 1 {
 			return nil, errors.New("lcm: cannot remove the last client")
 		}
 		newKC, err := aead.KeyFromBytes(op.NewKC)
 		if err != nil {
 			return nil, fmt.Errorf("lcm: remove: new kC: %w", err)
 		}
-		delete(p.v, op.ClientID)
+		p.g.remove(op.ClientID)
 		p.kc = newKC
+	case adminLeaveClient:
+		// Cooperative departure: no key rotation (the leaver holds kC
+		// legitimately), tombstoned so a later invoke fails benignly.
+		if !p.g.leave(op.ClientID) {
+			if p.g.member(op.ClientID) {
+				return nil, errors.New("lcm: cannot remove the last client")
+			}
+			return nil, ErrUnknownClient
+		}
+	case adminEvictClient:
+		// Staged: applied — with the batched kC rotation — at the next
+		// epoch seal (Sec. 4.6.3, amortized per epoch).
+		if !p.g.stageEvict(op.ClientID) {
+			return nil, ErrUnknownClient
+		}
+	case adminSetCommitteeSize:
+		// The committee size k rides in the ClientID field; 0 restores
+		// the configured default.
+		p.g.committeeSize = int(op.ClientID)
 	default:
 		return nil, fmt.Errorf("lcm: unknown admin op %d", op.Kind)
 	}
@@ -1071,12 +1188,19 @@ func (p *Trusted) handleMigrateExport(env tee.Env, quoteBytes []byte) ([]byte, e
 	p.migNonce = nil
 
 	state := trustedState{
-		AdminSeq:   p.adminSeq,
-		Gen:        p.gen,
-		KC:         p.kc.Bytes(),
-		V:          p.v.clone(),
-		BeaconSeq:  p.beaconSeq,
-		BeaconTick: p.beaconTick,
+		AdminSeq:      p.adminSeq,
+		Gen:           p.gen,
+		KC:            p.kc.Bytes(),
+		V:             p.g.v.clone(),
+		BeaconSeq:     p.beaconSeq,
+		BeaconTick:    p.beaconTick,
+		GroupEpoch:    p.g.epoch,
+		QFloor:        p.g.qFloor,
+		CommitteeSize: uint32(p.g.committeeSize),
+		Evicted:       p.g.evictedIDs(),
+		Evictions:     p.g.evictions,
+		SeqT:          p.t,
+		SeqH:          p.h,
 	}
 	payload := migrationPayload{KP: p.kp.Bytes()}
 	if p.deltaActive() {
@@ -1207,8 +1331,12 @@ func (p *Trusted) importChain(env tee.Env, kp aead.Key, state *trustedState, pay
 		return nil, errors.New("lcm: chain-mode migration: reshard generation mismatch against folded state")
 	}
 	p.kc = kc
-	p.v = state.V
-	p.t, p.h = p.v.argmax()
+	p.g = p.freshGroup(nil)
+	p.g.adoptState(state)
+	p.t, p.h = p.g.v.argmax()
+	if state.SeqT > p.t {
+		p.t, p.h = state.SeqT, state.SeqH
+	}
 	if len(payload.Pending) > 0 {
 		if err := p.deltaSvc.ApplyDelta(payload.Pending); err != nil {
 			return nil, tee.Halt("migration pending delta malformed", err)

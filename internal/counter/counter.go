@@ -41,13 +41,21 @@
 // every in-flight transfer to completion (settle or abort) restores
 // exact conservation, which the crash/restart fuzz asserts.
 //
-// Transaction records are retained forever: a settled/aborted source
-// record fences late phases for its id, and a credited target record is
-// what rejects a re-issued credit — dropping either would reopen a
-// double-spend/mint window, so pruning needs a distributed horizon
-// ("no coordinator can still retry ids older than X"), which this
-// package does not have. State, snapshots and EscrowTotal therefore
-// grow with the lifetime cross-shard transfer count (see ROADMAP).
+// Transaction records in a terminal state (settled, aborted, credited)
+// fence late phases for their id: a settled/aborted source record stops
+// a re-driven phase, and a credited target record is what rejects a
+// re-issued credit. Dropping one too early would reopen a
+// double-spend/mint window, so pruning needs a distributed horizon —
+// "no coordinator can still retry ids older than X". Membership epochs
+// (service.EpochAdvancer) provide exactly that: epochs are fenced by a
+// trusted monotonic counter (so a rollback cannot reuse one), and a
+// coordinator that has produced no liveness signal for
+// TrustedConfig.EvictAfterEpochs epochs is evicted and cut off by the
+// kC rotation — it can never retry again. The bank therefore stamps
+// each record at the first epoch seal that observes it terminal and
+// prunes it PruneHorizonEpochs epochs later; escrowed (in-flight)
+// records are never pruned. Deployments without epoch seals keep the
+// historical retain-forever behaviour.
 package counter
 
 import (
@@ -109,7 +117,20 @@ type txRecord struct {
 	State   byte
 	Account string // debited (source) or credited (target) account
 	Amount  int64
+	// Epoch is the membership epoch at whose seal this record was first
+	// observed in a terminal state (settled/aborted/credited); 0 means
+	// not yet observed (or no epoch seals in this deployment). A
+	// terminal record prunes PruneHorizonEpochs epochs after its stamp.
+	Epoch uint64
 }
+
+// PruneHorizonEpochs is how many membership epochs a terminal
+// transaction record outlives its stamping epoch before AdvanceEpoch
+// prunes it. Two epochs comfortably cover any coordinator that is still
+// live (a live coordinator re-drives its phases well within one epoch;
+// one silent past the eviction horizon is cut off by the kC rotation
+// and can never retry).
+const PruneHorizonEpochs = 2
 
 // srcKey and dstKey namespace transfer ids by role, so a transfer whose
 // source and target accounts happen to share a shard cannot collide with
@@ -130,6 +151,13 @@ type Bank struct {
 	dirty    map[string]struct{}
 	txs      map[string]txRecord
 	dirtyTx  map[string]struct{}
+	// deletedTx collects transaction records pruned since the last Delta
+	// or Snapshot, so the deletions replay deterministically from the
+	// sealed record (a delta carries them as tombstone keys).
+	deletedTx map[string]struct{}
+	// epoch is the latest membership epoch AdvanceEpoch saw; purely
+	// informational (stamping uses the epoch passed in).
+	epoch uint64
 
 	// mu orders mutations against concurrent snapshot readers
 	// (service.SnapshotReader); every mutation goes through setAccount /
@@ -147,6 +175,7 @@ var (
 	_ service.Sharder        = (*Bank)(nil)
 	_ service.Resharder      = (*Bank)(nil)
 	_ service.SnapshotReader = (*Bank)(nil)
+	_ service.EpochAdvancer  = (*Bank)(nil)
 )
 
 // setAccount assigns an account balance, recording its pre-image for
@@ -169,13 +198,51 @@ func (b *Bank) setTx(key string, rec txRecord) {
 	b.mu.Unlock()
 }
 
+// deleteTx removes a transaction record, recording its pre-image so
+// pending snapshot readers still observe it at the durable snapshot.
+func (b *Bank) deleteTx(key string) {
+	b.mu.Lock()
+	old, ok := b.txs[key]
+	b.txOverlay.Record(key, old, ok)
+	delete(b.txs, key)
+	b.mu.Unlock()
+}
+
 // New returns an empty bank.
 func New() *Bank {
 	return &Bank{
-		accounts: make(map[string]int64),
-		dirty:    make(map[string]struct{}),
-		txs:      make(map[string]txRecord),
-		dirtyTx:  make(map[string]struct{}),
+		accounts:  make(map[string]int64),
+		dirty:     make(map[string]struct{}),
+		txs:       make(map[string]txRecord),
+		dirtyTx:   make(map[string]struct{}),
+		deletedTx: make(map[string]struct{}),
+	}
+}
+
+// AdvanceEpoch implements service.EpochAdvancer: epoch-fenced
+// housekeeping run inside the enclave at every membership epoch seal.
+// Terminal transaction records (settled/aborted/credited) not yet
+// stamped get stamped with this epoch; records stamped
+// PruneHorizonEpochs or more epochs ago are pruned. Escrowed records —
+// in-flight funds the conservation invariant counts — are never
+// touched. Both the stamps and the deletions land in the seal's own
+// delta record (or snapshot), so recovery replays them exactly.
+func (b *Bank) AdvanceEpoch(epoch uint64) {
+	b.epoch = epoch
+	for key, rec := range b.txs {
+		if rec.State == txEscrowed {
+			continue
+		}
+		switch {
+		case rec.Epoch == 0:
+			rec.Epoch = epoch
+			b.setTx(key, rec)
+			b.dirtyTx[key] = struct{}{}
+		case rec.Epoch+PruneHorizonEpochs <= epoch:
+			b.deleteTx(key)
+			delete(b.dirtyTx, key)
+			b.deletedTx[key] = struct{}{}
+		}
 	}
 }
 
@@ -395,6 +462,7 @@ func encodeTxRecord(w *wire.Writer, key string, rec txRecord) {
 	w.U8(rec.State)
 	w.Var([]byte(rec.Account))
 	w.U64(uint64(rec.Amount))
+	w.U64(rec.Epoch)
 }
 
 // decodeTxRecord reads one keyed transaction record.
@@ -402,6 +470,7 @@ func decodeTxRecord(r *wire.Reader) (string, txRecord) {
 	key := string(r.Var())
 	rec := txRecord{State: r.U8(), Account: string(r.Var())}
 	rec.Amount = int64(r.U64())
+	rec.Epoch = r.U64()
 	return key, rec
 }
 
@@ -432,10 +501,12 @@ func (b *Bank) Snapshot() ([]byte, error) {
 	for _, k := range txKeys {
 		encodeTxRecord(w, k, b.txs[k])
 	}
-	// A snapshot captures every pending change, so the dirty sets restart
-	// empty (the DeltaService contract).
+	// A snapshot captures every pending change — including the absence of
+	// pruned records — so the dirty and deleted sets restart empty (the
+	// DeltaService contract).
 	clear(b.dirty)
 	clear(b.dirtyTx)
+	clear(b.deletedTx)
 	return w.Bytes(), nil
 }
 
@@ -465,17 +536,30 @@ func (b *Bank) Restore(snapshot []byte) error {
 	b.mu.Unlock()
 	b.dirty = make(map[string]struct{})
 	b.dirtyTx = make(map[string]struct{})
+	b.deletedTx = make(map[string]struct{})
 	return nil
 }
 
 // Delta implements service.DeltaService: it serializes the balances of
 // every account and the full record of every transaction touched since
 // the last Delta or Snapshot (sorted, so identical change sets encode
-// identically) and resets the tracking. Accounts and transaction records
-// are never deleted, so a delta is a plain set of assignments.
+// identically), followed by the keys of transaction records pruned in
+// the window (tombstones — accounts are still never deleted), and
+// resets the tracking.
 func (b *Bank) Delta() ([]byte, error) {
+	// Net deletions against re-creations within the window: a key pruned
+	// and then re-created (a late abort tombstone after its predecessor
+	// pruned) is fully described by its assignment; a key touched and
+	// then pruned needs only the tombstone.
+	for k := range b.deletedTx {
+		if _, live := b.txs[k]; live {
+			delete(b.deletedTx, k)
+		} else {
+			delete(b.dirtyTx, k)
+		}
+	}
 	names := sortedKeys(b.dirty)
-	w := wire.NewWriter(16 + len(names)*24 + len(b.dirtyTx)*40)
+	w := wire.NewWriter(20 + len(names)*24 + len(b.dirtyTx)*48 + len(b.deletedTx)*16)
 	w.U32(uint32(len(names)))
 	for _, n := range names {
 		w.Var([]byte(n))
@@ -486,8 +570,14 @@ func (b *Bank) Delta() ([]byte, error) {
 	for _, k := range txKeys {
 		encodeTxRecord(w, k, b.txs[k])
 	}
+	delKeys := sortedKeys(b.deletedTx)
+	w.U32(uint32(len(delKeys)))
+	for _, k := range delKeys {
+		w.Var([]byte(k))
+	}
 	clear(b.dirty)
 	clear(b.dirtyTx)
+	clear(b.deletedTx)
 	return w.Bytes(), nil
 }
 
@@ -512,6 +602,14 @@ func (b *Bank) ApplyDelta(delta []byte) error {
 			break
 		}
 		b.setTx(key, rec)
+	}
+	ndel := r.U32()
+	for i := uint32(0); i < ndel; i++ {
+		key := string(r.Var())
+		if r.Err() != nil {
+			break
+		}
+		b.deleteTx(key)
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("counter: apply delta: %w", err)
@@ -562,7 +660,7 @@ func (b *Bank) Footprint() int64 {
 		total += int64(len(n)) + 8 + 48
 	}
 	for k, rec := range b.txs {
-		total += int64(len(k)+len(rec.Account)) + 9 + 48
+		total += int64(len(k)+len(rec.Account)) + 17 + 48
 	}
 	return total
 }
@@ -690,8 +788,6 @@ func (b *Bank) SnapshotRead(op []byte) ([]byte, error) {
 		}
 		b.mu.RLock()
 		var total int64
-		// Transaction records are never deleted, so every pinned key is
-		// also a live key: iterating the live map covers the snapshot.
 		for key, rec := range b.txs {
 			if pre, existed, pinned := b.txOverlay.Resolve(key); pinned {
 				if !existed {
@@ -703,6 +799,18 @@ func (b *Bank) SnapshotRead(op []byte) ([]byte, error) {
 				total += rec.Amount
 			}
 		}
+		// Records pruned after the snapshot are no longer in the live map
+		// but still pinned: cover them too, so a reader at the durable
+		// snapshot never under-counts the escrow.
+		b.txOverlay.Pinned(func(key string, pre txRecord, existed bool) bool {
+			if _, live := b.txs[key]; live {
+				return true // counted (via its pre-image) above
+			}
+			if existed && pre.State == txEscrowed {
+				total += pre.Amount
+			}
+			return true
+		})
 		b.mu.RUnlock()
 		return encodeBalance(StatusOK, total), nil
 

@@ -175,7 +175,7 @@ func TestDeltaTracksTouchedAccounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d) != 8 { // empty delta: just the account + tx count headers
+	if len(d) != 12 { // empty delta: just the account + tx + tombstone count headers
 		t.Fatalf("delta after snapshot = %d bytes, want empty", len(d))
 	}
 
@@ -206,7 +206,7 @@ func TestDeltaTracksTouchedAccounts(t *testing.T) {
 
 	// Delta cleared its tracking: the next one is empty again.
 	d2, _ := b.Delta()
-	if len(d2) != 8 {
+	if len(d2) != 12 {
 		t.Fatalf("second delta = %d bytes, want empty", len(d2))
 	}
 }
@@ -311,5 +311,197 @@ func TestShardKeys(t *testing.T) {
 	}
 	if keys := New().ShardKeys([]byte{0xEE}); keys != nil {
 		t.Fatalf("unknown op must be unshardable, got %v", keys)
+	}
+}
+
+// ---- Epoch-fenced pruning of settled escrow records ----
+
+// TestEpochStampAndPrune walks a terminal record through the prune
+// lifecycle: unstamped at first, stamped at the first epoch seal that
+// observes it terminal, pruned PruneHorizonEpochs seals later — while
+// escrowed (in-flight) records survive every seal and the conservation
+// invariant Σ balances + Σ escrow holds throughout.
+func TestEpochStampAndPrune(t *testing.T) {
+	b := New()
+	mustApply(t, b, Inc("src", 1000))
+	// t1 settles (src record settled, dst record credited), t2 aborts,
+	// t3 stays in flight.
+	mustApply(t, b, Prepare("t1", "src", 100))
+	mustApply(t, b, Credit("t1", "dst", 100))
+	mustApply(t, b, Settle("t1", "src"))
+	mustApply(t, b, Prepare("t2", "src", 50))
+	mustApply(t, b, Abort("t2", "src"))
+	mustApply(t, b, Prepare("t3", "src", 25))
+
+	want := b.TotalBalance() + b.EscrowTotal()
+
+	b.AdvanceEpoch(1) // stamps the three terminal records
+	if got := len(b.txs); got != 4 {
+		t.Fatalf("records after stamping seal = %d, want 4", got)
+	}
+	b.AdvanceEpoch(2) // within the horizon: nothing pruned
+	if got := len(b.txs); got != 4 {
+		t.Fatalf("records one epoch after stamp = %d, want 4", got)
+	}
+	b.AdvanceEpoch(3) // stamp+PruneHorizonEpochs reached: terminals prune
+	if got := len(b.txs); got != 1 {
+		t.Fatalf("records after prune = %d, want only the escrowed one", got)
+	}
+	if rec, ok := b.txs[srcKey("t3")]; !ok || rec.State != txEscrowed {
+		t.Fatalf("escrowed record must survive pruning, got %+v (present=%v)", rec, ok)
+	}
+	if got := b.TotalBalance() + b.EscrowTotal(); got != want {
+		t.Fatalf("conservation across prune: total = %d, want %d", got, want)
+	}
+	// A replayed settle for the pruned id lands past the retry horizon:
+	// fenced out as unknown, never re-executed.
+	if res := mustApply(t, b, Settle("t1", "src")); res.Code != StatusUnknown {
+		t.Fatalf("settle after prune: code %d, want StatusUnknown", res.Code)
+	}
+	// The surviving escrow still resolves normally and conserves.
+	if res := mustApply(t, b, Abort("t3", "src")); res.Code != StatusOK {
+		t.Fatalf("abort of surviving escrow: code %d", res.Code)
+	}
+	if got := b.TotalBalance() + b.EscrowTotal(); got != want {
+		t.Fatalf("conservation after late abort: total = %d, want %d", got, want)
+	}
+}
+
+// TestDeltaFoldAcrossPrune folds every delta — including the epoch
+// seals' stamp updates and prune tombstones — onto a follower bank and
+// checks the folded state stays byte-identical to the live one.
+func TestDeltaFoldAcrossPrune(t *testing.T) {
+	live := New()
+	fold := New()
+	step := func() {
+		t.Helper()
+		d, err := live.Delta()
+		if err != nil {
+			t.Fatalf("Delta: %v", err)
+		}
+		if err := fold.ApplyDelta(d); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+	}
+	mustApply(t, live, Inc("src", 500))
+	step()
+	mustApply(t, live, Prepare("a", "src", 40))
+	mustApply(t, live, Credit("a", "dst", 40))
+	mustApply(t, live, Settle("a", "src"))
+	step()
+	live.AdvanceEpoch(1) // stamps land in this delta
+	step()
+	live.AdvanceEpoch(3) // tombstones land in this delta
+	step()
+	if got := len(live.txs); got != 0 {
+		t.Fatalf("live records after prune = %d, want 0", got)
+	}
+	sLive, err := live.Snapshot()
+	if err != nil {
+		t.Fatalf("live snapshot: %v", err)
+	}
+	sFold, err := fold.Snapshot()
+	if err != nil {
+		t.Fatalf("fold snapshot: %v", err)
+	}
+	if !bytes.Equal(sLive, sFold) {
+		t.Fatalf("folded state diverges from live after prune:\nlive %x\nfold %x", sLive, sFold)
+	}
+}
+
+// TestPruneTombstoneNetsAgainstRecreation covers the delta-netting edge:
+// a record pruned and then re-created inside the same delta window (a
+// late abort arriving after its predecessor's tombstone pruned) must be
+// described by the assignment alone — the tombstone would otherwise
+// delete the fresh record on the follower.
+func TestPruneTombstoneNetsAgainstRecreation(t *testing.T) {
+	live := New()
+	fold := New()
+	step := func() {
+		t.Helper()
+		d, err := live.Delta()
+		if err != nil {
+			t.Fatalf("Delta: %v", err)
+		}
+		if err := fold.ApplyDelta(d); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+	}
+	mustApply(t, live, Inc("src", 100))
+	mustApply(t, live, Prepare("x", "src", 10))
+	mustApply(t, live, Abort("x", "src"))
+	step()
+	live.AdvanceEpoch(1)
+	step()
+	live.AdvanceEpoch(3) // prunes x's aborted record...
+	// ...and a duplicate late abort for x re-creates its tombstone record
+	// before the window closes.
+	if res := mustApply(t, live, Abort("x", "src")); res.Code != StatusOK {
+		t.Fatalf("late abort: code %d", res.Code)
+	}
+	step()
+	if rec, ok := live.txs[srcKey("x")]; !ok || rec.State != txAborted {
+		t.Fatalf("recreated tombstone record missing, got %+v (present=%v)", rec, ok)
+	}
+	sLive, err := live.Snapshot()
+	if err != nil {
+		t.Fatalf("live snapshot: %v", err)
+	}
+	sFold, err := fold.Snapshot()
+	if err != nil {
+		t.Fatalf("fold snapshot: %v", err)
+	}
+	if !bytes.Equal(sLive, sFold) {
+		t.Fatalf("folded state diverges after prune+recreate:\nlive %x\nfold %x", sLive, sFold)
+	}
+}
+
+// TestSnapshotReadEscrowTotalAcrossPrune pins a snapshot reader at a
+// durable point where an escrow is in flight, then settles and prunes
+// the record past the reader: the snapshot-read escrow total must still
+// count the pruned record's pre-image (overlay coverage), and drop to
+// zero once the prune itself is durable.
+func TestSnapshotReadEscrowTotalAcrossPrune(t *testing.T) {
+	b := New()
+	mustApply(t, b, Inc("src", 100))
+	mustApply(t, b, Prepare("p", "src", 30))
+	b.EndBatch(1)
+	b.AdvanceDurable(1) // durable snapshot: escrow = 30
+
+	readEscrow := func() int64 {
+		t.Helper()
+		raw, err := b.SnapshotRead(EscrowTotalOp())
+		if err != nil {
+			t.Fatalf("SnapshotRead: %v", err)
+		}
+		res, err := DecodeResult(raw)
+		if err != nil {
+			t.Fatalf("DecodeResult: %v", err)
+		}
+		return res.Balance
+	}
+
+	// Settle and prune after the durable point: the record leaves the
+	// live map entirely, but a reader at the durable snapshot must still
+	// see the escrowed 30.
+	mustApply(t, b, Settle("p", "src"))
+	mustApply(t, b, Credit("p", "dst", 30))
+	b.AdvanceEpoch(1)
+	b.AdvanceEpoch(3)
+	if _, live := b.txs[srcKey("p")]; live {
+		t.Fatal("record p should have pruned")
+	}
+	if got := readEscrow(); got != 30 {
+		t.Fatalf("snapshot escrow total across prune = %d, want 30", got)
+	}
+	if got := b.EscrowTotal(); got != 0 {
+		t.Fatalf("live escrow total = %d, want 0", got)
+	}
+
+	// Once the settle+prune is durable the snapshot view catches up.
+	b.EndBatch(2)
+	b.AdvanceDurable(2)
+	if got := readEscrow(); got != 0 {
+		t.Fatalf("snapshot escrow total after durable prune = %d, want 0", got)
 	}
 }

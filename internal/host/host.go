@@ -133,6 +133,15 @@ type Config struct {
 	// group-commit path (one coalesced append per beacon). 0 disables
 	// beacons (the historical behaviour, blind to cloning).
 	BeaconInterval time.Duration
+	// EpochInterval arms the membership epoch ticker: every interval each
+	// shard's enclave seals one membership epoch (see core/churn.go) —
+	// fencing the epoch number with the platform counter, batching staged
+	// and heartbeat-expired evictions behind one kC rotation, and
+	// resealing the witness-committee digests. The seal's sealed record
+	// persists inline behind the persistence barrier (see epoch.go).
+	// 0 disables the ticker; epochs then advance only when an admin sends
+	// an explicit epoch-seal ecall.
+	EpochInterval time.Duration
 }
 
 // DefaultReadWorkers is the per-instance read-pool size when
@@ -213,6 +222,9 @@ func (c *Config) Validate() error {
 	}
 	if c.BeaconInterval < 0 {
 		return fmt.Errorf("host: config: BeaconInterval must be ≥ 0 (got %v); 0 disables beacons", c.BeaconInterval)
+	}
+	if c.EpochInterval < 0 {
+		return fmt.Errorf("host: config: EpochInterval must be ≥ 0 (got %v); 0 disables the epoch ticker", c.EpochInterval)
 	}
 	return nil
 }
@@ -535,6 +547,13 @@ func (s *Server) startInstance(inst *instance) {
 			s.beaconLoop(inst)
 		}()
 	}
+	if s.cfg.EpochInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.epochLoop(inst)
+		}()
+	}
 }
 
 // instanceAt returns instance idx, or nil when out of range.
@@ -575,6 +594,12 @@ func (s *Server) instanceBarrierECall(inst *instance, payload []byte) ([]byte, e
 	s.healLocked(inst)
 	if inst.cm != nil {
 		inst.cm.flush(s.stop)
+	}
+	if core.IsEpochSealCall(payload) {
+		// An epoch seal's result carries a sealed record the host must
+		// persist — routing it through the plain path would leave the
+		// enclave's chain ahead of the disk (see epoch.go).
+		return s.epochSealLocked(inst)
 	}
 	resp, err := inst.enclave.Call(payload)
 	// A barrier ecall may have persisted a fresh state blob inside the
@@ -804,6 +829,21 @@ func (s *Server) connLoop(cs *connState) {
 			case <-s.stop:
 				return
 			}
+		case wire.FrameChurn:
+			// One sealed membership message (join/leave/heartbeat); the
+			// churn ecall persists its sealed change before the ack is
+			// released (see epoch.go). Heartbeats yield an empty OK.
+			inst, ct, err := s.routeFrame(cs, payload)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			reply, err := s.churnECall(inst, ct)
+			if err != nil {
+				_ = cs.send(wire.ErrorFrame(err))
+				continue
+			}
+			_ = cs.send(wire.OKFrame(reply))
 		case wire.FrameECall:
 			// Ecalls (status, admin, migration) act as persistence
 			// barriers: queued batch results become durable first.

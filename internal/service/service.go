@@ -182,6 +182,25 @@ type SnapshotReader interface {
 	AdvanceDurable(seq uint64)
 }
 
+// EpochAdvancer is an optional extension for services that want
+// epoch-fenced housekeeping. The trusted context calls AdvanceEpoch —
+// inside the enclave, immediately before sealing the epoch's persistence
+// record — every time the membership epoch advances, with the new epoch
+// number. Epochs are monotone across restarts and rollbacks (they are
+// fenced by a trusted monotonic counter), which makes them a safe
+// horizon for retention decisions: anything a service prunes "h epochs
+// after settling" can never be resurrected by a rolled-back context
+// still living in an earlier epoch, because that context halts before
+// reusing an epoch number.
+//
+// State changes made inside AdvanceEpoch are captured by the epoch
+// seal's own delta record (or snapshot), so recovery replays them
+// deterministically. The bundled bank service (internal/counter) uses
+// this to prune settled escrow transfer records.
+type EpochAdvancer interface {
+	AdvanceEpoch(epoch uint64)
+}
+
 // Overlay tracks pre-images of mutated items so a service can serve
 // snapshot reads at the last durable sequence number while later batches
 // have already executed against the live state. It is the bookkeeping

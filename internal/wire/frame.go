@@ -58,6 +58,15 @@ const (
 	// routing: a read misrouted into the write queue fails the message
 	// tag check inside the enclave, never executes as a write.
 	FrameReadInvoke
+	// FrameChurn carries one client-originated membership message (a
+	// core.ChurnMsg sealed under the shard's kC): join, leave or
+	// heartbeat. Routing header matches FrameInvoke ([u8 shard][u32 gen]).
+	// The host forwards the ciphertext to the shard's enclave in a churn
+	// ecall; joins and leaves are answered with the sealed ChurnAck, while
+	// heartbeats elicit an empty OK response (the enclave produces no ack
+	// for them). The frame is untrusted transport — a forged or replayed
+	// churn ciphertext is dropped inside the enclave, never halts it.
+	FrameChurn
 )
 
 // MaxShards bounds the shard index representable in the one-byte routing

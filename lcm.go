@@ -151,6 +151,16 @@ type (
 	// when the deployment resharded.
 	ReshardPending = client.ReshardPending
 
+	// GroupInfo is the admin's sealed view of the registered group:
+	// membership epoch, committee layout, members, staged/past evictions
+	// and the current communication key (Admin.Members).
+	GroupInfo = core.GroupInfo
+
+	// ChurnAck is the sealed acknowledgment a join or leave receives
+	// (Session.Join / Session.Leave), carrying the membership epoch and
+	// registered-group size at the time the change was applied.
+	ChurnAck = core.ChurnAck
+
 	// LatencyModel centralizes the simulation's injected hardware
 	// latencies.
 	LatencyModel = latency.Model
@@ -176,6 +186,11 @@ var (
 	// SessionConfig.FreshnessHorizon armed, replies whose beacon ordinal
 	// stops advancing poison the client (the "gagged clone" branch).
 	ErrBeaconStale = core.ErrBeaconStale
+
+	// ErrClientEvicted reports an invoke from a client that heartbeat-based
+	// eviction removed from the group. It does not halt the enclave; the
+	// definitive cut-off is the kC rotation at the next epoch seal.
+	ErrClientEvicted = core.ErrClientEvicted
 )
 
 // NewPlatform creates a simulated TEE platform.
